@@ -1,0 +1,64 @@
+"""Ablation — empirical-exponential vs analytic O-QPSK bit-error ground truth.
+
+The paper observed a *smooth* PER transition where prior studies reported a
+sharp cliff. This ablation swaps the channel's BER model and shows why the
+default matters: the analytic O-QPSK curve compresses the grey zone into a
+couple of dB, which would make the paper's payload-dependent joint effects
+(Fig. 6) invisible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import HALLWAY_2012
+from repro.campaign import sweep_snr_payload
+
+SNRS = list(np.arange(3.0, 26.0, 1.0))
+
+
+def transition_width_db(sweep):
+    """SNR span over which PER(110 B) falls from 0.9 to 0.1."""
+    series = sorted(
+        (p.mean_snr_db, p.per) for p in sweep if p.payload_bytes == 110
+    )
+    snr_90 = next((s for s, per in series if per < 0.9), series[0][0])
+    snr_10 = next((s for s, per in series if per < 0.1), series[-1][0])
+    return snr_10 - snr_90
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    empirical = sweep_snr_payload(
+        SNRS, [20, 110], n_packets=2500, seed=20, environment=HALLWAY_2012
+    )
+    analytic_env = HALLWAY_2012.with_analytic_ber(implementation_loss_db=10.0)
+    analytic = sweep_snr_payload(
+        SNRS, [20, 110], n_packets=2500, seed=20, environment=analytic_env
+    )
+    return {"empirical": empirical, "analytic": analytic}
+
+
+def test_ablation_ber_models(benchmark, report, sweeps):
+    widths = benchmark(
+        lambda: {name: transition_width_db(s) for name, s in sweeps.items()}
+    )
+
+    report.header("Ablation: empirical-exponential vs analytic O-QPSK BER")
+    report.emit(f"{'SNR':>5}  {'empirical PER(110B)':>20}  {'analytic PER(110B)':>19}")
+    emp = {p.mean_snr_db: p.per for p in sweeps["empirical"] if p.payload_bytes == 110}
+    ana = {p.mean_snr_db: p.per for p in sweeps["analytic"] if p.payload_bytes == 110}
+    for s in SNRS[::3]:
+        report.emit(f"{s:>5.0f}  {emp[s]:>20.3f}  {ana[s]:>19.3f}")
+    report.emit(
+        "",
+        f"PER 0.9->0.1 transition width: empirical {widths['empirical']:.0f} dB, "
+        f"analytic {widths['analytic']:.0f} dB",
+        "(the paper's measured links transition smoothly over >10 dB; the "
+        "textbook curve is the 'sharp cliff' of prior studies)",
+    )
+    held = widths["empirical"] > widths["analytic"] + 3.0
+    report.shape_check(
+        "empirical ground truth is much smoother than the analytic cliff",
+        held,
+    )
+    assert held

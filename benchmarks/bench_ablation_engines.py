@@ -1,0 +1,93 @@
+"""Ablation — event-driven simulator vs vectorized Monte-Carlo engine.
+
+The campaign and figure benches lean on the fast engine for queueless
+sweeps. This ablation quantifies both the agreement (loss/energy metrics
+within Monte-Carlo noise) and the speedup that justifies having two engines.
+"""
+
+import time
+
+import pytest
+from conftest import FIGURE_ENV
+
+from repro.analysis import compute_metrics
+from repro.config import StackConfig
+from repro.sim import FastLink, SimulationOptions, simulate_link
+
+N_PACKETS = 2000
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    config = StackConfig(
+        distance_m=35.0, ptx_level=11, n_max_tries=3, q_max=1,
+        t_pkt_ms=200.0, payload_bytes=110,
+    )
+    t0 = time.perf_counter()
+    trace = simulate_link(
+        config,
+        options=SimulationOptions(
+            n_packets=N_PACKETS, seed=22, environment=FIGURE_ENV
+        ),
+    )
+    des_seconds = time.perf_counter() - t0
+    metrics = compute_metrics(trace)
+
+    t0 = time.perf_counter()
+    fast = FastLink(environment=FIGURE_ENV, seed=23).run(
+        mean_snr_db=metrics.mean_snr_db,
+        payload_bytes=110,
+        n_packets=N_PACKETS,
+        n_max_tries=3,
+    )
+    fast_seconds = time.perf_counter() - t0
+    return metrics, fast, des_seconds, fast_seconds
+
+
+def test_ablation_engine_agreement(benchmark, report, comparison):
+    metrics, fast, des_seconds, fast_seconds = comparison
+
+    def fast_run():
+        return FastLink(environment=FIGURE_ENV, seed=24).run(
+            mean_snr_db=metrics.mean_snr_db,
+            payload_bytes=110,
+            n_packets=N_PACKETS,
+            n_max_tries=3,
+        )
+
+    benchmark(fast_run)
+
+    rows = [
+        ("PER", metrics.per, fast.per),
+        ("PLR_radio", metrics.plr_radio, fast.plr_radio),
+        ("mean tries", metrics.mean_tries, fast.mean_tries),
+        (
+            "service (ms)",
+            metrics.mean_service_time_s * 1e3,
+            fast.mean_service_time_s * 1e3,
+        ),
+        (
+            "U_eng (uJ/bit)",
+            metrics.energy_per_info_bit_uj,
+            fast.energy_per_info_bit_j(11) * 1e6,
+        ),
+    ]
+    report.header("Ablation: DES vs vectorized Monte-Carlo engine")
+    report.emit(f"{'metric':<16}{'DES':>10}{'fast':>10}")
+    for name, a, b in rows:
+        report.emit(f"{name:<16}{a:>10.4f}{b:>10.4f}")
+    speedup = des_seconds / max(fast_seconds, 1e-9)
+    report.emit(
+        "",
+        f"wall-clock for {N_PACKETS} packets: DES {des_seconds * 1e3:.0f} ms, "
+        f"fast {fast_seconds * 1e3:.1f} ms  ({speedup:.0f}x speedup)",
+    )
+    agree = all(
+        abs(a - b) <= max(0.05 * max(abs(a), abs(b)), 0.03) for _, a, b in rows
+    )
+    report.shape_check(
+        "engines agree within 5% / 0.03 abs; fast engine >=20x faster",
+        agree and speedup >= 20,
+    )
+    assert agree
+    assert speedup >= 20

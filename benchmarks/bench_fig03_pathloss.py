@@ -1,0 +1,46 @@
+"""Fig. 3 — log-normal path loss (n = 2.19, σ = 3.2).
+
+Surveys mean RSSI at the six campaign positions and re-fits the log-normal
+shadowing model, reproducing the regression behind the paper's Fig. 3.
+"""
+
+import pytest
+
+from repro.analysis.channel_stats import path_loss_fit_from_survey, survey_rssi
+from repro.channel import HALLWAY_2012
+from repro.channel.pathloss import (
+    DEFAULT_PATH_LOSS_EXPONENT,
+    DEFAULT_SHADOWING_SIGMA_DB,
+)
+
+DISTANCES = (5.0, 10.0, 15.0, 20.0, 30.0, 35.0)
+
+
+@pytest.fixture(scope="module")
+def survey():
+    return survey_rssi(
+        HALLWAY_2012, DISTANCES, ptx_levels=(31,), n_samples=400, seed=3
+    )
+
+
+def test_fig03_path_loss_fit(benchmark, report, survey):
+    fit = benchmark(path_loss_fit_from_survey, survey, 31)
+
+    report.header("Fig. 3: RSSI vs distance and the log-normal fit")
+    report.emit(f"{'distance (m)':>12}  {'mean RSSI (dBm)':>16}")
+    for cell in survey:
+        report.emit(f"{cell.distance_m:>12.0f}  {cell.mean_rssi_dbm:>16.2f}")
+    report.emit(
+        "",
+        f"fitted exponent n : {fit['exponent']:.2f}   "
+        f"(paper: {DEFAULT_PATH_LOSS_EXPONENT})",
+        f"fitted sigma (dB) : {fit['sigma_db']:.2f}   "
+        f"(paper: {DEFAULT_SHADOWING_SIGMA_DB})",
+        f"reference loss    : {fit['reference_loss_db']:.1f} dB at 1 m",
+    )
+    held = (
+        abs(fit["exponent"] - DEFAULT_PATH_LOSS_EXPONENT) < 1.0
+        and 1.0 < fit["sigma_db"] < 6.0
+    )
+    report.shape_check("log-normal model with n ~ 2.2, sigma ~ 3 dB", held)
+    assert held

@@ -1,0 +1,88 @@
+"""Fig. 6(a–d) — the joint effects of SNR and payload size on PER.
+
+Regenerates all four panels from a vectorized sweep: (a) PER decays with SNR
+without a sharp cliff; (b) the decay is smoother for larger payloads; (c)
+PER grows with payload, with SNR-dependent magnitude; (d) the three
+joint-effect zones. Also re-fits Eq. 3 (α = 0.0128, β = −0.15).
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import points_as_arrays, sweep_snr_payload
+from repro.core import constants, fit_per_model
+
+SNRS = list(np.arange(5.0, 25.0, 1.0))
+PAYLOADS = [5, 20, 35, 50, 65, 80, 110]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_snr_payload(SNRS, PAYLOADS, n_packets=2500, seed=6)
+
+
+def per_of(sweep, payload):
+    return {p.mean_snr_db: p.per for p in sweep if p.payload_bytes == payload}
+
+
+def test_fig06_per_vs_snr_and_payload(benchmark, report, sweep):
+    payload, snr, per, _, _ = points_as_arrays(sweep)
+    fit = benchmark(fit_per_model, payload, snr, per)
+
+    report.header("Fig. 6: PER vs SNR and payload; Eq. 3 re-fit")
+    report.emit(f"{'SNR (dB)':>8}  {'PER l_D=5':>10}  {'PER l_D=50':>11}  "
+                f"{'PER l_D=110':>12}")
+    small, medium, large = per_of(sweep, 5), per_of(sweep, 50), per_of(sweep, 110)
+    for s in SNRS[::3]:
+        report.emit(
+            f"{s:>8.0f}  {small[s]:>10.3f}  {medium[s]:>11.3f}  {large[s]:>12.3f}"
+        )
+    from repro.analysis import sparkline
+
+    decay = [large[s] for s in SNRS]
+    report.emit(
+        "",
+        f"PER(110 B) decay over SNR {SNRS[0]:.0f}..{SNRS[-1]:.0f} dB: "
+        f"{sparkline(decay)}",
+        f"Eq. 3 re-fit : {fit.summary()}",
+        f"paper        : alpha={constants.PER_FIT.alpha}, "
+        f"beta={constants.PER_FIT.beta}",
+    )
+
+    # Panel (b): larger payloads take more SNR to fall below PER 0.1.
+    def snr_below(series, threshold=0.1):
+        for s in sorted(series):
+            if series[s] < threshold:
+                return s
+        return max(series)
+
+    snr10_small, snr10_large = snr_below(small), snr_below(large)
+    # Panel (c)/(d): payload impact by zone.
+    def spread(snr_value):
+        cells = [p.per for p in sweep if p.mean_snr_db == snr_value]
+        return max(cells) - min(cells)
+
+    zone_rows = [
+        ("high-impact (5-12 dB)", np.mean([spread(s) for s in SNRS if 5 <= s < 12])),
+        ("medium-impact (12-19 dB)", np.mean([spread(s) for s in SNRS if 12 <= s < 19])),
+        ("low-impact (>=19 dB)", np.mean([spread(s) for s in SNRS if s >= 19])),
+    ]
+    report.emit("", "payload-induced PER spread by zone (Fig. 6d):")
+    for name, value in zone_rows:
+        report.emit(f"  {name:<26}: {value:.3f}")
+    report.emit(
+        f"SNR where PER(l_D) < 0.1 : {snr10_small:.0f} dB for 5 B, "
+        f"{snr10_large:.0f} dB for 110 B (paper: ~19 dB for max l_D)"
+    )
+
+    held = (
+        snr10_large > snr10_small
+        and 16.0 <= snr10_large <= 22.0
+        and zone_rows[0][1] > zone_rows[1][1] > zone_rows[2][1]
+        and abs(fit.beta - constants.PER_FIT.beta) < 0.05
+        and 0.5 * constants.PER_FIT.alpha < fit.alpha < 2.0 * constants.PER_FIT.alpha
+    )
+    report.shape_check(
+        "smooth payload-dependent PER decay, 3 zones, Eq. 3 constants", held
+    )
+    assert held

@@ -1,0 +1,73 @@
+"""Fig. 7 — energy-optimal output power at 35 m, per payload size.
+
+The paper: U_eng is minimized at the power level whose SNR just clears the
+payload's low-loss need; larger payloads need a higher optimal level (110 B
+wants ~2 levels more than small payloads at 35 m).
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import HALLWAY_2012, LinkChannel
+from repro.radio import cc2420
+from repro.sim.fastlink import FastLink
+
+PAYLOADS = (20, 65, 110)
+LEVELS = cc2420.PA_LEVELS
+
+
+@pytest.fixture(scope="module")
+def energy_surface():
+    """Measured U_eng (µJ/bit) per (payload, level) at 35 m."""
+    surface = {}
+    for li, level in enumerate(LEVELS):
+        channel = LinkChannel(
+            HALLWAY_2012, 35.0, level, np.random.default_rng((7, li))
+        )
+        for pi, payload in enumerate(PAYLOADS):
+            fast = FastLink(environment=HALLWAY_2012, seed=700 + li * 10 + pi)
+            result = fast.run(
+                mean_snr_db=channel.mean_snr_db,
+                payload_bytes=payload,
+                n_packets=3000,
+                n_max_tries=8,
+            )
+            surface[(payload, level)] = (
+                result.energy_per_info_bit_j(level) * 1e6,
+                channel.mean_snr_db,
+            )
+    return surface
+
+
+def test_fig07_optimal_power_at_35m(benchmark, report, energy_surface):
+    def find_optima():
+        return {
+            payload: min(
+                LEVELS, key=lambda lvl: energy_surface[(payload, lvl)][0]
+            )
+            for payload in PAYLOADS
+        }
+
+    optima = benchmark(find_optima)
+
+    report.header("Fig. 7: U_eng (uJ/bit) vs P_tx at 35 m")
+    header = f"{'P_tx':>5} {'SNR dB':>7}" + "".join(
+        f"  l_D={p:>3}" for p in PAYLOADS
+    )
+    report.emit(header)
+    for level in LEVELS:
+        snr = energy_surface[(PAYLOADS[0], level)][1]
+        cells = "".join(
+            f"  {energy_surface[(p, level)][0]:7.3f}" for p in PAYLOADS
+        )
+        report.emit(f"{level:>5} {snr:>7.1f}{cells}")
+    report.emit(
+        "",
+        f"energy-optimal level per payload: "
+        + ", ".join(f"{p} B -> P_tx {optima[p]}" for p in PAYLOADS),
+        "(paper at 35 m: 110 B wants a higher level than small/medium "
+        "payloads)",
+    )
+    held = optima[110] >= optima[65] >= optima[20] and optima[110] > optima[20]
+    report.shape_check("larger payload needs higher optimal P_tx", held)
+    assert held

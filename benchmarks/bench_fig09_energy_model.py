@@ -1,0 +1,48 @@
+"""Fig. 9 — the empirical energy model's optimal payload vs SNR.
+
+Evaluates Eq. 2 with the Eq. 3 PER model over the payload grid: the optimal
+l_D is the 114-byte maximum down to ≈17 dB and collapses below 40 bytes by
+5 dB (the paper's exact reading of this figure).
+"""
+
+import numpy as np
+
+from repro.core import EnergyModel
+from repro.core.constants import ENERGY_MAX_PAYLOAD_SNR_DB
+
+SNRS = (5.0, 8.0, 11.0, 14.0, 17.0, 20.0)
+
+
+def test_fig09_model_optimal_payload(benchmark, report):
+    model = EnergyModel()
+
+    def optimal_payloads():
+        return {snr: model.optimal_payload_bytes(31, snr) for snr in SNRS}
+
+    optima = benchmark(optimal_payloads)
+
+    report.header("Fig. 9: model U_eng vs payload; optimal l_D per SNR")
+    report.emit(f"{'SNR (dB)':>8}  {'optimal l_D':>11}  {'U_eng (uJ/bit)':>15}")
+    for snr in SNRS:
+        payload, u = optima[snr]
+        report.emit(f"{snr:>8.0f}  {payload:>11}  {u * 1e6:>15.4f}")
+
+    threshold = model.snr_threshold_for_max_payload()
+    report.emit(
+        "",
+        f"model threshold for max payload: {threshold:.1f} dB "
+        f"(paper: ~{ENERGY_MAX_PAYLOAD_SNR_DB:.0f} dB)",
+        f"optimal l_D at 5 dB: {optima[5.0][0]} B (paper: below ~40 B)",
+    )
+    payload_series = [optima[snr][0] for snr in SNRS]
+    held = (
+        abs(threshold - ENERGY_MAX_PAYLOAD_SNR_DB) < 1.5
+        and optima[17.0][0] == 114
+        and optima[20.0][0] == 114
+        and optima[5.0][0] <= 40
+        and payload_series == sorted(payload_series)
+    )
+    report.shape_check(
+        "optimal l_D monotone in SNR, max above ~17 dB, <40 B at 5 dB", held
+    )
+    assert held

@@ -1,0 +1,51 @@
+"""Fig. 11 — the average-transmissions model (Eq. 7, α = 0.02, β = −0.18).
+
+Measures mean transmissions per packet over an (SNR × payload) sweep with a
+deep retry budget and re-fits N_tries = 1 + α·l_D·exp(β·SNR).
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import points_as_arrays, sweep_snr_payload
+from repro.core import NtriesModel, constants, fit_ntries_model
+
+SNRS = list(np.arange(5.0, 26.0, 2.0))
+PAYLOADS = [5, 20, 35, 50, 65, 80, 110]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_snr_payload(
+        SNRS, PAYLOADS, n_packets=2500, n_max_tries=8, seed=11
+    )
+
+
+def test_fig11_ntries_model(benchmark, report, sweep):
+    payload, snr, _, _, tries = points_as_arrays(sweep)
+    fit = benchmark(fit_ntries_model, payload, snr, tries)
+
+    model = NtriesModel()
+    report.header("Fig. 11: mean transmissions vs SNR; Eq. 7 re-fit")
+    report.emit(f"{'SNR':>5}  {'measured (110 B)':>16}  {'paper model':>12}")
+    measured_110 = {
+        p.mean_snr_db: p.mean_tries for p in sweep if p.payload_bytes == 110
+    }
+    for s in SNRS[::2]:
+        report.emit(
+            f"{s:>5.0f}  {measured_110[s]:>16.3f}  "
+            f"{model.expected_tries(110, s):>12.3f}"
+        )
+    report.emit(
+        "",
+        f"Eq. 7 re-fit : {fit.summary()}",
+        f"paper        : alpha={constants.NTRIES_FIT.alpha}, "
+        f"beta={constants.NTRIES_FIT.beta}",
+    )
+    held = (
+        0.5 * constants.NTRIES_FIT.alpha < fit.alpha < 2.0 * constants.NTRIES_FIT.alpha
+        and abs(fit.beta - constants.NTRIES_FIT.beta) < 0.05
+        and fit.r_squared > 0.8
+    )
+    report.shape_check("Eq. 7 exponential family with paper-scale constants", held)
+    assert held

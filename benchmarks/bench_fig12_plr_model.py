@@ -1,0 +1,78 @@
+"""Fig. 12 — the radio-loss model (Eq. 8, α = 0.011, β = −0.145) validation.
+
+Measures PLR_radio under several attempt budgets, re-fits Eq. 8, and prints
+model-vs-measured rows like the paper's validation figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import sweep_snr_payload
+from repro.core import PlrRadioModel, constants
+from repro.core.fitting import fit_plr_radio_model
+
+SNRS = list(np.arange(5.0, 22.0, 2.0))
+PAYLOADS = [20, 65, 110]
+TRIES = (1, 2, 3, 5)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {
+        n: sweep_snr_payload(
+            SNRS, PAYLOADS, n_packets=3000, n_max_tries=n, seed=12 + n
+        )
+        for n in TRIES
+    }
+
+
+def test_fig12_plr_radio_model(benchmark, report, sweeps):
+    payload = np.concatenate(
+        [[p.payload_bytes for p in sweeps[n]] for n in TRIES]
+    )
+    snr = np.concatenate([[p.measured_snr_db for p in sweeps[n]] for n in TRIES])
+    plr = np.concatenate([[p.plr_radio for p in sweeps[n]] for n in TRIES])
+    tries = np.concatenate([[n] * len(sweeps[n]) for n in TRIES])
+
+    fit = benchmark(
+        fit_plr_radio_model, payload, snr, plr, tries, min_points=8
+    )
+
+    model = PlrRadioModel()
+    report.header("Fig. 12: PLR_radio model validation (l_D = 110 B)")
+    report.emit(
+        f"{'SNR':>5}"
+        + "".join(f"  meas N={n:<2} model" for n in TRIES)
+    )
+    measured = {
+        n: {p.mean_snr_db: p.plr_radio for p in sweeps[n] if p.payload_bytes == 110}
+        for n in TRIES
+    }
+    for s in SNRS[::2]:
+        cells = "".join(
+            f"  {measured[n][s]:8.3f} {model.plr_radio(110, s, n):6.3f}"
+            for n in TRIES
+        )
+        report.emit(f"{s:>5.0f}{cells}")
+    report.emit(
+        "",
+        f"Eq. 8 re-fit : {fit.summary()}",
+        f"paper        : alpha={constants.PLR_RADIO_FIT.alpha}, "
+        f"beta={constants.PLR_RADIO_FIT.beta}",
+    )
+    # Shape: retransmissions multiply loss down; fit near paper constants.
+    ordering = all(
+        measured[1][s] >= measured[3][s] >= measured[5][s] - 1e-9
+        for s in SNRS[::2]
+    )
+    held = (
+        ordering
+        and 0.5 * constants.PLR_RADIO_FIT.alpha
+        < fit.alpha
+        < 2.0 * constants.PLR_RADIO_FIT.alpha
+        and abs(fit.beta - constants.PLR_RADIO_FIT.beta) < 0.06
+    )
+    report.shape_check(
+        "PLR falls as PER^N; Eq. 8 re-fit near published constants", held
+    )
+    assert held

@@ -1,0 +1,60 @@
+"""Fig. 13 — modelled maxGoodput vs payload, with and without retransmission.
+
+The paper's reading: in the low-loss zone the optimal payload is always the
+maximum; in the grey zone it shrinks with SNR and grows with N_maxTries.
+"""
+
+import numpy as np
+
+from repro.core import GoodputModel
+
+SNRS = (6.0, 9.0, 12.0, 19.0)
+PAYLOAD_GRID = np.arange(5, 115, 1)
+
+
+def test_fig13_maxgoodput_vs_payload(benchmark, report):
+    model = GoodputModel()
+
+    def regenerate():
+        out = {}
+        for n in (1, 5):
+            for snr in SNRS:
+                goodput = model.max_goodput_bps(PAYLOAD_GRID, snr, n) / 1e3
+                best = int(PAYLOAD_GRID[int(np.argmax(goodput))])
+                out[(n, snr)] = (goodput, best)
+        return out
+
+    surfaces = benchmark(regenerate)
+
+    report.header("Fig. 13: modelled maxGoodput (kb/s) vs payload")
+    for n in (1, 5):
+        report.emit(f"\n  [N_maxTries = {n}]")
+        report.emit(
+            f"  {'l_D':>5}" + "".join(f"  SNR={snr:<4.0f}" for snr in SNRS)
+        )
+        for payload in (10, 30, 50, 70, 90, 110):
+            idx = int(np.where(PAYLOAD_GRID == payload)[0][0])
+            cells = "".join(
+                f"  {surfaces[(n, snr)][0][idx]:8.2f}" for snr in SNRS
+            )
+            report.emit(f"  {payload:>5}{cells}")
+        report.emit(
+            "  optimal l_D : "
+            + ", ".join(
+                f"{snr:.0f} dB -> {surfaces[(n, snr)][1]} B" for snr in SNRS
+            )
+        )
+
+    # Shapes: low-loss zone wants max payload; grey-zone optimum shrinks with
+    # SNR; retransmissions raise the grey-zone optimum.
+    held = (
+        surfaces[(5, 19.0)][1] == 114
+        and surfaces[(5, 9.0)][1] == 114  # the paper's 9 dB threshold
+        and surfaces[(1, 6.0)][1] < 114
+        and surfaces[(5, 6.0)][1] >= surfaces[(1, 6.0)][1]
+    )
+    report.shape_check(
+        "max l_D optimal >= 9 dB with retries; grey-zone optimum shrinks",
+        held,
+    )
+    assert held

@@ -1,0 +1,73 @@
+"""Fig. 17 — queueing loss vs radio loss trade-off of retransmissions.
+
+The paper's setting: l_D = 110 B, T_pkt = 30 ms on a grey-zone link. Raising
+N_maxTries cuts PLR_radio but drives ρ past 1, converting the saving into
+queue drops; only a large queue (Fig. 17d) absorbs them.
+"""
+
+import pytest
+from conftest import FIGURE_ENV
+
+from repro.analysis import compute_metrics
+from repro.config import StackConfig
+from repro.sim import SimulationOptions, simulate_link
+
+TRIES = (1, 2, 3, 5)
+QUEUES = (1, 30)
+LEVEL = 7  # grey zone at 35 m
+
+
+@pytest.fixture(scope="module")
+def loss_surface():
+    surface = {}
+    for q in QUEUES:
+        for n in TRIES:
+            config = StackConfig(
+                distance_m=35.0, ptx_level=LEVEL, payload_bytes=110,
+                t_pkt_ms=30.0, q_max=q, n_max_tries=n,
+            )
+            metrics = compute_metrics(
+                simulate_link(
+                    config,
+                    options=SimulationOptions(
+                        n_packets=600, seed=17, environment=FIGURE_ENV
+                    ),
+                )
+            )
+            surface[(q, n)] = (metrics.plr_queue, metrics.plr_radio)
+    return surface
+
+
+def test_fig17_queue_vs_radio_loss(benchmark, report, loss_surface):
+    def regenerate():
+        return {key: value for key, value in loss_surface.items()}
+
+    surface = benchmark(regenerate)
+
+    report.header(
+        "Fig. 17: PLR_queue vs PLR_radio (l_D=110 B, T_pkt=30 ms, grey zone)"
+    )
+    for q in QUEUES:
+        report.emit(f"\n  [Q_max = {q}]")
+        report.emit(f"  {'N_maxTries':>10}  {'PLR_queue':>10}  {'PLR_radio':>10}")
+        for n in TRIES:
+            pq, pr = surface[(q, n)]
+            report.emit(f"  {n:>10}  {pq:>10.3f}  {pr:>10.3f}")
+
+    radio_falls = surface[(1, TRIES[-1])][1] < surface[(1, 1)][1]
+    queue_rises = surface[(1, TRIES[-1])][0] > surface[(1, 1)][0] + 0.05
+    big_queue_absorbs = all(
+        surface[(30, n)][0] < surface[(1, n)][0] + 1e-9 for n in TRIES[1:]
+    )
+    report.emit(
+        "",
+        f"retransmissions cut radio loss      : {radio_falls}",
+        f"...but inflate queue loss (Q_max=1) : {queue_rises}",
+        f"large queue absorbs the overflow    : {big_queue_absorbs}",
+    )
+    held = radio_falls and queue_rises and big_queue_absorbs
+    report.shape_check(
+        "retransmission trades radio loss for queue loss; Q_max=30 absorbs",
+        held,
+    )
+    assert held

@@ -1,0 +1,53 @@
+"""Harness performance — configurations/second for both engines.
+
+Not a paper figure: this measures the reproduction machinery itself, to
+document what a full Table I replay costs. The DES handles queueing
+configurations; the vectorized engine covers the queueless half of the space
+two orders of magnitude faster.
+"""
+
+import pytest
+
+from repro.campaign import CampaignRunner
+from repro.channel import HALLWAY_2012
+from repro.config import StackConfig, TABLE_I_SPACE
+
+DES_CONFIG = StackConfig(
+    distance_m=20.0, ptx_level=23, n_max_tries=3, q_max=30,
+    t_pkt_ms=30.0, payload_bytes=110,
+)
+FAST_CONFIG = DES_CONFIG.with_updates(q_max=1)
+PACKETS = 300
+
+
+def test_des_engine_throughput(benchmark, report):
+    runner = CampaignRunner(
+        environment=HALLWAY_2012, packets_per_config=PACKETS, engine="des"
+    )
+    summary = benchmark(runner.run_config, DES_CONFIG, 0)
+    assert summary.n_packets == PACKETS
+    per_config_s = benchmark.stats.stats.mean
+    full_sweep_h = per_config_s * len(TABLE_I_SPACE) / 3600
+    report.header("Harness throughput: event-driven engine")
+    report.emit(
+        f"one configuration ({PACKETS} packets): {per_config_s * 1e3:.0f} ms",
+        f"full Table I replay ({len(TABLE_I_SPACE)} configs, single core): "
+        f"~{full_sweep_h:.1f} h  -> use run_campaign_parallel / "
+        f"run_campaign_checkpointed",
+    )
+
+
+def test_fast_engine_throughput(benchmark, report):
+    runner = CampaignRunner(
+        environment=HALLWAY_2012, packets_per_config=PACKETS, engine="fast"
+    )
+    summary = benchmark(runner.run_config, FAST_CONFIG, 0)
+    assert summary.n_packets == PACKETS
+    per_config_s = benchmark.stats.stats.mean
+    queueless = len(TABLE_I_SPACE) // 2
+    report.header("Harness throughput: vectorized engine (queueless configs)")
+    report.emit(
+        f"one configuration ({PACKETS} packets): {per_config_s * 1e3:.2f} ms",
+        f"queueless half of Table I ({queueless} configs): "
+        f"~{per_config_s * queueless:.0f} s single-core",
+    )

@@ -1,0 +1,40 @@
+"""Table I — the stack parameter space of the campaign.
+
+Regenerates the reconstructed Table I grid and checks its bookkeeping
+against the paper's stated campaign size: 8,064 settings per distance,
+"close to 50 thousand" configurations, "more than 200 million" packets.
+"""
+
+from repro.config import PACKETS_PER_CONFIG, TABLE_I_SPACE
+
+
+def test_table1_parameter_space(benchmark, report):
+    def enumerate_space():
+        return sum(1 for _ in TABLE_I_SPACE)
+
+    total = benchmark(enumerate_space)
+
+    report.header("Table I: stack parameters and campaign size")
+    report.emit(
+        f"{'axis':<24}{'values'}",
+        f"{'distance (m)':<24}{TABLE_I_SPACE.distances_m}",
+        f"{'P_tx (PA_LEVEL)':<24}{TABLE_I_SPACE.ptx_levels}",
+        f"{'N_maxTries':<24}{TABLE_I_SPACE.n_max_tries_values}",
+        f"{'D_retry (ms)':<24}{TABLE_I_SPACE.d_retry_values_ms}",
+        f"{'Q_max':<24}{TABLE_I_SPACE.q_max_values}",
+        f"{'T_pkt (ms)':<24}{TABLE_I_SPACE.t_pkt_values_ms}",
+        f"{'l_D (bytes)':<24}{TABLE_I_SPACE.payload_values_bytes}",
+        "",
+        f"settings per distance : {TABLE_I_SPACE.settings_per_distance}"
+        f"   (paper: 8064)",
+        f"total configurations  : {total}   (paper: 'close to 50 thousand')",
+        f"total packets         : {total * PACKETS_PER_CONFIG:,}"
+        f"   (paper: 'more than 200 million')",
+    )
+    report.shape_check(
+        "8064 settings/distance, ~48k configs, >200M packets",
+        TABLE_I_SPACE.settings_per_distance == 8064
+        and 45_000 < total < 50_000
+        and total * PACKETS_PER_CONFIG > 200_000_000,
+    )
+    assert total == len(TABLE_I_SPACE)

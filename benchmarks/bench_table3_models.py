@@ -1,0 +1,82 @@
+"""Table III — the summary of empirical models (E, G, D, L).
+
+Evaluates each model at reference operating points, prints the quantitative
+summary the paper's Table III lists, and benchmarks a full four-model
+evaluation (the unit of work the Sec. VIII optimizer performs per candidate
+configuration).
+"""
+
+from repro.config import StackConfig
+from repro.core import (
+    DelayModel,
+    EnergyModel,
+    GoodputModel,
+    NtriesModel,
+    PerModel,
+    PlrRadioModel,
+    ServiceTimeModel,
+)
+from repro.core import constants
+
+REFERENCE = dict(payload_bytes=110, snr_db=15.0, n_max_tries=3, d_retry_ms=0.0)
+
+
+def test_table3_model_summary(benchmark, report):
+    per = PerModel()
+    ntries = NtriesModel()
+    plr = PlrRadioModel()
+    service = ServiceTimeModel()
+    energy = EnergyModel()
+    goodput = GoodputModel()
+    delay = DelayModel()
+    config = StackConfig(
+        payload_bytes=110, n_max_tries=3, t_pkt_ms=30.0, q_max=30
+    )
+
+    def evaluate_all():
+        return {
+            "PER": per.per(110, 15.0),
+            "N_tries": ntries.expected_tries(110, 15.0),
+            "PLR_radio": plr.plr_radio(110, 15.0, 3),
+            "T_service_ms": service.mean_service_time_s(110, 15.0, 3, 0.0) * 1e3,
+            "U_eng_uj": energy.u_eng_uj_per_bit(31, 110, 15.0),
+            "maxGoodput_kbps": goodput.max_goodput_kbps(110, 15.0, 3),
+            "rho": delay.utilization(config, 15.0),
+        }
+
+    values = benchmark(evaluate_all)
+
+    report.header("Table III: empirical model summary (l_D=110 B, SNR=15 dB)")
+    report.emit(
+        f"{'model':<14}{'equation':<44}{'value @ reference'}",
+        f"{'L (PER)':<14}{'PER = a*l_D*exp(b*SNR), a=0.0128 b=-0.15':<44}"
+        f"{values['PER']:.4f}",
+        f"{'N_tries':<14}{'N = 1 + a*l_D*exp(b*SNR), a=0.02 b=-0.18':<44}"
+        f"{values['N_tries']:.4f}",
+        f"{'L (radio)':<14}{'PLR = (a*l_D*exp(b*SNR))^N, a=0.011 b=-0.145':<44}"
+        f"{values['PLR_radio']:.6f}",
+        f"{'D (service)':<14}{'Eqs. 5-6 (T_SPI,T_MAC,T_frame,T_ACK,...)':<44}"
+        f"{values['T_service_ms']:.2f} ms",
+        f"{'E (energy)':<14}{'U = E_tx*(l0+l_D)/(l_D*(1-PER))':<44}"
+        f"{values['U_eng_uj']:.4f} uJ/bit",
+        f"{'G (goodput)':<14}{'maxG = l_D/T_service*(1-PLR)':<44}"
+        f"{values['maxGoodput_kbps']:.2f} kb/s",
+        f"{'D (queueing)':<14}{'rho = T_service/T_pkt (Eq. 9)':<44}"
+        f"{values['rho']:.3f}",
+    )
+
+    # Internal consistency of the composition (Table III's whole point: the
+    # models plug into each other).
+    recomposed_goodput = (
+        110 * 8 / (values["T_service_ms"] / 1e3) * (1 - values["PLR_radio"]) / 1e3
+    )
+    consistent = abs(recomposed_goodput - values["maxGoodput_kbps"]) < 0.01
+    report.emit(
+        "",
+        f"G recomposed from D and L: {recomposed_goodput:.2f} kb/s "
+        f"(direct: {values['maxGoodput_kbps']:.2f})",
+    )
+    report.shape_check("models compose exactly as Table III describes", consistent)
+    assert consistent
+    assert 0 < values["PER"] < 1
+    assert values["rho"] < 1

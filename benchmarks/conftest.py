@@ -1,0 +1,70 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every ``bench_figXX_*.py`` / ``bench_tableX_*.py`` file regenerates one
+table or figure of the paper: it computes the same rows/series the paper
+reports, prints them (live, bypassing capture, so ``pytest benchmarks/
+--benchmark-only | tee`` records them), and benchmarks the computation that
+produces them.
+
+Conventions:
+* heavyweight regenerations (event-simulator sweeps) are cached in
+  module-scoped fixtures and timed with ``benchmark.pedantic(rounds=1)``;
+* cheap model evaluations are timed with the plain ``benchmark`` fixture;
+* each file ends by printing a ``shape check`` line stating whether the
+  paper's qualitative claim held in this run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.channel import HALLWAY_2012
+
+#: Environment used by the DES-driven figure benches: the hallway with its
+#: slow shadowing disabled (fast fading kept). One bench run covers seconds
+#: of simulated time, whereas the paper's per-configuration points average
+#: over weeks — a single slow-fading realization would shift a whole run by
+#: several dB and scramble the SNR axis. The slow dynamics are characterized
+#: separately in the Fig. 4 / Fig. 5 benches.
+FIGURE_ENV = replace(
+    HALLWAY_2012,
+    name="hallway-2012+figure-mean",
+    slow_sigma_db=0.0,
+    extra_slow_sigma_by_distance={},
+    human_shadowing_by_distance={},
+)
+
+
+class Reporter:
+    """Prints benchmark tables live (outside pytest's capture)."""
+
+    def __init__(self, capsys) -> None:
+        self._capsys = capsys
+
+    def emit(self, *lines: str) -> None:
+        with self._capsys.disabled():
+            for line in lines:
+                print(line)
+
+    def header(self, title: str) -> None:
+        self.emit("", "=" * 78, title, "=" * 78)
+
+    def row(self, *cells: object, widths=None) -> None:
+        if widths is None:
+            widths = [16] * len(cells)
+        text = "  ".join(
+            f"{cell!s:>{w}}" if not isinstance(cell, float) else f"{cell:>{w}.4g}"
+            for cell, w in zip(cells, widths)
+        )
+        self.emit(text)
+
+    def shape_check(self, description: str, held: bool) -> None:
+        status = "HELD" if held else "DID NOT HOLD"
+        self.emit(f"shape check: {description}: {status}")
+
+
+@pytest.fixture
+def report(capsys):
+    return Reporter(capsys)

@@ -1,0 +1,103 @@
+"""Adaptive payload sizing under a time-varying link (Sec. IV-B's implication).
+
+The paper observes that "adapting the payload size to the varying link
+quality can be an efficient way to minimize energy consumption in dynamic
+channel conditions" (Fig. 9). This example demonstrates exactly that: a
+node walks away from its base station (the mobility extension), the link
+SNR decays through the three joint-effect zones, and an adaptive sender
+re-picks the energy-optimal payload from the empirical model each second —
+versus a static sender locked to the maximum payload.
+
+Run:  python examples/adaptive_payload.py
+"""
+
+import numpy as np
+
+from repro.channel import HALLWAY_2012
+from repro.core import EnergyModel, classify_snr
+from repro.extensions import MobileLinkChannel, MobilityTrace
+from repro.radio import cc2420, frame as frame_mod
+
+
+def measure_energy_uj_per_bit(
+    channel, payload_bytes, ptx_level, start_s, n_packets=300, spacing_s=0.01
+):
+    """TX energy per delivered payload bit over a burst of packets."""
+    frame_bytes = frame_mod.frame_air_bytes(payload_bytes)
+    e_tx_frame = cc2420.tx_energy_per_bit_j(ptx_level) * frame_bytes * 8
+    energy = 0.0
+    delivered_bits = 0
+    for i in range(n_packets):
+        outcome = channel.transmit_frame(start_s + i * spacing_s, frame_bytes)
+        energy += e_tx_frame
+        if outcome.delivered:
+            delivered_bits += payload_bytes * 8
+    if delivered_bits == 0:
+        return float("inf")
+    return energy / delivered_bits * 1e6
+
+
+def main() -> None:
+    # A battery-constrained node transmits at −10 dBm (level 11), so the
+    # walk sweeps the link from the low-impact zone into the grey zone.
+    ptx_level = 11
+    walk = MobilityTrace.walk(start_m=5.0, end_m=95.0, duration_s=50.0)
+    energy_model = EnergyModel()
+
+    adaptive_channel = MobileLinkChannel(
+        HALLWAY_2012, walk, ptx_level, np.random.default_rng(1)
+    )
+    static_channel = MobileLinkChannel(
+        HALLWAY_2012, walk, ptx_level, np.random.default_rng(1)
+    )
+
+    print("node walks 5 m -> 95 m over 50 s at P_tx = 11 (-10 dBm)")
+    print(f"{'t (s)':>6s} {'d (m)':>6s} {'SNR dB':>7s} {'zone':>14s} "
+          f"{'adaptive l_D':>12s} {'adaptive uJ/b':>13s} {'static uJ/b':>12s}")
+
+    totals = {"adaptive": [0.0, 0], "static": [0.0, 0]}
+    grey_totals = {"adaptive": [0.0, 0], "static": [0.0, 0]}
+    for t in range(0, 50, 5):
+        distance = walk.distance_at(float(t))
+        median_loss = HALLWAY_2012.pathloss.median_loss_db(distance)
+        snr = (
+            cc2420.output_power_dbm(ptx_level)
+            - median_loss
+            - HALLWAY_2012.noise.mean_dbm
+        )
+        # The adaptive sender re-picks the model-optimal payload for the
+        # link quality it currently estimates.
+        payload, _ = energy_model.optimal_payload_bytes(ptx_level, snr)
+        u_adaptive = measure_energy_uj_per_bit(
+            adaptive_channel, payload, ptx_level, start_s=float(t)
+        )
+        u_static = measure_energy_uj_per_bit(
+            static_channel, 114, ptx_level, start_s=float(t)
+        )
+        print(f"{t:6d} {distance:6.1f} {snr:7.1f} "
+              f"{classify_snr(snr).value:>14s} {payload:12d} "
+              f"{u_adaptive:13.3f} {u_static:12.3f}")
+        for name, u in (("adaptive", u_adaptive), ("static", u_static)):
+            if np.isfinite(u):
+                totals[name][0] += u
+                totals[name][1] += 1
+                if snr < 12.0:  # grey zone, where adaptation matters
+                    grey_totals[name][0] += u
+                    grey_totals[name][1] += 1
+
+    mean_adaptive = totals["adaptive"][0] / totals["adaptive"][1]
+    mean_static = totals["static"][0] / max(totals["static"][1], 1)
+    print(f"\nmean U_eng over the whole walk: adaptive {mean_adaptive:.3f} "
+          f"uJ/bit, static-114B {mean_static:.3f} uJ/bit")
+    if grey_totals["adaptive"][1] and grey_totals["static"][1]:
+        grey_adaptive = grey_totals["adaptive"][0] / grey_totals["adaptive"][1]
+        grey_static = grey_totals["static"][0] / grey_totals["static"][1]
+        saving = (1 - grey_adaptive / grey_static) * 100
+        print(f"in the grey zone (SNR < 12 dB): adaptive {grey_adaptive:.3f} "
+              f"vs static {grey_static:.3f} uJ/bit -> {saving:.0f}% saved")
+        print("outside the grey zone both senders pick 114 B, as the paper's "
+              "Fig. 9 predicts; the gain is concentrated where PER bites.")
+
+
+if __name__ == "__main__":
+    main()

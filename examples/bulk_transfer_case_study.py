@@ -1,0 +1,63 @@
+"""The paper's case study (Sec. VIII-C, Fig. 1, Table IV).
+
+Scenario: an indoor sensor must bulk-transfer data to a base station in a
+short time slot — maximize goodput, but the battery budget also demands low
+energy per bit. The link sits deep in the grey zone at its default power
+(SNR 3 dB at P_tx = 23, rising to 6 dB at P_tx = 31).
+
+The example pits the single-parameter guidelines from the literature
+([11] tune power, [6] tune retransmissions, [1] tune payload) against joint
+multi-parameter optimization via the empirical models, then re-measures every
+operating point with the event-driven simulator under saturating traffic.
+
+Run:  python examples/bulk_transfer_case_study.py
+"""
+
+from repro.core.optimization import (
+    joint_wins,
+    paper_table_iv_points,
+    run_case_study_models,
+    run_case_study_simulation,
+)
+
+
+def show(title, points) -> None:
+    print(f"\n{title}")
+    print(f"  {'strategy':34s} {'Ptx':>3s} {'l_D':>4s} {'N':>2s} "
+          f"{'goodput kb/s':>12s} {'U_eng uJ/bit':>13s}")
+    for p in points:
+        print(
+            f"  {p.strategy:34s} {p.config.ptx_level:3d} "
+            f"{p.config.payload_bytes:4d} {p.config.n_max_tries:2d} "
+            f"{p.goodput_kbps:12.2f} {p.u_eng_uj_per_bit:13.3f}"
+        )
+
+
+def main() -> None:
+    show("published results (Table IV):", paper_table_iv_points())
+
+    model_points = run_case_study_models()
+    show("empirical-model predictions:", model_points)
+    print(f"\n  joint tuning dominates every baseline on BOTH axes: "
+          f"{joint_wins(model_points)}")
+
+    print("\nre-measuring each strategy with the event simulator "
+          "(bulk traffic, 1500 packets each)...")
+    sim_points = run_case_study_simulation(model_points, n_packets=1500, seed=7)
+    show("event-simulator measurements:", sim_points)
+    print(f"\n  joint tuning dominates every baseline (simulated): "
+          f"{joint_wins(sim_points)}")
+
+    joint = next(p for p in model_points if p.strategy.startswith("joint"))
+    print(
+        f"\nthe joint optimizer chose P_tx={joint.config.ptx_level}, "
+        f"l_D={joint.config.payload_bytes} B, "
+        f"N_maxTries={joint.config.n_max_tries} "
+        f"(paper's joint row: P_tx=31, l_D=68 B, N=3) — max power for SNR, a "
+        f"mid-size payload balancing overhead against grey-zone PER, and a "
+        f"moderate retry budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments whose setuptools/pip lack PEP-660 support
+(e.g. offline boxes without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

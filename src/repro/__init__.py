@@ -1,0 +1,108 @@
+"""Reproduction of *Experimental Study for Multi-layer Parameter
+Configuration of WSN Links* (Fu, Zhang, Jiang, Hu, Shih, Marrón — ICDCS 2015).
+
+The package rebuilds the paper's testbed as a simulator and its contribution
+as a library:
+
+* :mod:`repro.radio`, :mod:`repro.channel`, :mod:`repro.mac`,
+  :mod:`repro.queueing`, :mod:`repro.sim` — the TelosB/CC2420/TinyOS link
+  substrate (Sec. II);
+* :mod:`repro.campaign`, :mod:`repro.analysis` — the measurement campaign
+  and its aggregation (Sec. II-C, III-A);
+* :mod:`repro.core` — the empirical models (Eqs. 2–9), SNR zones, tuning
+  guidelines and multi-objective optimization (Sec. III-B through VIII);
+* :mod:`repro.extensions` — interference, LPL and mobility (Sec. VIII-D).
+
+Quickstart::
+
+    from repro import StackConfig, simulate_link, compute_metrics
+
+    config = StackConfig(distance_m=35.0, ptx_level=23, n_max_tries=3,
+                         q_max=30, t_pkt_ms=30.0, payload_bytes=110)
+    metrics = compute_metrics(simulate_link(config, n_packets=1000, seed=1))
+    print(metrics.goodput_kbps, metrics.energy_per_info_bit_uj)
+"""
+
+from .analysis import LinkMetrics, compute_metrics
+from .campaign import CampaignDataset, CampaignRunner, run_reference_campaign
+from .channel import Environment, HALLWAY_2012, LinkChannel, QUIET_HALLWAY
+from .config import (
+    MAX_PAYLOAD_BYTES,
+    PACKETS_PER_CONFIG,
+    ParameterSpace,
+    SMOKE_SPACE,
+    StackConfig,
+    TABLE_I_SPACE,
+    VALID_PTX_LEVELS,
+)
+from .core import (
+    DelayModel,
+    EnergyModel,
+    GoodputModel,
+    GuidelineEngine,
+    NtriesModel,
+    PerModel,
+    PlrRadioModel,
+    ServiceTimeModel,
+    classify_snr,
+    in_grey_zone,
+)
+from .errors import (
+    CampaignError,
+    ChannelError,
+    ConfigurationError,
+    DatasetError,
+    FittingError,
+    InfeasibleError,
+    OptimizationError,
+    RadioError,
+    ReproError,
+    SimulationError,
+)
+from .sim import FastLink, LinkTrace, SimulationOptions, simulate_link
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignDataset",
+    "CampaignError",
+    "CampaignRunner",
+    "ChannelError",
+    "ConfigurationError",
+    "DatasetError",
+    "DelayModel",
+    "EnergyModel",
+    "Environment",
+    "FastLink",
+    "FittingError",
+    "GoodputModel",
+    "GuidelineEngine",
+    "HALLWAY_2012",
+    "InfeasibleError",
+    "LinkChannel",
+    "LinkMetrics",
+    "LinkTrace",
+    "MAX_PAYLOAD_BYTES",
+    "NtriesModel",
+    "OptimizationError",
+    "PACKETS_PER_CONFIG",
+    "ParameterSpace",
+    "PerModel",
+    "PlrRadioModel",
+    "QUIET_HALLWAY",
+    "RadioError",
+    "ReproError",
+    "SMOKE_SPACE",
+    "ServiceTimeModel",
+    "SimulationError",
+    "SimulationOptions",
+    "StackConfig",
+    "TABLE_I_SPACE",
+    "VALID_PTX_LEVELS",
+    "classify_snr",
+    "compute_metrics",
+    "in_grey_zone",
+    "run_reference_campaign",
+    "simulate_link",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Analysis layer: metrics from traces, binning/statistics, channel surveys."""
+
+from .ascii_plot import scatter, side_by_side, sparkline
+from .channel_stats import (
+    RssiSurvey,
+    SnrDistributions,
+    path_loss_fit_from_survey,
+    rssi_deviation_table,
+    snr_distributions,
+    survey_rssi,
+)
+from .metrics import LinkMetrics, compute_metrics
+from .timeseries import (
+    MetricSeries,
+    delivery_ratio_over_time,
+    detect_degradation,
+    goodput_over_time,
+    per_over_time,
+)
+from .stats import (
+    BinnedSeries,
+    bin_series,
+    bootstrap_ci,
+    coefficient_of_variation_squared,
+    relative_error,
+    snr_bin_edges,
+)
+
+__all__ = [
+    "BinnedSeries",
+    "scatter",
+    "side_by_side",
+    "sparkline",
+    "LinkMetrics",
+    "MetricSeries",
+    "RssiSurvey",
+    "SnrDistributions",
+    "bin_series",
+    "bootstrap_ci",
+    "coefficient_of_variation_squared",
+    "compute_metrics",
+    "delivery_ratio_over_time",
+    "detect_degradation",
+    "goodput_over_time",
+    "path_loss_fit_from_survey",
+    "per_over_time",
+    "relative_error",
+    "rssi_deviation_table",
+    "snr_bin_edges",
+    "snr_distributions",
+    "survey_rssi",
+]

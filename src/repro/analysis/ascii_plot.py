@@ -1,0 +1,118 @@
+"""Minimal ASCII plotting for benchmark and CLI output.
+
+The benchmark harness prints the series behind each of the paper's figures;
+these helpers render them as terminal sparklines and scatter grids so a
+human can eyeball the *shape* (decay, saturation, crossover) directly in
+``bench_output.txt`` without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line unicode sparkline of a numeric series.
+
+    NaNs render as spaces. ``width`` subsamples evenly when the series is
+    longer than the budget.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ReproError("cannot sparkline an empty series")
+    if width is not None:
+        if width < 1:
+            raise ReproError(f"width must be >= 1, got {width!r}")
+        if len(data) > width:
+            step = len(data) / width
+            data = [data[int(i * step)] for i in range(width)]
+    finite = [v for v in data if not math.isnan(v)]
+    if not finite:
+        return " " * len(data)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in data:
+        if math.isnan(v):
+            chars.append(" ")
+            continue
+        if span == 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[idx])
+    return "".join(chars)
+
+
+def scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 14,
+    marker: str = "*",
+) -> str:
+    """A multi-line ASCII scatter plot with min/max axis labels."""
+    if len(x) != len(y):
+        raise ReproError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    points = [
+        (float(a), float(b))
+        for a, b in zip(x, y)
+        if not (math.isnan(a) or math.isnan(b))
+    ]
+    if not points:
+        raise ReproError("no finite points to plot")
+    if width < 8 or height < 4:
+        raise ReproError("plot must be at least 8x4")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for a, b in points:
+        col = int((a - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((b - y_lo) / y_span * (height - 1))
+        grid[row][col] = marker
+    lines = []
+    for i, row in enumerate(grid):
+        label = f"{y_hi:8.3g} |" if i == 0 else (
+            f"{y_lo:8.3g} |" if i == height - 1 else " " * 9 + "|"
+        )
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_lo:<10.4g}" + " " * max(0, width - 20) + f"{x_hi:>10.4g}"
+    )
+    return "\n".join(lines)
+
+
+def side_by_side(
+    labels: Sequence[str], blocks: Sequence[str], gap: int = 4
+) -> str:
+    """Join multi-line text blocks horizontally under their labels."""
+    if len(labels) != len(blocks):
+        raise ReproError("labels and blocks must match")
+    if not blocks:
+        raise ReproError("nothing to join")
+    split = [b.splitlines() for b in blocks]
+    heights = [len(s) for s in split]
+    widths = [max((len(line) for line in s), default=0) for s in split]
+    rows = max(heights)
+    out_lines: List[str] = []
+    header = (" " * gap).join(
+        label.center(width) for label, width in zip(labels, widths)
+    )
+    out_lines.append(header)
+    for r in range(rows):
+        cells = []
+        for s, w in zip(split, widths):
+            cell = s[r] if r < len(s) else ""
+            cells.append(cell.ljust(w))
+        out_lines.append((" " * gap).join(cells))
+    return "\n".join(out_lines)

@@ -1,0 +1,142 @@
+"""Channel characterization (the paper's Sec. III-A, Figs. 3–5).
+
+These functions regenerate the paper's channel figures from the simulated
+environment: mean RSSI versus distance and the fitted path-loss model
+(Fig. 3), per-(distance, P_tx) RSSI deviation (Fig. 4), and the real-noise
+versus constant-noise SNR distributions (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..channel.environment import Environment
+from ..channel.link import LinkChannel
+from ..channel.noise import CONSTANT_NOISE_DBM
+from ..channel.pathloss import fit_path_loss
+from ..errors import ChannelError
+from ..radio import cc2420
+
+
+@dataclass(frozen=True)
+class RssiSurvey:
+    """RSSI sample statistics for one (distance, P_tx) cell."""
+
+    distance_m: float
+    ptx_level: int
+    mean_rssi_dbm: float
+    std_rssi_db: float
+    n_samples: int
+
+
+def survey_rssi(
+    environment: Environment,
+    distances_m: Sequence[float],
+    ptx_levels: Sequence[int],
+    n_samples: int = 500,
+    interval_s: float = 0.1,
+    seed: int = 0,
+) -> List[RssiSurvey]:
+    """Sample RSSI over time for each (distance, P_tx) cell (Figs. 3–4)."""
+    if n_samples < 2:
+        raise ChannelError(f"need at least 2 samples per cell, got {n_samples!r}")
+    surveys = []
+    for di, distance in enumerate(distances_m):
+        for pi, level in enumerate(ptx_levels):
+            rng = np.random.default_rng((seed, di, pi))
+            channel = LinkChannel(environment, distance, level, rng)
+            rssi = np.array(
+                [channel.sample(i * interval_s).rssi_dbm for i in range(n_samples)]
+            )
+            surveys.append(
+                RssiSurvey(
+                    distance_m=distance,
+                    ptx_level=level,
+                    mean_rssi_dbm=float(rssi.mean()),
+                    std_rssi_db=float(rssi.std(ddof=1)),
+                    n_samples=n_samples,
+                )
+            )
+    return surveys
+
+
+def path_loss_fit_from_survey(
+    surveys: Sequence[RssiSurvey], ptx_level: int = 31
+) -> Dict[str, float]:
+    """Fit the log-normal model to a survey at one power level (Fig. 3)."""
+    cells = [s for s in surveys if s.ptx_level == ptx_level]
+    if len(cells) < 3:
+        raise ChannelError(
+            f"need >= 3 distances at P_tx {ptx_level} to fit, got {len(cells)}"
+        )
+    distances = np.array([s.distance_m for s in cells])
+    rssi = np.array([s.mean_rssi_dbm for s in cells])
+    return fit_path_loss(distances, rssi, cc2420.output_power_dbm(ptx_level))
+
+
+def rssi_deviation_table(
+    surveys: Sequence[RssiSurvey],
+) -> Dict[Tuple[float, int], float]:
+    """(distance, P_tx) → RSSI standard deviation (Fig. 4's content)."""
+    return {(s.distance_m, s.ptx_level): s.std_rssi_db for s in surveys}
+
+
+@dataclass(frozen=True)
+class SnrDistributions:
+    """Real-noise vs constant-noise SNR samples for one link (Fig. 5)."""
+
+    real_snr_db: np.ndarray
+    constant_noise_snr_db: np.ndarray
+
+    @property
+    def real_mean(self) -> float:
+        return float(self.real_snr_db.mean())
+
+    @property
+    def constant_mean(self) -> float:
+        return float(self.constant_noise_snr_db.mean())
+
+    @property
+    def real_std(self) -> float:
+        return float(self.real_snr_db.std(ddof=1))
+
+    @property
+    def constant_std(self) -> float:
+        return float(self.constant_noise_snr_db.std(ddof=1))
+
+    def histogram(self, which: str = "real", bin_width_db: float = 1.0):
+        """(bin_centers, density) for plotting/printing the distribution."""
+        data = self.real_snr_db if which == "real" else self.constant_noise_snr_db
+        lo = np.floor(data.min()) - 1
+        hi = np.ceil(data.max()) + 1
+        edges = np.arange(lo, hi + bin_width_db / 2, bin_width_db)
+        density, _ = np.histogram(data, bins=edges, density=True)
+        centers = (edges[:-1] + edges[1:]) / 2
+        return centers, density
+
+
+def snr_distributions(
+    environment: Environment,
+    distance_m: float,
+    ptx_level: int,
+    n_samples: int = 20000,
+    interval_s: float = 0.05,
+    seed: int = 0,
+) -> SnrDistributions:
+    """Sample the two SNR views the paper contrasts in Fig. 5.
+
+    The "real" SNR subtracts a fresh noise-floor sample per packet; the
+    "constant" view subtracts the fixed −95 dBm average.
+    """
+    rng = np.random.default_rng(seed)
+    channel = LinkChannel(environment, distance_m, ptx_level, rng)
+    real = np.empty(n_samples)
+    constant = np.empty(n_samples)
+    for i in range(n_samples):
+        sample = channel.sample(i * interval_s)
+        real[i] = sample.snr_db
+        constant[i] = sample.rssi_dbm - CONSTANT_NOISE_DBM
+    return SnrDistributions(real_snr_db=real, constant_noise_snr_db=constant)

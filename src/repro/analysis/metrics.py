@@ -1,0 +1,141 @@
+"""Performance metrics computed from a link trace.
+
+These are the paper's four metric families (Sec. IV–VII) plus the PHY-level
+PER of Sec. III-B, computed exactly as the paper defines them:
+
+* ``per`` — unacknowledged transmissions over total transmissions (Eq. 1);
+* ``energy_per_info_bit_j`` — measured U_eng: TX energy per successfully
+  delivered payload bit (Eq. 2's measured counterpart);
+* ``goodput_bps`` — delivered unique payload bits per unit time;
+* ``mean_delay_s`` — generation-to-first-reception delay of delivered
+  packets (queueing + service);
+* ``plr_radio`` / ``plr_queue`` / ``plr_total`` — the Sec. VII loss split.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..sim.trace import LinkTrace, PacketFate
+
+
+@dataclass(frozen=True)
+class LinkMetrics:
+    """Aggregate performance of one configuration run."""
+
+    n_packets: int
+    n_delivered: int
+    n_queue_dropped: int
+    n_radio_dropped: int
+    n_transmissions: int
+    n_acked_transmissions: int
+    duration_s: float
+    goodput_bps: float
+    per: float
+    plr_radio: float
+    plr_queue: float
+    plr_total: float
+    mean_delay_s: float
+    p95_delay_s: float
+    mean_queueing_delay_s: float
+    mean_service_time_s: float
+    mean_tries: float
+    energy_per_info_bit_j: float
+    tx_energy_j: float
+    mean_rssi_dbm: float
+    mean_snr_db: float
+    mean_lqi: float
+
+    @property
+    def goodput_kbps(self) -> float:
+        """Goodput in kb/s, the unit of the paper's Fig. 10 / Table IV."""
+        return self.goodput_bps / 1e3
+
+    @property
+    def energy_per_info_bit_uj(self) -> float:
+        """U_eng in µJ/bit, the unit of the paper's Table IV."""
+        return self.energy_per_info_bit_j * 1e6
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of generated packets eventually acknowledged."""
+        if self.n_packets == 0:
+            return 0.0
+        return self.n_delivered / self.n_packets
+
+
+def _mean(values) -> float:
+    arr = np.asarray([v for v in values if v is not None], dtype=float)
+    return float(arr.mean()) if arr.size else math.nan
+
+
+def _percentile(values, q: float) -> float:
+    arr = np.asarray([v for v in values if v is not None], dtype=float)
+    return float(np.percentile(arr, q)) if arr.size else math.nan
+
+
+def compute_metrics(trace: LinkTrace) -> LinkMetrics:
+    """Aggregate a trace into :class:`LinkMetrics`.
+
+    The goodput window is the trace duration (first arrival to last MAC
+    activity); a trace with zero duration (single instantaneous packet)
+    reports zero goodput rather than dividing by zero.
+    """
+    if not trace.packets:
+        raise SimulationError("cannot compute metrics for an empty trace")
+    delivered = trace.packets_with_fate(PacketFate.DELIVERED)
+    queue_drops = trace.packets_with_fate(PacketFate.QUEUE_DROP)
+    radio_drops = trace.packets_with_fate(PacketFate.RADIO_DROP)
+    n_packets = len(trace.packets)
+
+    n_tx = trace.n_transmissions
+    n_acked_tx = trace.n_acked_transmissions
+    per = 1.0 - (n_acked_tx / n_tx) if n_tx else 0.0
+
+    serviced = delivered + radio_drops
+    plr_radio = (len(radio_drops) / len(serviced)) if serviced else 0.0
+    plr_queue = len(queue_drops) / n_packets
+    plr_total = (len(queue_drops) + len(radio_drops)) / n_packets
+
+    delivered_bits = sum(p.payload_bytes * 8 for p in delivered)
+    goodput = delivered_bits / trace.duration_s if trace.duration_s > 0 else 0.0
+
+    energy_per_bit = (
+        trace.tx_energy_j / delivered_bits if delivered_bits else math.inf
+    )
+
+    if trace.transmissions:
+        rssi = _mean(t.rssi_dbm for t in trace.transmissions)
+        snr = _mean(t.snr_db for t in trace.transmissions)
+        lqi = _mean(t.lqi for t in trace.transmissions)
+    else:
+        rssi = snr = lqi = math.nan
+
+    return LinkMetrics(
+        n_packets=n_packets,
+        n_delivered=len(delivered),
+        n_queue_dropped=len(queue_drops),
+        n_radio_dropped=len(radio_drops),
+        n_transmissions=n_tx,
+        n_acked_transmissions=n_acked_tx,
+        duration_s=trace.duration_s,
+        goodput_bps=goodput,
+        per=per,
+        plr_radio=plr_radio,
+        plr_queue=plr_queue,
+        plr_total=plr_total,
+        mean_delay_s=_mean(p.delay_s for p in delivered),
+        p95_delay_s=_percentile([p.delay_s for p in delivered], 95.0),
+        mean_queueing_delay_s=_mean(p.queueing_delay_s for p in serviced),
+        mean_service_time_s=_mean(p.service_time_s for p in serviced),
+        mean_tries=_mean(p.n_tries for p in serviced),
+        energy_per_info_bit_j=energy_per_bit,
+        tx_energy_j=trace.tx_energy_j,
+        mean_rssi_dbm=rssi,
+        mean_snr_db=snr,
+        mean_lqi=lqi,
+    )

@@ -1,0 +1,122 @@
+"""Binning, summary statistics and confidence intervals for campaign data.
+
+The paper's figures are almost all "metric versus SNR" plots built by
+grouping per-packet (or per-configuration) observations into SNR bins; this
+module provides that machinery plus bootstrap confidence intervals used in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class BinnedSeries:
+    """A metric aggregated over bins of an independent variable."""
+
+    centers: np.ndarray
+    means: np.ndarray
+    stds: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.centers.size
+        if not (self.means.size == self.stds.size == self.counts.size == n):
+            raise ReproError("binned series arrays must have equal length")
+
+    def nonempty(self) -> "BinnedSeries":
+        """Drop empty bins."""
+        mask = self.counts > 0
+        return BinnedSeries(
+            centers=self.centers[mask],
+            means=self.means[mask],
+            stds=self.stds[mask],
+            counts=self.counts[mask],
+        )
+
+
+def bin_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    edges: Sequence[float],
+) -> BinnedSeries:
+    """Mean/std of ``y`` grouped into bins of ``x`` defined by ``edges``."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ReproError(f"x and y must match, got {x_arr.shape} vs {y_arr.shape}")
+    edge_arr = np.asarray(edges, dtype=float)
+    if edge_arr.size < 2 or np.any(np.diff(edge_arr) <= 0):
+        raise ReproError("bin edges must be increasing with at least 2 entries")
+    n_bins = edge_arr.size - 1
+    idx = np.digitize(x_arr, edge_arr) - 1
+    centers = (edge_arr[:-1] + edge_arr[1:]) / 2.0
+    means = np.full(n_bins, np.nan)
+    stds = np.full(n_bins, np.nan)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    for b in range(n_bins):
+        mask = idx == b
+        counts[b] = int(mask.sum())
+        if counts[b]:
+            means[b] = float(y_arr[mask].mean())
+            stds[b] = float(y_arr[mask].std(ddof=1)) if counts[b] > 1 else 0.0
+    return BinnedSeries(centers=centers, means=means, stds=stds, counts=counts)
+
+
+def snr_bin_edges(
+    lo_db: float = 0.0, hi_db: float = 40.0, width_db: float = 1.0
+) -> np.ndarray:
+    """The default SNR binning used by the figure benches."""
+    if width_db <= 0 or hi_db <= lo_db:
+        raise ReproError("invalid SNR bin specification")
+    return np.arange(lo_db, hi_db + width_db / 2, width_db)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Percentile-bootstrap confidence interval.
+
+    Returns ``(point_estimate, lo, hi)``.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ReproError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ReproError(f"confidence must be in (0, 1), got {confidence!r}")
+    rng = np.random.default_rng(seed)
+    point = float(statistic(arr))
+    resampled = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resampled[i] = statistic(rng.choice(arr, size=arr.size, replace=True))
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(resampled, [alpha, 1.0 - alpha])
+    return point, float(lo), float(hi)
+
+
+def coefficient_of_variation_squared(values: Sequence[float]) -> float:
+    """Squared coefficient of variation (used for M/G/1 wait estimates)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        raise ReproError("need at least 2 values for a variation coefficient")
+    mean = arr.mean()
+    if mean == 0:
+        raise ReproError("mean is zero; CV is undefined")
+    return float(arr.var(ddof=1) / mean**2)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured − reference| / |reference|; used in EXPERIMENTS.md tables."""
+    if reference == 0:
+        raise ReproError("reference value is zero; relative error undefined")
+    return abs(measured - reference) / abs(reference)

@@ -1,0 +1,153 @@
+"""Sliding-window time series over a link trace.
+
+Turns a per-packet trace into time-resolved metric series — PER over time,
+goodput over time, delivery ratio over time — which is how one *sees*
+non-stationary behaviour (mobility walks, shadowing events, interferer
+bursts) that whole-run aggregates average away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..sim.trace import LinkTrace
+
+
+@dataclass(frozen=True)
+class MetricSeries:
+    """A time-resolved metric: window centers and per-window values."""
+
+    times_s: np.ndarray
+    values: np.ndarray
+    counts: np.ndarray
+    metric: str
+
+    def __post_init__(self) -> None:
+        if not (self.times_s.size == self.values.size == self.counts.size):
+            raise ReproError("series arrays must have equal length")
+
+    def nonempty(self) -> "MetricSeries":
+        """Drop windows with no observations."""
+        mask = self.counts > 0
+        return MetricSeries(
+            times_s=self.times_s[mask],
+            values=self.values[mask],
+            counts=self.counts[mask],
+            metric=self.metric,
+        )
+
+
+def _window_edges(duration_s: float, window_s: float) -> np.ndarray:
+    if window_s <= 0:
+        raise ReproError(f"window_s must be positive, got {window_s!r}")
+    if duration_s <= 0:
+        raise ReproError(f"trace duration must be positive, got {duration_s!r}")
+    n = max(1, int(np.ceil(duration_s / window_s)))
+    return np.arange(0.0, (n + 1) * window_s, window_s)[: n + 1]
+
+
+def per_over_time(trace: LinkTrace, window_s: float = 1.0) -> MetricSeries:
+    """Windowed PER (Eq. 1) from the transmission log."""
+    if not trace.transmissions:
+        raise ReproError("trace has no transmission log")
+    edges = _window_edges(trace.duration_s, window_s)
+    times = np.array([t.tx_time_s for t in trace.transmissions])
+    acked = np.array([t.acked for t in trace.transmissions])
+    idx = np.clip(np.digitize(times, edges) - 1, 0, edges.size - 2)
+    n_windows = edges.size - 1
+    counts = np.zeros(n_windows)
+    failures = np.zeros(n_windows)
+    np.add.at(counts, idx, 1.0)
+    np.add.at(failures, idx, (~acked).astype(float))
+    with np.errstate(invalid="ignore"):
+        values = np.where(counts > 0, failures / np.maximum(counts, 1), np.nan)
+    centers = (edges[:-1] + edges[1:]) / 2
+    return MetricSeries(
+        times_s=centers, values=values, counts=counts.astype(int), metric="per"
+    )
+
+
+def goodput_over_time(trace: LinkTrace, window_s: float = 1.0) -> MetricSeries:
+    """Windowed goodput (delivered payload bits per second)."""
+    if not trace.packets:
+        raise ReproError("trace has no packets")
+    edges = _window_edges(trace.duration_s, window_s)
+    n_windows = edges.size - 1
+    bits = np.zeros(n_windows)
+    counts = np.zeros(n_windows)
+    for packet in trace.packets:
+        if packet.first_delivery_s is None or not packet.delivered:
+            continue
+        w = int(
+            np.clip(
+                np.digitize(packet.first_delivery_s, edges) - 1,
+                0,
+                n_windows - 1,
+            )
+        )
+        bits[w] += packet.payload_bytes * 8
+        counts[w] += 1
+    centers = (edges[:-1] + edges[1:]) / 2
+    return MetricSeries(
+        times_s=centers,
+        values=bits / window_s,
+        counts=counts.astype(int),
+        metric="goodput_bps",
+    )
+
+
+def delivery_ratio_over_time(
+    trace: LinkTrace, window_s: float = 1.0
+) -> MetricSeries:
+    """Windowed fraction of generated packets eventually acknowledged."""
+    if not trace.packets:
+        raise ReproError("trace has no packets")
+    edges = _window_edges(trace.duration_s, window_s)
+    n_windows = edges.size - 1
+    generated = np.zeros(n_windows)
+    delivered = np.zeros(n_windows)
+    for packet in trace.packets:
+        w = int(
+            np.clip(np.digitize(packet.generated_s, edges) - 1, 0, n_windows - 1)
+        )
+        generated[w] += 1
+        if packet.delivered:
+            delivered[w] += 1
+    with np.errstate(invalid="ignore"):
+        values = np.where(
+            generated > 0, delivered / np.maximum(generated, 1), np.nan
+        )
+    centers = (edges[:-1] + edges[1:]) / 2
+    return MetricSeries(
+        times_s=centers,
+        values=values,
+        counts=generated.astype(int),
+        metric="delivery_ratio",
+    )
+
+
+def detect_degradation(
+    series: MetricSeries,
+    threshold: float,
+    above_is_bad: bool = True,
+    min_count: int = 5,
+) -> Optional[float]:
+    """First window center where a metric crosses a degradation threshold.
+
+    Windows with fewer than ``min_count`` observations are skipped (noise).
+    Returns None when the series never degrades.
+    """
+    if min_count < 1:
+        raise ReproError(f"min_count must be >= 1, got {min_count!r}")
+    for t, value, count in zip(series.times_s, series.values, series.counts):
+        if count < min_count or np.isnan(value):
+            continue
+        if (above_is_bad and value > threshold) or (
+            not above_is_bad and value < threshold
+        ):
+            return float(t)
+    return None

@@ -1,0 +1,31 @@
+"""Measurement-campaign harness: sweep runner, datasets, direct SNR sweeps.
+
+Reconstructs the paper's data-collection machinery (Sec. II-C): iterate the
+Table I configuration space, log per-configuration summaries, persist and
+re-query them.
+"""
+
+from .checkpoint import run_campaign_checkpointed
+from .dataset import CampaignDataset
+from .parallel import run_campaign_parallel
+from .queries import AggregateRow, aggregate, best_configs, group_by, metric_vs_snr
+from .runner import CampaignRunner, run_reference_campaign
+from .snr_sweep import SweepPoint, points_as_arrays, sweep_snr_payload
+from .summary import ConfigSummary
+
+__all__ = [
+    "AggregateRow",
+    "CampaignDataset",
+    "CampaignRunner",
+    "ConfigSummary",
+    "SweepPoint",
+    "aggregate",
+    "best_configs",
+    "group_by",
+    "metric_vs_snr",
+    "points_as_arrays",
+    "run_campaign_checkpointed",
+    "run_campaign_parallel",
+    "run_reference_campaign",
+    "sweep_snr_payload",
+]

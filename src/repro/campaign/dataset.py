@@ -1,0 +1,150 @@
+"""Campaign dataset container and persistence.
+
+A :class:`CampaignDataset` is an ordered collection of per-configuration
+summaries with query helpers shaped after how the paper slices its data
+("all runs at 35 m with Q_max = 1", "PER against SNR for every payload").
+Datasets persist as JSON-lines files: a small header line followed by one
+summary row per line — diff-friendly and loadable without the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List
+
+import numpy as np
+
+from ..errors import DatasetError
+from .summary import ConfigSummary
+
+_FORMAT = "repro-campaign-v1"
+
+
+@dataclass
+class CampaignDataset:
+    """An ordered, filterable collection of configuration summaries."""
+
+    summaries: List[ConfigSummary] = field(default_factory=list)
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+    def __iter__(self) -> Iterator[ConfigSummary]:
+        return iter(self.summaries)
+
+    def append(self, summary: ConfigSummary) -> None:
+        self.summaries.append(summary)
+
+    def extend(self, summaries: Iterable[ConfigSummary]) -> None:
+        self.summaries.extend(summaries)
+
+    # -------------------------------------------------------------- queries
+
+    def where(self, predicate: Callable[[ConfigSummary], bool]) -> "CampaignDataset":
+        """Subset by an arbitrary predicate."""
+        return CampaignDataset(
+            summaries=[s for s in self.summaries if predicate(s)],
+            description=self.description,
+        )
+
+    def select(self, **config_values: object) -> "CampaignDataset":
+        """Subset by exact config field values.
+
+        >>> dataset.select(distance_m=35.0, q_max=1)
+        """
+        valid = {
+            "distance_m",
+            "ptx_level",
+            "n_max_tries",
+            "d_retry_ms",
+            "q_max",
+            "t_pkt_ms",
+            "payload_bytes",
+        }
+        unknown = set(config_values) - valid
+        if unknown:
+            raise DatasetError(f"unknown config fields: {sorted(unknown)}")
+
+        def match(summary: ConfigSummary) -> bool:
+            return all(
+                getattr(summary.config, name) == value
+                for name, value in config_values.items()
+            )
+
+        return self.where(match)
+
+    def column(self, name: str) -> np.ndarray:
+        """A summary field (or config field) across all rows, as an array."""
+        if not self.summaries:
+            return np.empty(0)
+        first = self.summaries[0]
+        if hasattr(first.config, name):
+            return np.asarray(
+                [getattr(s.config, name) for s in self.summaries], dtype=float
+            )
+        if hasattr(first, name):
+            return np.asarray(
+                [getattr(s, name) for s in self.summaries], dtype=float
+            )
+        raise DatasetError(f"unknown column {name!r}")
+
+    def unique(self, name: str) -> List[float]:
+        """Sorted unique values of a column."""
+        return sorted(set(self.column(name).tolist()))
+
+    # -------------------------------------------------------- persistence
+
+    def save(self, path) -> None:
+        """Write as JSON lines (header + one row per summary)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as fh:
+            header = {
+                "format": _FORMAT,
+                "description": self.description,
+                "n_rows": len(self.summaries),
+            }
+            fh.write(json.dumps(header) + "\n")
+            for summary in self.summaries:
+                fh.write(json.dumps(summary.as_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "CampaignDataset":
+        """Read a dataset written by :meth:`save`."""
+        source = Path(path)
+        if not source.exists():
+            raise DatasetError(f"no dataset at {source}")
+        with source.open("r", encoding="utf-8") as fh:
+            header_line = fh.readline()
+            if not header_line:
+                raise DatasetError(f"dataset {source} is empty")
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(f"bad dataset header in {source}: {exc}") from exc
+            if header.get("format") != _FORMAT:
+                raise DatasetError(
+                    f"unsupported dataset format {header.get('format')!r} "
+                    f"(expected {_FORMAT!r})"
+                )
+            summaries = []
+            for lineno, line in enumerate(fh, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    summaries.append(ConfigSummary.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, DatasetError) as exc:
+                    raise DatasetError(
+                        f"bad summary row at {source}:{lineno}: {exc}"
+                    ) from exc
+        expected = header.get("n_rows")
+        if expected is not None and expected != len(summaries):
+            raise DatasetError(
+                f"dataset {source} truncated: header says {expected} rows, "
+                f"found {len(summaries)}"
+            )
+        return cls(summaries=summaries, description=header.get("description", ""))

@@ -1,0 +1,154 @@
+"""Dataset aggregation queries — the groupings behind the paper's figures.
+
+Every figure in the paper is an aggregation of the campaign dataset along
+one or two configuration axes ("goodput against SNR for each (Q_max,
+N_maxTries) cell", "PER per payload size"). These helpers express those
+groupings directly over a :class:`~repro.campaign.dataset.CampaignDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from .dataset import CampaignDataset
+from .summary import ConfigSummary
+
+_CONFIG_FIELDS = (
+    "distance_m",
+    "ptx_level",
+    "n_max_tries",
+    "d_retry_ms",
+    "q_max",
+    "t_pkt_ms",
+    "payload_bytes",
+)
+
+
+def _key_getter(fields: Sequence[str]) -> Callable[[ConfigSummary], Tuple]:
+    for name in fields:
+        if name not in _CONFIG_FIELDS:
+            raise DatasetError(
+                f"unknown config field {name!r}; valid: {_CONFIG_FIELDS}"
+            )
+
+    def getter(summary: ConfigSummary) -> Tuple:
+        return tuple(getattr(summary.config, name) for name in fields)
+
+    return getter
+
+
+def group_by(
+    dataset: CampaignDataset, *fields: str
+) -> Dict[Tuple, CampaignDataset]:
+    """Partition a dataset by one or more config fields.
+
+    >>> group_by(dataset, "q_max", "n_max_tries")
+    {(1, 1): <...>, (1, 5): <...>, ...}
+    """
+    if not fields:
+        raise DatasetError("group_by needs at least one field")
+    getter = _key_getter(fields)
+    groups: Dict[Tuple, CampaignDataset] = {}
+    for summary in dataset:
+        key = getter(summary)
+        groups.setdefault(
+            key, CampaignDataset(description=dataset.description)
+        ).append(summary)
+    return groups
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """One aggregated cell: grouping key plus metric statistics."""
+
+    key: Tuple
+    mean: float
+    std: float
+    count: int
+
+
+def aggregate(
+    dataset: CampaignDataset,
+    metric: str,
+    by: Sequence[str],
+) -> List[AggregateRow]:
+    """Mean/std of a summary metric per group, sorted by key.
+
+    Non-finite metric values (e.g. infinite U_eng on dead links) are
+    excluded from the statistics but still counted in ``count`` so coverage
+    is visible.
+    """
+    rows = []
+    for key, group in sorted(group_by(dataset, *by).items()):
+        values = group.column(metric)
+        finite = values[np.isfinite(values)]
+        rows.append(
+            AggregateRow(
+                key=key,
+                mean=float(finite.mean()) if finite.size else float("nan"),
+                std=(
+                    float(finite.std(ddof=1)) if finite.size > 1 else 0.0
+                ),
+                count=int(values.size),
+            )
+        )
+    return rows
+
+
+def metric_vs_snr(
+    dataset: CampaignDataset,
+    metric: str,
+    snr_bin_width_db: float = 2.0,
+) -> List[AggregateRow]:
+    """A metric binned by measured mean SNR — the x-axis of most figures."""
+    if snr_bin_width_db <= 0:
+        raise DatasetError(
+            f"snr_bin_width_db must be positive, got {snr_bin_width_db!r}"
+        )
+    snr = dataset.column("mean_snr_db")
+    values = dataset.column(metric)
+    mask = np.isfinite(snr)
+    snr, values = snr[mask], values[mask]
+    if snr.size == 0:
+        return []
+    bins = np.floor(snr / snr_bin_width_db) * snr_bin_width_db
+    rows = []
+    for edge in np.unique(bins):
+        cell = values[bins == edge]
+        finite = cell[np.isfinite(cell)]
+        rows.append(
+            AggregateRow(
+                key=(float(edge) + snr_bin_width_db / 2,),
+                mean=float(finite.mean()) if finite.size else float("nan"),
+                std=float(finite.std(ddof=1)) if finite.size > 1 else 0.0,
+                count=int(cell.size),
+            )
+        )
+    return rows
+
+
+def best_configs(
+    dataset: CampaignDataset,
+    metric: str,
+    minimize: bool = True,
+    top: int = 5,
+) -> List[ConfigSummary]:
+    """The top configurations by a measured metric (finite values only)."""
+    if top < 1:
+        raise DatasetError(f"top must be >= 1, got {top!r}")
+    candidates = [
+        s
+        for s in dataset
+        if np.isfinite(getattr(s, metric))
+    ]
+    if not candidates:
+        raise DatasetError(f"no finite values for metric {metric!r}")
+    return sorted(
+        candidates,
+        key=lambda s: getattr(s, metric),
+        reverse=not minimize,
+    )[:top]

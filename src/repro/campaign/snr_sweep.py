@@ -1,0 +1,100 @@
+"""Direct (SNR × payload) sweeps for model fitting and the PER figures.
+
+The paper's Figs. 6, 11 and 12 are functions of SNR and payload size rather
+than of the raw (distance, P_tx) grid, so the cleanest reproduction sweeps
+commanded mean SNR directly using the vectorized link engine. Each sweep
+point reports the measured PER, loss rate, transmission count and the
+per-transmission SNR samples the paper's scatter plots are made of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..channel.environment import Environment, HALLWAY_2012
+from ..errors import CampaignError
+from ..sim.fastlink import FastLink, FastLinkResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (mean SNR, payload, N_maxTries) cell of a sweep."""
+
+    mean_snr_db: float
+    payload_bytes: int
+    n_max_tries: int
+    per: float
+    plr_radio: float
+    mean_tries: float
+    mean_service_time_s: float
+    goodput_bps: float
+    measured_snr_db: float
+    n_packets: int
+
+
+def sweep_snr_payload(
+    snr_values_db: Sequence[float],
+    payload_values_bytes: Sequence[int],
+    n_packets: int = 2000,
+    n_max_tries: int = 1,
+    d_retry_ms: float = 0.0,
+    environment: Optional[Environment] = None,
+    seed: int = 0,
+    snr_jitter_db: Optional[float] = None,
+) -> List[SweepPoint]:
+    """Run the vectorized link over an (SNR × payload) grid."""
+    if not snr_values_db or not payload_values_bytes:
+        raise CampaignError("sweep axes must be non-empty")
+    env = environment or HALLWAY_2012
+    points: List[SweepPoint] = []
+    for i, snr in enumerate(snr_values_db):
+        for j, payload in enumerate(payload_values_bytes):
+            link = FastLink(
+                environment=env,
+                seed=(seed * 1_000_003 + i * 1009 + j),
+                snr_jitter_db=snr_jitter_db,
+            )
+            result = link.run(
+                mean_snr_db=float(snr),
+                payload_bytes=int(payload),
+                n_packets=n_packets,
+                n_max_tries=n_max_tries,
+                d_retry_ms=d_retry_ms,
+            )
+            points.append(_to_point(result, d_retry_ms))
+    return points
+
+
+def _to_point(result: FastLinkResult, d_retry_ms: float) -> SweepPoint:
+    measured = (
+        float(result.snr_samples_db.mean())
+        if result.snr_samples_db.size
+        else result.mean_snr_db
+    )
+    return SweepPoint(
+        mean_snr_db=result.mean_snr_db,
+        payload_bytes=result.payload_bytes,
+        n_max_tries=result.n_max_tries,
+        per=result.per,
+        plr_radio=result.plr_radio,
+        mean_tries=result.mean_tries,
+        mean_service_time_s=result.mean_service_time_s,
+        goodput_bps=result.goodput_bps,
+        measured_snr_db=measured,
+        n_packets=result.n_packets,
+    )
+
+
+def points_as_arrays(points: Sequence[SweepPoint]):
+    """(payload, snr, per, plr, tries) arrays from sweep points."""
+    if not points:
+        raise CampaignError("no sweep points")
+    payload = np.asarray([p.payload_bytes for p in points], dtype=float)
+    snr = np.asarray([p.measured_snr_db for p in points], dtype=float)
+    per = np.asarray([p.per for p in points], dtype=float)
+    plr = np.asarray([p.plr_radio for p in points], dtype=float)
+    tries = np.asarray([p.mean_tries for p in points], dtype=float)
+    return payload, snr, per, plr, tries

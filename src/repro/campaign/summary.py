@@ -1,0 +1,122 @@
+"""Per-configuration summary records — the rows of a campaign dataset.
+
+The paper's public dataset aggregates per-packet logs into per-configuration
+statistics; :class:`ConfigSummary` is that row. It is deliberately a plain
+serializable record (dict round-trip) so datasets can be written as JSON
+lines and reloaded without the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, Mapping
+
+from ..analysis.metrics import LinkMetrics
+from ..config import StackConfig
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True)
+class ConfigSummary:
+    """Aggregated measurement of one configuration run."""
+
+    config: StackConfig
+    engine: str
+    n_packets: int
+    seed: int
+    mean_snr_db: float
+    mean_rssi_dbm: float
+    per: float
+    plr_radio: float
+    plr_queue: float
+    plr_total: float
+    goodput_kbps: float
+    mean_delay_ms: float
+    mean_service_time_ms: float
+    mean_tries: float
+    u_eng_uj_per_bit: float
+    duration_s: float
+
+    @classmethod
+    def from_metrics(
+        cls,
+        config: StackConfig,
+        metrics: LinkMetrics,
+        engine: str,
+        seed: int,
+    ) -> "ConfigSummary":
+        """Build a summary row from a trace's computed metrics."""
+        return cls(
+            config=config,
+            engine=engine,
+            n_packets=metrics.n_packets,
+            seed=seed,
+            mean_snr_db=metrics.mean_snr_db,
+            mean_rssi_dbm=metrics.mean_rssi_dbm,
+            per=metrics.per,
+            plr_radio=metrics.plr_radio,
+            plr_queue=metrics.plr_queue,
+            plr_total=metrics.plr_total,
+            goodput_kbps=metrics.goodput_kbps,
+            mean_delay_ms=metrics.mean_delay_s * 1e3,
+            mean_service_time_ms=metrics.mean_service_time_s * 1e3,
+            mean_tries=metrics.mean_tries,
+            u_eng_uj_per_bit=metrics.energy_per_info_bit_uj,
+            duration_s=metrics.duration_s,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict with the config inlined; JSON-safe (inf/nan → None)."""
+        row: Dict[str, object] = dict(self.config.as_dict())
+        for name, value in asdict(self).items():
+            if name == "config":
+                continue
+            if isinstance(value, float) and not math.isfinite(value):
+                value = None
+            row[name] = value
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, object]) -> "ConfigSummary":
+        """Inverse of :meth:`as_dict`."""
+        config_fields = {
+            "distance_m",
+            "ptx_level",
+            "n_max_tries",
+            "d_retry_ms",
+            "q_max",
+            "t_pkt_ms",
+            "payload_bytes",
+        }
+        try:
+            config = StackConfig.from_dict(
+                {k: row[k] for k in config_fields}
+            )
+        except KeyError as exc:
+            raise DatasetError(f"summary row missing config field {exc}") from None
+        kwargs: Dict[str, object] = {}
+        for name in (
+            "engine",
+            "n_packets",
+            "seed",
+            "mean_snr_db",
+            "mean_rssi_dbm",
+            "per",
+            "plr_radio",
+            "plr_queue",
+            "plr_total",
+            "goodput_kbps",
+            "mean_delay_ms",
+            "mean_service_time_ms",
+            "mean_tries",
+            "u_eng_uj_per_bit",
+            "duration_s",
+        ):
+            if name not in row:
+                raise DatasetError(f"summary row missing field {name!r}")
+            value = row[name]
+            if value is None:
+                value = math.inf if name == "u_eng_uj_per_bit" else math.nan
+            kwargs[name] = value
+        return cls(config=config, **kwargs)  # type: ignore[arg-type]

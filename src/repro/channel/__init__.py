@@ -1,0 +1,42 @@
+"""Channel substrate: path loss, noise floor, fading, composed link channel.
+
+Reconstructs the paper's hallway radio environment (Sec. II-B, Sec. III-A):
+log-normal shadowing with n = 2.19 / σ = 3.2 (Fig. 3), a −95 dBm-average
+fluctuating noise floor (Fig. 5), position-dependent RSSI variability with
+human shadowing at 35 m (Fig. 4).
+"""
+
+from .budget import LinkBudget, LinkBudgetRow
+from .environment import Environment, HALLWAY_2012, QUIET_HALLWAY
+from .fading import HumanShadowingConfig, ShadowingProcess
+from .link import ChannelSample, LinkChannel, TransmissionOutcome
+from .noise import CONSTANT_NOISE_DBM, ConstantNoiseFloor, NoiseFloorModel, NoiseMode
+from .pathloss import (
+    CAMPAIGN_POSITION_OFFSETS_DB,
+    DEFAULT_PATH_LOSS_EXPONENT,
+    DEFAULT_SHADOWING_SIGMA_DB,
+    LogNormalShadowing,
+    fit_path_loss,
+)
+
+__all__ = [
+    "CAMPAIGN_POSITION_OFFSETS_DB",
+    "CONSTANT_NOISE_DBM",
+    "ChannelSample",
+    "ConstantNoiseFloor",
+    "DEFAULT_PATH_LOSS_EXPONENT",
+    "DEFAULT_SHADOWING_SIGMA_DB",
+    "Environment",
+    "HALLWAY_2012",
+    "HumanShadowingConfig",
+    "LinkBudget",
+    "LinkBudgetRow",
+    "LinkChannel",
+    "LogNormalShadowing",
+    "NoiseFloorModel",
+    "NoiseMode",
+    "QUIET_HALLWAY",
+    "ShadowingProcess",
+    "TransmissionOutcome",
+    "fit_path_loss",
+]

@@ -1,0 +1,133 @@
+"""Link-budget planning on the reconstructed channel.
+
+Deployment questions the paper's channel model can answer directly: how much
+SNR margin does a position have at each power level, what is the maximum
+distance at which a payload still clears its zone threshold, and which is
+the cheapest power level for a target distance. Used by the guidelines
+examples and exposed on the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ChannelError
+from ..radio import cc2420
+from .environment import Environment
+
+
+@dataclass(frozen=True)
+class LinkBudgetRow:
+    """Budget at one (distance, power level) point."""
+
+    distance_m: float
+    ptx_level: int
+    tx_power_dbm: float
+    path_loss_db: float
+    mean_rssi_dbm: float
+    mean_snr_db: float
+
+    @property
+    def sensitivity_margin_db(self) -> float:
+        """RSSI headroom over the CC2420 sensitivity."""
+        return self.mean_rssi_dbm - cc2420.SENSITIVITY_DBM
+
+    def snr_margin_over(self, threshold_db: float) -> float:
+        """SNR headroom over an arbitrary threshold (e.g. a zone border)."""
+        return self.mean_snr_db - threshold_db
+
+
+class LinkBudget:
+    """Budget calculator for one environment.
+
+    Uses the long-run mean channel (frozen position shadowing included,
+    temporal fading excluded); subtract a fading margin of 2–3σ for
+    conservative planning.
+    """
+
+    def __init__(self, environment: Environment) -> None:
+        self.environment = environment
+
+    def at(self, distance_m: float, ptx_level: int) -> LinkBudgetRow:
+        """The budget at one point."""
+        if distance_m <= 0:
+            raise ChannelError(f"distance must be positive, got {distance_m!r}")
+        tx_dbm = cc2420.output_power_dbm(ptx_level)
+        loss = self.environment.pathloss.loss_db(distance_m)
+        rssi = tx_dbm - loss
+        return LinkBudgetRow(
+            distance_m=distance_m,
+            ptx_level=ptx_level,
+            tx_power_dbm=tx_dbm,
+            path_loss_db=loss,
+            mean_rssi_dbm=rssi,
+            mean_snr_db=rssi - self.environment.noise.mean_dbm,
+        )
+
+    def table(
+        self, distance_m: float, levels: Optional[Tuple[int, ...]] = None
+    ) -> List[LinkBudgetRow]:
+        """Budget rows for every power level at one distance."""
+        return [
+            self.at(distance_m, level)
+            for level in (levels or cc2420.PA_LEVELS)
+        ]
+
+    def cheapest_level_for_snr(
+        self, distance_m: float, required_snr_db: float
+    ) -> Optional[int]:
+        """Lowest power level whose mean SNR meets a requirement, or None."""
+        for row in self.table(distance_m):
+            if row.mean_snr_db >= required_snr_db:
+                return row.ptx_level
+        return None
+
+    def max_distance_for_snr(
+        self,
+        ptx_level: int,
+        required_snr_db: float,
+        lo_m: float = 0.5,
+        hi_m: float = 500.0,
+        tolerance_m: float = 0.01,
+    ) -> float:
+        """Largest distance (by median path loss) meeting an SNR requirement.
+
+        Bisects on the *median* loss (ignoring per-position shadowing, which
+        is not defined between survey points). Raises when even ``lo_m``
+        fails; returns ``hi_m`` when the whole range passes.
+        """
+        if lo_m <= 0 or hi_m <= lo_m:
+            raise ChannelError("need 0 < lo_m < hi_m")
+        tx_dbm = cc2420.output_power_dbm(ptx_level)
+        noise = self.environment.noise.mean_dbm
+
+        def snr_at(distance: float) -> float:
+            return tx_dbm - self.environment.pathloss.median_loss_db(distance) - noise
+
+        if snr_at(lo_m) < required_snr_db:
+            raise ChannelError(
+                f"even {lo_m} m misses {required_snr_db} dB at level {ptx_level}"
+            )
+        if snr_at(hi_m) >= required_snr_db:
+            return hi_m
+        lo, hi = lo_m, hi_m
+        while hi - lo > tolerance_m:
+            mid = (lo + hi) / 2
+            if snr_at(mid) >= required_snr_db:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def coverage_map(
+        self, required_snr_db: float
+    ) -> Dict[int, float]:
+        """Level → max distance (median loss) meeting an SNR requirement."""
+        out: Dict[int, float] = {}
+        for level in cc2420.PA_LEVELS:
+            try:
+                out[level] = self.max_distance_for_snr(level, required_snr_db)
+            except ChannelError:
+                continue
+        return out

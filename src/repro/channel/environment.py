@@ -1,0 +1,99 @@
+"""Radio environments: the composition of path loss, noise, fading and BER.
+
+An :class:`Environment` bundles everything needed to turn a (distance, TX
+power) pair into per-packet SNR samples and frame error probabilities. The
+:data:`HALLWAY_2012` preset reconstructs the paper's 2 m × 40 m university
+hallway: log-normal path loss fitted at n = 2.19 / σ = 3.2, a ≈ −95 dBm
+average noise floor, moderate slow/fast fading, extra human shadowing at the
+35 m position, and the calibrated empirical-exponential BER (see
+``repro.radio.ber``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+from ..errors import ChannelError
+from ..radio.ber import AnalyticOQPSKBer, BitErrorModel, EmpiricalExpBer
+from .fading import HumanShadowingConfig
+from .noise import ConstantNoiseFloor, NoiseFloorModel
+from .pathloss import LogNormalShadowing
+
+
+@dataclass(frozen=True)
+class Environment:
+    """A complete radio environment for the link simulator."""
+
+    name: str = "hallway-2012"
+    pathloss: LogNormalShadowing = field(default_factory=LogNormalShadowing)
+    noise: object = field(default_factory=NoiseFloorModel)
+    ber: BitErrorModel = field(default_factory=EmpiricalExpBer)
+    #: Stationary std of slow (OU) shadowing (dB).
+    slow_sigma_db: float = 1.2
+    #: Correlation time constant of slow shadowing (s).
+    slow_tau_s: float = 20.0
+    #: Std of per-transmission fast fading (dB).
+    fast_sigma_db: float = 1.0
+    #: Extra slow-shadowing std added at specific positions (dB).
+    extra_slow_sigma_by_distance: Mapping[float, float] = field(
+        default_factory=lambda: {35.0: 1.8}
+    )
+    #: Human-shadowing event process per position (None = no events).
+    human_shadowing_by_distance: Mapping[float, HumanShadowingConfig] = field(
+        default_factory=lambda: {35.0: HumanShadowingConfig()}
+    )
+
+    def __post_init__(self) -> None:
+        if self.slow_sigma_db < 0 or self.fast_sigma_db < 0:
+            raise ChannelError("fading sigmas must be >= 0")
+        if self.slow_tau_s <= 0:
+            raise ChannelError(f"slow_tau_s must be positive, got {self.slow_tau_s!r}")
+
+    def slow_sigma_at(self, distance_m: float) -> float:
+        """Slow-shadowing std at a position, including positional extras."""
+        return self.slow_sigma_db + float(
+            self.extra_slow_sigma_by_distance.get(distance_m, 0.0)
+        )
+
+    def human_shadowing_at(self, distance_m: float) -> Optional[HumanShadowingConfig]:
+        """Human-shadowing event process at a position, if any."""
+        return self.human_shadowing_by_distance.get(distance_m)
+
+    def with_constant_noise(self, level_dbm: float = -95.0) -> "Environment":
+        """Variant with the paper's naive constant noise floor (Fig. 5)."""
+        return replace(
+            self,
+            name=f"{self.name}+constant-noise",
+            noise=ConstantNoiseFloor(level_dbm),
+        )
+
+    def with_analytic_ber(self, implementation_loss_db: float = 10.0) -> "Environment":
+        """Variant using the analytic O-QPSK BER (sharp-cliff ablation)."""
+        return replace(
+            self,
+            name=f"{self.name}+analytic-ber",
+            ber=AnalyticOQPSKBer(implementation_loss_db=implementation_loss_db),
+        )
+
+    def quiet(self) -> "Environment":
+        """Variant with all temporal dynamics disabled (mean channel only).
+
+        Useful for tests and for model-vs-simulation comparisons where the
+        SNR must be exactly the configured value.
+        """
+        return replace(
+            self,
+            name=f"{self.name}+quiet",
+            slow_sigma_db=0.0,
+            fast_sigma_db=0.0,
+            extra_slow_sigma_by_distance={},
+            human_shadowing_by_distance={},
+        )
+
+
+#: The reconstructed paper environment.
+HALLWAY_2012 = Environment()
+
+#: A dynamics-free variant used heavily by tests.
+QUIET_HALLWAY = HALLWAY_2012.quiet()

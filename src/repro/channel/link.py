@@ -1,0 +1,128 @@
+"""The composed point-to-point link channel.
+
+:class:`LinkChannel` ties an :class:`~repro.channel.environment.Environment`
+to a concrete (distance, TX power level) pair and exposes:
+
+* per-transmission channel snapshots (RSSI, noise floor, SNR, LQI) with the
+  environment's temporal dynamics;
+* frame success/error sampling against the environment's BER model;
+* the long-run mean SNR, which is the x-axis of almost every figure in the
+  paper.
+
+One :class:`LinkChannel` owns one RNG stream, so two channels constructed
+with the same seed produce identical trajectories regardless of what else
+the simulation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..radio import cc2420, lqi as lqi_mod
+from .environment import Environment
+from .fading import ShadowingProcess
+
+
+@dataclass(frozen=True)
+class ChannelSample:
+    """One per-transmission channel observation."""
+
+    time_s: float
+    rssi_dbm: float
+    noise_dbm: float
+    lqi: float
+
+    @property
+    def snr_db(self) -> float:
+        """Instantaneous SNR (dB)."""
+        return self.rssi_dbm - self.noise_dbm
+
+    @property
+    def decodable(self) -> bool:
+        """Whether the signal is above the receiver sensitivity at all."""
+        return self.rssi_dbm > cc2420.SENSITIVITY_DBM
+
+
+class LinkChannel:
+    """Stateful channel between one sender and one receiver."""
+
+    def __init__(
+        self,
+        environment: Environment,
+        distance_m: float,
+        ptx_level: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if distance_m <= 0:
+            raise ChannelError(f"distance must be positive, got {distance_m!r}")
+        self.environment = environment
+        self.distance_m = distance_m
+        self.ptx_level = ptx_level
+        self._rng = rng
+        self._tx_power_dbm = cc2420.output_power_dbm(ptx_level)
+        self._mean_rssi_dbm = environment.pathloss.mean_rssi_dbm(
+            self._tx_power_dbm, distance_m
+        )
+        self._fading = ShadowingProcess(
+            slow_sigma_db=environment.slow_sigma_at(distance_m),
+            slow_tau_s=environment.slow_tau_s,
+            fast_sigma_db=environment.fast_sigma_db,
+            rng=rng,
+            human=environment.human_shadowing_at(distance_m),
+        )
+
+    @property
+    def tx_power_dbm(self) -> float:
+        """Programmed output power (dBm)."""
+        return self._tx_power_dbm
+
+    @property
+    def mean_rssi_dbm(self) -> float:
+        """Long-run mean RSSI (before register clamping), dBm."""
+        return self._mean_rssi_dbm
+
+    @property
+    def mean_snr_db(self) -> float:
+        """Long-run mean SNR (dB) against the environment's mean noise."""
+        return self._mean_rssi_dbm - self.environment.noise.mean_dbm
+
+    def sample(self, time_s: float) -> ChannelSample:
+        """Observe the channel for one transmission at ``time_s``.
+
+        Time must be non-decreasing across calls on the same channel.
+        """
+        attenuation = self._fading.attenuation_db(time_s)
+        rssi = cc2420.clamp_rssi(self._mean_rssi_dbm - attenuation)
+        noise = float(self.environment.noise.sample(self._rng))
+        snr = rssi - noise
+        lqi = lqi_mod.sample_lqi(snr, self._rng)
+        return ChannelSample(time_s=time_s, rssi_dbm=rssi, noise_dbm=noise, lqi=lqi)
+
+    def frame_error_probability(self, snr_db: float, frame_bytes: int) -> float:
+        """PER of a ``frame_bytes`` frame at an instantaneous SNR."""
+        return float(
+            self.environment.ber.frame_error_probability(snr_db, frame_bytes)
+        )
+
+    def transmit_frame(self, time_s: float, frame_bytes: int) -> "TransmissionOutcome":
+        """Sample one frame transmission: channel snapshot + success draw.
+
+        A frame whose RSSI is at or below sensitivity is always lost.
+        """
+        sample = self.sample(time_s)
+        if not sample.decodable:
+            return TransmissionOutcome(sample=sample, delivered=False)
+        p_err = self.frame_error_probability(sample.snr_db, frame_bytes)
+        delivered = bool(self._rng.random() >= p_err)
+        return TransmissionOutcome(sample=sample, delivered=delivered)
+
+
+@dataclass(frozen=True)
+class TransmissionOutcome:
+    """Result of one frame transmission attempt over the channel."""
+
+    sample: ChannelSample
+    delivered: bool

@@ -1,0 +1,385 @@
+"""Command-line interface: ``wsnlink`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``run-config``    simulate one stack configuration and print its metrics
+``sweep``         run a campaign slice and save it as a JSON-lines dataset
+``fit``           regenerate the empirical-model fits and compare to the paper
+``case-study``    reproduce the Table IV energy-goodput trade-off comparison
+``guidelines``    print per-metric tuning recommendations for a link
+``validate``      compare model predictions against a saved campaign dataset
+``export-trace``  simulate one configuration and export its per-packet log
+``link-budget``   SNR margins per power level and coverage distances
+``sensitivity``   which stack parameters matter for which metric on a link
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .analysis import compute_metrics
+from .campaign import CampaignRunner, points_as_arrays, sweep_snr_payload
+from .channel import HALLWAY_2012
+from .config import StackConfig, TABLE_I_SPACE
+from .core import GuidelineEngine, constants, fit_ntries_model, fit_per_model
+from .core.fitting import fit_plr_radio_model
+from .core.optimization import (
+    joint_wins,
+    paper_table_iv_points,
+    run_case_study_models,
+    run_case_study_simulation,
+    snr_map_from_environment,
+)
+from .sim import SimulationOptions, simulate_link
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--distance-m", type=float, default=10.0)
+    parser.add_argument("--ptx-level", type=int, default=31)
+    parser.add_argument("--n-max-tries", type=int, default=1)
+    parser.add_argument("--d-retry-ms", type=float, default=0.0)
+    parser.add_argument("--q-max", type=int, default=1)
+    parser.add_argument("--t-pkt-ms", type=float, default=100.0)
+    parser.add_argument("--payload-bytes", type=int, default=110)
+
+
+def _config_from_args(args: argparse.Namespace) -> StackConfig:
+    return StackConfig(
+        distance_m=args.distance_m,
+        ptx_level=args.ptx_level,
+        n_max_tries=args.n_max_tries,
+        d_retry_ms=args.d_retry_ms,
+        q_max=args.q_max,
+        t_pkt_ms=args.t_pkt_ms,
+        payload_bytes=args.payload_bytes,
+    )
+
+
+def _cmd_run_config(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    options = SimulationOptions(n_packets=args.packets, seed=args.seed)
+    metrics = compute_metrics(simulate_link(config, options=options))
+    print(f"configuration: {config}")
+    print(f"mean SNR        : {metrics.mean_snr_db:8.2f} dB")
+    print(f"PER             : {metrics.per:8.4f}")
+    print(f"PLR radio/queue : {metrics.plr_radio:8.4f} / {metrics.plr_queue:.4f}")
+    print(f"goodput         : {metrics.goodput_kbps:8.2f} kb/s")
+    print(f"mean delay      : {metrics.mean_delay_s * 1e3:8.2f} ms")
+    print(f"mean service    : {metrics.mean_service_time_s * 1e3:8.2f} ms")
+    print(f"U_eng           : {metrics.energy_per_info_bit_uj:8.4f} uJ/bit")
+    print(f"mean tries      : {metrics.mean_tries:8.3f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    space = TABLE_I_SPACE
+    filters = {}
+    if args.distance_m is not None:
+        filters["distances_m"] = [args.distance_m]
+    if args.q_max is not None:
+        filters["q_max_values"] = [args.q_max]
+    if filters:
+        space = space.subspace(**filters)
+    configs = list(space)
+    if args.limit is not None:
+        configs = configs[: args.limit]
+    runner = CampaignRunner(
+        packets_per_config=args.packets,
+        base_seed=args.seed,
+        engine=args.engine,
+        progress=(
+            (lambda i, n, s: print(f"  [{i + 1}/{n}] {s.config}", file=sys.stderr))
+            if args.verbose
+            else None
+        ),
+    )
+    dataset = runner.run(configs, description=f"cli sweep ({len(configs)} configs)")
+    dataset.save(args.output)
+    print(f"wrote {len(dataset)} summaries to {args.output}")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    snrs = list(np.arange(5.0, 26.0, 2.0))
+    payloads = [5, 20, 35, 50, 65, 80, 110]
+    points = sweep_snr_payload(
+        snrs, payloads, n_packets=args.packets, n_max_tries=1, seed=args.seed
+    )
+    payload, snr, per, _, _ = points_as_arrays(points)
+    per_fit = fit_per_model(payload, snr, per)
+    print("PER (Eq. 3):")
+    print(f"  fitted : {per_fit.summary()}")
+    print(
+        f"  paper  : alpha={constants.PER_FIT.alpha}, beta={constants.PER_FIT.beta}"
+    )
+    retry_points = sweep_snr_payload(
+        snrs, payloads, n_packets=args.packets, n_max_tries=8, seed=args.seed + 1
+    )
+    payload, snr, _, _, tries = points_as_arrays(retry_points)
+    ntries_fit = fit_ntries_model(payload, snr, tries)
+    print("N_tries (Eq. 7):")
+    print(f"  fitted : {ntries_fit.summary()}")
+    print(
+        f"  paper  : alpha={constants.NTRIES_FIT.alpha}, "
+        f"beta={constants.NTRIES_FIT.beta}"
+    )
+    plr_points = sweep_snr_payload(
+        snrs, payloads, n_packets=args.packets, n_max_tries=3, seed=args.seed + 2
+    )
+    payload, snr, _, plr, _ = points_as_arrays(plr_points)
+    plr_fit = fit_plr_radio_model(payload, snr, plr, n_max_tries=3)
+    print("PLR_radio (Eq. 8):")
+    print(f"  fitted : {plr_fit.summary()}")
+    print(
+        f"  paper  : alpha={constants.PLR_RADIO_FIT.alpha}, "
+        f"beta={constants.PLR_RADIO_FIT.beta}"
+    )
+    return 0
+
+
+def _cmd_case_study(args: argparse.Namespace) -> int:
+    def show(title: str, points) -> None:
+        print(title)
+        print(f"  {'strategy':34s} {'Ptx':>3s} {'l_D':>4s} {'N':>2s} "
+              f"{'goodput kb/s':>12s} {'U_eng uJ/bit':>12s}")
+        for p in points:
+            print(
+                f"  {p.strategy:34s} {p.config.ptx_level:3d} "
+                f"{p.config.payload_bytes:4d} {p.config.n_max_tries:2d} "
+                f"{p.goodput_kbps:12.2f} {p.u_eng_uj_per_bit:12.3f}"
+            )
+
+    show("paper (Table IV):", paper_table_iv_points())
+    model_points = run_case_study_models()
+    show("empirical models:", model_points)
+    print(f"joint tuning dominates all baselines (models): {joint_wins(model_points)}")
+    if args.simulate:
+        sim_points = run_case_study_simulation(
+            model_points, n_packets=args.packets, seed=args.seed
+        )
+        show("event simulator (bulk traffic):", sim_points)
+        print(
+            f"joint tuning dominates all baselines (simulated): "
+            f"{joint_wins(sim_points)}"
+        )
+    return 0
+
+
+def _cmd_guidelines(args: argparse.Namespace) -> int:
+    engine = GuidelineEngine()
+    snr_map = snr_map_from_environment(HALLWAY_2012, args.distance_m)
+    print(f"link: {args.distance_m} m in {HALLWAY_2012.name}")
+    print("SNR by power level: "
+          + ", ".join(f"{lvl}:{snr:.1f}dB" for lvl, snr in sorted(snr_map.items())))
+    for title, rec in (
+        ("energy (Sec. IV-C)", engine.recommend_for_energy(snr_map)),
+        ("goodput (Sec. V-C)", engine.recommend_for_goodput(snr_map)),
+        (
+            "delay (Sec. VI-B)",
+            engine.recommend_for_delay(
+                snr_db=max(snr_map.values()),
+                t_pkt_ms=args.t_pkt_ms,
+                payload_bytes=args.payload_bytes,
+                n_max_tries=args.n_max_tries,
+            ),
+        ),
+        (
+            "loss (Sec. VII-B)",
+            engine.recommend_for_loss(
+                snr_db=max(snr_map.values()),
+                t_pkt_ms=args.t_pkt_ms,
+                payload_bytes=args.payload_bytes,
+            ),
+        ),
+    ):
+        print(f"\n{title}:")
+        print(f"  recommend: {rec.changes()}")
+        print(f"  predicted: { {k: round(v, 4) for k, v in rec.predicted.items()} }")
+        for line in rec.rationale:
+            print(f"  - {line}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .campaign import CampaignDataset
+    from .core import ModelValidator, needs_refit
+
+    dataset = CampaignDataset.load(args.dataset)
+    print(f"validating {len(dataset)} configuration summaries from "
+          f"{args.dataset}")
+    report = ModelValidator().validate_all(dataset)
+    for validation in report.values():
+        print(f"  {validation.summary()}")
+    refit = needs_refit(report, args.threshold)
+    print(f"published coefficients describe this environment: {not refit}")
+    if refit:
+        print("recommendation: re-fit Eqs. 3/7/8 against this dataset "
+              "(see `wsnlink fit` and repro.core.fitting)")
+    return 0
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    from .sim import save_trace
+
+    config = _config_from_args(args)
+    options = SimulationOptions(n_packets=args.packets, seed=args.seed)
+    trace = simulate_link(config, options=options)
+    save_trace(
+        trace,
+        args.output,
+        config=config,
+        include_transmissions=not args.packets_only,
+        description=f"cli export ({args.packets} packets, seed {args.seed})",
+    )
+    print(f"wrote {len(trace.packets)} packet records "
+          f"({trace.n_transmissions} transmissions) to {args.output}")
+    return 0
+
+
+def _cmd_link_budget(args: argparse.Namespace) -> int:
+    from .channel import LinkBudget
+    from .core import classify_snr
+
+    budget = LinkBudget(HALLWAY_2012)
+    print(f"link budget at {args.distance_m} m in {HALLWAY_2012.name} "
+          f"(long-run mean channel; subtract a fading margin for planning)")
+    print(f"{'P_tx':>5} {'dBm':>6} {'path loss':>10} {'RSSI':>8} "
+          f"{'SNR':>7} {'zone':>14} {'margin@sens':>11}")
+    for row in budget.table(args.distance_m):
+        print(
+            f"{row.ptx_level:>5} {row.tx_power_dbm:>6.0f} "
+            f"{row.path_loss_db:>10.1f} {row.mean_rssi_dbm:>8.1f} "
+            f"{row.mean_snr_db:>7.1f} {classify_snr(row.mean_snr_db).value:>14} "
+            f"{row.sensitivity_margin_db:>11.1f}"
+        )
+    level = budget.cheapest_level_for_snr(args.distance_m, args.required_snr)
+    if level is None:
+        print(f"\nno power level reaches {args.required_snr} dB at "
+              f"{args.distance_m} m")
+    else:
+        print(f"\ncheapest level for {args.required_snr} dB: {level}")
+    coverage = budget.coverage_map(args.required_snr)
+    if coverage:
+        print(f"coverage at {args.required_snr} dB (median path loss): "
+              + ", ".join(f"P{lvl}:{d:.0f}m" for lvl, d in sorted(coverage.items())))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .core.optimization import (
+        ModelEvaluator,
+        analyze_sensitivity,
+        rank_parameters,
+        snr_map_from_environment,
+    )
+
+    snr_map = snr_map_from_environment(HALLWAY_2012, args.distance_m)
+    evaluator = ModelEvaluator(snr_by_level=snr_map)
+    base = StackConfig(
+        distance_m=args.distance_m,
+        ptx_level=31,
+        payload_bytes=args.payload_bytes,
+        n_max_tries=args.n_max_tries,
+        t_pkt_ms=args.t_pkt_ms,
+        q_max=30,
+    )
+    sens = analyze_sensitivity(evaluator, base)
+    print(f"one-at-a-time sensitivity at {args.distance_m} m "
+          f"(base SNR {snr_map[31]:.1f} dB at max power)")
+    for metric in ("energy", "goodput", "delay", "loss"):
+        print(f"\n{metric}:")
+        for row in rank_parameters(sens, metric):
+            print(f"  {row.parameter:<16} span {row.span:10.3f}   "
+                  f"best={row.best_setting!r:>8} worst={row.worst_setting!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wsnlink",
+        description=(
+            "WSN link multi-layer parameter configuration: simulator, "
+            "empirical models and joint optimization (ICDCS 2015 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run-config", help="simulate one configuration")
+    _add_config_arguments(p)
+    p.add_argument("--packets", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_run_config)
+
+    p = sub.add_parser("sweep", help="run a campaign slice")
+    p.add_argument("--distance-m", type=float, default=None)
+    p.add_argument("--q-max", type=int, default=None)
+    p.add_argument("--limit", type=int, default=None, help="max configs to run")
+    p.add_argument("--packets", type=int, default=300)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--engine", choices=("des", "fast"), default="des")
+    p.add_argument("--output", default="campaign.jsonl")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("fit", help="re-fit the empirical models")
+    p.add_argument("--packets", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fit)
+
+    p = sub.add_parser("case-study", help="Table IV trade-off comparison")
+    p.add_argument("--simulate", action="store_true")
+    p.add_argument("--packets", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_case_study)
+
+    p = sub.add_parser("guidelines", help="tuning recommendations for a link")
+    p.add_argument("--distance-m", type=float, default=35.0)
+    p.add_argument("--t-pkt-ms", type=float, default=30.0)
+    p.add_argument("--payload-bytes", type=int, default=110)
+    p.add_argument("--n-max-tries", type=int, default=3)
+    p.set_defaults(func=_cmd_guidelines)
+
+    p = sub.add_parser("validate", help="model-vs-dataset validation report")
+    p.add_argument("--dataset", required=True, help="JSON-lines campaign file")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="relative-error threshold for the refit flag")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("export-trace", help="simulate and export per-packet log")
+    _add_config_arguments(p)
+    p.add_argument("--packets", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="trace.jsonl")
+    p.add_argument("--packets-only", action="store_true",
+                   help="omit per-transmission rows")
+    p.set_defaults(func=_cmd_export_trace)
+
+    p = sub.add_parser("link-budget", help="SNR margins and coverage")
+    p.add_argument("--distance-m", type=float, default=20.0)
+    p.add_argument("--required-snr", type=float, default=19.0,
+                   help="SNR requirement for cheapest-level/coverage queries")
+    p.set_defaults(func=_cmd_link_budget)
+
+    p = sub.add_parser("sensitivity", help="per-knob metric sensitivity")
+    p.add_argument("--distance-m", type=float, default=35.0)
+    p.add_argument("--payload-bytes", type=int, default=80)
+    p.add_argument("--n-max-tries", type=int, default=3)
+    p.add_argument("--t-pkt-ms", type=float, default=50.0)
+    p.set_defaults(func=_cmd_sensitivity)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``wsnlink`` console script."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

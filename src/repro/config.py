@@ -1,0 +1,256 @@
+"""Stack parameter configurations (the paper's Table I).
+
+A :class:`StackConfig` bundles the 7 stack parameters the paper sweeps:
+
+========= ==================== ==========================================
+Layer     Parameter            Field
+========= ==================== ==========================================
+PHY       distance (m)         ``distance_m``
+PHY       TX power level       ``ptx_level`` (CC2420 PA_LEVEL register)
+MAC       max transmissions    ``n_max_tries``
+MAC       retry delay (ms)     ``d_retry_ms``
+MAC       max queue size       ``q_max``
+App       packet interval (ms) ``t_pkt_ms``
+App       payload size (bytes) ``payload_bytes`` (l_D)
+========= ==================== ==========================================
+
+:data:`TABLE_I_SPACE` reconstructs the sweep grid of the paper's experiment
+(8 × 7 × 4 × 3 × 2 × 6 = 8064 settings per distance, 6 distances, 48,384
+configurations total — "close to 50 thousand").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Mapping, Sequence, Tuple
+
+from .errors import ConfigurationError
+
+#: Valid CC2420 PA_LEVEL register values used by the paper (odd steps of 4).
+VALID_PTX_LEVELS: Tuple[int, ...] = (3, 7, 11, 15, 19, 23, 27, 31)
+
+#: Maximum payload supported by the paper's radio stack (bytes).
+MAX_PAYLOAD_BYTES = 114
+
+#: Number of packets sent per configuration in the paper's campaign.
+PACKETS_PER_CONFIG = 4500
+
+
+@dataclass(frozen=True, order=True)
+class StackConfig:
+    """One multi-layer stack parameter configuration.
+
+    Instances are immutable and hashable so they can key campaign datasets.
+    Construction validates every field against the physical limits of the
+    reproduced platform (CC2420 / TinyOS 2.1); use :meth:`with_updates` to
+    derive variants.
+    """
+
+    distance_m: float = 10.0
+    ptx_level: int = 31
+    n_max_tries: int = 1
+    d_retry_ms: float = 0.0
+    q_max: int = 1
+    t_pkt_ms: float = 100.0
+    payload_bytes: int = 110
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ConfigurationError(
+                f"distance_m must be positive, got {self.distance_m!r}"
+            )
+        if self.ptx_level not in VALID_PTX_LEVELS:
+            raise ConfigurationError(
+                f"ptx_level must be one of {VALID_PTX_LEVELS}, got {self.ptx_level!r}"
+            )
+        if not isinstance(self.n_max_tries, int) or self.n_max_tries < 1:
+            raise ConfigurationError(
+                f"n_max_tries must be an integer >= 1, got {self.n_max_tries!r}"
+            )
+        if self.d_retry_ms < 0:
+            raise ConfigurationError(
+                f"d_retry_ms must be >= 0, got {self.d_retry_ms!r}"
+            )
+        if not isinstance(self.q_max, int) or self.q_max < 1:
+            raise ConfigurationError(
+                f"q_max must be an integer >= 1, got {self.q_max!r}"
+            )
+        if self.t_pkt_ms <= 0:
+            raise ConfigurationError(
+                f"t_pkt_ms must be positive, got {self.t_pkt_ms!r}"
+            )
+        if not isinstance(self.payload_bytes, int) or not (
+            1 <= self.payload_bytes <= MAX_PAYLOAD_BYTES
+        ):
+            raise ConfigurationError(
+                f"payload_bytes must be an integer in [1, {MAX_PAYLOAD_BYTES}], "
+                f"got {self.payload_bytes!r}"
+            )
+
+    @property
+    def retransmissions_enabled(self) -> bool:
+        """True when the MAC may transmit a packet more than once."""
+        return self.n_max_tries > 1
+
+    @property
+    def queueing_enabled(self) -> bool:
+        """True when more than one packet can be buffered above the MAC."""
+        return self.q_max > 1
+
+    @property
+    def offered_load_bps(self) -> float:
+        """Application offered load in bits per second (payload only)."""
+        return self.payload_bytes * 8 / (self.t_pkt_ms / 1e3)
+
+    def with_updates(self, **changes: object) -> "StackConfig":
+        """Return a validated copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view, suitable for JSON serialization."""
+        return {
+            "distance_m": self.distance_m,
+            "ptx_level": self.ptx_level,
+            "n_max_tries": self.n_max_tries,
+            "d_retry_ms": self.d_retry_ms,
+            "q_max": self.q_max,
+            "t_pkt_ms": self.t_pkt_ms,
+            "payload_bytes": self.payload_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "StackConfig":
+        """Inverse of :meth:`as_dict`; unknown keys are rejected."""
+        known = {
+            "distance_m",
+            "ptx_level",
+            "n_max_tries",
+            "d_retry_ms",
+            "q_max",
+            "t_pkt_ms",
+            "payload_bytes",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown StackConfig fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        for int_field in ("ptx_level", "n_max_tries", "q_max", "payload_bytes"):
+            if int_field in kwargs:
+                kwargs[int_field] = int(kwargs[int_field])  # type: ignore[arg-type]
+        for float_field in ("distance_m", "d_retry_ms", "t_pkt_ms"):
+            if float_field in kwargs:
+                kwargs[float_field] = float(kwargs[float_field])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """A cartesian grid over the 7 stack parameters.
+
+    The default values reconstruct the paper's Table I (see DESIGN.md §3).
+    Iteration order is deterministic: distances vary slowest, matching the
+    paper's procedure of completing all settings at one distance before
+    moving the motes.
+    """
+
+    distances_m: Tuple[float, ...] = (5.0, 10.0, 15.0, 20.0, 30.0, 35.0)
+    ptx_levels: Tuple[int, ...] = VALID_PTX_LEVELS
+    n_max_tries_values: Tuple[int, ...] = (1, 2, 3, 5)
+    d_retry_values_ms: Tuple[float, ...] = (0.0, 30.0, 60.0)
+    q_max_values: Tuple[int, ...] = (1, 30)
+    t_pkt_values_ms: Tuple[float, ...] = (10.0, 20.0, 30.0, 50.0, 100.0, 200.0)
+    payload_values_bytes: Tuple[int, ...] = (5, 20, 35, 50, 65, 80, 110)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "distances_m",
+            "ptx_levels",
+            "n_max_tries_values",
+            "d_retry_values_ms",
+            "q_max_values",
+            "t_pkt_values_ms",
+            "payload_values_bytes",
+        ):
+            values = getattr(self, name)
+            if not values:
+                raise ConfigurationError(f"parameter axis {name} must be non-empty")
+            if len(set(values)) != len(values):
+                raise ConfigurationError(f"parameter axis {name} has duplicates")
+
+    @property
+    def settings_per_distance(self) -> int:
+        """Number of non-distance parameter combinations (paper: 8064)."""
+        return (
+            len(self.ptx_levels)
+            * len(self.n_max_tries_values)
+            * len(self.d_retry_values_ms)
+            * len(self.q_max_values)
+            * len(self.t_pkt_values_ms)
+            * len(self.payload_values_bytes)
+        )
+
+    def __len__(self) -> int:
+        return self.settings_per_distance * len(self.distances_m)
+
+    def __iter__(self) -> Iterator[StackConfig]:
+        for d, ptx, tries, retry, qmax, tpkt, payload in itertools.product(
+            self.distances_m,
+            self.ptx_levels,
+            self.n_max_tries_values,
+            self.d_retry_values_ms,
+            self.q_max_values,
+            self.t_pkt_values_ms,
+            self.payload_values_bytes,
+        ):
+            yield StackConfig(
+                distance_m=d,
+                ptx_level=ptx,
+                n_max_tries=tries,
+                d_retry_ms=retry,
+                q_max=qmax,
+                t_pkt_ms=tpkt,
+                payload_bytes=payload,
+            )
+
+    def subspace(self, **axes: Sequence[object]) -> "ParameterSpace":
+        """Restrict one or more axes, e.g. ``space.subspace(distances_m=[35.0])``.
+
+        Axis names match the constructor fields. Values must be subsets of the
+        current axis values so a subspace is always contained in its parent.
+        """
+        current = {
+            "distances_m": self.distances_m,
+            "ptx_levels": self.ptx_levels,
+            "n_max_tries_values": self.n_max_tries_values,
+            "d_retry_values_ms": self.d_retry_values_ms,
+            "q_max_values": self.q_max_values,
+            "t_pkt_values_ms": self.t_pkt_values_ms,
+            "payload_values_bytes": self.payload_values_bytes,
+        }
+        for name, values in axes.items():
+            if name not in current:
+                raise ConfigurationError(f"unknown parameter axis {name!r}")
+            requested = tuple(values)
+            extra = set(requested) - set(current[name])
+            if extra:
+                raise ConfigurationError(
+                    f"values {sorted(extra)} not in axis {name!r} of parent space"
+                )
+            current[name] = requested
+        return ParameterSpace(**current)  # type: ignore[arg-type]
+
+
+#: The reconstructed Table I sweep (48,384 configurations).
+TABLE_I_SPACE = ParameterSpace()
+
+#: A small default space for tests and quick examples (432 configurations).
+SMOKE_SPACE = ParameterSpace(
+    distances_m=(10.0, 35.0),
+    ptx_levels=(3, 15, 31),
+    n_max_tries_values=(1, 3),
+    d_retry_values_ms=(0.0,),
+    q_max_values=(1, 30),
+    t_pkt_values_ms=(30.0, 100.0),
+    payload_values_bytes=(20, 65, 110),
+)

@@ -1,0 +1,89 @@
+"""The paper's core contribution: empirical models, zones, guidelines, MOP.
+
+* Eq. 2 — :class:`EnergyModel` (U_eng, energy per delivered bit)
+* Eq. 3 — :class:`PerModel` (PER = α·l_D·exp(β·SNR))
+* Eq. 4 — :class:`GoodputModel` (maxGoodput)
+* Eqs. 5–6 — :class:`ServiceTimeModel` (T_service)
+* Eq. 7 — :class:`NtriesModel` (expected transmissions)
+* Eq. 8 — :class:`PlrRadioModel` (radio loss under N_maxTries)
+* Eq. 9 — :class:`DelayModel` (utilization ρ and delay regimes)
+* Sec. III-B — :mod:`~repro.core.zones` (grey / joint-effect zones)
+* Secs. IV-C…VII-B — :class:`GuidelineEngine`
+* Sec. VIII — :mod:`~repro.core.optimization`
+* model re-fitting against campaign data — :mod:`~repro.core.fitting`
+"""
+
+from . import constants
+from .adaptation import AdaptationEvent, AdaptivePayloadTuner
+from .delay_model import DelayEstimate, DelayModel
+from .estimation import (
+    EwmaEstimator,
+    LinkStateEstimate,
+    LinkStateEstimator,
+    WindowedPerEstimator,
+)
+from .energy_model import EnergyModel
+from .fitting import (
+    FitResult,
+    fit_exponential_family,
+    fit_ntries_model,
+    fit_per_model,
+    fit_plr_radio_model,
+)
+from .goodput_model import GoodputModel
+from .guidelines import GuidelineEngine, Recommendation
+from .ntries_model import (
+    NtriesModel,
+    mean_tries_of_delivered,
+    truncated_geometric_mean_tries,
+)
+from .per_model import PerModel
+from .plr_model import PlrRadioModel, plr_queue_estimate, plr_total_estimate
+from .service_time import ServiceTimeModel
+from .validation import MetricValidation, ModelValidator, needs_refit
+from .zones import (
+    JointEffectZone,
+    classify_snr,
+    in_grey_zone,
+    in_low_loss_zone,
+    snr_margin_over_grey_zone,
+    zone_boundaries_db,
+)
+
+__all__ = [
+    "AdaptationEvent",
+    "AdaptivePayloadTuner",
+    "DelayEstimate",
+    "DelayModel",
+    "EnergyModel",
+    "EwmaEstimator",
+    "FitResult",
+    "GoodputModel",
+    "GuidelineEngine",
+    "JointEffectZone",
+    "LinkStateEstimate",
+    "LinkStateEstimator",
+    "MetricValidation",
+    "ModelValidator",
+    "NtriesModel",
+    "PerModel",
+    "PlrRadioModel",
+    "Recommendation",
+    "ServiceTimeModel",
+    "WindowedPerEstimator",
+    "classify_snr",
+    "constants",
+    "fit_exponential_family",
+    "fit_ntries_model",
+    "fit_per_model",
+    "fit_plr_radio_model",
+    "in_grey_zone",
+    "in_low_loss_zone",
+    "mean_tries_of_delivered",
+    "needs_refit",
+    "plr_queue_estimate",
+    "plr_total_estimate",
+    "snr_margin_over_grey_zone",
+    "truncated_geometric_mean_tries",
+    "zone_boundaries_db",
+]

@@ -1,0 +1,124 @@
+"""Closed-loop parameter adaptation driven by the empirical models.
+
+Composes the pieces the paper provides into the controller it implies:
+estimate the link state online (:mod:`~repro.core.estimation`), then re-run
+the guideline engine / model optimizer when the state drifts. Hysteresis
+keeps the tuner from thrashing on ordinary RSSI jitter (Fig. 4 shows 1–3 dB
+of steady-state wobble).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..config import StackConfig
+from ..errors import ReproError
+from .energy_model import EnergyModel
+from .estimation import LinkStateEstimate, LinkStateEstimator
+from .goodput_model import GoodputModel
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One retuning decision made by the controller."""
+
+    at_observation: int
+    estimated_snr_db: float
+    old_config: StackConfig
+    new_config: StackConfig
+    reason: str
+
+
+@dataclass
+class AdaptivePayloadTuner:
+    """Keeps the payload size model-optimal as the link quality drifts.
+
+    The simplest instantiation of the paper's Sec. IV-B suggestion
+    ("adapting the payload size to the varying link quality can be an
+    efficient way to minimize energy consumption"). The ``objective``
+    selects which model drives the optimum: ``"energy"`` (Eq. 2) or
+    ``"goodput"`` (Eq. 4).
+
+    Retuning fires only when the estimated SNR has moved more than
+    ``hysteresis_db`` since the last retune and the estimator is confident,
+    and is evaluated every ``check_every`` observations.
+    """
+
+    config: StackConfig
+    objective: str = "energy"
+    hysteresis_db: float = 2.0
+    check_every: int = 50
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    goodput_model: GoodputModel = field(default_factory=GoodputModel)
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("energy", "goodput"):
+            raise ReproError(
+                f"objective must be 'energy' or 'goodput', got {self.objective!r}"
+            )
+        if self.hysteresis_db < 0:
+            raise ReproError(
+                f"hysteresis_db must be >= 0, got {self.hysteresis_db!r}"
+            )
+        if self.check_every < 1:
+            raise ReproError(
+                f"check_every must be >= 1, got {self.check_every!r}"
+            )
+        self._estimator = LinkStateEstimator(
+            payload_bytes=self.config.payload_bytes
+        )
+        self._last_tuned_snr: Optional[float] = None
+        self.events: List[AdaptationEvent] = []
+
+    def _optimal_payload(self, snr_db: float) -> int:
+        if self.objective == "energy":
+            payload, _ = self.energy_model.optimal_payload_bytes(
+                self.config.ptx_level, snr_db
+            )
+        else:
+            payload, _ = self.goodput_model.optimal_payload_bytes(
+                snr_db, self.config.n_max_tries, self.config.d_retry_ms
+            )
+        return payload
+
+    def observe(self, snr_db: float, acked: bool) -> StackConfig:
+        """Feed one transmission observation; returns the (maybe new) config."""
+        self._estimator.observe(snr_db, acked)
+        count = self._estimator.snr.count
+        if count % self.check_every != 0:
+            return self.config
+        estimate = self._estimator.estimate()
+        if not estimate.stable or not self._estimator.per_estimator.confident:
+            return self.config
+        if (
+            self._last_tuned_snr is not None
+            and abs(estimate.snr_db - self._last_tuned_snr) < self.hysteresis_db
+        ):
+            return self.config
+        payload = self._optimal_payload(estimate.snr_db)
+        if payload != self.config.payload_bytes:
+            old = self.config
+            self.config = self.config.with_updates(payload_bytes=payload)
+            self.events.append(
+                AdaptationEvent(
+                    at_observation=count,
+                    estimated_snr_db=estimate.snr_db,
+                    old_config=old,
+                    new_config=self.config,
+                    reason=(
+                        f"{self.objective}-optimal payload at "
+                        f"{estimate.snr_db:.1f} dB is {payload} B"
+                    ),
+                )
+            )
+        self._last_tuned_snr = estimate.snr_db
+        return self.config
+
+    @property
+    def estimator(self) -> LinkStateEstimator:
+        return self._estimator
+
+    def current_estimate(self) -> LinkStateEstimate:
+        """The estimator's current snapshot (raises before observations)."""
+        return self._estimator.estimate()

@@ -1,0 +1,92 @@
+"""Published constants of the paper's empirical models.
+
+Every fitted coefficient and threshold the paper reports is pinned here so
+that (a) the model modules have one source of truth and (b) EXPERIMENTS.md
+can compare re-fitted values against the published ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExpFitCoefficients:
+    """Coefficients of the paper's exponential family ``α · l_D · exp(β · SNR)``."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha!r}")
+        if self.beta >= 0:
+            raise ValueError(f"beta must be negative, got {self.beta!r}")
+
+
+#: Eq. 3 — PER = α · l_D · exp(β · SNR); α = 0.0128, β = −0.15.
+PER_FIT = ExpFitCoefficients(alpha=0.0128, beta=-0.15)
+
+#: Eq. 7 — N_tries = 1 + α · l_D · exp(β · SNR); α = 0.02, β = −0.18.
+NTRIES_FIT = ExpFitCoefficients(alpha=0.02, beta=-0.18)
+
+#: Eq. 8 — PLR_radio = (α · l_D · exp(β · SNR))^N_maxTries; α = 0.011, β = −0.145.
+PLR_RADIO_FIT = ExpFitCoefficients(alpha=0.011, beta=-0.145)
+
+#: Lower edge of the grey zone (dB): below this the link is effectively dead.
+GREY_ZONE_LOW_DB = 5.0
+
+#: Grey-zone / medium-impact border (dB) — "the grey zone threshold (12 dB)".
+GREY_ZONE_HIGH_DB = 12.0
+
+#: Medium-impact / low-impact border (dB) — goodput and loss saturate here.
+LOW_IMPACT_SNR_DB = 19.0
+
+#: SNR above which the maximum payload is energy-optimal (model, Sec. IV-B).
+ENERGY_MAX_PAYLOAD_SNR_DB = 17.0
+
+#: SNR above which the maximum payload is goodput-optimal (Sec. VIII-A).
+GOODPUT_MAX_PAYLOAD_SNR_DB = 9.0
+
+#: Maximum payload size of the paper's radio stack (bytes).
+MAX_PAYLOAD_BYTES = 114
+
+#: Path-loss fit of Fig. 3.
+PATH_LOSS_EXPONENT = 2.19
+PATH_LOSS_SIGMA_DB = 3.2
+
+#: Average noise floor (dBm), Fig. 5.
+NOISE_FLOOR_MEAN_DBM = -95.0
+
+#: The paper's Table II rows: (T_pkt ms, SNR dB, l_D, N_maxTries) →
+#: (T_service ms, rho). D_retry = 30 ms reproduces the published values.
+TABLE_II_ROWS = (
+    ((30.0, 10.0, 110, 3), (37.08, 1.236)),
+    ((30.0, 20.0, 110, 3), (21.39, 0.713)),
+    ((30.0, 30.0, 110, 3), (18.52, 0.617)),
+)
+
+#: D_retry (ms) implied by the Table II service times.
+TABLE_II_D_RETRY_MS = 30.0
+
+#: The paper's Table IV rows: strategy → (P_tx, l_D, N_maxTries,
+#: goodput kbps, U_eng µJ/bit). Two cells of the published table are
+#: garbled in the source scan (the retransmission-tuning row prints
+#: N_maxTries = 1, and the medium-payload row prints the invalid power
+#: level 25); they are normalized here to the values the strategies
+#: describe (a large attempt budget of 8, and the base power 23).
+TABLE_IV_ROWS = {
+    "tuning-power [11]": (31, 114, 1, 15.39, 0.35),
+    "tuning-retransmissions [6]": (23, 114, 8, 8.53, 1.81),
+    "minimal-payload [1]": (23, 5, 1, 1.49, 0.50),
+    "medium-payload [1]": (23, 60, 1, 11.81, 0.28),
+    "joint (our work)": (31, 68, 3, 22.28, 0.24),
+}
+
+#: SNR of the Table IV case-study link. The paper states the SNR "increases
+#: to 6 dB after the output power level increases from 23 to maximum 31";
+#: since 23 → 31 raises output power by 3 dB (−3 → 0 dBm), the link sits at
+#: 3 dB at P_tx = 23. Back-substituting these SNRs into Eq. 2 / Eq. 4
+#: reproduces the published Table IV energies to within a few percent.
+CASE_STUDY_SNR_AT_PTX23_DB = 3.0
+CASE_STUDY_SNR_AT_PTX31_DB = 6.0

@@ -1,0 +1,329 @@
+"""Executable parameter-optimization guidelines (Sec. IV-C, V-C, VI-B, VII-B).
+
+Each ``recommend_for_*`` method turns one of the paper's per-metric guideline
+sections into code: given what is known about the link (the SNR each power
+level would yield, obtainable from the channel model or from probing), it
+returns the recommended parameter values together with the paper's rationale
+and the model-predicted metric values.
+
+The cross-metric trade-off machinery (Sec. VIII) lives in
+``repro.core.optimization``; this module is the single-metric layer it
+builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import OptimizationError
+from . import constants
+from .delay_model import DelayModel
+from .energy_model import EnergyModel
+from .goodput_model import GoodputModel
+from .plr_model import PlrRadioModel, plr_queue_estimate
+from .service_time import ServiceTimeModel
+from .zones import classify_snr, in_grey_zone
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A guideline's output: parameter values plus the reasoning trail."""
+
+    ptx_level: Optional[int] = None
+    payload_bytes: Optional[int] = None
+    n_max_tries: Optional[int] = None
+    q_max: Optional[int] = None
+    t_pkt_ms: Optional[float] = None
+    predicted: Dict[str, float] = field(default_factory=dict)
+    rationale: Tuple[str, ...] = ()
+
+    def changes(self) -> Dict[str, object]:
+        """The non-None parameter fields, ready for ``StackConfig.with_updates``."""
+        out: Dict[str, object] = {}
+        for name in ("ptx_level", "payload_bytes", "n_max_tries", "q_max", "t_pkt_ms"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+
+@dataclass(frozen=True)
+class GuidelineEngine:
+    """The paper's guidelines, parameterized by the empirical models."""
+
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    goodput_model: GoodputModel = field(default_factory=GoodputModel)
+    delay_model: DelayModel = field(default_factory=DelayModel)
+    plr_model: PlrRadioModel = field(default_factory=PlrRadioModel)
+    service_model: ServiceTimeModel = field(default_factory=ServiceTimeModel)
+    max_payload: int = constants.MAX_PAYLOAD_BYTES
+
+    # ------------------------------------------------------------- energy
+
+    def recommend_for_energy(
+        self, snr_by_level: Mapping[int, float]
+    ) -> Recommendation:
+        """Sec. IV-C: pick (P_tx, l_D) minimizing U_eng.
+
+        If some power level lifts the link into the low-impact zone of PER,
+        use the *lowest* such level with the maximum payload; otherwise use
+        the maximum power and the model-optimal (smaller) payload.
+        """
+        if not snr_by_level:
+            raise OptimizationError("snr_by_level must not be empty")
+        threshold = self.energy_model.snr_threshold_for_max_payload(self.max_payload)
+        rationale: List[str] = [
+            f"max-payload energy threshold from the model: {threshold:.1f} dB "
+            f"(paper: ~17 dB model / 19 dB observed)"
+        ]
+        clearing = {
+            lvl: snr for lvl, snr in snr_by_level.items() if snr >= threshold
+        }
+        if clearing:
+            level = min(clearing)  # lowest power that clears the threshold
+            payload = self.max_payload
+            rationale.append(
+                f"P_tx={level} is the lowest level whose SNR "
+                f"({clearing[level]:.1f} dB) clears the threshold; maximum "
+                f"payload amortizes the {self.energy_model.overhead_bytes}-byte overhead"
+            )
+            snr = clearing[level]
+        else:
+            level = max(snr_by_level)
+            snr = snr_by_level[level]
+            payload, _ = self.energy_model.optimal_payload_bytes(
+                level, snr, self.max_payload
+            )
+            rationale.append(
+                f"even max power only reaches {snr:.1f} dB < {threshold:.1f} dB; "
+                f"shrink payload to the model optimum {payload} B to cut "
+                f"retransmission waste"
+            )
+        u_eng = self.energy_model.u_eng_j_per_bit(level, payload, snr)
+        return Recommendation(
+            ptx_level=level,
+            payload_bytes=payload,
+            predicted={"u_eng_uj_per_bit": u_eng * 1e6, "snr_db": snr},
+            rationale=tuple(rationale),
+        )
+
+    # ------------------------------------------------------------ goodput
+
+    def recommend_for_goodput(
+        self,
+        snr_by_level: Mapping[int, float],
+        n_max_tries_options: Tuple[int, ...] = (1, 2, 3, 5, 8),
+        d_retry_ms: float = 0.0,
+    ) -> Recommendation:
+        """Sec. V-C: pick (P_tx, l_D, N_maxTries) maximizing maxGoodput.
+
+        Outside the grey zone: maximum payload and a large attempt budget.
+        Inside: the optimum payload shrinks with SNR and grows with
+        N_maxTries; evaluate the model.
+        """
+        if not snr_by_level or not n_max_tries_options:
+            raise OptimizationError("need candidate power levels and retry options")
+        # Goodput is monotone in SNR, so max power is never wrong for this
+        # single-objective guideline (energy is not being considered here).
+        level = max(snr_by_level, key=lambda lvl: snr_by_level[lvl])
+        snr = snr_by_level[level]
+        rationale = [
+            f"max goodput wants max SNR: P_tx={level} gives {snr:.1f} dB "
+            f"({classify_snr(snr).value} zone)"
+        ]
+        best: Tuple[float, int, int] = (-math.inf, 0, 0)
+        for n in n_max_tries_options:
+            payload, goodput = self.goodput_model.optimal_payload_bytes(
+                snr, n, d_retry_ms, self.max_payload
+            )
+            if goodput > best[0]:
+                best = (goodput, payload, n)
+        goodput, payload, n = best
+        if in_grey_zone(snr):
+            rationale.append(
+                f"grey-zone link: optimal payload {payload} B < max "
+                f"{self.max_payload} B; larger N_maxTries raises the optimum"
+            )
+        else:
+            rationale.append(
+                "link outside the grey zone: maximum payload with a large "
+                "attempt budget maximizes goodput"
+            )
+        return Recommendation(
+            ptx_level=level,
+            payload_bytes=payload,
+            n_max_tries=n,
+            predicted={"max_goodput_kbps": goodput / 1e3, "snr_db": snr},
+            rationale=tuple(rationale),
+        )
+
+    # -------------------------------------------------------------- delay
+
+    def recommend_for_delay(
+        self,
+        snr_db: float,
+        t_pkt_ms: float,
+        payload_bytes: int,
+        n_max_tries: int,
+        d_retry_ms: float = 0.0,
+        target_rho: float = 0.9,
+    ) -> Recommendation:
+        """Sec. VI-B: keep ρ < 1 so queueing delay never materializes.
+
+        ``target_rho`` adds a stability margin below the paper's hard ρ < 1
+        bound: sitting at ρ ≈ 1 is exactly the heavy-traffic regime where
+        delay (and queue loss) blow up, so the guideline aims a bit lower.
+        Tries, in order: the configuration as given; shrinking the payload;
+        shrinking the attempt budget; and finally stretching T_pkt to the
+        stability point.
+        """
+        if not 0 < target_rho < 1:
+            raise OptimizationError(
+                f"target_rho must be in (0, 1), got {target_rho!r}"
+            )
+        from ..config import StackConfig  # local import to avoid a cycle
+
+        def rho_of(payload: int, tries: int, t_pkt: float) -> float:
+            cfg = StackConfig(
+                t_pkt_ms=t_pkt,
+                payload_bytes=payload,
+                n_max_tries=tries,
+                d_retry_ms=d_retry_ms,
+            )
+            return self.delay_model.utilization(cfg, snr_db)
+
+        rationale: List[str] = []
+        rho = rho_of(payload_bytes, n_max_tries, t_pkt_ms)
+        if rho <= target_rho:
+            rationale.append(
+                f"rho={rho:.3f} <= target {target_rho:g}: no queueing delay expected"
+            )
+            return Recommendation(
+                payload_bytes=payload_bytes,
+                n_max_tries=n_max_tries,
+                t_pkt_ms=t_pkt_ms,
+                predicted={"rho": rho},
+                rationale=tuple(rationale),
+            )
+        rationale.append(
+            f"rho={rho:.3f} > target {target_rho:g}: queueing delay will build up"
+        )
+        for payload in range(payload_bytes, 0, -1):
+            if rho_of(payload, n_max_tries, t_pkt_ms) <= target_rho:
+                rho2 = rho_of(payload, n_max_tries, t_pkt_ms)
+                rationale.append(
+                    f"shrinking payload to {payload} B restores rho={rho2:.3f}"
+                )
+                return Recommendation(
+                    payload_bytes=payload,
+                    n_max_tries=n_max_tries,
+                    t_pkt_ms=t_pkt_ms,
+                    predicted={"rho": rho2},
+                    rationale=tuple(rationale),
+                )
+        for tries in range(n_max_tries - 1, 0, -1):
+            if rho_of(payload_bytes, tries, t_pkt_ms) <= target_rho:
+                rho2 = rho_of(payload_bytes, tries, t_pkt_ms)
+                rationale.append(
+                    f"cutting N_maxTries to {tries} restores rho={rho2:.3f}"
+                )
+                return Recommendation(
+                    payload_bytes=payload_bytes,
+                    n_max_tries=tries,
+                    t_pkt_ms=t_pkt_ms,
+                    predicted={"rho": rho2},
+                    rationale=tuple(rationale),
+                )
+        service = self.service_model.mean_service_time_s(
+            payload_bytes, snr_db, n_max_tries, d_retry_ms
+        )
+        t_pkt = service * 1e3 / target_rho
+        rationale.append(
+            f"no payload/retry change stabilizes the queue; stretch T_pkt to "
+            f"{t_pkt:.1f} ms (rho = {target_rho:g} at the "
+            f"{service * 1e3:.1f} ms service time)"
+        )
+        return Recommendation(
+            payload_bytes=payload_bytes,
+            n_max_tries=n_max_tries,
+            t_pkt_ms=t_pkt,
+            predicted={"rho": rho_of(payload_bytes, n_max_tries, t_pkt)},
+            rationale=tuple(rationale),
+        )
+
+    # --------------------------------------------------------------- loss
+
+    def recommend_for_loss(
+        self,
+        snr_db: float,
+        t_pkt_ms: float,
+        payload_bytes: int,
+        target_plr_radio: float = 0.01,
+        d_retry_ms: float = 0.0,
+        q_max_options: Tuple[int, ...] = (1, 30),
+    ) -> Recommendation:
+        """Sec. VII-B: balance radio loss against queueing loss.
+
+        Find the smallest N_maxTries meeting the radio-loss target; if the
+        resulting utilization is ≥ 1, either back off the attempt budget to
+        the largest stable one or (if none is stable) keep the budget and
+        deploy the large queue to absorb the overload.
+        """
+        n_target = self.plr_model.min_tries_for_target(
+            payload_bytes, snr_db, target_plr_radio
+        )
+        rationale = [
+            f"Eq. 8 needs N_maxTries >= {n_target} for PLR_radio <= "
+            f"{target_plr_radio:g} at {snr_db:.1f} dB / {payload_bytes} B"
+        ]
+        t_pkt_s = t_pkt_ms / 1e3
+
+        def rho_for(tries: int) -> float:
+            return (
+                self.service_model.mean_service_time_s(
+                    payload_bytes, snr_db, tries, d_retry_ms
+                )
+                / t_pkt_s
+            )
+
+        n = min(n_target, 15)
+        if rho_for(n) < 1.0:
+            q_max = min(q_max_options)
+            rho = rho_for(n)
+            rationale.append(
+                f"rho={rho:.3f} < 1 at N_maxTries={n}: no queueing loss expected"
+            )
+        else:
+            stable = [k for k in range(1, n + 1) if rho_for(k) < 1.0]
+            if stable:
+                n = max(stable)
+                rho = rho_for(n)
+                q_max = min(q_max_options)
+                rationale.append(
+                    f"the loss-target budget overloads the link; back off to "
+                    f"N_maxTries={n} (rho={rho:.3f}) trading radio loss for "
+                    f"queue stability"
+                )
+            else:
+                rho = rho_for(n)
+                q_max = max(q_max_options)
+                rationale.append(
+                    f"even N_maxTries=1 gives rho={rho_for(1):.3f} >= 1; keep "
+                    f"N_maxTries={n} and use the large queue (Q_max={q_max}) "
+                    f"to absorb bursts"
+                )
+        plr_radio = self.plr_model.plr_radio(payload_bytes, snr_db, n)
+        plr_queue = plr_queue_estimate(min(rho, 5.0), q_max)
+        return Recommendation(
+            payload_bytes=payload_bytes,
+            n_max_tries=n,
+            q_max=q_max,
+            predicted={
+                "rho": rho,
+                "plr_radio": plr_radio,
+                "plr_queue_estimate": plr_queue,
+            },
+            rationale=tuple(rationale),
+        )

@@ -1,0 +1,90 @@
+"""Empirical transmission-count model — the paper's Eq. 7.
+
+``N_tries = 1 + α · l_D · exp(β · SNR)`` with the published fit α = 0.02,
+β = −0.18 (Fig. 11). This is the *unbounded-retry* expectation; for the
+service-time expectation under a finite attempt budget we also provide the
+truncated-geometric form the event simulator obeys exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .constants import NTRIES_FIT, ExpFitCoefficients
+
+
+@dataclass(frozen=True)
+class NtriesModel:
+    """Eq. 7 with configurable coefficients."""
+
+    coefficients: ExpFitCoefficients = field(default_factory=lambda: NTRIES_FIT)
+
+    def expected_tries(self, payload_bytes, snr_db):
+        """The paper's N̄_tries = 1 + α · l_D · exp(β · SNR); vectorized."""
+        payload = np.asarray(payload_bytes, dtype=float)
+        snr = np.asarray(snr_db, dtype=float)
+        value = 1.0 + (
+            self.coefficients.alpha
+            * payload
+            * np.exp(self.coefficients.beta * snr)
+        )
+        if np.ndim(payload_bytes) == 0 and np.ndim(snr_db) == 0:
+            return float(value)
+        return value
+
+    def implied_per(self, payload_bytes, snr_db):
+        """The attempt-failure probability implied by the model.
+
+        For a geometric attempt process with per-attempt failure ``p``, the
+        unbounded expectation is ``1 / (1 − p) ≈ 1 + p`` for small p, so
+        ``p ≈ N̄ − 1``; clipped to [0, 1).
+        """
+        value = np.clip(
+            self.expected_tries(payload_bytes, snr_db) - 1.0, 0.0, 0.999999
+        )
+        if np.ndim(payload_bytes) == 0 and np.ndim(snr_db) == 0:
+            return float(value)
+        return value
+
+
+def truncated_geometric_mean_tries(per, n_max_tries: int):
+    """E[transmissions] with per-attempt failure ``per`` and budget ``N``.
+
+    The packet stops at the first success or after N attempts:
+    ``E = (1 − per^N) / (1 − per)`` (and exactly N when per = 1).
+    Vectorized over ``per``.
+    """
+    if n_max_tries < 1:
+        raise ValueError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
+    p = np.asarray(per, dtype=float)
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("per must be within [0, 1]")
+    with np.errstate(invalid="ignore", divide="ignore"):
+        value = np.where(
+            p >= 1.0,
+            float(n_max_tries),
+            (1.0 - p**n_max_tries) / np.where(p >= 1.0, 1.0, 1.0 - p),
+        )
+    return float(value) if np.ndim(per) == 0 else value
+
+
+def mean_tries_of_delivered(per, n_max_tries: int):
+    """E[transmissions | delivered within the budget]; vectorized.
+
+    Conditional mean of a geometric variable truncated to successes:
+    ``E = Σ_{k=1..N} k (1−p) p^{k−1} / (1 − p^N)``.
+    """
+    if n_max_tries < 1:
+        raise ValueError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
+    p = np.asarray(per, dtype=float)
+    if np.any((p < 0) | (p >= 1)):
+        raise ValueError("per must be within [0, 1) for a delivered packet")
+    k = np.arange(1, n_max_tries + 1, dtype=float)
+    # Broadcast: p[..., None] against k.
+    pk = p[..., None] ** (k - 1.0)
+    numer = np.sum(k * (1.0 - p[..., None]) * pk, axis=-1)
+    denom = 1.0 - p**n_max_tries
+    value = numer / denom
+    return float(value) if np.ndim(per) == 0 else value

@@ -1,0 +1,88 @@
+"""Multi-objective parameter optimization (the paper's Sec. VIII).
+
+Model-driven evaluation of configurations, exhaustive grid search, Pareto
+front extraction, the epsilon-constraint MOP solver, the single-parameter
+literature baselines, and the Fig. 1 / Table IV trade-off harness.
+"""
+
+from .baselines import (
+    TuningStrategy,
+    joint_tuning,
+    literature_baselines,
+    payload_tuning_baseline,
+    power_tuning_baseline,
+    retransmission_tuning_baseline,
+)
+from .epsilon_constraint import (
+    Constraint,
+    default_bounds_for,
+    solve_epsilon_constraint,
+    sweep_epsilon,
+)
+from .evaluate import (
+    ConfigEvaluation,
+    ModelEvaluator,
+    snr_map_from_environment,
+    snr_map_from_reference,
+)
+from .grid import TuningGrid, best_by, evaluate_grid
+from .pareto import dominates, knee_point, pareto_front
+from .sensitivity import (
+    ParameterSensitivity,
+    analyze_sensitivity,
+    dominant_parameter,
+    rank_parameters,
+)
+from .weighted import (
+    solve_weighted_sum,
+    sweep_weights,
+    weighted_points_on_pareto_front,
+)
+from .tradeoff import (
+    TradeoffPoint,
+    case_study_base_config,
+    case_study_environment,
+    case_study_snr_map,
+    joint_wins,
+    paper_table_iv_points,
+    run_case_study_models,
+    run_case_study_simulation,
+)
+
+__all__ = [
+    "ConfigEvaluation",
+    "Constraint",
+    "ModelEvaluator",
+    "ParameterSensitivity",
+    "TradeoffPoint",
+    "TuningGrid",
+    "TuningStrategy",
+    "best_by",
+    "case_study_base_config",
+    "case_study_environment",
+    "case_study_snr_map",
+    "default_bounds_for",
+    "dominates",
+    "evaluate_grid",
+    "joint_tuning",
+    "joint_wins",
+    "knee_point",
+    "literature_baselines",
+    "analyze_sensitivity",
+    "dominant_parameter",
+    "paper_table_iv_points",
+    "pareto_front",
+    "rank_parameters",
+    "payload_tuning_baseline",
+    "power_tuning_baseline",
+    "retransmission_tuning_baseline",
+    "run_case_study_models",
+    "run_case_study_simulation",
+    "snr_map_from_environment",
+    "snr_map_from_reference",
+    "solve_epsilon_constraint",
+    "solve_weighted_sum",
+    "sweep_epsilon",
+    "sweep_weights",
+    "weighted_points_on_pareto_front",
+]

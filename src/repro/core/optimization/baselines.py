@@ -1,0 +1,108 @@
+"""Single-parameter tuning baselines from the literature (Fig. 1, Table IV).
+
+The paper compares its joint tuning against three representative guidelines:
+
+* **[11] — tune output power**: raise P_tx to reduce loss and lift
+  throughput; every other parameter stays at its default.
+* **[6] — tune retransmissions**: enable a large attempt budget to maximize
+  throughput; power and payload stay put.
+* **[1] — tune payload size**: pick small / medium / large payloads
+  according to the interference level; the paper evaluates three variants.
+
+Each baseline is a callable object taking the starting configuration and
+returning the tuned one, so the trade-off harness can treat the joint
+optimizer and the baselines uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ...config import StackConfig, VALID_PTX_LEVELS
+from ...errors import OptimizationError
+from ..constants import MAX_PAYLOAD_BYTES
+from .epsilon_constraint import Constraint, solve_epsilon_constraint
+from .evaluate import ConfigEvaluation, ModelEvaluator
+from .grid import TuningGrid, evaluate_grid
+
+
+@dataclass(frozen=True)
+class TuningStrategy:
+    """A named parameter-tuning strategy."""
+
+    name: str
+    citation: str
+    tune: Callable[[StackConfig], StackConfig]
+
+    def __call__(self, config: StackConfig) -> StackConfig:
+        return self.tune(config)
+
+
+def power_tuning_baseline(max_level: int = 31) -> TuningStrategy:
+    """[11]: raise the output power to the maximum level."""
+    if max_level not in VALID_PTX_LEVELS:
+        raise OptimizationError(f"invalid power level {max_level!r}")
+    return TuningStrategy(
+        name="tuning-power",
+        citation="[11]",
+        tune=lambda cfg: cfg.with_updates(ptx_level=max_level),
+    )
+
+
+def retransmission_tuning_baseline(n_max_tries: int = 8) -> TuningStrategy:
+    """[6]: use a large attempt budget to maximize throughput."""
+    if n_max_tries < 1:
+        raise OptimizationError(f"invalid attempt budget {n_max_tries!r}")
+    return TuningStrategy(
+        name="tuning-retransmissions",
+        citation="[6]",
+        tune=lambda cfg: cfg.with_updates(n_max_tries=n_max_tries),
+    )
+
+
+def payload_tuning_baseline(payload_bytes: int, label: str) -> TuningStrategy:
+    """[1]: set the payload size (minimal / medium / maximal variants)."""
+    if not 1 <= payload_bytes <= MAX_PAYLOAD_BYTES:
+        raise OptimizationError(f"invalid payload {payload_bytes!r}")
+    return TuningStrategy(
+        name=f"{label}-payload",
+        citation="[1]",
+        tune=lambda cfg: cfg.with_updates(payload_bytes=payload_bytes),
+    )
+
+
+def literature_baselines() -> Tuple[TuningStrategy, ...]:
+    """The baseline set of the paper's Fig. 1 / Table IV."""
+    return (
+        power_tuning_baseline(),
+        retransmission_tuning_baseline(),
+        payload_tuning_baseline(5, "minimal"),
+        payload_tuning_baseline(60, "medium"),
+        payload_tuning_baseline(MAX_PAYLOAD_BYTES, "maximal"),
+    )
+
+
+def joint_tuning(
+    evaluator: ModelEvaluator,
+    base_config: StackConfig,
+    energy_budget_uj_per_bit: float = 0.25,
+    grid: TuningGrid = None,
+) -> ConfigEvaluation:
+    """Our work: joint multi-parameter optimization via the models.
+
+    Reproduces the paper's case study: maximize goodput subject to an energy
+    budget (the epsilon-constraint formulation of Sec. VIII-B), searching
+    power, payload and attempt budget jointly. If the energy budget is
+    infeasible it is relaxed to the best achievable energy plus 5%.
+    """
+    if grid is None:
+        grid = TuningGrid(t_pkt_values_ms=(base_config.t_pkt_ms,))
+    evaluations = evaluate_grid(evaluator, grid, base_config.distance_m)
+    constraint = Constraint(objective="energy", upper_bound=energy_budget_uj_per_bit)
+    try:
+        return solve_epsilon_constraint(evaluations, "goodput", (constraint,))
+    except Exception:
+        best_energy = min(e.u_eng_uj_per_bit for e in evaluations)
+        relaxed = Constraint(objective="energy", upper_bound=best_energy * 1.05)
+        return solve_epsilon_constraint(evaluations, "goodput", (relaxed,))

@@ -1,0 +1,103 @@
+"""The epsilon-constraint method for the multi-objective problem (Sec. VIII-B).
+
+The paper formulates joint tuning as ``min(M_1(c), M_2(c), ..., M_k(c))``
+over stack-parameter subsets and points at the epsilon-constraint method as
+a standard solver: optimize one objective while constraining the rest to
+stay within chosen bounds, then sweep the bounds to trace the Pareto front.
+
+Because the models make the discrete space cheap to enumerate, the solver
+here is exact: filter by constraints, then minimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ...errors import InfeasibleError, OptimizationError
+from .evaluate import ConfigEvaluation
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An upper bound on one (minimization-form) objective."""
+
+    objective: str
+    upper_bound: float
+
+    def satisfied_by(self, evaluation: ConfigEvaluation) -> bool:
+        return evaluation.objective(self.objective) <= self.upper_bound
+
+
+def solve_epsilon_constraint(
+    evaluations: Sequence[ConfigEvaluation],
+    minimize: str,
+    constraints: Sequence[Constraint] = (),
+) -> ConfigEvaluation:
+    """Minimize one objective subject to bounds on the others.
+
+    Raises :class:`InfeasibleError` when no configuration satisfies every
+    constraint; the error message reports the tightest violated bound to
+    make infeasibility actionable.
+    """
+    if not evaluations:
+        raise OptimizationError("no evaluations to optimize over")
+    feasible = [
+        e for e in evaluations if all(c.satisfied_by(e) for c in constraints)
+    ]
+    if not feasible:
+        details = []
+        for c in constraints:
+            best = min(e.objective(c.objective) for e in evaluations)
+            if best > c.upper_bound:
+                details.append(
+                    f"{c.objective} <= {c.upper_bound:g} (best achievable "
+                    f"{best:g})"
+                )
+        raise InfeasibleError(
+            "no configuration satisfies the constraints"
+            + (f"; unsatisfiable: {'; '.join(details)}" if details else "")
+        )
+    return min(feasible, key=lambda e: e.objective(minimize))
+
+
+def sweep_epsilon(
+    evaluations: Sequence[ConfigEvaluation],
+    minimize: str,
+    constrain: str,
+    bounds: Sequence[float],
+) -> List[ConfigEvaluation]:
+    """Trace a 2-objective trade-off curve by sweeping one epsilon bound.
+
+    For each bound value the constrained optimum is computed; infeasible
+    bounds are skipped. Consecutive duplicates (same configuration) are
+    collapsed so the result reads as a front.
+    """
+    front: List[ConfigEvaluation] = []
+    for bound in bounds:
+        try:
+            best = solve_epsilon_constraint(
+                evaluations,
+                minimize,
+                (Constraint(objective=constrain, upper_bound=float(bound)),),
+            )
+        except InfeasibleError:
+            continue
+        if not front or front[-1].config != best.config:
+            front.append(best)
+    return front
+
+
+def default_bounds_for(
+    evaluations: Sequence[ConfigEvaluation], objective: str, n_points: int = 20
+) -> np.ndarray:
+    """A sensible epsilon sweep: n points between the best and worst values."""
+    if n_points < 2:
+        raise OptimizationError(f"need at least 2 sweep points, got {n_points!r}")
+    values = np.asarray([e.objective(objective) for e in evaluations], dtype=float)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        raise OptimizationError(f"objective {objective!r} has no finite values")
+    return np.linspace(float(finite.min()), float(finite.max()), n_points)

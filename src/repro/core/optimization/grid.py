@@ -1,0 +1,86 @@
+"""Exhaustive model-based search over a configuration grid.
+
+The paper's optimization story (Sec. VIII-B) is: the empirical models are
+cheap, so the full discrete configuration space can simply be evaluated and
+the multi-objective problem solved on top of the resulting table. This
+module produces that table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ...config import StackConfig, VALID_PTX_LEVELS
+from ...errors import OptimizationError
+from .evaluate import ConfigEvaluation, ModelEvaluator
+
+
+@dataclass(frozen=True)
+class TuningGrid:
+    """The candidate values for the tunable (non-PHY-fixed) parameters.
+
+    The link's distance is not a tuning knob (it is where the nodes are),
+    so grids span power, payload, retries, retry delay, queue and period.
+    Payloads default to a dense 1..114 scan quantized to every 2 bytes.
+    """
+
+    ptx_levels: Tuple[int, ...] = VALID_PTX_LEVELS
+    payload_values_bytes: Tuple[int, ...] = tuple(range(2, 115, 2))
+    n_max_tries_values: Tuple[int, ...] = (1, 2, 3, 5, 8)
+    d_retry_values_ms: Tuple[float, ...] = (0.0,)
+    q_max_values: Tuple[int, ...] = (1, 30)
+    t_pkt_values_ms: Tuple[float, ...] = (30.0,)
+
+    def __len__(self) -> int:
+        return (
+            len(self.ptx_levels)
+            * len(self.payload_values_bytes)
+            * len(self.n_max_tries_values)
+            * len(self.d_retry_values_ms)
+            * len(self.q_max_values)
+            * len(self.t_pkt_values_ms)
+        )
+
+    def configs(self, distance_m: float = 10.0) -> Iterable[StackConfig]:
+        """Generate every configuration in the grid."""
+        for ptx, payload, tries, retry, qmax, tpkt in itertools.product(
+            self.ptx_levels,
+            self.payload_values_bytes,
+            self.n_max_tries_values,
+            self.d_retry_values_ms,
+            self.q_max_values,
+            self.t_pkt_values_ms,
+        ):
+            yield StackConfig(
+                distance_m=distance_m,
+                ptx_level=ptx,
+                payload_bytes=payload,
+                n_max_tries=tries,
+                d_retry_ms=retry,
+                q_max=qmax,
+                t_pkt_ms=tpkt,
+            )
+
+
+def evaluate_grid(
+    evaluator: ModelEvaluator,
+    grid: Optional[TuningGrid] = None,
+    distance_m: float = 10.0,
+) -> List[ConfigEvaluation]:
+    """Evaluate every grid configuration with the empirical models."""
+    grid = grid or TuningGrid()
+    evaluations = [evaluator.evaluate(cfg) for cfg in grid.configs(distance_m)]
+    if not evaluations:
+        raise OptimizationError("the tuning grid is empty")
+    return evaluations
+
+
+def best_by(
+    evaluations: Sequence[ConfigEvaluation], objective: str
+) -> ConfigEvaluation:
+    """The single evaluation minimizing the named objective."""
+    if not evaluations:
+        raise OptimizationError("no evaluations to choose from")
+    return min(evaluations, key=lambda e: e.objective(objective))

@@ -1,0 +1,81 @@
+"""Pareto-front utilities for the multi-objective parameter problem.
+
+All objectives are expressed in *minimization* form (see
+:meth:`~repro.core.optimization.evaluate.ConfigEvaluation.objective`), so a
+point dominates another when it is no worse in every objective and strictly
+better in at least one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+from ...errors import OptimizationError
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimize)."""
+    if len(a) != len(b):
+        raise OptimizationError(
+            f"objective vectors must have equal length, got {len(a)} vs {len(b)}"
+        )
+    if not a:
+        raise OptimizationError("objective vectors must be non-empty")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return no_worse and strictly_better
+
+
+def pareto_front(
+    items: Sequence[T],
+    objectives: Callable[[T], Sequence[float]],
+) -> List[T]:
+    """The non-dominated subset of ``items`` under minimization.
+
+    O(n²) pairwise filtering — the configuration grids here are a few
+    thousand points, far below where fancier algorithms pay off. Duplicate
+    objective vectors are all kept (they are mutually non-dominating).
+    """
+    vectors = [tuple(objectives(item)) for item in items]
+    front: List[T] = []
+    for i, item in enumerate(items):
+        dominated = any(
+            dominates(vectors[j], vectors[i])
+            for j in range(len(items))
+            if j != i
+        )
+        if not dominated:
+            front.append(item)
+    return front
+
+
+def knee_point(
+    items: Sequence[T],
+    objectives: Callable[[T], Sequence[float]],
+) -> T:
+    """The front point closest (normalized L2) to the ideal corner.
+
+    A pragmatic scalarization for "give me one balanced configuration":
+    normalize each objective over the front to [0, 1] and pick the point
+    with the smallest distance to the all-zeros ideal.
+    """
+    front = pareto_front(items, objectives)
+    if not front:
+        raise OptimizationError("cannot pick a knee point from an empty set")
+    vectors = [tuple(objectives(item)) for item in front]
+    n_obj = len(vectors[0])
+    mins = [min(v[k] for v in vectors) for k in range(n_obj)]
+    maxs = [max(v[k] for v in vectors) for k in range(n_obj)]
+    best_idx = 0
+    best_dist = float("inf")
+    for i, v in enumerate(vectors):
+        dist = 0.0
+        for k in range(n_obj):
+            span = maxs[k] - mins[k]
+            norm = 0.0 if span == 0 else (v[k] - mins[k]) / span
+            dist += norm * norm
+        if dist < best_dist:
+            best_idx, best_dist = i, dist
+    return front[best_idx]

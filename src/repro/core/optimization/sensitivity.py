@@ -1,0 +1,127 @@
+"""One-at-a-time parameter sensitivity analysis.
+
+The paper's central theme is that different stack parameters dominate
+different metrics in different SNR zones (payload and retries rule the grey
+zone; above 19 dB almost nothing matters). This module quantifies that:
+for a base configuration and link, sweep each tunable parameter alone over
+its Table I range and report the normalized span it induces in each model
+metric — a tornado-diagram style ranking of the knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ...config import StackConfig, VALID_PTX_LEVELS
+from ...errors import OptimizationError
+from .evaluate import ModelEvaluator
+
+#: Default per-parameter candidate values (the Table I axes).
+DEFAULT_AXES: Dict[str, Tuple] = {
+    "ptx_level": VALID_PTX_LEVELS,
+    "payload_bytes": (5, 20, 35, 50, 65, 80, 110),
+    "n_max_tries": (1, 2, 3, 5),
+    "d_retry_ms": (0.0, 30.0, 60.0),
+    "q_max": (1, 30),
+    "t_pkt_ms": (10.0, 20.0, 30.0, 50.0, 100.0, 200.0),
+}
+
+#: Metrics reported by the analysis (minimization-form objective names).
+METRICS = ("energy", "goodput", "delay", "loss")
+
+
+@dataclass(frozen=True)
+class ParameterSensitivity:
+    """Effect of one parameter on one metric around a base configuration."""
+
+    parameter: str
+    metric: str
+    base_value: float
+    best_value: float
+    worst_value: float
+    best_setting: object
+    worst_setting: object
+
+    @property
+    def span(self) -> float:
+        """Absolute worst-minus-best range the parameter induces."""
+        return self.worst_value - self.best_value
+
+    @property
+    def relative_span(self) -> float:
+        """Span normalized by the base metric magnitude (0 when base is 0)."""
+        scale = max(abs(self.base_value), 1e-12)
+        return self.span / scale
+
+
+def analyze_sensitivity(
+    evaluator: ModelEvaluator,
+    base: StackConfig,
+    axes: Mapping[str, Sequence] = None,
+    metrics: Sequence[str] = METRICS,
+) -> List[ParameterSensitivity]:
+    """One-at-a-time sensitivity of every metric to every parameter.
+
+    Non-finite metric values (infeasible settings, e.g. infinite energy on a
+    dead link) participate as "worst" candidates so a knob that can kill the
+    link ranks as maximally sensitive.
+    """
+    axes = dict(axes) if axes is not None else dict(DEFAULT_AXES)
+    unknown = set(axes) - set(DEFAULT_AXES)
+    if unknown:
+        raise OptimizationError(f"unknown tunable parameters: {sorted(unknown)}")
+    if not metrics:
+        raise OptimizationError("need at least one metric")
+    base_eval = evaluator.evaluate(base)
+    results: List[ParameterSensitivity] = []
+    for parameter, values in axes.items():
+        if not values:
+            raise OptimizationError(f"axis {parameter!r} is empty")
+        evaluations = []
+        for value in values:
+            cfg = base.with_updates(**{parameter: value})
+            evaluations.append((value, evaluator.evaluate(cfg)))
+        for metric in metrics:
+            scored = [
+                (value, ev.objective(metric)) for value, ev in evaluations
+            ]
+            best_setting, best = min(scored, key=lambda item: item[1])
+            worst_setting, worst = max(scored, key=lambda item: item[1])
+            results.append(
+                ParameterSensitivity(
+                    parameter=parameter,
+                    metric=metric,
+                    base_value=base_eval.objective(metric),
+                    best_value=best,
+                    worst_value=worst,
+                    best_setting=best_setting,
+                    worst_setting=worst_setting,
+                )
+            )
+    return results
+
+
+def rank_parameters(
+    sensitivities: Sequence[ParameterSensitivity], metric: str
+) -> List[ParameterSensitivity]:
+    """Parameters ordered by impact on one metric, most influential first.
+
+    Infinite spans (a setting that makes the metric infeasible) sort first.
+    """
+    rows = [s for s in sensitivities if s.metric == metric]
+    if not rows:
+        raise OptimizationError(f"no sensitivities computed for {metric!r}")
+    return sorted(
+        rows,
+        key=lambda s: (-np.inf if np.isinf(s.span) else -s.span),
+    )
+
+
+def dominant_parameter(
+    sensitivities: Sequence[ParameterSensitivity], metric: str
+) -> str:
+    """The single most influential parameter for a metric."""
+    return rank_parameters(sensitivities, metric)[0].parameter

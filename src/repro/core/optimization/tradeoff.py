@@ -1,0 +1,189 @@
+"""The energy-goodput trade-off harness (the paper's Fig. 1 and Table IV).
+
+Reproduces the case study of Sec. VIII-C: an indoor sensor must bulk-transfer
+data with maximum throughput and minimum energy. The link starts at P_tx = 23
+in the grey zone; per the paper, raising the power to 31 yields an SNR of
+6 dB. Each literature baseline tunes one parameter; joint tuning optimizes
+power, payload and retransmissions together via the empirical models.
+
+Two evaluation backends are provided: the empirical models (instant) and the
+event-driven simulator under saturating bulk traffic (the "measured" rows of
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ...channel.environment import Environment, HALLWAY_2012
+from ...config import StackConfig
+from ...errors import OptimizationError
+from ...radio import cc2420
+from ..constants import (
+    CASE_STUDY_SNR_AT_PTX23_DB,
+    TABLE_IV_ROWS,
+)
+from .baselines import TuningStrategy, joint_tuning, literature_baselines
+from .evaluate import ModelEvaluator, snr_map_from_reference
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One strategy's achieved (goodput, energy) operating point."""
+
+    strategy: str
+    config: StackConfig
+    goodput_kbps: float
+    u_eng_uj_per_bit: float
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """Better-or-equal on both axes and strictly better on one."""
+        ge = (
+            self.goodput_kbps >= other.goodput_kbps
+            and self.u_eng_uj_per_bit <= other.u_eng_uj_per_bit
+        )
+        strict = (
+            self.goodput_kbps > other.goodput_kbps
+            or self.u_eng_uj_per_bit < other.u_eng_uj_per_bit
+        )
+        return ge and strict
+
+
+def case_study_base_config(distance_m: float = 40.0) -> StackConfig:
+    """The starting configuration of the case study (before any tuning)."""
+    return StackConfig(
+        distance_m=distance_m,
+        ptx_level=23,
+        n_max_tries=1,
+        d_retry_ms=0.0,
+        q_max=30,
+        t_pkt_ms=30.0,
+        payload_bytes=114,
+    )
+
+
+def case_study_snr_map(
+    snr_at_23_db: float = CASE_STUDY_SNR_AT_PTX23_DB,
+) -> Dict[int, float]:
+    """Level → SNR for the case-study link (SNR tracks dB output power)."""
+    return snr_map_from_reference(snr_at_23_db, reference_level=23)
+
+
+def case_study_environment(
+    snr_at_23_db: float = CASE_STUDY_SNR_AT_PTX23_DB,
+    distance_m: float = 40.0,
+    base: Optional[Environment] = None,
+) -> Environment:
+    """An environment whose mean SNR at ``distance_m`` matches the case study.
+
+    The hallway path-loss model is given a position offset at ``distance_m``
+    such that P_tx = 23 yields exactly ``snr_at_23_db`` of long-run mean SNR;
+    temporal dynamics stay as in the base environment.
+    """
+    env = base or HALLWAY_2012
+    noise_mean = env.noise.mean_dbm
+    desired_loss = cc2420.output_power_dbm(23) - (noise_mean + snr_at_23_db)
+    median = env.pathloss.median_loss_db(distance_m)
+    offsets = dict(env.pathloss.position_offsets_db)
+    offsets[distance_m] = desired_loss - median
+    pathloss = replace(env.pathloss, position_offsets_db=offsets)
+    return replace(env, name=f"{env.name}+case-study", pathloss=pathloss)
+
+
+def run_case_study_models(
+    snr_at_23_db: float = CASE_STUDY_SNR_AT_PTX23_DB,
+    energy_budget_uj_per_bit: float = 0.30,
+    strategies: Optional[Sequence[TuningStrategy]] = None,
+) -> List[TradeoffPoint]:
+    """Model-predicted Table IV: baselines plus joint tuning."""
+    base = case_study_base_config()
+    evaluator = ModelEvaluator(snr_by_level=case_study_snr_map(snr_at_23_db))
+    points: List[TradeoffPoint] = []
+    for strategy in strategies if strategies is not None else literature_baselines():
+        tuned = strategy(base)
+        evaluation = evaluator.evaluate(tuned)
+        points.append(
+            TradeoffPoint(
+                strategy=f"{strategy.name} {strategy.citation}",
+                config=tuned,
+                goodput_kbps=evaluation.max_goodput_kbps,
+                u_eng_uj_per_bit=evaluation.u_eng_uj_per_bit,
+            )
+        )
+    joint = joint_tuning(evaluator, base, energy_budget_uj_per_bit)
+    points.append(
+        TradeoffPoint(
+            strategy="joint (our work)",
+            config=joint.config,
+            goodput_kbps=joint.max_goodput_kbps,
+            u_eng_uj_per_bit=joint.u_eng_uj_per_bit,
+        )
+    )
+    return points
+
+
+def run_case_study_simulation(
+    points: Sequence[TradeoffPoint],
+    n_packets: int = 1500,
+    seed: int = 7,
+    snr_at_23_db: float = CASE_STUDY_SNR_AT_PTX23_DB,
+    distance_m: float = 40.0,
+) -> List[TradeoffPoint]:
+    """Re-measure strategy operating points with the event simulator.
+
+    Bulk transfer means the sender is saturated: T_pkt is forced to 2 ms so
+    the queue never runs dry, and goodput equals delivered bits over the
+    run's duration.
+    """
+    from ...analysis import compute_metrics  # local import avoids a cycle
+    from ...sim import SimulationOptions, simulate_link
+
+    environment = case_study_environment(snr_at_23_db, distance_m)
+    measured: List[TradeoffPoint] = []
+    for point in points:
+        config = point.config.with_updates(
+            distance_m=distance_m, t_pkt_ms=2.0, q_max=30
+        )
+        options = SimulationOptions(
+            n_packets=n_packets, seed=seed, environment=environment
+        )
+        metrics = compute_metrics(simulate_link(config, options=options))
+        measured.append(
+            TradeoffPoint(
+                strategy=point.strategy,
+                config=config,
+                goodput_kbps=metrics.goodput_kbps,
+                u_eng_uj_per_bit=metrics.energy_per_info_bit_uj,
+            )
+        )
+    return measured
+
+
+def paper_table_iv_points() -> List[TradeoffPoint]:
+    """The published Table IV rows as TradeoffPoint objects (for comparison)."""
+    points = []
+    for name, (ptx, payload, tries, goodput, energy) in TABLE_IV_ROWS.items():
+        config = case_study_base_config().with_updates(
+            ptx_level=ptx, payload_bytes=min(payload, 114), n_max_tries=tries
+        )
+        points.append(
+            TradeoffPoint(
+                strategy=name,
+                config=config,
+                goodput_kbps=goodput,
+                u_eng_uj_per_bit=energy,
+            )
+        )
+    return points
+
+
+def joint_wins(points: Sequence[TradeoffPoint]) -> bool:
+    """Whether the joint strategy dominates every baseline (the Fig. 1 claim)."""
+    joint = [p for p in points if p.strategy.startswith("joint")]
+    if len(joint) != 1:
+        raise OptimizationError(
+            f"expected exactly one joint strategy point, got {len(joint)}"
+        )
+    others = [p for p in points if not p.strategy.startswith("joint")]
+    return all(joint[0].dominates(other) for other in others)

@@ -1,0 +1,105 @@
+"""Weighted-sum scalarization — an alternative MOP solver (Sec. VIII-B).
+
+The paper notes that "many MOP solving techniques can be applied" to its
+joint-tuning problem and uses epsilon-constraint as its example. The
+weighted-sum method is the other classical choice: minimize
+``Σ w_i · normalized(M_i)``. It is simpler to drive (no budgets to pick) but
+can only reach *convex* parts of the Pareto front — a limitation the tests
+document by comparing against the epsilon-constraint front.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+import numpy as np
+
+from ...errors import OptimizationError
+from .evaluate import ConfigEvaluation
+from .pareto import pareto_front
+
+
+def _normalize(values: np.ndarray) -> np.ndarray:
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        raise OptimizationError("objective has no finite values to normalize")
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    if span == 0:
+        return np.zeros_like(values)
+    out = (values - lo) / span
+    out[~np.isfinite(values)] = np.inf
+    return out
+
+
+def solve_weighted_sum(
+    evaluations: Sequence[ConfigEvaluation],
+    weights: Mapping[str, float],
+) -> ConfigEvaluation:
+    """Minimize a weighted sum of normalized (minimization-form) objectives.
+
+    ``weights`` maps objective names (see ``ConfigEvaluation.objective``) to
+    non-negative weights; at least one must be positive. Each objective is
+    min-max normalized over the evaluation set before weighting, so weights
+    express *relative priority*, not unit conversions.
+    """
+    if not evaluations:
+        raise OptimizationError("no evaluations to optimize over")
+    if not weights:
+        raise OptimizationError("need at least one objective weight")
+    names = sorted(weights)
+    w = np.array([float(weights[name]) for name in names])
+    if np.any(w < 0):
+        raise OptimizationError("weights must be non-negative")
+    if not np.any(w > 0):
+        raise OptimizationError("at least one weight must be positive")
+    columns = []
+    for name in names:
+        raw = np.array([e.objective(name) for e in evaluations], dtype=float)
+        columns.append(_normalize(raw))
+    scores = np.zeros(len(evaluations))
+    for weight, column in zip(w, columns):
+        if weight == 0.0:
+            # Skip rather than multiply: 0 × inf (an infeasible value in an
+            # unweighted objective) would poison the score with NaN.
+            continue
+        scores = scores + weight * column
+    best = int(np.argmin(scores))
+    return evaluations[best]
+
+
+def sweep_weights(
+    evaluations: Sequence[ConfigEvaluation],
+    objective_a: str,
+    objective_b: str,
+    n_points: int = 11,
+) -> List[ConfigEvaluation]:
+    """Trace a 2-objective trade-off by sweeping the weight ratio.
+
+    Consecutive duplicates are collapsed. Because weighted sums only reach
+    convex front regions, this curve is a subset of the epsilon-constraint
+    front — the classic textbook comparison, pinned by the tests.
+    """
+    if n_points < 2:
+        raise OptimizationError(f"need at least 2 sweep points, got {n_points!r}")
+    front: List[ConfigEvaluation] = []
+    for lam in np.linspace(0.0, 1.0, n_points):
+        best = solve_weighted_sum(
+            evaluations, {objective_a: 1.0 - lam, objective_b: lam}
+        )
+        if not front or front[-1].config != best.config:
+            front.append(best)
+    return front
+
+
+def weighted_points_on_pareto_front(
+    evaluations: Sequence[ConfigEvaluation],
+    objective_a: str,
+    objective_b: str,
+    n_points: int = 11,
+) -> bool:
+    """Whether every weighted-sum solution is Pareto-optimal (it must be)."""
+    objectives = lambda e: (e.objective(objective_a), e.objective(objective_b))
+    front_configs = {e.config for e in pareto_front(evaluations, objectives)}
+    swept = sweep_weights(evaluations, objective_a, objective_b, n_points)
+    return all(point.config in front_configs for point in swept)

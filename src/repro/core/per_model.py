@@ -1,0 +1,62 @@
+"""Empirical PER model — the paper's Eq. 3.
+
+``PER = α · l_D · exp(β · SNR)`` with the published fit α = 0.0128,
+β = −0.15. The model is a small-PER approximation, so its raw value can
+exceed 1 deep in the grey zone; :meth:`PerModel.per` clips to [0, 1] (which
+is how the paper uses it inside Eqs. 2 and 8), while :meth:`PerModel.raw`
+exposes the unclipped value for fitting diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .constants import PER_FIT, ExpFitCoefficients
+
+
+@dataclass(frozen=True)
+class PerModel:
+    """Eq. 3 with configurable (e.g. re-fitted) coefficients."""
+
+    coefficients: ExpFitCoefficients = field(default_factory=lambda: PER_FIT)
+
+    def raw(self, payload_bytes, snr_db):
+        """Unclipped α · l_D · exp(β · SNR); vectorized."""
+        payload = np.asarray(payload_bytes, dtype=float)
+        snr = np.asarray(snr_db, dtype=float)
+        value = (
+            self.coefficients.alpha
+            * payload
+            * np.exp(self.coefficients.beta * snr)
+        )
+        if np.ndim(payload_bytes) == 0 and np.ndim(snr_db) == 0:
+            return float(value)
+        return value
+
+    def per(self, payload_bytes, snr_db):
+        """PER in [0, 1]; vectorized."""
+        value = np.clip(self.raw(payload_bytes, snr_db), 0.0, 1.0)
+        if np.ndim(payload_bytes) == 0 and np.ndim(snr_db) == 0:
+            return float(value)
+        return value
+
+    def success_probability(self, payload_bytes, snr_db):
+        """1 − PER."""
+        return 1.0 - self.per(payload_bytes, snr_db)
+
+    def snr_for_target_per(self, payload_bytes: int, target_per: float) -> float:
+        """The SNR at which the model predicts a given PER for a payload.
+
+        Inverts Eq. 3: ``SNR = ln(target / (α · l_D)) / β``. Used by the
+        guidelines to answer "how much SNR does a 114-byte packet need".
+        """
+        if not 0 < target_per <= 1:
+            raise ValueError(f"target_per must be in (0, 1], got {target_per!r}")
+        if payload_bytes < 1:
+            raise ValueError(f"payload_bytes must be >= 1, got {payload_bytes!r}")
+        return float(
+            np.log(target_per / (self.coefficients.alpha * payload_bytes))
+            / self.coefficients.beta
+        )

@@ -1,0 +1,94 @@
+"""Empirical radio-loss model — the paper's Eq. 8 — and queue-loss estimates.
+
+``PLR_radio = (α · l_D · exp(β · SNR))^{N_maxTries}`` with the published fit
+α = 0.011, β = −0.145 (Fig. 12): the probability all N_maxTries independent
+attempts fail. Queue loss is estimated from the utilization via the M/M/1/K
+blocking formula, giving the total-loss decomposition of Sec. VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..queueing import mm1k_blocking_probability
+from .constants import PLR_RADIO_FIT, ExpFitCoefficients
+
+
+@dataclass(frozen=True)
+class PlrRadioModel:
+    """Eq. 8 with configurable coefficients."""
+
+    coefficients: ExpFitCoefficients = field(default_factory=lambda: PLR_RADIO_FIT)
+
+    def attempt_failure_probability(self, payload_bytes, snr_db):
+        """The base α · l_D · exp(β · SNR), clipped to [0, 1]; vectorized."""
+        payload = np.asarray(payload_bytes, dtype=float)
+        snr = np.asarray(snr_db, dtype=float)
+        value = np.clip(
+            self.coefficients.alpha
+            * payload
+            * np.exp(self.coefficients.beta * snr),
+            0.0,
+            1.0,
+        )
+        if np.ndim(payload_bytes) == 0 and np.ndim(snr_db) == 0:
+            return float(value)
+        return value
+
+    def plr_radio(self, payload_bytes, snr_db, n_max_tries: int):
+        """Probability a packet exhausts its attempt budget; vectorized."""
+        if n_max_tries < 1:
+            raise ValueError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
+        base = self.attempt_failure_probability(payload_bytes, snr_db)
+        value = np.asarray(base, dtype=float) ** n_max_tries
+        if np.ndim(payload_bytes) == 0 and np.ndim(snr_db) == 0:
+            return float(value)
+        return value
+
+    def min_tries_for_target(
+        self, payload_bytes: int, snr_db: float, target_plr: float
+    ) -> int:
+        """Smallest N_maxTries achieving a radio-loss target at this link.
+
+        Returns a large sentinel (10**6) when the per-attempt failure is 1
+        (no budget achieves the target).
+        """
+        if not 0 < target_plr < 1:
+            raise ValueError(f"target_plr must be in (0, 1), got {target_plr!r}")
+        base = float(self.attempt_failure_probability(payload_bytes, snr_db))
+        if base <= target_plr:
+            return 1
+        if base >= 1.0:
+            return 10**6
+        n = int(np.ceil(np.log(target_plr) / np.log(base)))
+        return max(1, n)
+
+
+def plr_queue_estimate(rho: float, q_max: int) -> float:
+    """Queue-loss estimate from utilization and queue capacity.
+
+    Uses the M/M/1/K blocking probability with K = Q_max + 1 (the packet in
+    MAC service occupies the server position, queue slots hold the rest).
+    The paper's traffic is periodic, so this is an upper-bound style
+    estimate; its role is ranking configurations, which the simulator
+    validates.
+    """
+    if q_max < 1:
+        raise ValueError(f"q_max must be >= 1, got {q_max!r}")
+    return mm1k_blocking_probability(rho, q_max + 1)
+
+
+def plr_total_estimate(
+    plr_radio: float, plr_queue: float
+) -> float:
+    """Total loss when queue loss and radio loss act in series.
+
+    A packet is lost if dropped at the queue, or accepted and then lost on
+    radio: ``PLR = PLR_queue + (1 − PLR_queue) · PLR_radio``.
+    """
+    for name, value in (("plr_radio", plr_radio), ("plr_queue", plr_queue)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return plr_queue + (1.0 - plr_queue) * plr_radio

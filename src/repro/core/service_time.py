@@ -1,0 +1,123 @@
+"""Empirical service-time model — the paper's Eqs. 5–6.
+
+The service time of a packet (entering the MAC to leaving it) decomposes as
+
+* delivered within the budget (Eq. 5):
+  ``T = T_SPI + T_succ + (N_tries − 1) · T_retry``
+* budget exhausted (Eq. 6):
+  ``T = T_SPI + T_fail + (N_maxTries − 1) · T_retry``
+
+with ``T_succ = T_MAC + T_frame + T_ACK``, ``T_fail = T_MAC + T_frame +
+T_waitACK`` and ``T_retry = D_retry + T_MAC + T_frame + T_waitACK``.
+
+Three summary forms are provided:
+
+* :meth:`ServiceTimeModel.paper_service_time_s` — the paper's own closed
+  form, plugging the *unbounded* N̄_tries of Eq. 7 into Eq. 5 (this is what
+  reproduces Table II);
+* :meth:`ServiceTimeModel.mean_service_time_s` — the exact expectation under
+  a truncated-geometric attempt process, which is what the event simulator
+  realizes;
+* :meth:`ServiceTimeModel.service_time_given_tries_s` — Eqs. 5–6 verbatim
+  for a known attempt count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..radio.timing import AttemptTimes
+from .ntries_model import NtriesModel, truncated_geometric_mean_tries
+from .per_model import PerModel
+
+
+@dataclass(frozen=True)
+class ServiceTimeModel:
+    """Eqs. 5–6 parameterized by the PER and N_tries models."""
+
+    per_model: PerModel = field(default_factory=PerModel)
+    ntries_model: NtriesModel = field(default_factory=NtriesModel)
+
+    def attempt_times(self, payload_bytes: int, d_retry_ms: float) -> AttemptTimes:
+        """The per-attempt timing terms for this payload/retry delay."""
+        return AttemptTimes(payload_bytes=payload_bytes, d_retry_s=d_retry_ms / 1e3)
+
+    def service_time_given_tries_s(
+        self,
+        payload_bytes: int,
+        n_tries: int,
+        n_max_tries: int,
+        d_retry_ms: float,
+        delivered: bool,
+    ) -> float:
+        """Eqs. 5–6 verbatim for a known attempt count."""
+        if n_tries < 1:
+            raise ValueError(f"n_tries must be >= 1, got {n_tries!r}")
+        if n_tries > n_max_tries:
+            raise ValueError(
+                f"n_tries {n_tries} exceeds the budget {n_max_tries}"
+            )
+        times = self.attempt_times(payload_bytes, d_retry_ms)
+        if delivered:
+            return times.t_spi + times.t_succ + (n_tries - 1) * times.t_retry
+        return times.t_spi + times.t_fail + (n_max_tries - 1) * times.t_retry
+
+    def paper_service_time_s(
+        self,
+        payload_bytes: int,
+        snr_db,
+        d_retry_ms: float,
+    ):
+        """The paper's closed form: Eq. 5 with Eq. 7's unbounded N̄_tries.
+
+        Vectorized over ``snr_db``. This is the form behind Table II.
+        """
+        times = self.attempt_times(payload_bytes, d_retry_ms)
+        n_bar = self.ntries_model.expected_tries(payload_bytes, snr_db)
+        value = times.t_spi + times.t_succ + (np.asarray(n_bar) - 1.0) * times.t_retry
+        return float(value) if np.ndim(snr_db) == 0 else value
+
+    def mean_service_time_s(
+        self,
+        payload_bytes: int,
+        snr_db,
+        n_max_tries: int,
+        d_retry_ms: float,
+    ):
+        """Exact expectation under truncated-geometric attempts.
+
+        ``E[T] = T_SPI + E[N] · (T_MAC + T_frame) + (E[N] − 1) · D_retry
+        + P_succ · T_ACK + (E[N] − P_succ) · T_waitACK`` where every attempt
+        except the final successful one ends in a full ACK wait.
+        """
+        if n_max_tries < 1:
+            raise ValueError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
+        times = self.attempt_times(payload_bytes, d_retry_ms)
+        per = np.asarray(self.per_model.per(payload_bytes, snr_db), dtype=float)
+        expected_n = truncated_geometric_mean_tries(per, n_max_tries)
+        p_succ = 1.0 - per**n_max_tries
+        core_attempt = times.t_mac + times.t_frame
+        ack_time = times.t_succ - core_attempt  # T_ACK
+        wait_time = times.t_fail - core_attempt  # T_waitACK
+        value = (
+            times.t_spi
+            + expected_n * core_attempt
+            + (expected_n - 1.0) * (d_retry_ms / 1e3)
+            + p_succ * ack_time
+            + (expected_n - p_succ) * wait_time
+        )
+        return float(value) if np.ndim(snr_db) == 0 else value
+
+    def saturated_throughput_packets_per_s(
+        self,
+        payload_bytes: int,
+        snr_db: float,
+        n_max_tries: int,
+        d_retry_ms: float,
+    ) -> float:
+        """Back-to-back packet service rate, 1 / E[T]."""
+        return 1.0 / self.mean_service_time_s(
+            payload_bytes, snr_db, n_max_tries, d_retry_ms
+        )

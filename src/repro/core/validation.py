@@ -1,0 +1,183 @@
+"""Model-vs-measurement validation reports.
+
+Quantifies, for a campaign dataset, how well each empirical model predicts
+the measured metrics — the machinery behind EXPERIMENTS.md's error tables
+and the "should I re-fit?" decision the paper's Sec. VIII-D anticipates for
+new environments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..campaign.dataset import CampaignDataset
+from ..campaign.summary import ConfigSummary
+from ..errors import ReproError
+from .energy_model import EnergyModel
+from .goodput_model import GoodputModel
+from .ntries_model import NtriesModel, truncated_geometric_mean_tries
+from .per_model import PerModel
+from .plr_model import PlrRadioModel
+from .service_time import ServiceTimeModel
+
+
+@dataclass(frozen=True)
+class MetricValidation:
+    """Prediction accuracy of one model over a dataset."""
+
+    metric: str
+    n_points: int
+    mean_absolute_error: float
+    mean_relative_error: float
+    bias: float
+    correlation: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.metric}: n={self.n_points}, "
+            f"MAE={self.mean_absolute_error:.4g}, "
+            f"rel.err={self.mean_relative_error:.1%}, "
+            f"bias={self.bias:+.4g}, r={self.correlation:.3f}"
+        )
+
+
+@dataclass
+class ModelValidator:
+    """Compares model predictions with a dataset's measured metrics."""
+
+    per_model: PerModel = field(default_factory=PerModel)
+    ntries_model: NtriesModel = field(default_factory=NtriesModel)
+    plr_model: PlrRadioModel = field(default_factory=PlrRadioModel)
+    service_model: ServiceTimeModel = field(default_factory=ServiceTimeModel)
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    goodput_model: GoodputModel = field(default_factory=GoodputModel)
+
+    def _predict(self, metric: str, summary: ConfigSummary) -> float:
+        cfg = summary.config
+        snr = summary.mean_snr_db
+        if metric == "per":
+            return float(self.per_model.per(cfg.payload_bytes, snr))
+        if metric == "plr_radio":
+            return float(
+                self.plr_model.plr_radio(cfg.payload_bytes, snr, cfg.n_max_tries)
+            )
+        if metric == "mean_tries":
+            per = float(self.per_model.per(cfg.payload_bytes, snr))
+            return float(
+                truncated_geometric_mean_tries(per, cfg.n_max_tries)
+            )
+        if metric == "mean_service_time_ms":
+            return (
+                self.service_model.mean_service_time_s(
+                    cfg.payload_bytes, snr, cfg.n_max_tries, cfg.d_retry_ms
+                )
+                * 1e3
+            )
+        if metric == "u_eng_uj_per_bit":
+            return (
+                self.energy_model.u_eng_finite_retries_j_per_bit(
+                    cfg.ptx_level, cfg.payload_bytes, snr, cfg.n_max_tries
+                )
+                * 1e6
+            )
+        raise ReproError(
+            f"no model prediction available for metric {metric!r}"
+        )
+
+    def validate_metric(
+        self, dataset: CampaignDataset, metric: str
+    ) -> MetricValidation:
+        """Prediction-error statistics for one metric over the dataset.
+
+        Rows whose measurement or prediction is non-finite (dead links) are
+        skipped.
+        """
+        measured: List[float] = []
+        predicted: List[float] = []
+        for summary in dataset:
+            m = getattr(summary, metric)
+            if not math.isfinite(m) or not math.isfinite(summary.mean_snr_db):
+                continue
+            p = self._predict(metric, summary)
+            if not math.isfinite(p):
+                continue
+            measured.append(m)
+            predicted.append(p)
+        if len(measured) < 2:
+            raise ReproError(
+                f"need at least 2 finite points to validate {metric!r}, "
+                f"have {len(measured)}"
+            )
+        m_arr = np.asarray(measured)
+        p_arr = np.asarray(predicted)
+        errors = p_arr - m_arr
+        # Symmetric relative error, bounded in [0, 1]: robust when the
+        # measured value is exactly zero (lossless cells) while the model
+        # predicts a small residual. Cells where both values are negligible
+        # (< 1% of the metric's observed scale) carry no information about
+        # model quality and are excluded from the relative-error average.
+        scale = np.maximum(np.maximum(np.abs(m_arr), np.abs(p_arr)), 1e-12)
+        floor = 0.01 * float(scale.max())
+        informative = scale >= max(floor, 1e-12)
+        if informative.any():
+            rel = float(
+                np.mean(np.abs(errors[informative]) / scale[informative])
+            )
+        else:
+            rel = 0.0
+        with np.errstate(invalid="ignore"):
+            corr = float(np.corrcoef(m_arr, p_arr)[0, 1])
+        if math.isnan(corr):
+            corr = 1.0 if np.allclose(m_arr, p_arr) else 0.0
+        return MetricValidation(
+            metric=metric,
+            n_points=len(measured),
+            mean_absolute_error=float(np.mean(np.abs(errors))),
+            mean_relative_error=rel,
+            bias=float(np.mean(errors)),
+            correlation=corr,
+        )
+
+    def validate_all(
+        self, dataset: CampaignDataset
+    ) -> Dict[str, MetricValidation]:
+        """Validate every predictable metric present in the dataset."""
+        out = {}
+        for metric in (
+            "per",
+            "plr_radio",
+            "mean_tries",
+            "mean_service_time_ms",
+            "u_eng_uj_per_bit",
+        ):
+            try:
+                out[metric] = self.validate_metric(dataset, metric)
+            except ReproError:
+                continue
+        if not out:
+            raise ReproError("no metric could be validated on this dataset")
+        return out
+
+
+def needs_refit(
+    validations: Dict[str, MetricValidation],
+    relative_error_threshold: float = 0.5,
+) -> bool:
+    """Whether the published coefficients misdescribe this environment.
+
+    The decision rule the paper's Sec. VIII-D discussion implies: if the
+    published models are off by more than ``relative_error_threshold`` on
+    average for any loss metric, re-fit against local measurements.
+    """
+    if not 0 < relative_error_threshold:
+        raise ReproError("relative_error_threshold must be positive")
+    for metric in ("per", "plr_radio"):
+        if metric in validations and (
+            validations[metric].mean_relative_error > relative_error_threshold
+        ):
+            return True
+    return False

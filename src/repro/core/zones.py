@@ -1,0 +1,73 @@
+"""The paper's SNR zones (Sec. III-B).
+
+Two classifications coexist in the paper:
+
+* the classical **grey zone** picture: below ~5 dB the link is essentially
+  dead, 5–12 dB is the lossy transition ("grey zone"), above 12 dB the link
+  is in the low-loss zone;
+* the **joint-effect zones of PER** derived from Fig. 6(d): the high-impact
+  zone (5–12 dB) where PER is high and strongly payload-dependent, the
+  medium-impact zone (12–19 dB) where PER is low but still payload-sensitive,
+  and the low-impact zone (≥ 19 dB) where neither SNR nor payload matters
+  much.
+
+Both are exposed because the guidelines reference both vocabularies.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from . import constants
+
+
+class JointEffectZone(enum.Enum):
+    """The three joint-effect zones of PER from Fig. 6(d)."""
+
+    #: SNR below the grey zone: the link barely works at all.
+    DEAD = "dead"
+    #: 5–12 dB: highest PER, dramatic payload dependence.
+    HIGH_IMPACT = "high-impact"
+    #: 12–19 dB: low PER but still significantly payload-dependent.
+    MEDIUM_IMPACT = "medium-impact"
+    #: ≥ 19 dB: PER small and insensitive to both SNR and payload.
+    LOW_IMPACT = "low-impact"
+
+
+def classify_snr(snr_db: float) -> JointEffectZone:
+    """Which joint-effect zone an SNR value falls into."""
+    if snr_db < constants.GREY_ZONE_LOW_DB:
+        return JointEffectZone.DEAD
+    if snr_db < constants.GREY_ZONE_HIGH_DB:
+        return JointEffectZone.HIGH_IMPACT
+    if snr_db < constants.LOW_IMPACT_SNR_DB:
+        return JointEffectZone.MEDIUM_IMPACT
+    return JointEffectZone.LOW_IMPACT
+
+
+def in_grey_zone(snr_db: float) -> bool:
+    """Whether the link is in the grey zone (5–12 dB)."""
+    return constants.GREY_ZONE_LOW_DB <= snr_db < constants.GREY_ZONE_HIGH_DB
+
+
+def in_low_loss_zone(snr_db: float) -> bool:
+    """Whether the link is past the grey-zone border (≥ 12 dB)."""
+    return snr_db >= constants.GREY_ZONE_HIGH_DB
+
+
+def snr_margin_over_grey_zone(snr_db: float) -> float:
+    """SNR headroom above the grey-zone border (negative inside/below it).
+
+    The paper's headline trade-off finding is that the best-trade-off SNR is
+    *up to 7 dB above* this border for maximum-size packets.
+    """
+    return snr_db - constants.GREY_ZONE_HIGH_DB
+
+
+def zone_boundaries_db() -> tuple:
+    """The (grey-low, grey-high, low-impact) boundaries in dB."""
+    return (
+        constants.GREY_ZONE_LOW_DB,
+        constants.GREY_ZONE_HIGH_DB,
+        constants.LOW_IMPACT_SNR_DB,
+    )

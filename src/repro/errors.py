@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+applications can catch everything library-specific with a single handler
+while still letting programming errors (``TypeError`` and friends) surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A stack parameter configuration is invalid or out of range.
+
+    Raised, for example, when a :class:`repro.config.StackConfig` is built
+    with a payload size exceeding the 114-byte stack maximum, or with an
+    unknown CC2420 power level.
+    """
+
+
+class RadioError(ReproError):
+    """A radio-layer operation failed (unknown power level, oversized frame)."""
+
+
+class ChannelError(ReproError):
+    """A channel-model operation failed (non-positive distance, bad sigma)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulerError(SimulationError):
+    """The event scheduler was misused (event in the past, re-run after stop)."""
+
+
+class CampaignError(ReproError):
+    """A measurement campaign could not be constructed or executed."""
+
+
+class DatasetError(ReproError):
+    """A campaign dataset could not be read, written, or aggregated."""
+
+
+class FittingError(ReproError):
+    """An empirical-model regression failed to converge or had no data."""
+
+
+class OptimizationError(ReproError):
+    """A parameter-optimization problem is infeasible or ill-posed."""
+
+
+class InfeasibleError(OptimizationError):
+    """No configuration in the search space satisfies the constraints."""

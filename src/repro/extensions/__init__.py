@@ -1,0 +1,30 @@
+"""Extensions beyond the paper's testbed (its Sec. VIII-D future-work list):
+
+concurrent-transmission interference, low-power-listening wake-ups, and node
+mobility. Each composes with the substrate (environments, channels, service
+model) rather than forking it, and each has an ablation benchmark.
+"""
+
+from .burst import GilbertElliottChannel, GilbertElliottConfig
+from .interference import (
+    CollidingBer,
+    InterfererConfig,
+    interfered_csma,
+    interfered_environment,
+)
+from .lpl import LplConfig, LplEnergyModel, LplServiceTimeModel
+from .mobility import MobileLinkChannel, MobilityTrace
+
+__all__ = [
+    "CollidingBer",
+    "GilbertElliottChannel",
+    "GilbertElliottConfig",
+    "InterfererConfig",
+    "LplConfig",
+    "LplEnergyModel",
+    "LplServiceTimeModel",
+    "MobileLinkChannel",
+    "MobilityTrace",
+    "interfered_csma",
+    "interfered_environment",
+]

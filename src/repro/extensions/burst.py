@@ -1,0 +1,106 @@
+"""Gilbert-Elliott bursty channel (two-state Markov fading).
+
+The paper's hallway channel shows temporally correlated loss (human
+shadowing, slow fading), and its D_retry knob — the delay before a
+retransmission — only earns its keep on such channels: against memoryless
+loss, waiting before a retry buys nothing, but against a fade that persists
+for tens of milliseconds, spacing the retries rides the fade out.
+
+:class:`GilbertElliottChannel` wraps a :class:`~repro.channel.link.LinkChannel`
+with a continuous-time two-state Markov chain: in the *bad* state the link
+is attenuated by ``bad_extra_loss_db``. Mean sojourn times are configurable;
+the stationary bad-state probability is ``bad_mean_s / (good_mean_s +
+bad_mean_s)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.environment import Environment
+from ..channel.link import ChannelSample, LinkChannel
+from ..errors import ChannelError
+from ..radio import cc2420, lqi as lqi_mod
+
+
+@dataclass(frozen=True)
+class GilbertElliottConfig:
+    """Parameters of the two-state burst process."""
+
+    good_mean_s: float = 0.5
+    bad_mean_s: float = 0.05
+    bad_extra_loss_db: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.good_mean_s <= 0 or self.bad_mean_s <= 0:
+            raise ChannelError("state sojourn means must be positive")
+        if self.bad_extra_loss_db < 0:
+            raise ChannelError(
+                f"bad_extra_loss_db must be >= 0, got {self.bad_extra_loss_db!r}"
+            )
+
+    @property
+    def stationary_bad_probability(self) -> float:
+        """Long-run fraction of time spent in the bad state."""
+        return self.bad_mean_s / (self.good_mean_s + self.bad_mean_s)
+
+
+class GilbertElliottChannel(LinkChannel):
+    """A link channel whose loss comes in bursts.
+
+    The burst chain is sampled lazily: on each observation the chain is
+    advanced from the last observation time by drawing exponential sojourns.
+    Observations must therefore be non-decreasing in time (the same contract
+    as the base channel).
+    """
+
+    def __init__(
+        self,
+        environment: Environment,
+        distance_m: float,
+        ptx_level: int,
+        rng: np.random.Generator,
+        burst: GilbertElliottConfig = GilbertElliottConfig(),
+    ) -> None:
+        super().__init__(environment, distance_m, ptx_level, rng)
+        self.burst = burst
+        # Start in the stationary distribution.
+        self._in_bad = bool(rng.random() < burst.stationary_bad_probability)
+        self._state_until_s = 0.0
+        self._last_time_s = 0.0
+        self._advance_state(0.0)
+
+    def _draw_sojourn(self) -> float:
+        mean = self.burst.bad_mean_s if self._in_bad else self.burst.good_mean_s
+        return float(self._rng.exponential(mean))
+
+    def _advance_state(self, now_s: float) -> None:
+        if now_s < self._last_time_s:
+            raise ChannelError(
+                f"time must be non-decreasing: {now_s} < {self._last_time_s}"
+            )
+        self._last_time_s = now_s
+        while self._state_until_s <= now_s:
+            self._in_bad = not self._in_bad
+            self._state_until_s += self._draw_sojourn()
+
+    @property
+    def in_bad_state(self) -> bool:
+        """Whether the chain is currently in the bad (fade) state."""
+        return self._in_bad
+
+    def sample(self, time_s: float) -> ChannelSample:
+        self._advance_state(time_s)
+        base = super().sample(time_s)
+        if not self._in_bad:
+            return base
+        rssi = cc2420.clamp_rssi(base.rssi_dbm - self.burst.bad_extra_loss_db)
+        snr = rssi - base.noise_dbm
+        return ChannelSample(
+            time_s=time_s,
+            rssi_dbm=rssi,
+            noise_dbm=base.noise_dbm,
+            lqi=lqi_mod.sample_lqi(snr, self._rng),
+        )

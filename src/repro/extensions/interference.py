@@ -1,0 +1,117 @@
+"""Concurrent-transmission interference (paper Sec. VIII-D, factor 1).
+
+The paper names concurrent transmitters — packet collisions and a raised
+noise floor — as the first factor that would complicate its single-link
+findings. This extension models an interferer with a given channel duty
+cycle in two composable ways:
+
+* **CSMA coupling** — the sender's CCA sees the channel busy with the
+  interferer's duty-cycle probability (honest CSMA behaviour: the cost is
+  congestion backoff and occasional channel-access failures);
+* **collision coupling** — a transmission that overlaps an interferer burst
+  is lost; with a duty cycle ``u`` and independence, a frame of air time
+  ``T_f`` against bursts of mean length ``T_b`` collides with probability
+  ``1 − (1 − u)^((T_f + T_b) / T_b)`` ≈ the classical vulnerable-window
+  formula. We fold this into an effective per-frame loss add-on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..channel.environment import Environment
+from ..channel.noise import NoiseFloorModel, NoiseMode
+from ..errors import SimulationError
+from ..mac.csma import CsmaParameters
+from ..radio.ber import BitErrorModel
+
+
+@dataclass(frozen=True)
+class InterfererConfig:
+    """A single on/off interferer sharing the channel."""
+
+    duty_cycle: float = 0.1
+    mean_burst_s: float = 0.003
+    #: Noise-floor elevation while the interferer is on (dB).
+    noise_rise_db: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duty_cycle < 1.0:
+            raise SimulationError(
+                f"duty_cycle must be in [0, 1), got {self.duty_cycle!r}"
+            )
+        if self.mean_burst_s <= 0:
+            raise SimulationError(
+                f"mean_burst_s must be positive, got {self.mean_burst_s!r}"
+            )
+
+    def collision_probability(self, frame_time_s: float) -> float:
+        """Probability a frame overlaps at least one interferer burst."""
+        if frame_time_s < 0:
+            raise SimulationError(f"frame time must be >= 0, got {frame_time_s!r}")
+        if self.duty_cycle == 0.0:
+            return 0.0
+        windows = (frame_time_s + self.mean_burst_s) / self.mean_burst_s
+        return 1.0 - (1.0 - self.duty_cycle) ** windows
+
+
+def interfered_csma(
+    base: CsmaParameters, interferer: InterfererConfig
+) -> CsmaParameters:
+    """CSMA parameters whose CCA sees the interferer's duty cycle."""
+    return replace(base, cca_busy_prob=interferer.duty_cycle)
+
+
+@dataclass(frozen=True)
+class CollidingBer(BitErrorModel):
+    """A BER model wrapper adding interference collisions.
+
+    Frame error = channel error OR collision (independent):
+    ``PER' = 1 − (1 − PER) · (1 − P_coll)``.
+    """
+
+    inner: BitErrorModel
+    interferer: InterfererConfig
+    data_rate_bps: float = 250_000.0
+
+    def bit_error_probability(self, snr_db):
+        return self.inner.bit_error_probability(snr_db)
+
+    def frame_error_probability(self, snr_db, frame_bytes: int):
+        base = self.inner.frame_error_probability(snr_db, frame_bytes)
+        p_coll = self.interferer.collision_probability(
+            frame_bytes * 8 / self.data_rate_bps
+        )
+        value = 1.0 - (1.0 - np.asarray(base, dtype=float)) * (1.0 - p_coll)
+        return float(value) if np.ndim(snr_db) == 0 else value
+
+
+def interfered_environment(
+    base: Environment, interferer: InterfererConfig
+) -> Environment:
+    """An environment with the interferer folded into noise and PER.
+
+    The noise floor gains an interfered mode (weight = duty cycle, mean
+    raised by ``noise_rise_db``) and the BER model gains the collision term.
+    """
+    quiet_weight = 1.0 - interferer.duty_cycle
+    base_mean = base.noise.mean_dbm
+    base_std = max(base.noise.std_db, 0.5)
+    noise = NoiseFloorModel(
+        modes=(
+            NoiseMode(mean_dbm=base_mean, std_db=base_std, weight=quiet_weight),
+            NoiseMode(
+                mean_dbm=base_mean + interferer.noise_rise_db,
+                std_db=base_std,
+                weight=interferer.duty_cycle,
+            ),
+        )
+    ) if interferer.duty_cycle > 0 else base.noise
+    return replace(
+        base,
+        name=f"{base.name}+interferer({interferer.duty_cycle:g})",
+        noise=noise,
+        ber=CollidingBer(inner=base.ber, interferer=interferer),
+    )

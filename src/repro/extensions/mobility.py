@@ -1,0 +1,102 @@
+"""Node mobility (paper Sec. VIII-D, factor 3).
+
+The paper flags node mobility as a factor with "possibly large impact". This
+extension provides a waypoint-based distance trace and a channel whose path
+loss follows it, so existing simulations become mobile by swapping the
+channel object. Frozen per-position shadowing offsets are disabled along the
+trajectory (they would create artificial discontinuities); the slow-fading
+process supplies the shadowing dynamics instead.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..channel.environment import Environment
+from ..channel.link import ChannelSample, LinkChannel
+from ..errors import ChannelError
+from ..radio import cc2420, lqi as lqi_mod
+
+
+@dataclass(frozen=True)
+class MobilityTrace:
+    """Piecewise-linear distance-versus-time trajectory.
+
+    Waypoints are (time_s, distance_m) pairs with strictly increasing times;
+    the trajectory holds the last distance after the final waypoint.
+    """
+
+    waypoints: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 1:
+            raise ChannelError("a mobility trace needs at least one waypoint")
+        times = [t for t, _ in self.waypoints]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ChannelError("waypoint times must be strictly increasing")
+        if any(d <= 0 for _, d in self.waypoints):
+            raise ChannelError("waypoint distances must be positive")
+        if times[0] != 0.0:
+            raise ChannelError("the first waypoint must be at time 0")
+
+    def distance_at(self, time_s: float) -> float:
+        """Distance at an arbitrary time (linear interpolation)."""
+        if time_s < 0:
+            raise ChannelError(f"time must be >= 0, got {time_s!r}")
+        times = [t for t, _ in self.waypoints]
+        idx = bisect.bisect_right(times, time_s) - 1
+        if idx >= len(self.waypoints) - 1:
+            return self.waypoints[-1][1]
+        t0, d0 = self.waypoints[idx]
+        t1, d1 = self.waypoints[idx + 1]
+        frac = (time_s - t0) / (t1 - t0)
+        return d0 + frac * (d1 - d0)
+
+    @classmethod
+    def walk(
+        cls, start_m: float, end_m: float, duration_s: float
+    ) -> "MobilityTrace":
+        """A constant-speed walk between two distances."""
+        if duration_s <= 0:
+            raise ChannelError(f"duration must be positive, got {duration_s!r}")
+        return cls(waypoints=((0.0, start_m), (duration_s, end_m)))
+
+
+class MobileLinkChannel(LinkChannel):
+    """A link channel whose distance follows a :class:`MobilityTrace`.
+
+    The median path loss is re-evaluated at every sample; the per-position
+    frozen shadowing offsets are intentionally *not* applied (see module
+    docstring).
+    """
+
+    def __init__(
+        self,
+        environment: Environment,
+        trace: MobilityTrace,
+        ptx_level: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(
+            environment, trace.distance_at(0.0), ptx_level, rng
+        )
+        self.trace = trace
+
+    def sample(self, time_s: float) -> ChannelSample:
+        distance = self.trace.distance_at(time_s)
+        median_loss = self.environment.pathloss.median_loss_db(distance)
+        mean_rssi = self.tx_power_dbm - median_loss
+        attenuation = self._fading.attenuation_db(time_s)
+        rssi = cc2420.clamp_rssi(mean_rssi - attenuation)
+        noise = float(self.environment.noise.sample(self._rng))
+        snr = rssi - noise
+        return ChannelSample(
+            time_s=time_s,
+            rssi_dbm=rssi,
+            noise_dbm=noise,
+            lqi=lqi_mod.sample_lqi(snr, self._rng),
+        )

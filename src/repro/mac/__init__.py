@@ -1,0 +1,29 @@
+"""MAC substrate: unslotted CSMA-CA, acknowledgements, retransmission policy.
+
+Reconstructs the beaconless IEEE 802.15.4 MAC of the TinyOS 2.1 CC2420 stack
+the paper's motes ran (Sec. II-B), with the two MAC-layer tuning knobs the
+paper sweeps: N_maxTries and D_retry.
+"""
+
+from .ack import AckPolicy, AttemptResult, ack_frame_bytes
+from .csma import (
+    CCA_TIME_S,
+    ChannelAccess,
+    CsmaParameters,
+    UNIT_BACKOFF_PERIOD_S,
+    UnslottedCsma,
+)
+from .retransmission import RetryDecision, RetryPolicy
+
+__all__ = [
+    "AckPolicy",
+    "AttemptResult",
+    "CCA_TIME_S",
+    "ChannelAccess",
+    "CsmaParameters",
+    "RetryDecision",
+    "RetryPolicy",
+    "UNIT_BACKOFF_PERIOD_S",
+    "UnslottedCsma",
+    "ack_frame_bytes",
+]

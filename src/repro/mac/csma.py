@@ -1,0 +1,107 @@
+"""Unslotted CSMA-CA channel access (IEEE 802.15.4 beaconless mode).
+
+The paper's motes use the TinyOS 2.1 CC2420 stack in beaconless mode with
+unslotted CSMA-CA: before each transmission the radio waits a random initial
+backoff, performs a clear-channel assessment (CCA), and on a busy channel
+draws a (shorter) congestion backoff and tries again.
+
+On the paper's single-link testbed the channel is almost always clear — the
+interesting randomness is the initial backoff, whose *mean* (5.28 ms) is a
+named constant of the paper's service-time model. The CCA-busy probability is
+configurable so the interference extension can inject contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..radio import timing
+
+#: One 802.15.4 unit backoff period: 20 symbols = 320 µs.
+UNIT_BACKOFF_PERIOD_S = 20 * 16e-6
+
+#: CCA detection time: 8 symbols = 128 µs.
+CCA_TIME_S = 8 * 16e-6
+
+
+@dataclass(frozen=True)
+class CsmaParameters:
+    """Tunables of the unslotted CSMA-CA algorithm.
+
+    ``max_initial_backoff_s`` defaults to twice the paper's mean T_BO, so a
+    uniform draw reproduces the paper's 5.28 ms average. ``cca_busy_prob`` is
+    the probability a CCA finds the channel busy (0 on the paper's isolated
+    link); ``max_cca_attempts`` bounds the congestion-backoff loop, after
+    which the frame is dropped with a channel-access failure.
+    """
+
+    max_initial_backoff_s: float = timing.MAX_INITIAL_BACKOFF_S
+    congestion_backoff_max_s: float = 10 * UNIT_BACKOFF_PERIOD_S
+    cca_busy_prob: float = 0.0
+    max_cca_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.max_initial_backoff_s < 0:
+            raise SimulationError("max_initial_backoff_s must be >= 0")
+        if self.congestion_backoff_max_s < 0:
+            raise SimulationError("congestion_backoff_max_s must be >= 0")
+        if not 0.0 <= self.cca_busy_prob < 1.0:
+            raise SimulationError(
+                f"cca_busy_prob must be in [0, 1), got {self.cca_busy_prob!r}"
+            )
+        if self.max_cca_attempts < 1:
+            raise SimulationError("max_cca_attempts must be >= 1")
+
+    @property
+    def mean_initial_backoff_s(self) -> float:
+        """Mean of the uniform initial backoff (the paper's T_BO)."""
+        return self.max_initial_backoff_s / 2.0
+
+
+@dataclass(frozen=True)
+class ChannelAccess:
+    """Outcome of one CSMA-CA channel-access procedure.
+
+    ``delay_s`` is the total time from access start until the radio may key
+    up (all backoffs + CCA times); ``granted`` is False when every CCA in the
+    budget found the channel busy.
+    """
+
+    delay_s: float
+    granted: bool
+    cca_attempts: int
+
+
+class UnslottedCsma:
+    """Samples CSMA-CA channel-access delays for one transmitter."""
+
+    def __init__(self, params: CsmaParameters, rng: np.random.Generator) -> None:
+        self.params = params
+        self._rng = rng
+
+    def initial_backoff_s(self) -> float:
+        """Draw one initial backoff, quantized to unit backoff periods."""
+        raw = self._rng.uniform(0.0, self.params.max_initial_backoff_s)
+        periods = round(raw / UNIT_BACKOFF_PERIOD_S)
+        return periods * UNIT_BACKOFF_PERIOD_S
+
+    def congestion_backoff_s(self) -> float:
+        """Draw one congestion backoff after a busy CCA."""
+        raw = self._rng.uniform(0.0, self.params.congestion_backoff_max_s)
+        periods = round(raw / UNIT_BACKOFF_PERIOD_S)
+        return periods * UNIT_BACKOFF_PERIOD_S
+
+    def access_channel(self) -> ChannelAccess:
+        """Run the full unslotted CSMA-CA procedure for one frame."""
+        delay = self.initial_backoff_s()
+        attempts = 0
+        while attempts < self.params.max_cca_attempts:
+            attempts += 1
+            delay += CCA_TIME_S
+            if self._rng.random() >= self.params.cca_busy_prob:
+                return ChannelAccess(delay_s=delay, granted=True, cca_attempts=attempts)
+            delay += self.congestion_backoff_s()
+        return ChannelAccess(delay_s=delay, granted=False, cca_attempts=attempts)

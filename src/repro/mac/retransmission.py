@@ -1,0 +1,64 @@
+"""Retry policy: the MAC-layer N_maxTries / D_retry knobs.
+
+The paper's MAC exposes two retransmission parameters: the maximum number of
+transmissions ``N_maxTries`` (1 = no retransmission) and the retry delay
+``D_retry`` inserted before each retransmission. This module encodes the
+decision logic as a small value type used by both the event-driven simulator
+and the closed-form service-time model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+class RetryDecision(enum.Enum):
+    """What the MAC does after a transmission attempt."""
+
+    #: The frame was acknowledged; the packet leaves the MAC successfully.
+    SUCCESS = "success"
+    #: Not acknowledged but attempts remain; retransmit after D_retry.
+    RETRY = "retry"
+    #: Not acknowledged and the attempt budget is exhausted; drop the packet
+    #: (this is the paper's radio loss, PLR_radio).
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Immutable retransmission policy for one configuration."""
+
+    n_max_tries: int = 1
+    d_retry_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_max_tries < 1:
+            raise SimulationError(
+                f"n_max_tries must be >= 1, got {self.n_max_tries!r}"
+            )
+        if self.d_retry_s < 0:
+            raise SimulationError(f"d_retry_s must be >= 0, got {self.d_retry_s!r}")
+
+    @property
+    def retransmissions_enabled(self) -> bool:
+        """Whether the MAC may send a frame more than once."""
+        return self.n_max_tries > 1
+
+    def decide(self, tries_done: int, acked: bool) -> RetryDecision:
+        """Decide the next step after attempt number ``tries_done`` (1-based)."""
+        if tries_done < 1:
+            raise SimulationError(
+                f"tries_done must be >= 1, got {tries_done!r}"
+            )
+        if tries_done > self.n_max_tries:
+            raise SimulationError(
+                f"attempt {tries_done} exceeds the budget of {self.n_max_tries}"
+            )
+        if acked:
+            return RetryDecision.SUCCESS
+        if tries_done < self.n_max_tries:
+            return RetryDecision.RETRY
+        return RetryDecision.DROP

@@ -1,0 +1,26 @@
+"""Queueing substrate: the bounded transmit FIFO and analytic helpers.
+
+The FIFO implements the paper's Q_max parameter (packets waiting for
+(re-)transmission above the MAC, Sec. II-B); the analytic helpers implement
+the utilization reasoning of Sec. VI (Eq. 9) and the M/G/1 / M/M/1/K anchors
+used by the delay and loss guidelines.
+"""
+
+from .analysis import (
+    QueueingRegime,
+    mg1_mean_wait_s,
+    mm1k_blocking_probability,
+    mm1k_mean_queue_length,
+    utilization,
+)
+from .fifo import BoundedFifoQueue, QueueStats
+
+__all__ = [
+    "BoundedFifoQueue",
+    "QueueStats",
+    "QueueingRegime",
+    "mg1_mean_wait_s",
+    "mm1k_blocking_probability",
+    "mm1k_mean_queue_length",
+    "utilization",
+]

@@ -1,0 +1,115 @@
+"""Analytic queueing helpers behind the paper's delay analysis (Sec. VI).
+
+The paper explains its delay observations through the system utilization
+
+``ρ = T_service / T_pkt``                                       (Eq. 9)
+
+— the ratio of average service time to packet inter-arrival time — and the
+classical facts that queueing delay stays small for ρ < 1, explodes as
+ρ → 1, and is unbounded for ρ ≥ 1 without dropping. This module provides the
+utilization computation plus standard M/G/1 and M/G/1/K estimates used to
+sanity-check the event-driven simulator and to power the delay guidelines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+def utilization(service_time_s: float, interarrival_s: float) -> float:
+    """System utilization ρ = T_service / T_pkt (Eq. 9)."""
+    if service_time_s < 0:
+        raise SimulationError(
+            f"service time must be >= 0, got {service_time_s!r}"
+        )
+    if interarrival_s <= 0:
+        raise SimulationError(
+            f"inter-arrival time must be positive, got {interarrival_s!r}"
+        )
+    return service_time_s / interarrival_s
+
+
+@dataclass(frozen=True)
+class QueueingRegime:
+    """Qualitative delay regime implied by a utilization value."""
+
+    rho: float
+
+    #: Above this, delay grows steeply even though the system is stable.
+    HEAVY_TRAFFIC_THRESHOLD = 0.8
+
+    @property
+    def stable(self) -> bool:
+        """ρ < 1: queueing delay is bounded."""
+        return self.rho < 1.0
+
+    @property
+    def heavy_traffic(self) -> bool:
+        """0.8 ≤ ρ < 1: stable but delay is blowing up quickly."""
+        return self.HEAVY_TRAFFIC_THRESHOLD <= self.rho < 1.0
+
+    @property
+    def overloaded(self) -> bool:
+        """ρ ≥ 1: the queue grows without bound (or drops at Q_max)."""
+        return self.rho >= 1.0
+
+    def describe(self) -> str:
+        """Human-readable regime label, as used by the guideline engine."""
+        if self.overloaded:
+            return "overloaded (rho >= 1): queue fills; expect queueing loss and delays bounded only by Q_max"
+        if self.heavy_traffic:
+            return "heavy traffic (0.8 <= rho < 1): stable but queueing delay grows steeply"
+        return "light traffic (rho < 0.8): negligible queueing delay"
+
+
+def mg1_mean_wait_s(
+    mean_service_s: float,
+    service_scv: float,
+    interarrival_s: float,
+) -> float:
+    """Pollaczek-Khinchine mean waiting time for an M/G/1 queue.
+
+    ``W = ρ · (1 + c_s²) / (2 · (1 − ρ)) · T_service`` where ``c_s²`` is the
+    squared coefficient of variation of the service time. Returns ``inf``
+    when ρ ≥ 1. The paper's traffic is periodic rather than Poisson, so this
+    overestimates waiting somewhat; it is used as a conservative regime
+    indicator, not as ground truth.
+    """
+    if service_scv < 0:
+        raise SimulationError(f"service SCV must be >= 0, got {service_scv!r}")
+    rho = utilization(mean_service_s, interarrival_s)
+    if rho >= 1.0:
+        return math.inf
+    return rho * (1.0 + service_scv) / (2.0 * (1.0 - rho)) * mean_service_s
+
+
+def mm1k_blocking_probability(rho: float, capacity: int) -> float:
+    """Blocking (drop) probability of an M/M/1/K queue.
+
+    Used as a closed-form anchor for PLR_queue: the probability an arrival
+    finds the K-capacity system full. Handles the ρ = 1 limit exactly.
+    """
+    if rho < 0:
+        raise SimulationError(f"rho must be >= 0, got {rho!r}")
+    if capacity < 1:
+        raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+    k = capacity
+    if math.isclose(rho, 1.0, rel_tol=1e-12, abs_tol=1e-12):
+        return 1.0 / (k + 1)
+    return (1.0 - rho) * rho**k / (1.0 - rho ** (k + 1))
+
+
+def mm1k_mean_queue_length(rho: float, capacity: int) -> float:
+    """Mean number in an M/M/1/K system (service position included)."""
+    if rho < 0:
+        raise SimulationError(f"rho must be >= 0, got {rho!r}")
+    if capacity < 1:
+        raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+    k = capacity
+    if math.isclose(rho, 1.0, rel_tol=1e-12, abs_tol=1e-12):
+        return k / 2.0
+    numerator = rho * (1.0 - (k + 1.0) * rho**k + k * rho ** (k + 1))
+    return numerator / ((1.0 - rho) * (1.0 - rho ** (k + 1)))

@@ -1,0 +1,127 @@
+"""Bounded FIFO transmit queue (the paper's Q_max knob).
+
+The paper's stack buffers application packets in a FIFO queue above the MAC;
+its capacity ``Q_max`` is one of the seven swept parameters (1 or 30 in the
+campaign). A packet arriving at a full queue is dropped and counted as
+queueing loss (PLR_queue, Sec. VII).
+
+The queue tracks its own statistics — arrivals, drops, occupancy integral —
+so the simulator can report queueing loss rate and time-average occupancy
+without re-walking traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, List, Optional, TypeVar
+
+from ..errors import SimulationError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Snapshot of queue counters."""
+
+    arrivals: int
+    accepted: int
+    dropped: int
+    departures: int
+    time_average_occupancy: float
+    peak_occupancy: int
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of arrivals dropped (PLR_queue); 0 for no arrivals."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.dropped / self.arrivals
+
+
+class BoundedFifoQueue(Generic[T]):
+    """A capacity-limited FIFO with occupancy-time accounting.
+
+    ``now_s`` must be passed non-decreasingly to the mutating operations so
+    the occupancy integral (∫ occupancy dt) is well defined.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(f"queue capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._arrivals = 0
+        self._accepted = 0
+        self._dropped = 0
+        self._departures = 0
+        self._peak = 0
+        self._occupancy_integral = 0.0
+        self._last_update_s = 0.0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def _advance(self, now_s: float) -> None:
+        if now_s < self._last_update_s:
+            raise SimulationError(
+                f"queue time went backwards: {now_s} < {self._last_update_s}"
+            )
+        self._occupancy_integral += len(self._items) * (now_s - self._last_update_s)
+        self._last_update_s = now_s
+
+    def offer(self, item: T, now_s: float) -> bool:
+        """Try to enqueue; returns False (and counts a drop) when full."""
+        self._advance(now_s)
+        self._arrivals += 1
+        if self.is_full:
+            self._dropped += 1
+            return False
+        self._items.append(item)
+        self._accepted += 1
+        self._peak = max(self._peak, len(self._items))
+        return True
+
+    def poll(self, now_s: float) -> Optional[T]:
+        """Dequeue the head item, or None when empty."""
+        self._advance(now_s)
+        if not self._items:
+            return None
+        self._departures += 1
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        """The head item without removing it, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def drain(self, now_s: float) -> List[T]:
+        """Remove and return all queued items (end-of-run cleanup)."""
+        self._advance(now_s)
+        items = list(self._items)
+        self._departures += len(items)
+        self._items.clear()
+        return items
+
+    def stats(self, now_s: Optional[float] = None) -> QueueStats:
+        """Counters snapshot; pass ``now_s`` to include time up to now."""
+        if now_s is not None:
+            self._advance(now_s)
+        elapsed = self._last_update_s
+        avg = self._occupancy_integral / elapsed if elapsed > 0 else 0.0
+        return QueueStats(
+            arrivals=self._arrivals,
+            accepted=self._accepted,
+            dropped=self._dropped,
+            departures=self._departures,
+            time_average_occupancy=avg,
+            peak_occupancy=self._peak,
+        )

@@ -1,0 +1,77 @@
+"""Radio substrate: CC2420 constants, 802.15.4 framing, BER, timing, energy.
+
+This subpackage reconstructs the platform layer the paper's measurements ran
+on — a TelosB mote's CC2420 transceiver driven by the TinyOS 2.1 stack. The
+numeric constants come from the CC2420 datasheet and from the timing values
+the paper reports in its service-time model (Sec. V-B).
+"""
+
+from .ber import AnalyticOQPSKBer, BitErrorModel, DEFAULT_BER_MODEL, EmpiricalExpBer
+from .cc2420 import (
+    DATA_RATE_BPS,
+    PA_LEVELS,
+    PA_TABLE,
+    SENSITIVITY_DBM,
+    clamp_rssi,
+    nearest_pa_level,
+    output_power_dbm,
+    tx_current_a,
+    tx_energy_per_bit_j,
+)
+from .energy import EnergyMeter, ack_rx_energy_j, tx_energy_j
+from .frame import (
+    ACK_FRAME_BYTES,
+    DATA_FRAME_OVERHEAD_BYTES,
+    MAX_PAYLOAD_BYTES,
+    DataFrame,
+    ack_air_time_s,
+    frame_air_bytes,
+    frame_air_time_s,
+)
+from .lqi import mean_lqi, sample_lqi
+from .timing import (
+    ACK_TIME_S,
+    ACK_WAIT_TIMEOUT_S,
+    MAX_INITIAL_BACKOFF_S,
+    MEAN_INITIAL_BACKOFF_S,
+    TURNAROUND_TIME_S,
+    AttemptTimes,
+    mac_delay_s,
+    spi_load_time_s,
+)
+
+__all__ = [
+    "ACK_FRAME_BYTES",
+    "ACK_TIME_S",
+    "ACK_WAIT_TIMEOUT_S",
+    "AnalyticOQPSKBer",
+    "AttemptTimes",
+    "BitErrorModel",
+    "DATA_FRAME_OVERHEAD_BYTES",
+    "DATA_RATE_BPS",
+    "DEFAULT_BER_MODEL",
+    "DataFrame",
+    "EmpiricalExpBer",
+    "EnergyMeter",
+    "MAX_INITIAL_BACKOFF_S",
+    "MAX_PAYLOAD_BYTES",
+    "MEAN_INITIAL_BACKOFF_S",
+    "PA_LEVELS",
+    "PA_TABLE",
+    "SENSITIVITY_DBM",
+    "TURNAROUND_TIME_S",
+    "ack_air_time_s",
+    "ack_rx_energy_j",
+    "clamp_rssi",
+    "frame_air_bytes",
+    "frame_air_time_s",
+    "mac_delay_s",
+    "mean_lqi",
+    "nearest_pa_level",
+    "output_power_dbm",
+    "sample_lqi",
+    "spi_load_time_s",
+    "tx_current_a",
+    "tx_energy_j",
+    "tx_energy_per_bit_j",
+]

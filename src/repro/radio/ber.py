@@ -1,0 +1,138 @@
+"""Bit- and frame-error models for the simulated CC2420 link.
+
+The ground truth of the reproduction needs a mapping from instantaneous SNR
+(dB) and frame length to a frame-error probability. Two models are provided:
+
+:class:`EmpiricalExpBer`
+    Per-bit error probability ``p = a · exp(b · SNR_dB)`` (clamped to 0.5).
+    For a frame of ``L`` bits, ``PER = 1 − (1 − p)^L``, whose small-PER
+    expansion is ``PER ≈ L · a · exp(b · SNR)`` — exactly the functional form
+    the paper fits in Eq. 3 (``PER = α · l_D · exp(β · SNR)``). The default
+    coefficients are calibrated so that running the paper's campaign on this
+    ground truth and re-fitting Eq. 3 recovers α ≈ 0.0128, β ≈ −0.15. This is
+    the *default* channel behaviour: the paper reports smooth exponential PER
+    decay (Fig. 6a–b), not a sharp cliff.
+
+:class:`AnalyticOQPSKBer`
+    The textbook IEEE 802.15.4 2.4 GHz O-QPSK/DSSS bit-error rate, offset by
+    an implementation-loss term. It produces the "sharp cliff" transition
+    that the paper says *prior* studies observed, and is kept as an ablation
+    (``benchmarks/bench_ablation_ber.py``) to show why the empirical model
+    was needed.
+
+All methods accept scalars or numpy arrays of SNR values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import RadioError
+
+#: Largest meaningful per-bit error probability (random guessing).
+MAX_BIT_ERROR = 0.5
+
+
+class BitErrorModel:
+    """Base class: maps SNR (dB) to bit- and frame-error probabilities."""
+
+    def bit_error_probability(self, snr_db):
+        """Per-bit error probability at the given SNR (dB). Vectorized."""
+        raise NotImplementedError
+
+    def frame_error_probability(self, snr_db, frame_bytes: int):
+        """Probability that a ``frame_bytes``-byte frame is corrupted.
+
+        Assumes independent bit errors within the frame:
+        ``PER = 1 − (1 − p_bit)^(8·frame_bytes)``.
+        """
+        if frame_bytes <= 0:
+            raise RadioError(f"frame_bytes must be positive, got {frame_bytes!r}")
+        p_bit = self.bit_error_probability(snr_db)
+        n_bits = 8 * frame_bytes
+        # log1p keeps precision for tiny p_bit over a thousand bits.
+        return -np.expm1(n_bits * np.log1p(-np.asarray(p_bit, dtype=float)))
+
+    def frame_success_probability(self, snr_db, frame_bytes: int):
+        """Complement of :meth:`frame_error_probability`."""
+        return 1.0 - self.frame_error_probability(snr_db, frame_bytes)
+
+
+@dataclass(frozen=True)
+class EmpiricalExpBer(BitErrorModel):
+    """Exponential-in-dB per-bit error model (default ground truth).
+
+    Parameters
+    ----------
+    coefficient:
+        ``a`` in ``p = a · exp(b · SNR_dB)``. The default 0.0015 together
+        with the 19-byte frame overhead reproduces the paper's fitted
+        α ≈ 0.0128 (per payload byte) and its ≈0.1 PER for maximum-size
+        frames at the 19 dB low-impact border.
+    exponent_per_db:
+        ``b`` (negative). The default −0.15 matches the paper's β.
+    """
+
+    coefficient: float = 0.0015
+    exponent_per_db: float = -0.15
+
+    def __post_init__(self) -> None:
+        if self.coefficient <= 0:
+            raise RadioError(
+                f"coefficient must be positive, got {self.coefficient!r}"
+            )
+        if self.exponent_per_db >= 0:
+            raise RadioError(
+                "exponent_per_db must be negative (errors decrease with SNR), "
+                f"got {self.exponent_per_db!r}"
+            )
+
+    def bit_error_probability(self, snr_db):
+        snr = np.asarray(snr_db, dtype=float)
+        p = self.coefficient * np.exp(self.exponent_per_db * snr)
+        result = np.minimum(p, MAX_BIT_ERROR)
+        return float(result) if np.ndim(snr_db) == 0 else result
+
+
+@dataclass(frozen=True)
+class AnalyticOQPSKBer(BitErrorModel):
+    """Analytic O-QPSK/DSSS BER for IEEE 802.15.4 at 2.4 GHz.
+
+    ``BER = (8/15) · (1/16) · Σ_{k=2}^{16} (−1)^k · C(16, k) ·
+    exp(20 · γ · (1/k − 1))`` with γ the linear SINR (Goyal et al. / the
+    802.15.4 standard's Annex E model).
+
+    Parameters
+    ----------
+    implementation_loss_db:
+        Subtracted from the nominal SNR before evaluating the formula. Real
+        CC2420 links need substantially more SNR than theory; the paper's
+        grey zone sits at 5–12 dB whereas the pristine formula transitions
+        around 0–3 dB. The default of 10 dB shifts the analytic cliff into
+        the measured region.
+    """
+
+    implementation_loss_db: float = 10.0
+
+    # C(16, k) · (−1)^k for k = 2..16, precomputed.
+    _TERMS = tuple(
+        ((-1) ** k) * math.comb(16, k) for k in range(2, 17)
+    )
+
+    def bit_error_probability(self, snr_db):
+        snr = np.asarray(snr_db, dtype=float) - self.implementation_loss_db
+        gamma = 10.0 ** (snr / 10.0)
+        acc = np.zeros_like(gamma)
+        for i, coeff in enumerate(self._TERMS):
+            k = i + 2
+            acc = acc + coeff * np.exp(20.0 * gamma * (1.0 / k - 1.0))
+        ber = (8.0 / 15.0) * (1.0 / 16.0) * acc
+        result = np.clip(ber, 0.0, MAX_BIT_ERROR)
+        return float(result) if np.ndim(snr_db) == 0 else result
+
+
+#: Model used by the default environments.
+DEFAULT_BER_MODEL = EmpiricalExpBer()

@@ -1,0 +1,129 @@
+"""TI CC2420 radio constants, from the datasheet and the paper.
+
+The paper's motes are TelosB boards whose CC2420 transceiver implements the
+IEEE 802.15.4 PHY at 2.4 GHz: 250 kb/s O-QPSK with DSSS (2 Mchip/s, 62.5
+ksymbol/s, 4 bits/symbol). The transmit power is programmed through the 5-bit
+``PA_LEVEL`` register field; the paper sweeps the 8 levels {3, 7, ..., 31}.
+
+Output power and current draw per level are taken from the CC2420 datasheet
+(Table 9); intermediate levels not listed in the datasheet are interpolated
+once here and frozen as constants so the whole library agrees on them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import RadioError
+
+#: PHY data rate (bits per second).
+DATA_RATE_BPS = 250_000
+
+#: Symbol rate (symbols per second); one symbol carries 4 bits.
+SYMBOL_RATE_SPS = 62_500
+
+#: Duration of one 802.15.4 symbol in seconds (16 µs).
+SYMBOL_TIME_S = 1.0 / SYMBOL_RATE_SPS
+
+#: Chip rate of the DSSS spreading (chips per second).
+CHIP_RATE_CPS = 2_000_000
+
+#: Receiver sensitivity (dBm): below this RSSI nothing is decodable.
+SENSITIVITY_DBM = -95.0
+
+#: RSSI register saturation range of the CC2420 (dBm).
+RSSI_MIN_DBM = -100.0
+RSSI_MAX_DBM = 0.0
+
+#: Radio supply voltage (V) used for energy accounting. The CC2420 core runs
+#: at 1.8 V (on-chip regulator); the paper's Table IV energy figures
+#: (e.g. 0.35 µJ/bit at P_tx = 31 with PER ≈ 0.59) back-solve to
+#: E_tx ≈ 0.125 µJ/bit = 1.8 V × 17.4 mA / 250 kb/s, confirming 1.8 V.
+SUPPLY_VOLTAGE_V = 1.8
+
+#: Receive-mode current draw (A).
+RX_CURRENT_A = 18.8e-3
+
+#: Idle-mode current draw (A).
+IDLE_CURRENT_A = 426e-6
+
+#: Power-down current draw (A).
+SLEEP_CURRENT_A = 20e-6
+
+#: CC2420 PA_LEVEL -> (output power dBm, TX current A).
+#:
+#: Levels 31/27/23/19/15/11/7/3 map to 0/-1/-3/-5/-7/-10/-15/-25 dBm with the
+#: datasheet currents 17.4/16.5/15.2/13.9/12.5/11.2/9.9/8.5 mA.
+PA_TABLE: Dict[int, Tuple[float, float]] = {
+    31: (0.0, 17.4e-3),
+    27: (-1.0, 16.5e-3),
+    23: (-3.0, 15.2e-3),
+    19: (-5.0, 13.9e-3),
+    15: (-7.0, 12.5e-3),
+    11: (-10.0, 11.2e-3),
+    7: (-15.0, 9.9e-3),
+    3: (-25.0, 8.5e-3),
+}
+
+#: All valid PA levels, ascending.
+PA_LEVELS: Tuple[int, ...] = tuple(sorted(PA_TABLE))
+
+
+def output_power_dbm(pa_level: int) -> float:
+    """Programmed output power in dBm for a PA_LEVEL register value."""
+    try:
+        return PA_TABLE[pa_level][0]
+    except KeyError:
+        raise RadioError(
+            f"unknown CC2420 PA_LEVEL {pa_level!r}; valid levels: {PA_LEVELS}"
+        ) from None
+
+
+def tx_current_a(pa_level: int) -> float:
+    """Transmit-mode current draw in amperes for a PA_LEVEL value."""
+    try:
+        return PA_TABLE[pa_level][1]
+    except KeyError:
+        raise RadioError(
+            f"unknown CC2420 PA_LEVEL {pa_level!r}; valid levels: {PA_LEVELS}"
+        ) from None
+
+
+def tx_power_w(pa_level: int) -> float:
+    """Electrical power drawn by the radio while transmitting (watts)."""
+    return SUPPLY_VOLTAGE_V * tx_current_a(pa_level)
+
+
+def tx_energy_per_bit_j(pa_level: int) -> float:
+    """Energy to transmit one bit over the air at the given power level.
+
+    This is the paper's ``E_tx`` (Eq. 2): supply power divided by the PHY
+    data rate. At PA_LEVEL 31 this is 3 V × 17.4 mA / 250 kb/s ≈ 0.209 µJ/bit.
+    """
+    return tx_power_w(pa_level) / DATA_RATE_BPS
+
+
+def rx_power_w() -> float:
+    """Electrical power drawn while receiving/listening (watts)."""
+    return SUPPLY_VOLTAGE_V * RX_CURRENT_A
+
+
+def nearest_pa_level(power_dbm: float) -> int:
+    """The PA_LEVEL whose output power is closest to ``power_dbm``.
+
+    Ties resolve to the lower (cheaper) level.
+    """
+    return min(
+        PA_LEVELS,
+        key=lambda lvl: (abs(PA_TABLE[lvl][0] - power_dbm), lvl),
+    )
+
+
+def clamp_rssi(rssi_dbm: float) -> float:
+    """Clamp an RSSI reading to the CC2420 register range.
+
+    The paper notes that at 35 m with PA_LEVEL 3 the measured RSSI deviation
+    collapses because readings sit at the sensitivity floor; this clamp is
+    what produces that effect in the simulated link.
+    """
+    return max(RSSI_MIN_DBM, min(RSSI_MAX_DBM, rssi_dbm))

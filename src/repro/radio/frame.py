@@ -1,0 +1,106 @@
+"""IEEE 802.15.4 frame layout as used by the TinyOS 2.1 CC2420 stack.
+
+The paper's Eq. 2 writes the transmitted frame as ``l_0 + l_D`` where ``l_D``
+is the application payload and ``l_0`` the stack overhead. With the TinyOS
+CC2420 stack the overhead decomposes as:
+
+* PHY synchronization header: 4-byte preamble + 1-byte SFD + 1-byte length
+  field = 6 bytes (sent on air, not counted in the 127-byte MPDU limit);
+* MAC header: 2-byte FCF + 1-byte sequence number + 2-byte destination PAN +
+  2-byte destination address + 2-byte source address + 1-byte TinyOS
+  T-frame network dispatch byte + 1-byte AM type (active message id)
+  = 11 bytes;
+* MAC footer: 2-byte FCS (CRC-16);
+
+so the MPDU overhead is 13 bytes, the maximum payload is 127 − 13 = 114
+bytes — exactly the paper's "maximum payload size (114 bytes) in our radio
+stack" — and the full air overhead ``l_0`` is 19 bytes.
+
+An acknowledgement frame is a 5-byte MPDU (FCF + seq + FCS) plus the 6-byte
+PHY header = 11 bytes on air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RadioError
+from . import cc2420
+
+#: PHY synchronisation header: preamble(4) + SFD(1) + length(1), bytes.
+PHY_HEADER_BYTES = 6
+
+#: MAC header bytes (FCF 2, seq 1, dst PAN 2, dst 2, src 2, network 1, AM 1).
+MAC_HEADER_BYTES = 11
+
+#: MAC footer bytes (FCS / CRC-16).
+MAC_FOOTER_BYTES = 2
+
+#: MPDU overhead (header + footer), bytes.
+MPDU_OVERHEAD_BYTES = MAC_HEADER_BYTES + MAC_FOOTER_BYTES
+
+#: Total on-air overhead l_0 for a data frame (PHY + MPDU overhead), bytes.
+DATA_FRAME_OVERHEAD_BYTES = PHY_HEADER_BYTES + MPDU_OVERHEAD_BYTES
+
+#: Maximum MPDU size allowed by IEEE 802.15.4, bytes.
+MAX_MPDU_BYTES = 127
+
+#: Maximum application payload, bytes (= 127 − 13 = 114).
+MAX_PAYLOAD_BYTES = MAX_MPDU_BYTES - MPDU_OVERHEAD_BYTES
+
+#: On-air size of an acknowledgement frame, bytes.
+ACK_FRAME_BYTES = PHY_HEADER_BYTES + 5
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """An 802.15.4 data frame carrying ``payload_bytes`` of application data."""
+
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_bytes <= MAX_PAYLOAD_BYTES:
+            raise RadioError(
+                f"payload must be in [0, {MAX_PAYLOAD_BYTES}] bytes, "
+                f"got {self.payload_bytes!r}"
+            )
+
+    @property
+    def mpdu_bytes(self) -> int:
+        """MPDU size (what the 1-byte PHY length field counts)."""
+        return self.payload_bytes + MPDU_OVERHEAD_BYTES
+
+    @property
+    def air_bytes(self) -> int:
+        """Total bytes on air: l_0 + l_D."""
+        return self.payload_bytes + DATA_FRAME_OVERHEAD_BYTES
+
+    @property
+    def air_bits(self) -> int:
+        """Total bits on air."""
+        return self.air_bytes * 8
+
+    @property
+    def air_time_s(self) -> float:
+        """Transmission time of the frame at the 250 kb/s PHY rate (T_frame)."""
+        return self.air_bits / cc2420.DATA_RATE_BPS
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Fraction of on-air bytes that are overhead, in [0, 1]."""
+        return DATA_FRAME_OVERHEAD_BYTES / self.air_bytes
+
+
+def frame_air_bytes(payload_bytes: int) -> int:
+    """On-air bytes for a data frame with the given payload (l_0 + l_D)."""
+    return DataFrame(payload_bytes).air_bytes
+
+
+def frame_air_time_s(payload_bytes: int) -> float:
+    """On-air transmission time for a data frame with the given payload."""
+    return DataFrame(payload_bytes).air_time_s
+
+
+def ack_air_time_s() -> float:
+    """On-air transmission time for an acknowledgement frame."""
+    return ACK_FRAME_BYTES * 8 / cc2420.DATA_RATE_BPS

@@ -1,0 +1,45 @@
+"""Event types of the link simulator's discrete-event core."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventKind(enum.Enum):
+    """What a scheduled event represents in the sender's pipeline."""
+
+    #: The application generated a packet (every T_pkt).
+    PACKET_ARRIVAL = "packet_arrival"
+    #: The MAC pulls the next packet from the queue and loads it over SPI.
+    SERVICE_START = "service_start"
+    #: One transmission attempt begins (CSMA access, then the frame).
+    ATTEMPT_START = "attempt_start"
+    #: The attempt resolved (ACK received or ACK wait timed out).
+    ATTEMPT_END = "attempt_end"
+    #: The packet left the MAC (delivered or dropped after N_maxTries).
+    SERVICE_COMPLETE = "service_complete"
+    #: A generic user callback (extensions: mobility steps, interferers).
+    CALLBACK = "callback"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event. Ordering is (time, sequence number).
+
+    The sequence number makes the schedule a stable total order, so
+    simultaneous events fire in scheduling order — a property the tests pin
+    because queue statistics depend on it.
+    """
+
+    time_s: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    callback: Callable[["Event"], None] = field(compare=False, repr=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when its time comes."""
+        self.cancelled = True

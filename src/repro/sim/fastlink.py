@@ -1,0 +1,233 @@
+"""Vectorized Monte-Carlo link model (no queueing, saturated sender).
+
+The full event-driven simulator pays per-event Python overhead that the
+PER / N_tries / PLR_radio analyses do not need: those metrics depend only on
+per-attempt channel draws, not on queue dynamics. :class:`FastLink` runs the
+attempt process for thousands of packets as numpy array operations, ~two
+orders of magnitude faster than the DES, and is what the model-fitting
+campaigns and the PER figures use.
+
+Agreement between the two engines on their shared domain is pinned by an
+integration test and an ablation benchmark (`bench_ablation_engines`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..channel.environment import Environment, HALLWAY_2012
+from ..errors import SimulationError
+from ..mac import ack_frame_bytes
+from ..radio import cc2420
+from ..radio import frame as frame_mod
+from ..radio import timing
+
+
+@dataclass(frozen=True)
+class FastLinkResult:
+    """Aggregated outcome of a vectorized run (arrays are per packet)."""
+
+    mean_snr_db: float
+    payload_bytes: int
+    n_max_tries: int
+    n_tries: np.ndarray
+    acked: np.ndarray
+    data_delivered: np.ndarray
+    service_time_s: np.ndarray
+    #: Per-transmission SNR samples actually drawn (flattened).
+    snr_samples_db: np.ndarray
+    #: Per-transmission ACK outcome (parallel to snr_samples_db).
+    tx_acked: np.ndarray
+
+    @property
+    def n_packets(self) -> int:
+        return int(self.n_tries.size)
+
+    @property
+    def n_transmissions(self) -> int:
+        return int(self.n_tries.sum())
+
+    @property
+    def per(self) -> float:
+        """Packet error rate, Eq. 1: unACKed transmissions / transmissions."""
+        total = self.n_transmissions
+        if total == 0:
+            return 0.0
+        return 1.0 - float(self.tx_acked.sum()) / total
+
+    @property
+    def plr_radio(self) -> float:
+        """Radio loss rate: packets never ACKed within N_maxTries."""
+        return 1.0 - float(self.acked.mean())
+
+    @property
+    def mean_tries(self) -> float:
+        """Mean transmissions per packet, over all packets."""
+        return float(self.n_tries.mean())
+
+    @property
+    def mean_tries_successful(self) -> float:
+        """Mean transmissions among successfully ACKed packets (Fig. 11)."""
+        if not self.acked.any():
+            return float("nan")
+        return float(self.n_tries[self.acked].mean())
+
+    @property
+    def mean_service_time_s(self) -> float:
+        """Mean MAC service time per packet."""
+        return float(self.service_time_s.mean())
+
+    def tx_energy_j(self, ptx_level: int) -> float:
+        """Total transmit energy of the run at a power level (joules)."""
+        bits = frame_mod.frame_air_bytes(self.payload_bytes) * 8
+        return (
+            cc2420.tx_energy_per_bit_j(ptx_level) * bits * self.n_transmissions
+        )
+
+    def energy_per_info_bit_j(self, ptx_level: int) -> float:
+        """Measured U_eng: TX energy per successfully delivered payload bit."""
+        delivered_bits = int(self.acked.sum()) * self.payload_bytes * 8
+        if delivered_bits == 0:
+            return float("inf")
+        return self.tx_energy_j(ptx_level) / delivered_bits
+
+    @property
+    def goodput_bps(self) -> float:
+        """Saturated (back-to-back) goodput: the measured maxGoodput."""
+        total_time = float(self.service_time_s.sum())
+        if total_time <= 0:
+            return 0.0
+        delivered_bits = int(self.acked.sum()) * self.payload_bytes * 8
+        return delivered_bits / total_time
+
+
+class FastLink:
+    """Monte-Carlo sampler of the attempt process at a fixed mean SNR.
+
+    The per-transmission SNR is ``mean_snr_db`` plus Gaussian jitter with the
+    environment's combined slow+fast deviation (slow correlation is ignored —
+    at the attempt timescale it acts like extra i.i.d. spread, which the
+    engine-agreement test shows is adequate for the loss metrics).
+    """
+
+    def __init__(
+        self,
+        environment: Optional[Environment] = None,
+        seed: int = 0,
+        snr_jitter_db: Optional[float] = None,
+        model_ack_loss: bool = True,
+        try_correlation: float = 0.0,
+    ) -> None:
+        self.environment = environment or HALLWAY_2012
+        self._rng = np.random.default_rng(seed)
+        if snr_jitter_db is None:
+            snr_jitter_db = float(
+                np.hypot(self.environment.slow_sigma_db, self.environment.fast_sigma_db)
+            )
+        if snr_jitter_db < 0:
+            raise SimulationError(f"snr_jitter_db must be >= 0, got {snr_jitter_db!r}")
+        if not 0.0 <= try_correlation <= 1.0:
+            raise SimulationError(
+                f"try_correlation must be in [0, 1], got {try_correlation!r}"
+            )
+        self.snr_jitter_db = snr_jitter_db
+        #: Fraction of the SNR jitter variance shared by all tries of one
+        #: packet. 0 = fully independent tries (the assumption behind the
+        #: paper's Eq. 8 PLR = PER^N); 1 = fully correlated (bursty) fading,
+        #: where retransmissions repeat into the same fade. The Eq. 8
+        #: independence ablation sweeps this knob.
+        self.try_correlation = try_correlation
+        self.model_ack_loss = model_ack_loss
+
+    def run(
+        self,
+        mean_snr_db: float,
+        payload_bytes: int,
+        n_packets: int = 4500,
+        n_max_tries: int = 1,
+        d_retry_ms: float = 0.0,
+    ) -> FastLinkResult:
+        """Sample ``n_packets`` packet deliveries at the given mean SNR."""
+        if n_packets < 1:
+            raise SimulationError(f"n_packets must be >= 1, got {n_packets!r}")
+        if n_max_tries < 1:
+            raise SimulationError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
+        ber = self.environment.ber
+        frame_bytes = frame_mod.frame_air_bytes(payload_bytes)
+        ack_bytes = ack_frame_bytes()
+        frame_time = frame_mod.frame_air_time_s(payload_bytes)
+        spi = timing.spi_load_time_s(payload_bytes)
+        d_retry_s = d_retry_ms / 1e3
+
+        n_tries = np.zeros(n_packets, dtype=np.int64)
+        acked = np.zeros(n_packets, dtype=bool)
+        data_delivered = np.zeros(n_packets, dtype=bool)
+        service = np.full(n_packets, spi)
+        snr_chunks = []
+        ack_chunks = []
+
+        # Split the jitter variance into a per-packet (shared across tries)
+        # and a per-try component according to try_correlation.
+        shared_std = self.snr_jitter_db * np.sqrt(self.try_correlation)
+        fresh_std = self.snr_jitter_db * np.sqrt(1.0 - self.try_correlation)
+        packet_offset = (
+            self._rng.normal(0.0, shared_std, n_packets)
+            if shared_std > 0
+            else np.zeros(n_packets)
+        )
+
+        alive = np.ones(n_packets, dtype=bool)
+        for attempt in range(1, n_max_tries + 1):
+            idx = np.flatnonzero(alive)
+            if idx.size == 0:
+                break
+            snr = mean_snr_db + packet_offset[idx] + (
+                self._rng.normal(0.0, fresh_std, idx.size)
+                if fresh_std > 0
+                else 0.0
+            )
+            data_ok = self._rng.random(idx.size) >= ber.frame_error_probability(
+                snr, frame_bytes
+            )
+            if self.model_ack_loss:
+                ack_ok = data_ok & (
+                    self._rng.random(idx.size)
+                    >= ber.frame_error_probability(snr, ack_bytes)
+                )
+            else:
+                ack_ok = data_ok
+            n_tries[idx] += 1
+            data_delivered[idx] |= data_ok
+            acked[idx] = ack_ok
+            backoff = self._rng.uniform(
+                0.0, timing.MAX_INITIAL_BACKOFF_S, idx.size
+            )
+            attempt_base = timing.TURNAROUND_TIME_S + backoff + frame_time
+            attempt_time = attempt_base + np.where(
+                ack_ok, timing.ACK_TIME_S, timing.ACK_WAIT_TIMEOUT_S
+            )
+            if attempt > 1:
+                attempt_time = attempt_time + d_retry_s
+            service[idx] += attempt_time
+            snr_chunks.append(np.asarray(snr, dtype=float).reshape(-1))
+            ack_chunks.append(ack_ok)
+            alive[idx] = ~ack_ok
+
+        return FastLinkResult(
+            mean_snr_db=mean_snr_db,
+            payload_bytes=payload_bytes,
+            n_max_tries=n_max_tries,
+            n_tries=n_tries,
+            acked=acked,
+            data_delivered=data_delivered,
+            service_time_s=service,
+            snr_samples_db=(
+                np.concatenate(snr_chunks) if snr_chunks else np.empty(0)
+            ),
+            tx_acked=(
+                np.concatenate(ack_chunks) if ack_chunks else np.empty(0, dtype=bool)
+            ),
+        )

@@ -1,0 +1,284 @@
+"""Sender and receiver node logic.
+
+The :class:`SenderNode` implements the full transmit pipeline of the paper's
+mote: periodic application arrivals → bounded FIFO queue → SPI frame load →
+unslotted CSMA-CA → frame transmission → ACK wait → retransmission policy.
+The :class:`ReceiverNode` decodes frames, answers with ACKs (modelled inside
+the channel exchange) and tracks first deliveries versus duplicates.
+
+The nodes are driven by an :class:`~repro.sim.scheduler.EventScheduler`; all
+timing constants come from :mod:`repro.radio.timing`, so by construction the
+simulated service times decompose exactly as the paper's Eqs. 5–6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..channel.link import LinkChannel
+from ..config import StackConfig
+from ..errors import SimulationError
+from ..mac import (
+    AckPolicy,
+    RetryDecision,
+    RetryPolicy,
+    UnslottedCsma,
+    ack_frame_bytes,
+)
+from ..queueing import BoundedFifoQueue
+from ..radio import frame as frame_mod
+from ..radio import timing
+from ..radio.energy import EnergyMeter
+from .events import Event, EventKind
+from .packet import Packet
+from .scheduler import EventScheduler
+from .trace import LinkTrace, PacketFate, PacketRecord, TransmissionRecord
+
+
+class ReceiverNode:
+    """Tracks receptions; first delivery per sequence number vs duplicates."""
+
+    def __init__(self) -> None:
+        self._first_delivery_s: Dict[int, float] = {}
+        self._duplicates: Dict[int, int] = {}
+        self.receptions = 0
+
+    def on_frame(self, seq: int, time_s: float) -> bool:
+        """Record a decoded data frame; returns True if it is the first copy."""
+        self.receptions += 1
+        if seq in self._first_delivery_s:
+            self._duplicates[seq] = self._duplicates.get(seq, 0) + 1
+            return False
+        self._first_delivery_s[seq] = time_s
+        return True
+
+    def first_delivery_s(self, seq: int) -> Optional[float]:
+        return self._first_delivery_s.get(seq)
+
+    def duplicates_of(self, seq: int) -> int:
+        return self._duplicates.get(seq, 0)
+
+    @property
+    def unique_deliveries(self) -> int:
+        return len(self._first_delivery_s)
+
+
+@dataclass
+class _ServiceState:
+    """Mutable state of the packet currently owned by the MAC."""
+
+    packet: Packet
+    tries: int = 0
+    cca_failures: int = 0
+    tx_energy_j: float = 0.0
+
+
+class SenderNode:
+    """The sending mote's full stack for one configuration run."""
+
+    def __init__(
+        self,
+        config: StackConfig,
+        channel: LinkChannel,
+        scheduler: EventScheduler,
+        receiver: ReceiverNode,
+        csma: UnslottedCsma,
+        ack_policy: AckPolicy,
+        trace: LinkTrace,
+        energy: EnergyMeter,
+        n_packets: int,
+        collect_transmissions: bool = True,
+        arrival_jitter: float = 0.0,
+        arrival_rng=None,
+    ) -> None:
+        if n_packets < 1:
+            raise SimulationError(f"n_packets must be >= 1, got {n_packets!r}")
+        if not 0.0 <= arrival_jitter < 1.0:
+            raise SimulationError(
+                f"arrival_jitter must be in [0, 1), got {arrival_jitter!r}"
+            )
+        if arrival_jitter > 0.0 and arrival_rng is None:
+            raise SimulationError("arrival jitter requires an arrival_rng")
+        self.config = config
+        self.channel = channel
+        self.scheduler = scheduler
+        self.receiver = receiver
+        self.csma = csma
+        self.ack_policy = ack_policy
+        self.trace = trace
+        self.energy = energy
+        self.n_packets = n_packets
+        self.collect_transmissions = collect_transmissions
+        self.arrival_jitter = arrival_jitter
+        self._arrival_rng = arrival_rng
+        self.queue: BoundedFifoQueue[Packet] = BoundedFifoQueue(config.q_max)
+        self.retry = RetryPolicy(
+            n_max_tries=config.n_max_tries, d_retry_s=config.d_retry_ms / 1e3
+        )
+        self._frame_bytes = frame_mod.frame_air_bytes(config.payload_bytes)
+        self._service: Optional[_ServiceState] = None
+        self._generated = 0
+        #: seq -> queue length seen on arrival (consumed at record emission).
+        self._arrival_queue_len: Dict[int, int] = {}
+
+    # ---------------------------------------------------------------- setup
+
+    def start(self) -> None:
+        """Schedule the first application arrival."""
+        self.scheduler.schedule(0.0, EventKind.PACKET_ARRIVAL, self._on_arrival)
+
+    # ------------------------------------------------------------- arrivals
+
+    def _on_arrival(self, event: Event) -> None:
+        now = self.scheduler.now_s
+        packet = Packet(
+            seq=self._generated,
+            payload_bytes=self.config.payload_bytes,
+            generated_s=now,
+        )
+        self._generated += 1
+        if self._generated < self.n_packets:
+            gap_s = self.config.t_pkt_ms / 1e3
+            if self.arrival_jitter > 0.0:
+                gap_s *= 1.0 + self._arrival_rng.uniform(
+                    -self.arrival_jitter, self.arrival_jitter
+                )
+            self.scheduler.schedule(
+                gap_s, EventKind.PACKET_ARRIVAL, self._on_arrival
+            )
+        queue_len = len(self.queue)
+        accepted = self.queue.offer(packet, now)
+        if not accepted:
+            self.trace.packets.append(
+                PacketRecord(
+                    seq=packet.seq,
+                    payload_bytes=packet.payload_bytes,
+                    generated_s=packet.generated_s,
+                    fate=PacketFate.QUEUE_DROP,
+                    queue_len_at_arrival=queue_len,
+                )
+            )
+            return
+        # Stash the arrival-time queue length for the eventual record.
+        self._arrival_queue_len[packet.seq] = queue_len
+        if self._service is None:
+            self._begin_service(now)
+
+    # -------------------------------------------------------------- service
+
+    def _begin_service(self, now_s: float) -> None:
+        if self._service is not None:
+            raise SimulationError("MAC started a service while one is in flight")
+        packet = self.queue.poll(now_s)
+        if packet is None:
+            return
+        packet.dequeued_s = now_s
+        self._service = _ServiceState(packet=packet)
+        spi_s = timing.spi_load_time_s(self.config.payload_bytes)
+        self.energy.record_spi(spi_s)
+        self.scheduler.schedule(spi_s, EventKind.ATTEMPT_START, self._on_attempt_start)
+
+    def _on_attempt_start(self, event: Event) -> None:
+        state = self._require_service()
+        state.tries += 1
+        now = self.scheduler.now_s
+        access = self.csma.access_channel()
+        if not access.granted:
+            state.cca_failures += 1
+            self.scheduler.schedule(
+                access.delay_s,
+                EventKind.ATTEMPT_END,
+                self._on_attempt_end,
+                payload={"acked": False, "delivered": False},
+            )
+            return
+        tx_start = now + access.delay_s + timing.TURNAROUND_TIME_S
+        frame_time = frame_mod.frame_air_time_s(self.config.payload_bytes)
+        tx_end = tx_start + frame_time
+        outcome = self.channel.transmit_frame(tx_end, self._frame_bytes)
+        state.tx_energy_j += self.energy.record_tx(
+            self.config.ptx_level, self.config.payload_bytes
+        )
+        delivered = outcome.delivered
+        if delivered:
+            self.receiver.on_frame(state.packet.seq, tx_end)
+        acked = delivered
+        if delivered and self.ack_policy.enabled and self.ack_policy.ack_loss_modelled:
+            ack_outcome = self.channel.transmit_frame(
+                tx_end + timing.TURNAROUND_TIME_S, ack_frame_bytes()
+            )
+            acked = ack_outcome.delivered
+        elif not self.ack_policy.enabled:
+            # Without ACKs the sender assumes success after one attempt.
+            acked = True
+        if acked:
+            wait_s = timing.ACK_TIME_S
+            self.energy.record_listen(wait_s)
+            self.energy.record_ack_rx()
+        else:
+            wait_s = self.ack_policy.timeout_s
+            self.energy.record_listen(wait_s)
+        if self.collect_transmissions:
+            self.trace.transmissions.append(
+                TransmissionRecord(
+                    packet_seq=state.packet.seq,
+                    attempt=state.tries,
+                    tx_time_s=tx_end,
+                    rssi_dbm=outcome.sample.rssi_dbm,
+                    noise_dbm=outcome.sample.noise_dbm,
+                    lqi=outcome.sample.lqi,
+                    data_delivered=delivered,
+                    acked=acked and self.ack_policy.enabled,
+                )
+            )
+        end_time = tx_end + wait_s
+        self.scheduler.schedule_at(
+            end_time,
+            EventKind.ATTEMPT_END,
+            self._on_attempt_end,
+            payload={"acked": acked, "delivered": delivered},
+        )
+
+    def _on_attempt_end(self, event: Event) -> None:
+        state = self._require_service()
+        acked = bool(event.payload["acked"])
+        decision = self.retry.decide(state.tries, acked)
+        if decision is RetryDecision.RETRY:
+            self.scheduler.schedule(
+                self.retry.d_retry_s,
+                EventKind.ATTEMPT_START,
+                self._on_attempt_start,
+            )
+            return
+        self._complete_service(delivered=decision is RetryDecision.SUCCESS)
+
+    def _complete_service(self, delivered: bool) -> None:
+        state = self._require_service()
+        now = self.scheduler.now_s
+        packet = state.packet
+        first = self.receiver.first_delivery_s(packet.seq)
+        self.trace.packets.append(
+            PacketRecord(
+                seq=packet.seq,
+                payload_bytes=packet.payload_bytes,
+                generated_s=packet.generated_s,
+                fate=PacketFate.DELIVERED if delivered else PacketFate.RADIO_DROP,
+                queue_len_at_arrival=self._arrival_queue_len.pop(packet.seq, 0),
+                dequeued_s=packet.dequeued_s,
+                completed_s=now,
+                n_tries=state.tries,
+                first_delivery_s=first,
+                duplicate_deliveries=self.receiver.duplicates_of(packet.seq),
+                tx_energy_j=state.tx_energy_j,
+                n_cca_failures=state.cca_failures,
+            )
+        )
+        self._service = None
+        if not self.queue.is_empty:
+            self._begin_service(now)
+
+    def _require_service(self) -> _ServiceState:
+        if self._service is None:
+            raise SimulationError("MAC event fired with no packet in service")
+        return self._service

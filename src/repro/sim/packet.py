@@ -1,0 +1,38 @@
+"""Application packets flowing through the simulated stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass
+class Packet:
+    """One application packet, identified by its sequence number.
+
+    The payload content is irrelevant to every metric the paper measures,
+    so packets carry only their size and bookkeeping timestamps.
+    """
+
+    seq: int
+    payload_bytes: int
+    generated_s: float
+    #: When the MAC pulled the packet from the queue (None until serviced).
+    dequeued_s: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise SimulationError(f"packet seq must be >= 0, got {self.seq!r}")
+        if self.payload_bytes < 1:
+            raise SimulationError(
+                f"payload_bytes must be >= 1, got {self.payload_bytes!r}"
+            )
+        if self.generated_s < 0:
+            raise SimulationError(
+                f"generated_s must be >= 0, got {self.generated_s!r}"
+            )
+
+    @property
+    def payload_bits(self) -> int:
+        return self.payload_bytes * 8

@@ -1,0 +1,126 @@
+"""Minimal discrete-event scheduler (binary-heap event list).
+
+The simulator is small enough that a heap-based calendar with stable
+tie-breaking covers every need: schedule, cancel, run-to-exhaustion, and
+run-until-time. Times are floating seconds; scheduling into the past raises.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..errors import SchedulerError
+from .events import Event, EventKind
+
+
+class EventScheduler:
+    """A single-threaded event calendar with a monotone clock."""
+
+    def __init__(self, start_time_s: float = 0.0) -> None:
+        self._now_s = start_time_s
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now_s
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled may be approximate) events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        delay_s: float,
+        kind: EventKind,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay_s`` after the current time."""
+        if delay_s < 0:
+            raise SchedulerError(f"cannot schedule into the past: delay {delay_s!r}")
+        return self.schedule_at(self._now_s + delay_s, kind, callback, payload)
+
+    def schedule_at(
+        self,
+        time_s: float,
+        kind: EventKind,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time_s < self._now_s:
+            raise SchedulerError(
+                f"cannot schedule into the past: {time_s} < now {self._now_s}"
+            )
+        event = Event(
+            time_s=time_s, seq=self._seq, kind=kind, callback=callback, payload=payload
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> Optional[Event]:
+        """Execute the next event; returns it, or None when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now_s = event.time_s
+            self._processed += 1
+            event.callback(event)
+            return event
+        return None
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the calendar empties; returns events executed.
+
+        ``max_events`` bounds runaway simulations; exceeding it raises.
+        """
+        if self._running:
+            raise SchedulerError("scheduler is already running (re-entrant run)")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                if max_events is not None and executed >= max_events:
+                    if any(not e.cancelled for e in self._heap):
+                        raise SchedulerError(
+                            f"event budget of {max_events} exhausted with "
+                            f"{self.pending} events still pending"
+                        )
+                    return executed
+                if self.step() is None:
+                    return executed
+                executed += 1
+        finally:
+            self._running = False
+
+    def run_until(self, time_s: float) -> int:
+        """Run events with time ≤ ``time_s``; advances the clock to it."""
+        if time_s < self._now_s:
+            raise SchedulerError(
+                f"cannot run backwards: {time_s} < now {self._now_s}"
+            )
+        executed = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time_s > time_s:
+                break
+            self.step()
+            executed += 1
+        self._now_s = time_s
+        return executed

@@ -1,0 +1,158 @@
+"""Per-packet and per-transmission trace records.
+
+The paper's dataset logs, for every packet, "RSSI, LQI, time of receiving,
+actual transmission number, actual queue size, etc." on both motes. The
+simulator reproduces that schema: a :class:`TransmissionRecord` per attempt
+and a :class:`PacketRecord` per application packet, collected into a
+:class:`LinkTrace` that the analysis layer aggregates into metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import SimulationError
+
+
+class PacketFate(enum.Enum):
+    """Terminal state of one application packet."""
+
+    #: Dropped on arrival because the transmit queue was full (PLR_queue).
+    QUEUE_DROP = "queue_drop"
+    #: Transmitted N_maxTries times without an ACK (PLR_radio).
+    RADIO_DROP = "radio_drop"
+    #: Acknowledged within the attempt budget.
+    DELIVERED = "delivered"
+
+
+@dataclass(frozen=True)
+class TransmissionRecord:
+    """One frame transmission attempt on the air."""
+
+    packet_seq: int
+    attempt: int
+    tx_time_s: float
+    rssi_dbm: float
+    noise_dbm: float
+    lqi: float
+    data_delivered: bool
+    acked: bool
+
+    @property
+    def snr_db(self) -> float:
+        return self.rssi_dbm - self.noise_dbm
+
+
+@dataclass
+class PacketRecord:
+    """Lifecycle of one application packet through the stack."""
+
+    seq: int
+    payload_bytes: int
+    generated_s: float
+    fate: PacketFate
+    queue_len_at_arrival: int = 0
+    dequeued_s: Optional[float] = None
+    completed_s: Optional[float] = None
+    n_tries: int = 0
+    #: Time the receiver first decoded the data frame (set even when the
+    #: sender never saw an ACK — that is how duplicate deliveries arise).
+    first_delivery_s: Optional[float] = None
+    duplicate_deliveries: int = 0
+    tx_energy_j: float = 0.0
+    #: Attempts consumed by CSMA channel-access failures (no frame on air).
+    n_cca_failures: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fate is PacketFate.QUEUE_DROP:
+            if self.n_tries != 0 or self.dequeued_s is not None:
+                raise SimulationError("queue-dropped packets cannot have been serviced")
+        elif self.dequeued_s is None or self.completed_s is None:
+            raise SimulationError(f"serviced packet {self.seq} missing timestamps")
+
+    @property
+    def delivered(self) -> bool:
+        """Sender-side success (ACK received)."""
+        return self.fate is PacketFate.DELIVERED
+
+    @property
+    def received(self) -> bool:
+        """Receiver-side success (data decoded at least once)."""
+        return self.first_delivery_s is not None
+
+    @property
+    def queueing_delay_s(self) -> Optional[float]:
+        """Time spent waiting in the transmit queue."""
+        if self.dequeued_s is None:
+            return None
+        return self.dequeued_s - self.generated_s
+
+    @property
+    def service_time_s(self) -> Optional[float]:
+        """The paper's T_service: from entering the MAC to leaving it."""
+        if self.dequeued_s is None or self.completed_s is None:
+            return None
+        return self.completed_s - self.dequeued_s
+
+    @property
+    def delay_s(self) -> Optional[float]:
+        """End-to-end delay: generation to first reception at the receiver."""
+        if self.first_delivery_s is None:
+            return None
+        return self.first_delivery_s - self.generated_s
+
+
+@dataclass
+class LinkTrace:
+    """Everything one configuration run produced."""
+
+    packets: List[PacketRecord] = field(default_factory=list)
+    transmissions: List[TransmissionRecord] = field(default_factory=list)
+    #: Wall-clock span of the run (first arrival to last MAC activity), s.
+    duration_s: float = 0.0
+    #: Total sender TX energy over the run (J).
+    tx_energy_j: float = 0.0
+    #: Extended energy budget components (J), keyed by component name.
+    energy_breakdown_j: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    @property
+    def n_transmissions(self) -> int:
+        return len(self.transmissions)
+
+    @property
+    def n_acked_transmissions(self) -> int:
+        return sum(1 for t in self.transmissions if t.acked)
+
+    def packets_with_fate(self, fate: PacketFate) -> List[PacketRecord]:
+        """All packets that ended in the given state."""
+        return [p for p in self.packets if p.fate is fate]
+
+    def validate(self) -> None:
+        """Cross-check internal consistency; raises on violation.
+
+        Used by integration tests and after every campaign run in strict
+        mode: per-packet attempt counts must match the transmission log, and
+        sequence numbers must be unique.
+        """
+        seqs = [p.seq for p in self.packets]
+        if len(set(seqs)) != len(seqs):
+            raise SimulationError("duplicate packet sequence numbers in trace")
+        tries_by_seq: dict = {}
+        for t in self.transmissions:
+            tries_by_seq[t.packet_seq] = tries_by_seq.get(t.packet_seq, 0) + 1
+        for p in self.packets:
+            expected = tries_by_seq.get(p.seq, 0)
+            if p.n_tries != expected + p.n_cca_failures:
+                raise SimulationError(
+                    f"packet {p.seq}: n_tries={p.n_tries} but {expected} "
+                    f"transmissions and {p.n_cca_failures} CCA failures logged"
+                )
+            if p.fate is PacketFate.QUEUE_DROP and expected:
+                raise SimulationError(
+                    f"queue-dropped packet {p.seq} has transmissions"
+                )

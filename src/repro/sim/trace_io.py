@@ -1,0 +1,184 @@
+"""Per-packet trace export/import — the paper's public dataset format.
+
+The original study published its raw per-packet logs ([15][16] in the
+paper): for every packet, both motes record RSSI, LQI, reception time,
+actual transmission count and queue state. This module persists a
+:class:`~repro.sim.trace.LinkTrace` in the same spirit: a JSON-lines file
+with a header, one ``packet`` row per application packet, and (optionally)
+one ``tx`` row per transmission attempt — so downstream analyses can run on
+exported data without the simulator installed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..config import StackConfig
+from ..errors import DatasetError
+from .trace import LinkTrace, PacketFate, PacketRecord, TransmissionRecord
+
+_FORMAT = "repro-trace-v1"
+
+
+def _clean(value):
+    """JSON-safe scalar (inf/nan → None)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _packet_row(record: PacketRecord) -> Dict[str, object]:
+    return {
+        "kind": "packet",
+        "seq": record.seq,
+        "payload_bytes": record.payload_bytes,
+        "generated_s": record.generated_s,
+        "fate": record.fate.value,
+        "queue_len_at_arrival": record.queue_len_at_arrival,
+        "dequeued_s": record.dequeued_s,
+        "completed_s": record.completed_s,
+        "n_tries": record.n_tries,
+        "first_delivery_s": record.first_delivery_s,
+        "duplicate_deliveries": record.duplicate_deliveries,
+        "tx_energy_j": _clean(record.tx_energy_j),
+        "n_cca_failures": record.n_cca_failures,
+    }
+
+
+def _tx_row(record: TransmissionRecord) -> Dict[str, object]:
+    return {
+        "kind": "tx",
+        "packet_seq": record.packet_seq,
+        "attempt": record.attempt,
+        "tx_time_s": record.tx_time_s,
+        "rssi_dbm": record.rssi_dbm,
+        "noise_dbm": record.noise_dbm,
+        "lqi": record.lqi,
+        "data_delivered": record.data_delivered,
+        "acked": record.acked,
+    }
+
+
+def save_trace(
+    trace: LinkTrace,
+    path,
+    config: Optional[StackConfig] = None,
+    include_transmissions: bool = True,
+    description: str = "",
+) -> None:
+    """Write a trace as JSON lines (header, packet rows, tx rows)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as fh:
+        header = {
+            "format": _FORMAT,
+            "description": description,
+            "config": config.as_dict() if config is not None else None,
+            "n_packets": len(trace.packets),
+            "n_transmissions": (
+                len(trace.transmissions) if include_transmissions else 0
+            ),
+            "duration_s": trace.duration_s,
+            "tx_energy_j": _clean(trace.tx_energy_j),
+            "energy_breakdown_j": {
+                k: _clean(v) for k, v in trace.energy_breakdown_j.items()
+            },
+        }
+        fh.write(json.dumps(header) + "\n")
+        for packet in trace.packets:
+            fh.write(json.dumps(_packet_row(packet)) + "\n")
+        if include_transmissions:
+            for tx in trace.transmissions:
+                fh.write(json.dumps(_tx_row(tx)) + "\n")
+
+
+def load_trace(path):
+    """Read a trace written by :func:`save_trace`.
+
+    Returns ``(trace, config_or_None)``.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"no trace file at {source}")
+    trace = LinkTrace()
+    config: Optional[StackConfig] = None
+    with source.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise DatasetError(f"trace file {source} is empty")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"bad trace header in {source}: {exc}") from exc
+        if header.get("format") != _FORMAT:
+            raise DatasetError(
+                f"unsupported trace format {header.get('format')!r}"
+            )
+        if header.get("config") is not None:
+            config = StackConfig.from_dict(header["config"])
+        trace.duration_s = float(header.get("duration_s", 0.0))
+        energy = header.get("tx_energy_j")
+        trace.tx_energy_j = float(energy) if energy is not None else math.inf
+        trace.energy_breakdown_j = {
+            k: (float(v) if v is not None else math.inf)
+            for k, v in (header.get("energy_breakdown_j") or {}).items()
+        }
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(
+                    f"bad trace row at {source}:{lineno}: {exc}"
+                ) from exc
+            kind = row.get("kind")
+            if kind == "packet":
+                trace.packets.append(
+                    PacketRecord(
+                        seq=row["seq"],
+                        payload_bytes=row["payload_bytes"],
+                        generated_s=row["generated_s"],
+                        fate=PacketFate(row["fate"]),
+                        queue_len_at_arrival=row["queue_len_at_arrival"],
+                        dequeued_s=row["dequeued_s"],
+                        completed_s=row["completed_s"],
+                        n_tries=row["n_tries"],
+                        first_delivery_s=row["first_delivery_s"],
+                        duplicate_deliveries=row["duplicate_deliveries"],
+                        tx_energy_j=(
+                            row["tx_energy_j"]
+                            if row["tx_energy_j"] is not None
+                            else math.inf
+                        ),
+                        n_cca_failures=row.get("n_cca_failures", 0),
+                    )
+                )
+            elif kind == "tx":
+                trace.transmissions.append(
+                    TransmissionRecord(
+                        packet_seq=row["packet_seq"],
+                        attempt=row["attempt"],
+                        tx_time_s=row["tx_time_s"],
+                        rssi_dbm=row["rssi_dbm"],
+                        noise_dbm=row["noise_dbm"],
+                        lqi=row["lqi"],
+                        data_delivered=row["data_delivered"],
+                        acked=row["acked"],
+                    )
+                )
+            else:
+                raise DatasetError(
+                    f"unknown trace row kind {kind!r} at {source}:{lineno}"
+                )
+    expected = header.get("n_packets")
+    if expected is not None and expected != len(trace.packets):
+        raise DatasetError(
+            f"trace {source} truncated: header says {expected} packets, "
+            f"found {len(trace.packets)}"
+        )
+    return trace, config

@@ -1,0 +1,140 @@
+"""Unit conversions used throughout the library.
+
+Conventions
+-----------
+* Power ratios are expressed in dB; absolute powers in dBm or milliwatts.
+* Time is carried in **seconds** inside the simulator; configuration fields
+  and paper-facing APIs use milliseconds and are suffixed ``_ms``.
+* Data sizes are carried in bytes at the framing layer and bits in rate
+  computations; rates are bits per second, with ``kbps`` helpers for the
+  paper's tables.
+
+These are deliberately plain functions (no unit-object wrappers): the hot
+paths of the Monte-Carlo link simulator call them per packet, and they must
+also broadcast transparently over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+Number = Union[float, int, np.ndarray]
+
+#: Boltzmann constant in J/K, used for thermal-noise sanity checks.
+BOLTZMANN_J_PER_K = 1.380649e-23
+
+#: Reference temperature (K) for thermal noise floor computations.
+REFERENCE_TEMPERATURE_K = 290.0
+
+
+def db_to_linear(value_db: Number) -> Number:
+    """Convert a dB power *ratio* to its linear equivalent."""
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0) if isinstance(
+        value_db, np.ndarray
+    ) else 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value: Number) -> Number:
+    """Convert a linear power ratio to dB. Values must be positive."""
+    if isinstance(value, np.ndarray):
+        return 10.0 * np.log10(value)
+    if value <= 0:
+        raise ValueError(f"linear power ratio must be positive, got {value!r}")
+    return 10.0 * math.log10(value)
+
+
+def dbm_to_mw(power_dbm: Number) -> Number:
+    """Convert absolute power in dBm to milliwatts."""
+    return db_to_linear(power_dbm)
+
+
+def mw_to_dbm(power_mw: Number) -> Number:
+    """Convert absolute power in milliwatts to dBm."""
+    return linear_to_db(power_mw)
+
+
+def dbm_to_watts(power_dbm: Number) -> Number:
+    """Convert absolute power in dBm to watts."""
+    return dbm_to_mw(power_dbm) / 1e3
+
+
+def watts_to_dbm(power_w: Number) -> Number:
+    """Convert absolute power in watts to dBm."""
+    return mw_to_dbm(power_w * 1e3)
+
+
+def ms_to_s(milliseconds: Number) -> Number:
+    """Milliseconds to seconds."""
+    return milliseconds / 1e3
+
+
+def s_to_ms(seconds: Number) -> Number:
+    """Seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def us_to_s(microseconds: Number) -> Number:
+    """Microseconds to seconds."""
+    return microseconds / 1e6
+
+
+def s_to_us(seconds: Number) -> Number:
+    """Seconds to microseconds."""
+    return seconds * 1e6
+
+
+def bytes_to_bits(n_bytes: Number) -> Number:
+    """Bytes to bits."""
+    return n_bytes * 8
+
+
+def bits_to_bytes(n_bits: Number) -> Number:
+    """Bits to (possibly fractional) bytes."""
+    return n_bits / 8
+
+
+def bps_to_kbps(rate_bps: Number) -> Number:
+    """Bits/s to kilobits/s (decimal kilo, as in the paper's 250 kb/s)."""
+    return rate_bps / 1e3
+
+
+def kbps_to_bps(rate_kbps: Number) -> Number:
+    """Kilobits/s to bits/s."""
+    return rate_kbps * 1e3
+
+
+def joules_to_microjoules(energy_j: Number) -> Number:
+    """Joules to microjoules (the paper reports µJ/bit)."""
+    return energy_j * 1e6
+
+
+def microjoules_to_joules(energy_uj: Number) -> Number:
+    """Microjoules to joules."""
+    return energy_uj / 1e6
+
+
+def transmission_time_s(n_bytes: Number, data_rate_bps: float) -> Number:
+    """Air time in seconds for ``n_bytes`` at ``data_rate_bps``.
+
+    >>> transmission_time_s(125, 250_000)  # 1000 bits at 250 kb/s
+    0.004
+    """
+    if data_rate_bps <= 0:
+        raise ValueError(f"data rate must be positive, got {data_rate_bps!r}")
+    return bytes_to_bits(n_bytes) / data_rate_bps
+
+
+def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Ideal thermal noise floor in dBm for a given bandwidth.
+
+    Used only as a sanity anchor for the measured −95 dBm noise floor: the
+    2 MHz 802.15.4 channel has kTB ≈ −111 dBm, so a −95 dBm measured floor
+    implies roughly 16 dB of receiver noise figure plus ambient interference.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz!r}")
+    noise_w = BOLTZMANN_J_PER_K * REFERENCE_TEMPERATURE_K * bandwidth_hz
+    return watts_to_dbm(noise_w) + noise_figure_db

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import HALLWAY_2012, QUIET_HALLWAY, LinkChannel
+from repro.config import StackConfig
+from repro.sim import SimulationOptions, simulate_link
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def quiet_env():
+    """The hallway environment with all temporal dynamics disabled."""
+    return QUIET_HALLWAY
+
+
+@pytest.fixture
+def hallway_env():
+    """The full reconstructed hallway environment."""
+    return HALLWAY_2012
+
+
+@pytest.fixture
+def default_config():
+    """A mid-quality link configuration used by many tests."""
+    return StackConfig(
+        distance_m=20.0,
+        ptx_level=23,
+        n_max_tries=3,
+        d_retry_ms=0.0,
+        q_max=30,
+        t_pkt_ms=50.0,
+        payload_bytes=65,
+    )
+
+
+@pytest.fixture
+def small_trace(default_config):
+    """A short deterministic DES run shared by analysis tests."""
+    options = SimulationOptions(n_packets=200, seed=3)
+    return simulate_link(default_config, options=options)
+
+
+@pytest.fixture
+def quiet_channel(quiet_env, rng):
+    """A dynamics-free channel at 20 m / P_tx 23."""
+    return LinkChannel(quiet_env, 20.0, 23, rng)

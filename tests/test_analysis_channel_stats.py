@@ -1,0 +1,95 @@
+"""Channel characterization tests (repro.analysis.channel_stats) — Figs. 3–5."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.channel_stats import (
+    path_loss_fit_from_survey,
+    rssi_deviation_table,
+    snr_distributions,
+    survey_rssi,
+)
+from repro.channel import HALLWAY_2012, QUIET_HALLWAY
+from repro.errors import ChannelError
+
+
+@pytest.fixture(scope="module")
+def survey():
+    return survey_rssi(
+        HALLWAY_2012,
+        distances_m=(5.0, 10.0, 15.0, 20.0, 30.0, 35.0),
+        ptx_levels=(3, 15, 31),
+        n_samples=300,
+        seed=0,
+    )
+
+
+class TestSurvey:
+    def test_cell_count(self, survey):
+        assert len(survey) == 18
+
+    def test_mean_rssi_tracks_power(self, survey):
+        by_level = {
+            lvl: next(
+                s for s in survey if s.distance_m == 10.0 and s.ptx_level == lvl
+            )
+            for lvl in (3, 15, 31)
+        }
+        assert (
+            by_level[3].mean_rssi_dbm
+            < by_level[15].mean_rssi_dbm
+            < by_level[31].mean_rssi_dbm
+        )
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            survey_rssi(HALLWAY_2012, (10.0,), (31,), n_samples=1)
+
+
+class TestPathLossFit:
+    def test_fig3_shape(self, survey):
+        """Fig. 3: the survey re-fits near n = 2.19, σ = 3.2."""
+        fit = path_loss_fit_from_survey(survey, ptx_level=31)
+        assert fit["exponent"] == pytest.approx(2.19, abs=0.9)
+        assert 1.0 < fit["sigma_db"] < 6.0
+
+    def test_needs_enough_distances(self, survey):
+        short = [s for s in survey if s.distance_m in (5.0, 10.0)]
+        with pytest.raises(ChannelError):
+            path_loss_fit_from_survey(short, ptx_level=31)
+
+
+class TestRssiDeviation:
+    def test_fig4_35m_most_variable(self, survey):
+        """Fig. 4: the 35 m position shows the largest RSSI deviation."""
+        table = rssi_deviation_table(survey)
+        # Compare at full power where no sensitivity clamping interferes.
+        by_distance = {
+            d: table[(d, 31)] for d in (5.0, 10.0, 15.0, 20.0, 30.0, 35.0)
+        }
+        assert max(by_distance, key=by_distance.get) == 35.0
+
+    def test_fig4_sensitivity_clamp_at_35m_low_power(self, survey):
+        """Fig. 4's note: at 35 m / P_tx 3 the deviation collapses because
+        readings sit at the CC2420 sensitivity floor."""
+        table = rssi_deviation_table(survey)
+        assert table[(35.0, 3)] < table[(35.0, 31)]
+
+
+class TestSnrDistributions:
+    def test_fig5_real_vs_constant(self):
+        """Fig. 5: the real-noise SNR is more spread than the constant-noise
+        view, and their means sit near each other (the floor averages −95)."""
+        dists = snr_distributions(
+            HALLWAY_2012, distance_m=20.0, ptx_level=23, n_samples=4000, seed=1
+        )
+        assert dists.real_std > dists.constant_std
+        assert dists.real_mean == pytest.approx(dists.constant_mean, abs=1.5)
+
+    def test_histogram_density_normalized(self):
+        dists = snr_distributions(
+            QUIET_HALLWAY, distance_m=20.0, ptx_level=23, n_samples=2000, seed=2
+        )
+        centers, density = dists.histogram("real", bin_width_db=1.0)
+        assert centers.shape == density.shape
+        assert np.sum(density) * 1.0 == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,152 @@
+"""Metric-computation tests (repro.analysis.metrics)."""
+
+import math
+
+import pytest
+
+from repro.analysis import compute_metrics
+from repro.errors import SimulationError
+from repro.sim.trace import LinkTrace, PacketFate, PacketRecord, TransmissionRecord
+
+
+def tx(seq, attempt, acked, delivered=None, t=0.0):
+    return TransmissionRecord(
+        packet_seq=seq,
+        attempt=attempt,
+        tx_time_s=t,
+        rssi_dbm=-80.0,
+        noise_dbm=-95.0,
+        lqi=100.0,
+        data_delivered=acked if delivered is None else delivered,
+        acked=acked,
+    )
+
+
+def delivered_packet(seq, payload=50, gen=0.0, tries=1):
+    return PacketRecord(
+        seq=seq,
+        payload_bytes=payload,
+        generated_s=gen,
+        fate=PacketFate.DELIVERED,
+        dequeued_s=gen + 0.01,
+        completed_s=gen + 0.03,
+        n_tries=tries,
+        first_delivery_s=gen + 0.025,
+    )
+
+
+def radio_drop(seq, payload=50, gen=0.0, tries=3):
+    return PacketRecord(
+        seq=seq,
+        payload_bytes=payload,
+        generated_s=gen,
+        fate=PacketFate.RADIO_DROP,
+        dequeued_s=gen + 0.01,
+        completed_s=gen + 0.05,
+        n_tries=tries,
+    )
+
+
+def queue_drop(seq, payload=50, gen=0.0):
+    return PacketRecord(
+        seq=seq, payload_bytes=payload, generated_s=gen, fate=PacketFate.QUEUE_DROP
+    )
+
+
+class TestComputeMetrics:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            compute_metrics(LinkTrace())
+
+    def test_per_is_eq1(self):
+        """PER = non-ACKed transmissions / total transmissions (Eq. 1)."""
+        trace = LinkTrace(
+            packets=[delivered_packet(0, tries=2)],
+            transmissions=[tx(0, 1, acked=False), tx(0, 2, acked=True)],
+            duration_s=1.0,
+        )
+        assert compute_metrics(trace).per == pytest.approx(0.5)
+
+    def test_loss_split(self):
+        trace = LinkTrace(
+            packets=[
+                delivered_packet(0),
+                radio_drop(1),
+                queue_drop(2),
+                queue_drop(3),
+            ],
+            duration_s=1.0,
+        )
+        m = compute_metrics(trace)
+        assert m.plr_queue == pytest.approx(0.5)  # 2 of 4 arrivals
+        assert m.plr_radio == pytest.approx(0.5)  # 1 of 2 serviced
+        assert m.plr_total == pytest.approx(0.75)  # 3 of 4 arrivals
+
+    def test_goodput_counts_only_delivered_payload(self):
+        trace = LinkTrace(
+            packets=[delivered_packet(0, payload=100), radio_drop(1, payload=100)],
+            duration_s=2.0,
+        )
+        m = compute_metrics(trace)
+        assert m.goodput_bps == pytest.approx(100 * 8 / 2.0)
+        assert m.goodput_kbps == pytest.approx(0.4)
+
+    def test_zero_duration_goodput(self):
+        trace = LinkTrace(packets=[delivered_packet(0)], duration_s=0.0)
+        assert compute_metrics(trace).goodput_bps == 0.0
+
+    def test_energy_per_info_bit(self):
+        trace = LinkTrace(
+            packets=[delivered_packet(0, payload=100)],
+            duration_s=1.0,
+            tx_energy_j=8e-5,
+        )
+        m = compute_metrics(trace)
+        assert m.energy_per_info_bit_j == pytest.approx(8e-5 / 800)
+        assert m.energy_per_info_bit_uj == pytest.approx(0.1)
+
+    def test_energy_infinite_without_delivery(self):
+        trace = LinkTrace(
+            packets=[radio_drop(0)], duration_s=1.0, tx_energy_j=1e-5
+        )
+        assert math.isinf(compute_metrics(trace).energy_per_info_bit_j)
+
+    def test_delay_only_over_delivered(self):
+        trace = LinkTrace(
+            packets=[delivered_packet(0), radio_drop(1)], duration_s=1.0
+        )
+        m = compute_metrics(trace)
+        assert m.mean_delay_s == pytest.approx(0.025)
+
+    def test_mean_service_time_over_serviced(self):
+        trace = LinkTrace(
+            packets=[delivered_packet(0), radio_drop(1)], duration_s=1.0
+        )
+        m = compute_metrics(trace)
+        assert m.mean_service_time_s == pytest.approx((0.02 + 0.04) / 2)
+
+    def test_channel_stats_from_transmissions(self):
+        trace = LinkTrace(
+            packets=[delivered_packet(0)],
+            transmissions=[tx(0, 1, acked=True)],
+            duration_s=1.0,
+        )
+        m = compute_metrics(trace)
+        assert m.mean_rssi_dbm == pytest.approx(-80.0)
+        assert m.mean_snr_db == pytest.approx(15.0)
+        assert m.mean_lqi == pytest.approx(100.0)
+
+    def test_delivery_ratio(self):
+        trace = LinkTrace(
+            packets=[delivered_packet(0), radio_drop(1), queue_drop(2)],
+            duration_s=1.0,
+        )
+        assert compute_metrics(trace).delivery_ratio == pytest.approx(1 / 3)
+
+    def test_counts(self, small_trace):
+        m = compute_metrics(small_trace)
+        assert m.n_packets == 200
+        assert (
+            m.n_delivered + m.n_queue_dropped + m.n_radio_dropped == m.n_packets
+        )
+        assert m.n_acked_transmissions <= m.n_transmissions

@@ -1,0 +1,111 @@
+"""Statistics helper tests (repro.analysis.stats)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    bin_series,
+    bootstrap_ci,
+    coefficient_of_variation_squared,
+    relative_error,
+    snr_bin_edges,
+)
+from repro.errors import ReproError
+
+
+class TestBinSeries:
+    def test_means_per_bin(self):
+        x = [0.5, 0.6, 1.5, 1.6]
+        y = [1.0, 3.0, 10.0, 20.0]
+        binned = bin_series(x, y, edges=[0.0, 1.0, 2.0])
+        assert binned.means[0] == pytest.approx(2.0)
+        assert binned.means[1] == pytest.approx(15.0)
+        assert list(binned.counts) == [2, 2]
+
+    def test_empty_bins_are_nan(self):
+        binned = bin_series([0.5], [1.0], edges=[0.0, 1.0, 2.0])
+        assert binned.counts[1] == 0
+        assert np.isnan(binned.means[1])
+
+    def test_nonempty_filter(self):
+        binned = bin_series([0.5], [1.0], edges=[0.0, 1.0, 2.0]).nonempty()
+        assert binned.centers.size == 1
+
+    def test_out_of_range_ignored(self):
+        binned = bin_series([-5.0, 0.5, 10.0], [1.0, 2.0, 3.0], edges=[0.0, 1.0])
+        assert binned.counts[0] == 1
+        assert binned.means[0] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bin_series([1.0], [1.0, 2.0], edges=[0.0, 1.0])
+        with pytest.raises(ReproError):
+            bin_series([1.0], [1.0], edges=[1.0])
+        with pytest.raises(ReproError):
+            bin_series([1.0], [1.0], edges=[1.0, 0.5])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=9.999), min_size=1, max_size=100
+        )
+    )
+    def test_counts_conserved(self, xs):
+        ys = [1.0] * len(xs)
+        binned = bin_series(xs, ys, edges=np.arange(0.0, 10.5, 1.0))
+        assert binned.counts.sum() == len(xs)
+
+
+class TestSnrBinEdges:
+    def test_default_span(self):
+        edges = snr_bin_edges()
+        assert edges[0] == 0.0 and edges[-1] == 40.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            snr_bin_edges(10.0, 5.0)
+        with pytest.raises(ReproError):
+            snr_bin_edges(width_db=0.0)
+
+
+class TestBootstrap:
+    def test_ci_brackets_point(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, 500)
+        point, lo, hi = bootstrap_ci(data, seed=1)
+        assert lo <= point <= hi
+        assert point == pytest.approx(10.0, abs=0.5)
+        assert hi - lo < 1.0
+
+    def test_wider_at_higher_confidence(self):
+        data = np.random.default_rng(0).normal(0.0, 1.0, 100)
+        _, lo95, hi95 = bootstrap_ci(data, confidence=0.95, seed=2)
+        _, lo99, hi99 = bootstrap_ci(data, confidence=0.99, seed=2)
+        assert (hi99 - lo99) >= (hi95 - lo95)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([])
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestMisc:
+    def test_scv_of_constant_is_zero(self):
+        assert coefficient_of_variation_squared([5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_scv_of_exponential_near_one(self):
+        data = np.random.default_rng(0).exponential(2.0, 20000)
+        assert coefficient_of_variation_squared(data) == pytest.approx(1.0, abs=0.1)
+
+    def test_scv_validation(self):
+        with pytest.raises(ReproError):
+            coefficient_of_variation_squared([1.0])
+        with pytest.raises(ReproError):
+            coefficient_of_variation_squared([1.0, -1.0])
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+        with pytest.raises(ReproError):
+            relative_error(1.0, 0.0)

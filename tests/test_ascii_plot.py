@@ -1,0 +1,79 @@
+"""ASCII plotting tests (repro.analysis.ascii_plot)."""
+
+import math
+
+import pytest
+
+from repro.analysis.ascii_plot import scatter, side_by_side, sparkline
+from repro.errors import ReproError
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert len(line) == 8
+        assert line == "".join(sorted(line))
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_nan_renders_space(self):
+        line = sparkline([1.0, math.nan, 2.0])
+        assert line[1] == " "
+
+    def test_width_subsamples(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_extremes_use_extreme_glyphs(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            sparkline([])
+        with pytest.raises(ReproError):
+            sparkline([1.0], width=0)
+
+
+class TestScatter:
+    def test_plot_dimensions(self):
+        text = scatter([0, 1, 2], [0, 1, 4], width=20, height=6)
+        lines = text.splitlines()
+        assert len(lines) == 6 + 2  # grid + axis + labels
+        assert all(len(line) <= 9 + 1 + 20 for line in lines[:6])
+
+    def test_markers_present(self):
+        text = scatter([0, 1, 2, 3], [0, 1, 2, 3], width=10, height=5)
+        assert text.count("*") >= 3
+
+    def test_axis_labels(self):
+        text = scatter([0, 10], [5, 50], width=20, height=5)
+        assert "50" in text and "10" in text
+
+    def test_nan_points_skipped(self):
+        text = scatter([0, math.nan, 2], [1, 1, 3], width=10, height=5)
+        assert text.count("*") == 2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            scatter([1], [1, 2])
+        with pytest.raises(ReproError):
+            scatter([math.nan], [math.nan])
+        with pytest.raises(ReproError):
+            scatter([1, 2], [1, 2], width=4, height=2)
+
+
+class TestSideBySide:
+    def test_blocks_joined(self):
+        combined = side_by_side(["a", "b"], ["x\ny", "p\nq\nr"])
+        lines = combined.splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        assert "x" in lines[1] and "p" in lines[1]
+        assert "r" in lines[3]
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            side_by_side(["a"], [])
+        with pytest.raises(ReproError):
+            side_by_side([], [])

@@ -1,0 +1,153 @@
+"""Link-budget and time-series analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    delivery_ratio_over_time,
+    detect_degradation,
+    goodput_over_time,
+    per_over_time,
+)
+from repro.channel import HALLWAY_2012, LinkBudget, QUIET_HALLWAY
+from repro.config import StackConfig
+from repro.errors import ChannelError, ReproError
+from repro.extensions import MobileLinkChannel, MobilityTrace
+from repro.radio import cc2420
+from repro.sim import LinkSimulator, SimulationOptions, simulate_link
+
+
+class TestLinkBudget:
+    def setup_method(self):
+        self.budget = LinkBudget(HALLWAY_2012)
+
+    def test_row_consistency(self):
+        row = self.budget.at(20.0, 23)
+        assert row.tx_power_dbm == -3.0
+        assert row.mean_rssi_dbm == pytest.approx(
+            row.tx_power_dbm - row.path_loss_db
+        )
+        assert row.mean_snr_db == pytest.approx(
+            row.mean_rssi_dbm - HALLWAY_2012.noise.mean_dbm
+        )
+
+    def test_table_covers_all_levels(self):
+        rows = self.budget.table(20.0)
+        assert [r.ptx_level for r in rows] == list(cc2420.PA_LEVELS)
+        snrs = [r.mean_snr_db for r in rows]
+        assert snrs == sorted(snrs)
+
+    def test_sensitivity_margin(self):
+        strong = self.budget.at(5.0, 31)
+        weak = self.budget.at(35.0, 3)
+        assert strong.sensitivity_margin_db > 30
+        assert weak.sensitivity_margin_db < 2
+
+    def test_cheapest_level(self):
+        level = self.budget.cheapest_level_for_snr(20.0, required_snr_db=19.0)
+        assert level is not None
+        assert self.budget.at(20.0, level).mean_snr_db >= 19.0
+        # The next-cheaper level must miss the requirement (or not exist).
+        idx = cc2420.PA_LEVELS.index(level)
+        if idx > 0:
+            lower = cc2420.PA_LEVELS[idx - 1]
+            assert self.budget.at(20.0, lower).mean_snr_db < 19.0
+
+    def test_cheapest_level_none_when_impossible(self):
+        assert self.budget.cheapest_level_for_snr(35.0, 60.0) is None
+
+    def test_max_distance_monotone_in_power(self):
+        d_low = self.budget.max_distance_for_snr(11, 12.0)
+        d_high = self.budget.max_distance_for_snr(31, 12.0)
+        assert d_high > d_low
+
+    def test_max_distance_meets_requirement(self):
+        distance = self.budget.max_distance_for_snr(31, 19.0)
+        tx = cc2420.output_power_dbm(31)
+        snr = (
+            tx
+            - HALLWAY_2012.pathloss.median_loss_db(distance)
+            - HALLWAY_2012.noise.mean_dbm
+        )
+        assert snr == pytest.approx(19.0, abs=0.05)
+
+    def test_max_distance_errors(self):
+        with pytest.raises(ChannelError):
+            self.budget.max_distance_for_snr(3, 80.0)
+        with pytest.raises(ChannelError):
+            self.budget.max_distance_for_snr(31, 10.0, lo_m=5.0, hi_m=2.0)
+
+    def test_coverage_map(self):
+        coverage = self.budget.coverage_map(12.0)
+        assert set(coverage) <= set(cc2420.PA_LEVELS)
+        values = [coverage[lvl] for lvl in sorted(coverage)]
+        assert values == sorted(values)
+
+    def test_at_rejects_bad_distance(self):
+        with pytest.raises(ChannelError):
+            self.budget.at(0.0, 31)
+
+
+@pytest.fixture(scope="module")
+def mobile_trace():
+    """A walk that degrades the link partway through the run."""
+    walk = MobilityTrace.walk(start_m=10.0, end_m=120.0, duration_s=25.0)
+    config = StackConfig(
+        distance_m=10.0, ptx_level=11, n_max_tries=1, q_max=1,
+        t_pkt_ms=50.0, payload_bytes=110,
+    )
+    options = SimulationOptions(
+        n_packets=500, seed=3, environment=QUIET_HALLWAY
+    )
+    sim = LinkSimulator(
+        config,
+        options,
+        channel=MobileLinkChannel(
+            QUIET_HALLWAY, walk, 11, np.random.default_rng(8)
+        ),
+    )
+    return sim.run()
+
+
+class TestTimeSeries:
+    def test_per_series_rises_over_walk(self, mobile_trace):
+        series = per_over_time(mobile_trace, window_s=2.0).nonempty()
+        assert series.values[-1] > series.values[0] + 0.2
+
+    def test_goodput_series_falls_over_walk(self, mobile_trace):
+        series = goodput_over_time(mobile_trace, window_s=2.0).nonempty()
+        assert series.values[0] > series.values[-1]
+
+    def test_delivery_ratio_series(self, mobile_trace):
+        series = delivery_ratio_over_time(mobile_trace, window_s=2.0).nonempty()
+        assert series.values[0] > 0.9
+        assert series.values[-1] < 0.6
+
+    def test_counts_conserve_packets(self, mobile_trace):
+        series = delivery_ratio_over_time(mobile_trace, window_s=2.0)
+        assert series.counts.sum() == len(mobile_trace.packets)
+
+    def test_detect_degradation_fires_mid_walk(self, mobile_trace):
+        series = per_over_time(mobile_trace, window_s=2.0)
+        when = detect_degradation(series, threshold=0.3, above_is_bad=True)
+        assert when is not None
+        assert 2.0 < when < mobile_trace.duration_s
+
+    def test_detect_degradation_none_on_good_link(self):
+        config = StackConfig(
+            distance_m=5.0, ptx_level=31, q_max=1, t_pkt_ms=50.0,
+            payload_bytes=50,
+        )
+        trace = simulate_link(
+            config, n_packets=200, seed=1, environment=QUIET_HALLWAY
+        )
+        series = per_over_time(trace, window_s=1.0)
+        assert detect_degradation(series, threshold=0.5) is None
+
+    def test_validation(self, mobile_trace):
+        with pytest.raises(ReproError):
+            per_over_time(mobile_trace, window_s=0.0)
+        with pytest.raises(ReproError):
+            detect_degradation(
+                per_over_time(mobile_trace), threshold=0.5, min_count=0
+            )

@@ -1,0 +1,203 @@
+"""Campaign runner, summary and dataset tests (repro.campaign)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignDataset,
+    CampaignRunner,
+    ConfigSummary,
+    points_as_arrays,
+    sweep_snr_payload,
+)
+from repro.channel import QUIET_HALLWAY
+from repro.config import ParameterSpace, StackConfig
+from repro.errors import CampaignError, DatasetError
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    space = ParameterSpace(
+        distances_m=(10.0,),
+        ptx_levels=(15, 31),
+        n_max_tries_values=(1,),
+        d_retry_values_ms=(0.0,),
+        q_max_values=(1,),
+        t_pkt_values_ms=(50.0,),
+        payload_values_bytes=(20, 110),
+    )
+    runner = CampaignRunner(
+        environment=QUIET_HALLWAY, packets_per_config=60, engine="des"
+    )
+    return runner.run(space, description="tiny test campaign")
+
+
+class TestCampaignRunner:
+    def test_runs_all_configs(self, tiny_dataset):
+        assert len(tiny_dataset) == 4
+
+    def test_summary_fields_sane(self, tiny_dataset):
+        for s in tiny_dataset:
+            assert s.n_packets == 60
+            assert 0.0 <= s.per <= 1.0
+            assert 0.0 <= s.plr_total <= 1.0
+            assert s.goodput_kbps >= 0.0
+            assert s.engine == "des"
+
+    def test_deterministic(self):
+        space = [StackConfig(distance_m=10.0, ptx_level=31, payload_bytes=50)]
+        r1 = CampaignRunner(packets_per_config=50).run(space)
+        r2 = CampaignRunner(packets_per_config=50).run(space)
+        assert r1.summaries[0].per == r2.summaries[0].per
+        assert r1.summaries[0].seed == r2.summaries[0].seed
+
+    def test_distinct_seeds_per_config(self, tiny_dataset):
+        seeds = [s.seed for s in tiny_dataset]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_fast_engine_rejects_queueing(self):
+        runner = CampaignRunner(engine="fast", packets_per_config=50)
+        with pytest.raises(CampaignError):
+            runner.run_config(StackConfig(q_max=30))
+
+    def test_fast_engine_runs_queueless(self):
+        runner = CampaignRunner(engine="fast", packets_per_config=500)
+        summary = runner.run_config(
+            StackConfig(distance_m=10.0, ptx_level=31, q_max=1, payload_bytes=50)
+        )
+        assert summary.engine == "fast"
+        assert summary.plr_queue == 0.0
+        assert summary.per < 0.2
+
+    def test_unknown_engine(self):
+        with pytest.raises(CampaignError):
+            CampaignRunner(engine="warp")
+
+    def test_empty_space(self):
+        with pytest.raises(CampaignError):
+            CampaignRunner(packets_per_config=10).run([])
+
+    def test_progress_callback(self):
+        calls = []
+        runner = CampaignRunner(
+            packets_per_config=20,
+            progress=lambda i, n, s: calls.append((i, n)),
+        )
+        runner.run([StackConfig(), StackConfig(payload_bytes=5)])
+        assert calls == [(0, 2), (1, 2)]
+
+
+class TestConfigSummaryRoundtrip:
+    def test_dict_roundtrip(self, tiny_dataset):
+        for s in tiny_dataset:
+            assert ConfigSummary.from_dict(s.as_dict()) == s
+
+    def test_nonfinite_values_survive(self):
+        s = tiny_dataset_row_with_inf()
+        restored = ConfigSummary.from_dict(s.as_dict())
+        assert math.isinf(restored.u_eng_uj_per_bit)
+
+    def test_missing_field_rejected(self, tiny_dataset):
+        row = tiny_dataset.summaries[0].as_dict()
+        del row["per"]
+        with pytest.raises(DatasetError):
+            ConfigSummary.from_dict(row)
+
+
+def tiny_dataset_row_with_inf():
+    return ConfigSummary(
+        config=StackConfig(),
+        engine="des",
+        n_packets=10,
+        seed=1,
+        mean_snr_db=5.0,
+        mean_rssi_dbm=-90.0,
+        per=1.0,
+        plr_radio=1.0,
+        plr_queue=0.0,
+        plr_total=1.0,
+        goodput_kbps=0.0,
+        mean_delay_ms=math.nan,
+        mean_service_time_ms=20.0,
+        mean_tries=1.0,
+        u_eng_uj_per_bit=math.inf,
+        duration_s=1.0,
+    )
+
+
+class TestCampaignDataset:
+    def test_save_load_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        tiny_dataset.save(path)
+        loaded = CampaignDataset.load(path)
+        assert len(loaded) == len(tiny_dataset)
+        assert loaded.description == "tiny test campaign"
+        assert loaded.summaries[0] == tiny_dataset.summaries[0]
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            CampaignDataset.load(tmp_path / "nope.jsonl")
+
+    def test_load_truncated(self, tiny_dataset, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        tiny_dataset.save(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(DatasetError):
+            CampaignDataset.load(path)
+
+    def test_load_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "other"}\n')
+        with pytest.raises(DatasetError):
+            CampaignDataset.load(path)
+
+    def test_select(self, tiny_dataset):
+        sub = tiny_dataset.select(ptx_level=31)
+        assert len(sub) == 2
+        assert all(s.config.ptx_level == 31 for s in sub)
+
+    def test_select_unknown_field(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.select(bogus=1)
+
+    def test_column_and_unique(self, tiny_dataset):
+        per = tiny_dataset.column("per")
+        assert per.shape == (4,)
+        assert tiny_dataset.unique("payload_bytes") == [20.0, 110.0]
+
+    def test_column_unknown(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.column("bogus")
+
+    def test_where(self, tiny_dataset):
+        sub = tiny_dataset.where(lambda s: s.per < 0.5)
+        assert all(s.per < 0.5 for s in sub)
+
+
+class TestSnrSweep:
+    def test_grid_size(self):
+        points = sweep_snr_payload([10.0, 20.0], [20, 110], n_packets=300)
+        assert len(points) == 4
+
+    def test_per_shape_across_grid(self):
+        points = sweep_snr_payload(
+            [6.0, 20.0], [20, 110], n_packets=2000, seed=3
+        )
+        by_key = {(p.mean_snr_db, p.payload_bytes): p.per for p in points}
+        assert by_key[(6.0, 110)] > by_key[(20.0, 110)]
+        assert by_key[(6.0, 110)] > by_key[(6.0, 20)]
+
+    def test_points_as_arrays(self):
+        points = sweep_snr_payload([10.0], [20, 110], n_packets=200)
+        payload, snr, per, plr, tries = points_as_arrays(points)
+        assert payload.shape == snr.shape == per.shape == (2,)
+        assert np.all(tries >= 1.0)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(CampaignError):
+            sweep_snr_payload([], [20])
+        with pytest.raises(CampaignError):
+            points_as_arrays([])

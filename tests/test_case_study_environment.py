@@ -1,0 +1,67 @@
+"""Case-study environment construction and SNR-map consistency tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel import LinkChannel
+from repro.core.constants import (
+    CASE_STUDY_SNR_AT_PTX23_DB,
+    CASE_STUDY_SNR_AT_PTX31_DB,
+)
+from repro.core.optimization import (
+    case_study_environment,
+    case_study_snr_map,
+    snr_map_from_environment,
+)
+from repro.radio import cc2420
+
+
+class TestCaseStudyConstants:
+    def test_snr_gap_is_power_gap(self):
+        """23 → 31 is a 3 dB output-power step, so the SNRs differ by 3."""
+        gap = CASE_STUDY_SNR_AT_PTX31_DB - CASE_STUDY_SNR_AT_PTX23_DB
+        power_gap = cc2420.output_power_dbm(31) - cc2420.output_power_dbm(23)
+        assert gap == pytest.approx(power_gap)
+
+
+class TestSnrMapConsistency:
+    def test_map_matches_both_anchors(self):
+        snr_map = case_study_snr_map()
+        assert snr_map[23] == pytest.approx(CASE_STUDY_SNR_AT_PTX23_DB)
+        assert snr_map[31] == pytest.approx(CASE_STUDY_SNR_AT_PTX31_DB)
+
+    def test_map_covers_all_levels(self):
+        assert set(case_study_snr_map()) == set(cc2420.PA_LEVELS)
+
+    def test_environment_map_agrees_with_reference_map(self):
+        """The DES environment realizes the same level→SNR map the model
+        evaluator assumes — the property that makes model-vs-simulation
+        comparisons in Table IV meaningful."""
+        env = case_study_environment(distance_m=40.0)
+        env_map = snr_map_from_environment(env, 40.0)
+        ref_map = case_study_snr_map()
+        for level in cc2420.PA_LEVELS:
+            assert env_map[level] == pytest.approx(ref_map[level], abs=1e-9)
+
+    def test_environment_keeps_other_positions(self):
+        """Adding the case-study position must not disturb the campaign
+        positions' frozen offsets."""
+        from repro.channel import HALLWAY_2012
+
+        env = case_study_environment(distance_m=40.0)
+        for d in (5.0, 10.0, 35.0):
+            assert env.pathloss.loss_db(d) == pytest.approx(
+                HALLWAY_2012.pathloss.loss_db(d)
+            )
+
+    def test_simulated_mean_snr_near_nominal(self):
+        env = case_study_environment(distance_m=40.0).quiet()
+        channel = LinkChannel(env, 40.0, 31, np.random.default_rng(0))
+        assert channel.mean_snr_db == pytest.approx(
+            CASE_STUDY_SNR_AT_PTX31_DB, abs=0.01
+        )
+
+    def test_custom_snr_anchor(self):
+        env = case_study_environment(snr_at_23_db=8.0, distance_m=40.0)
+        snr_map = snr_map_from_environment(env, 40.0)
+        assert snr_map[23] == pytest.approx(8.0)

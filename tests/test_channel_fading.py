@@ -1,0 +1,109 @@
+"""Fading-process tests (repro.channel.fading)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import HumanShadowingConfig, ShadowingProcess
+from repro.errors import ChannelError
+
+
+def make_process(rng=None, **kwargs):
+    defaults = dict(slow_sigma_db=1.5, slow_tau_s=10.0, fast_sigma_db=1.0)
+    defaults.update(kwargs)
+    return ShadowingProcess(
+        rng=rng or np.random.default_rng(0), **defaults
+    )
+
+
+class TestShadowingProcess:
+    def test_time_must_not_go_backwards(self):
+        proc = make_process()
+        proc.attenuation_db(5.0)
+        with pytest.raises(ChannelError):
+            proc.attenuation_db(4.0)
+
+    def test_deterministic_under_seed(self):
+        a = make_process(np.random.default_rng(42)).sample_block(0.0, 0.1, 50)
+        b = make_process(np.random.default_rng(42)).sample_block(0.0, 0.1, 50)
+        assert np.array_equal(a, b)
+
+    def test_zero_sigmas_give_zero(self):
+        proc = make_process(slow_sigma_db=0.0, fast_sigma_db=0.0)
+        samples = proc.sample_block(0.0, 0.1, 20)
+        assert np.all(samples == 0.0)
+
+    def test_stationary_std_matches(self):
+        """Long-run attenuation std ≈ sqrt(slow² + fast²)."""
+        proc = make_process(np.random.default_rng(1))
+        # Sample far apart so slow values decorrelate.
+        samples = proc.sample_block(0.0, 50.0, 4000)
+        expected = np.hypot(1.5, 1.0)
+        assert samples.std() == pytest.approx(expected, rel=0.1)
+
+    def test_temporal_correlation_of_slow_component(self):
+        """Nearby samples correlate; distant samples do not."""
+        proc = make_process(np.random.default_rng(2), fast_sigma_db=0.0)
+        samples = proc.sample_block(0.0, 0.5, 4000)  # dt << tau
+        near = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        assert near > 0.8
+        proc2 = make_process(np.random.default_rng(3), fast_sigma_db=0.0)
+        far = proc2.sample_block(0.0, 100.0, 2000)  # dt >> tau
+        far_corr = np.corrcoef(far[:-1], far[1:])[0, 1]
+        assert abs(far_corr) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            make_process(slow_sigma_db=-1.0)
+        with pytest.raises(ChannelError):
+            make_process(slow_tau_s=0.0)
+
+    def test_sample_block_validation(self):
+        proc = make_process()
+        with pytest.raises(ChannelError):
+            proc.sample_block(0.0, 0.0, 10)
+        with pytest.raises(ChannelError):
+            proc.sample_block(0.0, 1.0, -1)
+
+
+class TestHumanShadowing:
+    def test_events_only_attenuate(self):
+        """Human-shadowing events add positive attenuation on average."""
+        human = HumanShadowingConfig(
+            rate_per_s=0.5, mean_depth_db=8.0, mean_duration_s=2.0
+        )
+        with_events = make_process(
+            np.random.default_rng(5),
+            slow_sigma_db=0.0,
+            fast_sigma_db=0.0,
+            human=human,
+        )
+        samples = with_events.sample_block(0.0, 0.5, 2000)
+        assert samples.min() >= 0.0  # never a gain
+        assert samples.mean() > 0.1  # events actually fire
+
+    def test_events_raise_deviation(self):
+        """The Fig. 4 mechanism: event-afflicted links have higher RSSI std."""
+        human = HumanShadowingConfig(rate_per_s=0.2)
+        quiet = make_process(np.random.default_rng(6))
+        noisy = make_process(np.random.default_rng(6), human=human)
+        q = quiet.sample_block(0.0, 0.5, 3000)
+        n = noisy.sample_block(0.0, 0.5, 3000)
+        assert n.std() > q.std()
+
+    def test_no_events_at_zero_rate(self):
+        human = HumanShadowingConfig(rate_per_s=0.0)
+        proc = make_process(
+            np.random.default_rng(7),
+            slow_sigma_db=0.0,
+            fast_sigma_db=0.0,
+            human=human,
+        )
+        assert np.all(proc.sample_block(0.0, 1.0, 100) == 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ChannelError):
+            HumanShadowingConfig(rate_per_s=-1.0)
+        with pytest.raises(ChannelError):
+            HumanShadowingConfig(mean_depth_db=-1.0)
+        with pytest.raises(ChannelError):
+            HumanShadowingConfig(mean_duration_s=0.0)

@@ -1,0 +1,116 @@
+"""Environment and composed link-channel tests (repro.channel)."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    Environment,
+    HALLWAY_2012,
+    LinkChannel,
+    QUIET_HALLWAY,
+)
+from repro.errors import ChannelError
+from repro.radio import cc2420
+
+
+class TestEnvironment:
+    def test_hallway_has_35m_extras(self):
+        assert HALLWAY_2012.slow_sigma_at(35.0) > HALLWAY_2012.slow_sigma_at(10.0)
+        assert HALLWAY_2012.human_shadowing_at(35.0) is not None
+        assert HALLWAY_2012.human_shadowing_at(10.0) is None
+
+    def test_quiet_variant_disables_dynamics(self):
+        assert QUIET_HALLWAY.slow_sigma_db == 0.0
+        assert QUIET_HALLWAY.fast_sigma_db == 0.0
+        assert QUIET_HALLWAY.slow_sigma_at(35.0) == 0.0
+        assert QUIET_HALLWAY.human_shadowing_at(35.0) is None
+
+    def test_constant_noise_variant(self):
+        env = HALLWAY_2012.with_constant_noise()
+        assert env.noise.mean_dbm == -95.0
+        assert env.noise.std_db == 0.0
+
+    def test_analytic_ber_variant(self):
+        env = HALLWAY_2012.with_analytic_ber()
+        assert "analytic" in env.name
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            Environment(slow_sigma_db=-1.0)
+        with pytest.raises(ChannelError):
+            Environment(slow_tau_s=0.0)
+
+
+class TestLinkChannel:
+    def test_mean_snr_increases_with_power(self, quiet_env):
+        rng = np.random.default_rng(0)
+        snrs = [
+            LinkChannel(quiet_env, 20.0, lvl, rng).mean_snr_db
+            for lvl in cc2420.PA_LEVELS
+        ]
+        assert snrs == sorted(snrs)
+        # SNR gap between adjacent levels equals the dBm gap.
+        assert snrs[-1] - snrs[0] == pytest.approx(25.0)
+
+    def test_mean_snr_decreases_with_distance_overall(self, quiet_env):
+        rng = np.random.default_rng(0)
+        near = LinkChannel(quiet_env, 5.0, 31, rng).mean_snr_db
+        far = LinkChannel(quiet_env, 35.0, 31, rng).mean_snr_db
+        assert near > far
+
+    def test_quiet_channel_rssi_constant(self, quiet_env):
+        channel = LinkChannel(quiet_env, 20.0, 23, np.random.default_rng(0))
+        rssi = [channel.sample(i * 0.1).rssi_dbm for i in range(20)]
+        assert max(rssi) - min(rssi) < 1e-9
+
+    def test_noisy_channel_rssi_varies(self, hallway_env):
+        channel = LinkChannel(hallway_env, 20.0, 23, np.random.default_rng(0))
+        rssi = [channel.sample(i * 0.1).rssi_dbm for i in range(200)]
+        assert np.std(rssi) > 0.3
+
+    def test_sample_fields_consistent(self, quiet_channel):
+        sample = quiet_channel.sample(0.0)
+        assert sample.snr_db == pytest.approx(sample.rssi_dbm - sample.noise_dbm)
+        assert 50 <= sample.lqi <= 110
+
+    def test_rssi_clamped_to_register(self, quiet_env):
+        channel = LinkChannel(quiet_env, 35.0, 3, np.random.default_rng(0))
+        sample = channel.sample(0.0)
+        assert sample.rssi_dbm >= cc2420.RSSI_MIN_DBM
+
+    def test_below_sensitivity_never_delivers(self, quiet_env):
+        channel = LinkChannel(quiet_env, 35.0, 3, np.random.default_rng(0))
+        sample = channel.sample(0.0)
+        assert not sample.decodable
+        outcomes = [
+            channel.transmit_frame(0.1 * (i + 1), 129).delivered for i in range(50)
+        ]
+        assert not any(outcomes)
+
+    def test_strong_link_mostly_delivers(self, quiet_env):
+        channel = LinkChannel(quiet_env, 5.0, 31, np.random.default_rng(0))
+        delivered = sum(
+            channel.transmit_frame(0.01 * i, 129).delivered for i in range(200)
+        )
+        assert delivered > 195
+
+    def test_deterministic_under_seed(self, hallway_env):
+        def run(seed):
+            channel = LinkChannel(hallway_env, 20.0, 23, np.random.default_rng(seed))
+            return [channel.transmit_frame(0.05 * i, 129).delivered for i in range(50)]
+
+        assert run(9) == run(9)
+
+    def test_rejects_bad_distance(self, quiet_env):
+        with pytest.raises(ChannelError):
+            LinkChannel(quiet_env, -1.0, 31, np.random.default_rng(0))
+
+    def test_35m_more_variable_than_10m(self, hallway_env):
+        """Fig. 4's headline: the 35 m link has the largest RSSI deviation."""
+        def rssi_std(distance, seed):
+            channel = LinkChannel(
+                hallway_env, distance, 31, np.random.default_rng(seed)
+            )
+            return np.std([channel.sample(i * 0.2).rssi_dbm for i in range(500)])
+
+        assert rssi_std(35.0, 1) > rssi_std(10.0, 1)

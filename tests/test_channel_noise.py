@@ -1,0 +1,81 @@
+"""Noise-floor model tests (repro.channel.noise)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.noise import (
+    CONSTANT_NOISE_DBM,
+    ConstantNoiseFloor,
+    NoiseFloorModel,
+    NoiseMode,
+)
+from repro.errors import ChannelError
+
+
+class TestNoiseFloorModel:
+    def setup_method(self):
+        self.model = NoiseFloorModel()
+
+    def test_mean_near_paper_minus_95(self):
+        assert self.model.mean_dbm == pytest.approx(-95.0, abs=0.5)
+
+    def test_std_positive(self):
+        assert self.model.std_db > 0
+
+    def test_sample_scalar(self):
+        rng = np.random.default_rng(0)
+        value = self.model.sample(rng)
+        assert isinstance(value, float)
+
+    def test_sample_array(self):
+        rng = np.random.default_rng(0)
+        samples = self.model.sample(rng, size=10000)
+        assert samples.shape == (10000,)
+        assert samples.mean() == pytest.approx(self.model.mean_dbm, abs=0.2)
+        assert samples.std() == pytest.approx(self.model.std_db, abs=0.3)
+
+    def test_heavier_high_tail(self):
+        """Interference makes the above-mean tail heavier (Fig. 5's point)."""
+        rng = np.random.default_rng(1)
+        samples = self.model.sample(rng, size=50000)
+        mean = self.model.mean_dbm
+        assert (samples > mean + 5).mean() > (samples < mean - 5).mean()
+
+    def test_deterministic_under_seed(self):
+        a = self.model.sample(np.random.default_rng(3), size=100)
+        b = self.model.sample(np.random.default_rng(3), size=100)
+        assert np.array_equal(a, b)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ChannelError):
+            NoiseFloorModel(
+                modes=(NoiseMode(-95.0, 1.0, 0.5), NoiseMode(-90.0, 1.0, 0.4))
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ChannelError):
+            NoiseFloorModel(modes=())
+
+    def test_mode_validation(self):
+        with pytest.raises(ChannelError):
+            NoiseMode(-95.0, -1.0, 1.0)
+        with pytest.raises(ChannelError):
+            NoiseMode(-95.0, 1.0, 0.0)
+
+
+class TestConstantNoiseFloor:
+    def test_default_level(self):
+        model = ConstantNoiseFloor()
+        assert model.level_dbm == CONSTANT_NOISE_DBM == -95.0
+
+    def test_no_variance(self):
+        model = ConstantNoiseFloor()
+        assert model.std_db == 0.0
+        rng = np.random.default_rng(0)
+        samples = model.sample(rng, size=100)
+        assert np.all(samples == -95.0)
+
+    def test_scalar_sample(self):
+        model = ConstantNoiseFloor(-90.0)
+        assert model.sample(np.random.default_rng(0)) == -90.0
+        assert model.mean_dbm == -90.0

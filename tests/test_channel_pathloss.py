@@ -1,0 +1,125 @@
+"""Path-loss model tests (repro.channel.pathloss)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.pathloss import (
+    CAMPAIGN_POSITION_OFFSETS_DB,
+    LogNormalShadowing,
+    fit_path_loss,
+)
+from repro.errors import ChannelError
+
+
+class TestMedianLoss:
+    def setup_method(self):
+        self.model = LogNormalShadowing()
+
+    def test_reference_point(self):
+        assert self.model.median_loss_db(1.0) == pytest.approx(
+            self.model.reference_loss_db
+        )
+
+    def test_paper_exponent(self):
+        # Doubling the distance adds 10·n·log10(2) ≈ 6.59 dB at n = 2.19.
+        delta = self.model.median_loss_db(20.0) - self.model.median_loss_db(10.0)
+        assert delta == pytest.approx(10 * 2.19 * np.log10(2), rel=1e-9)
+
+    @given(st.floats(min_value=0.5, max_value=100.0))
+    def test_monotone_in_distance(self, d):
+        assert self.model.median_loss_db(d * 1.1) > self.model.median_loss_db(d)
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ChannelError):
+            self.model.median_loss_db(0.0)
+
+
+class TestShadowingOffsets:
+    def setup_method(self):
+        self.model = LogNormalShadowing()
+
+    def test_campaign_positions_frozen(self):
+        for d, offset in CAMPAIGN_POSITION_OFFSETS_DB.items():
+            assert self.model.shadowing_offset_db(d) == offset
+
+    def test_other_positions_deterministic(self):
+        a = self.model.shadowing_offset_db(17.3)
+        b = self.model.shadowing_offset_db(17.3)
+        assert a == b
+
+    def test_other_positions_bounded_realistically(self):
+        offsets = [self.model.shadowing_offset_db(d) for d in (7.1, 13.9, 22.2)]
+        assert all(abs(o) < 4 * self.model.sigma_db for o in offsets)
+
+    def test_35m_is_weakest_campaign_link(self):
+        losses = {
+            d: self.model.loss_db(d) for d in CAMPAIGN_POSITION_OFFSETS_DB
+        }
+        assert max(losses, key=losses.get) == 35.0
+
+
+class TestMeanRssi:
+    def test_follows_tx_power(self):
+        model = LogNormalShadowing()
+        r0 = model.mean_rssi_dbm(0.0, 10.0)
+        r_low = model.mean_rssi_dbm(-25.0, 10.0)
+        assert r0 - r_low == pytest.approx(25.0)
+
+
+class TestValidation:
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ChannelError):
+            LogNormalShadowing(exponent=0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ChannelError):
+            LogNormalShadowing(sigma_db=-1.0)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(ChannelError):
+            LogNormalShadowing(reference_distance_m=0.0)
+
+
+class TestFit:
+    def test_recovers_known_model(self):
+        """Regression on synthetic data recovers the generating parameters."""
+        positions = [5.0, 10.0, 15.0, 20.0, 30.0, 35.0]
+        model = LogNormalShadowing(
+            position_offsets_db={d: 0.0 for d in positions}
+        )
+        rng = np.random.default_rng(0)
+        distances = np.tile(np.array(positions), 40)
+        noise = rng.normal(0.0, 3.2, distances.size)
+        rssi = np.array(
+            [model.mean_rssi_dbm(0.0, d) for d in distances]
+        ) - noise
+        fit = fit_path_loss(distances, rssi, tx_power_dbm=0.0)
+        assert fit["exponent"] == pytest.approx(2.19, abs=0.25)
+        assert fit["sigma_db"] == pytest.approx(3.2, abs=0.5)
+        assert fit["reference_loss_db"] == pytest.approx(
+            model.reference_loss_db, abs=2.0
+        )
+
+    def test_campaign_positions_fit_near_paper(self):
+        """The frozen hallway realization re-fits to n ≈ 2.19, σ ≈ 3 (Fig. 3)."""
+        model = LogNormalShadowing()
+        distances = np.array(sorted(CAMPAIGN_POSITION_OFFSETS_DB))
+        rssi = np.array([model.mean_rssi_dbm(0.0, d) for d in distances])
+        fit = fit_path_loss(distances, rssi, tx_power_dbm=0.0)
+        assert fit["exponent"] == pytest.approx(2.19, abs=0.8)
+        assert 1.5 < fit["sigma_db"] < 5.0
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ChannelError):
+            fit_path_loss(np.ones(3), np.ones(4), 0.0)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ChannelError):
+            fit_path_loss(np.array([1.0, 2.0]), np.array([-40.0, -50.0]), 0.0)
+
+    def test_rejects_nonpositive_distances(self):
+        with pytest.raises(ChannelError):
+            fit_path_loss(
+                np.array([1.0, -2.0, 3.0]), np.array([-40.0, -50.0, -55.0]), 0.0
+            )

@@ -1,0 +1,88 @@
+"""Checkpointed campaign tests (repro.campaign.checkpoint)."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignDataset,
+    CampaignRunner,
+    run_campaign_checkpointed,
+)
+from repro.channel import QUIET_HALLWAY
+from repro.config import ParameterSpace
+from repro.errors import CampaignError
+
+
+@pytest.fixture
+def space():
+    return ParameterSpace(
+        distances_m=(10.0,),
+        ptx_levels=(15, 31),
+        n_max_tries_values=(1,),
+        d_retry_values_ms=(0.0,),
+        q_max_values=(1,),
+        t_pkt_values_ms=(100.0,),
+        payload_values_bytes=(20, 80),
+    )
+
+
+def run_checkpointed(space, path, **kwargs):
+    defaults = dict(
+        environment=QUIET_HALLWAY, packets_per_config=40, base_seed=5
+    )
+    defaults.update(kwargs)
+    return run_campaign_checkpointed(space, path, **defaults)
+
+
+class TestFreshRun:
+    def test_produces_full_dataset_and_file(self, space, tmp_path):
+        path = tmp_path / "c.jsonl"
+        dataset = run_checkpointed(space, path)
+        assert len(dataset) == len(space)
+        assert len(CampaignDataset.load(path)) == len(space)
+
+    def test_matches_plain_runner(self, space, tmp_path):
+        checkpointed = run_checkpointed(space, tmp_path / "c.jsonl")
+        plain = CampaignRunner(
+            environment=QUIET_HALLWAY, packets_per_config=40, base_seed=5
+        ).run(space)
+        assert checkpointed.summaries == plain.summaries
+
+
+class TestResume:
+    def test_resume_continues_from_partial(self, space, tmp_path):
+        path = tmp_path / "c.jsonl"
+        full = run_checkpointed(space, path)
+        # Truncate the file to 2 rows (header + 2) and resume.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")
+        completed = []
+        resumed = run_checkpointed(
+            space, path,
+            progress=lambda i, n, s: completed.append(i),
+        )
+        assert completed == [2, 3]  # only the missing tail ran
+        assert resumed.summaries == full.summaries
+
+    def test_resume_on_complete_file_runs_nothing(self, space, tmp_path):
+        path = tmp_path / "c.jsonl"
+        run_checkpointed(space, path)
+        ran = []
+        run_checkpointed(space, path, progress=lambda i, n, s: ran.append(i))
+        assert ran == []
+
+    def test_wrong_space_rejected(self, space, tmp_path):
+        path = tmp_path / "c.jsonl"
+        run_checkpointed(space, path)
+        other = space.subspace(payload_values_bytes=[80])
+        with pytest.raises(CampaignError):
+            run_checkpointed(other, path)
+
+    def test_wrong_seed_rejected(self, space, tmp_path):
+        path = tmp_path / "c.jsonl"
+        run_checkpointed(space, path, base_seed=5)
+        with pytest.raises(CampaignError):
+            run_checkpointed(space, path, base_seed=6)
+
+    def test_empty_space_rejected(self, tmp_path):
+        with pytest.raises(CampaignError):
+            run_campaign_checkpointed([], tmp_path / "c.jsonl")

@@ -1,0 +1,166 @@
+"""CLI tests (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestRunConfig:
+    def test_prints_metrics(self, capsys):
+        code = main(
+            [
+                "run-config",
+                "--distance-m", "10",
+                "--ptx-level", "31",
+                "--payload-bytes", "50",
+                "--packets", "100",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "goodput" in out
+        assert "U_eng" in out
+
+    def test_invalid_config_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run-config", "--ptx-level", "30", "--packets", "10"])
+
+
+class TestSweep:
+    def test_writes_dataset(self, tmp_path, capsys):
+        out_file = tmp_path / "sweep.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--distance-m", "10.0",
+                "--q-max", "1",
+                "--limit", "3",
+                "--packets", "30",
+                "--output", str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        from repro.campaign import CampaignDataset
+
+        assert len(CampaignDataset.load(out_file)) == 3
+
+
+class TestCaseStudy:
+    def test_prints_tables(self, capsys):
+        code = main(["case-study"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "paper (Table IV)" in out
+        assert "joint (our work)" in out
+        assert "dominates all baselines (models): True" in out
+
+
+class TestGuidelines:
+    def test_prints_recommendations(self, capsys):
+        code = main(["guidelines", "--distance-m", "35.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for section in ("energy", "goodput", "delay", "loss"):
+            assert section in out
+
+
+class TestValidate:
+    def test_validate_report(self, tmp_path, capsys):
+        dataset_path = tmp_path / "ds.jsonl"
+        main(
+            [
+                "sweep",
+                "--distance-m", "10.0",
+                "--q-max", "1",
+                "--limit", "4",
+                "--packets", "50",
+                "--output", str(dataset_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["validate", "--dataset", str(dataset_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean_service_time_ms" in out
+        assert "describe this environment" in out
+
+    def test_validate_missing_dataset(self, tmp_path):
+        from repro.errors import DatasetError
+
+        with pytest.raises(DatasetError):
+            main(["validate", "--dataset", str(tmp_path / "none.jsonl")])
+
+
+class TestExportTrace:
+    def test_export_and_reload(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "export-trace",
+                "--distance-m", "10",
+                "--packets", "40",
+                "--output", str(out_file),
+            ]
+        )
+        assert code == 0
+        from repro.sim import load_trace
+
+        trace, config = load_trace(out_file)
+        assert len(trace.packets) == 40
+        assert config is not None and config.distance_m == 10.0
+
+    def test_packets_only(self, tmp_path):
+        out_file = tmp_path / "trace.jsonl"
+        main(
+            [
+                "export-trace",
+                "--packets", "20",
+                "--packets-only",
+                "--output", str(out_file),
+            ]
+        )
+        from repro.sim import load_trace
+
+        trace, _ = load_trace(out_file)
+        assert len(trace.packets) == 20
+        assert not trace.transmissions
+
+
+class TestLinkBudget:
+    def test_prints_budget_table(self, capsys):
+        code = main(["link-budget", "--distance-m", "35", "--required-snr", "17"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "path loss" in out
+        assert "cheapest level" in out
+        assert "coverage" in out
+
+    def test_impossible_requirement(self, capsys):
+        code = main(["link-budget", "--distance-m", "35", "--required-snr", "90"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no power level reaches" in out
+
+
+class TestSensitivity:
+    def test_prints_rankings(self, capsys):
+        code = main(["sensitivity", "--distance-m", "35"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for metric in ("energy", "goodput", "delay", "loss"):
+            assert f"{metric}:" in out
+        assert "ptx_level" in out and "payload_bytes" in out

@@ -1,0 +1,160 @@
+"""StackConfig and ParameterSpace tests (repro.config)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import (
+    MAX_PAYLOAD_BYTES,
+    ParameterSpace,
+    SMOKE_SPACE,
+    StackConfig,
+    TABLE_I_SPACE,
+    VALID_PTX_LEVELS,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStackConfigValidation:
+    def test_defaults_valid(self):
+        StackConfig()  # must not raise
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig(distance_m=0.0)
+
+    def test_rejects_invalid_ptx(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig(ptx_level=30)
+
+    @pytest.mark.parametrize("level", VALID_PTX_LEVELS)
+    def test_accepts_all_valid_ptx(self, level):
+        assert StackConfig(ptx_level=level).ptx_level == level
+
+    def test_rejects_zero_tries(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig(n_max_tries=0)
+
+    def test_rejects_negative_retry_delay(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig(d_retry_ms=-1.0)
+
+    def test_rejects_zero_queue(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig(q_max=0)
+
+    def test_rejects_zero_interval(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig(t_pkt_ms=0.0)
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig(payload_bytes=MAX_PAYLOAD_BYTES + 1)
+
+    def test_rejects_zero_payload(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig(payload_bytes=0)
+
+    def test_rejects_non_integer_tries(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig(n_max_tries=1.5)
+
+
+class TestStackConfigBehaviour:
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            StackConfig().payload_bytes = 5  # type: ignore[misc]
+
+    def test_hashable_and_equal(self):
+        a = StackConfig(payload_bytes=20)
+        b = StackConfig(payload_bytes=20)
+        assert a == b and hash(a) == hash(b)
+
+    def test_with_updates_validates(self):
+        cfg = StackConfig()
+        with pytest.raises(ConfigurationError):
+            cfg.with_updates(payload_bytes=500)
+
+    def test_with_updates_changes_only_given(self):
+        cfg = StackConfig(payload_bytes=20, q_max=30)
+        out = cfg.with_updates(payload_bytes=40)
+        assert out.payload_bytes == 40 and out.q_max == 30
+
+    def test_flags(self):
+        assert not StackConfig(n_max_tries=1).retransmissions_enabled
+        assert StackConfig(n_max_tries=2).retransmissions_enabled
+        assert not StackConfig(q_max=1).queueing_enabled
+        assert StackConfig(q_max=30).queueing_enabled
+
+    def test_offered_load(self):
+        cfg = StackConfig(payload_bytes=110, t_pkt_ms=30.0)
+        assert cfg.offered_load_bps == pytest.approx(110 * 8 / 0.03)
+
+    @given(
+        payload=st.integers(min_value=1, max_value=MAX_PAYLOAD_BYTES),
+        ptx=st.sampled_from(VALID_PTX_LEVELS),
+        tries=st.integers(min_value=1, max_value=10),
+        qmax=st.integers(min_value=1, max_value=50),
+        tpkt=st.floats(min_value=1.0, max_value=1000.0),
+        retry=st.floats(min_value=0.0, max_value=500.0),
+    )
+    def test_dict_roundtrip(self, payload, ptx, tries, qmax, tpkt, retry):
+        cfg = StackConfig(
+            payload_bytes=payload,
+            ptx_level=ptx,
+            n_max_tries=tries,
+            q_max=qmax,
+            t_pkt_ms=tpkt,
+            d_retry_ms=retry,
+        )
+        assert StackConfig.from_dict(cfg.as_dict()) == cfg
+
+    def test_from_dict_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig.from_dict({"bogus": 1})
+
+
+class TestParameterSpace:
+    def test_table_i_counts_match_paper(self):
+        # 8064 settings per distance, ~50k total (the paper's Sec. II-C).
+        assert TABLE_I_SPACE.settings_per_distance == 8064
+        assert len(TABLE_I_SPACE) == 48384
+
+    def test_table_i_packet_count_matches_paper(self):
+        # "more than 200 million packets"
+        assert len(TABLE_I_SPACE) * 4500 > 200_000_000
+
+    def test_iteration_yields_valid_unique_configs(self):
+        seen = set()
+        for cfg in SMOKE_SPACE:
+            assert isinstance(cfg, StackConfig)
+            seen.add(cfg)
+        assert len(seen) == len(SMOKE_SPACE)
+
+    def test_iteration_distance_slowest(self):
+        configs = list(SMOKE_SPACE)
+        # All configs of the first distance come before any of the second.
+        distances = [c.distance_m for c in configs]
+        first = distances[0]
+        switch = distances.index(35.0)
+        assert all(d == first for d in distances[:switch])
+
+    def test_subspace_restricts(self):
+        sub = TABLE_I_SPACE.subspace(distances_m=[35.0], q_max_values=[1])
+        assert len(sub) == 8064 // 2
+        assert all(c.distance_m == 35.0 and c.q_max == 1 for c in sub)
+
+    def test_subspace_rejects_unknown_axis(self):
+        with pytest.raises(ConfigurationError):
+            TABLE_I_SPACE.subspace(bogus=[1])
+
+    def test_subspace_rejects_foreign_values(self):
+        with pytest.raises(ConfigurationError):
+            TABLE_I_SPACE.subspace(distances_m=[7.7])
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpace(distances_m=())
+
+    def test_rejects_duplicate_axis_values(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpace(ptx_levels=(3, 3))

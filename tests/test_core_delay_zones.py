@@ -1,0 +1,103 @@
+"""Delay-model and zone tests (Eq. 9, Sec. III-B / VI)."""
+
+import pytest
+
+from repro.config import StackConfig
+from repro.core import DelayModel, JointEffectZone, classify_snr
+from repro.core.zones import (
+    in_grey_zone,
+    in_low_loss_zone,
+    snr_margin_over_grey_zone,
+    zone_boundaries_db,
+)
+
+
+class TestZones:
+    def test_boundaries(self):
+        assert zone_boundaries_db() == (5.0, 12.0, 19.0)
+
+    @pytest.mark.parametrize(
+        "snr, zone",
+        [
+            (2.0, JointEffectZone.DEAD),
+            (5.0, JointEffectZone.HIGH_IMPACT),
+            (11.9, JointEffectZone.HIGH_IMPACT),
+            (12.0, JointEffectZone.MEDIUM_IMPACT),
+            (18.9, JointEffectZone.MEDIUM_IMPACT),
+            (19.0, JointEffectZone.LOW_IMPACT),
+            (35.0, JointEffectZone.LOW_IMPACT),
+        ],
+    )
+    def test_classification(self, snr, zone):
+        assert classify_snr(snr) is zone
+
+    def test_grey_zone_predicate(self):
+        assert in_grey_zone(8.0)
+        assert not in_grey_zone(4.0)
+        assert not in_grey_zone(12.0)
+
+    def test_low_loss_predicate(self):
+        assert in_low_loss_zone(12.0)
+        assert not in_low_loss_zone(11.9)
+
+    def test_margin(self):
+        assert snr_margin_over_grey_zone(19.0) == pytest.approx(7.0)
+        assert snr_margin_over_grey_zone(10.0) == pytest.approx(-2.0)
+
+
+class TestDelayModel:
+    def setup_method(self):
+        self.model = DelayModel()
+        self.config = StackConfig(
+            t_pkt_ms=30.0, payload_bytes=110, n_max_tries=3, d_retry_ms=30.0,
+            q_max=30,
+        )
+
+    def test_table_ii_utilizations(self):
+        """Eq. 9 against the published Table II ρ values."""
+        assert self.model.utilization(self.config, 10.0) == pytest.approx(
+            1.236, rel=0.08
+        )
+        assert self.model.utilization(self.config, 20.0) == pytest.approx(
+            0.713, rel=0.08
+        )
+        assert self.model.utilization(self.config, 30.0) == pytest.approx(
+            0.617, rel=0.08
+        )
+
+    def test_regime_flips_at_grey_zone(self):
+        assert self.model.regime(self.config, 10.0).overloaded
+        assert self.model.regime(self.config, 25.0).stable
+
+    def test_overload_delay_scales_with_queue(self):
+        """Fig. 15: Q_max 30 vs 1 costs orders of magnitude in the grey zone."""
+        small_q = self.config.with_updates(q_max=1)
+        est_small = self.model.estimate(small_q, 9.0)
+        est_large = self.model.estimate(self.config, 9.0)
+        assert est_large.total_delay_s > 10 * est_small.total_delay_s
+
+    def test_stable_delay_near_service_time(self):
+        est = self.model.estimate(self.config, 30.0)
+        assert est.rho < 1.0
+        assert est.queueing_delay_s < est.service_time_s * 3
+
+    def test_estimate_decomposition(self):
+        est = self.model.estimate(self.config, 15.0)
+        assert est.total_delay_s == pytest.approx(
+            est.service_time_s + est.queueing_delay_s
+        )
+
+    def test_max_stable_payload(self):
+        payload = self.model.max_stable_payload_bytes(self.config, 20.0)
+        assert 1 <= payload <= 114
+        stable_cfg = self.config.with_updates(payload_bytes=payload)
+        assert self.model.utilization(stable_cfg, 20.0) < 1.0
+
+    def test_max_stable_payload_zero_when_hopeless(self):
+        fast = self.config.with_updates(t_pkt_ms=5.0)
+        assert self.model.max_stable_payload_bytes(fast, 10.0) == 0
+
+    def test_min_stable_interarrival(self):
+        t_pkt = self.model.min_stable_interarrival_ms(self.config, 10.0)
+        relaxed = self.config.with_updates(t_pkt_ms=t_pkt * 1.01)
+        assert self.model.utilization(relaxed, 10.0) < 1.0

@@ -1,0 +1,121 @@
+"""Model-fitting tests (repro.core.fitting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fitting import (
+    fit_exponential_family,
+    fit_ntries_model,
+    fit_per_model,
+    fit_plr_radio_model,
+)
+from repro.errors import FittingError
+
+
+def synthetic_family(alpha, beta, noise_std=0.0, seed=0):
+    """Noisy observations of α · l_D · exp(β · SNR) over a grid."""
+    rng = np.random.default_rng(seed)
+    payloads, snrs = np.meshgrid(
+        np.array([5, 20, 35, 50, 65, 80, 110]), np.arange(5.0, 26.0, 2.0)
+    )
+    payloads = payloads.ravel()
+    snrs = snrs.ravel()
+    y = alpha * payloads * np.exp(beta * snrs)
+    if noise_std:
+        y = y * np.exp(rng.normal(0.0, noise_std, y.size))
+    return payloads, snrs, y
+
+
+class TestFitExponentialFamily:
+    def test_exact_recovery(self):
+        payloads, snrs, y = synthetic_family(0.0128, -0.15)
+        fit = fit_exponential_family(payloads, snrs, y)
+        assert fit.alpha == pytest.approx(0.0128, rel=1e-4)
+        assert fit.beta == pytest.approx(-0.15, rel=1e-4)
+        assert fit.r_squared > 0.999
+
+    def test_noisy_recovery(self):
+        payloads, snrs, y = synthetic_family(0.0128, -0.15, noise_std=0.2, seed=1)
+        fit = fit_exponential_family(payloads, snrs, y)
+        assert fit.alpha == pytest.approx(0.0128, rel=0.25)
+        assert fit.beta == pytest.approx(-0.15, rel=0.15)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        alpha=st.floats(min_value=0.002, max_value=0.05),
+        beta=st.floats(min_value=-0.3, max_value=-0.05),
+    )
+    def test_recovery_property(self, alpha, beta):
+        """Any generator in the family is recovered from clean data."""
+        payloads, snrs, y = synthetic_family(alpha, beta)
+        fit = fit_exponential_family(payloads, snrs, y)
+        assert fit.alpha == pytest.approx(alpha, rel=0.02)
+        assert fit.beta == pytest.approx(beta, rel=0.02)
+
+    def test_log_linear_fallback(self):
+        payloads, snrs, y = synthetic_family(0.01, -0.2)
+        fit = fit_exponential_family(payloads, snrs, y, use_scipy=False)
+        assert fit.method == "log-linear"
+        assert fit.alpha == pytest.approx(0.01, rel=1e-3)
+
+    def test_zero_values_dropped(self):
+        payloads, snrs, y = synthetic_family(0.01, -0.2)
+        y[::3] = 0.0
+        fit = fit_exponential_family(payloads, snrs, y)
+        assert fit.n_points == int((y > 0).sum())
+        assert fit.beta == pytest.approx(-0.2, rel=0.01)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(FittingError):
+            fit_exponential_family([50] * 3, [10.0] * 3, [0.1] * 3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(FittingError):
+            fit_exponential_family([50, 60], [10.0], [0.1, 0.2])
+
+    def test_increasing_data_rejected(self):
+        """PER that *grows* with SNR means inverted data; refuse the fit."""
+        payloads, snrs, y = synthetic_family(0.01, -0.2)
+        with pytest.raises(FittingError):
+            fit_exponential_family(payloads, -snrs, y)
+
+    def test_summary_readable(self):
+        payloads, snrs, y = synthetic_family(0.01, -0.2)
+        summary = fit_exponential_family(payloads, snrs, y).summary()
+        assert "alpha=" in summary and "beta=" in summary and "R²=" in summary
+
+
+class TestWrappers:
+    def test_ntries_regresses_excess(self):
+        """Eq. 7 fit regresses (N̄ − 1), recovering the generator."""
+        payloads, snrs, excess = synthetic_family(0.02, -0.18)
+        fit = fit_ntries_model(payloads, snrs, excess + 1.0)
+        assert fit.alpha == pytest.approx(0.02, rel=0.01)
+        assert fit.beta == pytest.approx(-0.18, rel=0.01)
+
+    def test_plr_unrolls_power(self):
+        """Eq. 8 fit recovers the base from PLR = base^N."""
+        payloads, snrs, base = synthetic_family(0.011, -0.145)
+        base = np.clip(base, 0.0, 1.0)
+        plr = base**3
+        fit = fit_plr_radio_model(payloads, snrs, plr, n_max_tries=3)
+        assert fit.beta == pytest.approx(-0.145, rel=0.05)
+
+    def test_plr_vector_tries(self):
+        payloads, snrs, base = synthetic_family(0.011, -0.145)
+        base = np.clip(base, 0.0, 1.0)
+        tries = np.where(np.arange(base.size) % 2 == 0, 1, 3)
+        plr = base**tries
+        fit = fit_plr_radio_model(payloads, snrs, plr, n_max_tries=tries)
+        assert fit.beta == pytest.approx(-0.145, rel=0.05)
+
+    def test_plr_rejects_bad_tries(self):
+        payloads, snrs, base = synthetic_family(0.011, -0.145)
+        with pytest.raises(FittingError):
+            fit_plr_radio_model(payloads, snrs, base, n_max_tries=0)
+
+    def test_per_alias(self):
+        payloads, snrs, y = synthetic_family(0.0128, -0.15)
+        fit = fit_per_model(payloads, snrs, y)
+        assert fit.alpha == pytest.approx(0.0128, rel=1e-3)

@@ -1,0 +1,117 @@
+"""Guideline-engine tests (repro.core.guidelines) — Secs. IV-C…VII-B."""
+
+import pytest
+
+from repro.core import GuidelineEngine
+from repro.errors import OptimizationError
+
+
+@pytest.fixture
+def engine():
+    return GuidelineEngine()
+
+
+def snr_map(snr_at_31, step=1.0):
+    """A level→SNR map where each 4-level step is `step` dB."""
+    from repro.radio import cc2420
+
+    return {
+        lvl: snr_at_31 + cc2420.output_power_dbm(lvl) * step / 1.0
+        for lvl in cc2420.PA_LEVELS
+    }
+
+
+class TestEnergyGuideline:
+    def test_good_link_lowest_clearing_level_max_payload(self, engine):
+        rec = engine.recommend_for_energy(snr_map(snr_at_31=30.0))
+        assert rec.payload_bytes == 114
+        # Some level below 31 already clears ~16.5 dB; 31 must not be chosen.
+        assert rec.ptx_level < 31
+        assert rec.predicted["snr_db"] >= 16.0
+
+    def test_weak_link_max_power_small_payload(self, engine):
+        rec = engine.recommend_for_energy(snr_map(snr_at_31=8.0))
+        assert rec.ptx_level == 31
+        assert rec.payload_bytes < 114
+        assert rec.rationale
+
+    def test_empty_map_rejected(self, engine):
+        with pytest.raises(OptimizationError):
+            engine.recommend_for_energy({})
+
+    def test_changes_dict(self, engine):
+        rec = engine.recommend_for_energy(snr_map(snr_at_31=30.0))
+        changes = rec.changes()
+        assert set(changes) == {"ptx_level", "payload_bytes"}
+
+
+class TestGoodputGuideline:
+    def test_good_link_max_everything(self, engine):
+        rec = engine.recommend_for_goodput(snr_map(snr_at_31=25.0))
+        assert rec.ptx_level == 31
+        assert rec.payload_bytes == 114
+        assert rec.n_max_tries >= 3
+
+    def test_grey_zone_smaller_payload(self, engine):
+        rec = engine.recommend_for_goodput(snr_map(snr_at_31=6.0))
+        assert rec.ptx_level == 31
+        assert rec.payload_bytes < 114
+
+    def test_predicted_goodput_positive(self, engine):
+        rec = engine.recommend_for_goodput(snr_map(snr_at_31=25.0))
+        assert rec.predicted["max_goodput_kbps"] > 10.0
+
+    def test_validation(self, engine):
+        with pytest.raises(OptimizationError):
+            engine.recommend_for_goodput({}, ())
+
+
+class TestDelayGuideline:
+    def test_stable_config_unchanged(self, engine):
+        rec = engine.recommend_for_delay(
+            snr_db=25.0, t_pkt_ms=100.0, payload_bytes=110, n_max_tries=3
+        )
+        assert rec.payload_bytes == 110
+        assert rec.t_pkt_ms == 100.0
+        assert rec.predicted["rho"] < 1.0
+
+    def test_overload_shrinks_payload(self, engine):
+        # Table II's overloaded row: SNR 10 dB, T_pkt 30 ms, D_retry 30 ms.
+        rec = engine.recommend_for_delay(
+            snr_db=10.0, t_pkt_ms=30.0, payload_bytes=110, n_max_tries=3,
+            d_retry_ms=30.0,
+        )
+        assert rec.predicted["rho"] < 1.0
+        assert rec.payload_bytes < 110 or rec.n_max_tries < 3 or rec.t_pkt_ms > 30.0
+
+    def test_hopeless_overload_stretches_interval(self, engine):
+        rec = engine.recommend_for_delay(
+            snr_db=6.0, t_pkt_ms=5.0, payload_bytes=110, n_max_tries=5
+        )
+        assert rec.predicted["rho"] < 1.0
+        assert rec.t_pkt_ms > 5.0
+
+
+class TestLossGuideline:
+    def test_good_link_minimal_tries(self, engine):
+        rec = engine.recommend_for_loss(
+            snr_db=25.0, t_pkt_ms=100.0, payload_bytes=110
+        )
+        assert rec.n_max_tries <= 3
+        assert rec.predicted["plr_radio"] <= 0.011
+        assert rec.q_max == 1
+
+    def test_grey_zone_highload_uses_large_queue(self, engine):
+        rec = engine.recommend_for_loss(
+            snr_db=8.0, t_pkt_ms=10.0, payload_bytes=110
+        )
+        # Even one try overloads a 10 ms period in the grey zone → big queue.
+        assert rec.q_max == 30
+
+    def test_moderate_case_backs_off_tries(self, engine):
+        rec = engine.recommend_for_loss(
+            snr_db=11.0, t_pkt_ms=40.0, payload_bytes=110, target_plr_radio=1e-6
+        )
+        # The loss target wants many tries; stability caps them.
+        assert rec.predicted["rho"] < 1.0 or rec.q_max == 30
+        assert rec.rationale

@@ -1,0 +1,226 @@
+"""Empirical-model tests: PER, N_tries, PLR_radio (Eqs. 3, 7, 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    NtriesModel,
+    PerModel,
+    PlrRadioModel,
+    mean_tries_of_delivered,
+    plr_queue_estimate,
+    plr_total_estimate,
+    truncated_geometric_mean_tries,
+)
+from repro.core.constants import ExpFitCoefficients
+
+
+class TestPerModel:
+    def setup_method(self):
+        self.model = PerModel()
+
+    def test_paper_coefficients(self):
+        assert self.model.coefficients.alpha == 0.0128
+        assert self.model.coefficients.beta == -0.15
+
+    def test_paper_fig6d_values(self):
+        """The published fit: PER(110 B) ≈ 0.1 around 19 dB, huge at 5 dB."""
+        assert self.model.per(110, 19.0) == pytest.approx(0.081, abs=0.02)
+        assert self.model.per(110, 5.0) > 0.6
+
+    def test_clipped_at_one(self):
+        assert self.model.per(114, -10.0) == 1.0
+        assert self.model.raw(114, -10.0) > 1.0
+
+    @given(
+        payload=st.integers(min_value=1, max_value=114),
+        snr=st.floats(min_value=-10, max_value=50),
+    )
+    def test_bounds_property(self, payload, snr):
+        per = self.model.per(payload, snr)
+        assert 0.0 <= per <= 1.0
+
+    def test_monotonicity(self):
+        assert self.model.per(110, 10.0) > self.model.per(20, 10.0)
+        assert self.model.per(110, 10.0) > self.model.per(110, 20.0)
+
+    def test_vectorized(self):
+        payloads = np.array([20, 60, 110])
+        per = self.model.per(payloads, 10.0)
+        assert per.shape == (3,)
+        assert np.all(np.diff(per) > 0)
+
+    def test_snr_for_target_per_inverts(self):
+        snr = self.model.snr_for_target_per(110, 0.1)
+        assert self.model.per(110, snr) == pytest.approx(0.1, rel=1e-9)
+
+    def test_snr_for_target_validation(self):
+        with pytest.raises(ValueError):
+            self.model.snr_for_target_per(110, 0.0)
+        with pytest.raises(ValueError):
+            self.model.snr_for_target_per(0, 0.1)
+
+    def test_success_probability_complements(self):
+        assert self.model.success_probability(50, 15.0) == pytest.approx(
+            1.0 - self.model.per(50, 15.0)
+        )
+
+    def test_coefficient_validation(self):
+        with pytest.raises(ValueError):
+            ExpFitCoefficients(alpha=-1.0, beta=-0.1)
+        with pytest.raises(ValueError):
+            ExpFitCoefficients(alpha=0.01, beta=0.1)
+
+
+class TestNtriesModel:
+    def setup_method(self):
+        self.model = NtriesModel()
+
+    def test_paper_coefficients(self):
+        assert self.model.coefficients.alpha == 0.02
+        assert self.model.coefficients.beta == -0.18
+
+    def test_floor_of_one(self):
+        assert self.model.expected_tries(5, 40.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_grey_zone_needs_retries(self):
+        assert self.model.expected_tries(110, 8.0) > 1.4
+
+    def test_monotone(self):
+        assert self.model.expected_tries(110, 8.0) > self.model.expected_tries(
+            110, 20.0
+        )
+        assert self.model.expected_tries(110, 8.0) > self.model.expected_tries(
+            20, 8.0
+        )
+
+    def test_implied_per_clipped(self):
+        assert 0.0 <= self.model.implied_per(114, -20.0) < 1.0
+
+
+class TestTruncatedGeometric:
+    def test_no_loss_single_try(self):
+        assert truncated_geometric_mean_tries(0.0, 5) == pytest.approx(1.0)
+
+    def test_certain_loss_uses_budget(self):
+        assert truncated_geometric_mean_tries(1.0, 5) == pytest.approx(5.0)
+
+    def test_matches_analytic(self):
+        p = 0.3
+        expected = (1 - p**4) / (1 - p)
+        assert truncated_geometric_mean_tries(p, 4) == pytest.approx(expected)
+
+    @given(
+        per=st.floats(min_value=0.0, max_value=1.0),
+        budget=st.integers(min_value=1, max_value=10),
+    )
+    def test_bounds_property(self, per, budget):
+        value = truncated_geometric_mean_tries(per, budget)
+        assert 1.0 <= value <= budget
+
+    def test_monte_carlo_agreement(self):
+        """The closed form matches a direct simulation of the process."""
+        rng = np.random.default_rng(0)
+        p, budget = 0.4, 3
+        tries = []
+        for _ in range(20000):
+            for k in range(1, budget + 1):
+                if rng.random() >= p:
+                    break
+            tries.append(k)
+        assert truncated_geometric_mean_tries(p, budget) == pytest.approx(
+            np.mean(tries), abs=0.02
+        )
+
+    def test_vectorized(self):
+        out = truncated_geometric_mean_tries(np.array([0.0, 0.5, 1.0]), 3)
+        assert out.shape == (3,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            truncated_geometric_mean_tries(0.5, 0)
+        with pytest.raises(ValueError):
+            truncated_geometric_mean_tries(1.5, 3)
+
+
+class TestMeanTriesOfDelivered:
+    def test_no_loss(self):
+        assert mean_tries_of_delivered(0.0, 5) == pytest.approx(1.0)
+
+    def test_below_unconditional(self):
+        """Conditioning on success trims the heavy tail."""
+        p = 0.6
+        assert mean_tries_of_delivered(p, 5) < truncated_geometric_mean_tries(p, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_tries_of_delivered(1.0, 3)
+
+
+class TestPlrRadioModel:
+    def setup_method(self):
+        self.model = PlrRadioModel()
+
+    def test_paper_coefficients(self):
+        assert self.model.coefficients.alpha == 0.011
+        assert self.model.coefficients.beta == -0.145
+
+    def test_power_law_in_tries(self):
+        base = self.model.attempt_failure_probability(110, 8.0)
+        assert self.model.plr_radio(110, 8.0, 3) == pytest.approx(base**3)
+
+    def test_retries_reduce_loss(self):
+        assert self.model.plr_radio(110, 8.0, 5) < self.model.plr_radio(110, 8.0, 1)
+
+    @given(
+        payload=st.integers(min_value=1, max_value=114),
+        snr=st.floats(min_value=-5, max_value=40),
+        tries=st.integers(min_value=1, max_value=8),
+    )
+    def test_bounds_property(self, payload, snr, tries):
+        plr = self.model.plr_radio(payload, snr, tries)
+        assert 0.0 <= plr <= 1.0
+
+    def test_min_tries_for_target(self):
+        n = self.model.min_tries_for_target(110, 8.0, 0.01)
+        assert self.model.plr_radio(110, 8.0, n) <= 0.01
+        if n > 1:
+            assert self.model.plr_radio(110, 8.0, n - 1) > 0.01
+
+    def test_min_tries_good_link_is_one(self):
+        assert self.model.min_tries_for_target(20, 30.0, 0.01) == 1
+
+    def test_min_tries_dead_link_sentinel(self):
+        assert self.model.min_tries_for_target(114, -20.0, 0.01) == 10**6
+
+    def test_min_tries_validation(self):
+        with pytest.raises(ValueError):
+            self.model.min_tries_for_target(110, 8.0, 0.0)
+
+    def test_plr_validation(self):
+        with pytest.raises(ValueError):
+            self.model.plr_radio(110, 8.0, 0)
+
+
+class TestLossComposition:
+    def test_total_series_formula(self):
+        assert plr_total_estimate(0.2, 0.5) == pytest.approx(0.5 + 0.5 * 0.2)
+
+    def test_bounds(self):
+        assert plr_total_estimate(1.0, 1.0) == 1.0
+        assert plr_total_estimate(0.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plr_total_estimate(1.5, 0.0)
+
+    def test_queue_estimate_monotone_in_rho(self):
+        assert plr_queue_estimate(1.5, 30) > plr_queue_estimate(0.5, 30)
+
+    def test_queue_estimate_monotone_in_capacity(self):
+        assert plr_queue_estimate(0.95, 30) < plr_queue_estimate(0.95, 1)
+
+    def test_queue_estimate_validation(self):
+        with pytest.raises(ValueError):
+            plr_queue_estimate(0.5, 0)

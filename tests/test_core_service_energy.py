@@ -1,0 +1,199 @@
+"""Service-time, energy and goodput model tests (Eqs. 2, 4, 5–6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import EnergyModel, GoodputModel, PerModel, ServiceTimeModel
+from repro.core.constants import (
+    ENERGY_MAX_PAYLOAD_SNR_DB,
+    GOODPUT_MAX_PAYLOAD_SNR_DB,
+    TABLE_II_D_RETRY_MS,
+    TABLE_II_ROWS,
+)
+from repro.radio import cc2420
+
+
+class TestServiceTimeModel:
+    def setup_method(self):
+        self.model = ServiceTimeModel()
+
+    def test_reproduces_paper_table_ii(self):
+        """Table II: the model's T_service matches the published values."""
+        for (t_pkt, snr, payload, tries), (t_paper_ms, rho_paper) in TABLE_II_ROWS:
+            t_model = self.model.paper_service_time_s(
+                payload, snr, TABLE_II_D_RETRY_MS
+            )
+            assert t_model * 1e3 == pytest.approx(t_paper_ms, rel=0.06)
+            rho = t_model / (t_pkt / 1e3)
+            assert rho == pytest.approx(rho_paper, rel=0.06)
+
+    def test_table_ii_rho_crosses_one_at_10db(self):
+        """The paper's point: at SNR 10 the same traffic overloads the link."""
+        t10 = self.model.paper_service_time_s(110, 10.0, TABLE_II_D_RETRY_MS)
+        t20 = self.model.paper_service_time_s(110, 20.0, TABLE_II_D_RETRY_MS)
+        assert t10 / 0.030 > 1.0
+        assert t20 / 0.030 < 1.0
+
+    def test_given_tries_eq5(self):
+        """Eq. 5 verbatim: T_SPI + T_succ + (N−1)·T_retry."""
+        times = self.model.attempt_times(110, 30.0)
+        value = self.model.service_time_given_tries_s(
+            110, n_tries=3, n_max_tries=5, d_retry_ms=30.0, delivered=True
+        )
+        assert value == pytest.approx(times.t_spi + times.t_succ + 2 * times.t_retry)
+
+    def test_given_tries_eq6(self):
+        """Eq. 6 verbatim: T_SPI + T_fail + (N_max−1)·T_retry."""
+        times = self.model.attempt_times(110, 30.0)
+        value = self.model.service_time_given_tries_s(
+            110, n_tries=5, n_max_tries=5, d_retry_ms=30.0, delivered=False
+        )
+        assert value == pytest.approx(times.t_spi + times.t_fail + 4 * times.t_retry)
+
+    def test_given_tries_validation(self):
+        with pytest.raises(ValueError):
+            self.model.service_time_given_tries_s(110, 0, 3, 0.0, True)
+        with pytest.raises(ValueError):
+            self.model.service_time_given_tries_s(110, 4, 3, 0.0, True)
+
+    def test_mean_increases_in_grey_zone(self):
+        good = self.model.mean_service_time_s(110, 25.0, 3, 0.0)
+        grey = self.model.mean_service_time_s(110, 8.0, 3, 0.0)
+        assert grey > good
+
+    def test_mean_increases_with_payload(self):
+        small = self.model.mean_service_time_s(20, 20.0, 3, 0.0)
+        large = self.model.mean_service_time_s(110, 20.0, 3, 0.0)
+        assert large > small
+
+    def test_high_snr_limit_is_single_try(self):
+        times = self.model.attempt_times(110, 0.0)
+        value = self.model.mean_service_time_s(110, 60.0, 3, 0.0)
+        assert value == pytest.approx(times.t_spi + times.t_succ, rel=1e-3)
+
+    def test_saturated_throughput_inverse(self):
+        rate = self.model.saturated_throughput_packets_per_s(110, 20.0, 3, 0.0)
+        service = self.model.mean_service_time_s(110, 20.0, 3, 0.0)
+        assert rate == pytest.approx(1.0 / service)
+
+
+class TestEnergyModel:
+    def setup_method(self):
+        self.model = EnergyModel()
+
+    def test_eq2_verbatim(self):
+        """U_eng = E_tx (l0+lD) / (lD (1−PER))."""
+        per = PerModel().per(110, 15.0)
+        e_tx = cc2420.tx_energy_per_bit_j(31)
+        expected = e_tx * (19 + 110) / (110 * (1 - per))
+        assert self.model.u_eng_j_per_bit(31, 110, 15.0) == pytest.approx(expected)
+
+    def test_infinite_on_dead_link(self):
+        assert math.isinf(self.model.u_eng_j_per_bit(31, 114, -20.0))
+
+    def test_efficiency_is_reciprocal(self):
+        u = self.model.u_eng_j_per_bit(31, 110, 15.0)
+        assert self.model.energy_efficiency_bits_per_j(31, 110, 15.0) == (
+            pytest.approx(1.0 / u)
+        )
+
+    def test_snr_threshold_matches_paper_17db(self):
+        """Sec. IV-B: max payload becomes optimal near 17 dB."""
+        threshold = self.model.snr_threshold_for_max_payload()
+        assert threshold == pytest.approx(ENERGY_MAX_PAYLOAD_SNR_DB, abs=1.0)
+
+    def test_optimal_payload_above_threshold_is_max(self):
+        payload, _ = self.model.optimal_payload_bytes(31, 20.0)
+        assert payload == 114
+
+    def test_optimal_payload_shrinks_in_grey_zone(self):
+        """Fig. 9: optimal l_D falls below 40 B at 5 dB."""
+        p17, _ = self.model.optimal_payload_bytes(31, 17.0)
+        p10, _ = self.model.optimal_payload_bytes(31, 10.0)
+        p5, _ = self.model.optimal_payload_bytes(31, 5.0)
+        assert p17 == 114
+        assert p5 < p10 < 114
+        assert p5 <= 40
+
+    def test_optimal_power_picks_threshold_level(self):
+        """Fig. 7: the cheapest level clearing the payload's SNR need wins."""
+        snr_by_level = {lvl: 4.0 + (lvl - 3) * 0.8 for lvl in cc2420.PA_LEVELS}
+        level_large, _ = self.model.optimal_power_level(snr_by_level, 110)
+        level_small, _ = self.model.optimal_power_level(snr_by_level, 20)
+        assert level_large >= level_small
+
+    def test_optimal_power_validation(self):
+        with pytest.raises(ValueError):
+            self.model.optimal_power_level({}, 110)
+
+    def test_finite_retries_reduces_to_eq2_at_large_budget(self):
+        """With many retries and modest PER the finite form ≈ Eq. 2."""
+        finite = self.model.u_eng_finite_retries_j_per_bit(31, 110, 15.0, 50)
+        eq2 = self.model.u_eng_j_per_bit(31, 110, 15.0)
+        assert finite == pytest.approx(eq2, rel=1e-3)
+
+    def test_finite_retries_validation(self):
+        with pytest.raises(ValueError):
+            self.model.u_eng_finite_retries_j_per_bit(31, 110, 15.0, 0)
+
+    def test_uj_scaling(self):
+        j = self.model.u_eng_j_per_bit(31, 110, 15.0)
+        assert self.model.u_eng_uj_per_bit(31, 110, 15.0) == pytest.approx(j * 1e6)
+
+
+class TestGoodputModel:
+    def setup_method(self):
+        self.model = GoodputModel()
+
+    def test_eq4_composition(self):
+        """maxGoodput = l_D / T_service · (1 − PLR_radio)."""
+        service = self.model.service_model.mean_service_time_s(110, 15.0, 3, 0.0)
+        plr = self.model.plr_model.plr_radio(110, 15.0, 3)
+        expected = 110 * 8 / service * (1 - plr)
+        assert self.model.max_goodput_bps(110, 15.0, 3) == pytest.approx(expected)
+
+    def test_goodput_increases_with_snr(self):
+        assert self.model.max_goodput_bps(110, 25.0, 3) > self.model.max_goodput_bps(
+            110, 8.0, 3
+        )
+
+    def test_goodput_saturates_past_19db(self):
+        """Fig. 10: little gain above the 19 dB low-impact border."""
+        g19 = self.model.max_goodput_bps(110, 19.0, 3)
+        g30 = self.model.max_goodput_bps(110, 30.0, 3)
+        assert (g30 - g19) / g30 < 0.1
+
+    def test_optimal_payload_max_above_9db_with_retries(self):
+        """Sec. VIII-A: ≥ 9 dB the max payload wins (with retransmissions)."""
+        payload, _ = self.model.optimal_payload_bytes(10.0, n_max_tries=5)
+        assert payload == 114
+
+    def test_optimal_payload_shrinks_below_threshold(self):
+        payload, _ = self.model.optimal_payload_bytes(5.0, n_max_tries=1)
+        assert payload < 114
+
+    def test_retries_raise_optimal_payload_in_grey_zone(self):
+        """Sec. V-C: larger N_maxTries increases the optimal payload size."""
+        p1, _ = self.model.optimal_payload_bytes(6.0, n_max_tries=1)
+        p5, _ = self.model.optimal_payload_bytes(6.0, n_max_tries=5)
+        assert p5 >= p1
+
+    def test_threshold_near_paper_9db(self):
+        threshold = self.model.max_payload_snr_threshold_db(n_max_tries=5)
+        assert threshold == pytest.approx(GOODPUT_MAX_PAYLOAD_SNR_DB, abs=1.5)
+
+    def test_retransmissions_help_in_grey_zone(self):
+        assert self.model.max_goodput_bps(80, 8.0, 5) > self.model.max_goodput_bps(
+            80, 8.0, 1
+        )
+
+    def test_kbps_scaling(self):
+        bps = self.model.max_goodput_bps(110, 15.0, 3)
+        assert self.model.max_goodput_kbps(110, 15.0, 3) == pytest.approx(bps / 1e3)
+
+    def test_vectorized_over_payload(self):
+        payloads = np.arange(10, 115, 10)
+        goodput = self.model.max_goodput_bps(payloads, 15.0, 3)
+        assert goodput.shape == payloads.shape

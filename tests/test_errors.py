@@ -1,0 +1,48 @@
+"""Exception-hierarchy tests (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.RadioError,
+            errors.ChannelError,
+            errors.SimulationError,
+            errors.SchedulerError,
+            errors.CampaignError,
+            errors.DatasetError,
+            errors.FittingError,
+            errors.OptimizationError,
+            errors.InfeasibleError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        """Callers using plain ValueError handling still catch config errors."""
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_scheduler_error_is_simulation_error(self):
+        assert issubclass(errors.SchedulerError, errors.SimulationError)
+
+    def test_infeasible_is_optimization_error(self):
+        assert issubclass(errors.InfeasibleError, errors.OptimizationError)
+
+    def test_single_handler_catches_library_errors(self):
+        """The documented contract: one except clause for everything."""
+        from repro.config import StackConfig
+
+        with pytest.raises(errors.ReproError):
+            StackConfig(ptx_level=99)
+
+    def test_errors_carry_messages(self):
+        try:
+            raise errors.FittingError("too few points")
+        except errors.ReproError as exc:
+            assert "too few points" in str(exc)

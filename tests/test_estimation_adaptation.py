@@ -1,0 +1,211 @@
+"""Link-state estimation and adaptive-tuner tests (repro.core)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import StackConfig
+from repro.core import (
+    AdaptivePayloadTuner,
+    EnergyModel,
+    EwmaEstimator,
+    JointEffectZone,
+    LinkStateEstimator,
+    WindowedPerEstimator,
+)
+from repro.errors import ReproError
+
+
+class TestEwmaEstimator:
+    def test_first_value_is_mean(self):
+        est = EwmaEstimator()
+        est.update(5.0)
+        assert est.mean == 5.0
+
+    def test_converges_to_constant(self):
+        est = EwmaEstimator(alpha=0.2)
+        for _ in range(100):
+            est.update(7.0)
+        assert est.mean == pytest.approx(7.0)
+        assert est.std == pytest.approx(0.0, abs=1e-6)
+
+    def test_tracks_step_change(self):
+        est = EwmaEstimator(alpha=0.2)
+        for _ in range(50):
+            est.update(0.0)
+        for _ in range(50):
+            est.update(10.0)
+        assert est.mean > 9.0
+
+    def test_std_estimates_noise(self):
+        rng = np.random.default_rng(0)
+        est = EwmaEstimator(alpha=0.05)
+        for x in rng.normal(0.0, 2.0, 5000):
+            est.update(x)
+        assert est.std == pytest.approx(2.0, rel=0.3)
+
+    def test_nan_before_data(self):
+        assert math.isnan(EwmaEstimator().mean)
+
+    def test_reset(self):
+        est = EwmaEstimator()
+        est.update(1.0)
+        est.reset()
+        assert est.count == 0 and math.isnan(est.mean)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ReproError):
+            EwmaEstimator(alpha=1.5)
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=200))
+    def test_mean_within_observed_range(self, values):
+        est = EwmaEstimator(alpha=0.3)
+        for v in values:
+            est.update(v)
+        assert min(values) - 1e-9 <= est.mean <= max(values) + 1e-9
+
+
+class TestWindowedPerEstimator:
+    def test_exact_window_counts(self):
+        est = WindowedPerEstimator(window=4)
+        for acked in (True, False, True, False):
+            est.update(acked)
+        assert est.per == pytest.approx(0.5)
+
+    def test_window_slides(self):
+        est = WindowedPerEstimator(window=2)
+        est.update(False)
+        est.update(False)
+        assert est.per == 1.0
+        est.update(True)
+        est.update(True)
+        assert est.per == 0.0
+
+    def test_nan_before_data(self):
+        assert math.isnan(WindowedPerEstimator().per)
+
+    def test_confidence(self):
+        est = WindowedPerEstimator(window=10)
+        assert not est.confident
+        for _ in range(5):
+            est.update(True)
+        assert est.confident
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            WindowedPerEstimator(window=0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    def test_per_in_unit_interval(self, outcomes):
+        est = WindowedPerEstimator(window=50)
+        for o in outcomes:
+            est.update(o)
+        assert 0.0 <= est.per <= 1.0
+        # Cross-check against a direct recount of the window.
+        window = outcomes[-50:]
+        assert est.per == pytest.approx(
+            sum(not o for o in window) / len(window)
+        )
+
+
+class TestLinkStateEstimator:
+    def test_estimate_before_data_raises(self):
+        with pytest.raises(ReproError):
+            LinkStateEstimator(payload_bytes=110).estimate()
+
+    def test_zone_classification(self):
+        est = LinkStateEstimator(payload_bytes=110)
+        for _ in range(50):
+            est.observe(snr_db=8.0, acked=True)
+        snapshot = est.estimate()
+        assert snapshot.zone is JointEffectZone.HIGH_IMPACT
+        assert snapshot.snr_db == pytest.approx(8.0)
+
+    def test_per_model_ratio_flags_mismatch(self):
+        """A link much lossier than Eq. 3 predicts shows ratio >> 1."""
+        est = LinkStateEstimator(payload_bytes=20)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            est.observe(snr_db=25.0, acked=bool(rng.random() > 0.5))
+        snapshot = est.estimate()
+        assert snapshot.per_model_ratio > 5.0
+
+    def test_stability_flag(self):
+        est = LinkStateEstimator(payload_bytes=110, snr_alpha=0.3)
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            est.observe(snr_db=rng.normal(15.0, 8.0), acked=True)
+        assert not est.estimate().stable
+        est2 = LinkStateEstimator(payload_bytes=110)
+        for _ in range(300):
+            est2.observe(snr_db=15.0, acked=True)
+        assert est2.estimate().stable
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LinkStateEstimator(payload_bytes=0)
+
+
+class TestAdaptivePayloadTuner:
+    def base_config(self):
+        return StackConfig(
+            distance_m=20.0, ptx_level=31, n_max_tries=3, q_max=1,
+            t_pkt_ms=100.0, payload_bytes=114,
+        )
+
+    def test_no_retune_on_steady_good_link(self):
+        tuner = AdaptivePayloadTuner(config=self.base_config())
+        for _ in range(300):
+            tuner.observe(snr_db=25.0, acked=True)
+        assert tuner.config.payload_bytes == 114
+        assert not tuner.events
+
+    def test_retunes_when_link_degrades(self):
+        tuner = AdaptivePayloadTuner(config=self.base_config())
+        for _ in range(100):
+            tuner.observe(snr_db=25.0, acked=True)
+        for _ in range(400):
+            tuner.observe(snr_db=7.0, acked=True)
+        assert tuner.config.payload_bytes < 114
+        assert tuner.events
+        event = tuner.events[0]
+        assert event.old_config.payload_bytes == 114
+        assert "optimal payload" in event.reason
+
+    def test_matches_model_optimum(self):
+        tuner = AdaptivePayloadTuner(config=self.base_config())
+        for _ in range(500):
+            tuner.observe(snr_db=8.0, acked=True)
+        expected, _ = EnergyModel().optimal_payload_bytes(31, tuner.current_estimate().snr_db)
+        assert tuner.config.payload_bytes == expected
+
+    def test_hysteresis_limits_thrash(self):
+        tuner = AdaptivePayloadTuner(
+            config=self.base_config(), hysteresis_db=3.0
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(2000):
+            tuner.observe(snr_db=rng.normal(10.0, 1.0), acked=True)
+        # A 1 dB-noise link inside the hysteresis band retunes at most once
+        # or twice, not on every check.
+        assert len(tuner.events) <= 2
+
+    def test_goodput_objective(self):
+        tuner = AdaptivePayloadTuner(
+            config=self.base_config(), objective="goodput"
+        )
+        for _ in range(400):
+            tuner.observe(snr_db=6.0, acked=True)
+        assert tuner.config.payload_bytes < 114
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            AdaptivePayloadTuner(config=self.base_config(), objective="magic")
+        with pytest.raises(ReproError):
+            AdaptivePayloadTuner(config=self.base_config(), hysteresis_db=-1.0)
+        with pytest.raises(ReproError):
+            AdaptivePayloadTuner(config=self.base_config(), check_every=0)

@@ -1,0 +1,216 @@
+"""Extension tests: interference, LPL, mobility (repro.extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.channel import HALLWAY_2012, QUIET_HALLWAY
+from repro.config import StackConfig
+from repro.errors import ChannelError, SimulationError
+from repro.extensions import (
+    InterfererConfig,
+    LplConfig,
+    LplServiceTimeModel,
+    MobileLinkChannel,
+    MobilityTrace,
+    interfered_csma,
+    interfered_environment,
+)
+from repro.mac import CsmaParameters
+from repro.sim import LinkSimulator, SimulationOptions
+from repro.analysis import compute_metrics
+
+
+class TestInterference:
+    def test_collision_probability_grows_with_duty(self):
+        low = InterfererConfig(duty_cycle=0.05)
+        high = InterfererConfig(duty_cycle=0.4)
+        assert high.collision_probability(4e-3) > low.collision_probability(4e-3)
+
+    def test_collision_probability_grows_with_frame_time(self):
+        intf = InterfererConfig(duty_cycle=0.2)
+        assert intf.collision_probability(4e-3) > intf.collision_probability(1e-3)
+
+    def test_zero_duty_no_collisions(self):
+        assert InterfererConfig(duty_cycle=0.0).collision_probability(4e-3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            InterfererConfig(duty_cycle=1.0)
+        with pytest.raises(SimulationError):
+            InterfererConfig(mean_burst_s=0.0)
+
+    def test_interfered_csma(self):
+        params = interfered_csma(CsmaParameters(), InterfererConfig(duty_cycle=0.3))
+        assert params.cca_busy_prob == 0.3
+
+    def test_interfered_environment_raises_noise(self):
+        base = QUIET_HALLWAY
+        noisy = interfered_environment(base, InterfererConfig(duty_cycle=0.3))
+        assert noisy.noise.mean_dbm > base.noise.mean_dbm
+
+    def test_interfered_environment_raises_per(self):
+        base = QUIET_HALLWAY
+        noisy = interfered_environment(base, InterfererConfig(duty_cycle=0.3))
+        assert noisy.ber.frame_error_probability(20.0, 129) > float(
+            base.ber.frame_error_probability(20.0, 129)
+        )
+
+    def test_interference_hurts_link_metrics(self):
+        """End to end: an interferer degrades PER and goodput."""
+        config = StackConfig(
+            distance_m=10.0, ptx_level=31, n_max_tries=1, q_max=1,
+            t_pkt_ms=50.0, payload_bytes=110,
+        )
+        clean = compute_metrics(
+            LinkSimulator(
+                config, SimulationOptions(n_packets=300, seed=1)
+            ).run()
+        )
+        env = interfered_environment(
+            HALLWAY_2012, InterfererConfig(duty_cycle=0.25)
+        )
+        dirty = compute_metrics(
+            LinkSimulator(
+                config,
+                SimulationOptions(n_packets=300, seed=1, environment=env),
+            ).run()
+        )
+        assert dirty.per > clean.per
+        assert dirty.goodput_kbps < clean.goodput_kbps
+
+
+class TestLpl:
+    def test_wakeup_delays(self):
+        lpl = LplConfig(sleep_interval_ms=100.0)
+        assert lpl.mean_wakeup_delay_s == pytest.approx(0.05)
+        assert lpl.max_wakeup_delay_s == pytest.approx(0.1)
+
+    def test_duty_cycle(self):
+        lpl = LplConfig(sleep_interval_ms=97.5, probe_ms=2.5)
+        assert lpl.receiver_duty_cycle == pytest.approx(0.025)
+
+    def test_idle_power_below_always_on(self):
+        from repro.radio import cc2420
+
+        lpl = LplConfig()
+        assert lpl.receiver_idle_power_w() < cc2420.rx_power_w()
+
+    def test_service_time_gains_wakeup(self):
+        lpl_model = LplServiceTimeModel(LplConfig(sleep_interval_ms=200.0))
+        base = lpl_model.base.mean_service_time_s(110, 20.0, 3, 0.0)
+        assert lpl_model.mean_service_time_s(110, 20.0, 3, 0.0) == pytest.approx(
+            base + 0.1
+        )
+
+    def test_lpl_shrinks_stable_rate(self):
+        """The paper's point: wake-up MACs reshape the delay/utilization map."""
+        config = StackConfig(t_pkt_ms=30.0, payload_bytes=110, n_max_tries=3)
+        lpl_model = LplServiceTimeModel(LplConfig(sleep_interval_ms=100.0))
+        assert lpl_model.utilization(config, 25.0) > 1.0  # overloaded under LPL
+        assert lpl_model.base.mean_service_time_s(110, 25.0, 3, 0.0) < 0.03
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            LplConfig(sleep_interval_ms=0.0)
+        with pytest.raises(SimulationError):
+            LplConfig(probe_ms=-1.0)
+
+
+class TestMobility:
+    def test_trace_interpolation(self):
+        trace = MobilityTrace(waypoints=((0.0, 10.0), (10.0, 30.0)))
+        assert trace.distance_at(0.0) == 10.0
+        assert trace.distance_at(5.0) == pytest.approx(20.0)
+        assert trace.distance_at(10.0) == 30.0
+        assert trace.distance_at(99.0) == 30.0  # holds last
+
+    def test_walk_constructor(self):
+        trace = MobilityTrace.walk(5.0, 35.0, 60.0)
+        assert trace.distance_at(30.0) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            MobilityTrace(waypoints=())
+        with pytest.raises(ChannelError):
+            MobilityTrace(waypoints=((0.0, 10.0), (0.0, 20.0)))
+        with pytest.raises(ChannelError):
+            MobilityTrace(waypoints=((1.0, 10.0),))
+        with pytest.raises(ChannelError):
+            MobilityTrace(waypoints=((0.0, -5.0),))
+        with pytest.raises(ChannelError):
+            MobilityTrace.walk(5.0, 35.0, 0.0)
+
+    def test_mobile_channel_rssi_tracks_distance(self):
+        trace = MobilityTrace.walk(5.0, 35.0, 100.0)
+        channel = MobileLinkChannel(
+            QUIET_HALLWAY, trace, 31, np.random.default_rng(0)
+        )
+        near = channel.sample(0.0).rssi_dbm
+        far = channel.sample(100.0).rssi_dbm
+        assert near > far + 10
+
+    def test_mobile_channel_in_simulation(self):
+        """A walking receiver sees the link degrade end to end."""
+        trace = MobilityTrace.walk(5.0, 60.0, 30.0)
+        config = StackConfig(
+            distance_m=5.0, ptx_level=11, n_max_tries=1, q_max=1,
+            t_pkt_ms=50.0, payload_bytes=110,
+        )
+        options = SimulationOptions(n_packets=600, seed=2, environment=QUIET_HALLWAY)
+        sim = LinkSimulator(config, options)
+        sim = LinkSimulator(
+            config,
+            options,
+            channel=MobileLinkChannel(
+                QUIET_HALLWAY, trace, 11, np.random.default_rng(5)
+            ),
+        )
+        linktrace = sim.run()
+        first_half = [p for p in linktrace.packets if p.seq < 300]
+        second_half = [p for p in linktrace.packets if p.seq >= 300]
+        rate_near = np.mean([p.delivered for p in first_half])
+        rate_far = np.mean([p.delivered for p in second_half])
+        assert rate_near > rate_far
+
+
+class TestLplEnergyModel:
+    def test_pair_power_u_shaped(self):
+        from repro.extensions import LplEnergyModel
+
+        model = LplEnergyModel()
+        rate = 1.0
+        optimum = model.optimal_sleep_interval_ms(rate)
+        at_opt = model.pair_power_w(optimum, rate)
+        assert model.pair_power_w(optimum / 10, rate) > at_opt
+        assert model.pair_power_w(optimum * 10, rate) > at_opt
+
+    def test_optimum_shrinks_with_rate(self):
+        """Busier senders want shorter sleeps (X-MAC's sqrt law)."""
+        from repro.extensions import LplEnergyModel
+
+        model = LplEnergyModel()
+        slow = model.optimal_sleep_interval_ms(0.1)
+        fast = model.optimal_sleep_interval_ms(10.0)
+        assert slow > 3 * fast
+
+    def test_sqrt_scaling(self):
+        from repro.extensions import LplEnergyModel
+
+        model = LplEnergyModel()
+        ratio = model.optimal_sleep_interval_ms(
+            1.0
+        ) / model.optimal_sleep_interval_ms(4.0)
+        assert ratio == pytest.approx(2.0, rel=0.15)
+
+    def test_validation(self):
+        from repro.extensions import LplEnergyModel
+
+        model = LplEnergyModel()
+        with pytest.raises(SimulationError):
+            model.pair_power_w(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            model.pair_power_w(100.0, -1.0)
+        with pytest.raises(SimulationError):
+            model.optimal_sleep_interval_ms(0.0)
+        with pytest.raises(SimulationError):
+            model.optimal_sleep_interval_ms(1.0, lo_ms=10.0, hi_ms=5.0)

@@ -1,0 +1,92 @@
+"""Gilbert-Elliott bursty-channel tests (repro.extensions.burst)."""
+
+import numpy as np
+import pytest
+
+from repro.channel import QUIET_HALLWAY
+from repro.errors import ChannelError
+from repro.extensions import GilbertElliottChannel, GilbertElliottConfig
+
+
+def make_channel(seed=0, **burst_kwargs):
+    burst = GilbertElliottConfig(**burst_kwargs)
+    return GilbertElliottChannel(
+        QUIET_HALLWAY, 20.0, 31, np.random.default_rng(seed), burst
+    )
+
+
+class TestConfig:
+    def test_stationary_probability(self):
+        burst = GilbertElliottConfig(good_mean_s=0.9, bad_mean_s=0.1)
+        assert burst.stationary_bad_probability == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            GilbertElliottConfig(good_mean_s=0.0)
+        with pytest.raises(ChannelError):
+            GilbertElliottConfig(bad_mean_s=-1.0)
+        with pytest.raises(ChannelError):
+            GilbertElliottConfig(bad_extra_loss_db=-5.0)
+
+
+class TestChannel:
+    def test_time_must_not_go_backwards(self):
+        channel = make_channel()
+        channel.sample(1.0)
+        with pytest.raises(ChannelError):
+            channel.sample(0.5)
+
+    def test_bad_state_attenuates(self):
+        """Samples split into two RSSI clusters separated by the fade depth."""
+        channel = make_channel(
+            seed=1, good_mean_s=0.1, bad_mean_s=0.1, bad_extra_loss_db=20.0
+        )
+        rssi = np.array([channel.sample(i * 0.01).rssi_dbm for i in range(3000)])
+        high = rssi[rssi > rssi.mean()]
+        low = rssi[rssi <= rssi.mean()]
+        assert high.mean() - low.mean() == pytest.approx(20.0, abs=1.0)
+
+    def test_time_share_matches_stationary(self):
+        channel = make_channel(
+            seed=2, good_mean_s=0.3, bad_mean_s=0.1, bad_extra_loss_db=30.0
+        )
+        bad = 0
+        n = 6000
+        for i in range(n):
+            channel.sample(i * 0.01)
+            bad += channel.in_bad_state
+        assert bad / n == pytest.approx(0.25, abs=0.04)
+
+    def test_zero_depth_is_transparent(self):
+        plain = GilbertElliottChannel(
+            QUIET_HALLWAY, 20.0, 31, np.random.default_rng(3),
+            GilbertElliottConfig(bad_extra_loss_db=0.0),
+        )
+        samples = [plain.sample(i * 0.01).rssi_dbm for i in range(100)]
+        assert max(samples) - min(samples) < 1e-9
+
+    def test_losses_are_bursty(self):
+        """Consecutive-failure runs are longer than memoryless loss allows."""
+        channel = make_channel(
+            seed=4, good_mean_s=0.3, bad_mean_s=0.08, bad_extra_loss_db=40.0
+        )
+        outcomes = [
+            channel.transmit_frame(i * 0.005, 129).delivered for i in range(6000)
+        ]
+        # Longest failure run.
+        longest = run = 0
+        for ok in outcomes:
+            run = 0 if ok else run + 1
+            longest = max(longest, run)
+        loss_rate = 1 - np.mean(outcomes)
+        # A memoryless channel at this loss rate would need ~p^15 ≈ 1e-12
+        # to produce a 15-run; the burst channel produces them routinely.
+        assert loss_rate < 0.35
+        assert longest >= 12
+
+    def test_deterministic_under_seed(self):
+        a = make_channel(seed=5)
+        b = make_channel(seed=5)
+        sa = [a.sample(i * 0.01).rssi_dbm for i in range(200)]
+        sb = [b.sample(i * 0.01).rssi_dbm for i in range(200)]
+        assert sa == sb

@@ -1,0 +1,135 @@
+"""Extended guideline-engine and recommendation coverage."""
+
+import pytest
+
+from repro.core import GuidelineEngine, PerModel
+from repro.core.constants import ExpFitCoefficients
+from repro.core.guidelines import Recommendation
+from repro.errors import OptimizationError
+
+
+@pytest.fixture
+def engine():
+    return GuidelineEngine()
+
+
+def uniform_map(snr):
+    from repro.radio import cc2420
+
+    return {lvl: snr for lvl in cc2420.PA_LEVELS}
+
+
+class TestRecommendation:
+    def test_changes_empty_by_default(self):
+        assert Recommendation().changes() == {}
+
+    def test_changes_includes_only_set_fields(self):
+        rec = Recommendation(ptx_level=31, t_pkt_ms=40.0)
+        assert rec.changes() == {"ptx_level": 31, "t_pkt_ms": 40.0}
+
+    def test_changes_apply_to_config(self):
+        from repro.config import StackConfig
+
+        rec = Recommendation(payload_bytes=60, n_max_tries=4)
+        updated = StackConfig().with_updates(**rec.changes())
+        assert updated.payload_bytes == 60 and updated.n_max_tries == 4
+
+
+class TestEnergyGuidelineEdges:
+    def test_all_levels_equal_snr(self, engine):
+        """With identical SNR everywhere, the cheapest level is picked."""
+        rec = engine.recommend_for_energy(uniform_map(25.0))
+        assert rec.ptx_level == 3
+        assert rec.payload_bytes == 114
+
+    def test_refitted_models_shift_threshold(self):
+        """An engine built on harsher fitted coefficients shrinks payloads."""
+        harsh = GuidelineEngine(
+            energy_model=__import__("repro.core", fromlist=["EnergyModel"]).EnergyModel(
+                per_model=PerModel(
+                    coefficients=ExpFitCoefficients(alpha=0.05, beta=-0.10)
+                )
+            )
+        )
+        default = GuidelineEngine()
+        snr_map = uniform_map(15.0)
+        assert (
+            harsh.recommend_for_energy(snr_map).payload_bytes
+            <= default.recommend_for_energy(snr_map).payload_bytes
+        )
+
+    def test_custom_max_payload(self):
+        engine = GuidelineEngine(max_payload=64)
+        rec = engine.recommend_for_energy(uniform_map(30.0))
+        assert rec.payload_bytes == 64
+
+
+class TestGoodputGuidelineEdges:
+    def test_single_retry_option(self, engine):
+        rec = engine.recommend_for_goodput(
+            uniform_map(25.0), n_max_tries_options=(1,)
+        )
+        assert rec.n_max_tries == 1
+
+    def test_retry_delay_parameter_respected(self, engine):
+        no_delay = engine.recommend_for_goodput(uniform_map(8.0))
+        with_delay = engine.recommend_for_goodput(
+            uniform_map(8.0), d_retry_ms=100.0
+        )
+        assert (
+            with_delay.predicted["max_goodput_kbps"]
+            <= no_delay.predicted["max_goodput_kbps"]
+        )
+
+
+class TestDelayGuidelineEdges:
+    def test_target_rho_validation(self, engine):
+        with pytest.raises(OptimizationError):
+            engine.recommend_for_delay(
+                snr_db=20.0, t_pkt_ms=50.0, payload_bytes=50, n_max_tries=1,
+                target_rho=1.5,
+            )
+
+    def test_tighter_target_shrinks_more(self, engine):
+        loose = engine.recommend_for_delay(
+            snr_db=12.0, t_pkt_ms=25.0, payload_bytes=110, n_max_tries=3,
+            target_rho=0.95,
+        )
+        tight = engine.recommend_for_delay(
+            snr_db=12.0, t_pkt_ms=25.0, payload_bytes=110, n_max_tries=3,
+            target_rho=0.6,
+        )
+        assert tight.predicted["rho"] <= loose.predicted["rho"] + 1e-9
+
+    def test_rationale_always_present(self, engine):
+        rec = engine.recommend_for_delay(
+            snr_db=25.0, t_pkt_ms=100.0, payload_bytes=50, n_max_tries=1
+        )
+        assert rec.rationale
+
+
+class TestLossGuidelineEdges:
+    def test_tight_target_needs_more_tries(self, engine):
+        loose = engine.recommend_for_loss(
+            snr_db=12.0, t_pkt_ms=200.0, payload_bytes=110,
+            target_plr_radio=0.1,
+        )
+        tight = engine.recommend_for_loss(
+            snr_db=12.0, t_pkt_ms=200.0, payload_bytes=110,
+            target_plr_radio=1e-4,
+        )
+        assert tight.n_max_tries >= loose.n_max_tries
+
+    def test_queue_options_respected(self, engine):
+        rec = engine.recommend_for_loss(
+            snr_db=8.0, t_pkt_ms=10.0, payload_bytes=110,
+            q_max_options=(5, 50),
+        )
+        assert rec.q_max in (5, 50)
+
+    def test_predictions_consistent_with_models(self, engine):
+        rec = engine.recommend_for_loss(
+            snr_db=15.0, t_pkt_ms=100.0, payload_bytes=80
+        )
+        expected = engine.plr_model.plr_radio(80, 15.0, rec.n_max_tries)
+        assert rec.predicted["plr_radio"] == pytest.approx(float(expected))

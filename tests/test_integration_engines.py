@@ -1,0 +1,141 @@
+"""Cross-engine integration: DES vs FastLink vs the empirical models.
+
+These tests pin the agreement that makes the benchmark results trustworthy:
+the vectorized engine, the event-driven engine, and the paper-style closed
+forms must tell the same story on their shared domain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compute_metrics
+from repro.channel import HALLWAY_2012, LinkChannel, QUIET_HALLWAY
+from repro.config import StackConfig
+from repro.core import (
+    EnergyModel,
+    GoodputModel,
+    PerModel,
+    PlrRadioModel,
+    ServiceTimeModel,
+)
+from repro.sim import FastLink, SimulationOptions, simulate_link
+
+
+def des_metrics(config, n_packets=1200, seed=4, environment=HALLWAY_2012):
+    options = SimulationOptions(
+        n_packets=n_packets, seed=seed, environment=environment
+    )
+    return compute_metrics(simulate_link(config, options=options))
+
+
+@pytest.fixture(scope="module")
+def grey_zone_setup():
+    """A grey-zone link run on both engines."""
+    config = StackConfig(
+        distance_m=35.0, ptx_level=11, n_max_tries=3, q_max=1,
+        t_pkt_ms=200.0, payload_bytes=110,
+    )
+    metrics = des_metrics(config)
+    fast = FastLink(environment=HALLWAY_2012, seed=9).run(
+        mean_snr_db=metrics.mean_snr_db,
+        payload_bytes=110,
+        n_packets=6000,
+        n_max_tries=3,
+    )
+    return config, metrics, fast
+
+
+class TestDesVsFastLink:
+    def test_per_agreement(self, grey_zone_setup):
+        _, metrics, fast = grey_zone_setup
+        assert fast.per == pytest.approx(metrics.per, abs=0.06)
+
+    def test_plr_agreement(self, grey_zone_setup):
+        _, metrics, fast = grey_zone_setup
+        assert fast.plr_radio == pytest.approx(metrics.plr_radio, abs=0.05)
+
+    def test_tries_agreement(self, grey_zone_setup):
+        _, metrics, fast = grey_zone_setup
+        assert fast.mean_tries == pytest.approx(metrics.mean_tries, rel=0.12)
+
+    def test_service_time_agreement(self, grey_zone_setup):
+        _, metrics, fast = grey_zone_setup
+        assert fast.mean_service_time_s == pytest.approx(
+            metrics.mean_service_time_s, rel=0.12
+        )
+
+
+class TestDesVsModels:
+    """The DES realizes the paper's closed forms on a quiet channel."""
+
+    @pytest.fixture(scope="class")
+    def quiet_metrics(self):
+        config = StackConfig(
+            distance_m=35.0, ptx_level=15, n_max_tries=3, q_max=1,
+            t_pkt_ms=200.0, payload_bytes=110,
+        )
+        return config, des_metrics(
+            config, n_packets=3000, environment=QUIET_HALLWAY
+        )
+
+    def test_per_matches_eq3_family(self, quiet_metrics):
+        """Measured PER sits near the BER model's frame-error prediction
+        (data frame + ACK loss in series)."""
+        _, metrics = quiet_metrics
+        env = QUIET_HALLWAY
+        # The quiet channel still samples the noise mixture per packet, so
+        # compare against the PER averaged over the noise distribution.
+        rng = np.random.default_rng(0)
+        noise = env.noise.sample(rng, size=4000)
+        rssi = metrics.mean_rssi_dbm
+        p_data = env.ber.frame_error_probability(rssi - noise, 129)
+        p_ack = env.ber.frame_error_probability(rssi - noise, 11)
+        expected = float(np.mean(1.0 - (1.0 - p_data) * (1.0 - p_ack)))
+        assert metrics.per == pytest.approx(expected, abs=0.04)
+
+    def test_plr_matches_eq8_structure(self, quiet_metrics):
+        _, metrics = quiet_metrics
+        assert metrics.plr_radio == pytest.approx(metrics.per**3, abs=0.03)
+
+    def test_service_time_matches_eqs56(self, quiet_metrics):
+        config, metrics = quiet_metrics
+        model = ServiceTimeModel()
+        # Feed the *measured* PER into the truncated-geometric expectation
+        # to isolate the timing decomposition from the PER model error.
+        from repro.core.per_model import PerModel
+        from repro.core.constants import ExpFitCoefficients
+
+        predicted = model.mean_service_time_s(
+            110, metrics.mean_snr_db, 3, 0.0
+        )
+        assert metrics.mean_service_time_s == pytest.approx(predicted, rel=0.15)
+
+    def test_energy_matches_eq2_generalization(self, quiet_metrics):
+        config, metrics = quiet_metrics
+        model = EnergyModel()
+        predicted = model.u_eng_finite_retries_j_per_bit(
+            config.ptx_level, 110, metrics.mean_snr_db, 3
+        )
+        assert metrics.energy_per_info_bit_j == pytest.approx(predicted, rel=0.2)
+
+
+class TestSaturatedGoodput:
+    def test_fastlink_matches_goodput_model(self):
+        """Saturated Monte-Carlo goodput tracks Eq. 4 within 15%."""
+        model = GoodputModel()
+        for snr in (10.0, 15.0, 22.0):
+            fast = FastLink(seed=2, snr_jitter_db=0.0).run(
+                mean_snr_db=snr, payload_bytes=110, n_packets=4000, n_max_tries=3
+            )
+            predicted = model.max_goodput_bps(110, snr, 3)
+            assert fast.goodput_bps == pytest.approx(predicted, rel=0.15)
+
+    def test_des_saturated_matches_goodput_model(self):
+        """A DES run with T_pkt << T_service measures Eq. 4's maxGoodput."""
+        config = StackConfig(
+            distance_m=20.0, ptx_level=23, n_max_tries=3, q_max=30,
+            t_pkt_ms=2.0, payload_bytes=110,
+        )
+        metrics = des_metrics(config, n_packets=800, environment=QUIET_HALLWAY)
+        predicted = GoodputModel().max_goodput_bps(110, metrics.mean_snr_db, 3)
+        assert metrics.goodput_bps == pytest.approx(predicted, rel=0.15)

@@ -1,0 +1,149 @@
+"""MAC-layer tests: CSMA, ACK policy, retry policy (repro.mac)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.mac import (
+    AckPolicy,
+    AttemptResult,
+    CsmaParameters,
+    RetryDecision,
+    RetryPolicy,
+    UNIT_BACKOFF_PERIOD_S,
+    UnslottedCsma,
+    ack_frame_bytes,
+)
+
+
+class TestCsmaParameters:
+    def test_default_mean_matches_paper(self):
+        params = CsmaParameters()
+        assert params.mean_initial_backoff_s == pytest.approx(5.28e-3)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CsmaParameters(max_initial_backoff_s=-1.0)
+        with pytest.raises(SimulationError):
+            CsmaParameters(cca_busy_prob=1.0)
+        with pytest.raises(SimulationError):
+            CsmaParameters(max_cca_attempts=0)
+
+
+class TestUnslottedCsma:
+    def test_initial_backoff_within_bounds_and_quantized(self):
+        csma = UnslottedCsma(CsmaParameters(), np.random.default_rng(0))
+        for _ in range(200):
+            b = csma.initial_backoff_s()
+            assert 0.0 <= b <= CsmaParameters().max_initial_backoff_s + 1e-9
+            periods = b / UNIT_BACKOFF_PERIOD_S
+            assert periods == pytest.approx(round(periods), abs=1e-9)
+
+    def test_mean_backoff_near_paper_value(self):
+        csma = UnslottedCsma(CsmaParameters(), np.random.default_rng(1))
+        samples = [csma.initial_backoff_s() for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(5.28e-3, rel=0.05)
+
+    def test_clear_channel_grants_first_cca(self):
+        csma = UnslottedCsma(CsmaParameters(cca_busy_prob=0.0), np.random.default_rng(2))
+        access = csma.access_channel()
+        assert access.granted
+        assert access.cca_attempts == 1
+
+    def test_busy_channel_costs_backoffs(self):
+        clear = UnslottedCsma(
+            CsmaParameters(cca_busy_prob=0.0), np.random.default_rng(3)
+        )
+        busy = UnslottedCsma(
+            CsmaParameters(cca_busy_prob=0.6), np.random.default_rng(3)
+        )
+        clear_delay = np.mean([clear.access_channel().delay_s for _ in range(500)])
+        busy_delay = np.mean([busy.access_channel().delay_s for _ in range(500)])
+        assert busy_delay > clear_delay
+
+    def test_saturated_channel_eventually_fails(self):
+        csma = UnslottedCsma(
+            CsmaParameters(cca_busy_prob=0.95, max_cca_attempts=3),
+            np.random.default_rng(4),
+        )
+        results = [csma.access_channel() for _ in range(300)]
+        failures = [r for r in results if not r.granted]
+        assert failures
+        assert all(r.cca_attempts == 3 for r in failures)
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            csma = UnslottedCsma(CsmaParameters(), np.random.default_rng(seed))
+            return [csma.access_channel().delay_s for _ in range(20)]
+
+        assert run(5) == run(5)
+
+
+class TestRetryPolicy:
+    def test_success_on_ack(self):
+        policy = RetryPolicy(n_max_tries=3)
+        assert policy.decide(1, acked=True) is RetryDecision.SUCCESS
+        assert policy.decide(3, acked=True) is RetryDecision.SUCCESS
+
+    def test_retry_while_budget_remains(self):
+        policy = RetryPolicy(n_max_tries=3)
+        assert policy.decide(1, acked=False) is RetryDecision.RETRY
+        assert policy.decide(2, acked=False) is RetryDecision.RETRY
+
+    def test_drop_at_budget(self):
+        policy = RetryPolicy(n_max_tries=3)
+        assert policy.decide(3, acked=False) is RetryDecision.DROP
+
+    def test_no_retransmission_policy(self):
+        policy = RetryPolicy(n_max_tries=1)
+        assert not policy.retransmissions_enabled
+        assert policy.decide(1, acked=False) is RetryDecision.DROP
+
+    def test_rejects_invalid_attempts(self):
+        policy = RetryPolicy(n_max_tries=2)
+        with pytest.raises(SimulationError):
+            policy.decide(0, acked=True)
+        with pytest.raises(SimulationError):
+            policy.decide(3, acked=False)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(n_max_tries=0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(n_max_tries=1, d_retry_s=-0.1)
+
+    @given(
+        tries=st.integers(min_value=1, max_value=10),
+        budget=st.integers(min_value=1, max_value=10),
+        acked=st.booleans(),
+    )
+    def test_decision_total_function(self, tries, budget, acked):
+        """Every in-range (tries, acked) maps to exactly one decision."""
+        if tries > budget:
+            return
+        decision = RetryPolicy(n_max_tries=budget).decide(tries, acked)
+        if acked:
+            assert decision is RetryDecision.SUCCESS
+        elif tries < budget:
+            assert decision is RetryDecision.RETRY
+        else:
+            assert decision is RetryDecision.DROP
+
+
+class TestAck:
+    def test_ack_frame_size(self):
+        assert ack_frame_bytes() == 11
+
+    def test_attempt_result_invariant(self):
+        with pytest.raises(SimulationError):
+            AttemptResult(data_delivered=False, acked=True, attempt_duration_s=0.01)
+        with pytest.raises(SimulationError):
+            AttemptResult(data_delivered=True, acked=True, attempt_duration_s=-1.0)
+
+    def test_ack_policy_validation(self):
+        with pytest.raises(SimulationError):
+            AckPolicy(timeout_s=0.0)
+
+    def test_default_timeout_is_paper_value(self):
+        assert AckPolicy().timeout_s == pytest.approx(8.192e-3)

@@ -1,0 +1,206 @@
+"""Optimization-layer tests (repro.core.optimization) — Sec. VIII."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import StackConfig
+from repro.core.optimization import (
+    ConfigEvaluation,
+    Constraint,
+    ModelEvaluator,
+    TuningGrid,
+    best_by,
+    default_bounds_for,
+    dominates,
+    evaluate_grid,
+    knee_point,
+    pareto_front,
+    snr_map_from_environment,
+    snr_map_from_reference,
+    solve_epsilon_constraint,
+    sweep_epsilon,
+)
+from repro.channel import QUIET_HALLWAY
+from repro.errors import InfeasibleError, OptimizationError
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return ModelEvaluator(snr_by_level=snr_map_from_reference(12.0))
+
+
+@pytest.fixture(scope="module")
+def evaluations(evaluator):
+    grid = TuningGrid(
+        payload_values_bytes=tuple(range(10, 115, 10)),
+        n_max_tries_values=(1, 3, 8),
+        q_max_values=(1,),
+    )
+    return evaluate_grid(evaluator, grid)
+
+
+class TestSnrMaps:
+    def test_reference_map_tracks_dbm(self):
+        snr_map = snr_map_from_reference(6.0, reference_level=31)
+        assert snr_map[31] == pytest.approx(6.0)
+        assert snr_map[23] == pytest.approx(3.0)  # −3 dBm below level 31
+        assert snr_map[3] == pytest.approx(-19.0)
+
+    def test_environment_map_monotone(self):
+        snr_map = snr_map_from_environment(QUIET_HALLWAY, 20.0)
+        levels = sorted(snr_map)
+        values = [snr_map[lvl] for lvl in levels]
+        assert values == sorted(values)
+
+
+class TestModelEvaluator:
+    def test_evaluation_fields(self, evaluator):
+        ev = evaluator.evaluate(StackConfig(ptx_level=31, payload_bytes=80))
+        assert ev.snr_db == pytest.approx(12.0)
+        assert ev.max_goodput_kbps > 0
+        assert ev.u_eng_uj_per_bit > 0
+        assert 0 <= ev.plr_total <= 1
+        assert ev.delay_ms > 0
+
+    def test_objective_lookup(self, evaluator):
+        ev = evaluator.evaluate(StackConfig(ptx_level=31))
+        assert ev.objective("goodput") == -ev.max_goodput_kbps
+        assert ev.objective("energy") == ev.u_eng_uj_per_bit
+        with pytest.raises(OptimizationError):
+            ev.objective("bogus")
+
+    def test_unknown_level_rejected(self):
+        evaluator = ModelEvaluator(snr_by_level={31: 10.0})
+        with pytest.raises(OptimizationError):
+            evaluator.evaluate(StackConfig(ptx_level=3))
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(OptimizationError):
+            ModelEvaluator(snr_by_level={})
+
+
+class TestGrid:
+    def test_grid_size(self):
+        grid = TuningGrid(
+            ptx_levels=(31,), payload_values_bytes=(10, 20),
+            n_max_tries_values=(1,), q_max_values=(1,),
+        )
+        assert len(grid) == 2
+        assert len(list(grid.configs())) == 2
+
+    def test_best_by_goodput(self, evaluations):
+        best = best_by(evaluations, "goodput")
+        assert all(
+            best.max_goodput_kbps >= e.max_goodput_kbps for e in evaluations
+        )
+
+    def test_best_by_empty(self):
+        with pytest.raises(OptimizationError):
+            best_by([], "goodput")
+
+
+class TestPareto:
+    def test_dominates_basic(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_dominates_validation(self):
+        with pytest.raises(OptimizationError):
+            dominates((1.0,), (1.0, 2.0))
+        with pytest.raises(OptimizationError):
+            dominates((), ())
+
+    def test_front_is_nondominated(self, evaluations):
+        front = pareto_front(
+            evaluations, lambda e: (e.objective("goodput"), e.objective("energy"))
+        )
+        assert front
+        vectors = [
+            (e.objective("goodput"), e.objective("energy")) for e in front
+        ]
+        for i, a in enumerate(vectors):
+            assert not any(
+                dominates(b, a) for j, b in enumerate(vectors) if i != j
+            )
+
+    def test_front_covers_extremes(self, evaluations):
+        """The front achieves both single-objective optima (values, since
+        argmin configs may be tied and dominated on the other axis)."""
+        front = pareto_front(
+            evaluations, lambda e: (e.objective("goodput"), e.objective("energy"))
+        )
+        best_goodput = best_by(evaluations, "goodput").max_goodput_kbps
+        best_energy = best_by(evaluations, "energy").u_eng_uj_per_bit
+        assert max(e.max_goodput_kbps for e in front) == pytest.approx(best_goodput)
+        assert min(e.u_eng_uj_per_bit for e in front) == pytest.approx(best_energy)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_front_property(self, points):
+        """Every non-front point is dominated by some front point."""
+        front = pareto_front(points, lambda p: p)
+        assert front
+        for p in points:
+            if p not in front:
+                assert any(dominates(f, p) for f in front)
+
+    def test_knee_point_on_front(self, evaluations):
+        objectives = lambda e: (e.objective("goodput"), e.objective("energy"))
+        knee = knee_point(evaluations, objectives)
+        assert knee in pareto_front(evaluations, objectives)
+
+    def test_knee_empty_rejected(self):
+        with pytest.raises(OptimizationError):
+            knee_point([], lambda p: p)
+
+
+class TestEpsilonConstraint:
+    def test_unconstrained_equals_best(self, evaluations):
+        best = solve_epsilon_constraint(evaluations, "goodput")
+        assert best.config == best_by(evaluations, "goodput").config
+
+    def test_constraint_respected(self, evaluations):
+        budget = 0.4
+        best = solve_epsilon_constraint(
+            evaluations,
+            "goodput",
+            (Constraint(objective="energy", upper_bound=budget),),
+        )
+        assert best.u_eng_uj_per_bit <= budget
+        unconstrained = best_by(evaluations, "goodput")
+        assert best.max_goodput_kbps <= unconstrained.max_goodput_kbps
+
+    def test_infeasible_raises_with_detail(self, evaluations):
+        with pytest.raises(InfeasibleError) as err:
+            solve_epsilon_constraint(
+                evaluations,
+                "goodput",
+                (Constraint(objective="energy", upper_bound=1e-9),),
+            )
+        assert "energy" in str(err.value)
+
+    def test_empty_rejected(self):
+        with pytest.raises(OptimizationError):
+            solve_epsilon_constraint([], "goodput")
+
+    def test_sweep_traces_tradeoff(self, evaluations):
+        bounds = default_bounds_for(evaluations, "energy", n_points=10)
+        front = sweep_epsilon(evaluations, "goodput", "energy", bounds)
+        assert front
+        # Looser energy budget never hurts goodput.
+        goodputs = [p.max_goodput_kbps for p in front]
+        assert goodputs == sorted(goodputs)
+
+    def test_default_bounds_validation(self, evaluations):
+        with pytest.raises(OptimizationError):
+            default_bounds_for(evaluations, "energy", n_points=1)

@@ -1,0 +1,184 @@
+"""Property-based invariants across the empirical models (hypothesis).
+
+These pin the *structural* properties the guidelines and the optimizer rely
+on — monotonicities, bounds and consistency relations that must hold for
+every parameter combination, not just the benchmarked points.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import StackConfig, VALID_PTX_LEVELS
+from repro.core import (
+    DelayModel,
+    EnergyModel,
+    GoodputModel,
+    PerModel,
+    PlrRadioModel,
+    ServiceTimeModel,
+)
+from repro.radio import DATA_RATE_BPS
+
+payloads = st.integers(min_value=1, max_value=114)
+snrs = st.floats(min_value=-5.0, max_value=40.0)
+tries = st.integers(min_value=1, max_value=8)
+retry_delays = st.floats(min_value=0.0, max_value=200.0)
+
+
+class TestServiceTimeProperties:
+    model = ServiceTimeModel()
+
+    @given(payload=payloads, snr=snrs, n=tries, d=retry_delays)
+    def test_positive_and_larger_than_components(self, payload, snr, n, d):
+        value = self.model.mean_service_time_s(payload, snr, n, d)
+        times = self.model.attempt_times(payload, d)
+        assert value >= times.t_spi + times.t_succ - 1e-12
+
+    @given(payload=payloads, snr=snrs, n=tries)
+    def test_monotone_in_payload(self, payload, snr, n):
+        if payload >= 114:
+            return
+        assert self.model.mean_service_time_s(
+            payload + 1, snr, n, 0.0
+        ) >= self.model.mean_service_time_s(payload, snr, n, 0.0) - 1e-12
+
+    @given(payload=payloads, snr=snrs, n=tries, d=retry_delays)
+    def test_monotone_in_retry_delay(self, payload, snr, n, d):
+        slow = self.model.mean_service_time_s(payload, snr, n, d + 10.0)
+        fast = self.model.mean_service_time_s(payload, snr, n, d)
+        assert slow >= fast - 1e-12
+
+    @given(payload=payloads, snr=snrs, n=tries)
+    def test_decreasing_in_snr(self, payload, snr, n):
+        assert self.model.mean_service_time_s(
+            payload, snr + 5.0, n, 0.0
+        ) <= self.model.mean_service_time_s(payload, snr, n, 0.0) + 1e-12
+
+
+class TestEnergyProperties:
+    model = EnergyModel()
+
+    @given(
+        level=st.sampled_from(VALID_PTX_LEVELS), payload=payloads, snr=snrs
+    )
+    def test_positive_or_infinite(self, level, payload, snr):
+        value = self.model.u_eng_j_per_bit(level, payload, snr)
+        assert value > 0
+
+    @given(payload=payloads, snr=snrs)
+    def test_monotone_in_power_at_fixed_snr(self, payload, snr):
+        """At the *same* SNR, a higher power level can only cost more."""
+        low = self.model.u_eng_j_per_bit(3, payload, snr)
+        high = self.model.u_eng_j_per_bit(31, payload, snr)
+        if math.isfinite(low) and math.isfinite(high):
+            assert high >= low
+
+    @given(level=st.sampled_from(VALID_PTX_LEVELS), payload=payloads, snr=snrs)
+    def test_decreasing_in_snr(self, level, payload, snr):
+        better = self.model.u_eng_j_per_bit(level, payload, snr + 5.0)
+        worse = self.model.u_eng_j_per_bit(level, payload, snr)
+        if math.isfinite(worse):
+            assert better <= worse + 1e-18
+
+    @given(snr=st.floats(min_value=0.0, max_value=40.0))
+    def test_optimal_payload_in_range(self, snr):
+        payload, value = self.model.optimal_payload_bytes(31, snr)
+        assert 1 <= payload <= 114
+        assert value > 0
+
+    @given(
+        level=st.sampled_from(VALID_PTX_LEVELS),
+        payload=payloads,
+        snr=snrs,
+        n=tries,
+    )
+    def test_finite_retries_at_least_ideal(self, level, payload, snr, n):
+        """The finite-budget energy is never below the unlimited-retry Eq. 2
+        at PER→the same value (dropped packets waste transmissions)."""
+        eq2 = self.model.u_eng_j_per_bit(level, payload, snr)
+        finite = self.model.u_eng_finite_retries_j_per_bit(
+            level, payload, snr, n
+        )
+        if math.isfinite(eq2):
+            assert finite >= eq2 * 0.999
+
+
+class TestGoodputProperties:
+    model = GoodputModel()
+
+    @given(payload=payloads, snr=snrs, n=tries, d=retry_delays)
+    def test_bounded_by_phy_rate(self, payload, snr, n, d):
+        value = self.model.max_goodput_bps(payload, snr, n, d)
+        assert 0.0 <= value < DATA_RATE_BPS
+
+    @given(payload=payloads, snr=snrs, n=tries)
+    def test_increasing_in_snr(self, payload, snr, n):
+        assert self.model.max_goodput_bps(
+            payload, snr + 5.0, n
+        ) >= self.model.max_goodput_bps(payload, snr, n) - 1e-9
+
+    @given(snr=st.floats(min_value=0.0, max_value=40.0), n=tries)
+    def test_optimal_payload_consistent(self, snr, n):
+        payload, goodput = self.model.optimal_payload_bytes(snr, n)
+        assert goodput == pytest.approx(
+            float(self.model.max_goodput_bps(payload, snr, n))
+        )
+
+    @given(payload=payloads, snr=snrs, d=retry_delays)
+    def test_retry_delay_never_helps(self, payload, snr, d):
+        with_delay = self.model.max_goodput_bps(payload, snr, 3, d + 20.0)
+        without = self.model.max_goodput_bps(payload, snr, 3, d)
+        assert with_delay <= without + 1e-9
+
+
+class TestLossProperties:
+    per_model = PerModel()
+    plr_model = PlrRadioModel()
+
+    @given(payload=payloads, snr=snrs, n=tries)
+    def test_plr_below_per_base(self, payload, snr, n):
+        base = self.plr_model.attempt_failure_probability(payload, snr)
+        plr = self.plr_model.plr_radio(payload, snr, n)
+        assert plr <= base + 1e-12
+
+    @given(payload=payloads, snr=snrs, n=tries)
+    def test_plr_decreasing_in_tries(self, payload, snr, n):
+        assert self.plr_model.plr_radio(
+            payload, snr, n + 1
+        ) <= self.plr_model.plr_radio(payload, snr, n) + 1e-12
+
+    @given(payload=payloads, snr=snrs)
+    def test_per_snr_inverse_consistent(self, payload, snr):
+        per = self.per_model.per(payload, snr)
+        if 0.0 < per < 1.0:
+            recovered = self.per_model.snr_for_target_per(payload, per)
+            assert recovered == pytest.approx(snr, abs=1e-6)
+
+
+class TestDelayProperties:
+    model = DelayModel()
+
+    @settings(max_examples=60)
+    @given(
+        payload=payloads,
+        snr=st.floats(min_value=0.0, max_value=40.0),
+        n=tries,
+        t_pkt=st.floats(min_value=5.0, max_value=500.0),
+        q_max=st.sampled_from((1, 5, 30)),
+    )
+    def test_estimate_consistent(self, payload, snr, n, t_pkt, q_max):
+        config = StackConfig(
+            payload_bytes=payload, n_max_tries=n, t_pkt_ms=t_pkt, q_max=q_max
+        )
+        estimate = self.model.estimate(config, snr)
+        assert estimate.total_delay_s >= estimate.service_time_s
+        assert estimate.queueing_delay_s <= q_max * estimate.service_time_s + 1e-12
+        assert estimate.rho == pytest.approx(
+            self.model.utilization(config, snr)
+        )
+        if estimate.rho < 0.5:
+            # Light traffic: queueing is a small fraction of service.
+            assert estimate.queueing_delay_s < 2 * estimate.service_time_s

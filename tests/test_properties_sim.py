@@ -1,0 +1,122 @@
+"""Metamorphic and property tests on the simulators themselves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import compute_metrics
+from repro.channel import QUIET_HALLWAY
+from repro.config import StackConfig, VALID_PTX_LEVELS
+from repro.sim import FastLink, SimulationOptions, simulate_link
+
+
+def metrics_for(config, n_packets=150, seed=0):
+    options = SimulationOptions(
+        n_packets=n_packets, seed=seed, environment=QUIET_HALLWAY
+    )
+    return compute_metrics(simulate_link(config, options=options))
+
+
+class TestDesMetamorphic:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        payload=st.integers(min_value=10, max_value=114),
+        level=st.sampled_from((15, 23, 31)),
+        tries=st.integers(min_value=1, max_value=4),
+    )
+    def test_loss_split_always_consistent(self, payload, level, tries):
+        """plr_total = plr_queue + (1 − plr_queue)·plr_radio-ish accounting:
+        counts of the three fates always partition the packet population."""
+        config = StackConfig(
+            distance_m=20.0, ptx_level=level, n_max_tries=tries, q_max=2,
+            t_pkt_ms=20.0, payload_bytes=payload,
+        )
+        m = metrics_for(config)
+        assert m.n_delivered + m.n_queue_dropped + m.n_radio_dropped == m.n_packets
+        assert 0.0 <= m.plr_total <= 1.0
+        assert m.plr_total >= max(m.plr_queue, 0.0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(payload=st.integers(min_value=10, max_value=114))
+    def test_goodput_bounded_by_offered_load(self, payload):
+        """Delivered bits can never exceed generated bits."""
+        config = StackConfig(
+            distance_m=10.0, ptx_level=31, n_max_tries=1, q_max=30,
+            t_pkt_ms=50.0, payload_bytes=payload,
+        )
+        m = metrics_for(config)
+        assert m.goodput_bps <= config.offered_load_bps * 1.01
+
+    def test_doubling_interval_halves_goodput_on_clean_link(self):
+        base = StackConfig(
+            distance_m=5.0, ptx_level=31, n_max_tries=1, q_max=1,
+            t_pkt_ms=50.0, payload_bytes=50,
+        )
+        fast = metrics_for(base, n_packets=400)
+        slow = metrics_for(base.with_updates(t_pkt_ms=100.0), n_packets=400)
+        assert fast.goodput_bps == pytest.approx(2 * slow.goodput_bps, rel=0.05)
+
+    def test_packet_count_does_not_bias_rates(self):
+        """PER estimated from 300 vs 1200 packets agrees (same channel law)."""
+        config = StackConfig(
+            distance_m=35.0, ptx_level=15, n_max_tries=1, q_max=1,
+            t_pkt_ms=100.0, payload_bytes=110,
+        )
+        small = metrics_for(config, n_packets=300, seed=3)
+        large = metrics_for(config, n_packets=1200, seed=4)
+        assert small.per == pytest.approx(large.per, abs=0.07)
+
+    def test_energy_additivity_across_seeds(self):
+        """TX energy per transmission is seed-invariant."""
+        config = StackConfig(
+            distance_m=20.0, ptx_level=23, n_max_tries=3, q_max=1,
+            t_pkt_ms=100.0, payload_bytes=80,
+        )
+        runs = [metrics_for(config, n_packets=200, seed=s) for s in (1, 2)]
+        per_tx = [m.tx_energy_j / m.n_transmissions for m in runs]
+        assert per_tx[0] == pytest.approx(per_tx[1], rel=1e-9)
+
+
+class TestFastLinkMetamorphic:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        snr=st.floats(min_value=0.0, max_value=30.0),
+        payload=st.integers(min_value=5, max_value=114),
+        tries=st.integers(min_value=1, max_value=6),
+    )
+    def test_rate_bounds(self, snr, payload, tries):
+        result = FastLink(seed=1).run(
+            snr, payload, n_packets=400, n_max_tries=tries
+        )
+        assert 0.0 <= result.per <= 1.0
+        assert 0.0 <= result.plr_radio <= 1.0
+        assert 1.0 <= result.mean_tries <= tries
+        assert result.mean_service_time_s > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(snr=st.floats(min_value=5.0, max_value=25.0))
+    def test_acked_implies_delivered(self, snr):
+        result = FastLink(seed=2).run(snr, 80, n_packets=500, n_max_tries=3)
+        assert np.all(result.data_delivered[result.acked])
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        snr=st.floats(min_value=5.0, max_value=25.0),
+        tries=st.integers(min_value=2, max_value=6),
+    )
+    def test_more_tries_never_lose_packets(self, snr, tries):
+        fewer = FastLink(seed=3).run(snr, 110, n_packets=2000, n_max_tries=1)
+        more = FastLink(seed=3).run(snr, 110, n_packets=2000, n_max_tries=tries)
+        assert more.plr_radio <= fewer.plr_radio + 0.02
+
+    def test_zero_jitter_matches_bernoulli(self):
+        """With no SNR jitter, PER equals the BER model's frame+ACK error."""
+        from repro.channel import HALLWAY_2012
+
+        link = FastLink(seed=5, snr_jitter_db=0.0)
+        result = link.run(14.0, 110, n_packets=30000, n_max_tries=1)
+        ber = HALLWAY_2012.ber
+        p_data = float(ber.frame_error_probability(14.0, 129))
+        p_ack = float(ber.frame_error_probability(14.0, 11))
+        expected = 1 - (1 - p_data) * (1 - p_ack)
+        assert result.per == pytest.approx(expected, abs=0.01)

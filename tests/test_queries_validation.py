@@ -1,0 +1,146 @@
+"""Dataset query and model-validation tests (campaign.queries, core.validation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignDataset,
+    CampaignRunner,
+    aggregate,
+    best_configs,
+    group_by,
+    metric_vs_snr,
+)
+from repro.channel import QUIET_HALLWAY
+from repro.config import ParameterSpace
+from repro.core import ModelValidator, needs_refit
+from repro.errors import DatasetError, ReproError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    space = ParameterSpace(
+        distances_m=(10.0, 35.0),
+        ptx_levels=(11, 31),
+        n_max_tries_values=(1, 3),
+        d_retry_values_ms=(0.0,),
+        q_max_values=(1,),
+        t_pkt_values_ms=(100.0,),
+        payload_values_bytes=(20, 110),
+    )
+    runner = CampaignRunner(
+        environment=QUIET_HALLWAY, packets_per_config=150, engine="des"
+    )
+    return runner.run(space, description="queries test campaign")
+
+
+class TestGroupBy:
+    def test_partition_complete(self, dataset):
+        groups = group_by(dataset, "distance_m")
+        assert set(groups) == {(10.0,), (35.0,)}
+        assert sum(len(g) for g in groups.values()) == len(dataset)
+
+    def test_multi_field(self, dataset):
+        groups = group_by(dataset, "distance_m", "ptx_level")
+        assert len(groups) == 4
+        for (d, lvl), group in groups.items():
+            assert all(
+                s.config.distance_m == d and s.config.ptx_level == lvl
+                for s in group
+            )
+
+    def test_unknown_field(self, dataset):
+        with pytest.raises(DatasetError):
+            group_by(dataset, "bogus")
+
+    def test_no_fields(self, dataset):
+        with pytest.raises(DatasetError):
+            group_by(dataset)
+
+
+class TestAggregate:
+    def test_rows_sorted_and_counted(self, dataset):
+        rows = aggregate(dataset, "per", by=["payload_bytes"])
+        assert [r.key for r in rows] == [(20,), (110,)]
+        assert all(r.count == len(dataset) // 2 for r in rows)
+
+    def test_payload_effect_visible(self, dataset):
+        rows = {r.key[0]: r.mean for r in aggregate(dataset, "per", by=["payload_bytes"])}
+        assert rows[110] > rows[20]
+
+    def test_aggregate_handles_infinite_energy(self, dataset):
+        rows = aggregate(dataset, "u_eng_uj_per_bit", by=["ptx_level"])
+        for row in rows:
+            # Mean is finite (or nan) even if some cells were infinite.
+            assert not math.isinf(row.mean)
+
+
+class TestMetricVsSnr:
+    def test_bins_cover_data(self, dataset):
+        rows = metric_vs_snr(dataset, "per", snr_bin_width_db=5.0)
+        assert rows
+        assert sum(r.count for r in rows) <= len(dataset)
+
+    def test_per_decreases_with_snr(self, dataset):
+        rows = metric_vs_snr(dataset, "per", snr_bin_width_db=10.0)
+        finite = [r for r in rows if not math.isnan(r.mean)]
+        assert finite[0].mean >= finite[-1].mean
+
+    def test_validation(self, dataset):
+        with pytest.raises(DatasetError):
+            metric_vs_snr(dataset, "per", snr_bin_width_db=0.0)
+
+
+class TestBestConfigs:
+    def test_minimizing_energy(self, dataset):
+        best = best_configs(dataset, "u_eng_uj_per_bit", minimize=True, top=3)
+        assert len(best) == 3
+        values = [s.u_eng_uj_per_bit for s in best]
+        assert values == sorted(values)
+
+    def test_maximizing_goodput(self, dataset):
+        best = best_configs(dataset, "goodput_kbps", minimize=False, top=2)
+        all_goodputs = dataset.column("goodput_kbps")
+        assert best[0].goodput_kbps == pytest.approx(np.nanmax(all_goodputs))
+
+    def test_validation(self, dataset):
+        with pytest.raises(DatasetError):
+            best_configs(dataset, "per", top=0)
+
+
+class TestModelValidator:
+    def test_validates_loss_metrics(self, dataset):
+        validator = ModelValidator()
+        report = validator.validate_all(dataset)
+        assert "per" in report and "mean_service_time_ms" in report
+        for validation in report.values():
+            assert validation.n_points >= 2
+            assert validation.mean_absolute_error >= 0.0
+
+    def test_service_time_accurate(self, dataset):
+        """The timing model should predict simulated service times closely."""
+        validator = ModelValidator()
+        result = validator.validate_metric(dataset, "mean_service_time_ms")
+        assert result.mean_relative_error < 0.15
+        assert result.correlation > 0.9
+
+    def test_summary_string(self, dataset):
+        validator = ModelValidator()
+        result = validator.validate_metric(dataset, "per")
+        assert "MAE=" in result.summary()
+
+    def test_unknown_metric(self, dataset):
+        with pytest.raises(ReproError):
+            ModelValidator().validate_metric(dataset, "goodput_kbps")
+
+    def test_needs_refit_false_on_native_data(self, dataset):
+        """Simulated campaigns match the calibrated models: no refit flag."""
+        report = ModelValidator().validate_all(dataset)
+        assert not needs_refit(report, relative_error_threshold=2.0)
+
+    def test_needs_refit_validation(self, dataset):
+        report = ModelValidator().validate_all(dataset)
+        with pytest.raises(ReproError):
+            needs_refit(report, relative_error_threshold=0.0)

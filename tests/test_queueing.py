@@ -1,0 +1,178 @@
+"""Queue and queueing-theory tests (repro.queueing)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.queueing import (
+    BoundedFifoQueue,
+    QueueingRegime,
+    mg1_mean_wait_s,
+    mm1k_blocking_probability,
+    mm1k_mean_queue_length,
+    utilization,
+)
+
+
+class TestBoundedFifoQueue:
+    def test_fifo_order(self):
+        q = BoundedFifoQueue(5)
+        for i in range(5):
+            assert q.offer(i, float(i))
+        assert [q.poll(10.0 + i) for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_drops_when_full(self):
+        q = BoundedFifoQueue(2)
+        assert q.offer("a", 0.0)
+        assert q.offer("b", 0.1)
+        assert not q.offer("c", 0.2)
+        stats = q.stats()
+        assert stats.arrivals == 3
+        assert stats.dropped == 1
+        assert stats.drop_rate == pytest.approx(1 / 3)
+
+    def test_poll_empty_returns_none(self):
+        q = BoundedFifoQueue(1)
+        assert q.poll(0.0) is None
+
+    def test_peek_does_not_remove(self):
+        q = BoundedFifoQueue(2)
+        q.offer("x", 0.0)
+        assert q.peek() == "x"
+        assert len(q) == 1
+
+    def test_drain(self):
+        q = BoundedFifoQueue(3)
+        for i in range(3):
+            q.offer(i, float(i))
+        assert q.drain(5.0) == [0, 1, 2]
+        assert q.is_empty
+        assert q.stats().departures == 3
+
+    def test_time_average_occupancy(self):
+        q = BoundedFifoQueue(10)
+        q.offer("a", 0.0)  # occupancy 1 over [0, 2]
+        q.poll(2.0)  # occupancy 0 over [2, 4]
+        stats = q.stats(now_s=4.0)
+        assert stats.time_average_occupancy == pytest.approx(0.5)
+
+    def test_time_must_not_go_backwards(self):
+        q = BoundedFifoQueue(2)
+        q.offer("a", 1.0)
+        with pytest.raises(SimulationError):
+            q.offer("b", 0.5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SimulationError):
+            BoundedFifoQueue(0)
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=10),
+        ops=st.lists(st.booleans(), min_size=1, max_size=200),
+    )
+    def test_invariants_under_any_op_sequence(self, capacity, ops):
+        """Occupancy never exceeds capacity; counters always balance."""
+        q = BoundedFifoQueue(capacity)
+        t = 0.0
+        pushed = 0
+        for is_offer in ops:
+            t += 0.1
+            if is_offer:
+                q.offer(pushed, t)
+                pushed += 1
+            else:
+                q.poll(t)
+            assert 0 <= len(q) <= capacity
+        stats = q.stats()
+        assert stats.arrivals == pushed
+        assert stats.accepted + stats.dropped == stats.arrivals
+        assert stats.accepted - stats.departures == len(q)
+        assert stats.peak_occupancy <= capacity
+
+    @given(items=st.lists(st.integers(), min_size=1, max_size=50))
+    def test_fifo_property(self, items):
+        """Whatever goes in comes out in the same order (no drops)."""
+        q = BoundedFifoQueue(len(items))
+        for i, item in enumerate(items):
+            assert q.offer(item, float(i))
+        out = [q.poll(100.0 + i) for i in range(len(items))]
+        assert out == items
+
+
+class TestUtilization:
+    def test_paper_table_ii_rho(self):
+        # T_service = 37.08 ms, T_pkt = 30 ms → ρ = 1.236 (paper Table II).
+        assert utilization(37.08e-3, 30e-3) == pytest.approx(1.236)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            utilization(-1.0, 1.0)
+        with pytest.raises(SimulationError):
+            utilization(1.0, 0.0)
+
+
+class TestQueueingRegime:
+    def test_stable(self):
+        r = QueueingRegime(0.5)
+        assert r.stable and not r.heavy_traffic and not r.overloaded
+
+    def test_heavy(self):
+        r = QueueingRegime(0.9)
+        assert r.stable and r.heavy_traffic
+
+    def test_overloaded(self):
+        r = QueueingRegime(1.2)
+        assert r.overloaded and not r.stable
+
+    def test_describe_mentions_regime(self):
+        assert "overloaded" in QueueingRegime(1.5).describe()
+        assert "light" in QueueingRegime(0.3).describe()
+
+
+class TestMg1:
+    def test_wait_grows_with_rho(self):
+        w1 = mg1_mean_wait_s(0.01, 1.0, 0.05)  # rho 0.2
+        w2 = mg1_mean_wait_s(0.04, 1.0, 0.05)  # rho 0.8
+        assert w2 > w1
+
+    def test_infinite_at_saturation(self):
+        assert math.isinf(mg1_mean_wait_s(0.05, 1.0, 0.05))
+
+    def test_deterministic_service_halves_wait(self):
+        exp = mg1_mean_wait_s(0.02, 1.0, 0.05)
+        det = mg1_mean_wait_s(0.02, 0.0, 0.05)
+        assert det == pytest.approx(exp / 2)
+
+    def test_rejects_negative_scv(self):
+        with pytest.raises(SimulationError):
+            mg1_mean_wait_s(0.01, -1.0, 0.05)
+
+
+class TestMm1k:
+    def test_blocking_increases_with_rho(self):
+        assert mm1k_blocking_probability(1.5, 5) > mm1k_blocking_probability(0.5, 5)
+
+    def test_blocking_decreases_with_capacity(self):
+        assert mm1k_blocking_probability(0.9, 30) < mm1k_blocking_probability(0.9, 2)
+
+    def test_rho_one_limit(self):
+        assert mm1k_blocking_probability(1.0, 4) == pytest.approx(0.2)
+
+    def test_zero_rho_never_blocks(self):
+        assert mm1k_blocking_probability(0.0, 3) == 0.0
+
+    def test_mean_queue_length_bounds(self):
+        for rho in (0.2, 0.9, 1.0, 2.0):
+            length = mm1k_mean_queue_length(rho, 10)
+            assert 0.0 <= length <= 10.0
+
+    def test_mean_length_at_rho_one(self):
+        assert mm1k_mean_queue_length(1.0, 6) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            mm1k_blocking_probability(-0.1, 3)
+        with pytest.raises(SimulationError):
+            mm1k_mean_queue_length(0.5, 0)

@@ -1,0 +1,115 @@
+"""Bit-error model tests (repro.radio.ber)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RadioError
+from repro.radio.ber import AnalyticOQPSKBer, EmpiricalExpBer
+
+
+class TestEmpiricalExpBer:
+    def setup_method(self):
+        self.model = EmpiricalExpBer()
+
+    def test_decreases_with_snr(self):
+        assert self.model.bit_error_probability(
+            20.0
+        ) < self.model.bit_error_probability(5.0)
+
+    def test_clamped_at_half(self):
+        assert self.model.bit_error_probability(-100.0) == 0.5
+
+    @given(st.floats(min_value=-20, max_value=60))
+    def test_in_valid_range(self, snr):
+        p = self.model.bit_error_probability(snr)
+        assert 0.0 <= p <= 0.5
+
+    def test_vectorized(self):
+        snrs = np.array([0.0, 10.0, 20.0])
+        p = self.model.bit_error_probability(snrs)
+        assert p.shape == (3,)
+        assert np.all(np.diff(p) < 0)
+
+    def test_frame_error_increases_with_length(self):
+        short = self.model.frame_error_probability(12.0, 24)
+        long = self.model.frame_error_probability(12.0, 133)
+        assert long > short
+
+    def test_frame_error_bounds(self):
+        assert 0.0 <= self.model.frame_error_probability(12.0, 133) <= 1.0
+
+    def test_frame_error_matches_binomial(self):
+        p_bit = self.model.bit_error_probability(15.0)
+        expected = 1.0 - (1.0 - p_bit) ** (8 * 100)
+        assert self.model.frame_error_probability(15.0, 100) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_success_complements_error(self):
+        err = self.model.frame_error_probability(10.0, 129)
+        ok = self.model.frame_success_probability(10.0, 129)
+        assert err + ok == pytest.approx(1.0)
+
+    def test_calibration_matches_paper_grey_zone(self):
+        # At the 19 dB low-impact border the max-size frame PER should be
+        # near the paper's observed ~0.1 (Fig. 6d).
+        per_19 = self.model.frame_error_probability(19.0, 133)
+        assert 0.03 < per_19 < 0.2
+        # Deep in the grey zone the max frame is mostly lost.
+        per_5 = self.model.frame_error_probability(5.0, 133)
+        assert per_5 > 0.35
+
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(RadioError):
+            EmpiricalExpBer(coefficient=0.0)
+        with pytest.raises(RadioError):
+            EmpiricalExpBer(exponent_per_db=0.1)
+
+    def test_rejects_bad_frame(self):
+        with pytest.raises(RadioError):
+            self.model.frame_error_probability(10.0, 0)
+
+
+class TestAnalyticOQPSKBer:
+    def setup_method(self):
+        self.model = AnalyticOQPSKBer(implementation_loss_db=0.0)
+
+    def test_high_snr_near_zero(self):
+        assert self.model.bit_error_probability(15.0) < 1e-10
+
+    def test_low_snr_near_half(self):
+        assert self.model.bit_error_probability(-20.0) > 0.4
+
+    def test_monotone_decreasing(self):
+        snrs = np.linspace(-10, 15, 60)
+        p = self.model.bit_error_probability(snrs)
+        assert np.all(np.diff(p) <= 1e-12)
+
+    def test_implementation_loss_shifts_curve(self):
+        lossy = AnalyticOQPSKBer(implementation_loss_db=10.0)
+        # The lossy model at SNR x equals the clean model at x − 10.
+        assert lossy.bit_error_probability(12.0) == pytest.approx(
+            self.model.bit_error_probability(2.0), rel=1e-9
+        )
+
+    def test_cliff_is_sharper_than_empirical(self):
+        """The ablation claim: the analytic curve has a sharper transition.
+
+        Measured as the SNR span over which the 133-byte frame PER falls
+        from 0.9 to 0.1 — the paper observed real links are much smoother
+        than the textbook curve.
+        """
+        analytic = AnalyticOQPSKBer(implementation_loss_db=10.0)
+        empirical = EmpiricalExpBer()
+        snrs = np.linspace(-5, 40, 2000)
+
+        def transition_width(model):
+            per = np.asarray(
+                [model.frame_error_probability(s, 133) for s in snrs]
+            )
+            hi = snrs[np.argmax(per < 0.9)]
+            lo = snrs[np.argmax(per < 0.1)]
+            return lo - hi
+
+        assert transition_width(analytic) < transition_width(empirical)

@@ -1,0 +1,67 @@
+"""CC2420 constants tests (repro.radio.cc2420)."""
+
+import pytest
+
+from repro.errors import RadioError
+from repro.radio import cc2420
+
+
+class TestPaTable:
+    def test_eight_levels(self):
+        assert len(cc2420.PA_LEVELS) == 8
+        assert cc2420.PA_LEVELS == (3, 7, 11, 15, 19, 23, 27, 31)
+
+    def test_level_31_is_0dbm(self):
+        assert cc2420.output_power_dbm(31) == 0.0
+
+    def test_level_3_is_minus_25dbm(self):
+        assert cc2420.output_power_dbm(3) == -25.0
+
+    def test_power_monotone_in_level(self):
+        powers = [cc2420.output_power_dbm(lvl) for lvl in cc2420.PA_LEVELS]
+        assert powers == sorted(powers)
+
+    def test_current_monotone_in_level(self):
+        currents = [cc2420.tx_current_a(lvl) for lvl in cc2420.PA_LEVELS]
+        assert currents == sorted(currents)
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(RadioError):
+            cc2420.output_power_dbm(12)
+        with pytest.raises(RadioError):
+            cc2420.tx_current_a(0)
+
+
+class TestEnergy:
+    def test_tx_energy_per_bit_at_max_power(self):
+        # 1.8 V × 17.4 mA / 250 kb/s ≈ 0.125 µJ/bit — the value the paper's
+        # Table IV energies back-solve to.
+        assert cc2420.tx_energy_per_bit_j(31) == pytest.approx(1.2528e-7, rel=1e-3)
+
+    def test_tx_energy_decreases_with_level(self):
+        assert cc2420.tx_energy_per_bit_j(3) < cc2420.tx_energy_per_bit_j(31)
+
+    def test_rx_power(self):
+        assert cc2420.rx_power_w() == pytest.approx(1.8 * 18.8e-3)
+
+
+class TestHelpers:
+    def test_nearest_pa_level_exact(self):
+        assert cc2420.nearest_pa_level(0.0) == 31
+        assert cc2420.nearest_pa_level(-25.0) == 3
+
+    def test_nearest_pa_level_between(self):
+        assert cc2420.nearest_pa_level(-12.0) == 11  # −10 is closer than −15
+
+    def test_nearest_pa_level_tie_prefers_cheaper(self):
+        # −12.5 dBm is equidistant from −10 (lvl 11) and −15 (lvl 7).
+        assert cc2420.nearest_pa_level(-12.5) == 7
+
+    def test_clamp_rssi(self):
+        assert cc2420.clamp_rssi(-120.0) == cc2420.RSSI_MIN_DBM
+        assert cc2420.clamp_rssi(5.0) == cc2420.RSSI_MAX_DBM
+        assert cc2420.clamp_rssi(-50.0) == -50.0
+
+    def test_symbol_time(self):
+        assert cc2420.SYMBOL_TIME_S == pytest.approx(16e-6)
+        assert cc2420.DATA_RATE_BPS == 250_000

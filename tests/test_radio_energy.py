@@ -1,0 +1,91 @@
+"""Energy accounting tests (repro.radio.energy)."""
+
+import math
+
+import pytest
+
+from repro.errors import RadioError
+from repro.radio import cc2420
+from repro.radio.energy import EnergyMeter, ack_rx_energy_j, tx_energy_j
+
+
+class TestTxEnergy:
+    def test_single_frame(self):
+        # 110 B payload → 129 B frame → 1032 bits at E_tx(31).
+        expected = cc2420.tx_energy_per_bit_j(31) * 1032
+        assert tx_energy_j(31, 110) == pytest.approx(expected)
+
+    def test_scales_with_transmissions(self):
+        assert tx_energy_j(31, 110, 3) == pytest.approx(3 * tx_energy_j(31, 110))
+
+    def test_zero_transmissions(self):
+        assert tx_energy_j(31, 110, 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(RadioError):
+            tx_energy_j(31, 110, -1)
+
+    def test_lower_power_cheaper(self):
+        assert tx_energy_j(3, 110) < tx_energy_j(31, 110)
+
+
+class TestEnergyMeter:
+    def test_starts_empty(self):
+        meter = EnergyMeter()
+        assert meter.total_j == 0.0
+        assert meter.delivered_info_bits == 0
+
+    def test_tx_accumulates(self):
+        meter = EnergyMeter()
+        e1 = meter.record_tx(31, 110)
+        e2 = meter.record_tx(31, 110)
+        assert meter.tx_j == pytest.approx(e1 + e2)
+
+    def test_ack_rx(self):
+        meter = EnergyMeter()
+        meter.record_ack_rx()
+        assert meter.rx_j == pytest.approx(ack_rx_energy_j())
+
+    def test_listen(self):
+        meter = EnergyMeter()
+        meter.record_listen(8.192e-3)
+        assert meter.listen_j == pytest.approx(cc2420.rx_power_w() * 8.192e-3)
+
+    def test_rejects_negative_durations(self):
+        meter = EnergyMeter()
+        with pytest.raises(RadioError):
+            meter.record_listen(-1.0)
+        with pytest.raises(RadioError):
+            meter.record_spi(-1.0)
+        with pytest.raises(RadioError):
+            meter.record_idle(-1.0)
+
+    def test_per_bit_infinite_without_delivery(self):
+        meter = EnergyMeter()
+        meter.record_tx(31, 110)
+        assert math.isinf(meter.tx_only_per_info_bit_j)
+
+    def test_per_bit_after_delivery(self):
+        meter = EnergyMeter()
+        meter.record_tx(31, 110)
+        meter.record_delivery(110)
+        expected = tx_energy_j(31, 110) / (110 * 8)
+        assert meter.tx_only_per_info_bit_j == pytest.approx(expected)
+
+    def test_total_includes_all_components(self):
+        meter = EnergyMeter()
+        meter.record_tx(31, 50)
+        meter.record_ack_rx()
+        meter.record_listen(1e-3)
+        meter.record_spi(1e-3)
+        meter.record_idle(1.0)
+        breakdown = meter.breakdown()
+        assert meter.total_j == pytest.approx(sum(breakdown.values()))
+        assert all(v > 0 for v in breakdown.values())
+
+    def test_total_per_bit_exceeds_tx_only(self):
+        meter = EnergyMeter()
+        meter.record_tx(31, 50)
+        meter.record_listen(5e-3)
+        meter.record_delivery(50)
+        assert meter.total_per_info_bit_j > meter.tx_only_per_info_bit_j

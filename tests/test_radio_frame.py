@@ -1,0 +1,72 @@
+"""802.15.4 frame layout tests (repro.radio.frame)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RadioError
+from repro.radio import frame
+
+
+class TestLayoutConstants:
+    def test_max_payload_is_paper_value(self):
+        # The paper: "maximum payload size (114 bytes) in our radio stack".
+        assert frame.MAX_PAYLOAD_BYTES == 114
+
+    def test_overhead_is_19_bytes(self):
+        assert frame.DATA_FRAME_OVERHEAD_BYTES == 19
+
+    def test_mpdu_limit(self):
+        assert frame.MAX_MPDU_BYTES == 127
+        assert frame.MAX_PAYLOAD_BYTES + frame.MPDU_OVERHEAD_BYTES == 127
+
+
+class TestDataFrame:
+    def test_air_bytes(self):
+        assert frame.DataFrame(110).air_bytes == 129
+        assert frame.DataFrame(114).air_bytes == 133
+
+    def test_air_time_matches_250kbps(self):
+        # 133 bytes → 1064 bits → 4.256 ms.
+        assert frame.DataFrame(114).air_time_s == pytest.approx(4.256e-3)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(RadioError):
+            frame.DataFrame(115)
+
+    def test_rejects_negative(self):
+        with pytest.raises(RadioError):
+            frame.DataFrame(-1)
+
+    def test_overhead_ratio_decreases_with_payload(self):
+        small = frame.DataFrame(5).overhead_ratio
+        large = frame.DataFrame(114).overhead_ratio
+        assert small > large
+        assert large == pytest.approx(19 / 133)
+
+    @given(st.integers(min_value=0, max_value=114))
+    def test_air_time_proportional_to_size(self, payload):
+        f = frame.DataFrame(payload)
+        assert f.air_time_s == pytest.approx(f.air_bits / 250_000)
+
+    @given(st.integers(min_value=1, max_value=113))
+    def test_air_time_strictly_monotone(self, payload):
+        assert (
+            frame.DataFrame(payload + 1).air_time_s
+            > frame.DataFrame(payload).air_time_s
+        )
+
+
+class TestAckFrame:
+    def test_ack_is_11_bytes_on_air(self):
+        assert frame.ACK_FRAME_BYTES == 11
+
+    def test_ack_air_time(self):
+        assert frame.ack_air_time_s() == pytest.approx(11 * 8 / 250_000)
+
+
+class TestHelpers:
+    def test_frame_air_bytes_helper(self):
+        assert frame.frame_air_bytes(65) == 84
+
+    def test_frame_air_time_helper(self):
+        assert frame.frame_air_time_s(65) == pytest.approx(84 * 8 / 250_000)

@@ -1,0 +1,51 @@
+"""LQI model tests (repro.radio.lqi)."""
+
+import numpy as np
+import pytest
+
+from repro.radio import lqi
+
+
+class TestMeanLqi:
+    def test_saturates_high(self):
+        assert lqi.mean_lqi(30.0) == lqi.LQI_MAX
+        assert lqi.mean_lqi(20.0) == lqi.LQI_MAX
+
+    def test_floors_low(self):
+        assert lqi.mean_lqi(-5.0) == lqi.LQI_MIN
+        assert lqi.mean_lqi(0.0) == lqi.LQI_MIN
+
+    def test_midpoint(self):
+        assert lqi.mean_lqi(10.0) == pytest.approx((lqi.LQI_MAX + lqi.LQI_MIN) / 2)
+
+    def test_monotone(self):
+        snrs = np.linspace(-5, 30, 100)
+        values = lqi.mean_lqi(snrs)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_vectorized_shape(self):
+        assert lqi.mean_lqi(np.zeros(7)).shape == (7,)
+
+
+class TestSampleLqi:
+    def test_in_register_range(self):
+        rng = np.random.default_rng(0)
+        samples = lqi.sample_lqi(np.full(1000, 10.0), rng)
+        assert samples.min() >= lqi.LQI_MIN
+        assert samples.max() <= lqi.LQI_MAX
+
+    def test_scalar_return(self):
+        rng = np.random.default_rng(0)
+        value = lqi.sample_lqi(15.0, rng)
+        assert isinstance(value, float)
+        assert lqi.LQI_MIN <= value <= lqi.LQI_MAX
+
+    def test_mean_tracks_model(self):
+        rng = np.random.default_rng(1)
+        samples = lqi.sample_lqi(np.full(5000, 12.0), rng)
+        assert samples.mean() == pytest.approx(lqi.mean_lqi(12.0), abs=0.5)
+
+    def test_deterministic_under_seed(self):
+        a = lqi.sample_lqi(np.full(10, 8.0), np.random.default_rng(7))
+        b = lqi.sample_lqi(np.full(10, 8.0), np.random.default_rng(7))
+        assert np.array_equal(a, b)

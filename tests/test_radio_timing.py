@@ -1,0 +1,58 @@
+"""TinyOS timing model tests (repro.radio.timing)."""
+
+import pytest
+
+from repro.radio import timing
+from repro.radio.frame import frame_air_time_s
+
+
+class TestPaperConstants:
+    def test_turnaround(self):
+        assert timing.TURNAROUND_TIME_S == pytest.approx(0.224e-3)
+
+    def test_mean_backoff(self):
+        assert timing.MEAN_INITIAL_BACKOFF_S == pytest.approx(5.28e-3)
+        assert timing.MAX_INITIAL_BACKOFF_S == pytest.approx(10.56e-3)
+
+    def test_ack_time(self):
+        assert timing.ACK_TIME_S == pytest.approx(1.96e-3)
+
+    def test_ack_wait(self):
+        assert timing.ACK_WAIT_TIMEOUT_S == pytest.approx(8.192e-3)
+
+    def test_spi_matches_table_ii_backsolve(self):
+        # 129-byte frame → 6.45 ms, the value that reproduces Table II.
+        assert timing.spi_load_time_s(110) == pytest.approx(6.45e-3)
+
+
+class TestAttemptTimes:
+    def test_decomposition(self):
+        t = timing.AttemptTimes(payload_bytes=110, d_retry_s=0.030)
+        assert t.t_mac == pytest.approx(0.224e-3 + 5.28e-3)
+        assert t.t_frame == pytest.approx(frame_air_time_s(110))
+        assert t.t_succ == pytest.approx(t.t_mac + t.t_frame + timing.ACK_TIME_S)
+        assert t.t_fail == pytest.approx(
+            t.t_mac + t.t_frame + timing.ACK_WAIT_TIMEOUT_S
+        )
+        assert t.t_retry == pytest.approx(t.t_fail + 0.030)
+
+    def test_fail_slower_than_success(self):
+        t = timing.AttemptTimes(payload_bytes=50)
+        assert t.t_fail > t.t_succ
+
+    def test_zero_retry_delay(self):
+        t = timing.AttemptTimes(payload_bytes=50, d_retry_s=0.0)
+        assert t.t_retry == pytest.approx(t.t_fail)
+
+    def test_larger_payload_slower_everywhere(self):
+        small = timing.AttemptTimes(payload_bytes=5)
+        large = timing.AttemptTimes(payload_bytes=114)
+        assert large.t_spi > small.t_spi
+        assert large.t_frame > small.t_frame
+        assert large.t_succ > small.t_succ
+
+    def test_mac_delay_helper(self):
+        assert timing.mac_delay_s(0.0) == pytest.approx(timing.TURNAROUND_TIME_S)
+        assert timing.mac_delay_s() == pytest.approx(
+            timing.TURNAROUND_TIME_S + timing.MEAN_INITIAL_BACKOFF_S
+        )

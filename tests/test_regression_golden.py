@@ -1,0 +1,137 @@
+"""Golden regression pins: canonical runs with fixed seeds.
+
+These freeze the *exact* numeric outputs of a handful of canonical
+computations so accidental behaviour changes (a reordered RNG draw, a
+constant tweak, an off-by-one in the event pipeline) surface immediately.
+Loose tolerances are deliberate NOT used here — a golden test that drifts
+should fail, and whoever changes the behaviour updates the pin consciously.
+
+If you intentionally change the simulator's draw order, timing constants or
+calibration, re-record with:
+
+    python -m tests.test_regression_golden
+"""
+
+import pytest
+
+from repro.analysis import compute_metrics
+from repro.channel import HALLWAY_2012, QUIET_HALLWAY
+from repro.config import StackConfig
+from repro.core import ServiceTimeModel
+from repro.sim import FastLink, SimulationOptions, simulate_link
+
+#: (description, factory) -> pinned values; regenerate via __main__ below.
+GOLDEN = {
+    "des_quiet_grey_zone": {
+        "per": 0.23831775700934577,
+        "plr_radio": 0.022,
+        "goodput_kbps": 8.621364965306704,
+        "mean_tries": 1.284,
+        "tx_energy_j": 0.05962895999999897,
+    },
+    "des_hallway_queueing": {
+        "per": 0.017681728880157177,
+        "plr_queue": 0.0,
+        "mean_delay_ms": 16.883907999999092,
+    },
+    "fastlink_reference": {
+        "per": 0.3647527381347494,
+        "plr_radio": 0.04300000000000004,
+        "mean_service_time_s": 0.02738632954288834,
+    },
+    "service_model_table2": {
+        "t10_ms": 35.433558866680144,
+        "t20_ms": 20.916805345102507,
+        "t30_ms": 18.517202127398917,
+    },
+}
+
+
+def compute_des_quiet_grey_zone():
+    config = StackConfig(
+        distance_m=35.0, ptx_level=15, n_max_tries=3, q_max=1,
+        t_pkt_ms=100.0, payload_bytes=110,
+    )
+    m = compute_metrics(
+        simulate_link(
+            config,
+            options=SimulationOptions(
+                n_packets=500, seed=12345, environment=QUIET_HALLWAY
+            ),
+        )
+    )
+    return {
+        "per": m.per,
+        "plr_radio": m.plr_radio,
+        "goodput_kbps": m.goodput_kbps,
+        "mean_tries": m.mean_tries,
+        "tx_energy_j": m.tx_energy_j,
+    }
+
+
+def compute_des_hallway_queueing():
+    config = StackConfig(
+        distance_m=20.0, ptx_level=23, n_max_tries=3, q_max=30,
+        t_pkt_ms=30.0, payload_bytes=110,
+    )
+    m = compute_metrics(
+        simulate_link(
+            config,
+            options=SimulationOptions(
+                n_packets=500, seed=777, environment=HALLWAY_2012
+            ),
+        )
+    )
+    return {
+        "per": m.per,
+        "plr_queue": m.plr_queue,
+        "mean_delay_ms": m.mean_delay_s * 1e3,
+    }
+
+
+def compute_fastlink_reference():
+    result = FastLink(seed=2024).run(
+        mean_snr_db=9.0, payload_bytes=110, n_packets=2000, n_max_tries=3
+    )
+    return {
+        "per": result.per,
+        "plr_radio": result.plr_radio,
+        "mean_service_time_s": result.mean_service_time_s,
+    }
+
+
+def compute_service_model_table2():
+    model = ServiceTimeModel()
+    return {
+        "t10_ms": model.paper_service_time_s(110, 10.0, 30.0) * 1e3,
+        "t20_ms": model.paper_service_time_s(110, 20.0, 30.0) * 1e3,
+        "t30_ms": model.paper_service_time_s(110, 30.0, 30.0) * 1e3,
+    }
+
+
+_COMPUTERS = {
+    "des_quiet_grey_zone": compute_des_quiet_grey_zone,
+    "des_hallway_queueing": compute_des_hallway_queueing,
+    "fastlink_reference": compute_fastlink_reference,
+    "service_model_table2": compute_service_model_table2,
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden(name):
+    computed = _COMPUTERS[name]()
+    for key, expected in GOLDEN[name].items():
+        assert computed[key] == pytest.approx(expected, rel=1e-9), (
+            f"{name}.{key} drifted: {computed[key]!r} != {expected!r}; "
+            f"if intentional, re-record with `python -m tests.test_regression_golden`"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - recording helper
+    print("GOLDEN = {")
+    for name, fn in _COMPUTERS.items():
+        print(f'    "{name}": {{')
+        for key, value in fn().items():
+            print(f'        "{key}": {value!r},')
+        print("    },")
+    print("}")

@@ -1,0 +1,103 @@
+"""Sensitivity-analysis tests (repro.core.optimization.sensitivity)."""
+
+import math
+
+import pytest
+
+from repro.config import StackConfig
+from repro.core.optimization import (
+    ModelEvaluator,
+    analyze_sensitivity,
+    dominant_parameter,
+    rank_parameters,
+    snr_map_from_reference,
+)
+from repro.core.optimization.sensitivity import DEFAULT_AXES, METRICS
+from repro.errors import OptimizationError
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return ModelEvaluator(snr_by_level=snr_map_from_reference(12.0))
+
+
+@pytest.fixture(scope="module")
+def base():
+    return StackConfig(
+        ptx_level=31, payload_bytes=80, n_max_tries=3, t_pkt_ms=50.0, q_max=30
+    )
+
+
+@pytest.fixture(scope="module")
+def sensitivities(evaluator, base):
+    return analyze_sensitivity(evaluator, base)
+
+
+class TestAnalyze:
+    def test_full_cross_product(self, sensitivities):
+        assert len(sensitivities) == len(DEFAULT_AXES) * len(METRICS)
+
+    def test_spans_nonnegative(self, sensitivities):
+        assert all(
+            s.span >= 0 or math.isinf(s.span) for s in sensitivities
+        )
+
+    def test_best_not_worse_than_worst(self, sensitivities):
+        for s in sensitivities:
+            assert s.best_value <= s.worst_value
+
+    def test_settings_come_from_axes(self, sensitivities):
+        for s in sensitivities:
+            axis = DEFAULT_AXES[s.parameter]
+            assert s.best_setting in axis
+            assert s.worst_setting in axis
+
+    def test_custom_axes(self, evaluator, base):
+        sens = analyze_sensitivity(
+            evaluator, base, axes={"payload_bytes": (20, 110)}
+        )
+        assert len(sens) == len(METRICS)
+        assert all(s.parameter == "payload_bytes" for s in sens)
+
+    def test_relative_span(self, sensitivities):
+        for s in sensitivities:
+            if s.base_value != 0 and not math.isinf(s.span):
+                assert s.relative_span == pytest.approx(
+                    s.span / abs(s.base_value)
+                )
+
+    def test_validation(self, evaluator, base):
+        with pytest.raises(OptimizationError):
+            analyze_sensitivity(evaluator, base, axes={"bogus": (1,)})
+        with pytest.raises(OptimizationError):
+            analyze_sensitivity(evaluator, base, axes={"q_max": ()})
+        with pytest.raises(OptimizationError):
+            analyze_sensitivity(evaluator, base, metrics=())
+
+
+class TestRanking:
+    def test_rank_sorted_descending(self, sensitivities):
+        ranked = rank_parameters(sensitivities, "goodput")
+        spans = [
+            -math.inf if math.isinf(r.span) else -r.span for r in ranked
+        ]
+        assert spans == sorted(spans)
+
+    def test_rank_covers_all_parameters(self, sensitivities):
+        ranked = rank_parameters(sensitivities, "loss")
+        assert {r.parameter for r in ranked} == set(DEFAULT_AXES)
+
+    def test_dominant_is_rank_head(self, sensitivities):
+        assert (
+            dominant_parameter(sensitivities, "energy")
+            == rank_parameters(sensitivities, "energy")[0].parameter
+        )
+
+    def test_unknown_metric(self, sensitivities):
+        with pytest.raises(OptimizationError):
+            rank_parameters(sensitivities, "happiness")
+
+    def test_power_dominates_loss_on_wide_sweep(self, sensitivities):
+        """With level 3 in range (which kills this link), power must rank
+        as the most loss-critical knob."""
+        assert dominant_parameter(sensitivities, "loss") == "ptx_level"

@@ -1,0 +1,102 @@
+"""Vectorized Monte-Carlo link tests (repro.sim.fastlink)."""
+
+import numpy as np
+import pytest
+
+from repro.channel import QUIET_HALLWAY
+from repro.errors import SimulationError
+from repro.sim.fastlink import FastLink
+
+
+class TestFastLinkBasics:
+    def test_result_shapes(self):
+        result = FastLink(seed=0).run(15.0, 110, n_packets=500, n_max_tries=3)
+        assert result.n_packets == 500
+        assert result.n_tries.shape == (500,)
+        assert result.acked.shape == (500,)
+        assert result.n_transmissions == result.n_tries.sum()
+        assert result.snr_samples_db.size == result.n_transmissions
+
+    def test_tries_within_budget(self):
+        result = FastLink(seed=0).run(8.0, 110, n_packets=500, n_max_tries=4)
+        assert result.n_tries.max() <= 4
+        assert result.n_tries.min() >= 1
+
+    def test_deterministic_under_seed(self):
+        a = FastLink(seed=3).run(10.0, 65, n_packets=300, n_max_tries=2)
+        b = FastLink(seed=3).run(10.0, 65, n_packets=300, n_max_tries=2)
+        assert np.array_equal(a.n_tries, b.n_tries)
+        assert np.array_equal(a.acked, b.acked)
+
+    def test_validation(self):
+        link = FastLink(seed=0)
+        with pytest.raises(SimulationError):
+            link.run(10.0, 65, n_packets=0)
+        with pytest.raises(SimulationError):
+            link.run(10.0, 65, n_max_tries=0)
+        with pytest.raises(SimulationError):
+            FastLink(snr_jitter_db=-1.0)
+
+
+class TestFastLinkStatistics:
+    def test_per_decreases_with_snr(self):
+        link = FastLink(seed=1)
+        low = link.run(6.0, 110, n_packets=3000)
+        high = FastLink(seed=1).run(20.0, 110, n_packets=3000)
+        assert high.per < low.per
+
+    def test_per_increases_with_payload(self):
+        small = FastLink(seed=2).run(10.0, 10, n_packets=3000)
+        large = FastLink(seed=2).run(10.0, 110, n_packets=3000)
+        assert large.per > small.per
+
+    def test_retries_cut_plr_but_not_per(self):
+        no_retry = FastLink(seed=3).run(10.0, 110, n_packets=3000, n_max_tries=1)
+        retry = FastLink(seed=3).run(10.0, 110, n_packets=3000, n_max_tries=5)
+        assert retry.plr_radio < no_retry.plr_radio
+        # Per-transmission error rate is a channel property, roughly equal.
+        assert retry.per == pytest.approx(no_retry.per, abs=0.05)
+
+    def test_plr_matches_per_power_law(self):
+        """PLR_radio ≈ PER^N — the independence assumption of Eq. 8."""
+        result = FastLink(seed=4, snr_jitter_db=0.0).run(
+            9.0, 110, n_packets=20000, n_max_tries=3
+        )
+        assert result.plr_radio == pytest.approx(result.per**3, abs=0.02)
+
+    def test_clean_link_near_lossless(self):
+        # The empirical BER keeps a sub-percent residual loss floor at high
+        # SNR (real indoor links do too); "clean" means < 1% here.
+        result = FastLink(seed=5).run(40.0, 110, n_packets=1000)
+        assert result.per < 0.01
+        assert result.plr_radio < 0.01
+        assert result.mean_tries < 1.02
+
+    def test_goodput_positive_and_bounded(self):
+        result = FastLink(seed=6).run(25.0, 110, n_packets=2000)
+        assert 0 < result.goodput_bps < 250_000
+
+    def test_energy_per_bit_infinite_on_dead_link(self):
+        result = FastLink(seed=7, snr_jitter_db=0.0).run(
+            -10.0, 110, n_packets=200, n_max_tries=1
+        )
+        assert result.plr_radio == 1.0
+        assert np.isinf(result.energy_per_info_bit_j(31))
+
+    def test_energy_scales_with_power_level(self):
+        result = FastLink(seed=8).run(20.0, 110, n_packets=1000)
+        assert result.tx_energy_j(31) > result.tx_energy_j(3)
+
+    def test_ack_loss_toggle(self):
+        with_loss = FastLink(seed=9, snr_jitter_db=0.0, model_ack_loss=True).run(
+            8.0, 110, n_packets=5000
+        )
+        without = FastLink(seed=9, snr_jitter_db=0.0, model_ack_loss=False).run(
+            8.0, 110, n_packets=5000
+        )
+        assert with_loss.per > without.per
+
+    def test_mean_tries_successful_only_counts_acked(self):
+        result = FastLink(seed=10).run(8.0, 110, n_packets=3000, n_max_tries=5)
+        assert result.mean_tries_successful <= result.n_max_tries
+        assert result.mean_tries_successful >= 1.0

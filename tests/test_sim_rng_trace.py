@@ -1,0 +1,202 @@
+"""RNG streams, packet and trace-record tests (repro.sim)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.packet import Packet
+from repro.sim.rng import RngStreams, config_seed
+from repro.sim.trace import (
+    LinkTrace,
+    PacketFate,
+    PacketRecord,
+    TransmissionRecord,
+)
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(7).stream("channel").random(5)
+        b = RngStreams(7).stream("channel").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_different_streams(self):
+        streams = RngStreams(7)
+        a = streams.stream("channel").random(5)
+        b = streams.stream("mac").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_unaffected_by_other_requests(self):
+        """Requesting extra streams must not perturb existing ones."""
+        lone = RngStreams(7)
+        lone_values = lone.stream("channel").random(5)
+        crowded = RngStreams(7)
+        crowded.stream("mac")
+        crowded.stream("noise")
+        crowded_values = crowded.stream("channel").random(5)
+        assert np.array_equal(lone_values, crowded_values)
+
+    def test_stream_cached(self):
+        streams = RngStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_spawn_independent(self):
+        parent = RngStreams(7)
+        a = parent.spawn(0).stream("channel").random(5)
+        b = parent.spawn(1).stream("channel").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_deterministic(self):
+        a = RngStreams(7).spawn(3).stream("channel").random(5)
+        b = RngStreams(7).spawn(3).stream("channel").random(5)
+        assert np.array_equal(a, b)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(SimulationError):
+            RngStreams(-1)
+
+
+class TestConfigSeed:
+    def test_deterministic(self):
+        assert config_seed(42, 17) == config_seed(42, 17)
+
+    def test_distinct_across_indices(self):
+        seeds = {config_seed(42, i) for i in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_nonnegative(self):
+        assert all(config_seed(1, i) >= 0 for i in range(100))
+
+
+class TestPacket:
+    def test_payload_bits(self):
+        assert Packet(seq=0, payload_bytes=65, generated_s=0.0).payload_bits == 520
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Packet(seq=-1, payload_bytes=10, generated_s=0.0)
+        with pytest.raises(SimulationError):
+            Packet(seq=0, payload_bytes=0, generated_s=0.0)
+        with pytest.raises(SimulationError):
+            Packet(seq=0, payload_bytes=10, generated_s=-1.0)
+
+
+class TestPacketRecord:
+    def test_delivered_record_derived_times(self):
+        rec = PacketRecord(
+            seq=1,
+            payload_bytes=50,
+            generated_s=1.0,
+            fate=PacketFate.DELIVERED,
+            dequeued_s=1.2,
+            completed_s=1.5,
+            n_tries=2,
+            first_delivery_s=1.4,
+        )
+        assert rec.queueing_delay_s == pytest.approx(0.2)
+        assert rec.service_time_s == pytest.approx(0.3)
+        assert rec.delay_s == pytest.approx(0.4)
+        assert rec.delivered and rec.received
+
+    def test_queue_drop_has_no_times(self):
+        rec = PacketRecord(
+            seq=1, payload_bytes=50, generated_s=1.0, fate=PacketFate.QUEUE_DROP
+        )
+        assert rec.queueing_delay_s is None
+        assert rec.service_time_s is None
+        assert rec.delay_s is None
+        assert not rec.delivered
+
+    def test_queue_drop_cannot_have_tries(self):
+        with pytest.raises(SimulationError):
+            PacketRecord(
+                seq=1,
+                payload_bytes=50,
+                generated_s=1.0,
+                fate=PacketFate.QUEUE_DROP,
+                n_tries=2,
+            )
+
+    def test_serviced_requires_timestamps(self):
+        with pytest.raises(SimulationError):
+            PacketRecord(
+                seq=1, payload_bytes=50, generated_s=1.0, fate=PacketFate.DELIVERED
+            )
+
+    def test_radio_drop_may_still_be_received(self):
+        """ACK loss: the receiver got the data but the sender gave up."""
+        rec = PacketRecord(
+            seq=2,
+            payload_bytes=50,
+            generated_s=0.0,
+            fate=PacketFate.RADIO_DROP,
+            dequeued_s=0.0,
+            completed_s=0.1,
+            n_tries=1,
+            first_delivery_s=0.05,
+        )
+        assert rec.received and not rec.delivered
+
+
+class TestLinkTraceValidate:
+    @staticmethod
+    def _tx(seq, attempt, acked):
+        return TransmissionRecord(
+            packet_seq=seq,
+            attempt=attempt,
+            tx_time_s=0.0,
+            rssi_dbm=-80.0,
+            noise_dbm=-95.0,
+            lqi=100.0,
+            data_delivered=acked,
+            acked=acked,
+        )
+
+    def test_consistent_trace_passes(self):
+        trace = LinkTrace(
+            packets=[
+                PacketRecord(
+                    seq=0,
+                    payload_bytes=10,
+                    generated_s=0.0,
+                    fate=PacketFate.DELIVERED,
+                    dequeued_s=0.0,
+                    completed_s=0.05,
+                    n_tries=2,
+                    first_delivery_s=0.04,
+                )
+            ],
+            transmissions=[self._tx(0, 1, False), self._tx(0, 2, True)],
+        )
+        trace.validate()
+
+    def test_mismatched_tries_caught(self):
+        trace = LinkTrace(
+            packets=[
+                PacketRecord(
+                    seq=0,
+                    payload_bytes=10,
+                    generated_s=0.0,
+                    fate=PacketFate.DELIVERED,
+                    dequeued_s=0.0,
+                    completed_s=0.05,
+                    n_tries=3,
+                    first_delivery_s=0.04,
+                )
+            ],
+            transmissions=[self._tx(0, 1, True)],
+        )
+        with pytest.raises(SimulationError):
+            trace.validate()
+
+    def test_duplicate_seq_caught(self):
+        rec = PacketRecord(
+            seq=0, payload_bytes=10, generated_s=0.0, fate=PacketFate.QUEUE_DROP
+        )
+        trace = LinkTrace(packets=[rec, rec])
+        with pytest.raises(SimulationError):
+            trace.validate()
+
+    def test_snr_property(self):
+        tx = self._tx(0, 1, True)
+        assert tx.snr_db == pytest.approx(15.0)

@@ -1,0 +1,121 @@
+"""Event scheduler tests (repro.sim.scheduler)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulerError
+from repro.sim.events import EventKind
+from repro.sim.scheduler import EventScheduler
+
+
+def noop(event):
+    pass
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert EventScheduler().now_s == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        for delay in (3.0, 1.0, 2.0):
+            sched.schedule(
+                delay, EventKind.CALLBACK, lambda e: fired.append(e.time_s)
+            )
+        sched.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sched = EventScheduler()
+        fired = []
+        for tag in ("a", "b", "c"):
+            sched.schedule(
+                1.0, EventKind.CALLBACK, lambda e: fired.append(e.payload), tag
+            )
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler()
+        sched.schedule(2.5, EventKind.CALLBACK, noop)
+        sched.run()
+        assert sched.now_s == 2.5
+
+    def test_cannot_schedule_into_past(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, EventKind.CALLBACK, noop)
+        sched.run()
+        with pytest.raises(SchedulerError):
+            sched.schedule_at(0.5, EventKind.CALLBACK, noop)
+        with pytest.raises(SchedulerError):
+            sched.schedule(-0.1, EventKind.CALLBACK, noop)
+
+    def test_events_can_schedule_events(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain(event):
+            fired.append(sched.now_s)
+            if len(fired) < 5:
+                sched.schedule(1.0, EventKind.CALLBACK, chain)
+
+        sched.schedule(0.0, EventKind.CALLBACK, chain)
+        sched.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_cancelled_events_skipped(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule(
+            1.0, EventKind.CALLBACK, lambda e: fired.append("cancelled")
+        )
+        sched.schedule(2.0, EventKind.CALLBACK, lambda e: fired.append("kept"))
+        event.cancel()
+        sched.run()
+        assert fired == ["kept"]
+
+    def test_run_returns_executed_count(self):
+        sched = EventScheduler()
+        for i in range(4):
+            sched.schedule(float(i), EventKind.CALLBACK, noop)
+        assert sched.run() == 4
+        assert sched.processed == 4
+
+    def test_event_budget_enforced(self):
+        sched = EventScheduler()
+
+        def forever(event):
+            sched.schedule(1.0, EventKind.CALLBACK, forever)
+
+        sched.schedule(0.0, EventKind.CALLBACK, forever)
+        with pytest.raises(SchedulerError):
+            sched.run(max_events=100)
+
+    def test_run_until_partial(self):
+        sched = EventScheduler()
+        fired = []
+        for delay in (1.0, 2.0, 3.0):
+            sched.schedule(delay, EventKind.CALLBACK, lambda e: fired.append(e.time_s))
+        executed = sched.run_until(2.0)
+        assert executed == 2
+        assert fired == [1.0, 2.0]
+        assert sched.now_s == 2.0
+        assert sched.pending == 1
+
+    def test_run_until_cannot_go_backwards(self):
+        sched = EventScheduler()
+        sched.run_until(5.0)
+        with pytest.raises(SchedulerError):
+            sched.run_until(4.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60))
+    def test_any_delays_fire_sorted(self, delays):
+        """Property: events always execute in non-decreasing time order."""
+        sched = EventScheduler()
+        fired = []
+        for d in delays:
+            sched.schedule(d, EventKind.CALLBACK, lambda e: fired.append(e.time_s))
+        sched.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

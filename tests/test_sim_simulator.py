@@ -1,0 +1,209 @@
+"""End-to-end DES behaviour tests (repro.sim.simulator / node)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compute_metrics
+from repro.channel import HALLWAY_2012, QUIET_HALLWAY
+from repro.config import StackConfig
+from repro.errors import SimulationError
+from repro.mac import AckPolicy
+from repro.sim import (
+    LinkSimulator,
+    PacketFate,
+    SimulationOptions,
+    simulate_link,
+)
+
+
+def run(config, n_packets=200, seed=0, environment=QUIET_HALLWAY, **opt_kwargs):
+    options = SimulationOptions(
+        n_packets=n_packets, seed=seed, environment=environment, **opt_kwargs
+    )
+    return simulate_link(config, options=options)
+
+
+class TestBasicInvariants:
+    def test_every_packet_resolves(self, default_config):
+        trace = run(default_config, n_packets=150)
+        assert len(trace.packets) == 150
+        fates = {p.fate for p in trace.packets}
+        assert fates <= {
+            PacketFate.DELIVERED,
+            PacketFate.RADIO_DROP,
+            PacketFate.QUEUE_DROP,
+        }
+
+    def test_sequence_numbers_complete(self, default_config):
+        trace = run(default_config, n_packets=100)
+        assert [p.seq for p in trace.packets] == list(range(100))
+
+    def test_deterministic_under_seed(self, default_config):
+        a = run(default_config, n_packets=100, seed=5, environment=HALLWAY_2012)
+        b = run(default_config, n_packets=100, seed=5, environment=HALLWAY_2012)
+        assert [(p.seq, p.fate, p.n_tries) for p in a.packets] == [
+            (p.seq, p.fate, p.n_tries) for p in b.packets
+        ]
+        assert a.tx_energy_j == pytest.approx(b.tx_energy_j)
+
+    def test_different_seeds_differ(self, default_config):
+        a = run(default_config, n_packets=200, seed=1, environment=HALLWAY_2012)
+        b = run(default_config, n_packets=200, seed=2, environment=HALLWAY_2012)
+        assert [p.n_tries for p in a.packets] != [p.n_tries for p in b.packets]
+
+    def test_tries_within_budget(self, default_config):
+        trace = run(default_config, n_packets=200)
+        assert all(
+            p.n_tries <= default_config.n_max_tries
+            for p in trace.packets
+            if p.fate is not PacketFate.QUEUE_DROP
+        )
+
+    def test_timestamps_ordered(self, default_config):
+        trace = run(default_config, n_packets=100)
+        for p in trace.packets:
+            if p.fate is PacketFate.QUEUE_DROP:
+                continue
+            assert p.generated_s <= p.dequeued_s <= p.completed_s
+
+    def test_duration_covers_all_arrivals(self, default_config):
+        trace = run(default_config, n_packets=50)
+        expected_span = 49 * default_config.t_pkt_ms / 1e3
+        assert trace.duration_s >= expected_span
+
+
+class TestChannelQualityEffects:
+    def test_strong_link_delivers_everything(self):
+        config = StackConfig(
+            distance_m=5.0, ptx_level=31, n_max_tries=1, q_max=30,
+            t_pkt_ms=50.0, payload_bytes=110,
+        )
+        trace = run(config)
+        delivered = trace.packets_with_fate(PacketFate.DELIVERED)
+        assert len(delivered) == len(trace.packets)
+        assert all(p.n_tries == 1 for p in delivered)
+
+    def test_dead_link_delivers_nothing(self):
+        config = StackConfig(
+            distance_m=35.0, ptx_level=3, n_max_tries=3, q_max=1,
+            t_pkt_ms=100.0, payload_bytes=110,
+        )
+        trace = run(config)
+        assert not trace.packets_with_fate(PacketFate.DELIVERED)
+
+    def test_grey_zone_link_retransmits(self):
+        config = StackConfig(
+            distance_m=35.0, ptx_level=7, n_max_tries=5, q_max=30,
+            t_pkt_ms=200.0, payload_bytes=110,
+        )
+        trace = run(config, n_packets=300)
+        metrics = compute_metrics(trace)
+        assert metrics.mean_tries > 1.1
+        assert 0.05 < metrics.per < 0.95
+
+    def test_higher_power_fewer_tries(self):
+        base = StackConfig(
+            distance_m=35.0, ptx_level=7, n_max_tries=5, q_max=1,
+            t_pkt_ms=200.0, payload_bytes=110,
+        )
+        weak = compute_metrics(run(base, n_packets=400))
+        strong = compute_metrics(run(base.with_updates(ptx_level=31), n_packets=400))
+        assert strong.mean_tries < weak.mean_tries
+        assert strong.per < weak.per
+
+
+class TestQueueBehaviour:
+    def overloading_config(self, q_max):
+        # 110 B at T_pkt = 10 ms: service ≈ 18–20 ms → rho ≈ 2.
+        return StackConfig(
+            distance_m=5.0, ptx_level=31, n_max_tries=1, q_max=q_max,
+            t_pkt_ms=10.0, payload_bytes=110,
+        )
+
+    def test_overload_causes_queue_drops(self):
+        trace = run(self.overloading_config(q_max=1), n_packets=300)
+        metrics = compute_metrics(trace)
+        assert metrics.plr_queue > 0.3
+
+    def test_larger_queue_fewer_drops_more_delay(self):
+        small = compute_metrics(run(self.overloading_config(1), n_packets=300))
+        large = compute_metrics(run(self.overloading_config(30), n_packets=300))
+        assert large.plr_queue < small.plr_queue
+        assert large.mean_delay_s > small.mean_delay_s
+
+    def test_stable_load_no_queue_drops(self):
+        config = StackConfig(
+            distance_m=5.0, ptx_level=31, n_max_tries=1, q_max=1,
+            t_pkt_ms=100.0, payload_bytes=20,
+        )
+        metrics = compute_metrics(run(config))
+        assert metrics.plr_queue == 0.0
+        # Light traffic: delay is essentially the service time.
+        assert metrics.mean_delay_s < metrics.mean_service_time_s * 1.5
+
+
+class TestServiceTimeStructure:
+    def test_service_time_near_model(self):
+        """The DES realizes the paper's Eqs. 5–6 timing decomposition."""
+        from repro.core import ServiceTimeModel
+
+        config = StackConfig(
+            distance_m=5.0, ptx_level=31, n_max_tries=1, q_max=1,
+            t_pkt_ms=100.0, payload_bytes=110,
+        )
+        metrics = compute_metrics(run(config, n_packets=500))
+        model = ServiceTimeModel().mean_service_time_s(
+            110, metrics.mean_snr_db, 1, 0.0
+        )
+        assert metrics.mean_service_time_s == pytest.approx(model, rel=0.05)
+
+    def test_retry_delay_lengthens_service(self):
+        base = StackConfig(
+            distance_m=35.0, ptx_level=7, n_max_tries=5, q_max=1,
+            t_pkt_ms=500.0, payload_bytes=110,
+        )
+        no_delay = compute_metrics(run(base, n_packets=300))
+        with_delay = compute_metrics(
+            run(base.with_updates(d_retry_ms=60.0), n_packets=300)
+        )
+        assert with_delay.mean_service_time_s > no_delay.mean_service_time_s
+
+
+class TestAckModelling:
+    def test_ack_loss_produces_duplicates(self):
+        config = StackConfig(
+            distance_m=35.0, ptx_level=7, n_max_tries=5, q_max=1,
+            t_pkt_ms=200.0, payload_bytes=110,
+        )
+        trace = run(config, n_packets=800, environment=HALLWAY_2012, seed=11)
+        duplicates = sum(p.duplicate_deliveries for p in trace.packets)
+        assert duplicates > 0
+
+    def test_no_ack_loss_no_duplicates(self):
+        config = StackConfig(
+            distance_m=35.0, ptx_level=7, n_max_tries=5, q_max=1,
+            t_pkt_ms=200.0, payload_bytes=110,
+        )
+        options = SimulationOptions(
+            n_packets=400,
+            seed=11,
+            environment=QUIET_HALLWAY,
+            ack=AckPolicy(ack_loss_modelled=False),
+        )
+        trace = simulate_link(config, options=options)
+        assert sum(p.duplicate_deliveries for p in trace.packets) == 0
+
+
+class TestOptionsValidation:
+    def test_rejects_zero_packets(self):
+        with pytest.raises(SimulationError):
+            SimulationOptions(n_packets=0)
+
+    def test_strict_mode_validates(self, default_config):
+        trace = run(default_config, n_packets=50)
+        trace.validate()  # idempotent
+
+    def test_energy_breakdown_populated(self, default_config):
+        trace = run(default_config, n_packets=50)
+        assert trace.tx_energy_j > 0
+        assert set(trace.energy_breakdown_j) == {"tx", "rx", "listen", "spi", "idle"}

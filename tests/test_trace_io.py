@@ -1,0 +1,124 @@
+"""Trace export/import tests (repro.sim.trace_io)."""
+
+import json
+import math
+
+import pytest
+
+from repro.config import StackConfig
+from repro.errors import DatasetError
+from repro.sim import LinkTrace, load_trace, save_trace, simulate_link
+from repro.sim.trace import PacketFate
+
+
+@pytest.fixture(scope="module")
+def trace_and_config():
+    config = StackConfig(
+        distance_m=20.0, ptx_level=23, n_max_tries=3, q_max=30,
+        t_pkt_ms=50.0, payload_bytes=65,
+    )
+    return simulate_link(config, n_packets=120, seed=5), config
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, trace_and_config, tmp_path):
+        trace, config = trace_and_config
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path, config=config, description="test export")
+        loaded, loaded_config = load_trace(path)
+        assert loaded_config == config
+        assert len(loaded.packets) == len(trace.packets)
+        assert len(loaded.transmissions) == len(trace.transmissions)
+        assert loaded.duration_s == pytest.approx(trace.duration_s)
+        assert loaded.tx_energy_j == pytest.approx(trace.tx_energy_j)
+
+    def test_packet_fields_preserved(self, trace_and_config, tmp_path):
+        trace, config = trace_and_config
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path, config=config)
+        loaded, _ = load_trace(path)
+        for original, restored in zip(trace.packets, loaded.packets):
+            assert restored.seq == original.seq
+            assert restored.fate == original.fate
+            assert restored.n_tries == original.n_tries
+            assert restored.first_delivery_s == original.first_delivery_s
+
+    def test_transmission_fields_preserved(self, trace_and_config, tmp_path):
+        trace, config = trace_and_config
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        loaded, loaded_config = load_trace(path)
+        assert loaded_config is None
+        first = trace.transmissions[0]
+        restored = loaded.transmissions[0]
+        assert restored.rssi_dbm == pytest.approx(first.rssi_dbm)
+        assert restored.acked == first.acked
+
+    def test_loaded_trace_validates(self, trace_and_config, tmp_path):
+        trace, config = trace_and_config
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path, config=config)
+        loaded, _ = load_trace(path)
+        loaded.validate()
+
+    def test_metrics_identical_after_roundtrip(self, trace_and_config, tmp_path):
+        from repro.analysis import compute_metrics
+
+        trace, config = trace_and_config
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path, config=config)
+        loaded, _ = load_trace(path)
+        original = compute_metrics(trace)
+        restored = compute_metrics(loaded)
+        assert restored.per == pytest.approx(original.per)
+        assert restored.goodput_bps == pytest.approx(original.goodput_bps)
+        assert restored.mean_delay_s == pytest.approx(original.mean_delay_s)
+
+    def test_without_transmissions(self, trace_and_config, tmp_path):
+        trace, config = trace_and_config
+        path = tmp_path / "small.jsonl"
+        save_trace(trace, path, include_transmissions=False)
+        loaded, _ = load_trace(path)
+        assert not loaded.transmissions
+        assert len(loaded.packets) == len(trace.packets)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_trace(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(DatasetError):
+            load_trace(path)
+
+    def test_truncated(self, trace_and_config, tmp_path):
+        trace, config = trace_and_config
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path, include_transmissions=False)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(DatasetError):
+            load_trace(path)
+
+    def test_unknown_row_kind(self, tmp_path):
+        path = tmp_path / "bad_row.jsonl"
+        header = {"format": "repro-trace-v1", "n_packets": 0}
+        path.write_text(json.dumps(header) + "\n" + '{"kind": "mystery"}\n')
+        with pytest.raises(DatasetError):
+            load_trace(path)
+
+    def test_bad_json_row(self, tmp_path):
+        path = tmp_path / "bad_json.jsonl"
+        header = {"format": "repro-trace-v1", "n_packets": 0}
+        path.write_text(json.dumps(header) + "\n" + "{not json\n")
+        with pytest.raises(DatasetError):
+            load_trace(path)

@@ -1,0 +1,104 @@
+"""Unit-conversion tests (repro.units)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_minus_three_db_halves(self):
+        assert units.db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+    def test_linear_to_db_inverse(self):
+        assert units.linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    @given(st.floats(min_value=-80, max_value=80))
+    def test_roundtrip(self, db):
+        assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(
+            db, abs=1e-9
+        )
+
+    def test_array_broadcast(self):
+        arr = np.array([0.0, 10.0, 20.0])
+        out = units.db_to_linear(arr)
+        assert np.allclose(out, [1.0, 10.0, 100.0])
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_mw(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_dbm_to_watts(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm(self):
+        assert units.watts_to_dbm(0.001) == pytest.approx(0.0)
+
+    @given(st.floats(min_value=-120, max_value=40))
+    def test_dbm_roundtrip(self, dbm):
+        assert units.mw_to_dbm(units.dbm_to_mw(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+class TestTimeAndData:
+    def test_ms_to_s(self):
+        assert units.ms_to_s(1500.0) == pytest.approx(1.5)
+
+    def test_s_to_ms(self):
+        assert units.s_to_ms(0.25) == pytest.approx(250.0)
+
+    def test_us_roundtrip(self):
+        assert units.s_to_us(units.us_to_s(7.0)) == pytest.approx(7.0)
+
+    def test_bytes_bits(self):
+        assert units.bytes_to_bits(114) == 912
+        assert units.bits_to_bytes(912) == pytest.approx(114)
+
+    def test_rates(self):
+        assert units.bps_to_kbps(250_000) == pytest.approx(250.0)
+        assert units.kbps_to_bps(250.0) == pytest.approx(250_000.0)
+
+    def test_energy(self):
+        assert units.joules_to_microjoules(2e-6) == pytest.approx(2.0)
+        assert units.microjoules_to_joules(2.0) == pytest.approx(2e-6)
+
+
+class TestTransmissionTime:
+    def test_paper_rate(self):
+        # 133-byte frame at 250 kb/s = 4.256 ms.
+        assert units.transmission_time_s(133, 250_000) == pytest.approx(4.256e-3)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            units.transmission_time_s(10, 0)
+
+
+class TestThermalNoise:
+    def test_2mhz_channel_floor(self):
+        # kTB for 2 MHz ≈ −111 dBm: the measured −95 dBm floor implies
+        # ~16 dB of noise figure + ambient interference.
+        floor = units.thermal_noise_dbm(2e6)
+        assert floor == pytest.approx(-110.9, abs=0.5)
+
+    def test_noise_figure_shifts(self):
+        base = units.thermal_noise_dbm(2e6)
+        assert units.thermal_noise_dbm(2e6, 10.0) == pytest.approx(base + 10.0)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_dbm(0.0)
