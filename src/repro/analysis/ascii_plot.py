@@ -11,7 +11,13 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
-from ..errors import ReproError
+from ..errors import AnalysisError
+
+__all__ = [
+    "sparkline",
+    "scatter",
+    "side_by_side",
+]
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
@@ -24,10 +30,10 @@ def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
     """
     data = [float(v) for v in values]
     if not data:
-        raise ReproError("cannot sparkline an empty series")
+        raise AnalysisError("cannot sparkline an empty series")
     if width is not None:
         if width < 1:
-            raise ReproError(f"width must be >= 1, got {width!r}")
+            raise AnalysisError(f"width must be >= 1, got {width!r}")
         if len(data) > width:
             step = len(data) / width
             data = [data[int(i * step)] for i in range(width)]
@@ -58,16 +64,16 @@ def scatter(
 ) -> str:
     """A multi-line ASCII scatter plot with min/max axis labels."""
     if len(x) != len(y):
-        raise ReproError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+        raise AnalysisError(f"x and y lengths differ: {len(x)} vs {len(y)}")
     points = [
         (float(a), float(b))
         for a, b in zip(x, y)
         if not (math.isnan(a) or math.isnan(b))
     ]
     if not points:
-        raise ReproError("no finite points to plot")
+        raise AnalysisError("no finite points to plot")
     if width < 8 or height < 4:
-        raise ReproError("plot must be at least 8x4")
+        raise AnalysisError("plot must be at least 8x4")
     xs = [p[0] for p in points]
     ys = [p[1] for p in points]
     x_lo, x_hi = min(xs), max(xs)
@@ -97,9 +103,9 @@ def side_by_side(
 ) -> str:
     """Join multi-line text blocks horizontally under their labels."""
     if len(labels) != len(blocks):
-        raise ReproError("labels and blocks must match")
+        raise AnalysisError("labels and blocks must match")
     if not blocks:
-        raise ReproError("nothing to join")
+        raise AnalysisError("nothing to join")
     split = [b.splitlines() for b in blocks]
     heights = [len(s) for s in split]
     widths = [max((len(line) for line in s), default=0) for s in split]

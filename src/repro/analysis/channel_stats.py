@@ -20,6 +20,15 @@ from ..channel.pathloss import fit_path_loss
 from ..errors import ChannelError
 from ..radio import cc2420
 
+__all__ = [
+    "RssiSurvey",
+    "survey_rssi",
+    "path_loss_fit_from_survey",
+    "rssi_deviation_table",
+    "SnrDistributions",
+    "snr_distributions",
+]
+
 
 @dataclass(frozen=True)
 class RssiSurvey:

@@ -22,6 +22,11 @@ import numpy as np
 from ..errors import SimulationError
 from ..sim.trace import LinkTrace, PacketFate
 
+__all__ = [
+    "LinkMetrics",
+    "compute_metrics",
+]
+
 
 @dataclass(frozen=True)
 class LinkMetrics:

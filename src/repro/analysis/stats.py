@@ -13,7 +13,16 @@ from typing import Callable, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import AnalysisError
+
+__all__ = [
+    "BinnedSeries",
+    "bin_series",
+    "snr_bin_edges",
+    "bootstrap_ci",
+    "coefficient_of_variation_squared",
+    "relative_error",
+]
 
 
 @dataclass(frozen=True)
@@ -28,7 +37,7 @@ class BinnedSeries:
     def __post_init__(self) -> None:
         n = self.centers.size
         if not (self.means.size == self.stds.size == self.counts.size == n):
-            raise ReproError("binned series arrays must have equal length")
+            raise AnalysisError("binned series arrays must have equal length")
 
     def nonempty(self) -> "BinnedSeries":
         """Drop empty bins."""
@@ -50,10 +59,10 @@ def bin_series(
     x_arr = np.asarray(x, dtype=float)
     y_arr = np.asarray(y, dtype=float)
     if x_arr.shape != y_arr.shape:
-        raise ReproError(f"x and y must match, got {x_arr.shape} vs {y_arr.shape}")
+        raise AnalysisError(f"x and y must match, got {x_arr.shape} vs {y_arr.shape}")
     edge_arr = np.asarray(edges, dtype=float)
     if edge_arr.size < 2 or np.any(np.diff(edge_arr) <= 0):
-        raise ReproError("bin edges must be increasing with at least 2 entries")
+        raise AnalysisError("bin edges must be increasing with at least 2 entries")
     n_bins = edge_arr.size - 1
     idx = np.digitize(x_arr, edge_arr) - 1
     centers = (edge_arr[:-1] + edge_arr[1:]) / 2.0
@@ -74,7 +83,7 @@ def snr_bin_edges(
 ) -> np.ndarray:
     """The default SNR binning used by the figure benches."""
     if width_db <= 0 or hi_db <= lo_db:
-        raise ReproError("invalid SNR bin specification")
+        raise AnalysisError("invalid SNR bin specification")
     return np.arange(lo_db, hi_db + width_db / 2, width_db)
 
 
@@ -91,9 +100,9 @@ def bootstrap_ci(
     """
     arr = np.asarray(values, dtype=float)
     if arr.size == 0:
-        raise ReproError("cannot bootstrap an empty sample")
+        raise AnalysisError("cannot bootstrap an empty sample")
     if not 0 < confidence < 1:
-        raise ReproError(f"confidence must be in (0, 1), got {confidence!r}")
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence!r}")
     rng = np.random.default_rng(seed)
     point = float(statistic(arr))
     resampled = np.empty(n_resamples)
@@ -108,15 +117,15 @@ def coefficient_of_variation_squared(values: Sequence[float]) -> float:
     """Squared coefficient of variation (used for M/G/1 wait estimates)."""
     arr = np.asarray(values, dtype=float)
     if arr.size < 2:
-        raise ReproError("need at least 2 values for a variation coefficient")
+        raise AnalysisError("need at least 2 values for a variation coefficient")
     mean = arr.mean()
     if mean == 0:
-        raise ReproError("mean is zero; CV is undefined")
+        raise AnalysisError("mean is zero; CV is undefined")
     return float(arr.var(ddof=1) / mean**2)
 
 
 def relative_error(measured: float, reference: float) -> float:
     """|measured − reference| / |reference|; used in EXPERIMENTS.md tables."""
     if reference == 0:
-        raise ReproError("reference value is zero; relative error undefined")
+        raise AnalysisError("reference value is zero; relative error undefined")
     return abs(measured - reference) / abs(reference)

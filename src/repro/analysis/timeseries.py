@@ -13,8 +13,16 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import AnalysisError
 from ..sim.trace import LinkTrace
+
+__all__ = [
+    "MetricSeries",
+    "per_over_time",
+    "goodput_over_time",
+    "delivery_ratio_over_time",
+    "detect_degradation",
+]
 
 
 @dataclass(frozen=True)
@@ -28,7 +36,7 @@ class MetricSeries:
 
     def __post_init__(self) -> None:
         if not (self.times_s.size == self.values.size == self.counts.size):
-            raise ReproError("series arrays must have equal length")
+            raise AnalysisError("series arrays must have equal length")
 
     def nonempty(self) -> "MetricSeries":
         """Drop windows with no observations."""
@@ -43,9 +51,9 @@ class MetricSeries:
 
 def _window_edges(duration_s: float, window_s: float) -> np.ndarray:
     if window_s <= 0:
-        raise ReproError(f"window_s must be positive, got {window_s!r}")
+        raise AnalysisError(f"window_s must be positive, got {window_s!r}")
     if duration_s <= 0:
-        raise ReproError(f"trace duration must be positive, got {duration_s!r}")
+        raise AnalysisError(f"trace duration must be positive, got {duration_s!r}")
     n = max(1, int(np.ceil(duration_s / window_s)))
     return np.arange(0.0, (n + 1) * window_s, window_s)[: n + 1]
 
@@ -53,7 +61,7 @@ def _window_edges(duration_s: float, window_s: float) -> np.ndarray:
 def per_over_time(trace: LinkTrace, window_s: float = 1.0) -> MetricSeries:
     """Windowed PER (Eq. 1) from the transmission log."""
     if not trace.transmissions:
-        raise ReproError("trace has no transmission log")
+        raise AnalysisError("trace has no transmission log")
     edges = _window_edges(trace.duration_s, window_s)
     times = np.array([t.tx_time_s for t in trace.transmissions])
     acked = np.array([t.acked for t in trace.transmissions])
@@ -74,7 +82,7 @@ def per_over_time(trace: LinkTrace, window_s: float = 1.0) -> MetricSeries:
 def goodput_over_time(trace: LinkTrace, window_s: float = 1.0) -> MetricSeries:
     """Windowed goodput (delivered payload bits per second)."""
     if not trace.packets:
-        raise ReproError("trace has no packets")
+        raise AnalysisError("trace has no packets")
     edges = _window_edges(trace.duration_s, window_s)
     n_windows = edges.size - 1
     bits = np.zeros(n_windows)
@@ -105,7 +113,7 @@ def delivery_ratio_over_time(
 ) -> MetricSeries:
     """Windowed fraction of generated packets eventually acknowledged."""
     if not trace.packets:
-        raise ReproError("trace has no packets")
+        raise AnalysisError("trace has no packets")
     edges = _window_edges(trace.duration_s, window_s)
     n_windows = edges.size - 1
     generated = np.zeros(n_windows)
@@ -142,7 +150,7 @@ def detect_degradation(
     Returns None when the series never degrades.
     """
     if min_count < 1:
-        raise ReproError(f"min_count must be >= 1, got {min_count!r}")
+        raise AnalysisError(f"min_count must be >= 1, got {min_count!r}")
     for t, value, count in zip(series.times_s, series.values, series.counts):
         if count < min_count or np.isnan(value):
             continue

@@ -20,6 +20,10 @@ from .dataset import CampaignDataset, _FORMAT
 from .runner import CampaignRunner
 from .summary import ConfigSummary
 
+__all__ = [
+    "run_campaign_checkpointed",
+]
+
 
 def _append_row(path: Path, summary: ConfigSummary) -> None:
     with path.open("a", encoding="utf-8") as fh:

@@ -19,6 +19,10 @@ import numpy as np
 from ..errors import DatasetError
 from .summary import ConfigSummary
 
+__all__ = [
+    "CampaignDataset",
+]
+
 _FORMAT = "repro-campaign-v1"
 
 

@@ -25,6 +25,10 @@ from .dataset import CampaignDataset
 from .runner import CampaignRunner
 from .summary import ConfigSummary
 
+__all__ = [
+    "run_campaign_parallel",
+]
+
 
 @dataclass(frozen=True)
 class _WorkerSpec:

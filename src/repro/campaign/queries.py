@@ -17,6 +17,14 @@ from ..errors import DatasetError
 from .dataset import CampaignDataset
 from .summary import ConfigSummary
 
+__all__ = [
+    "group_by",
+    "AggregateRow",
+    "aggregate",
+    "metric_vs_snr",
+    "best_configs",
+]
+
 _CONFIG_FIELDS = (
     "distance_m",
     "ptx_level",

@@ -36,6 +36,11 @@ from ..sim.simulator import SimulationOptions, simulate_link
 from .dataset import CampaignDataset
 from .summary import ConfigSummary
 
+__all__ = [
+    "CampaignRunner",
+    "run_reference_campaign",
+]
+
 _ENGINES = ("des", "fast")
 
 

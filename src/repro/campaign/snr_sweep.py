@@ -18,6 +18,12 @@ from ..channel.environment import Environment, HALLWAY_2012
 from ..errors import CampaignError
 from ..sim.fastlink import FastLink, FastLinkResult
 
+__all__ = [
+    "SweepPoint",
+    "sweep_snr_payload",
+    "points_as_arrays",
+]
+
 
 @dataclass(frozen=True)
 class SweepPoint:

@@ -16,6 +16,10 @@ from ..analysis.metrics import LinkMetrics
 from ..config import StackConfig
 from ..errors import DatasetError
 
+__all__ = [
+    "ConfigSummary",
+]
+
 
 @dataclass(frozen=True)
 class ConfigSummary:

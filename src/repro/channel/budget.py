@@ -16,6 +16,11 @@ from ..errors import ChannelError
 from ..radio import cc2420
 from .environment import Environment
 
+__all__ = [
+    "LinkBudgetRow",
+    "LinkBudget",
+]
+
 
 @dataclass(frozen=True)
 class LinkBudgetRow:

@@ -20,6 +20,12 @@ from .fading import HumanShadowingConfig
 from .noise import ConstantNoiseFloor, NoiseFloorModel
 from .pathloss import LogNormalShadowing
 
+__all__ = [
+    "Environment",
+    "HALLWAY_2012",
+    "QUIET_HALLWAY",
+]
+
 
 @dataclass(frozen=True)
 class Environment:

@@ -30,6 +30,11 @@ import numpy as np
 
 from ..errors import ChannelError
 
+__all__ = [
+    "HumanShadowingConfig",
+    "ShadowingProcess",
+]
+
 
 @dataclass(frozen=True)
 class HumanShadowingConfig:

@@ -25,6 +25,12 @@ from ..radio import cc2420, lqi as lqi_mod
 from .environment import Environment
 from .fading import ShadowingProcess
 
+__all__ = [
+    "ChannelSample",
+    "LinkChannel",
+    "TransmissionOutcome",
+]
+
 
 @dataclass(frozen=True)
 class ChannelSample:

@@ -20,6 +20,13 @@ import numpy as np
 
 from ..errors import ChannelError
 
+__all__ = [
+    "CONSTANT_NOISE_DBM",
+    "NoiseMode",
+    "NoiseFloorModel",
+    "ConstantNoiseFloor",
+]
+
 #: The constant noise floor the paper uses as the naive baseline (dBm).
 CONSTANT_NOISE_DBM = -95.0
 

@@ -24,10 +24,23 @@ import numpy as np
 
 from ..errors import ChannelError
 
-#: Path-loss exponent fitted by the paper.
+__all__ = [
+    "DEFAULT_PATH_LOSS_EXPONENT",
+    "DEFAULT_SHADOWING_SIGMA_DB",
+    "DEFAULT_REFERENCE_DISTANCE_M",
+    "DEFAULT_REFERENCE_LOSS_DB",
+    "CAMPAIGN_POSITION_OFFSETS_DB",
+    "LogNormalShadowing",
+    "fit_path_loss",
+]
+
+#: Path-loss exponent fitted by the paper. This is the defining site (the
+#: channel layer cannot import :mod:`repro.core`); ``core.constants``
+#: re-exports it as ``PATH_LOSS_EXPONENT`` for the model layer.
 DEFAULT_PATH_LOSS_EXPONENT = 2.19
 
-#: Shadowing deviation fitted by the paper (dB).
+#: Shadowing deviation fitted by the paper (dB); re-exported by
+#: ``core.constants`` as ``PATH_LOSS_SIGMA_DB``.
 DEFAULT_SHADOWING_SIGMA_DB = 3.2
 
 #: Reference distance (m).

@@ -11,6 +11,7 @@ Subcommands
 ``export-trace``  simulate one configuration and export its per-packet log
 ``link-budget``   SNR margins per power level and coverage distances
 ``sensitivity``   which stack parameters matter for which metric on a link
+``lint``          run the reprolint static-analysis rules over source paths
 """
 
 from __future__ import annotations
@@ -36,6 +37,11 @@ from .core.optimization import (
     snr_map_from_environment,
 )
 from .sim import SimulationOptions, simulate_link
+
+__all__ = [
+    "build_parser",
+    "main",
+]
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -299,7 +305,64 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .errors import LintError
+    from .lintkit import (
+        Linter,
+        all_rules,
+        filter_findings,
+        load_baseline,
+        render_json,
+        render_text,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name} ({rule.severity.value}): "
+                  f"{rule.description}")
+        return 0
+    select = None
+    if args.select:
+        select = {
+            rule_id.strip()
+            for chunk in args.select
+            for rule_id in chunk.split(",")
+            if rule_id.strip()
+        }
+        if not select:
+            print("error: --select was given but names no rule ids",
+                  file=sys.stderr)
+            return 2
+    try:
+        linter = Linter(select=select)
+        findings = linter.lint_paths([Path(p) for p in args.paths])
+        if args.write_baseline:
+            save_baseline(findings, Path(args.baseline))
+            print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+            return 0
+        grandfathered = []
+        if Path(args.baseline).is_file():
+            findings, grandfathered = filter_findings(
+                findings, load_baseline(Path(args.baseline))
+            )
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+        if grandfathered:
+            print(f"({len(grandfathered)} grandfathered finding(s) "
+                  f"suppressed by {args.baseline})")
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The ``wsnlink`` argument parser with all subcommands attached."""
     parser = argparse.ArgumentParser(
         prog="wsnlink",
         description=(
@@ -372,6 +435,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-max-tries", type=int, default=3)
     p.add_argument("--t-pkt-ms", type=float, default=50.0)
     p.set_defaults(func=_cmd_sensitivity)
+
+    p = sub.add_parser("lint", help="reprolint static analysis (RPR rules)")
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files or directories to lint (default: src/repro)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", action="append", metavar="RPR00x[,RPR00y]",
+                   help="run only these rule ids (repeatable)")
+    p.add_argument("--baseline", default="reprolint-baseline.json",
+                   help="baseline file of grandfathered findings")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write current findings to the baseline and exit")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

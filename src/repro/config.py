@@ -27,6 +27,16 @@ from typing import Dict, Iterator, Mapping, Sequence, Tuple
 
 from .errors import ConfigurationError
 
+__all__ = [
+    "VALID_PTX_LEVELS",
+    "MAX_PAYLOAD_BYTES",
+    "PACKETS_PER_CONFIG",
+    "StackConfig",
+    "ParameterSpace",
+    "TABLE_I_SPACE",
+    "SMOKE_SPACE",
+]
+
 #: Valid CC2420 PA_LEVEL register values used by the paper (odd steps of 4).
 VALID_PTX_LEVELS: Tuple[int, ...] = (3, 7, 11, 15, 19, 23, 27, 31)
 

@@ -18,6 +18,11 @@ from .energy_model import EnergyModel
 from .estimation import LinkStateEstimate, LinkStateEstimator
 from .goodput_model import GoodputModel
 
+__all__ = [
+    "AdaptationEvent",
+    "AdaptivePayloadTuner",
+]
+
 
 @dataclass(frozen=True)
 class AdaptationEvent:

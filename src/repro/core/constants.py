@@ -9,6 +9,35 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+# Re-exports: these paper constants are *defined* at the layer that owns
+# them (the stack config and the channel model) because this module sits
+# above both; they remain importable from here so the model layer has one
+# constants registry.
+from ..channel.pathloss import (  # noqa: F401  (re-export)
+    DEFAULT_PATH_LOSS_EXPONENT as PATH_LOSS_EXPONENT,
+    DEFAULT_SHADOWING_SIGMA_DB as PATH_LOSS_SIGMA_DB,
+)
+from ..config import MAX_PAYLOAD_BYTES  # noqa: F401  (re-export)
+from ..errors import ModelError
+
+__all__ = [
+    "ExpFitCoefficients",
+    "PER_FIT",
+    "NTRIES_FIT",
+    "PLR_RADIO_FIT",
+    "GREY_ZONE_LOW_DB",
+    "GREY_ZONE_HIGH_DB",
+    "LOW_IMPACT_SNR_DB",
+    "ENERGY_MAX_PAYLOAD_SNR_DB",
+    "GOODPUT_MAX_PAYLOAD_SNR_DB",
+    "NOISE_FLOOR_MEAN_DBM",
+    "TABLE_II_ROWS",
+    "TABLE_II_D_RETRY_MS",
+    "TABLE_IV_ROWS",
+    "CASE_STUDY_SNR_AT_PTX23_DB",
+    "CASE_STUDY_SNR_AT_PTX31_DB",
+]
+
 
 @dataclass(frozen=True)
 class ExpFitCoefficients:
@@ -19,9 +48,9 @@ class ExpFitCoefficients:
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:
-            raise ValueError(f"alpha must be positive, got {self.alpha!r}")
+            raise ModelError(f"alpha must be positive, got {self.alpha!r}")
         if self.beta >= 0:
-            raise ValueError(f"beta must be negative, got {self.beta!r}")
+            raise ModelError(f"beta must be negative, got {self.beta!r}")
 
 
 #: Eq. 3 — PER = α · l_D · exp(β · SNR); α = 0.0128, β = −0.15.
@@ -47,13 +76,6 @@ ENERGY_MAX_PAYLOAD_SNR_DB = 17.0
 
 #: SNR above which the maximum payload is goodput-optimal (Sec. VIII-A).
 GOODPUT_MAX_PAYLOAD_SNR_DB = 9.0
-
-#: Maximum payload size of the paper's radio stack (bytes).
-MAX_PAYLOAD_BYTES = 114
-
-#: Path-loss fit of Fig. 3.
-PATH_LOSS_EXPONENT = 2.19
-PATH_LOSS_SIGMA_DB = 3.2
 
 #: Average noise floor (dBm), Fig. 5.
 NOISE_FLOOR_MEAN_DBM = -95.0

@@ -12,9 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..config import StackConfig
+from ..config import MAX_PAYLOAD_BYTES, StackConfig
 from ..queueing import QueueingRegime, mg1_mean_wait_s, utilization
 from .service_time import ServiceTimeModel
+
+__all__ = [
+    "DelayEstimate",
+    "DelayModel",
+]
 
 
 @dataclass(frozen=True)
@@ -77,7 +82,7 @@ class DelayModel:
         return DelayEstimate(service_time_s=service, queueing_delay_s=wait, rho=rho)
 
     def max_stable_payload_bytes(
-        self, config: StackConfig, snr_db: float, max_payload: int = 114
+        self, config: StackConfig, snr_db: float, max_payload: int = MAX_PAYLOAD_BYTES
     ) -> int:
         """Largest payload keeping ρ < 1 at this link and inter-arrival time.
 

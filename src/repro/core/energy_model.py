@@ -22,11 +22,16 @@ from typing import Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..errors import ModelError
 from ..radio import cc2420
 from ..radio.frame import DATA_FRAME_OVERHEAD_BYTES
 from .constants import MAX_PAYLOAD_BYTES
 from .ntries_model import truncated_geometric_mean_tries
 from .per_model import PerModel
+
+__all__ = [
+    "EnergyModel",
+]
 
 
 @dataclass(frozen=True)
@@ -83,7 +88,7 @@ class EnergyModel:
         simulator's measured U_eng converges to.
         """
         if n_max_tries < 1:
-            raise ValueError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
+            raise ModelError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
         e_tx = cc2420.tx_energy_per_bit_j(ptx_level)
         per = float(self.per_model.per(payload_bytes, snr_db))
         if per >= 1.0:
@@ -109,7 +114,7 @@ class EnergyModel:
         enough that a closed-form search buys nothing.
         """
         if max_payload < 1:
-            raise ValueError(f"max_payload must be >= 1, got {max_payload!r}")
+            raise ModelError(f"max_payload must be >= 1, got {max_payload!r}")
         payloads = np.arange(1, max_payload + 1)
         u = self.u_eng_j_per_bit(ptx_level, payloads, snr_db)
         idx = int(np.argmin(u))
@@ -128,7 +133,7 @@ class EnergyModel:
         whose SNR just clears the payload's low-loss threshold.
         """
         if not snr_by_level:
-            raise ValueError("snr_by_level must not be empty")
+            raise ModelError("snr_by_level must not be empty")
         best_level: Optional[int] = None
         best_u = math.inf
         for level, snr in sorted(snr_by_level.items()):

@@ -25,6 +25,13 @@ from ..errors import ReproError
 from .per_model import PerModel
 from .zones import JointEffectZone, classify_snr
 
+__all__ = [
+    "EwmaEstimator",
+    "WindowedPerEstimator",
+    "LinkStateEstimate",
+    "LinkStateEstimator",
+]
+
 
 class EwmaEstimator:
     """EWMA of a scalar signal with EW variance tracking.

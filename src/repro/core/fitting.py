@@ -21,6 +21,14 @@ import numpy as np
 from ..errors import FittingError
 from .constants import ExpFitCoefficients
 
+__all__ = [
+    "FitResult",
+    "fit_exponential_family",
+    "fit_per_model",
+    "fit_ntries_model",
+    "fit_plr_radio_model",
+]
+
 try:  # scipy is a hard dependency of the package, but keep the import local.
     from scipy.optimize import curve_fit
 

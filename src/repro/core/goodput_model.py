@@ -17,9 +17,14 @@ from typing import Tuple
 
 import numpy as np
 
+from ..errors import ModelError
 from .constants import MAX_PAYLOAD_BYTES
 from .plr_model import PlrRadioModel
 from .service_time import ServiceTimeModel
+
+__all__ = [
+    "GoodputModel",
+]
 
 
 @dataclass(frozen=True)
@@ -81,7 +86,7 @@ class GoodputModel:
     ) -> Tuple[int, float]:
         """(payload, goodput bps) maximizing Eq. 4 at the given link."""
         if max_payload < 1:
-            raise ValueError(f"max_payload must be >= 1, got {max_payload!r}")
+            raise ModelError(f"max_payload must be >= 1, got {max_payload!r}")
         payloads = np.arange(1, max_payload + 1)
         goodput = self.max_goodput_bps(payloads, snr_db, n_max_tries, d_retry_ms)
         idx = int(np.argmax(goodput))

@@ -26,6 +26,11 @@ from .plr_model import PlrRadioModel, plr_queue_estimate
 from .service_time import ServiceTimeModel
 from .zones import classify_snr, in_grey_zone
 
+__all__ = [
+    "Recommendation",
+    "GuidelineEngine",
+]
+
 
 @dataclass(frozen=True)
 class Recommendation:

@@ -12,7 +12,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ModelError
 from .constants import NTRIES_FIT, ExpFitCoefficients
+
+__all__ = [
+    "NtriesModel",
+    "truncated_geometric_mean_tries",
+    "mean_tries_of_delivered",
+]
 
 
 @dataclass(frozen=True)
@@ -57,10 +64,10 @@ def truncated_geometric_mean_tries(per, n_max_tries: int):
     Vectorized over ``per``.
     """
     if n_max_tries < 1:
-        raise ValueError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
+        raise ModelError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
     p = np.asarray(per, dtype=float)
     if np.any((p < 0) | (p > 1)):
-        raise ValueError("per must be within [0, 1]")
+        raise ModelError("per must be within [0, 1]")
     with np.errstate(invalid="ignore", divide="ignore"):
         value = np.where(
             p >= 1.0,
@@ -77,10 +84,10 @@ def mean_tries_of_delivered(per, n_max_tries: int):
     ``E = Σ_{k=1..N} k (1−p) p^{k−1} / (1 − p^N)``.
     """
     if n_max_tries < 1:
-        raise ValueError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
+        raise ModelError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
     p = np.asarray(per, dtype=float)
     if np.any((p < 0) | (p >= 1)):
-        raise ValueError("per must be within [0, 1) for a delivered packet")
+        raise ModelError("per must be within [0, 1) for a delivered packet")
     k = np.arange(1, n_max_tries + 1, dtype=float)
     # Broadcast: p[..., None] against k.
     pk = p[..., None] ** (k - 1.0)

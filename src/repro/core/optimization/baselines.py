@@ -26,6 +26,15 @@ from .epsilon_constraint import Constraint, solve_epsilon_constraint
 from .evaluate import ConfigEvaluation, ModelEvaluator
 from .grid import TuningGrid, evaluate_grid
 
+__all__ = [
+    "TuningStrategy",
+    "power_tuning_baseline",
+    "retransmission_tuning_baseline",
+    "payload_tuning_baseline",
+    "literature_baselines",
+    "joint_tuning",
+]
+
 
 @dataclass(frozen=True)
 class TuningStrategy:

@@ -19,6 +19,13 @@ import numpy as np
 from ...errors import InfeasibleError, OptimizationError
 from .evaluate import ConfigEvaluation
 
+__all__ = [
+    "Constraint",
+    "solve_epsilon_constraint",
+    "sweep_epsilon",
+    "default_bounds_for",
+]
+
 
 @dataclass(frozen=True)
 class Constraint:

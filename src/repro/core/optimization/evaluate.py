@@ -23,6 +23,13 @@ from ..energy_model import EnergyModel
 from ..goodput_model import GoodputModel
 from ..plr_model import PlrRadioModel, plr_queue_estimate, plr_total_estimate
 
+__all__ = [
+    "snr_map_from_environment",
+    "snr_map_from_reference",
+    "ConfigEvaluation",
+    "ModelEvaluator",
+]
+
 
 def snr_map_from_environment(
     environment: Environment, distance_m: float

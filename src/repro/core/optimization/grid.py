@@ -16,6 +16,12 @@ from ...config import StackConfig, VALID_PTX_LEVELS
 from ...errors import OptimizationError
 from .evaluate import ConfigEvaluation, ModelEvaluator
 
+__all__ = [
+    "TuningGrid",
+    "evaluate_grid",
+    "best_by",
+]
+
 
 @dataclass(frozen=True)
 class TuningGrid:

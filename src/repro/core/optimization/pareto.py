@@ -12,6 +12,13 @@ from typing import Callable, List, Sequence, TypeVar
 
 from ...errors import OptimizationError
 
+__all__ = [
+    "T",
+    "dominates",
+    "pareto_front",
+    "knee_point",
+]
+
 T = TypeVar("T")
 
 

@@ -19,6 +19,15 @@ from ...config import StackConfig, VALID_PTX_LEVELS
 from ...errors import OptimizationError
 from .evaluate import ModelEvaluator
 
+__all__ = [
+    "DEFAULT_AXES",
+    "METRICS",
+    "ParameterSensitivity",
+    "analyze_sensitivity",
+    "rank_parameters",
+    "dominant_parameter",
+]
+
 #: Default per-parameter candidate values (the Table I axes).
 DEFAULT_AXES: Dict[str, Tuple] = {
     "ptx_level": VALID_PTX_LEVELS,

@@ -17,7 +17,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ...channel.environment import Environment, HALLWAY_2012
-from ...config import StackConfig
+from ...config import MAX_PAYLOAD_BYTES, StackConfig
 from ...errors import OptimizationError
 from ...radio import cc2420
 from ..constants import (
@@ -26,6 +26,17 @@ from ..constants import (
 )
 from .baselines import TuningStrategy, joint_tuning, literature_baselines
 from .evaluate import ModelEvaluator, snr_map_from_reference
+
+__all__ = [
+    "TradeoffPoint",
+    "case_study_base_config",
+    "case_study_snr_map",
+    "case_study_environment",
+    "run_case_study_models",
+    "run_case_study_simulation",
+    "paper_table_iv_points",
+    "joint_wins",
+]
 
 
 @dataclass(frozen=True)
@@ -59,7 +70,7 @@ def case_study_base_config(distance_m: float = 40.0) -> StackConfig:
         d_retry_ms=0.0,
         q_max=30,
         t_pkt_ms=30.0,
-        payload_bytes=114,
+        payload_bytes=MAX_PAYLOAD_BYTES,
     )
 
 
@@ -165,7 +176,7 @@ def paper_table_iv_points() -> List[TradeoffPoint]:
     points = []
     for name, (ptx, payload, tries, goodput, energy) in TABLE_IV_ROWS.items():
         config = case_study_base_config().with_updates(
-            ptx_level=ptx, payload_bytes=min(payload, 114), n_max_tries=tries
+            ptx_level=ptx, payload_bytes=min(payload, MAX_PAYLOAD_BYTES), n_max_tries=tries
         )
         points.append(
             TradeoffPoint(

@@ -18,6 +18,12 @@ from ...errors import OptimizationError
 from .evaluate import ConfigEvaluation
 from .pareto import pareto_front
 
+__all__ = [
+    "solve_weighted_sum",
+    "sweep_weights",
+    "weighted_points_on_pareto_front",
+]
+
 
 def _normalize(values: np.ndarray) -> np.ndarray:
     finite = values[np.isfinite(values)]

@@ -13,7 +13,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ModelError
 from .constants import PER_FIT, ExpFitCoefficients
+
+__all__ = [
+    "PerModel",
+]
 
 
 @dataclass(frozen=True)
@@ -53,9 +58,9 @@ class PerModel:
         guidelines to answer "how much SNR does a 114-byte packet need".
         """
         if not 0 < target_per <= 1:
-            raise ValueError(f"target_per must be in (0, 1], got {target_per!r}")
+            raise ModelError(f"target_per must be in (0, 1], got {target_per!r}")
         if payload_bytes < 1:
-            raise ValueError(f"payload_bytes must be >= 1, got {payload_bytes!r}")
+            raise ModelError(f"payload_bytes must be >= 1, got {payload_bytes!r}")
         return float(
             np.log(target_per / (self.coefficients.alpha * payload_bytes))
             / self.coefficients.beta

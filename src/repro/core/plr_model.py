@@ -12,8 +12,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ModelError
 from ..queueing import mm1k_blocking_probability
 from .constants import PLR_RADIO_FIT, ExpFitCoefficients
+
+__all__ = [
+    "PlrRadioModel",
+    "plr_queue_estimate",
+    "plr_total_estimate",
+]
 
 
 @dataclass(frozen=True)
@@ -40,7 +47,7 @@ class PlrRadioModel:
     def plr_radio(self, payload_bytes, snr_db, n_max_tries: int):
         """Probability a packet exhausts its attempt budget; vectorized."""
         if n_max_tries < 1:
-            raise ValueError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
+            raise ModelError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
         base = self.attempt_failure_probability(payload_bytes, snr_db)
         value = np.asarray(base, dtype=float) ** n_max_tries
         if np.ndim(payload_bytes) == 0 and np.ndim(snr_db) == 0:
@@ -56,7 +63,7 @@ class PlrRadioModel:
         (no budget achieves the target).
         """
         if not 0 < target_plr < 1:
-            raise ValueError(f"target_plr must be in (0, 1), got {target_plr!r}")
+            raise ModelError(f"target_plr must be in (0, 1), got {target_plr!r}")
         base = float(self.attempt_failure_probability(payload_bytes, snr_db))
         if base <= target_plr:
             return 1
@@ -76,7 +83,7 @@ def plr_queue_estimate(rho: float, q_max: int) -> float:
     validates.
     """
     if q_max < 1:
-        raise ValueError(f"q_max must be >= 1, got {q_max!r}")
+        raise ModelError(f"q_max must be >= 1, got {q_max!r}")
     return mm1k_blocking_probability(rho, q_max + 1)
 
 
@@ -90,5 +97,5 @@ def plr_total_estimate(
     """
     for name, value in (("plr_radio", plr_radio), ("plr_queue", plr_queue)):
         if not 0.0 <= value <= 1.0:
-            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+            raise ModelError(f"{name} must be in [0, 1], got {value!r}")
     return plr_queue + (1.0 - plr_queue) * plr_radio

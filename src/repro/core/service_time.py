@@ -28,9 +28,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ModelError
 from ..radio.timing import AttemptTimes
 from .ntries_model import NtriesModel, truncated_geometric_mean_tries
 from .per_model import PerModel
+
+__all__ = [
+    "ServiceTimeModel",
+]
 
 
 @dataclass(frozen=True)
@@ -54,9 +59,9 @@ class ServiceTimeModel:
     ) -> float:
         """Eqs. 5–6 verbatim for a known attempt count."""
         if n_tries < 1:
-            raise ValueError(f"n_tries must be >= 1, got {n_tries!r}")
+            raise ModelError(f"n_tries must be >= 1, got {n_tries!r}")
         if n_tries > n_max_tries:
-            raise ValueError(
+            raise ModelError(
                 f"n_tries {n_tries} exceeds the budget {n_max_tries}"
             )
         times = self.attempt_times(payload_bytes, d_retry_ms)
@@ -93,7 +98,7 @@ class ServiceTimeModel:
         except the final successful one ends in a full ACK wait.
         """
         if n_max_tries < 1:
-            raise ValueError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
+            raise ModelError(f"n_max_tries must be >= 1, got {n_max_tries!r}")
         times = self.attempt_times(payload_bytes, d_retry_ms)
         per = np.asarray(self.per_model.per(payload_bytes, snr_db), dtype=float)
         expected_n = truncated_geometric_mean_tries(per, n_max_tries)

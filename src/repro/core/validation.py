@@ -24,6 +24,12 @@ from .per_model import PerModel
 from .plr_model import PlrRadioModel
 from .service_time import ServiceTimeModel
 
+__all__ = [
+    "MetricValidation",
+    "ModelValidator",
+    "needs_refit",
+]
+
 
 @dataclass(frozen=True)
 class MetricValidation:

@@ -20,6 +20,15 @@ import enum
 
 from . import constants
 
+__all__ = [
+    "JointEffectZone",
+    "classify_snr",
+    "in_grey_zone",
+    "in_low_loss_zone",
+    "snr_margin_over_grey_zone",
+    "zone_boundaries_db",
+]
+
 
 class JointEffectZone(enum.Enum):
     """The three joint-effect zones of PER from Fig. 6(d)."""

@@ -7,6 +7,24 @@ while still letting programming errors (``TypeError`` and friends) surface.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "UnitsError",
+    "ModelError",
+    "AnalysisError",
+    "RadioError",
+    "ChannelError",
+    "SimulationError",
+    "SchedulerError",
+    "CampaignError",
+    "DatasetError",
+    "FittingError",
+    "OptimizationError",
+    "InfeasibleError",
+    "LintError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
@@ -18,6 +36,31 @@ class ConfigurationError(ReproError, ValueError):
     Raised, for example, when a :class:`repro.config.StackConfig` is built
     with a payload size exceeding the 114-byte stack maximum, or with an
     unknown CC2420 power level.
+    """
+
+
+class UnitsError(ReproError, ValueError):
+    """A unit conversion received a value outside its domain.
+
+    Subclasses :class:`ValueError` so callers validating plain numeric
+    domains (``linear_to_db(-1)``) keep working with generic handlers.
+    """
+
+
+class ModelError(ReproError, ValueError):
+    """An empirical-model evaluation was given out-of-domain parameters.
+
+    Covers the closed-form PER/N_tries/PLR/service-time/energy/goodput
+    models of ``repro.core``; subclasses :class:`ValueError` because these
+    are argument-domain violations.
+    """
+
+
+class AnalysisError(ReproError, ValueError):
+    """A metrics/statistics computation was asked for something undefined.
+
+    Examples: bootstrap over an empty sample, a variation coefficient of a
+    zero-mean series, or plotting an empty sparkline.
     """
 
 
@@ -55,3 +98,11 @@ class OptimizationError(ReproError):
 
 class InfeasibleError(OptimizationError):
     """No configuration in the search space satisfies the constraints."""
+
+
+class LintError(ReproError):
+    """The reprolint static-analysis engine was misconfigured or misused.
+
+    Raised for unknown rule ids, unreadable inputs, or malformed baseline
+    files — never for findings, which are data, not exceptions.
+    """

@@ -24,6 +24,11 @@ from ..channel.link import ChannelSample, LinkChannel
 from ..errors import ChannelError
 from ..radio import cc2420, lqi as lqi_mod
 
+__all__ = [
+    "GilbertElliottConfig",
+    "GilbertElliottChannel",
+]
+
 
 @dataclass(frozen=True)
 class GilbertElliottConfig:

@@ -27,6 +27,13 @@ from ..errors import SimulationError
 from ..mac.csma import CsmaParameters
 from ..radio.ber import BitErrorModel
 
+__all__ = [
+    "InterfererConfig",
+    "interfered_csma",
+    "CollidingBer",
+    "interfered_environment",
+]
+
 
 @dataclass(frozen=True)
 class InterfererConfig:

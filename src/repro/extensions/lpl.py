@@ -22,6 +22,12 @@ from ..radio import cc2420
 from ..config import StackConfig
 from ..core.service_time import ServiceTimeModel
 
+__all__ = [
+    "LplConfig",
+    "LplServiceTimeModel",
+    "LplEnergyModel",
+]
+
 
 @dataclass(frozen=True)
 class LplConfig:

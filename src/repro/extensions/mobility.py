@@ -21,6 +21,11 @@ from ..channel.link import ChannelSample, LinkChannel
 from ..errors import ChannelError
 from ..radio import cc2420, lqi as lqi_mod
 
+__all__ = [
+    "MobilityTrace",
+    "MobileLinkChannel",
+]
+
 
 @dataclass(frozen=True)
 class MobilityTrace:

@@ -1,0 +1,45 @@
+"""reprolint — repo-specific static analysis for the ``repro`` package.
+
+A self-contained AST-based invariant checker (stdlib only) enforcing the
+conventions the paper reproduction depends on:
+
+========  =====================================================
+RPR001    unit-suffix discipline (``_ms`` vs ``_s`` arithmetic)
+RPR002    determinism (no global RNG / wall clock outside sim/rng.py)
+RPR003    paper-constant duplication (re-hardcoded 0.224e-3, ...)
+RPR004    exception discipline (ReproError subclasses only)
+RPR005    public-API hygiene (__all__ + docstrings)
+========  =====================================================
+
+Run it as ``wsnlink lint [--format json] [--select RPR00x] paths...`` or
+programmatically via :func:`lint_paths`. Findings can be silenced inline
+with ``# reprolint: disable=RPR00x`` or grandfathered in a committed
+baseline file (``reprolint-baseline.json``); the repo keeps that baseline
+empty. See ``docs/LINTS.md`` for the full rule catalogue.
+"""
+
+from __future__ import annotations
+
+from .baseline import filter_findings, load_baseline, save_baseline
+from .engine import PARSE_ERROR_RULE_ID, Linter, iter_python_files, lint_paths
+from .findings import Finding, Severity
+from .report import render_json, render_text
+from .rules import FileContext, Rule, all_rules, register
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "FileContext",
+    "Rule",
+    "Linter",
+    "PARSE_ERROR_RULE_ID",
+    "all_rules",
+    "register",
+    "lint_paths",
+    "iter_python_files",
+    "render_text",
+    "render_json",
+    "load_baseline",
+    "save_baseline",
+    "filter_findings",
+]

@@ -1,0 +1,78 @@
+"""Baseline files: grandfather existing findings, block new ones.
+
+A baseline is a committed JSON document listing findings that predate the
+linter. ``filter_findings`` removes exactly one finding per baseline entry
+(matching on the line-independent :meth:`Finding.key`), so a *new* second
+occurrence of a grandfathered violation is still reported. The repo's goal
+state — enforced by ``tests/test_lintkit.py`` — is an **empty** baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from ..errors import LintError
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "save_baseline",
+    "filter_findings",
+]
+
+#: Schema version written into baseline files.
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter:
+    """Multiset of grandfathered finding keys from a baseline file."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(document, dict) or "findings" not in document:
+        raise LintError(f"baseline {path} has no 'findings' list")
+    keys: Counter = Counter()
+    for row in document["findings"]:
+        try:
+            keys[(row["path"], row["rule"], row["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise LintError(f"malformed baseline entry {row!r}") from exc
+    return keys
+
+
+def save_baseline(findings: Iterable[Finding], path: Path) -> None:
+    """Write ``findings`` as the new grandfathered baseline."""
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": f.path, "rule": f.rule_id, "message": f.message}
+            for f in sorted(
+                findings, key=lambda f: (f.path, f.rule_id, f.line, f.col)
+            )
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def filter_findings(
+    findings: Iterable[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, grandfathered)`` against ``baseline``."""
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

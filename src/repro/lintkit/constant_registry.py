@@ -1,0 +1,169 @@
+"""Registry of the paper's named numeric constants (RPR003's ground truth).
+
+The registry is built by statically parsing the modules that pin the paper's
+published values — ``radio/timing.py``, ``radio/cc2420.py`` and
+``core/constants.py`` — so the linter never imports the runtime package it
+is checking. Two literal shapes are collected:
+
+* module-level ``UPPER_CASE = <number>`` assignments (optionally negated),
+  e.g. ``TURNAROUND_TIME_S = 0.224e-3``;
+* numeric keyword arguments of module-level constructor calls, e.g. the
+  ``alpha=0.0128`` inside ``PER_FIT = ExpFitCoefficients(alpha=0.0128, ...)``,
+  registered as ``PER_FIT.alpha``.
+
+Only **distinctive** values (at least three significant decimal digits) are
+kept: flagging every ``5.0`` that happens to equal ``GREY_ZONE_LOW_DB``
+would bury real duplications such as a re-hardcoded ``8.192e-3`` in noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "RegisteredConstant",
+    "REGISTRY_MODULES",
+    "MIN_SIGNIFICANT_DIGITS",
+    "significant_digits",
+    "is_distinctive",
+    "load_registry",
+    "match_constant",
+]
+
+#: Package-relative modules whose constants populate the registry. The
+#: first three are the canonical registries named in the rule docs; the
+#: path-loss module joins them because the channel layer is where the
+#: Fig. 3 fit is *defined* (``core.constants`` only re-exports it).
+REGISTRY_MODULES: Tuple[str, ...] = (
+    "radio/timing.py",
+    "radio/cc2420.py",
+    "core/constants.py",
+    "channel/pathloss.py",
+)
+
+#: Values with fewer significant decimal digits than this are too common to
+#: police (0.02, 3.2, 114, ...) and are left to human review.
+MIN_SIGNIFICANT_DIGITS = 3
+
+
+@dataclass(frozen=True)
+class RegisteredConstant:
+    """One named paper constant and where it is defined."""
+
+    name: str
+    value: float
+    module: str
+
+
+def significant_digits(value: float) -> int:
+    """Number of significant decimal digits in ``value``.
+
+    >>> significant_digits(0.224e-3)
+    3
+    >>> significant_digits(250_000)
+    2
+    """
+    if value == 0:
+        return 0
+    text = repr(abs(float(value)))
+    if "e" in text or "E" in text:
+        text = text.split("e")[0].split("E")[0]
+    digits = text.replace(".", "").strip("0")
+    return len(digits)
+
+
+def is_distinctive(value: float) -> bool:
+    """Whether ``value`` is specific enough to attribute to the paper."""
+    return significant_digits(value) >= MIN_SIGNIFICANT_DIGITS
+
+
+def _literal_value(node: ast.expr) -> Optional[float]:
+    """The numeric value of a literal (or negated literal), else ``None``."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_value(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+def _iter_module_constants(
+    tree: ast.Module, module: str
+) -> Iterator[RegisteredConstant]:
+    for stmt in tree.body:
+        targets = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            continue
+        literal = _literal_value(value)
+        if literal is not None:
+            for name in names:
+                if name.isupper():
+                    yield RegisteredConstant(name, literal, module)
+            continue
+        if isinstance(value, ast.Call):
+            for keyword in value.keywords:
+                if keyword.arg is None:
+                    continue
+                kw_value = _literal_value(keyword.value)
+                if kw_value is not None:
+                    for name in names:
+                        if name.isupper():
+                            yield RegisteredConstant(
+                                f"{name}.{keyword.arg}", kw_value, module
+                            )
+
+
+_CACHE: Dict[Path, Tuple[RegisteredConstant, ...]] = {}
+
+
+def load_registry(package_root: Path) -> Tuple[RegisteredConstant, ...]:
+    """All distinctive constants found under ``package_root`` (cached)."""
+    package_root = package_root.resolve()
+    if package_root not in _CACHE:
+        constants = []
+        for module in REGISTRY_MODULES:
+            path = package_root / module
+            if not path.is_file():
+                continue
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            constants.extend(
+                c for c in _iter_module_constants(tree, module) if is_distinctive(c.value)
+            )
+        _CACHE[package_root] = tuple(constants)
+    return _CACHE[package_root]
+
+
+def match_constant(
+    value: float,
+    registry: Tuple[RegisteredConstant, ...],
+    rel_tol: float = 1e-6,
+) -> Optional[RegisteredConstant]:
+    """The registered constant that ``value`` duplicates, if any.
+
+    Matching is sign-insensitive (negative literals parse as ``USub`` around
+    a positive constant) and uses a relative tolerance so ``0.000224``
+    matches ``0.224e-3`` exactly but not ``0.225e-3``.
+    """
+    magnitude = abs(float(value))
+    if magnitude == 0:
+        return None
+    for constant in registry:
+        reference = abs(constant.value)
+        if reference == 0:
+            continue
+        if abs(magnitude - reference) <= rel_tol * reference:
+            return constant
+    return None

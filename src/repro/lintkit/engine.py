@@ -1,0 +1,126 @@
+"""The reprolint engine: file discovery, parsing, rule dispatch, filtering.
+
+The engine is deliberately boring: collect ``.py`` files, parse each once,
+run every selected rule over the shared :class:`FileContext`, drop findings
+silenced by inline suppressions, and sort what remains. Baseline handling
+and reporting live in their own modules; the CLI composes the pieces.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+from ..errors import LintError
+from .findings import Finding, Severity
+from .rules import FileContext, Rule, all_rules
+from .suppressions import parse_suppressions
+
+__all__ = [
+    "PARSE_ERROR_RULE_ID",
+    "Linter",
+    "iter_python_files",
+    "lint_paths",
+]
+
+#: Pseudo rule id reported when a file cannot be parsed at all.
+PARSE_ERROR_RULE_ID = "RPR000"
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files or directories), sorted."""
+    seen: Set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise LintError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+class Linter:
+    """Run a set of rules over files and return unsuppressed findings."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Type[Rule]]] = None,
+        select: Optional[Iterable[str]] = None,
+    ) -> None:
+        available = list(rules) if rules is not None else all_rules()
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - {rule.rule_id for rule in available}
+            if unknown:
+                raise LintError(
+                    f"unknown rule id(s): {', '.join(sorted(unknown))}"
+                )
+            available = [r for r in available if r.rule_id in wanted]
+        self.rules: List[Rule] = [rule_cls() for rule_cls in available]
+
+    @staticmethod
+    def _package_relpath(path: Path) -> str:
+        """Path of ``path`` relative to its enclosing ``repro`` package."""
+        parts = path.resolve().parts
+        for index in range(len(parts) - 1, 0, -1):
+            if parts[index - 1] == "repro":
+                return "/".join(parts[index:])
+        return ""
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        """Findings for one file, already suppression-filtered and sorted."""
+        display = str(path)
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule_id=PARSE_ERROR_RULE_ID,
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        ctx = FileContext(
+            path=display,
+            package_relpath=self._package_relpath(Path(path)),
+            tree=tree,
+            source=source,
+        )
+        suppressions = parse_suppressions(source)
+        findings = [
+            finding
+            for rule in self.rules
+            for finding in rule.check(ctx)
+            if not suppressions.is_suppressed(finding)
+        ]
+        findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+        return findings
+
+    def lint_paths(self, paths: Iterable[Path]) -> List[Finding]:
+        """Findings for every python file under ``paths``, in path order."""
+        findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            findings.extend(self.lint_file(path))
+        return findings
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Convenience wrapper: lint ``paths`` with the default rule set."""
+    return Linter(select=select).lint_paths(paths)

@@ -1,0 +1,69 @@
+"""Finding and severity types shared by every reprolint rule.
+
+A :class:`Finding` is one violation at one source location. Findings are
+value objects: the tuple ``(path, rule_id, message)`` identifies a finding
+for baseline matching (line numbers churn too much to key on), while the
+full record carries the location for reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = [
+    "Severity",
+    "Finding",
+]
+
+
+class Severity(enum.Enum):
+    """How serious a finding is; ``ERROR`` findings should block a merge."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Numeric ordering: higher is more severe."""
+        return {"warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location in one file."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+    suggestion: str = field(default="")
+
+    def key(self) -> Tuple[str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.path, self.rule_id, self.message)
+
+    def format(self) -> str:
+        """Render as a classic ``path:line:col: RULE severity: message`` line."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity.value}: {self.message}"
+        )
+        if self.suggestion:
+            text += f" [{self.suggestion}]"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable record (the JSON reporter's row schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }

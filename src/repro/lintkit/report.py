@@ -1,0 +1,60 @@
+"""Text and JSON reporters for reprolint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .findings import Finding, Severity
+
+__all__ = [
+    "REPORT_VERSION",
+    "render_text",
+    "render_json",
+]
+
+#: Schema version of the JSON report envelope.
+REPORT_VERSION = 1
+
+
+def _summary(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts = {severity.value: 0 for severity in Severity}
+    for finding in findings:
+        counts[finding.severity.value] += 1
+    return counts
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary line."""
+    lines: List[str] = [finding.format() for finding in findings]
+    if findings:
+        counts = _summary(findings)
+        per_rule: Dict[str, int] = {}
+        for finding in findings:
+            per_rule[finding.rule_id] = per_rule.get(finding.rule_id, 0) + 1
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(per_rule.items())
+        )
+        lines.append(
+            f"found {len(findings)} problem(s) "
+            f"({counts['error']} error(s), {counts['warning']} warning(s)) "
+            f"[{breakdown}]"
+        )
+    else:
+        lines.append("no problems found")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report with a stable envelope schema.
+
+    The envelope is ``{"version", "count", "summary", "findings"}`` where
+    each finding row follows :meth:`Finding.to_dict`.
+    """
+    document = {
+        "version": REPORT_VERSION,
+        "count": len(findings),
+        "summary": _summary(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,24 @@
+"""Rule registry: importing this package registers RPR001–RPR005.
+
+Each rule lives in its own module named after its id; new rules register
+themselves via the :func:`repro.lintkit.rules.base.register` decorator and
+become visible to the engine, the CLI ``--select`` filter, and the docs.
+"""
+
+from __future__ import annotations
+
+from .base import FileContext, Rule, all_rules, register
+from . import (  # noqa: F401  (imported for their registration side effect)
+    rpr001_units,
+    rpr002_determinism,
+    rpr003_constants,
+    rpr004_exceptions,
+    rpr005_api,
+)
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "register",
+]

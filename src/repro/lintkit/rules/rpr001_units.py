@@ -1,0 +1,241 @@
+"""RPR001 — unit-suffix discipline.
+
+The library's dimensional convention (see ``repro.units``) is carried in
+identifier suffixes: ``_s``/``_ms``/``_us`` for time, ``_dbm``/``_db``/
+``_mw``/``_w`` for power, ``_bytes``/``_bits`` for data, and so on. This
+rule flags:
+
+* additive arithmetic (``+``/``-``) or comparisons whose two operands carry
+  conflicting unit suffixes — either different scales of the same dimension
+  (``t_ms + d_s``) or different dimensions outright (``t_s > n_bytes``).
+  Multiplication and division are exempt (they *produce* new units), and the
+  log-domain pair ``_db``/``_dbm`` is explicitly allowed because adding a dB
+  gain to a dBm power is how link budgets work;
+* public module-level functions taking a ``float`` parameter whose name
+  names a physical quantity (``delay``, ``power``, ``distance``, ...) but
+  carries no recognized unit suffix — the reader cannot know whether a bare
+  ``timeout`` is seconds or milliseconds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional, Tuple
+
+from ..findings import Finding, Severity
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "UNIT_DIMENSIONS",
+    "ALLOWED_MIXES",
+    "QUANTITY_STEMS",
+    "unit_suffix",
+    "has_unit_suffix",
+    "UnitSuffixRule",
+]
+
+#: Recognized unit suffix -> physical dimension.
+UNIT_DIMENSIONS = {
+    "s": "time",
+    "ms": "time",
+    "us": "time",
+    "ns": "time",
+    "dbm": "power",
+    "db": "power",
+    "mw": "power",
+    "w": "power",
+    "bytes": "data",
+    "bits": "data",
+    "bps": "rate",
+    "kbps": "rate",
+    "j": "energy",
+    "uj": "energy",
+    "mj": "energy",
+    "hz": "frequency",
+    "khz": "frequency",
+    "mhz": "frequency",
+    "m": "length",
+    "km": "length",
+    "v": "voltage",
+    "a": "current",
+    "ma": "current",
+    "k": "temperature",
+}
+
+#: Unit pairs that may legitimately mix in additive arithmetic: dB ratios
+#: compose with dBm absolute powers in the log domain.
+ALLOWED_MIXES: FrozenSet[FrozenSet[str]] = frozenset(
+    {frozenset({"db", "dbm"})}
+)
+
+#: Name fragments that denote a dimensioned physical quantity. A public
+#: ``float`` parameter containing one of these must carry a unit suffix.
+QUANTITY_STEMS: FrozenSet[str] = frozenset(
+    {
+        "time",
+        "delay",
+        "duration",
+        "timeout",
+        "power",
+        "distance",
+        "rate",
+        "energy",
+        "bandwidth",
+        "backoff",
+        "period",
+        "interval",
+        "frequency",
+        "rssi",
+        "snr",
+        "noise",
+        "current",
+        "voltage",
+        "temperature",
+    }
+)
+
+
+def unit_suffix(identifier: str) -> Optional[str]:
+    """The recognized plain unit suffix of ``identifier``, if it has one.
+
+    Only multi-token names qualify (``t_ms`` yes, a bare loop variable
+    ``s`` no), so short mathematical names are never misread as units.
+    Compound per-unit names (``..._uj_per_bit``) return ``None`` here —
+    they carry a unit but do not participate in plain-suffix conflict
+    checks; see :func:`has_unit_suffix`.
+    """
+    parts = identifier.lower().split("_")
+    if len(parts) < 2:
+        return None
+    suffix = parts[-1]
+    return suffix if suffix in UNIT_DIMENSIONS else None
+
+
+def has_unit_suffix(identifier: str) -> bool:
+    """Whether ``identifier`` carries a plain or compound unit suffix.
+
+    Compound form: ``<unit>_per_<anything>`` (``energy_uj_per_bit``,
+    ``cost_j_per_k``).
+    """
+    if unit_suffix(identifier) is not None:
+        return True
+    parts = identifier.lower().split("_")
+    return (
+        len(parts) >= 3
+        and parts[-2] == "per"
+        and parts[-3] in UNIT_DIMENSIONS
+    )
+
+
+def _operand_suffix(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return unit_suffix(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_suffix(node.attr)
+    return None
+
+
+def _conflict(left: str, right: str) -> Optional[str]:
+    """A human-readable description of the unit conflict, or ``None``."""
+    if left == right:
+        return None
+    if frozenset({left, right}) in ALLOWED_MIXES:
+        return None
+    dim_left = UNIT_DIMENSIONS[left]
+    dim_right = UNIT_DIMENSIONS[right]
+    if dim_left == dim_right:
+        return f"mixes {dim_left} scales _{left} and _{right}"
+    return f"mixes dimensions {dim_left} (_{left}) and {dim_right} (_{right})"
+
+
+def _is_float_annotation(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "float"
+    if isinstance(annotation, ast.Constant):
+        return annotation.value == "float"
+    return False
+
+
+@register
+class UnitSuffixRule(Rule):
+    """Flag arithmetic across conflicting unit suffixes and unitless params."""
+
+    rule_id = "RPR001"
+    name = "unit-suffix-discipline"
+    severity = Severity.ERROR
+    description = (
+        "additive arithmetic/comparison must not mix identifiers with "
+        "conflicting unit suffixes, and public float parameters naming a "
+        "physical quantity must carry a unit suffix"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(ctx, node, node.left, node.right)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    # Membership/identity tests compare against containers
+                    # and sentinels, not quantities of the same dimension.
+                    if isinstance(op, (ast.In, ast.NotIn, ast.Is, ast.IsNot)):
+                        continue
+                    yield from self._check_pair(ctx, node, left, right)
+        for func in ctx.tree.body:
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not func.name.startswith("_"):
+                    yield from self._check_parameters(ctx, func)
+
+    def _check_pair(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+    ) -> Iterator[Finding]:
+        suffix_left = _operand_suffix(left)
+        suffix_right = _operand_suffix(right)
+        if suffix_left is None or suffix_right is None:
+            return
+        conflict = _conflict(suffix_left, suffix_right)
+        if conflict is not None:
+            yield ctx.finding(
+                self,
+                node,
+                f"unit conflict: expression {conflict}",
+                suggestion="convert one operand (see repro.units) so both "
+                "sides share a suffix",
+            )
+
+    def _check_parameters(
+        self, ctx: FileContext, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        args: Tuple[ast.arg, ...] = tuple(
+            list(func.args.posonlyargs)
+            + list(func.args.args)
+            + list(func.args.kwonlyargs)
+        )
+        for arg in args:
+            if arg.arg in ("self", "cls") or arg.arg.startswith("_"):
+                continue
+            if not _is_float_annotation(arg.annotation):
+                continue
+            if has_unit_suffix(arg.arg):
+                continue
+            tokens = set(arg.arg.lower().split("_"))
+            stems = tokens & QUANTITY_STEMS
+            if stems:
+                stem = sorted(stems)[0]
+                yield ctx.finding(
+                    self,
+                    arg,
+                    f"float parameter {arg.arg!r} of public function "
+                    f"{func.name!r} names a physical quantity ({stem}) but "
+                    f"has no unit suffix",
+                    suggestion="rename with the unit it carries, "
+                    "e.g. _s, _ms, _dbm, _bytes",
+                )

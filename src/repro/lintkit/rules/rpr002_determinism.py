@@ -1,0 +1,157 @@
+"""RPR002 — determinism discipline.
+
+Reproducible campaigns require every stochastic draw to flow from a named,
+seeded stream (``repro.sim.rng.RngStreams``). This rule forbids, anywhere
+under ``src/repro`` except the sanctioned ``sim/rng.py``:
+
+* calls into the stdlib ``random`` module (global Mersenne state);
+* numpy global-state calls (``np.random.seed``, ``np.random.rand``, ... and
+  the legacy ``np.random.RandomState``) — the explicit-generator API
+  (``default_rng``, ``SeedSequence``, ``Generator``) remains allowed;
+* wall-clock reads: ``time.time``/``time.time_ns`` and
+  ``datetime.now``/``utcnow``/``today``.
+
+Import aliases are resolved from the file's own import statements, so
+``import numpy.random as nr; nr.seed(0)`` is still caught.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+
+from ..findings import Finding, Severity
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "ALLOWED_NUMPY_RANDOM",
+    "SANCTIONED_MODULES",
+    "DeterminismRule",
+]
+
+#: numpy.random attributes that are explicit-generator plumbing, not global
+#: state, and therefore always allowed.
+ALLOWED_NUMPY_RANDOM: FrozenSet[str] = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Package-relative files where raw RNG plumbing is the point.
+SANCTIONED_MODULES: FrozenSet[str] = frozenset({"sim/rng.py"})
+
+#: Dotted wall-clock calls that break trace reproducibility.
+_WALL_CLOCK: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local alias -> canonical dotted module/name for relevant imports."""
+    aliases: Dict[str, str] = {}
+    interesting = ("random", "numpy", "time", "datetime")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                root = name.name.split(".")[0]
+                if root in interesting:
+                    local = name.asname or name.name.split(".")[0]
+                    aliases[local] = name.name if name.asname else root
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            root = node.module.split(".")[0]
+            if root in interesting:
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    local = name.asname or name.name
+                    aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _dotted_name(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+@register
+class DeterminismRule(Rule):
+    """Forbid global-state RNG and wall-clock reads outside ``sim/rng.py``."""
+
+    rule_id = "RPR002"
+    name = "determinism"
+    severity = Severity.ERROR
+    description = (
+        "no stdlib random, numpy global-state RNG, or wall-clock reads "
+        "outside the sanctioned sim/rng.py; use seeded RngStreams"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.package_relpath in SANCTIONED_MODULES:
+            return
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            resolved = aliases.get(dotted[0])
+            if resolved is None:
+                continue
+            canonical = ".".join(resolved.split(".") + list(dotted[1:]))
+            message = self._violation(canonical)
+            if message is not None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    message,
+                    suggestion="draw from a named RngStreams stream "
+                    "(repro.sim.rng) or pass timestamps in explicitly",
+                )
+
+    @staticmethod
+    def _violation(canonical: str) -> Optional[str]:
+        """Message for a banned dotted call, or ``None`` when allowed."""
+        parts = canonical.split(".")
+        if parts[0] == "random" and len(parts) >= 2:
+            return (
+                f"call to stdlib global-state RNG '{canonical}' breaks "
+                f"reproducibility"
+            )
+        if parts[:2] == ["numpy", "random"] and len(parts) >= 3:
+            if parts[2] not in ALLOWED_NUMPY_RANDOM:
+                return (
+                    f"call to numpy global-state RNG '{canonical}' breaks "
+                    f"reproducibility"
+                )
+            return None
+        if canonical in _WALL_CLOCK:
+            return (
+                f"wall-clock read '{canonical}()' makes runs "
+                f"non-reproducible"
+            )
+        return None

@@ -1,0 +1,65 @@
+"""RPR003 — paper-constant duplication.
+
+The paper's measured and fitted values (T_TR = 0.224 ms, T_waitACK =
+8.192 ms, the Eq. 3 coefficients, the CC2420 datasheet currents, ...) are
+pinned once in ``radio/timing.py``, ``radio/cc2420.py`` and
+``core/constants.py``. A numeric literal elsewhere in the package that
+reproduces one of those distinctive values is almost certainly a silent
+re-hardcoding that will drift when the registry is recalibrated — it must
+reference the named constant instead.
+
+The registry is built statically (see ``repro.lintkit.constant_registry``)
+and matching uses a relative tolerance, so ``0.000224`` and ``2.24e-4``
+both resolve to ``TURNAROUND_TIME_S``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..constant_registry import load_registry, match_constant
+from ..findings import Finding, Severity
+from .base import FileContext, Rule, package_root, register
+from ..constant_registry import REGISTRY_MODULES
+
+__all__ = [
+    "PaperConstantRule",
+]
+
+
+@register
+class PaperConstantRule(Rule):
+    """Flag numeric literals that duplicate a registered paper constant."""
+
+    rule_id = "RPR003"
+    name = "paper-constant-duplication"
+    severity = Severity.ERROR
+    description = (
+        "numeric literals matching a registered paper constant must "
+        "reference the named constant from radio/timing.py, "
+        "radio/cc2420.py, or core/constants.py"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.package_relpath in REGISTRY_MODULES:
+            return
+        registry = load_registry(package_root())
+        if not registry:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            if not isinstance(node.value, (int, float)) or isinstance(
+                node.value, bool
+            ):
+                continue
+            matched = match_constant(float(node.value), registry)
+            if matched is not None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"literal {node.value!r} duplicates paper constant "
+                    f"{matched.name} defined in {matched.module}",
+                    suggestion=f"import and use {matched.name}",
+                )

@@ -1,0 +1,110 @@
+"""RPR004 — exception discipline.
+
+Everything the library raises must derive from :class:`repro.errors.ReproError`
+so applications can catch library failures with one handler (the contract
+documented in ``errors.py`` and pinned by ``tests/test_errors.py``). A bare
+``raise ValueError(...)`` silently escapes that net.
+
+The allowed class names are read statically from ``errors.py`` — adding a
+new subclass there automatically teaches the rule about it. A small set of
+structural builtins (``NotImplementedError`` for abstract methods,
+``StopIteration``, ``SystemExit``) stays permitted, and raises of
+unresolvable expressions (``raise exc``) are ignored: the rule only judges
+names it can prove are builtin exception types.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, Optional
+
+from ..findings import Finding, Severity
+from .base import FileContext, Rule, package_root, register
+
+__all__ = [
+    "ALLOWED_BUILTINS",
+    "repro_error_names",
+    "ExceptionDisciplineRule",
+]
+
+#: Builtin exceptions that remain legitimate to raise directly.
+ALLOWED_BUILTINS: FrozenSet[str] = frozenset(
+    {
+        "NotImplementedError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "SystemExit",
+        "KeyboardInterrupt",
+    }
+)
+
+_BUILTIN_EXCEPTIONS: FrozenSet[str] = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+_CACHE: Dict[Path, FrozenSet[str]] = {}
+
+
+def repro_error_names(root: Path) -> FrozenSet[str]:
+    """Class names defined in the package's ``errors.py`` (cached)."""
+    root = root.resolve()
+    if root not in _CACHE:
+        errors_path = root / "errors.py"
+        names = set()
+        if errors_path.is_file():
+            tree = ast.parse(errors_path.read_text(encoding="utf-8"))
+            names = {
+                stmt.name
+                for stmt in tree.body
+                if isinstance(stmt, ast.ClassDef)
+            }
+        _CACHE[root] = frozenset(names)
+    return _CACHE[root]
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    target = node.exc
+    if isinstance(target, ast.Call):
+        target = target.func
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+@register
+class ExceptionDisciplineRule(Rule):
+    """Require every ``raise`` to use a ReproError subclass."""
+
+    rule_id = "RPR004"
+    name = "exception-discipline"
+    severity = Severity.ERROR
+    description = (
+        "raise statements must use a ReproError subclass from errors.py, "
+        "not bare builtins like ValueError/TypeError/RuntimeError"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        allowed = repro_error_names(package_root()) | ALLOWED_BUILTINS
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = _raised_name(node)
+            if name is None or name in allowed:
+                continue
+            if name in _BUILTIN_EXCEPTIONS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"raise of builtin {name!r} escapes the ReproError "
+                    f"hierarchy",
+                    suggestion="raise the matching ReproError subclass "
+                    "(repro.errors); subclass ValueError there if callers "
+                    "rely on it",
+                )

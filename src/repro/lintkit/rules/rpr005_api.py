@@ -1,0 +1,165 @@
+"""RPR005 — public-API hygiene.
+
+Every module under ``src/repro`` must state its public surface explicitly:
+
+* a top-level ``__all__`` of string literals must exist;
+* every ``__all__`` entry must be a name actually defined or imported at
+  module top level (no phantom exports);
+* every public function or class *defined* at top level must be listed in
+  ``__all__`` (constants may be exported but are not required to be);
+* the module, and each public top-level function and class, must carry a
+  docstring.
+
+An explicit ``__all__`` keeps ``from module import *`` sane, documents
+intent, and lets the API docs stay honest about what is supported.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding, Severity
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "parse_dunder_all",
+    "top_level_names",
+    "PublicApiRule",
+]
+
+
+def parse_dunder_all(
+    tree: ast.Module,
+) -> Tuple[Optional[ast.stmt], Optional[List[str]]]:
+    """The ``__all__`` assignment node and its entries, when parseable.
+
+    Returns ``(node, entries)``; ``node`` is ``None`` when no ``__all__``
+    exists, and ``entries`` is ``None`` when the assignment is not a plain
+    list/tuple of string literals (dynamic ``__all__`` is not checkable).
+    """
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(el, ast.Constant) and isinstance(el.value, str)
+            for el in value.elts
+        ):
+            return stmt, [el.value for el in value.elts]
+        return stmt, None
+    return None, None
+
+
+def top_level_names(tree: ast.Module) -> Tuple[Set[str], Set[str]]:
+    """``(defined, imported)`` top-level names of a module."""
+    defined: Set[str] = set()
+    imported: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(stmt.name)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    defined.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    defined.update(
+                        el.id for el in target.elts if isinstance(el, ast.Name)
+                    )
+        elif isinstance(stmt, ast.Import):
+            imported.update(
+                (name.asname or name.name.split(".")[0]) for name in stmt.names
+            )
+        elif isinstance(stmt, ast.ImportFrom):
+            imported.update(
+                (name.asname or name.name)
+                for name in stmt.names
+                if name.name != "*"
+            )
+    return defined, imported
+
+
+@register
+class PublicApiRule(Rule):
+    """Require an honest ``__all__`` and docstrings on the public surface."""
+
+    rule_id = "RPR005"
+    name = "public-api-hygiene"
+    severity = Severity.WARNING
+    description = (
+        "modules must define __all__ consistent with their top-level "
+        "names, and public modules/functions/classes need docstrings"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tree = ctx.tree
+        all_node, entries = parse_dunder_all(tree)
+        defined, imported = top_level_names(tree)
+        known = defined | imported
+
+        if all_node is None:
+            yield ctx.finding(
+                self,
+                tree.body[0] if tree.body else tree,
+                "module does not define __all__",
+                suggestion="add __all__ listing the public functions, "
+                "classes and constants",
+            )
+        elif entries is None:
+            yield ctx.finding(
+                self,
+                all_node,
+                "__all__ is not a plain list/tuple of string literals",
+                suggestion="use a literal list so tools can verify it",
+            )
+        else:
+            for entry in entries:
+                if entry not in known:
+                    yield ctx.finding(
+                        self,
+                        all_node,
+                        f"__all__ exports {entry!r} which is not defined "
+                        f"or imported at top level",
+                    )
+            listed = set(entries)
+            for stmt in tree.body:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    if stmt.name.startswith("_") or stmt.name in listed:
+                        continue
+                    yield ctx.finding(
+                        self,
+                        stmt,
+                        f"public {type(stmt).__name__.replace('Def', '').lower()} "
+                        f"{stmt.name!r} is missing from __all__",
+                    )
+
+        if ast.get_docstring(tree) is None:
+            yield ctx.finding(
+                self,
+                tree.body[0] if tree.body else tree,
+                "module is missing a docstring",
+            )
+        for stmt in tree.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if stmt.name.startswith("_"):
+                    continue
+                if ast.get_docstring(stmt) is None:
+                    yield ctx.finding(
+                        self,
+                        stmt,
+                        f"public {stmt.name!r} is missing a docstring",
+                    )

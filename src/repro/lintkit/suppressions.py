@@ -1,0 +1,79 @@
+"""Inline-suppression syntax for reprolint.
+
+Two comment forms are recognized anywhere a comment may appear:
+
+* ``# reprolint: disable=RPR001,RPR004`` — suppress those rules on the
+  physical line the comment sits on (the line a finding is anchored to);
+  ``# reprolint: disable`` with no rule list suppresses every rule there.
+* ``# reprolint: disable-file=RPR005`` — suppress those rules for the whole
+  file; the bare form ``disable-file`` silences the file entirely.
+
+Suppressions are parsed from the token stream, so they work on lines that
+hold only a comment as well as trailing comments.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+from .findings import Finding
+
+__all__ = [
+    "ALL_RULES",
+    "Suppressions",
+    "parse_suppressions",
+]
+
+#: Sentinel rule-id meaning "every rule".
+ALL_RULES = "*"
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*(?:=\s*(?P<rules>[A-Z0-9,\s]+))?"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives for one source file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether ``finding`` is silenced by a line or file directive."""
+        for scope in (self.file_wide, self.by_line.get(finding.line, ())):
+            if ALL_RULES in scope or finding.rule_id in scope:
+                return True
+        return False
+
+
+def _parse_rule_list(raw: "str | None") -> FrozenSet[str]:
+    if raw is None:
+        return frozenset({ALL_RULES})
+    rules = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    return rules or frozenset({ALL_RULES})
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract all ``# reprolint:`` directives from ``source``."""
+    suppressions = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        rules = _parse_rule_list(match.group("rules"))
+        if match.group("kind") == "disable-file":
+            suppressions.file_wide.update(rules)
+        else:
+            suppressions.by_line.setdefault(token.start[0], set()).update(rules)
+    return suppressions

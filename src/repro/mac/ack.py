@@ -16,6 +16,12 @@ from ..errors import SimulationError
 from ..radio import frame as frame_mod
 from ..radio import timing
 
+__all__ = [
+    "AckPolicy",
+    "AttemptResult",
+    "ack_frame_bytes",
+]
+
 
 @dataclass(frozen=True)
 class AckPolicy:

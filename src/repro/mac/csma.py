@@ -20,6 +20,14 @@ import numpy as np
 from ..errors import SimulationError
 from ..radio import timing
 
+__all__ = [
+    "UNIT_BACKOFF_PERIOD_S",
+    "CCA_TIME_S",
+    "CsmaParameters",
+    "ChannelAccess",
+    "UnslottedCsma",
+]
+
 #: One 802.15.4 unit backoff period: 20 symbols = 320 µs.
 UNIT_BACKOFF_PERIOD_S = 20 * 16e-6
 

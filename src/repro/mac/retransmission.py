@@ -14,6 +14,11 @@ from dataclasses import dataclass
 
 from ..errors import SimulationError
 
+__all__ = [
+    "RetryDecision",
+    "RetryPolicy",
+]
+
 
 class RetryDecision(enum.Enum):
     """What the MAC does after a transmission attempt."""

@@ -18,6 +18,14 @@ from dataclasses import dataclass
 
 from ..errors import SimulationError
 
+__all__ = [
+    "utilization",
+    "QueueingRegime",
+    "mg1_mean_wait_s",
+    "mm1k_blocking_probability",
+    "mm1k_mean_queue_length",
+]
+
 
 def utilization(service_time_s: float, interarrival_s: float) -> float:
     """System utilization ρ = T_service / T_pkt (Eq. 9)."""

@@ -18,6 +18,12 @@ from typing import Deque, Generic, List, Optional, TypeVar
 
 from ..errors import SimulationError
 
+__all__ = [
+    "T",
+    "QueueStats",
+    "BoundedFifoQueue",
+]
+
 T = TypeVar("T")
 
 

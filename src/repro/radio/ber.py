@@ -32,6 +32,14 @@ import numpy as np
 
 from ..errors import RadioError
 
+__all__ = [
+    "MAX_BIT_ERROR",
+    "BitErrorModel",
+    "EmpiricalExpBer",
+    "AnalyticOQPSKBer",
+    "DEFAULT_BER_MODEL",
+]
+
 #: Largest meaningful per-bit error probability (random guessing).
 MAX_BIT_ERROR = 0.5
 

@@ -16,6 +16,29 @@ from typing import Dict, Tuple
 
 from ..errors import RadioError
 
+__all__ = [
+    "DATA_RATE_BPS",
+    "SYMBOL_RATE_SPS",
+    "SYMBOL_TIME_S",
+    "CHIP_RATE_CPS",
+    "SENSITIVITY_DBM",
+    "RSSI_MIN_DBM",
+    "RSSI_MAX_DBM",
+    "SUPPLY_VOLTAGE_V",
+    "RX_CURRENT_A",
+    "IDLE_CURRENT_A",
+    "SLEEP_CURRENT_A",
+    "PA_TABLE",
+    "PA_LEVELS",
+    "output_power_dbm",
+    "tx_current_a",
+    "tx_power_w",
+    "tx_energy_per_bit_j",
+    "rx_power_w",
+    "nearest_pa_level",
+    "clamp_rssi",
+]
+
 #: PHY data rate (bits per second).
 DATA_RATE_BPS = 250_000
 

@@ -23,6 +23,12 @@ from ..errors import RadioError
 from . import cc2420
 from . import frame as frame_mod
 
+__all__ = [
+    "tx_energy_j",
+    "ack_rx_energy_j",
+    "EnergyMeter",
+]
+
 
 def tx_energy_j(pa_level: int, payload_bytes: int, n_transmissions: int = 1) -> float:
     """Transmit energy in joules for ``n_transmissions`` of one data frame.

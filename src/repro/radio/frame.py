@@ -27,6 +27,21 @@ from dataclasses import dataclass
 from ..errors import RadioError
 from . import cc2420
 
+__all__ = [
+    "PHY_HEADER_BYTES",
+    "MAC_HEADER_BYTES",
+    "MAC_FOOTER_BYTES",
+    "MPDU_OVERHEAD_BYTES",
+    "DATA_FRAME_OVERHEAD_BYTES",
+    "MAX_MPDU_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "ACK_FRAME_BYTES",
+    "DataFrame",
+    "frame_air_bytes",
+    "frame_air_time_s",
+    "ack_air_time_s",
+]
+
 #: PHY synchronisation header: preamble(4) + SFD(1) + length(1), bytes.
 PHY_HEADER_BYTES = 6
 

@@ -12,6 +12,16 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = [
+    "LQI_MAX",
+    "LQI_MIN",
+    "SNR_SATURATION_DB",
+    "SNR_FLOOR_DB",
+    "LQI_NOISE_STD",
+    "mean_lqi",
+    "sample_lqi",
+]
+
 #: LQI register ceiling on a clean link.
 LQI_MAX = 110.0
 

@@ -24,6 +24,18 @@ from dataclasses import dataclass
 
 from . import frame as frame_mod
 
+__all__ = [
+    "TURNAROUND_TIME_S",
+    "MEAN_INITIAL_BACKOFF_S",
+    "MAX_INITIAL_BACKOFF_S",
+    "ACK_TIME_S",
+    "ACK_WAIT_TIMEOUT_S",
+    "SPI_SECONDS_PER_BYTE",
+    "spi_load_time_s",
+    "mac_delay_s",
+    "AttemptTimes",
+]
+
 #: Radio turnaround time T_TR (s): 0.224 ms per the paper.
 TURNAROUND_TIME_S = 0.224e-3
 

@@ -6,6 +6,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+__all__ = [
+    "EventKind",
+    "Event",
+]
+
 
 class EventKind(enum.Enum):
     """What a scheduled event represents in the sender's pipeline."""

@@ -25,6 +25,11 @@ from ..radio import cc2420
 from ..radio import frame as frame_mod
 from ..radio import timing
 
+__all__ = [
+    "FastLinkResult",
+    "FastLink",
+]
+
 
 @dataclass(frozen=True)
 class FastLinkResult:

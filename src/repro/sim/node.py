@@ -35,6 +35,11 @@ from .packet import Packet
 from .scheduler import EventScheduler
 from .trace import LinkTrace, PacketFate, PacketRecord, TransmissionRecord
 
+__all__ = [
+    "ReceiverNode",
+    "SenderNode",
+]
+
 
 class ReceiverNode:
     """Tracks receptions; first delivery per sequence number vs duplicates."""

@@ -6,6 +6,10 @@ from dataclasses import dataclass
 
 from ..errors import SimulationError
 
+__all__ = [
+    "Packet",
+]
+
 
 @dataclass
 class Packet:

@@ -19,6 +19,11 @@ import numpy as np
 
 from ..errors import SimulationError
 
+__all__ = [
+    "RngStreams",
+    "config_seed",
+]
+
 
 class RngStreams:
     """A family of named, independent random generators under one seed."""

@@ -13,6 +13,10 @@ from typing import Any, Callable, List, Optional
 from ..errors import SchedulerError
 from .events import Event, EventKind
 
+__all__ = [
+    "EventScheduler",
+]
+
 
 class EventScheduler:
     """A single-threaded event calendar with a monotone clock."""

@@ -23,6 +23,12 @@ from .rng import RngStreams
 from .scheduler import EventScheduler
 from .trace import LinkTrace
 
+__all__ = [
+    "SimulationOptions",
+    "LinkSimulator",
+    "simulate_link",
+]
+
 
 @dataclass
 class SimulationOptions:

@@ -15,6 +15,13 @@ from typing import List, Optional
 
 from ..errors import SimulationError
 
+__all__ = [
+    "PacketFate",
+    "TransmissionRecord",
+    "PacketRecord",
+    "LinkTrace",
+]
+
 
 class PacketFate(enum.Enum):
     """Terminal state of one application packet."""

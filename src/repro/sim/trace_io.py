@@ -20,6 +20,11 @@ from ..config import StackConfig
 from ..errors import DatasetError
 from .trace import LinkTrace, PacketFate, PacketRecord, TransmissionRecord
 
+__all__ = [
+    "save_trace",
+    "load_trace",
+]
+
 _FORMAT = "repro-trace-v1"
 
 

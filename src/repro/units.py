@@ -16,10 +16,35 @@ also broadcast transparently over numpy arrays.
 
 from __future__ import annotations
 
-import math
 from typing import Union
 
 import numpy as np
+
+from .errors import UnitsError
+
+__all__ = [
+    "Number",
+    "BOLTZMANN_J_PER_K",
+    "REFERENCE_TEMPERATURE_K",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "ms_to_s",
+    "s_to_ms",
+    "us_to_s",
+    "s_to_us",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "bps_to_kbps",
+    "kbps_to_bps",
+    "joules_to_microjoules",
+    "microjoules_to_joules",
+    "transmission_time_s",
+    "thermal_noise_dbm",
+]
 
 Number = Union[float, int, np.ndarray]
 
@@ -31,19 +56,20 @@ REFERENCE_TEMPERATURE_K = 290.0
 
 
 def db_to_linear(value_db: Number) -> Number:
-    """Convert a dB power *ratio* to its linear equivalent."""
-    return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0) if isinstance(
-        value_db, np.ndarray
-    ) else 10.0 ** (value_db / 10.0)
+    """Convert a dB power *ratio* to its linear equivalent.
+
+    Numpy-transparent: the one expression broadcasts over arrays and stays
+    a plain ``float`` for scalar input.
+    """
+    return 10.0 ** (value_db / 10.0)
 
 
 def linear_to_db(value: Number) -> Number:
     """Convert a linear power ratio to dB. Values must be positive."""
-    if isinstance(value, np.ndarray):
-        return 10.0 * np.log10(value)
-    if value <= 0:
-        raise ValueError(f"linear power ratio must be positive, got {value!r}")
-    return 10.0 * math.log10(value)
+    if np.any(np.asarray(value) <= 0):
+        raise UnitsError(f"linear power ratio must be positive, got {value!r}")
+    result = 10.0 * np.log10(value)
+    return result if isinstance(value, np.ndarray) else float(result)
 
 
 def dbm_to_mw(power_dbm: Number) -> Number:
@@ -123,7 +149,7 @@ def transmission_time_s(n_bytes: Number, data_rate_bps: float) -> Number:
     0.004
     """
     if data_rate_bps <= 0:
-        raise ValueError(f"data rate must be positive, got {data_rate_bps!r}")
+        raise UnitsError(f"data rate must be positive, got {data_rate_bps!r}")
     return bytes_to_bits(n_bytes) / data_rate_bps
 
 
@@ -135,6 +161,6 @@ def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> floa
     implies roughly 16 dB of receiver noise figure plus ambient interference.
     """
     if bandwidth_hz <= 0:
-        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz!r}")
+        raise UnitsError(f"bandwidth must be positive, got {bandwidth_hz!r}")
     noise_w = BOLTZMANN_J_PER_K * REFERENCE_TEMPERATURE_K * bandwidth_hz
     return watts_to_dbm(noise_w) + noise_figure_db

@@ -11,7 +11,7 @@ from repro.analysis.stats import (
     relative_error,
     snr_bin_edges,
 )
-from repro.errors import ReproError
+from repro.errors import AnalysisError
 
 
 class TestBinSeries:
@@ -38,11 +38,11 @@ class TestBinSeries:
         assert binned.means[0] == pytest.approx(2.0)
 
     def test_validation(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             bin_series([1.0], [1.0, 2.0], edges=[0.0, 1.0])
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             bin_series([1.0], [1.0], edges=[1.0])
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             bin_series([1.0], [1.0], edges=[1.0, 0.5])
 
     @given(
@@ -62,9 +62,9 @@ class TestSnrBinEdges:
         assert edges[0] == 0.0 and edges[-1] == 40.0
 
     def test_validation(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             snr_bin_edges(10.0, 5.0)
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             snr_bin_edges(width_db=0.0)
 
 
@@ -84,9 +84,9 @@ class TestBootstrap:
         assert (hi99 - lo99) >= (hi95 - lo95)
 
     def test_validation(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             bootstrap_ci([])
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             bootstrap_ci([1.0], confidence=1.5)
 
 
@@ -99,13 +99,13 @@ class TestMisc:
         assert coefficient_of_variation_squared(data) == pytest.approx(1.0, abs=0.1)
 
     def test_scv_validation(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             coefficient_of_variation_squared([1.0])
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             coefficient_of_variation_squared([1.0, -1.0])
 
     def test_relative_error(self):
         assert relative_error(11.0, 10.0) == pytest.approx(0.1)
         assert relative_error(9.0, 10.0) == pytest.approx(0.1)
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             relative_error(1.0, 0.0)

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.analysis.ascii_plot import scatter, side_by_side, sparkline
-from repro.errors import ReproError
+from repro.errors import AnalysisError
 
 
 class TestSparkline:
@@ -30,9 +30,9 @@ class TestSparkline:
         assert line[0] == "▁" and line[-1] == "█"
 
     def test_validation(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             sparkline([])
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             sparkline([1.0], width=0)
 
 
@@ -56,11 +56,11 @@ class TestScatter:
         assert text.count("*") == 2
 
     def test_validation(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             scatter([1], [1, 2])
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             scatter([math.nan], [math.nan])
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             scatter([1, 2], [1, 2], width=4, height=2)
 
 
@@ -73,7 +73,7 @@ class TestSideBySide:
         assert "r" in lines[3]
 
     def test_validation(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             side_by_side(["a"], [])
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             side_by_side([], [])

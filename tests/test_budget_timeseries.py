@@ -11,7 +11,7 @@ from repro.analysis import (
 )
 from repro.channel import HALLWAY_2012, LinkBudget, QUIET_HALLWAY
 from repro.config import StackConfig
-from repro.errors import ChannelError, ReproError
+from repro.errors import AnalysisError, ChannelError
 from repro.extensions import MobileLinkChannel, MobilityTrace
 from repro.radio import cc2420
 from repro.sim import LinkSimulator, SimulationOptions, simulate_link
@@ -145,9 +145,9 @@ class TestTimeSeries:
         assert detect_degradation(series, threshold=0.5) is None
 
     def test_validation(self, mobile_trace):
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             per_over_time(mobile_trace, window_s=0.0)
-        with pytest.raises(ReproError):
+        with pytest.raises(AnalysisError):
             detect_degradation(
                 per_over_time(mobile_trace), threshold=0.5, min_count=0
             )

@@ -14,6 +14,7 @@ from repro.core import (
     truncated_geometric_mean_tries,
 )
 from repro.core.constants import ExpFitCoefficients
+from repro.errors import ModelError
 
 
 class TestPerModel:
@@ -56,9 +57,9 @@ class TestPerModel:
         assert self.model.per(110, snr) == pytest.approx(0.1, rel=1e-9)
 
     def test_snr_for_target_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             self.model.snr_for_target_per(110, 0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             self.model.snr_for_target_per(0, 0.1)
 
     def test_success_probability_complements(self):
@@ -67,9 +68,9 @@ class TestPerModel:
         )
 
     def test_coefficient_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             ExpFitCoefficients(alpha=-1.0, beta=-0.1)
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             ExpFitCoefficients(alpha=0.01, beta=0.1)
 
 
@@ -138,9 +139,9 @@ class TestTruncatedGeometric:
         assert out.shape == (3,)
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             truncated_geometric_mean_tries(0.5, 0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             truncated_geometric_mean_tries(1.5, 3)
 
 
@@ -154,7 +155,7 @@ class TestMeanTriesOfDelivered:
         assert mean_tries_of_delivered(p, 5) < truncated_geometric_mean_tries(p, 5)
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             mean_tries_of_delivered(1.0, 3)
 
 
@@ -195,11 +196,11 @@ class TestPlrRadioModel:
         assert self.model.min_tries_for_target(114, -20.0, 0.01) == 10**6
 
     def test_min_tries_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             self.model.min_tries_for_target(110, 8.0, 0.0)
 
     def test_plr_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             self.model.plr_radio(110, 8.0, 0)
 
 
@@ -212,7 +213,7 @@ class TestLossComposition:
         assert plr_total_estimate(0.0, 0.0) == 0.0
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             plr_total_estimate(1.5, 0.0)
 
     def test_queue_estimate_monotone_in_rho(self):
@@ -222,5 +223,5 @@ class TestLossComposition:
         assert plr_queue_estimate(0.95, 30) < plr_queue_estimate(0.95, 1)
 
     def test_queue_estimate_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             plr_queue_estimate(0.5, 0)

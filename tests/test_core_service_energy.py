@@ -12,6 +12,7 @@ from repro.core.constants import (
     TABLE_II_D_RETRY_MS,
     TABLE_II_ROWS,
 )
+from repro.errors import ModelError
 from repro.radio import cc2420
 
 
@@ -53,9 +54,9 @@ class TestServiceTimeModel:
         assert value == pytest.approx(times.t_spi + times.t_fail + 4 * times.t_retry)
 
     def test_given_tries_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             self.model.service_time_given_tries_s(110, 0, 3, 0.0, True)
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             self.model.service_time_given_tries_s(110, 4, 3, 0.0, True)
 
     def test_mean_increases_in_grey_zone(self):
@@ -125,7 +126,7 @@ class TestEnergyModel:
         assert level_large >= level_small
 
     def test_optimal_power_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             self.model.optimal_power_level({}, 110)
 
     def test_finite_retries_reduces_to_eq2_at_large_budget(self):
@@ -135,7 +136,7 @@ class TestEnergyModel:
         assert finite == pytest.approx(eq2, rel=1e-3)
 
     def test_finite_retries_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             self.model.u_eng_finite_retries_j_per_bit(31, 110, 15.0, 0)
 
     def test_uj_scaling(self):

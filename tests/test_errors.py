@@ -19,6 +19,10 @@ class TestHierarchy:
             errors.FittingError,
             errors.OptimizationError,
             errors.InfeasibleError,
+            errors.UnitsError,
+            errors.ModelError,
+            errors.AnalysisError,
+            errors.LintError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -27,6 +31,17 @@ class TestHierarchy:
     def test_configuration_error_is_value_error(self):
         """Callers using plain ValueError handling still catch config errors."""
         assert issubclass(errors.ConfigurationError, ValueError)
+
+    @pytest.mark.parametrize(
+        "exc", [errors.UnitsError, errors.ModelError, errors.AnalysisError]
+    )
+    def test_domain_errors_keep_value_error_in_mro(self, exc):
+        """Bad-argument errors stay catchable as plain ValueError."""
+        assert issubclass(exc, ValueError)
+
+    def test_lint_error_is_not_value_error(self):
+        """Lint configuration problems are operational, not bad arguments."""
+        assert not issubclass(errors.LintError, ValueError)
 
     def test_scheduler_error_is_simulation_error(self):
         assert issubclass(errors.SchedulerError, errors.SimulationError)

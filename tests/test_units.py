@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro import units
+from repro.errors import UnitsError
 
 
 class TestDbConversions:
@@ -23,10 +24,19 @@ class TestDbConversions:
         assert units.linear_to_db(100.0) == pytest.approx(20.0)
 
     def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(UnitsError):
+            units.linear_to_db(0.0)
+        with pytest.raises(UnitsError):
+            units.linear_to_db(-1.0)
+
+    def test_linear_to_db_rejects_nonpositive_array_element(self):
+        with pytest.raises(UnitsError):
+            units.linear_to_db(np.array([1.0, 0.0, 100.0]))
+
+    def test_units_error_is_still_value_error(self):
+        """Pre-existing callers catching ValueError keep working."""
         with pytest.raises(ValueError):
             units.linear_to_db(0.0)
-        with pytest.raises(ValueError):
-            units.linear_to_db(-1.0)
 
     @given(st.floats(min_value=-80, max_value=80))
     def test_roundtrip(self, db):
@@ -38,6 +48,42 @@ class TestDbConversions:
         arr = np.array([0.0, 10.0, 20.0])
         out = units.db_to_linear(arr)
         assert np.allclose(out, [1.0, 10.0, 100.0])
+
+
+class TestScalarTransparency:
+    """The numpy-transparent helpers must keep scalar-in → scalar-out.
+
+    Regression coverage for collapsing the duplicated
+    ``isinstance(..., np.ndarray)`` branches into single expressions.
+    """
+
+    @pytest.mark.parametrize("value", [0.0, 10.0, -3.0, 7])
+    def test_db_to_linear_scalar_in_scalar_out(self, value):
+        result = units.db_to_linear(value)
+        assert isinstance(result, float)
+        assert not isinstance(result, np.ndarray)
+
+    @pytest.mark.parametrize("value", [1.0, 100.0, 0.5, 3])
+    def test_linear_to_db_scalar_in_scalar_out(self, value):
+        result = units.linear_to_db(value)
+        assert isinstance(result, float)
+        assert not isinstance(result, np.ndarray)
+
+    def test_db_to_linear_array_in_array_out(self):
+        out = units.db_to_linear(np.array([0.0, 10.0]))
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (2,)
+
+    def test_linear_to_db_array_in_array_out(self):
+        out = units.linear_to_db(np.array([1.0, 10.0]))
+        assert isinstance(out, np.ndarray)
+        assert np.allclose(out, [0.0, 10.0])
+
+    def test_scalar_and_array_paths_agree(self):
+        values = np.array([0.25, 1.0, 4.0, 1e3])
+        array_out = units.linear_to_db(values)
+        scalar_out = [units.linear_to_db(float(v)) for v in values]
+        assert np.allclose(array_out, scalar_out)
 
 
 class TestPowerConversions:
@@ -84,7 +130,7 @@ class TestTransmissionTime:
         assert units.transmission_time_s(133, 250_000) == pytest.approx(4.256e-3)
 
     def test_rejects_bad_rate(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(UnitsError):
             units.transmission_time_s(10, 0)
 
 
@@ -100,5 +146,5 @@ class TestThermalNoise:
         assert units.thermal_noise_dbm(2e6, 10.0) == pytest.approx(base + 10.0)
 
     def test_rejects_bad_bandwidth(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(UnitsError):
             units.thermal_noise_dbm(0.0)
