@@ -142,10 +142,9 @@ def snr_distributions(
     """
     rng = np.random.default_rng(seed)
     channel = LinkChannel(environment, distance_m, ptx_level, rng)
-    real = np.empty(n_samples)
-    constant = np.empty(n_samples)
-    for i in range(n_samples):
-        sample = channel.sample(i * interval_s)
-        real[i] = sample.snr_db
-        constant[i] = sample.rssi_dbm - CONSTANT_NOISE_DBM
-    return SnrDistributions(real_snr_db=real, constant_noise_snr_db=constant)
+    samples = [channel.sample(i * interval_s) for i in range(n_samples)]
+    real = np.array([s.snr_db for s in samples], dtype=float)
+    rssi = np.array([s.rssi_dbm for s in samples], dtype=float)
+    return SnrDistributions(
+        real_snr_db=real, constant_noise_snr_db=rssi - CONSTANT_NOISE_DBM
+    )

@@ -66,15 +66,21 @@ def bin_series(
     n_bins = edge_arr.size - 1
     idx = np.digitize(x_arr, edge_arr) - 1
     centers = (edge_arr[:-1] + edge_arr[1:]) / 2.0
-    means = np.full(n_bins, np.nan)
-    stds = np.full(n_bins, np.nan)
-    counts = np.zeros(n_bins, dtype=np.int64)
-    for b in range(n_bins):
-        mask = idx == b
-        counts[b] = int(mask.sum())
-        if counts[b]:
-            means[b] = float(y_arr[mask].mean())
-            stds[b] = float(y_arr[mask].std(ddof=1)) if counts[b] > 1 else 0.0
+    in_range = (idx >= 0) & (idx < n_bins)
+    idx_valid = idx[in_range]
+    y_valid = y_arr[in_range]
+    counts = np.bincount(idx_valid, minlength=n_bins)
+    sums = np.bincount(idx_valid, weights=y_valid, minlength=n_bins)
+    means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    deviations = y_valid - means[idx_valid]
+    sq_sums = np.bincount(
+        idx_valid, weights=deviations * deviations, minlength=n_bins
+    )
+    stds = np.where(
+        counts > 1,
+        np.sqrt(sq_sums / np.maximum(counts - 1, 1)),
+        np.where(counts == 1, 0.0, np.nan),
+    )
     return BinnedSeries(centers=centers, means=means, stds=stds, counts=counts)
 
 
@@ -105,9 +111,13 @@ def bootstrap_ci(
         raise AnalysisError(f"confidence must be in (0, 1), got {confidence!r}")
     rng = np.random.default_rng(seed)
     point = float(statistic(arr))
-    resampled = np.empty(n_resamples)
-    for i in range(n_resamples):
-        resampled[i] = statistic(rng.choice(arr, size=arr.size, replace=True))
+    resampled = np.asarray(
+        [
+            statistic(rng.choice(arr, size=arr.size, replace=True))
+            for _ in range(n_resamples)
+        ],
+        dtype=float,
+    )
     alpha = (1.0 - confidence) / 2.0
     lo, hi = np.quantile(resampled, [alpha, 1.0 - alpha])
     return point, float(lo), float(hi)

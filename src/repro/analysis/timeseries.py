@@ -87,18 +87,19 @@ def goodput_over_time(trace: LinkTrace, window_s: float = 1.0) -> MetricSeries:
     n_windows = edges.size - 1
     bits = np.zeros(n_windows)
     counts = np.zeros(n_windows)
-    for packet in trace.packets:
-        if packet.first_delivery_s is None or not packet.delivered:
-            continue
-        w = int(
-            np.clip(
-                np.digitize(packet.first_delivery_s, edges) - 1,
-                0,
-                n_windows - 1,
-            )
+    delivered = [
+        packet
+        for packet in trace.packets
+        if packet.first_delivery_s is not None and packet.delivered
+    ]
+    if delivered:
+        times = np.array([p.first_delivery_s for p in delivered], dtype=float)
+        payload_bits = np.array(
+            [p.payload_bytes * 8 for p in delivered], dtype=float
         )
-        bits[w] += packet.payload_bytes * 8
-        counts[w] += 1
+        idx = np.clip(np.digitize(times, edges) - 1, 0, n_windows - 1)
+        np.add.at(bits, idx, payload_bits)
+        np.add.at(counts, idx, 1.0)
     centers = (edges[:-1] + edges[1:]) / 2
     return MetricSeries(
         times_s=centers,
@@ -118,13 +119,11 @@ def delivery_ratio_over_time(
     n_windows = edges.size - 1
     generated = np.zeros(n_windows)
     delivered = np.zeros(n_windows)
-    for packet in trace.packets:
-        w = int(
-            np.clip(np.digitize(packet.generated_s, edges) - 1, 0, n_windows - 1)
-        )
-        generated[w] += 1
-        if packet.delivered:
-            delivered[w] += 1
+    gen_times = np.array([p.generated_s for p in trace.packets], dtype=float)
+    ok = np.array([p.delivered for p in trace.packets], dtype=float)
+    idx = np.clip(np.digitize(gen_times, edges) - 1, 0, n_windows - 1)
+    np.add.at(generated, idx, 1.0)
+    np.add.at(delivered, idx, ok)
     with np.errstate(invalid="ignore"):
         values = np.where(
             generated > 0, delivered / np.maximum(generated, 1), np.nan
@@ -151,11 +150,11 @@ def detect_degradation(
     """
     if min_count < 1:
         raise AnalysisError(f"min_count must be >= 1, got {min_count!r}")
-    for t, value, count in zip(series.times_s, series.values, series.counts):
-        if count < min_count or np.isnan(value):
-            continue
-        if (above_is_bad and value > threshold) or (
-            not above_is_bad and value < threshold
-        ):
-            return float(t)
-    return None
+    valid = (series.counts >= min_count) & ~np.isnan(series.values)
+    if above_is_bad:
+        bad = valid & (series.values > threshold)
+    else:
+        bad = valid & (series.values < threshold)
+    if not bad.any():
+        return None
+    return float(series.times_s[int(np.argmax(bad))])

@@ -40,8 +40,9 @@ class _WorkerSpec:
     engine: str
 
 
-def _run_one(args: Tuple[_WorkerSpec, int, StackConfig]) -> Tuple[int, ConfigSummary]:
-    spec, index, config = args
+def _run_one(
+    spec: _WorkerSpec, index: int, config: StackConfig
+) -> Tuple[int, ConfigSummary]:
     runner = CampaignRunner(
         environment=spec.environment,
         packets_per_config=spec.packets_per_config,
@@ -90,11 +91,11 @@ def run_campaign_parallel(
     jobs = [(spec, index, config) for index, config in enumerate(configs)]
     results: List[Tuple[int, ConfigSummary]] = []
     if n_workers == 1:
-        results = [_run_one(job) for job in jobs]
+        results = [_run_one(*job) for job in jobs]
     else:
         ctx = multiprocessing.get_context("spawn")
         with ctx.Pool(processes=n_workers) as pool:
-            results = pool.map(_run_one, jobs, chunksize=chunksize)
+            results = pool.starmap(_run_one, jobs, chunksize=chunksize)
     results.sort(key=lambda item: item[0])
     dataset = CampaignDataset(description=description)
     dataset.extend(summary for _, summary in results)

@@ -125,12 +125,14 @@ def metric_vs_snr(
         return []
     bins = np.floor(snr / snr_bin_width_db) * snr_bin_width_db
     rows = []
-    for edge in np.unique(bins):
+    # Each iteration does vector work per bin; iterate plain floats so the
+    # scalar loop itself never touches ndarray element boxing.
+    for edge in np.unique(bins).tolist():
         cell = values[bins == edge]
         finite = cell[np.isfinite(cell)]
         rows.append(
             AggregateRow(
-                key=(float(edge) + snr_bin_width_db / 2,),
+                key=(edge + snr_bin_width_db / 2,),
                 mean=float(finite.mean()) if finite.size else float("nan"),
                 std=float(finite.std(ddof=1)) if finite.size > 1 else 0.0,
                 count=int(cell.size),

@@ -160,7 +160,12 @@ class ShadowingProcess:
             raise ChannelError(f"count must be >= 0, got {count!r}")
         if interval_s <= 0:
             raise ChannelError(f"interval must be positive, got {interval_s!r}")
-        out = np.empty(count)
-        for i in range(count):
-            out[i] = self.attenuation_db(start_s + i * interval_s)
-        return out
+        # Sequential by construction (each call advances the fading state),
+        # so build a list and convert once rather than filling an ndarray.
+        return np.array(
+            [
+                self.attenuation_db(start_s + i * interval_s)
+                for i in range(count)
+            ],
+            dtype=float,
+        )

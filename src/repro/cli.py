@@ -306,6 +306,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from collections import Counter
     from pathlib import Path
 
     from .errors import LintError
@@ -339,9 +340,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     try:
         linter = Linter(select=select)
         findings = linter.lint_paths([Path(p) for p in args.paths])
-        if args.write_baseline:
-            save_baseline(findings, Path(args.baseline))
-            print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        if args.write_baseline or args.update_baseline:
+            baseline_path = Path(args.baseline)
+            old = (
+                load_baseline(baseline_path)
+                if args.update_baseline and baseline_path.is_file()
+                else Counter()
+            )
+            save_baseline(findings, baseline_path)
+            if args.update_baseline:
+                new = Counter(finding.key() for finding in findings)
+                added = sum((new - old).values())
+                removed = sum((old - new).values())
+                print(f"updated {args.baseline}: {len(findings)} "
+                      f"finding(s) (+{added} added, -{removed} removed)")
+            else:
+                print(f"wrote {len(findings)} finding(s) to {args.baseline}")
             return 0
         grandfathered = []
         if Path(args.baseline).is_file():
@@ -352,9 +366,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
-        print(render_json(findings))
+        print(render_json(findings, statistics=args.statistics))
     else:
-        print(render_text(findings))
+        print(render_text(findings, statistics=args.statistics))
         if grandfathered:
             print(f"({len(grandfathered)} grandfathered finding(s) "
                   f"suppressed by {args.baseline})")
@@ -446,6 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="baseline file of grandfathered findings")
     p.add_argument("--write-baseline", action="store_true",
                    help="write current findings to the baseline and exit")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="regenerate the baseline and report what changed")
+    p.add_argument("--statistics", action="store_true",
+                   help="append per-rule finding counts to the report")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.set_defaults(func=_cmd_lint)

@@ -109,11 +109,13 @@ class GoodputModel:
             snr_grid_db = np.arange(0.0, 30.0 + 0.25, 0.25)
         grid = np.sort(np.asarray(snr_grid_db, dtype=float))
         threshold = float(grid[-1])
-        for snr in grid[::-1]:
+        # Early-exit scan over plain floats: each step runs a full payload
+        # optimization, so the loop itself is not the hot part.
+        for snr in grid[::-1].tolist():
             best, _ = self.optimal_payload_bytes(
-                float(snr), n_max_tries, d_retry_ms, max_payload
+                snr, n_max_tries, d_retry_ms, max_payload
             )
             if best < max_payload:
                 return threshold
-            threshold = float(snr)
+            threshold = snr
         return threshold

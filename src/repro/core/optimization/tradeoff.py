@@ -151,13 +151,13 @@ def run_case_study_simulation(
     from ...sim import SimulationOptions, simulate_link
 
     environment = case_study_environment(snr_at_23_db, distance_m)
+    options = SimulationOptions(
+        n_packets=n_packets, seed=seed, environment=environment
+    )
     measured: List[TradeoffPoint] = []
     for point in points:
         config = point.config.with_updates(
             distance_m=distance_m, t_pkt_ms=2.0, q_max=30
-        )
-        options = SimulationOptions(
-            n_packets=n_packets, seed=seed, environment=environment
         )
         metrics = compute_metrics(simulate_link(config, options=options))
         measured.append(
@@ -174,8 +174,9 @@ def run_case_study_simulation(
 def paper_table_iv_points() -> List[TradeoffPoint]:
     """The published Table IV rows as TradeoffPoint objects (for comparison)."""
     points = []
+    base_config = case_study_base_config()
     for name, (ptx, payload, tries, goodput, energy) in TABLE_IV_ROWS.items():
-        config = case_study_base_config().with_updates(
+        config = base_config.with_updates(
             ptx_level=ptx, payload_bytes=min(payload, MAX_PAYLOAD_BYTES), n_max_tries=tries
         )
         points.append(

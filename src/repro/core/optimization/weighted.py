@@ -64,7 +64,7 @@ def solve_weighted_sum(
         raw = np.array([e.objective(name) for e in evaluations], dtype=float)
         columns.append(_normalize(raw))
     scores = np.zeros(len(evaluations))
-    for weight, column in zip(w, columns):
+    for weight, column in zip(w.tolist(), columns):
         if weight == 0.0:
             # Skip rather than multiply: 0 × inf (an infeasible value in an
             # unweighted objective) would poison the score with NaN.
@@ -89,7 +89,7 @@ def sweep_weights(
     if n_points < 2:
         raise OptimizationError(f"need at least 2 sweep points, got {n_points!r}")
     front: List[ConfigEvaluation] = []
-    for lam in np.linspace(0.0, 1.0, n_points):
+    for lam in np.linspace(0.0, 1.0, n_points).tolist():
         best = solve_weighted_sum(
             evaluations, {objective_a: 1.0 - lam, objective_b: lam}
         )

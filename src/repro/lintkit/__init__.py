@@ -1,7 +1,10 @@
 """reprolint — repo-specific static analysis for the ``repro`` package.
 
 A self-contained AST-based invariant checker (stdlib only) enforcing the
-conventions the paper reproduction depends on:
+conventions the paper reproduction depends on. The RPR0xx tier checks one
+file at a time; the RPR1xx tier is *semantic* — a phase-1 project index
+(symbol table, imports, call graph) lets its rules follow units and
+randomness across function and module boundaries:
 
 ========  =====================================================
 RPR001    unit-suffix discipline (``_ms`` vs ``_s`` arithmetic)
@@ -9,11 +12,15 @@ RPR002    determinism (no global RNG / wall clock outside sim/rng.py)
 RPR003    paper-constant duplication (re-hardcoded 0.224e-3, ...)
 RPR004    exception discipline (ReproError subclasses only)
 RPR005    public-API hygiene (__all__ + docstrings)
+RPR101    unit-inference dataflow across assignments/returns/call sites
+RPR102    determinism taint: stochastic functions must thread rng/seed
+RPR103    scalar Python loops over numpy arrays (vectorize or list-build)
+RPR104    loop-invariant pure calls (hoist out of hot loops)
 ========  =====================================================
 
-Run it as ``wsnlink lint [--format json] [--select RPR00x] paths...`` or
+Run it as ``wsnlink lint [--format json] [--select RPRxxx] paths...`` or
 programmatically via :func:`lint_paths`. Findings can be silenced inline
-with ``# reprolint: disable=RPR00x`` or grandfathered in a committed
+with ``# reprolint: disable=RPRxxx`` or grandfathered in a committed
 baseline file (``reprolint-baseline.json``); the repo keeps that baseline
 empty. See ``docs/LINTS.md`` for the full rule catalogue.
 """
@@ -23,8 +30,9 @@ from __future__ import annotations
 from .baseline import filter_findings, load_baseline, save_baseline
 from .engine import PARSE_ERROR_RULE_ID, Linter, iter_python_files, lint_paths
 from .findings import Finding, Severity
-from .report import render_json, render_text
+from .report import per_rule_counts, render_json, render_text
 from .rules import FileContext, Rule, all_rules, register
+from .semantic import ProjectIndex
 
 __all__ = [
     "Finding",
@@ -32,6 +40,7 @@ __all__ = [
     "FileContext",
     "Rule",
     "Linter",
+    "ProjectIndex",
     "PARSE_ERROR_RULE_ID",
     "all_rules",
     "register",
@@ -39,6 +48,7 @@ __all__ = [
     "iter_python_files",
     "render_text",
     "render_json",
+    "per_rule_counts",
     "load_baseline",
     "save_baseline",
     "filter_findings",

@@ -9,6 +9,7 @@ from .findings import Finding, Severity
 
 __all__ = [
     "REPORT_VERSION",
+    "per_rule_counts",
     "render_text",
     "render_json",
 ]
@@ -24,16 +25,26 @@ def _summary(findings: Sequence[Finding]) -> Dict[str, int]:
     return counts
 
 
-def render_text(findings: Sequence[Finding]) -> str:
-    """Human-readable report: one line per finding plus a summary line."""
+def per_rule_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Finding count per rule id, sorted by rule id."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(findings: Sequence[Finding], statistics: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary line.
+
+    With ``statistics`` a per-rule count table follows the summary —
+    most-frequent rule first, then by rule id.
+    """
     lines: List[str] = [finding.format() for finding in findings]
     if findings:
         counts = _summary(findings)
-        per_rule: Dict[str, int] = {}
-        for finding in findings:
-            per_rule[finding.rule_id] = per_rule.get(finding.rule_id, 0) + 1
         breakdown = ", ".join(
-            f"{rule}: {count}" for rule, count in sorted(per_rule.items())
+            f"{rule}: {count}"
+            for rule, count in per_rule_counts(findings).items()
         )
         lines.append(
             f"found {len(findings)} problem(s) "
@@ -42,14 +53,25 @@ def render_text(findings: Sequence[Finding]) -> str:
         )
     else:
         lines.append("no problems found")
+    if statistics:
+        lines.append("per-rule statistics:")
+        per_rule = per_rule_counts(findings)
+        if per_rule:
+            for rule, count in sorted(
+                per_rule.items(), key=lambda item: (-item[1], item[0])
+            ):
+                lines.append(f"  {rule}  {count}")
+        else:
+            lines.append("  (no findings)")
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
+def render_json(findings: Sequence[Finding], statistics: bool = False) -> str:
     """Machine-readable report with a stable envelope schema.
 
     The envelope is ``{"version", "count", "summary", "findings"}`` where
-    each finding row follows :meth:`Finding.to_dict`.
+    each finding row follows :meth:`Finding.to_dict`; ``statistics`` adds a
+    ``"statistics"`` object mapping rule id to finding count.
     """
     document = {
         "version": REPORT_VERSION,
@@ -57,4 +79,6 @@ def render_json(findings: Sequence[Finding]) -> str:
         "summary": _summary(findings),
         "findings": [finding.to_dict() for finding in findings],
     }
+    if statistics:
+        document["statistics"] = per_rule_counts(findings)
     return json.dumps(document, indent=2)

@@ -1,8 +1,10 @@
-"""Rule registry: importing this package registers RPR001–RPR005.
+"""Rule registry: importing this package registers RPR001–RPR005, RPR101–RPR104.
 
 Each rule lives in its own module named after its id; new rules register
 themselves via the :func:`repro.lintkit.rules.base.register` decorator and
 become visible to the engine, the CLI ``--select`` filter, and the docs.
+The RPR1xx block is the *semantic* tier: those rules consult the phase-1
+project index (:mod:`repro.lintkit.semantic`) instead of a single file.
 """
 
 from __future__ import annotations
@@ -14,6 +16,10 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     rpr003_constants,
     rpr004_exceptions,
     rpr005_api,
+    rpr101_unit_flow,
+    rpr102_rng_taint,
+    rpr103_scalar_loops,
+    rpr104_invariant_calls,
 )
 
 __all__ = [

@@ -6,10 +6,13 @@ import abc
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Type
 
 from ...errors import LintError
 from ..findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..semantic.symbols import ProjectIndex
 
 __all__ = [
     "FileContext",
@@ -42,6 +45,10 @@ class FileContext:
     package_relpath: str
     tree: ast.Module
     source: str
+    #: Phase-1 symbol table over the whole lint batch, or ``None`` when a
+    #: rule is exercised standalone. Flow-sensitive rules (RPR101–RPR104)
+    #: return no findings without it; per-file rules ignore it.
+    project: Optional["ProjectIndex"] = None
 
     def finding(
         self,

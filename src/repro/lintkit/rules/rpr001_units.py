@@ -23,6 +23,13 @@ import ast
 from typing import FrozenSet, Iterator, Optional, Tuple
 
 from ..findings import Finding, Severity
+from ..semantic.units import (  # noqa: F401  (re-exported: historical home)
+    ALLOWED_MIXES,
+    UNIT_DIMENSIONS,
+    conflict_description,
+    has_unit_suffix,
+    unit_suffix,
+)
 from .base import FileContext, Rule, register
 
 __all__ = [
@@ -33,40 +40,6 @@ __all__ = [
     "has_unit_suffix",
     "UnitSuffixRule",
 ]
-
-#: Recognized unit suffix -> physical dimension.
-UNIT_DIMENSIONS = {
-    "s": "time",
-    "ms": "time",
-    "us": "time",
-    "ns": "time",
-    "dbm": "power",
-    "db": "power",
-    "mw": "power",
-    "w": "power",
-    "bytes": "data",
-    "bits": "data",
-    "bps": "rate",
-    "kbps": "rate",
-    "j": "energy",
-    "uj": "energy",
-    "mj": "energy",
-    "hz": "frequency",
-    "khz": "frequency",
-    "mhz": "frequency",
-    "m": "length",
-    "km": "length",
-    "v": "voltage",
-    "a": "current",
-    "ma": "current",
-    "k": "temperature",
-}
-
-#: Unit pairs that may legitimately mix in additive arithmetic: dB ratios
-#: compose with dBm absolute powers in the log domain.
-ALLOWED_MIXES: FrozenSet[FrozenSet[str]] = frozenset(
-    {frozenset({"db", "dbm"})}
-)
 
 #: Name fragments that denote a dimensioned physical quantity. A public
 #: ``float`` parameter containing one of these must carry a unit suffix.
@@ -95,57 +68,12 @@ QUANTITY_STEMS: FrozenSet[str] = frozenset(
 )
 
 
-def unit_suffix(identifier: str) -> Optional[str]:
-    """The recognized plain unit suffix of ``identifier``, if it has one.
-
-    Only multi-token names qualify (``t_ms`` yes, a bare loop variable
-    ``s`` no), so short mathematical names are never misread as units.
-    Compound per-unit names (``..._uj_per_bit``) return ``None`` here —
-    they carry a unit but do not participate in plain-suffix conflict
-    checks; see :func:`has_unit_suffix`.
-    """
-    parts = identifier.lower().split("_")
-    if len(parts) < 2:
-        return None
-    suffix = parts[-1]
-    return suffix if suffix in UNIT_DIMENSIONS else None
-
-
-def has_unit_suffix(identifier: str) -> bool:
-    """Whether ``identifier`` carries a plain or compound unit suffix.
-
-    Compound form: ``<unit>_per_<anything>`` (``energy_uj_per_bit``,
-    ``cost_j_per_k``).
-    """
-    if unit_suffix(identifier) is not None:
-        return True
-    parts = identifier.lower().split("_")
-    return (
-        len(parts) >= 3
-        and parts[-2] == "per"
-        and parts[-3] in UNIT_DIMENSIONS
-    )
-
-
 def _operand_suffix(node: ast.expr) -> Optional[str]:
     if isinstance(node, ast.Name):
         return unit_suffix(node.id)
     if isinstance(node, ast.Attribute):
         return unit_suffix(node.attr)
     return None
-
-
-def _conflict(left: str, right: str) -> Optional[str]:
-    """A human-readable description of the unit conflict, or ``None``."""
-    if left == right:
-        return None
-    if frozenset({left, right}) in ALLOWED_MIXES:
-        return None
-    dim_left = UNIT_DIMENSIONS[left]
-    dim_right = UNIT_DIMENSIONS[right]
-    if dim_left == dim_right:
-        return f"mixes {dim_left} scales _{left} and _{right}"
-    return f"mixes dimensions {dim_left} (_{left}) and {dim_right} (_{right})"
 
 
 def _is_float_annotation(annotation: Optional[ast.expr]) -> bool:
@@ -201,7 +129,7 @@ class UnitSuffixRule(Rule):
         suffix_right = _operand_suffix(right)
         if suffix_left is None or suffix_right is None:
             return
-        conflict = _conflict(suffix_left, suffix_right)
+        conflict = conflict_description(suffix_left, suffix_right)
         if conflict is not None:
             yield ctx.finding(
                 self,

@@ -1,0 +1,54 @@
+"""RPR101 — flow-sensitive unit inference across functions and modules.
+
+RPR001 compares the *textual* suffixes of two operands in one expression.
+This rule runs the project-wide dataflow from
+:mod:`repro.lintkit.semantic.units` instead: unit tags propagate through
+assignments, ``float()``/numpy passthroughs, loop targets, function return
+values, and call sites, so it catches the mixes RPR001 cannot see —
+
+* ``delay = frame_air_time_s(n); total_ms = delay + t_ms`` (the unit of
+  ``delay`` is only known by looking at the callee);
+* passing a milliseconds value to a parameter named ``*_s`` two modules
+  away;
+* assigning a dBm-valued expression to a ``*_mw`` name.
+
+Findings carry provenance (*which* operand was inferred to carry *what*)
+so the fix is obvious at the report line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..semantic.symbols import module_name_for
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "UnitFlowRule",
+]
+
+
+@register
+class UnitFlowRule(Rule):
+    """Flag unit conflicts discovered by project-wide unit inference."""
+
+    rule_id = "RPR101"
+    name = "unit-flow"
+    severity = Severity.ERROR
+    description = (
+        "unit tags propagated through assignments, returns and call sites "
+        "must not conflict (cross-function/module version of RPR001)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        for conflict in ctx.project.units().conflicts_for_module(module_name):
+            yield ctx.finding(
+                self,
+                conflict.node,
+                conflict.message,
+                suggestion=conflict.suggestion,
+            )

@@ -1,0 +1,61 @@
+"""RPR102 — determinism taint: stochastic functions must thread their rng.
+
+The campaign layer's bit-identical-replay guarantee holds only if every
+function between an entry point and a random draw lets the caller control
+the seed. RPR002 catches ambient randomness *syntactically* (global numpy
+API, wall clocks); this rule works on the project call graph instead and
+flags:
+
+* any function that **transitively** reaches a random draw but has no
+  ``rng``/seed-ish parameter, no carrier-typed parameter (a class that
+  stores a seed or generator, e.g. ``SimulationOptions``, ``RngStreams``),
+  and is not a method of such a carrier class;
+* constructing a generator with a fixed or absent seed
+  (``default_rng()``, ``RngStreams(42)``) regardless of signature;
+* drawing from an ambient (module-level) generator.
+
+Deliberately *not* flagged: generators seeded from the function's own
+arguments (``default_rng(int(distance_m * 1000))`` — a pure function of
+its inputs), and ``sim/rng.py`` itself, which is the sanctioned home of
+generator plumbing. A seed packed inside a tuple/dict parameter does not
+count as threading — the signature must show the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..semantic.symbols import module_name_for
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "RngTaintRule",
+]
+
+
+@register
+class RngTaintRule(Rule):
+    """Flag stochastic functions that hide their randomness from callers."""
+
+    rule_id = "RPR102"
+    name = "rng-taint"
+    severity = Severity.ERROR
+    description = (
+        "functions transitively reaching random draws must thread an "
+        "explicit rng/seed parameter (or a seeded carrier object)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        for finding in ctx.project.rng_taint().findings_for_module(
+            module_name
+        ):
+            yield ctx.finding(
+                self,
+                finding.node,
+                finding.message,
+                suggestion=finding.suggestion,
+            )

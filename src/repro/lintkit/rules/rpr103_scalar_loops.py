@@ -1,0 +1,217 @@
+"""RPR103 — scalar Python loops over numpy arrays in model/analysis code.
+
+The reproduction's scale target (~50k configurations, ~200M simulated
+packets) makes per-element Python iteration over numpy arrays the single
+most expensive anti-pattern in the codebase: every element access boxes a
+numpy scalar and re-enters the interpreter. Flagged shapes (statement
+``for`` loops only — comprehensions over small grids are idiomatic and
+exempt):
+
+* ``for x in arr:`` where ``arr`` is known to be an ndarray (including
+  slices like ``grid[::-1]`` and fresh results like ``np.unique(bins)``);
+* ``for ... in zip(a, b):`` / ``enumerate(a)`` with a known array operand;
+* ``for i in range(len(arr)):`` / ``range(arr.size)`` — index-loops;
+* per-element writes ``arr[i] = …`` / ``arr[i] += …`` inside a loop whose
+  scalar index comes from the loop counter (or ``int(...)`` of it) —
+  the accumulate-into-preallocated-array pattern that ``np.add.at`` or a
+  list build replaces.
+
+Fix patterns: vectorize (``np.digitize`` + ``np.add.at``, boolean masks),
+or accumulate into a Python list and convert once with ``np.asarray``.
+Inherently sequential recurrences (state at ``t`` depends on ``t-1``)
+should build lists, or suppress with a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..findings import Finding, Severity
+from ..semantic.arrays import is_array_expr, known_array_names
+from ..semantic.symbols import dotted_name, module_name_for
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "ScalarLoopRule",
+]
+
+_SIZE_ATTRS = frozenset({"size", "shape"})
+
+
+@register
+class ScalarLoopRule(Rule):
+    """Flag per-element Python iteration and writes over numpy arrays."""
+
+    rule_id = "RPR103"
+    name = "scalar-numpy-loop"
+    severity = Severity.ERROR
+    description = (
+        "statement loops must not iterate or index numpy arrays "
+        "element-by-element; vectorize or build a list and convert once"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        module = ctx.project.modules.get(module_name)
+        if module is None:
+            return
+        seen = set()
+        for func in sorted(
+            ctx.project.functions.values(), key=lambda f: f.qualname
+        ):
+            if func.module != module_name:
+                continue
+            known = known_array_names(func, ctx.project)
+            local_types = ctx.project.local_class_types(func)
+            for node in ast.walk(func.node):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    for finding in self._check_loop(
+                        ctx, node, known, module_name, local_types
+                    ):
+                        key = (finding.line, finding.col, finding.message)
+                        if key not in seen:
+                            seen.add(key)
+                            yield finding
+
+    # -- iteration checks ----------------------------------------------
+    def _check_loop(
+        self,
+        ctx: FileContext,
+        loop: ast.For,
+        known: Set[str],
+        module_name: str,
+        local_types,
+    ) -> Iterator[Finding]:
+        def _is_array(expr: ast.expr) -> bool:
+            return is_array_expr(
+                expr, known, ctx.project, module_name, local_types
+            )
+
+        iterated = self._iterated_array(loop.iter, _is_array)
+        if iterated is not None:
+            yield ctx.finding(
+                self,
+                loop,
+                f"loop iterates numpy array {iterated} element-by-element",
+                suggestion="vectorize with numpy ufuncs/masks, or convert "
+                "once with .tolist() if a Python-level scan is required",
+            )
+        index_name = self._range_len_index(loop, _is_array)
+        if index_name is not None:
+            yield ctx.finding(
+                self,
+                loop,
+                f"loop indexes numpy array via range({index_name})",
+                suggestion="vectorize, or iterate the array's .tolist()",
+            )
+        yield from self._check_element_writes(ctx, loop, _is_array)
+
+    @staticmethod
+    def _iterated_array(iterable: ast.expr, _is_array) -> Optional[str]:
+        """Describe the array iterated element-wise, if any."""
+        if _is_array(iterable):
+            dotted = dotted_name(iterable)
+            return repr(dotted) if dotted else "expression"
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("zip", "enumerate", "reversed")
+        ):
+            for arg in iterable.args:
+                if _is_array(arg):
+                    dotted = dotted_name(arg)
+                    label = repr(dotted) if dotted else "expression"
+                    return f"{label} (via {iterable.func.id}(...))"
+        return None
+
+    @staticmethod
+    def _range_len_index(loop: ast.For, _is_array) -> Optional[str]:
+        """Detect ``for i in range(len(arr))`` / ``range(arr.size)``."""
+        iterable = loop.iter
+        if not (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "range"
+            and len(iterable.args) == 1
+        ):
+            return None
+        bound = iterable.args[0]
+        if (
+            isinstance(bound, ast.Call)
+            and isinstance(bound.func, ast.Name)
+            and bound.func.id == "len"
+            and len(bound.args) == 1
+            and _is_array(bound.args[0])
+        ):
+            inner = dotted_name(bound.args[0]) or "..."
+            return f"len({inner})"
+        if (
+            isinstance(bound, ast.Attribute)
+            and bound.attr in _SIZE_ATTRS
+            and _is_array(bound.value)
+        ):
+            return f"{dotted_name(bound) or '...'}"
+        return None
+
+    # -- element-write checks ------------------------------------------
+    def _check_element_writes(
+        self, ctx: FileContext, loop: ast.For, _is_array
+    ) -> Iterator[Finding]:
+        scalar_indices = self._scalar_index_names(loop)
+        if not scalar_indices:
+            return
+        for node in ast.walk(loop):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Subscript)
+                    and _is_array(target.value)
+                ):
+                    continue
+                index = target.slice
+                if (
+                    isinstance(index, ast.Name)
+                    and index.id in scalar_indices
+                ):
+                    array_label = dotted_name(target.value) or "array"
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"per-element write {array_label}[{index.id}] "
+                        f"inside a Python loop",
+                        suggestion="vectorize (np.add.at / boolean masks), "
+                        "or append to a list and np.asarray once after the "
+                        "loop",
+                    )
+
+    @staticmethod
+    def _scalar_index_names(loop: ast.For) -> Set[str]:
+        """Loop counters and ``int(...)``-derived locals bound in the body."""
+        names: Set[str] = set()
+
+        def _collect_target(target: ast.expr) -> None:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    _collect_target(element)
+
+        _collect_target(loop.target)
+        for node in ast.walk(loop):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id == "int"
+            ):
+                names.add(node.targets[0].id)
+        return names

@@ -1,0 +1,156 @@
+"""RPR104 — loop-invariant pure calls that should be hoisted.
+
+A call executed on every iteration of a hot loop, whose callee is a *pure*
+project function (see :mod:`repro.lintkit.semantic.purity`) and whose
+arguments never change inside the loop, recomputes the same value each
+time. In campaign sweeps the loop body runs tens of thousands of times, so
+a loop-invariant ``SimulationOptions(...)`` construction or model-table
+rebuild is pure waste.
+
+Precision guards (each one eliminates a class of false positives):
+
+* only **direct statements** of the loop body count — a call under an
+  ``if``/``try`` is conditional, and hoisting would change behavior;
+* only calls resolved to **project** functions/constructors inferred pure
+  — builtins, numpy, and unresolved methods are never flagged;
+* constructors are only flagged for **frozen** dataclasses — hoisting a
+  mutable object out of a loop aliases one instance across iterations;
+* arguments must be simple (names/attributes/constants, no nested calls)
+  and must not mention any name bound anywhere inside the loop;
+* ``return``/``raise`` statements are exempt (they execute at most once).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..findings import Finding, Severity
+from ..semantic.purity import class_constructor_pure
+from ..semantic.symbols import module_name_for
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "InvariantCallRule",
+]
+
+
+def _bound_names(loop: ast.AST) -> Set[str]:
+    """Every name bound anywhere inside ``loop`` (targets, walrus, with-as)."""
+    bound: Set[str] = set()
+
+    def _collect(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                _collect(element)
+        elif isinstance(target, ast.Starred):
+            _collect(target.value)
+
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                _collect(target)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            _collect(node.target)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            _collect(node.target)
+        elif isinstance(node, ast.NamedExpr):
+            _collect(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    _collect(item.optional_vars)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, ast.comprehension):
+            _collect(node.target)
+    return bound
+
+
+def _simple_invariant_args(call: ast.Call, bound: Set[str]) -> bool:
+    """Whether every argument is loop-invariant and side-effect free."""
+    expressions: List[ast.expr] = list(call.args) + [
+        keyword.value for keyword in call.keywords
+    ]
+    for expr in expressions:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Call, ast.Await, ast.NamedExpr)):
+                return False
+            if isinstance(node, ast.Name) and node.id in bound:
+                return False
+    return True
+
+
+@register
+class InvariantCallRule(Rule):
+    """Flag pure project calls with loop-invariant arguments inside loops."""
+
+    rule_id = "RPR104"
+    name = "loop-invariant-call"
+    severity = Severity.ERROR
+    description = (
+        "calls to pure project functions whose arguments do not change "
+        "inside the enclosing loop should be hoisted out of it"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        graph = ctx.project.call_graph()
+        pure = ctx.project.purity()
+        for func in sorted(
+            ctx.project.functions.values(), key=lambda f: f.qualname
+        ):
+            if func.module != module_name:
+                continue
+            for node in ast.walk(func.node):
+                if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                    yield from self._check_loop(ctx, node, graph, pure)
+
+    def _check_loop(
+        self,
+        ctx: FileContext,
+        loop: ast.AST,
+        graph,
+        pure: Set[str],
+    ) -> Iterator[Finding]:
+        bound = _bound_names(loop)
+        for stmt in loop.body:
+            if not isinstance(
+                stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Expr)
+            ):
+                continue  # conditionals/returns/nested loops handled apart
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                site = graph.site_for(node)
+                if site is None:
+                    continue
+                if site.kind == "function":
+                    if site.callee not in pure:
+                        continue
+                    label = site.callee.split(".")[-1]
+                else:
+                    cls = ctx.project.classes.get(site.callee)
+                    if (
+                        cls is None
+                        or not cls.is_frozen
+                        or not class_constructor_pure(
+                            ctx.project, site.callee, pure
+                        )
+                    ):
+                        continue
+                    label = site.callee.split(".")[-1]
+                if not _simple_invariant_args(node, bound):
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"loop-invariant call to pure {label!r}: arguments "
+                    f"never change inside this loop",
+                    suggestion="hoist the call above the loop and reuse "
+                    "the result",
+                )

@@ -1,0 +1,168 @@
+"""Local inference of which names hold numpy arrays (for RPR103).
+
+Deliberately shallow and high-precision: a name is *known* to be an array
+only when it is bound from a numpy constructor (``np.zeros``, ``np.asarray``,
+``np.linspace``, …), an array-preserving method (``.astype``, ``.copy``),
+a slice or boolean mask of a known array, a parameter or dataclass field
+annotated ``np.ndarray``, or a project function whose return annotation
+says ``np.ndarray``. Plain integer indexing (``arr[i]``) yields a scalar
+and is *not* propagated, so loop counters never look like arrays.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+from .symbols import (
+    FunctionInfo,
+    ProjectIndex,
+    annotation_type_names,
+    dotted_name,
+)
+
+__all__ = [
+    "NUMPY_ARRAY_CONSTRUCTORS",
+    "known_array_names",
+    "is_array_expr",
+]
+
+#: numpy callables (attribute tail) that return an ndarray.
+NUMPY_ARRAY_CONSTRUCTORS = frozenset(
+    {
+        "array", "asarray", "asfarray", "zeros", "ones", "empty", "full",
+        "zeros_like", "ones_like", "empty_like", "full_like", "arange",
+        "linspace", "logspace", "geomspace", "concatenate", "stack",
+        "vstack", "hstack", "column_stack", "atleast_1d", "unique", "sort",
+        "cumsum", "cumprod", "diff", "clip", "where", "digitize",
+        "flatnonzero", "nonzero", "argsort", "searchsorted", "repeat",
+        "tile", "meshgrid", "fromiter", "frombuffer", "histogram",
+    }
+)
+
+#: ndarray methods that return another ndarray.
+_ARRAY_METHODS = frozenset(
+    {"astype", "copy", "reshape", "ravel", "flatten", "cumsum", "clip",
+     "round", "squeeze", "transpose"}
+)
+
+_NDARRAY_TAILS = frozenset({"ndarray", "NDArray", "ArrayLike"})
+
+
+def _annotation_is_array(annotation: Optional[ast.expr]) -> bool:
+    return any(
+        name.split(".")[-1] in _NDARRAY_TAILS
+        for name in annotation_type_names(annotation)
+    )
+
+
+def _numpy_call_tail(call: ast.Call) -> Optional[str]:
+    """The numpy function name when ``call`` is ``np.<name>(...)``."""
+    if isinstance(call.func, ast.Attribute):
+        head = dotted_name(call.func.value)
+        if head in ("np", "numpy") or (
+            head is not None and head.startswith(("np.", "numpy."))
+        ):
+            return call.func.attr
+    return None
+
+
+def is_array_expr(
+    expr: ast.expr,
+    known: Set[str],
+    index: Optional[ProjectIndex] = None,
+    module_name: str = "",
+    local_types: Optional[Dict[str, str]] = None,
+) -> bool:
+    """Whether ``expr`` is known to evaluate to a numpy array."""
+    dotted = dotted_name(expr)
+    if dotted is not None:
+        return dotted in known
+    if isinstance(expr, ast.Call):
+        tail = _numpy_call_tail(expr)
+        if tail in NUMPY_ARRAY_CONSTRUCTORS:
+            return True
+        if (
+            isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _ARRAY_METHODS
+            and is_array_expr(
+                expr.func.value, known, index, module_name, local_types
+            )
+        ):
+            return True
+        if index is not None:
+            resolved = index.resolve_call(module_name, expr, local_types)
+            if resolved is not None and resolved[0] == "function":
+                func = index.functions.get(resolved[1])
+                if func is not None and _annotation_is_array(func.returns):
+                    return True
+        return False
+    if isinstance(expr, ast.Subscript):
+        if not is_array_expr(
+            expr.value, known, index, module_name, local_types
+        ):
+            return False
+        # Slices and boolean masks keep arrays arrays; scalar indexing
+        # (arr[i]) does not.
+        inner = expr.slice
+        if isinstance(inner, ast.Slice):
+            return True
+        if isinstance(inner, ast.Tuple) and any(
+            isinstance(element, ast.Slice) for element in inner.elts
+        ):
+            return True
+        if isinstance(inner, (ast.Compare, ast.BinOp, ast.UnaryOp)):
+            return True  # mask / fancy arithmetic index
+        return is_array_expr(inner, known, index, module_name, local_types)
+    if isinstance(expr, ast.BinOp):
+        return is_array_expr(
+            expr.left, known, index, module_name, local_types
+        ) or is_array_expr(expr.right, known, index, module_name, local_types)
+    return False
+
+
+def known_array_names(
+    func: FunctionInfo,
+    index: ProjectIndex,
+) -> Set[str]:
+    """Dotted names known to hold numpy arrays inside ``func``.
+
+    Includes parameters annotated ``np.ndarray``, attribute chains through
+    project dataclass fields annotated ``np.ndarray`` (``series.times_s``),
+    and locals assigned from array-producing expressions (iterated to a
+    small fixpoint so chains like ``a = np.asarray(...); b = a[1:]`` work).
+    """
+    known: Set[str] = set()
+    local_types = index.local_class_types(func)
+    for param in func.params:
+        if _annotation_is_array(param.annotation):
+            known.add(param.name)
+    for receiver, class_qualname in local_types.items():
+        cls = index.classes.get(class_qualname)
+        if cls is None:
+            continue
+        for field_name, annotation in cls.fields.items():
+            if _annotation_is_array(annotation):
+                known.add(f"{receiver}.{field_name}")
+    for _ in range(3):
+        before = len(known)
+        for node in ProjectIndex._walk_body(func.node):
+            if not (
+                isinstance(node, (ast.Assign, ast.AnnAssign))
+            ):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            if is_array_expr(
+                value, known, index, func.module, local_types
+            ):
+                known.add(targets[0].id)
+        if len(known) == before:
+            break
+    return known

@@ -1,0 +1,208 @@
+"""Side-effect (purity) inference for RPR104's hoisting suggestions.
+
+A function is *pure* when calling it twice with the same arguments is
+observably the same as calling it once: no writes to non-local state, no
+I/O, no randomness. The analysis is a greatest fixpoint: every project
+function starts optimistically pure, local impurity evidence (global
+statements, attribute/subscript stores, mutator or unknown external calls,
+``yield``/``await``) removes it, and impurity then propagates backwards
+along the call graph until stable.
+
+Raising is allowed — a validator that always raises on the same bad input
+is still hoistable. ``self`` attribute stores are allowed only inside
+``__init__``/``__post_init__`` (object construction), so a dataclass
+constructor that merely validates stays pure and RPR104 can suggest
+hoisting loop-invariant constructions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from .symbols import FunctionInfo, ProjectIndex, dotted_name
+
+__all__ = [
+    "PURE_BUILTINS",
+    "pure_functions",
+    "class_constructor_pure",
+]
+
+#: Builtins that neither mutate their arguments nor touch the world.
+PURE_BUILTINS = frozenset(
+    {
+        "abs", "all", "any", "bool", "bytes", "callable", "chr", "dict",
+        "divmod", "enumerate", "filter", "float", "format", "frozenset",
+        "getattr", "hasattr", "hash", "hex", "int", "isinstance",
+        "issubclass", "iter", "len", "list", "map", "max", "min", "oct",
+        "ord", "pow", "range", "repr", "reversed", "round", "set", "slice",
+        "sorted", "str", "sum", "tuple", "type", "zip",
+    }
+)
+
+#: External dotted-name prefixes assumed pure (math and value-level numpy).
+_PURE_PREFIXES = (
+    "math.",
+    "numpy.",
+    "np.",
+    "dataclasses.",
+    "itertools.",
+    "enum.",
+    "typing.",
+)
+
+#: Exceptions inside the pure prefixes: these do I/O or carry hidden state.
+_IMPURE_FRAGMENTS = ("random", "save", "load", "fromfile", "tofile", "seterr")
+
+#: Method names that mutate their receiver — calls to them are impure
+#: unless the receiver was freshly created in the same function.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "pop", "popitem",
+        "remove", "discard", "clear", "sort", "reverse", "setdefault",
+        "write", "writelines", "writerow", "put", "send", "close", "open",
+        "seek", "flush", "shuffle", "read_text", "write_text", "read_bytes",
+        "write_bytes", "mkdir", "unlink", "rmdir", "touch", "rename",
+    }
+)
+
+#: Top-level names whose attribute calls imply I/O or ambient state.
+_IMPURE_HEADS = frozenset(
+    {
+        "time", "os", "sys", "io", "socket", "subprocess", "shutil",
+        "logging", "warnings", "pickle", "json", "random", "print", "open",
+        "input",
+    }
+)
+
+_FRESH_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _fresh_locals(func_node: ast.AST) -> Set[str]:
+    """Names bound in this function to freshly created containers."""
+    fresh: Set[str] = set()
+    for node in ProjectIndex._walk_body(func_node):
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            continue
+        value = node.value
+        is_fresh = isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                    ast.SetComp)
+        ) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _FRESH_CONSTRUCTORS
+        )
+        if is_fresh:
+            fresh.add(node.targets[0].id)
+    return fresh
+
+
+def _external_call_pure(absolute: str) -> bool:
+    if absolute.split(".")[0] in PURE_BUILTINS and "." not in absolute:
+        return True
+    if absolute.startswith(_PURE_PREFIXES):
+        return not any(frag in absolute for frag in _IMPURE_FRAGMENTS)
+    return False
+
+
+def _locally_impure(index: ProjectIndex, func: FunctionInfo) -> bool:
+    is_constructor = func.name in ("__init__", "__post_init__")
+    receiver = ""
+    if func.is_method and not func.is_static and func.params:
+        receiver = func.params[0].name
+    fresh = _fresh_locals(func.node)
+    for node in ProjectIndex._walk_body(func.node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            return True
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+            return True
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                base = dotted_name(target.value)
+                if not (is_constructor and base == receiver):
+                    return True
+            elif isinstance(target, ast.Subscript):
+                base = dotted_name(target.value)
+                if base is None or base.split(".")[0] not in fresh:
+                    return True
+    return False
+
+
+def _call_sites_pure(
+    index: ProjectIndex,
+    func: FunctionInfo,
+    pure: Set[str],
+) -> bool:
+    graph = index.call_graph()
+    for callee in graph.edges.get(func.qualname, ()):
+        if callee not in pure:
+            return False
+    for site in graph.sites.get(func.qualname, ()):
+        if site.kind == "class" and not class_constructor_pure(
+            index, site.callee, pure
+        ):
+            return False
+    fresh = _fresh_locals(func.node)
+    for absolute in graph.external.get(func.qualname, ()):
+        if _external_call_pure(absolute):
+            continue
+        parts = absolute.split(".")
+        if parts[0] in _IMPURE_HEADS:
+            return False
+        if any("rng" in part or "random" in part for part in parts):
+            return False
+        if len(parts) >= 2:
+            # An unresolved method call: impure only for known mutator
+            # names on receivers that are not freshly created here.
+            if parts[-1] in _MUTATOR_METHODS and parts[0] not in fresh:
+                return False
+            continue
+        return False
+    return True
+
+
+def class_constructor_pure(
+    index: ProjectIndex, class_qualname: str, pure: Set[str]
+) -> bool:
+    """Whether constructing ``class_qualname`` is a pure operation."""
+    cls = index.classes.get(class_qualname)
+    if cls is None:
+        return False
+    for ctor_name in ("__init__", "__post_init__"):
+        ctor = cls.methods.get(ctor_name)
+        if ctor is not None and ctor.qualname not in pure:
+            return False
+    if "__init__" not in cls.methods and not cls.is_dataclass:
+        # A plain class without __init__: object() construction, pure.
+        return True
+    return True
+
+
+def pure_functions(index: ProjectIndex) -> Set[str]:
+    """Qualnames of project functions inferred pure (greatest fixpoint)."""
+    pure: Set[str] = {
+        qualname
+        for qualname, func in index.functions.items()
+        if not _locally_impure(index, func)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(pure):
+            func = index.functions[qualname]
+            if not _call_sites_pure(index, func, pure):
+                pure.discard(qualname)
+                changed = True
+    return pure

@@ -1,0 +1,387 @@
+"""Determinism taint analysis (RPR102): who draws randomness, and how.
+
+Every function in the project is classified:
+
+* **deterministic** — no randomness, or only draws from a generator the
+  function itself constructs with a seed *derived from its own arguments*
+  (e.g. frozen per-position shadowing offsets keyed on distance);
+* **rng-threaded stochastic** — draws from a generator received via an
+  ``rng``/seed parameter, a carrier object (a parameter or ``self`` whose
+  type stores a seed or generator), or calls another stochastic project
+  function. These are fine *provided* the signature threads the randomness
+  — callers can reproduce runs by controlling the seed;
+* **violating** — stochastic with no way for the caller to control the
+  seed: no rng/seed-ish parameter, no carrier-typed parameter, not a
+  method of a carrier class. Also any construction of a generator with a
+  fixed or absent seed (``default_rng()``, ``RngStreams(42)``).
+
+Carrier detection is deliberately *shallow*: a seed packed inside a tuple
+or dict parameter does not count, because such plumbing hides the
+determinism contract from the signature — exactly what the rule exists to
+surface.
+
+Taint propagates along the project call graph to a fixpoint, so a function
+three layers above ``sim/rng.py`` is still caught.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ProjectIndex,
+    annotation_type_names,
+    dotted_name,
+)
+
+__all__ = [
+    "DRAW_METHODS",
+    "RNG_PARAM_RE",
+    "TaintFinding",
+    "RngTaint",
+]
+
+#: Generator methods whose call constitutes a random draw.
+DRAW_METHODS = frozenset(
+    {
+        "random", "normal", "standard_normal", "uniform", "integers",
+        "choice", "exponential", "poisson", "lognormal", "gamma", "beta",
+        "binomial", "geometric", "shuffle", "permutation", "rayleigh",
+        "triangular", "vonmises", "weibull", "chisquare", "bytes",
+    }
+)
+
+#: Parameter names that thread randomness explicitly.
+RNG_PARAM_RE = re.compile(
+    r"(^|_)(rng|gen|generator|random_state|streams?|seeds?)$|^rng_|seed"
+)
+
+#: Annotation type names that carry a generator or seed by construction.
+_CARRIER_TYPE_TAILS = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "RandomState", "Namespace"}
+)
+
+#: Constructors that produce a generator; callers must pass a seed.
+_GENERATOR_CTOR_TAILS = frozenset({"default_rng", "SeedSequence"})
+
+#: Name fragments marking a receiver as a generator-ish object.
+_RNG_RECEIVER_RE = re.compile(r"rng|random|generator|stream")
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """One determinism violation anchored at an AST node."""
+
+    module: str
+    node: ast.AST
+    message: str
+    suggestion: str
+
+
+def _is_rngish_param(param_name: str) -> bool:
+    return bool(RNG_PARAM_RE.search(param_name.lower()))
+
+
+class RngTaint:
+    """Project-wide determinism classification, computed eagerly on build."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self._index = index
+        self._graph = index.call_graph()
+        self._carrier_classes = self._compute_carrier_classes()
+        #: functions with direct, rng-threaded draws (taint sources).
+        self.draw_roots: Set[str] = set()
+        #: all functions that are stochastic given their inputs' rng state.
+        self.stochastic: Set[str] = set()
+        self._local_findings: Dict[str, List[TaintFinding]] = {}
+        self._scan_all()
+        self._propagate()
+        self._signature_findings = self._check_signatures()
+
+    # -- public API ----------------------------------------------------
+    def findings_for_module(self, module_name: str) -> List[TaintFinding]:
+        """All RPR102 findings for functions defined in ``module_name``."""
+        found: List[TaintFinding] = []
+        for qualname in sorted(self._local_findings):
+            func = self._index.functions.get(qualname)
+            if func is not None and func.module == module_name:
+                found.extend(self._local_findings[qualname])
+        found.extend(
+            finding
+            for finding in self._signature_findings
+            if finding.module == module_name
+        )
+        return found
+
+    def is_carrier_class(self, qualname: str) -> bool:
+        """Whether instances of the class carry their own seeded randomness."""
+        return qualname in self._carrier_classes
+
+    # -- carrier classes -----------------------------------------------
+    def _compute_carrier_classes(self) -> Set[str]:
+        carriers: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for qualname, cls in self._index.classes.items():
+                if qualname in carriers:
+                    continue
+                if self._class_is_carrier(cls, carriers):
+                    carriers.add(qualname)
+                    changed = True
+        return carriers
+
+    def _class_is_carrier(
+        self, cls: ClassInfo, carriers: Set[str]
+    ) -> bool:
+        for param in cls.constructor_params():
+            if _is_rngish_param(param.name):
+                return True
+            if self._is_carrier_annotation(cls.module, param.type_names, carriers):
+                return True
+        for field_name, annotation in cls.fields.items():
+            if _is_rngish_param(field_name):
+                return True
+            if self._is_carrier_annotation(
+                cls.module, annotation_type_names(annotation), carriers
+            ):
+                return True
+        init = cls.methods.get("__init__")
+        if init is not None:
+            # self._rng = np.random.default_rng(seed)-style construction
+            for node in ProjectIndex._walk_body(init.node):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(
+                            target, ast.Attribute
+                        ) and _RNG_RECEIVER_RE.search(target.attr.lower()):
+                            return True
+        return False
+
+    def _is_carrier_annotation(
+        self,
+        module_name: str,
+        type_names: List[str],
+        carriers: Optional[Set[str]] = None,
+    ) -> bool:
+        if carriers is None:
+            carriers = self._carrier_classes
+        for type_name in type_names:
+            if type_name.split(".")[-1] in _CARRIER_TYPE_TAILS:
+                return True
+            resolved = self._index.resolve_name(module_name, type_name)
+            if resolved and resolved[0] == "class" and resolved[1] in carriers:
+                return True
+        return False
+
+    # -- per-function scan ---------------------------------------------
+    def _scan_all(self) -> None:
+        for func in self._index.functions.values():
+            self._scan_function(func)
+
+    def _scan_function(self, func: FunctionInfo) -> None:
+        module = self._index.modules.get(func.module)
+        if module is None or self._sanctioned(module.package_relpath):
+            return
+        param_names = {param.name for param in func.params}
+        derived = self._param_derived_names(func, param_names)
+        seeded_locals, ctor_locals, findings = self._generator_locals(
+            func, module.name, derived
+        )
+        for node in ProjectIndex._walk_body(func.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in DRAW_METHODS
+            ):
+                continue
+            receiver = dotted_name(node.func.value)
+            if receiver is None:
+                continue
+            head = receiver.split(".")[0]
+            if not _RNG_RECEIVER_RE.search(receiver.lower()):
+                continue
+            if head in ctor_locals:
+                # Constructed here: deterministic when seeded from the
+                # function's own arguments, otherwise already reported at
+                # the construction site.
+                continue
+            if head in derived or head in ("self", "cls"):
+                self.draw_roots.add(func.qualname)
+                continue
+            # Draw on something neither parameter-fed nor locally seeded:
+            # a module-level or otherwise ambient generator.
+            findings.append(
+                TaintFinding(
+                    module=func.module,
+                    node=node,
+                    message=(
+                        f"function {func.name!r} draws from ambient "
+                        f"generator {receiver!r} not received as a "
+                        f"parameter or seeded from one"
+                    ),
+                    suggestion="accept an rng/seed parameter and draw "
+                    "from it",
+                )
+            )
+        if findings:
+            self._local_findings[func.qualname] = findings
+
+    def _sanctioned(self, package_relpath: str) -> bool:
+        return package_relpath == "sim/rng.py"
+
+    def _param_derived_names(
+        self, func: FunctionInfo, param_names: Set[str]
+    ) -> Set[str]:
+        """Locals whose value (transitively) references a parameter."""
+        derived = set(param_names)
+        for _ in range(2):  # two passes handle simple chains
+            for node in ProjectIndex._walk_body(func.node):
+                if not (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    continue
+                names = {
+                    child.id
+                    for child in ast.walk(node.value)
+                    if isinstance(child, ast.Name)
+                }
+                if names & derived:
+                    derived.add(node.targets[0].id)
+        return derived
+
+    def _generator_locals(
+        self,
+        func: FunctionInfo,
+        module_name: str,
+        derived: Set[str],
+    ) -> Tuple[Set[str], Set[str], List[TaintFinding]]:
+        """Locals bound to generators seeded from the function's own args.
+
+        Returns ``(seeded, all_ctor_bound, findings)``: generator
+        constructions with a fixed literal seed or no seed at all are
+        reported as violations on the spot.
+        """
+        seeded: Set[str] = set()
+        ctor_bound: Set[str] = set()
+        findings: List[TaintFinding] = []
+        for node in ProjectIndex._walk_body(func.node):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            call = node.value
+            ctor = self._generator_ctor_name(module_name, call)
+            if ctor is None:
+                continue
+            ctor_bound.add(node.targets[0].id)
+            seed_args = list(call.args) + [kw.value for kw in call.keywords]
+            arg_names = {
+                child.id
+                for arg in seed_args
+                for child in ast.walk(arg)
+                if isinstance(child, ast.Name)
+            }
+            if arg_names & derived:
+                seeded.add(node.targets[0].id)
+            elif not seed_args:
+                findings.append(
+                    TaintFinding(
+                        module=func.module,
+                        node=call,
+                        message=(
+                            f"function {func.name!r} constructs {ctor!r} "
+                            f"without a seed — nondeterministic entropy "
+                            f"from the OS"
+                        ),
+                        suggestion="pass a seed derived from a parameter",
+                    )
+                )
+            else:
+                findings.append(
+                    TaintFinding(
+                        module=func.module,
+                        node=call,
+                        message=(
+                            f"function {func.name!r} constructs {ctor!r} "
+                            f"with a seed not derived from any parameter "
+                            f"— a hidden fixed seed"
+                        ),
+                        suggestion="derive the seed from a parameter so "
+                        "callers control reproducibility",
+                    )
+                )
+        return seeded, ctor_bound, findings
+
+    def _generator_ctor_name(
+        self, module_name: str, call: ast.Call
+    ) -> Optional[str]:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        if dotted.split(".")[-1] in _GENERATOR_CTOR_TAILS:
+            return dotted
+        resolved = self._index.resolve_name(module_name, dotted)
+        if resolved and resolved[0] == "class":
+            cls = self._index.classes.get(resolved[1])
+            if cls is not None and _RNG_RECEIVER_RE.search(cls.name.lower()):
+                return dotted
+        return None
+
+    # -- propagation and signature check -------------------------------
+    def _propagate(self) -> None:
+        self.stochastic = self._graph.callers_of(set(self.draw_roots))
+
+    def _check_signatures(self) -> List[TaintFinding]:
+        findings: List[TaintFinding] = []
+        for qualname in sorted(self.stochastic):
+            func = self._index.functions.get(qualname)
+            if func is None:
+                continue
+            module = self._index.modules.get(func.module)
+            if module is None or self._sanctioned(module.package_relpath):
+                continue
+            if func.name.startswith("__") and func.name.endswith("__"):
+                continue  # dunders inherit their class's contract
+            if self._signature_threads_rng(func):
+                continue
+            path = self._graph.path_to(qualname, self.draw_roots) or [qualname]
+            chain = " -> ".join(part.split(".")[-1] for part in path)
+            findings.append(
+                TaintFinding(
+                    module=func.module,
+                    node=func.node,
+                    message=(
+                        f"function {func.name!r} transitively draws "
+                        f"randomness (via {chain}) but threads no rng/seed "
+                        f"parameter"
+                    ),
+                    suggestion="add an explicit rng or seed parameter (or "
+                    "pass a seeded carrier object) so callers control "
+                    "determinism",
+                )
+            )
+        return findings
+
+    def _signature_threads_rng(self, func: FunctionInfo) -> bool:
+        if func.is_method and func.class_qualname in self._carrier_classes:
+            if not func.is_static:
+                return True
+        for param in func.params:
+            if param.name in ("self", "cls"):
+                continue
+            if _is_rngish_param(param.name):
+                return True
+            if self._is_carrier_annotation(func.module, param.type_names):
+                return True
+        return False

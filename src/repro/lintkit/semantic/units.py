@@ -1,0 +1,722 @@
+"""Unit-suffix lattice and project-wide unit-inference dataflow (RPR101).
+
+The vocabulary half (``UNIT_DIMENSIONS``, ``unit_suffix``, …) is the single
+source of truth for the repository's suffix convention; RPR001 re-exports
+it for its purely textual per-expression check.
+
+The :class:`UnitInference` half is the semantic upgrade: a forward abstract
+interpretation per function where the abstract value of an expression is
+its unit tag (``"s"``, ``"dbm"``, …) or unknown. Units enter the lattice
+from identifier suffixes, flow through assignments, ``float()``/numpy
+passthroughs, aggregation methods, tuple-unpacking ``for`` targets, and —
+crucially — across call sites: a call to a project function whose name
+carries a suffix (or all of whose ``return`` expressions agree on a unit)
+evaluates to that unit. Three checks consume the flow:
+
+* additive arithmetic/comparison conflicts where at least one operand's
+  unit was *inferred* (the textual-only case is RPR001's);
+* assigning a known-unit value to a name whose suffix disagrees;
+* passing a known-unit argument to a parameter whose suffix disagrees —
+  the cross-module case no per-file rule can see;
+* returning a known-unit value from a function whose name suffix declares
+  a different unit. The ``db``/``dbm`` exemption does **not** apply here:
+  adding a dB gain to a dBm level is log-domain arithmetic, but *returning*
+  a dB ratio from a ``_dbm`` function claims an identity that only holds
+  relative to an implicit reference level.
+
+Log-domain arithmetic is modelled: ``dBm − dBm → dB``, ``dBm ± dB → dBm``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .symbols import FunctionInfo, ProjectIndex, dotted_name
+
+__all__ = [
+    "UNIT_DIMENSIONS",
+    "ALLOWED_MIXES",
+    "unit_suffix",
+    "has_unit_suffix",
+    "conflict_description",
+    "UnitConflict",
+    "UnitInference",
+]
+
+#: Recognized unit suffix -> physical dimension.
+UNIT_DIMENSIONS = {
+    "s": "time",
+    "ms": "time",
+    "us": "time",
+    "ns": "time",
+    "dbm": "power",
+    "db": "power",
+    "mw": "power",
+    "w": "power",
+    "bytes": "data",
+    "bits": "data",
+    "bps": "rate",
+    "kbps": "rate",
+    "j": "energy",
+    "uj": "energy",
+    "mj": "energy",
+    "hz": "frequency",
+    "khz": "frequency",
+    "mhz": "frequency",
+    "m": "length",
+    "km": "length",
+    "v": "voltage",
+    "a": "current",
+    "ma": "current",
+    "k": "temperature",
+}
+
+#: Unit pairs that may legitimately mix in additive arithmetic: dB ratios
+#: compose with dBm absolute powers in the log domain.
+ALLOWED_MIXES: FrozenSet[FrozenSet[str]] = frozenset(
+    {frozenset({"db", "dbm"})}
+)
+
+
+def unit_suffix(identifier: str) -> Optional[str]:
+    """The recognized plain unit suffix of ``identifier``, if it has one.
+
+    Only multi-token names qualify (``t_ms`` yes, a bare loop variable
+    ``s`` no), so short mathematical names are never misread as units.
+    Compound per-unit names (``..._uj_per_bit``) return ``None`` here —
+    they carry a unit but do not participate in plain-suffix conflict
+    checks; see :func:`has_unit_suffix`.
+    """
+    parts = identifier.lower().split("_")
+    if len(parts) < 2:
+        return None
+    suffix = parts[-1]
+    return suffix if suffix in UNIT_DIMENSIONS else None
+
+
+def has_unit_suffix(identifier: str) -> bool:
+    """Whether ``identifier`` carries a plain or compound unit suffix.
+
+    Compound form: ``<unit>_per_<anything>`` (``energy_uj_per_bit``,
+    ``cost_j_per_k``).
+    """
+    if unit_suffix(identifier) is not None:
+        return True
+    parts = identifier.lower().split("_")
+    return (
+        len(parts) >= 3
+        and parts[-2] == "per"
+        and parts[-3] in UNIT_DIMENSIONS
+    )
+
+
+def conflict_description(left: str, right: str) -> Optional[str]:
+    """A human-readable description of the unit conflict, or ``None``."""
+    if left == right:
+        return None
+    if frozenset({left, right}) in ALLOWED_MIXES:
+        return None
+    dim_left = UNIT_DIMENSIONS[left]
+    dim_right = UNIT_DIMENSIONS[right]
+    if dim_left == dim_right:
+        return f"mixes {dim_left} scales _{left} and _{right}"
+    return f"mixes dimensions {dim_left} (_{left}) and {dim_right} (_{right})"
+
+
+def _combine_additive(op: ast.operator, left: str, right: str) -> Optional[str]:
+    """Resulting unit of ``left <op> right`` for compatible operands."""
+    if left == right:
+        if left == "dbm" and isinstance(op, ast.Sub):
+            return "db"  # difference of absolute powers is a ratio
+        return left
+    if frozenset({left, right}) in ALLOWED_MIXES:
+        if isinstance(op, ast.Add):
+            return "dbm"
+        return "dbm" if left == "dbm" else None
+    return None
+
+
+#: numpy helpers whose result carries the unit of their first argument.
+_NUMPY_PASSTHROUGH = frozenset(
+    {
+        "abs", "clip", "asarray", "array", "atleast_1d", "ravel", "squeeze",
+        "sort", "unique", "mean", "median", "nanmean", "min", "max", "amin",
+        "amax", "nanmin", "nanmax", "percentile", "quantile", "round",
+        "floor", "ceil", "copy", "cumsum", "full_like",
+    }
+)
+
+#: numpy helpers whose result joins the units of all their arguments.
+_NUMPY_JOIN = frozenset({"maximum", "minimum", "fmax", "fmin"})
+
+#: builtins transparent to units.
+_BARE_PASSTHROUGH = frozenset({"float", "abs", "round", "int", "sum", "sorted"})
+_BARE_JOIN = frozenset({"min", "max"})
+
+#: methods whose result carries the unit of their receiver.
+_AGG_METHODS = frozenset(
+    {
+        "mean", "sum", "min", "max", "std", "item", "copy", "astype",
+        "clip", "tolist", "cumsum",
+    }
+)
+
+_ORDERING_EXEMPT = (ast.In, ast.NotIn, ast.Is, ast.IsNot)
+
+
+@dataclass(frozen=True)
+class UnitConflict:
+    """One flow-derived unit conflict, anchored at an AST node."""
+
+    node: ast.AST
+    message: str
+    suggestion: str
+
+
+@dataclass
+class _Analysis:
+    """Per-function result: conflicts found and units of return exprs."""
+
+    conflicts: List[UnitConflict] = field(default_factory=list)
+    return_units: List[Optional[str]] = field(default_factory=list)
+    has_value_return: bool = False
+
+
+class UnitInference:
+    """Lazily analyses project functions; results are memoised per function."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self._index = index
+        self._analyses: Dict[str, _Analysis] = {}
+        self._return_units: Dict[str, Optional[str]] = {}
+
+    # -- public API ----------------------------------------------------
+    def conflicts_for_module(self, module_name: str) -> List[UnitConflict]:
+        """All unit conflicts inside functions defined in ``module_name``."""
+        conflicts: List[UnitConflict] = []
+        for func in sorted(
+            self._index.functions.values(), key=lambda f: f.qualname
+        ):
+            if func.module == module_name:
+                conflicts.extend(self._analyze(func).conflicts)
+        return conflicts
+
+    def return_unit(self, qualname: str) -> Optional[str]:
+        """The unit a call to ``qualname`` evaluates to, if inferable."""
+        if qualname in self._return_units:
+            return self._return_units[qualname]
+        func = self._index.functions.get(qualname)
+        if func is None:
+            return None
+        self._return_units[qualname] = None  # cycle guard
+        declared = unit_suffix(func.name)
+        if declared is not None:
+            self._return_units[qualname] = declared
+            return declared
+        analysis = self._analyze(func)
+        units = [u for u in analysis.return_units if u is not None]
+        if (
+            analysis.has_value_return
+            and units
+            and len(units) == len(analysis.return_units)
+            and len(set(units)) == 1
+        ):
+            self._return_units[qualname] = units[0]
+        return self._return_units[qualname]
+
+    # -- internals -----------------------------------------------------
+    def _analyze(self, func: FunctionInfo) -> _Analysis:
+        if func.qualname in self._analyses:
+            return self._analyses[func.qualname]
+        analysis = _Analysis()
+        self._analyses[func.qualname] = analysis
+        walker = _FunctionWalker(self, func, analysis)
+        walker.run()
+        return analysis
+
+
+class _FunctionWalker:
+    """Single forward pass over one function body, branch-sensitive."""
+
+    def __init__(
+        self,
+        engine: UnitInference,
+        func: FunctionInfo,
+        analysis: _Analysis,
+    ) -> None:
+        self._engine = engine
+        self._index = engine._index
+        self._func = func
+        self._analysis = analysis
+        self._types = self._index.local_class_types(func)
+        self._reported: Set[int] = set()
+
+    def run(self) -> None:
+        """Interpret the function body with an empty initial environment."""
+        env: Dict[str, Optional[str]] = {}
+        body = getattr(self._func.node, "body", [])
+        self._exec_block(body, env)
+
+    # -- statements ----------------------------------------------------
+    def _exec_block(
+        self, stmts: List[ast.stmt], env: Dict[str, Optional[str]]
+    ) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(
+        self, stmt: ast.stmt, env: Dict[str, Optional[str]]
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            unit, inferred = self._expr(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, unit, inferred, env, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                unit, inferred = self._expr(stmt.value, env)
+                self._bind(stmt.target, unit, inferred, env, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            value_unit, value_inferred = self._expr(stmt.value, env)
+            target_unit, target_inferred = self._target_unit(stmt.target, env)
+            if (
+                isinstance(stmt.op, (ast.Add, ast.Sub))
+                and value_unit
+                and target_unit
+                and (value_inferred or target_inferred)
+            ):
+                description = conflict_description(target_unit, value_unit)
+                if description:
+                    self._report(
+                        stmt,
+                        f"unit conflict (flow): augmented assignment "
+                        f"{description}",
+                        "convert the value so both sides share a unit",
+                    )
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                unit, inferred = self._expr(stmt.value, env)
+                self._analysis.return_units.append(unit)
+                self._analysis.has_value_return = True
+                self._check_return(stmt, unit, inferred)
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.test, env)
+            env_true = dict(env)
+            env_false = dict(env)
+            self._exec_block(stmt.body, env_true)
+            self._exec_block(stmt.orelse, env_false)
+            self._merge_into(env, env_true, env_false)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_unit, _ = self._expr(stmt.iter, env)
+            self._bind_loop_target(stmt.target, stmt.iter, iter_unit, env)
+            env_body = dict(env)
+            self._exec_block(stmt.body, env_body)
+            self._exec_block(stmt.orelse, env_body)
+            self._merge_into(env, env, env_body)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.test, env)
+            env_body = dict(env)
+            self._exec_block(stmt.body, env_body)
+            self._exec_block(stmt.orelse, env_body)
+            self._merge_into(env, env, env_body)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._clear_target(item.optional_vars, env)
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            env_body = dict(env)
+            self._exec_block(stmt.body, env_body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body, dict(env))
+            self._exec_block(stmt.orelse, env_body)
+            self._exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._clear_target(target, env)
+        # nested defs/classes and pass/break/continue: nothing flows
+
+    def _check_return(
+        self, stmt: ast.Return, unit: Optional[str], inferred: bool
+    ) -> None:
+        """Returned unit must match the function's declared name suffix.
+
+        Unlike additive arithmetic, the log-domain ``db``/``dbm`` mix is
+        *not* exempt: a return value states what the function yields, and a
+        dB ratio only equals a dBm level relative to an implicit reference.
+        """
+        declared = unit_suffix(self._func.name)
+        if not (declared and unit) or unit == declared:
+            return
+        description = conflict_description(unit, declared)
+        if description is None:
+            description = (
+                f"yields a _{unit} ratio where the name declares an "
+                f"absolute _{declared} level"
+            )
+        else:
+            description = f"{description} against the declared suffix"
+        provenance = ""
+        if inferred and stmt.value is not None:
+            provenance = (
+                f" ({self._describe(stmt.value)} was inferred to carry "
+                f"_{unit})"
+            )
+        self._report(
+            stmt,
+            f"unit conflict (flow): return of {self._func.name!r} "
+            f"{description}{provenance}",
+            "make the conversion explicit (e.g. divide by the reference "
+            "level) or rename the function to its actual unit",
+        )
+
+    def _bind(
+        self,
+        target: ast.expr,
+        unit: Optional[str],
+        inferred: bool,
+        env: Dict[str, Optional[str]],
+        value: ast.expr,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            textual = unit_suffix(target.id)
+            if textual and unit and inferred:
+                description = conflict_description(textual, unit)
+                if description:
+                    self._report(
+                        value,
+                        f"unit conflict (flow): assigning a _{unit} value "
+                        f"to {target.id!r} {description}",
+                        "convert the value or rename the target to match "
+                        "its actual unit",
+                    )
+            env[target.id] = textual or unit
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._clear_target(element, env)
+        # attribute/subscript targets: no local binding to track
+
+    def _bind_loop_target(
+        self,
+        target: ast.expr,
+        iterable: ast.expr,
+        iter_unit: Optional[str],
+        env: Dict[str, Optional[str]],
+    ) -> None:
+        """Bind loop targets: elements of a ``_s`` array are in seconds."""
+        self._clear_target(target, env)
+        if isinstance(target, ast.Name) and iter_unit:
+            env[target.id] = iter_unit
+        elif (
+            isinstance(target, (ast.Tuple, ast.List))
+            and isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "zip"
+            and len(iterable.args) == len(target.elts)
+        ):
+            for element, arg in zip(target.elts, iterable.args):
+                if isinstance(element, ast.Name):
+                    arg_unit, _ = self._expr(arg, env)
+                    if arg_unit:
+                        env[element.id] = arg_unit
+
+    def _clear_target(
+        self, target: ast.expr, env: Dict[str, Optional[str]]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._clear_target(element, env)
+        elif isinstance(target, ast.Starred):
+            self._clear_target(target.value, env)
+
+    @staticmethod
+    def _merge_into(
+        env: Dict[str, Optional[str]],
+        left: Dict[str, Optional[str]],
+        right: Dict[str, Optional[str]],
+    ) -> None:
+        merged = {
+            name: unit
+            for name, unit in left.items()
+            if right.get(name) == unit
+        }
+        env.clear()
+        env.update(merged)
+
+    def _target_unit(
+        self, target: ast.expr, env: Dict[str, Optional[str]]
+    ) -> Tuple[Optional[str], bool]:
+        if isinstance(target, ast.Name):
+            textual = unit_suffix(target.id)
+            if textual:
+                return textual, False
+            if target.id in env and env[target.id]:
+                return env[target.id], True
+        elif isinstance(target, ast.Attribute):
+            return unit_suffix(target.attr), False
+        return None, False
+
+    # -- expressions ---------------------------------------------------
+    def _expr(
+        self, node: ast.expr, env: Dict[str, Optional[str]]
+    ) -> Tuple[Optional[str], bool]:
+        """Unit of ``node`` plus whether it was inferred (vs. textual)."""
+        if isinstance(node, ast.Name):
+            textual = unit_suffix(node.id)
+            if textual:
+                return textual, False
+            unit = env.get(node.id)
+            return (unit, True) if unit else (None, False)
+        if isinstance(node, ast.Attribute):
+            self._expr(node.value, env)
+            return unit_suffix(node.attr), False
+        if isinstance(node, ast.Subscript):
+            unit, inferred = self._expr(node.value, env)
+            if isinstance(node.slice, ast.expr):
+                self._expr(node.slice, env)
+            return unit, inferred
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            return self._expr(node.operand, env)
+        if isinstance(node, ast.Compare):
+            self._compare(node, env)
+            return None, False
+        if isinstance(node, ast.BoolOp):
+            return self._join(
+                [self._expr(value, env) for value in node.values]
+            )
+        if isinstance(node, ast.IfExp):
+            self._expr(node.test, env)
+            return self._join(
+                [self._expr(node.body, env), self._expr(node.orelse, env)]
+            )
+        if isinstance(node, ast.Starred):
+            return self._expr(node.value, env)
+        self._generic_visit(node, env)
+        return None, False
+
+    def _generic_visit(
+        self, node: ast.AST, env: Dict[str, Optional[str]]
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, env)
+            elif isinstance(child, (ast.comprehension, ast.keyword)):
+                self._generic_visit(child, env)
+
+    @staticmethod
+    def _join(
+        units: List[Tuple[Optional[str], bool]]
+    ) -> Tuple[Optional[str], bool]:
+        known = [unit for unit, _ in units if unit]
+        if known and len(known) == len(units) and len(set(known)) == 1:
+            return known[0], any(inferred for _, inferred in units)
+        return None, False
+
+    def _binop(
+        self, node: ast.BinOp, env: Dict[str, Optional[str]]
+    ) -> Tuple[Optional[str], bool]:
+        left_unit, left_inferred = self._expr(node.left, env)
+        right_unit, right_inferred = self._expr(node.right, env)
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return None, False  # *, /, %, ** legitimately change units
+        if left_unit and right_unit:
+            if left_inferred or right_inferred:
+                description = conflict_description(left_unit, right_unit)
+                if description:
+                    provenance = self._provenance(
+                        node.left, left_unit, left_inferred,
+                        node.right, right_unit, right_inferred,
+                    )
+                    self._report(
+                        node,
+                        f"unit conflict (flow): expression {description}"
+                        f"{provenance}",
+                        "convert one operand (see repro.units) so both "
+                        "sides share a unit",
+                    )
+                    return None, False
+            result = _combine_additive(node.op, left_unit, right_unit)
+            return result, (left_inferred or right_inferred)
+        return None, False
+
+    def _compare(
+        self, node: ast.Compare, env: Dict[str, Optional[str]]
+    ) -> None:
+        operands = [node.left] + list(node.comparators)
+        units = [self._expr(operand, env) for operand in operands]
+        for op, (left, right) in zip(
+            node.ops, zip(zip(operands, units), zip(operands[1:], units[1:]))
+        ):
+            if isinstance(op, _ORDERING_EXEMPT):
+                continue
+            (left_node, (left_unit, left_inferred)) = left
+            (right_node, (right_unit, right_inferred)) = right
+            if not (left_unit and right_unit):
+                continue
+            if not (left_inferred or right_inferred):
+                continue  # textual-vs-textual is RPR001's finding
+            description = conflict_description(left_unit, right_unit)
+            if description:
+                provenance = self._provenance(
+                    left_node, left_unit, left_inferred,
+                    right_node, right_unit, right_inferred,
+                )
+                self._report(
+                    node,
+                    f"unit conflict (flow): comparison {description}"
+                    f"{provenance}",
+                    "convert one operand (see repro.units) so both sides "
+                    "share a unit",
+                )
+
+    @staticmethod
+    def _describe(node: ast.expr) -> str:
+        dotted = dotted_name(node)
+        if dotted:
+            return repr(dotted)
+        if isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            return f"call to {callee!r}" if callee else "a call"
+        return "an expression"
+
+    def _provenance(
+        self,
+        left_node: ast.expr,
+        left_unit: str,
+        left_inferred: bool,
+        right_node: ast.expr,
+        right_unit: str,
+        right_inferred: bool,
+    ) -> str:
+        notes = []
+        if left_inferred:
+            notes.append(
+                f"{self._describe(left_node)} was inferred to carry "
+                f"_{left_unit}"
+            )
+        if right_inferred:
+            notes.append(
+                f"{self._describe(right_node)} was inferred to carry "
+                f"_{right_unit}"
+            )
+        return f" ({'; '.join(notes)})" if notes else ""
+
+    # -- calls ---------------------------------------------------------
+    def _call(
+        self, node: ast.Call, env: Dict[str, Optional[str]]
+    ) -> Tuple[Optional[str], bool]:
+        arg_units = [self._expr(arg, env) for arg in node.args]
+        keyword_units = [
+            (kw, self._expr(kw.value, env)) for kw in node.keywords
+        ]
+        resolved = self._index.resolve_call(
+            self._func.module, node, self._types
+        )
+        if resolved is not None:
+            self._check_call_args(node, resolved, arg_units, keyword_units)
+            if resolved[0] == "function":
+                return self._engine.return_unit(resolved[1]), True
+            return None, False
+        return self._external_call_unit(node, env, arg_units)
+
+    def _external_call_unit(
+        self,
+        node: ast.Call,
+        env: Dict[str, Optional[str]],
+        arg_units: List[Tuple[Optional[str], bool]],
+    ) -> Tuple[Optional[str], bool]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _BARE_PASSTHROUGH and arg_units:
+                return arg_units[0]
+            if func.id in _BARE_JOIN and arg_units:
+                return self._join(arg_units)
+            return None, False
+        if isinstance(func, ast.Attribute):
+            head = dotted_name(func.value)
+            if head in ("np", "numpy"):
+                if func.attr in _NUMPY_PASSTHROUGH and arg_units:
+                    return arg_units[0]
+                if func.attr in _NUMPY_JOIN and arg_units:
+                    return self._join(arg_units)
+                if func.attr == "where" and len(arg_units) == 3:
+                    return self._join(arg_units[1:])
+                return None, False
+            if func.attr in _AGG_METHODS and not node.args:
+                return self._expr(func.value, env)
+            if func.attr in _AGG_METHODS:
+                return self._expr(func.value, env)[0], True
+        return None, False
+
+    def _check_call_args(
+        self,
+        node: ast.Call,
+        resolved: Tuple[str, str],
+        arg_units: List[Tuple[Optional[str], bool]],
+        keyword_units: List[Tuple[ast.keyword, Tuple[Optional[str], bool]]],
+    ) -> None:
+        kind, qualname = resolved
+        if kind == "function":
+            func = self._index.functions.get(qualname)
+            if func is None:
+                return
+            params = func.callable_params()
+        else:
+            params = self._index.constructor_params(qualname)
+        by_name = {param.name: param for param in params}
+        for position, (arg, (unit, _)) in enumerate(
+            zip(node.args, arg_units)
+        ):
+            if isinstance(arg, ast.Starred) or position >= len(params):
+                continue
+            self._check_one_arg(node, qualname, params[position].name, arg, unit)
+        for keyword, (unit, _) in keyword_units:
+            if keyword.arg is not None and keyword.arg in by_name:
+                self._check_one_arg(
+                    node, qualname, keyword.arg, keyword.value, unit
+                )
+
+    def _check_one_arg(
+        self,
+        call: ast.Call,
+        qualname: str,
+        param_name: str,
+        arg: ast.expr,
+        arg_unit: Optional[str],
+    ) -> None:
+        param_unit = unit_suffix(param_name)
+        if not (param_unit and arg_unit):
+            return
+        description = conflict_description(arg_unit, param_unit)
+        if description:
+            self._report(
+                arg,
+                f"unit conflict (flow): argument for parameter "
+                f"{param_name!r} of {qualname!r} {description} "
+                f"({self._describe(arg)} carries _{arg_unit})",
+                "convert the argument to the unit the parameter name "
+                "declares",
+            )
+
+    def _report(self, node: ast.AST, message: str, suggestion: str) -> None:
+        key = id(node)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self._analysis.conflicts.append(
+            UnitConflict(node=node, message=message, suggestion=suggestion)
+        )

@@ -26,6 +26,7 @@ __all__ = [
     "Number",
     "BOLTZMANN_J_PER_K",
     "REFERENCE_TEMPERATURE_K",
+    "DBM_REFERENCE_MW",
     "db_to_linear",
     "linear_to_db",
     "dbm_to_mw",
@@ -54,6 +55,9 @@ BOLTZMANN_J_PER_K = 1.380649e-23
 #: Reference temperature (K) for thermal noise floor computations.
 REFERENCE_TEMPERATURE_K = 290.0
 
+#: The dBm reference level: dBm is dB relative to exactly 1 mW.
+DBM_REFERENCE_MW = 1.0
+
 
 def db_to_linear(value_db: Number) -> Number:
     """Convert a dB power *ratio* to its linear equivalent.
@@ -78,8 +82,16 @@ def dbm_to_mw(power_dbm: Number) -> Number:
 
 
 def mw_to_dbm(power_mw: Number) -> Number:
-    """Convert absolute power in milliwatts to dBm."""
-    return linear_to_db(power_mw)
+    """Convert absolute power in milliwatts to dBm.
+
+    dBm is a dB ratio *referenced to 1 mW*; the reference division is kept
+    explicit so the absolute level is constructed rather than conflated
+    with the relative-ratio helper :func:`linear_to_db`.
+    """
+    if np.any(np.asarray(power_mw) <= 0):
+        raise UnitsError(f"power must be positive, got {power_mw!r}")
+    result = 10.0 * np.log10(power_mw / DBM_REFERENCE_MW)
+    return result if isinstance(power_mw, np.ndarray) else float(result)
 
 
 def dbm_to_watts(power_dbm: Number) -> Number:

@@ -21,8 +21,10 @@ from repro.lintkit import (
     Severity,
     all_rules,
     filter_findings,
+    iter_python_files,
     lint_paths,
     load_baseline,
+    per_rule_counts,
     render_json,
     render_text,
     save_baseline,
@@ -49,9 +51,12 @@ def rule_ids(findings):
 
 
 class TestRuleRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+        assert ids == [
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+            "RPR101", "RPR102", "RPR103", "RPR104",
+        ]
 
     def test_unknown_select_rejected(self):
         with pytest.raises(LintError):
@@ -310,6 +315,66 @@ class TestSuppressions:
         )
         assert lint_snippet(tmp_path, code, select={"RPR005"}) == []
 
+    def test_multiple_codes_on_one_line(self, tmp_path):
+        code = (
+            "def f(t_ms, d_s):\n"
+            "    raise ValueError(t_ms + d_s)"
+            "  # reprolint: disable=RPR001,RPR004\n"
+        )
+        assert lint_snippet(tmp_path, code, select={"RPR001", "RPR004"}) == []
+
+    def test_unknown_rule_id_suppresses_nothing(self, tmp_path):
+        code = (
+            "def f():\n"
+            "    raise ValueError('x')  # reprolint: disable=RPR404\n"
+        )
+        assert rule_ids(lint_snippet(tmp_path, code, select={"RPR004"})) == [
+            "RPR004"
+        ]
+
+    @pytest.mark.parametrize(
+        "comment",
+        [
+            "# reprolint: enable=RPR004",  # unknown directive kind
+            "# reprolint disable=RPR004",  # missing colon
+            "# lint: disable=RPR004",  # wrong tool name
+        ],
+    )
+    def test_malformed_directive_is_ignored(self, tmp_path, comment):
+        code = f"def f():\n    raise ValueError('x')  {comment}\n"
+        assert rule_ids(lint_snippet(tmp_path, code, select={"RPR004"})) == [
+            "RPR004"
+        ]
+
+    def test_trailing_equals_acts_as_bare_disable(self, tmp_path):
+        code = "def f():\n    raise ValueError('x')  # reprolint: disable=\n"
+        assert lint_snippet(tmp_path, code, select={"RPR004"}) == []
+
+
+class TestIterPythonFiles:
+    def test_duplicate_inputs_deduplicated(self, tmp_path):
+        path = tmp_path / "a.py"
+        path.write_text("x = 1\n")
+        files = list(iter_python_files([path, path, tmp_path]))
+        assert files == [path]
+
+    def test_symlink_to_same_file_deduplicated(self, tmp_path):
+        real = tmp_path / "real.py"
+        real.write_text("x = 1\n")
+        link = tmp_path / "alias.py"
+        link.symlink_to(real)
+        files = list(iter_python_files([tmp_path]))
+        assert len(files) == 1
+
+    def test_symlinked_directory_not_double_counted(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "mod.py").write_text("x = 1\n")
+        mirror = tmp_path / "mirror"
+        mirror.symlink_to(package, target_is_directory=True)
+        files = list(iter_python_files([package, mirror]))
+        assert len(files) == 1
+
 
 class TestReporters:
     def _findings(self, tmp_path):
@@ -337,6 +402,32 @@ class TestReporters:
         assert row["rule"] == "RPR004"
         assert row["severity"] == "error"
         assert row["line"] == 2
+
+    def test_per_rule_counts_sorted_by_rule_id(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def f():\n    raise ValueError('a')\n"
+            "def g(t_ms, d_s):\n    raise TypeError(t_ms + d_s)\n",
+            select={"RPR001", "RPR004"},
+        )
+        assert per_rule_counts(findings) == {"RPR001": 1, "RPR004": 2}
+        assert per_rule_counts([]) == {}
+
+    def test_text_statistics_block(self, tmp_path):
+        findings = self._findings(tmp_path)
+        text = render_text(findings, statistics=True)
+        assert "per-rule statistics:" in text
+        assert "  RPR004  1" in text
+        empty = render_text([], statistics=True)
+        assert "per-rule statistics:" in empty
+        assert "(no findings)" in empty
+        assert "per-rule statistics:" not in render_text(findings)
+
+    def test_json_statistics_key(self, tmp_path):
+        findings = self._findings(tmp_path)
+        document = json.loads(render_json(findings, statistics=True))
+        assert document["statistics"] == {"RPR004": 1}
+        assert "statistics" not in json.loads(render_json(findings))
 
 
 class TestBaseline:
@@ -434,8 +525,46 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert cli_main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        for rule_id in (
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+            "RPR101", "RPR102", "RPR103", "RPR104",
+        ):
             assert rule_id in out
+
+    def test_update_baseline_reports_delta(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("def f():\n    raise ValueError('x')\n")
+        baseline = tmp_path / "base.json"
+        assert cli_main(
+            ["lint", "--select", "RPR004", "--baseline", str(baseline),
+             "--update-baseline", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "+1 added, -0 removed" in out
+        # Fixing the violation and regenerating empties the baseline again.
+        path.write_text("def f():\n    return 1\n")
+        assert cli_main(
+            ["lint", "--select", "RPR004", "--baseline", str(baseline),
+             "--update-baseline", str(path)]
+        ) == 0
+        assert "+0 added, -1 removed" in capsys.readouterr().out
+        assert load_baseline(baseline) == {}
+
+    def test_statistics_flag_text_and_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("def f():\n    raise ValueError('x')\n")
+        assert cli_main(
+            ["lint", "--select", "RPR004", "--statistics", str(path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "per-rule statistics:" in out
+        assert "RPR004  1" in out
+        assert cli_main(
+            ["lint", "--format", "json", "--select", "RPR004",
+             "--statistics", str(path)]
+        ) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["statistics"] == {"RPR004": 1}
 
 
 class TestSelfCheck:

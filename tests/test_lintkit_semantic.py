@@ -1,0 +1,436 @@
+"""Tests for reprolint's semantic tier (repro.lintkit.semantic + RPR101-104).
+
+Phase-1 infrastructure (ProjectIndex, CallGraph, purity) is exercised
+directly on multi-file fixtures; each flow-sensitive rule then gets
+failing fixtures proving it detects its target violation plus conforming
+code proving the precision guards hold. Fixture files outside the
+``repro`` package resolve each other by sibling stem (``from a import f``),
+mirroring how the engine names them.
+"""
+
+import ast
+
+import pytest
+
+from repro.lintkit import lint_paths
+from repro.lintkit.semantic.callgraph import CallGraph
+from repro.lintkit.semantic.purity import class_constructor_pure, pure_functions
+from repro.lintkit.semantic.symbols import ProjectIndex, module_name_for
+
+
+def build_index(tmp_path, files):
+    """Parse ``{filename: code}`` into one ProjectIndex (flat stems)."""
+    entries = []
+    for name, code in sorted(files.items()):
+        path = tmp_path / name
+        path.write_text(code)
+        entries.append((str(path), "", ast.parse(code, filename=str(path))))
+    return ProjectIndex.build(entries)
+
+
+def lint_project(tmp_path, files, select):
+    """Write ``{filename: code}`` and lint the directory as one batch."""
+    for name, code in files.items():
+        (tmp_path / name).write_text(code)
+    return lint_paths([tmp_path], select=select)
+
+
+def messages(findings):
+    return " | ".join(f.message for f in findings)
+
+
+class TestModuleNaming:
+    def test_package_files_get_dotted_names(self):
+        assert module_name_for("sim/rng.py", "x") == "repro.sim.rng"
+        assert module_name_for("sim/__init__.py", "x") == "repro.sim"
+
+    def test_loose_files_resolve_by_stem(self):
+        assert module_name_for("", "/tmp/fixtures/alpha.py") == "alpha"
+
+
+class TestProjectIndex:
+    def test_cross_module_import_resolution(self, tmp_path):
+        index = build_index(
+            tmp_path,
+            {
+                "alpha.py": "def helper(x):\n    return x\n",
+                "beta.py": "from alpha import helper as h\n",
+            },
+        )
+        assert index.resolve_name("beta", "h") == ("function", "alpha.helper")
+        assert index.resolve_name("beta", "missing") is None
+
+    def test_frozen_dataclass_detection(self, tmp_path):
+        code = (
+            "from dataclasses import dataclass\n\n"
+            "@dataclass(frozen=True)\n"
+            "class Cold:\n"
+            "    x: float = 0.0\n\n"
+            "@dataclass\n"
+            "class Warm:\n"
+            "    x: float = 0.0\n\n"
+            "class Plain:\n"
+            "    pass\n"
+        )
+        index = build_index(tmp_path, {"mod.py": code})
+        assert index.classes["mod.Cold"].is_frozen
+        assert not index.classes["mod.Warm"].is_frozen
+        assert not index.classes["mod.Plain"].is_frozen
+
+    def test_dataclass_constructor_params_from_fields(self, tmp_path):
+        code = (
+            "from dataclasses import dataclass\n\n"
+            "@dataclass\n"
+            "class Spec:\n"
+            "    seed: int = 0\n"
+            "    name: str = ''\n"
+        )
+        index = build_index(tmp_path, {"mod.py": code})
+        params = index.constructor_params("mod.Spec")
+        assert [p.name for p in params] == ["seed", "name"]
+
+
+class TestCallGraph:
+    FILES = {
+        "chain.py": (
+            "def leaf(x):\n    return x + 1\n\n"
+            "def mid(x):\n    return leaf(x)\n\n"
+            "def top(x):\n    return mid(x)\n"
+        ),
+    }
+
+    def test_edges_and_transitive_callers(self, tmp_path):
+        graph = CallGraph.build(build_index(tmp_path, self.FILES))
+        assert graph.edges["chain.top"] == {"chain.mid"}
+        assert graph.callers_of({"chain.leaf"}) == {
+            "chain.leaf", "chain.mid", "chain.top",
+        }
+
+    def test_shortest_path_to_target(self, tmp_path):
+        graph = CallGraph.build(build_index(tmp_path, self.FILES))
+        assert graph.path_to("chain.top", {"chain.leaf"}) == [
+            "chain.top", "chain.mid", "chain.leaf",
+        ]
+        assert graph.path_to("chain.leaf", {"chain.top"}) is None
+
+
+class TestPurity:
+    def test_math_only_functions_are_pure(self, tmp_path):
+        code = (
+            "import math\n\n"
+            "def calc(x):\n    return math.sqrt(x) + 1.0\n"
+        )
+        index = build_index(tmp_path, {"mod.py": code})
+        assert "mod.calc" in pure_functions(index)
+
+    def test_io_and_mutation_are_impure_and_propagate(self, tmp_path):
+        code = (
+            "def log(x):\n    print(x)\n    return x\n\n"
+            "def mutate(items, x):\n    items.append(x)\n\n"
+            "def wraps(x):\n    return log(x)\n"
+        )
+        index = build_index(tmp_path, {"mod.py": code})
+        pure = pure_functions(index)
+        assert "mod.log" not in pure
+        assert "mod.mutate" not in pure
+        assert "mod.wraps" not in pure  # impurity propagates to callers
+
+    def test_validating_dataclass_constructor_is_pure(self, tmp_path):
+        code = (
+            "from dataclasses import dataclass\n\n"
+            "@dataclass(frozen=True)\n"
+            "class Point:\n"
+            "    x: float = 0.0\n"
+        )
+        index = build_index(tmp_path, {"mod.py": code})
+        assert class_constructor_pure(index, "mod.Point", pure_functions(index))
+
+
+class TestRPR101UnitFlow:
+    def test_inferred_unit_conflict_through_assignment(self, tmp_path):
+        files = {
+            "flow.py": (
+                "def f(delay_ms):\n"
+                "    d = delay_ms\n"
+                "    total_s = 1.0\n"
+                "    return total_s + d\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR101"})
+        assert [f.rule_id for f in findings] == ["RPR101"]
+        assert "ms" in findings[0].message
+
+    def test_cross_module_call_argument_conflict(self, tmp_path):
+        files = {
+            "api.py": "def wait(timeout_s):\n    return timeout_s\n",
+            "use.py": (
+                "from api import wait\n\n"
+                "def g(t_ms):\n"
+                "    return wait(t_ms)\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR101"})
+        assert [f.rule_id for f in findings] == ["RPR101"]
+        assert findings[0].path.endswith("use.py")
+        assert "timeout_s" in findings[0].message
+
+    def test_return_unit_must_match_name_suffix(self, tmp_path):
+        files = {
+            "ret.py": (
+                "def level_dbm(ratio):\n"
+                "    value_db = ratio * 2.0\n"
+                "    return value_db\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR101"})
+        assert [f.rule_id for f in findings] == ["RPR101"]
+        assert "return of 'level_dbm'" in findings[0].message
+
+    def test_db_dbm_arithmetic_and_matching_return_are_clean(self, tmp_path):
+        files = {
+            "ok.py": (
+                "def rssi_dbm(tx_dbm, loss_db):\n"
+                "    total_dbm = tx_dbm - loss_db\n"
+                "    return total_dbm\n"
+            ),
+        }
+        assert lint_project(tmp_path, files, {"RPR101"}) == []
+
+
+class TestRPR102RngTaint:
+    def test_unseeded_generator_construction(self, tmp_path):
+        files = {
+            "draws.py": (
+                "import numpy as np\n\n"
+                "def draw():\n"
+                "    rng = np.random.default_rng()\n"
+                "    return rng.normal()\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR102"})
+        assert [f.rule_id for f in findings] == ["RPR102"]
+        assert "without a seed" in findings[0].message
+
+    def test_hidden_fixed_seed(self, tmp_path):
+        files = {
+            "draws.py": (
+                "import numpy as np\n\n"
+                "def draw():\n"
+                "    rng = np.random.default_rng(1234)\n"
+                "    return rng.normal()\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR102"})
+        assert [f.rule_id for f in findings] == ["RPR102"]
+        assert "hidden fixed seed" in findings[0].message
+
+    def test_transitive_caller_must_thread_rng(self, tmp_path):
+        files = {
+            "draws.py": (
+                "import numpy as np\n\n"
+                "def noisy(rng):\n"
+                "    return rng.normal()\n\n"
+                "def sample_all():\n"
+                "    return noisy(None)\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR102"})
+        assert [f.rule_id for f in findings] == ["RPR102"]
+        assert "transitively draws" in findings[0].message
+        assert "noisy" in findings[0].message  # call chain in the report
+
+    def test_seed_derived_from_parameter_is_clean(self, tmp_path):
+        files = {
+            "draws.py": (
+                "import numpy as np\n\n"
+                "def sample(seed):\n"
+                "    rng = np.random.default_rng(seed)\n"
+                "    return rng.normal()\n"
+            ),
+        }
+        assert lint_project(tmp_path, files, {"RPR102"}) == []
+
+    def test_carrier_typed_parameter_threads_randomness(self, tmp_path):
+        files = {
+            "draws.py": (
+                "import numpy as np\n"
+                "from dataclasses import dataclass\n\n"
+                "@dataclass(frozen=True)\n"
+                "class Spec:\n"
+                "    base_seed: int = 0\n\n"
+                "def noisy(rng):\n"
+                "    return rng.normal()\n\n"
+                "def run(spec: Spec):\n"
+                "    return noisy(spec.base_seed)\n"
+            ),
+        }
+        assert lint_project(tmp_path, files, {"RPR102"}) == []
+
+
+class TestRPR103ScalarLoops:
+    def test_iterating_annotated_array_parameter(self, tmp_path):
+        files = {
+            "loops.py": (
+                "import numpy as np\n\n"
+                "def total(xs: np.ndarray) -> float:\n"
+                "    acc = 0.0\n"
+                "    for x in xs:\n"
+                "        acc += x\n"
+                "    return acc\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR103"})
+        assert [f.rule_id for f in findings] == ["RPR103"]
+        assert "iterates numpy array 'xs'" in findings[0].message
+
+    def test_range_len_index_loop(self, tmp_path):
+        files = {
+            "loops.py": (
+                "import numpy as np\n\n"
+                "def indexed(xs: np.ndarray) -> float:\n"
+                "    acc = 0.0\n"
+                "    for i in range(len(xs)):\n"
+                "        acc += float(xs[i])\n"
+                "    return acc\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR103"})
+        assert [f.rule_id for f in findings] == ["RPR103"]
+        assert "range(len(xs))" in findings[0].message
+
+    def test_per_element_write_into_preallocated_array(self, tmp_path):
+        files = {
+            "loops.py": (
+                "import numpy as np\n\n"
+                "def fill(n: int):\n"
+                "    out = np.zeros(n)\n"
+                "    for i in range(n):\n"
+                "        out[i] = i * 2.0\n"
+                "    return out\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR103"})
+        assert [f.rule_id for f in findings] == ["RPR103"]
+        assert "per-element write out[i]" in findings[0].message
+
+    def test_zip_over_array_operand(self, tmp_path):
+        files = {
+            "loops.py": (
+                "import numpy as np\n\n"
+                "def pair(xs: np.ndarray, ys):\n"
+                "    acc = 0.0\n"
+                "    for x, y in zip(xs, ys):\n"
+                "        acc += x * y\n"
+                "    return acc\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR103"})
+        assert [f.rule_id for f in findings] == ["RPR103"]
+        assert "via zip(...)" in findings[0].message
+
+    def test_comprehension_and_tolist_scan_are_clean(self, tmp_path):
+        files = {
+            "loops.py": (
+                "import numpy as np\n\n"
+                "def ok(xs: np.ndarray) -> float:\n"
+                "    values = [x * x for x in xs]\n"
+                "    for v in xs.tolist():\n"
+                "        values.append(v)\n"
+                "    return float(sum(values))\n"
+            ),
+        }
+        assert lint_project(tmp_path, files, {"RPR103"}) == []
+
+
+class TestRPR104InvariantCalls:
+    PURE_HELPER = "def double(x):\n    return x * 2.0\n"
+
+    def test_invariant_pure_call_flagged(self, tmp_path):
+        files = {
+            "hot.py": (
+                self.PURE_HELPER + "\n"
+                "def run(n, base):\n"
+                "    acc = 0.0\n"
+                "    for _ in range(n):\n"
+                "        acc += double(base)\n"
+                "    return acc\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR104"})
+        assert [f.rule_id for f in findings] == ["RPR104"]
+        assert "loop-invariant call to pure 'double'" in findings[0].message
+
+    def test_loop_varying_argument_not_flagged(self, tmp_path):
+        files = {
+            "hot.py": (
+                self.PURE_HELPER + "\n"
+                "def run(n):\n"
+                "    acc = 0.0\n"
+                "    for i in range(n):\n"
+                "        acc += double(i)\n"
+                "    return acc\n"
+            ),
+        }
+        assert lint_project(tmp_path, files, {"RPR104"}) == []
+
+    def test_only_frozen_dataclass_constructors_flagged(self, tmp_path):
+        files = {
+            "build.py": (
+                "from dataclasses import dataclass\n\n"
+                "@dataclass(frozen=True)\n"
+                "class Cold:\n"
+                "    x: float = 0.0\n\n"
+                "@dataclass\n"
+                "class Warm:\n"
+                "    x: float = 0.0\n\n"
+                "def build(n):\n"
+                "    cold = []\n"
+                "    warm = []\n"
+                "    for _ in range(n):\n"
+                "        cold.append(Cold())\n"
+                "        warm.append(Warm())\n"
+                "    return cold, warm\n"
+            ),
+        }
+        findings = lint_project(tmp_path, files, {"RPR104"})
+        assert [f.rule_id for f in findings] == ["RPR104"]
+        assert "'Cold'" in findings[0].message
+        assert "Warm" not in messages(findings)
+
+    def test_comprehension_bound_names_are_loop_varying(self, tmp_path):
+        files = {
+            "hot.py": (
+                self.PURE_HELPER + "\n"
+                "def scan(n, flags):\n"
+                "    out = []\n"
+                "    for _ in range(n):\n"
+                "        out.append([double(f) for f in flags])\n"
+                "    return out\n"
+            ),
+        }
+        assert lint_project(tmp_path, files, {"RPR104"}) == []
+
+
+class TestTwoPhaseResolution:
+    FILES = {
+        "helpers.py": "def double(x):\n    return x * 2.0\n",
+        "main.py": (
+            "from helpers import double\n\n"
+            "def run(n, base):\n"
+            "    acc = 0.0\n"
+            "    for _ in range(n):\n"
+            "        acc += double(base)\n"
+            "    return acc\n"
+        ),
+    }
+
+    def test_batch_lint_resolves_across_files(self, tmp_path):
+        findings = lint_project(tmp_path, self.FILES, {"RPR104"})
+        assert [f.rule_id for f in findings] == ["RPR104"]
+        assert findings[0].path.endswith("main.py")
+
+    def test_single_file_lint_cannot_see_the_sibling(self, tmp_path):
+        for name, code in self.FILES.items():
+            (tmp_path / name).write_text(code)
+        findings = lint_paths([tmp_path / "main.py"], select={"RPR104"})
+        assert findings == []
