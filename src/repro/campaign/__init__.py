@@ -5,7 +5,7 @@ Table I configuration space, log per-configuration summaries, persist and
 re-query them.
 """
 
-from .checkpoint import run_campaign_checkpointed
+from .checkpoint import load_checkpoint_rows, run_campaign_checkpointed
 from .dataset import CampaignDataset
 from .parallel import run_campaign_parallel
 from .queries import AggregateRow, aggregate, best_configs, group_by, metric_vs_snr
@@ -22,6 +22,7 @@ __all__ = [
     "aggregate",
     "best_configs",
     "group_by",
+    "load_checkpoint_rows",
     "metric_vs_snr",
     "points_as_arrays",
     "run_campaign_checkpointed",

@@ -10,24 +10,90 @@ configs, same seeds) and continues from the first missing index.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Callable, Iterable, List, Optional
 
 from ..channel.environment import Environment, HALLWAY_2012
 from ..config import StackConfig
-from ..errors import CampaignError
+from ..errors import CampaignError, DatasetError
 from .dataset import CampaignDataset, _FORMAT
 from .runner import CampaignRunner
 from .summary import ConfigSummary
 
 __all__ = [
+    "load_checkpoint_rows",
     "run_campaign_checkpointed",
 ]
 
 
 def _append_row(path: Path, summary: ConfigSummary) -> None:
+    # flush + fsync per row: a crash (power loss, OOM kill) between
+    # configurations loses at most the row being written, and that partial
+    # line is truncated-and-redone on resume by load_checkpoint_rows.
     with path.open("a", encoding="utf-8") as fh:
         fh.write(json.dumps(summary.as_dict()) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def load_checkpoint_rows(path) -> List[ConfigSummary]:
+    """Load a checkpoint file, tolerating one partial trailing row.
+
+    A crash mid-append can leave the final line incomplete (cut mid-JSON,
+    or syntactically valid but missing fields). Such a row is dropped and
+    the file is truncated back to the last complete row, so resuming
+    simply re-runs that configuration. A malformed row anywhere *before*
+    the end still raises :class:`~repro.errors.DatasetError` — that is
+    corruption, not an interrupted append.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"no checkpoint at {source}")
+    data = source.read_bytes()
+    if not data.strip():
+        raise DatasetError(f"checkpoint {source} is empty")
+    rows: List[ConfigSummary] = []
+    truncate_at: Optional[int] = None
+    offset = 0
+    lineno = 0
+    header_seen = False
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        line_end = len(data) if newline == -1 else newline
+        next_offset = line_end + (0 if newline == -1 else 1)
+        text = data[offset:line_end].decode("utf-8", errors="replace").strip()
+        lineno += 1
+        if not header_seen:
+            try:
+                header = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(
+                    f"bad checkpoint header in {source}: {exc}"
+                ) from exc
+            if not isinstance(header, dict) or header.get("format") != _FORMAT:
+                raise DatasetError(
+                    f"unsupported checkpoint format in {source} "
+                    f"(expected {_FORMAT!r})"
+                )
+            header_seen = True
+        elif text:
+            try:
+                rows.append(ConfigSummary.from_dict(json.loads(text)))
+            except (ValueError, TypeError, DatasetError) as exc:
+                if data[next_offset:].strip():
+                    raise DatasetError(
+                        f"bad summary row at {source}:{lineno}: {exc}"
+                    ) from exc
+                truncate_at = offset
+                break
+        offset = next_offset
+    if truncate_at is not None:
+        with source.open("r+b") as fh:
+            fh.truncate(truncate_at)
+            fh.flush()
+            os.fsync(fh.fileno())
+    return rows
 
 
 def _write_header(path: Path, description: str) -> None:
@@ -71,8 +137,7 @@ def run_campaign_checkpointed(
 
     existing: List[ConfigSummary] = []
     if path.exists():
-        loaded = CampaignDataset.load(path)
-        existing = loaded.summaries
+        existing = load_checkpoint_rows(path)
         if len(existing) > len(configs):
             raise CampaignError(
                 f"checkpoint has {len(existing)} rows but the sweep only has "

@@ -12,6 +12,7 @@ Subcommands
 ``link-budget``   SNR margins per power level and coverage distances
 ``sensitivity``   which stack parameters matter for which metric on a link
 ``lint``          run the reprolint static-analysis rules over source paths
+``serve``         run the link-configuration oracle as an HTTP JSON service
 """
 
 from __future__ import annotations
@@ -94,15 +95,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     configs = list(space)
     if args.limit is not None:
         configs = configs[: args.limit]
+    progress = (
+        (lambda i, n, s: print(f"  [{i + 1}/{n}] {s.config}", file=sys.stderr))
+        if args.verbose
+        else None
+    )
+    if args.resume:
+        from .campaign import run_campaign_checkpointed
+
+        dataset = run_campaign_checkpointed(
+            configs,
+            args.output,
+            packets_per_config=args.packets,
+            base_seed=args.seed,
+            engine=args.engine,
+            description=f"cli sweep ({len(configs)} configs)",
+            progress=progress,
+        )
+        print(f"checkpoint {args.output} holds {len(dataset)} summaries")
+        return 0
     runner = CampaignRunner(
         packets_per_config=args.packets,
         base_seed=args.seed,
         engine=args.engine,
-        progress=(
-            (lambda i, n, s: print(f"  [{i + 1}/{n}] {s.config}", file=sys.stderr))
-            if args.verbose
-            else None
-        ),
+        progress=progress,
     )
     dataset = runner.run(configs, description=f"cli sweep ({len(configs)} configs)")
     dataset.save(args.output)
@@ -375,6 +391,76 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _precompute_distances(text: str):
+    """Parse ``--precompute``: 'table1', 'none', or comma-separated metres."""
+    from .config import TABLE_I_SPACE as space
+    from .errors import ConfigurationError
+
+    cleaned = text.strip().lower()
+    if cleaned == "none":
+        return ()
+    if cleaned == "table1":
+        return space.distances_m
+    try:
+        distances = tuple(
+            float(part) for part in cleaned.split(",") if part.strip()
+        )
+    except ValueError:
+        raise ConfigurationError(
+            f"--precompute must be 'table1', 'none', or comma-separated "
+            f"distances in metres, got {text!r}"
+        ) from None
+    if not distances:
+        raise ConfigurationError(
+            f"--precompute names no distances: {text!r}"
+        )
+    return distances
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core.optimization import TuningGrid
+    from .serve import Oracle, OracleService, make_server
+
+    grid = TuningGrid(
+        payload_values_bytes=tuple(range(2, 115, args.payload_step))
+    )
+    oracle = Oracle(
+        environment=HALLWAY_2012, grid=grid, lru_capacity=args.lru_capacity
+    )
+    if args.precompute:
+        print(
+            f"precomputing {len(args.precompute)} sweep table(s) "
+            f"({len(grid)} configurations each) ...",
+            file=sys.stderr,
+        )
+        oracle.precompute(args.precompute)
+    service = OracleService(
+        oracle,
+        queue_capacity=args.queue_capacity,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        default_timeout_s=args.timeout_s,
+        retry_after_s=args.retry_after_s,
+    )
+    server = make_server(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    print(
+        f"wsnlink oracle listening on http://{args.host}:{server.port} "
+        f"(workers={args.workers}, queue={args.queue_capacity}, "
+        f"max_batch={args.max_batch}, grid={len(grid)} configs)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupt received, shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``wsnlink`` argument parser with all subcommands attached."""
     parser = argparse.ArgumentParser(
@@ -401,6 +487,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--engine", choices=("des", "fast"), default="des")
     p.add_argument("--output", default="campaign.jsonl")
+    p.add_argument("--resume", action="store_true",
+                   help="checkpoint to --output row-by-row and continue an "
+                        "interrupted run instead of starting over")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_sweep)
 
@@ -467,6 +556,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("serve", help="run the link-configuration oracle "
+                                     "as an HTTP JSON service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="oracle worker threads")
+    p.add_argument("--queue-capacity", type=int, default=128,
+                   help="bounded work queue size; overflow is rejected "
+                        "with 503 + Retry-After")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="max same-link recommend requests coalesced into "
+                        "one grid evaluation")
+    p.add_argument("--timeout-s", type=float, default=30.0,
+                   help="per-request deadline")
+    p.add_argument("--retry-after-s", type=float, default=1.0,
+                   help="back-off hint on 503 rejections")
+    p.add_argument("--lru-capacity", type=int, default=64,
+                   help="off-grid links kept in the LRU table cache")
+    p.add_argument("--payload-step", type=int, default=2,
+                   help="payload quantization of the tuning grid (bytes); "
+                        "larger steps trade answer granularity for "
+                        "faster cold builds")
+    p.add_argument("--precompute", type=_precompute_distances,
+                   default="table1", metavar="table1|none|D1,D2,...",
+                   help="tier-1 sweep tables built at startup "
+                        "(default: the Table I distances)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -23,6 +23,10 @@ __all__ = [
     "OptimizationError",
     "InfeasibleError",
     "LintError",
+    "ServeError",
+    "ProtocolError",
+    "OverloadError",
+    "ServiceTimeoutError",
 ]
 
 
@@ -106,3 +110,33 @@ class LintError(ReproError):
     Raised for unknown rule ids, unreadable inputs, or malformed baseline
     files — never for findings, which are data, not exceptions.
     """
+
+
+class ServeError(ReproError):
+    """The link-configuration oracle service could not answer a request.
+
+    Base class for every failure of :mod:`repro.serve` — malformed request
+    payloads, backpressure rejections, and deadline expiries all derive
+    from it so callers can fence off the serving layer with one handler.
+    """
+
+
+class ProtocolError(ServeError, ValueError):
+    """A serve request payload is malformed or references unknown fields."""
+
+
+class OverloadError(ServeError):
+    """The service work queue is full; retry after ``retry_after_s``.
+
+    This is the explicit backpressure signal: the request was *not*
+    enqueued, no work was done, and the caller should back off for at
+    least :attr:`retry_after_s` seconds before resubmitting.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class ServiceTimeoutError(ServeError):
+    """A serve request missed its deadline before (or while) being answered."""

@@ -1,0 +1,76 @@
+"""Link-configuration oracle service (serving layer over the models).
+
+Turns the empirical models and joint optimizer into an online,
+queryable system: given a link (distance or reference SNR), an objective,
+and constraints, the oracle returns the best stack configuration — cached,
+batched, and backpressured. Layering, top to bottom::
+
+    http      stdlib JSON API (POST /v1/recommend, /v1/evaluate,
+              GET /healthz, /metrics) — repro.serve.http
+    client    in-process dict-in/dict-out facade — repro.serve.client
+    service   bounded queue, micro-batching, worker pool, deadlines —
+              repro.serve.service
+    oracle    two-tier sweep-table cache + vectorized solves —
+              repro.serve.oracle / repro.serve.cache
+    models    repro.core.optimization (unchanged)
+
+Start one with ``wsnlink serve --port 8080`` or in-process::
+
+    from repro.serve import Client, Oracle, OracleService
+
+    oracle = Oracle()
+    oracle.precompute([10.0])          # tier-1 table for the 10 m link
+    with OracleService(oracle) as service:
+        client = Client(service)
+        answer = client.recommend({"link": {"distance_m": 10.0},
+                                   "objective": "energy"})
+"""
+
+from .cache import CacheStats, LruCache
+from .client import Client
+from .http import OracleHTTPServer, OracleRequestHandler, make_server
+from .metrics import DEFAULT_BUCKETS_S, LatencyHistogram, ServiceMetrics
+from .oracle import (
+    Oracle,
+    RecommendResult,
+    SweepTable,
+    TIER_LRU,
+    TIER_MISS,
+    TIER_PRECOMPUTED,
+)
+from .protocol import (
+    OBJECTIVES,
+    EvaluateRequest,
+    LinkSpec,
+    RecommendRequest,
+    evaluation_as_dict,
+    parse_evaluate,
+    parse_recommend,
+)
+from .service import OracleService
+
+__all__ = [
+    "CacheStats",
+    "Client",
+    "DEFAULT_BUCKETS_S",
+    "EvaluateRequest",
+    "LatencyHistogram",
+    "LinkSpec",
+    "LruCache",
+    "OBJECTIVES",
+    "Oracle",
+    "OracleHTTPServer",
+    "OracleRequestHandler",
+    "OracleService",
+    "RecommendRequest",
+    "RecommendResult",
+    "ServiceMetrics",
+    "SweepTable",
+    "TIER_LRU",
+    "TIER_MISS",
+    "TIER_PRECOMPUTED",
+    "evaluation_as_dict",
+    "make_server",
+    "parse_evaluate",
+    "parse_recommend",
+]

@@ -1,0 +1,68 @@
+"""In-process client: the HTTP API without the socket.
+
+Tests and benchmarks talk to the service through this class so they
+exercise the exact parse → queue → batch → solve path the HTTP handler
+uses, minus serialization and TCP. Inputs and outputs are plain dicts
+shaped like the wire JSON (``docs/SERVING.md``), so a payload that works
+here works verbatim against ``POST /v1/recommend``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.optimization import ConfigEvaluation
+from .oracle import RecommendResult
+from .protocol import evaluation_as_dict, parse_evaluate, parse_recommend
+from .service import OracleService
+
+__all__ = [
+    "Client",
+]
+
+
+class Client:
+    """Dict-in / dict-out facade over an :class:`OracleService`."""
+
+    def __init__(self, service: OracleService) -> None:
+        self.service = service
+
+    def recommend(
+        self, payload: Dict[str, object], timeout_s: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Answer a ``/v1/recommend``-shaped payload.
+
+        Raises the same :class:`~repro.errors.ServeError` family the HTTP
+        layer maps to status codes (400/409/503/504).
+        """
+        request = parse_recommend(payload)
+        result = self.service.call(request, timeout_s=timeout_s)
+        assert isinstance(result, RecommendResult)
+        return {
+            "recommendation": evaluation_as_dict(result.evaluation),
+            "objective": request.objective,
+            "cache": result.cache_tier,
+        }
+
+    def evaluate(
+        self, payload: Dict[str, object], timeout_s: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Answer a ``/v1/evaluate``-shaped payload."""
+        request = parse_evaluate(payload)
+        evaluation = self.service.call(request, timeout_s=timeout_s)
+        assert isinstance(evaluation, ConfigEvaluation)
+        return {"evaluation": evaluation_as_dict(evaluation)}
+
+    def healthz(self) -> Dict[str, object]:
+        """The health snapshot ``GET /healthz`` serves."""
+        service = self.service
+        return {
+            "status": "closed" if service.closed else "ok",
+            "queue_depth": service.queue_depth(),
+            "queue_capacity": service.queue_capacity,
+            "cache": service.oracle.cache_info(),
+        }
+
+    def metrics(self) -> Dict[str, object]:
+        """The counters/histograms snapshot ``GET /metrics`` serves."""
+        return self.service.metrics.as_dict()

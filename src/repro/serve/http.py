@@ -1,0 +1,198 @@
+"""Stdlib HTTP front-end for the oracle service.
+
+Endpoints (JSON in, JSON out; schemas in ``docs/SERVING.md``):
+
+* ``POST /v1/recommend`` — best configuration for a link under an
+  objective and optional epsilon-constraints;
+* ``POST /v1/evaluate`` — model metrics of one explicit configuration;
+* ``GET /healthz`` — liveness plus queue/cache occupancy;
+* ``GET /metrics`` — counters and latency histograms.
+
+Error mapping: malformed payloads and out-of-domain parameters are 400,
+an infeasible constraint set is 409, backpressure rejections are 503 with
+a ``Retry-After`` header, and deadline expiries are 504. The server is the
+stdlib :class:`~http.server.ThreadingHTTPServer` — no third-party
+dependencies, one thread per connection, with the real concurrency bound
+enforced by the service's worker pool and bounded queue behind it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..errors import (
+    InfeasibleError,
+    OverloadError,
+    ReproError,
+    ServiceTimeoutError,
+)
+from .client import Client
+from .service import OracleService
+
+__all__ = [
+    "OracleHTTPServer",
+    "OracleRequestHandler",
+    "make_server",
+]
+
+#: Largest accepted request body; anything bigger is rejected with 413.
+MAX_BODY_BYTES = 1 << 20
+
+
+class OracleHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server owning the in-process client it serves."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        client: Client,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, OracleRequestHandler)
+        self.client = client
+        self.quiet = quiet
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        return self.server_address[1]
+
+
+class OracleRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the in-process client."""
+
+    server: OracleHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Default request logging is suppressed unless the server opts in."""
+        if not self.server.quiet:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        metrics = self.server.client.service.metrics
+        metrics.increment("http_requests_total")
+        metrics.increment(f"http_status_{status}_total")
+
+    def _send_error_json(
+        self,
+        status: int,
+        error: BaseException,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._send_json(
+            status,
+            {"error": {"type": type(error).__name__, "message": str(error)}},
+            headers,
+        )
+
+    def _read_body(self) -> Optional[object]:
+        """Decoded JSON body, or None after an error response was sent."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_json(400, {"error": {"type": "ProtocolError",
+                                            "message": "bad Content-Length"}})
+            return None
+        if length <= 0:
+            self._send_json(400, {"error": {"type": "ProtocolError",
+                                            "message": "empty request body"}})
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_json(413, {"error": {"type": "ProtocolError",
+                                            "message": "request body too large"}})
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._send_json(400, {"error": {"type": "ProtocolError",
+                                            "message": f"bad JSON: {exc}"}})
+            return None
+
+    # ------------------------------------------------------------- endpoints
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        client = self.server.client
+        if self.path == "/healthz":
+            self._send_json(200, client.healthz())
+        elif self.path == "/metrics":
+            self._send_json(200, client.metrics())
+        else:
+            self._send_json(404, {"error": {"type": "ProtocolError",
+                                            "message": f"no route {self.path}"}})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        client = self.server.client
+        if self.path == "/v1/recommend":
+            handler = client.recommend
+        elif self.path == "/v1/evaluate":
+            handler = client.evaluate
+        else:
+            self._send_json(404, {"error": {"type": "ProtocolError",
+                                            "message": f"no route {self.path}"}})
+            return
+        payload = self._read_body()
+        if payload is None:
+            return
+        started = time.monotonic()
+        try:
+            response = handler(payload)
+        except OverloadError as exc:
+            self._send_error_json(
+                503, exc, {"Retry-After": f"{exc.retry_after_s:g}"}
+            )
+            return
+        except ServiceTimeoutError as exc:
+            self._send_error_json(504, exc)
+            return
+        except InfeasibleError as exc:
+            self._send_error_json(409, exc)
+            return
+        except ValueError as exc:
+            # ProtocolError, ConfigurationError, ModelError — the bad-input
+            # errors all double as ValueError (see errors.py).
+            self._send_error_json(400, exc)
+            return
+        except ReproError as exc:
+            self._send_error_json(500, exc)
+            return
+        finally:
+            self.server.client.service.metrics.observe(
+                "http_request_s", time.monotonic() - started
+            )
+        self._send_json(200, response)
+
+
+def make_server(
+    service: OracleService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> OracleHTTPServer:
+    """Bind an :class:`OracleHTTPServer` over a service (port 0 = ephemeral).
+
+    The caller owns both lifetimes: ``serve_forever()``/``shutdown()`` for
+    the server, ``service.close()`` for the workers.
+    """
+    return OracleHTTPServer((host, port), Client(service), quiet=quiet)

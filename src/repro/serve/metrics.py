@@ -1,0 +1,177 @@
+"""Service metrics: thread-safe counters and latency histograms.
+
+Everything the ``/metrics`` endpoint reports lives here. Latencies are
+recorded into fixed-bucket histograms (Prometheus-style ``le`` upper
+bounds) so percentile estimates are O(buckets) and the memory footprint is
+constant regardless of traffic. All timing uses ``time.monotonic`` —
+wall-clock reads are banned repo-wide by the determinism lint, and a
+monotonic clock is what you want for durations anyway.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ServeError
+
+__all__ = [
+    "DEFAULT_BUCKETS_S",
+    "LatencyHistogram",
+    "ServiceMetrics",
+]
+
+#: Default histogram bucket upper bounds in seconds: sub-millisecond warm
+#: cache hits through multi-second cold grid evaluations.
+DEFAULT_BUCKETS_S: Tuple[float, ...] = (
+    0.0002,
+    0.0005,
+    0.001,
+    0.002,
+    0.005,
+    0.01,
+    0.02,
+    0.05,
+    0.1,
+    0.2,
+    0.5,
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram over seconds, with percentile estimation."""
+
+    def __init__(self, buckets_s: Sequence[float] = DEFAULT_BUCKETS_S) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets_s))
+        if not bounds or any(b <= 0 for b in bounds):
+            raise ServeError("histogram buckets must be positive and non-empty")
+        self._bounds = bounds
+        # one extra bucket counts observations above the last bound (+inf)
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        value = float(seconds)
+        index = len(self._bounds)
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded so far."""
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile (0 < q < 1) by bucket interpolation.
+
+        Returns 0.0 when empty. Values in the overflow bucket are reported
+        as the last finite bound (an underestimate, flagged in SERVING.md).
+        """
+        if not 0.0 < q < 1.0:
+            raise ServeError(f"percentile q must be in (0, 1), got {q!r}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for i, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i >= len(self._bounds):
+                    return self._bounds[-1]
+                lower = self._bounds[i - 1] if i > 0 else 0.0
+                upper = self._bounds[i]
+                if bucket_count == 0:
+                    return upper
+                fraction = (rank - previous) / bucket_count
+                return lower + fraction * (upper - lower)
+        return self._bounds[-1]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view: bucket counts, count/sum, p50/p90/p99."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+        buckets = [
+            {"le_s": bound, "count": counts[i]}
+            for i, bound in enumerate(self._bounds)
+        ]
+        buckets.append({"le_s": "inf", "count": counts[-1]})
+        summary: Dict[str, object] = {
+            "count": total,
+            "sum_s": total_sum,
+            "mean_s": (total_sum / total) if total else 0.0,
+            "buckets": buckets,
+        }
+        for label, q in (("p50_s", 0.5), ("p90_s", 0.9), ("p99_s", 0.99)):
+            summary[label] = self.percentile(q)
+        return summary
+
+
+class ServiceMetrics:
+    """All counters and histograms of one service instance.
+
+    Counters are created on first increment, so layers can record what
+    they know (`http.requests_total`, `queue.rejected_total`,
+    `batch.coalesced_total`, ...) without a central registry. The
+    catalogue of names the built-in layers emit is documented in
+    ``docs/SERVING.md``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    def increment(self, name: str, by: int = 1) -> None:
+        """Add ``by`` to the named counter (creating it at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(by)
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The named histogram, created with default buckets on first use."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = LatencyHistogram()
+                self._histograms[name] = histogram
+            return histogram
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a latency into the named histogram."""
+        self.histogram(name).observe(seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every counter and histogram."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            histograms: List[Tuple[str, LatencyHistogram]] = sorted(
+                self._histograms.items()
+            )
+        return {
+            "counters": counters,
+            "latency": {name: h.as_dict() for name, h in histograms},
+        }

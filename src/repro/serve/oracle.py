@@ -1,0 +1,278 @@
+"""The oracle: cached, vectorized answers to link-configuration queries.
+
+A :class:`SweepTable` is one link's entire evaluated tuning grid — every
+candidate :class:`~repro.config.StackConfig` with its four model metrics —
+stored column-wise as numpy arrays so the epsilon-constraint solve of a
+query is a masked argmin instead of a Python scan. An :class:`Oracle`
+answers ``recommend`` and ``evaluate`` requests out of a two-tier table
+cache:
+
+* **tier 1 (precomputed)** — tables for the discretized Table-I distances,
+  built once at startup (``precompute``) and never evicted;
+* **tier 2 (LRU)** — tables for off-grid links (arbitrary distances,
+  reference-SNR links), built on first use and bounded by
+  ``lru_capacity``.
+
+A cold query costs one full grid evaluation (~1 s for the default 4560
+configurations); a warm one costs a dictionary lookup plus a vectorized
+argmin (microseconds). The service layer on top batches compatible cold
+queries so the grid evaluation is paid once per link, not once per
+request.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..channel.environment import Environment, HALLWAY_2012
+from ..config import TABLE_I_SPACE
+from ..core.optimization import (
+    ConfigEvaluation,
+    Constraint,
+    ModelEvaluator,
+    TuningGrid,
+    evaluate_grid,
+)
+from ..errors import InfeasibleError, OptimizationError
+from .cache import CacheStats, LruCache
+from .protocol import (
+    OBJECTIVES,
+    EvaluateRequest,
+    LinkSpec,
+    RecommendRequest,
+)
+
+__all__ = [
+    "TIER_PRECOMPUTED",
+    "TIER_LRU",
+    "TIER_MISS",
+    "SweepTable",
+    "RecommendResult",
+    "Oracle",
+]
+
+#: Cache tier names reported per answer (and counted in ``/metrics``).
+TIER_PRECOMPUTED = "precomputed"
+TIER_LRU = "lru"
+TIER_MISS = "miss"
+
+
+@dataclass(frozen=True)
+class SweepTable:
+    """One link's fully evaluated tuning grid, stored column-wise.
+
+    ``columns`` maps each objective name to the per-configuration values in
+    minimization form (goodput negated), aligned with ``evaluations``.
+    """
+
+    evaluations: Tuple[ConfigEvaluation, ...]
+    columns: Mapping[str, np.ndarray]
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    @classmethod
+    def build(
+        cls,
+        evaluator: ModelEvaluator,
+        grid: TuningGrid,
+        distance_m: float,
+    ) -> "SweepTable":
+        """Evaluate the whole grid for one link and columnize the metrics."""
+        evaluations = tuple(evaluate_grid(evaluator, grid, distance_m))
+        columns = {
+            name: np.asarray(
+                [e.objective(name) for e in evaluations], dtype=float
+            )
+            for name in OBJECTIVES
+        }
+        return cls(evaluations=evaluations, columns=columns)
+
+    def column(self, objective: str) -> np.ndarray:
+        """The minimization-form values of one objective across the grid."""
+        try:
+            return self.columns[objective]
+        except KeyError:
+            raise OptimizationError(
+                f"unknown objective {objective!r}; valid: {sorted(self.columns)}"
+            ) from None
+
+    def solve(
+        self, objective: str, constraints: Sequence[Constraint] = ()
+    ) -> ConfigEvaluation:
+        """Vectorized epsilon-constraint solve over the cached grid.
+
+        Equivalent to
+        :func:`~repro.core.optimization.solve_epsilon_constraint` on
+        :attr:`evaluations` (same tie-breaking: first minimal feasible row
+        in grid order), but a masked argmin over the columns.
+        """
+        target = self.column(objective)
+        feasible = np.ones(len(self), dtype=bool)
+        for constraint in constraints:
+            feasible &= self.column(constraint.objective) <= constraint.upper_bound
+        if not feasible.any():
+            details = []
+            for constraint in constraints:
+                best = float(self.column(constraint.objective).min())
+                if best > constraint.upper_bound:
+                    details.append(
+                        f"{constraint.objective} <= {constraint.upper_bound:g} "
+                        f"(best achievable {best:g})"
+                    )
+            raise InfeasibleError(
+                "no configuration satisfies the constraints"
+                + (f"; unsatisfiable: {'; '.join(details)}" if details else "")
+            )
+        masked = np.where(feasible, target, np.inf)
+        return self.evaluations[int(np.argmin(masked))]
+
+
+@dataclass(frozen=True)
+class RecommendResult:
+    """A recommend answer plus where it came from."""
+
+    evaluation: ConfigEvaluation
+    cache_tier: str
+
+
+class Oracle:
+    """Answers recommend/evaluate queries from the two-tier table cache.
+
+    Thread-safe: tier bookkeeping is done under a lock, while the expensive
+    table builds run outside it so concurrent queries for *different* links
+    proceed in parallel.
+    """
+
+    def __init__(
+        self,
+        environment: Environment = HALLWAY_2012,
+        grid: Optional[TuningGrid] = None,
+        lru_capacity: int = 64,
+    ) -> None:
+        self.environment = environment
+        self.grid = grid or TuningGrid()
+        self._precomputed: Dict[Tuple[object, ...], SweepTable] = {}
+        self._lru = LruCache(lru_capacity)
+        self._lock = threading.Lock()
+        self._precomputed_hits = 0
+        self._misses = 0
+        self._builds = 0
+
+    # ------------------------------------------------------------ caching
+
+    def precompute(
+        self, distances_m: Sequence[float] = TABLE_I_SPACE.distances_m
+    ) -> int:
+        """Build tier-1 tables for the given link distances; returns count."""
+        built = 0
+        for distance in distances_m:
+            built += self._precompute_one(LinkSpec(distance_m=float(distance)))
+        return built
+
+    def _precompute_one(self, link: LinkSpec) -> int:
+        """Install one tier-1 table; 0 when the link already has one."""
+        key = link.key()
+        with self._lock:
+            if key in self._precomputed:
+                return 0
+        table = self._build_table(link)
+        with self._lock:
+            self._precomputed[key] = table
+        return 1
+
+    def _build_table(self, link: LinkSpec) -> SweepTable:
+        evaluator = ModelEvaluator(snr_by_level=link.snr_map(self.environment))
+        with self._lock:
+            self._builds += 1
+        return SweepTable.build(
+            evaluator, self.grid, link.grid_distance_m()
+        )
+
+    def table_for(self, link: LinkSpec) -> Tuple[SweepTable, str]:
+        """The link's sweep table and the cache tier that supplied it.
+
+        A miss builds the table (outside the lock) and installs it in the
+        LRU tier; the caller is told ``"miss"`` so per-request accounting
+        can distinguish cold from warm answers.
+        """
+        key = link.key()
+        with self._lock:
+            table = self._precomputed.get(key)
+            if table is not None:
+                self._precomputed_hits += 1
+                return table, TIER_PRECOMPUTED
+        cached = self._lru.get(key)
+        if cached is not None:
+            return cached, TIER_LRU  # type: ignore[return-value]
+        with self._lock:
+            self._misses += 1
+        table = self._build_table(link)
+        self._lru.put(key, table)
+        return table, TIER_MISS
+
+    def cache_info(self) -> Dict[str, object]:
+        """Counters for both tiers, JSON-ready (see ``/metrics``)."""
+        with self._lock:
+            precomputed = {
+                "tables": len(self._precomputed),
+                "hits": self._precomputed_hits,
+            }
+            misses = self._misses
+            builds = self._builds
+        lru: CacheStats = self._lru.stats()
+        return {
+            "precomputed": precomputed,
+            "lru": lru.as_dict(),
+            "misses": misses,
+            "table_builds": builds,
+            "grid_size": len(self.grid),
+        }
+
+    # ------------------------------------------------------------ queries
+
+    def recommend(self, request: RecommendRequest) -> RecommendResult:
+        """Best grid configuration for the request's link and objective."""
+        table, tier = self.table_for(request.link)
+        evaluation = table.solve(request.objective, request.constraints)
+        return RecommendResult(evaluation=evaluation, cache_tier=tier)
+
+    def recommend_from_table(
+        self, table: SweepTable, request: RecommendRequest
+    ) -> ConfigEvaluation:
+        """Solve one request against an already-fetched table.
+
+        Used by the micro-batcher: the table is fetched once for a batch of
+        compatible requests, then each request's objective/constraints are
+        solved here without touching the cache again.
+        """
+        return table.solve(request.objective, request.constraints)
+
+    def evaluate(self, request: EvaluateRequest) -> ConfigEvaluation:
+        """Model metrics of one explicit configuration on the given link.
+
+        Deliberately bypasses the table cache: a single-configuration
+        evaluation costs microseconds, so caching it would only add lock
+        traffic to the hot path.
+        """
+        evaluator = ModelEvaluator(
+            snr_by_level=request.link.snr_map(self.environment)
+        )
+        return evaluator.evaluate(request.config)
+
+    def uncached_recommend(
+        self, request: RecommendRequest
+    ) -> ConfigEvaluation:
+        """Answer a recommend request with a fresh grid evaluation.
+
+        The reference (slow) path: used by tests to prove cached answers
+        are identical, and by the throughput benchmark as the uncached
+        baseline.
+        """
+        return self._build_table(request.link).solve(
+            request.objective, request.constraints
+        )

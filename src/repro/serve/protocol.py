@@ -1,0 +1,240 @@
+"""Request/response schema of the link-configuration oracle service.
+
+The wire format is deliberately tiny JSON (see ``docs/SERVING.md``): a
+request names a *link* (either a ``distance_m`` in the modelled hallway or
+a reference ``snr_db`` at a power level, the paper's Table IV convention),
+and either asks for the best configuration under an objective plus
+epsilon-constraints (``recommend``) or for the model metrics of one
+explicit :class:`~repro.config.StackConfig` (``evaluate``). This module
+owns parsing and validation so the HTTP handler and the in-process
+:class:`~repro.serve.client.Client` share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..config import StackConfig
+from ..core.optimization import (
+    ConfigEvaluation,
+    Constraint,
+    snr_map_from_environment,
+    snr_map_from_reference,
+)
+from ..channel.environment import Environment
+from ..errors import ConfigurationError, ProtocolError
+
+__all__ = [
+    "OBJECTIVES",
+    "LinkSpec",
+    "RecommendRequest",
+    "EvaluateRequest",
+    "evaluation_as_dict",
+    "parse_link",
+    "parse_recommend",
+    "parse_evaluate",
+]
+
+#: Objectives a request may optimize or constrain (minimization form, the
+#: names understood by :meth:`ConfigEvaluation.objective`).
+OBJECTIVES: Tuple[str, ...] = (
+    "energy",
+    "goodput",
+    "delay",
+    "loss",
+    "loss_radio",
+    "rho",
+)
+
+#: Rounding applied to link floats when forming cache keys, so that two
+#: requests differing only by float noise (1e-9 m apart) share an entry.
+_KEY_DECIMALS = 6
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Which link a request is about: a distance *or* a reference SNR.
+
+    ``distance_m`` resolves SNR per power level through the channel model
+    of the service's environment; ``snr_db`` instead assumes SNR tracks
+    output power dB-for-dB from ``reference_level`` (the paper's case-study
+    convention). Exactly one of the two must be given.
+    """
+
+    distance_m: Optional[float] = None
+    snr_db: Optional[float] = None
+    reference_level: int = 31
+
+    def __post_init__(self) -> None:
+        if (self.distance_m is None) == (self.snr_db is None):
+            raise ProtocolError(
+                "a link spec needs exactly one of distance_m or snr_db"
+            )
+        if self.distance_m is not None and self.distance_m <= 0:
+            raise ProtocolError(
+                f"distance_m must be positive, got {self.distance_m!r}"
+            )
+
+    def key(self) -> Tuple[object, ...]:
+        """Hashable cache key identifying this link (rounded floats)."""
+        if self.distance_m is not None:
+            return ("distance", round(float(self.distance_m), _KEY_DECIMALS))
+        return (
+            "snr",
+            round(float(self.snr_db), _KEY_DECIMALS),
+            int(self.reference_level),
+        )
+
+    def snr_map(self, environment: Environment) -> Dict[int, float]:
+        """Level → SNR for this link, via the channel model or reference."""
+        if self.distance_m is not None:
+            return snr_map_from_environment(environment, self.distance_m)
+        return snr_map_from_reference(self.snr_db, self.reference_level)
+
+    def grid_distance_m(self, default: float = 10.0) -> float:
+        """Distance stamped on grid configs (inert for SNR-specified links)."""
+        return self.distance_m if self.distance_m is not None else default
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view (only the populated alternative)."""
+        if self.distance_m is not None:
+            return {"distance_m": self.distance_m}
+        return {"snr_db": self.snr_db, "reference_level": self.reference_level}
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """Ask for the grid configuration minimizing ``objective`` on a link."""
+
+    link: LinkSpec
+    objective: str = "energy"
+    constraints: Tuple[Constraint, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise ProtocolError(
+                f"unknown objective {self.objective!r}; valid: {list(OBJECTIVES)}"
+            )
+        for constraint in self.constraints:
+            if constraint.objective not in OBJECTIVES:
+                raise ProtocolError(
+                    f"unknown constraint objective {constraint.objective!r}; "
+                    f"valid: {list(OBJECTIVES)}"
+                )
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """Ask for the model metrics of one explicit configuration on a link."""
+
+    config: StackConfig
+    link: LinkSpec
+
+    @classmethod
+    def for_config(
+        cls, config: StackConfig, link: Optional[LinkSpec] = None
+    ) -> "EvaluateRequest":
+        """Default the link to the configuration's own distance."""
+        return cls(
+            config=config,
+            link=link or LinkSpec(distance_m=config.distance_m),
+        )
+
+
+def _require_mapping(data: object, what: str) -> Mapping[str, object]:
+    if not isinstance(data, Mapping):
+        raise ProtocolError(f"{what} must be a JSON object, got {type(data).__name__}")
+    return data
+
+
+def _reject_unknown(data: Mapping[str, object], known: Tuple[str, ...], what: str) -> None:
+    unknown = set(data) - set(known)
+    if unknown:
+        raise ProtocolError(f"unknown {what} fields: {sorted(unknown)}")
+
+
+def _parse_number(data: Mapping[str, object], field: str) -> Optional[float]:
+    value = data.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{field} must be a number, got {value!r}")
+    return float(value)
+
+
+def parse_link(data: object) -> LinkSpec:
+    """Build a :class:`LinkSpec` from a request's ``link`` object."""
+    mapping = _require_mapping(data, "link")
+    _reject_unknown(mapping, ("distance_m", "snr_db", "reference_level"), "link")
+    reference = mapping.get("reference_level", 31)
+    if isinstance(reference, bool) or not isinstance(reference, int):
+        raise ProtocolError(f"reference_level must be an integer, got {reference!r}")
+    return LinkSpec(
+        distance_m=_parse_number(mapping, "distance_m"),
+        snr_db=_parse_number(mapping, "snr_db"),
+        reference_level=reference,
+    )
+
+
+def _parse_constraints(data: object) -> Tuple[Constraint, ...]:
+    if not isinstance(data, (list, tuple)):
+        raise ProtocolError("constraints must be a JSON array")
+    constraints = []
+    for item in data:
+        mapping = _require_mapping(item, "constraint")
+        _reject_unknown(mapping, ("objective", "max"), "constraint")
+        objective = mapping.get("objective")
+        if not isinstance(objective, str):
+            raise ProtocolError(f"constraint objective must be a string, got {objective!r}")
+        bound = _parse_number(mapping, "max")
+        if bound is None:
+            raise ProtocolError(f"constraint on {objective!r} is missing its 'max' bound")
+        constraints.append(Constraint(objective=objective, upper_bound=bound))
+    return tuple(constraints)
+
+
+def parse_recommend(data: object) -> RecommendRequest:
+    """Validate and build a recommend request from decoded JSON."""
+    mapping = _require_mapping(data, "recommend request")
+    _reject_unknown(mapping, ("link", "objective", "constraints"), "recommend")
+    if "link" not in mapping:
+        raise ProtocolError("recommend request is missing its 'link' object")
+    objective = mapping.get("objective", "energy")
+    if not isinstance(objective, str):
+        raise ProtocolError(f"objective must be a string, got {objective!r}")
+    return RecommendRequest(
+        link=parse_link(mapping["link"]),
+        objective=objective,
+        constraints=_parse_constraints(mapping.get("constraints", ())),
+    )
+
+
+def parse_evaluate(data: object) -> EvaluateRequest:
+    """Validate and build an evaluate request from decoded JSON."""
+    mapping = _require_mapping(data, "evaluate request")
+    _reject_unknown(mapping, ("config", "link"), "evaluate")
+    if "config" not in mapping:
+        raise ProtocolError("evaluate request is missing its 'config' object")
+    config_data = _require_mapping(mapping["config"], "config")
+    try:
+        config = StackConfig.from_dict(config_data)
+    except (ConfigurationError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad config: {exc}") from exc
+    link = parse_link(mapping["link"]) if "link" in mapping else None
+    return EvaluateRequest.for_config(config, link)
+
+
+def evaluation_as_dict(evaluation: ConfigEvaluation) -> Dict[str, object]:
+    """JSON-ready view of one model evaluation (config + all metrics)."""
+    return {
+        "config": evaluation.config.as_dict(),
+        "snr_db": evaluation.snr_db,
+        "max_goodput_kbps": evaluation.max_goodput_kbps,
+        "u_eng_uj_per_bit": evaluation.u_eng_uj_per_bit,
+        "delay_ms": evaluation.delay_ms,
+        "rho": evaluation.rho,
+        "plr_radio": evaluation.plr_radio,
+        "plr_queue": evaluation.plr_queue,
+        "plr_total": evaluation.plr_total,
+    }

@@ -5,11 +5,12 @@ import pytest
 from repro.campaign import (
     CampaignDataset,
     CampaignRunner,
+    load_checkpoint_rows,
     run_campaign_checkpointed,
 )
 from repro.channel import QUIET_HALLWAY
 from repro.config import ParameterSpace
-from repro.errors import CampaignError
+from repro.errors import CampaignError, DatasetError
 
 
 @pytest.fixture
@@ -86,3 +87,59 @@ class TestResume:
     def test_empty_space_rejected(self, tmp_path):
         with pytest.raises(CampaignError):
             run_campaign_checkpointed([], tmp_path / "c.jsonl")
+
+
+class TestCrashSafety:
+    """A crash mid-append leaves a partial trailing line; resume redoes it."""
+
+    def test_partial_trailing_json_truncated_and_redone(self, space, tmp_path):
+        path = tmp_path / "c.jsonl"
+        full = run_checkpointed(space, path)
+        # Simulate a crash cutting the last row mid-JSON (no newline).
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n" + lines[3][:25])
+        redone = []
+        resumed = run_checkpointed(
+            space, path, progress=lambda i, n, s: redone.append(i)
+        )
+        assert redone == [2, 3]  # the cut row was redone, not trusted
+        assert resumed.summaries == full.summaries
+        assert CampaignDataset.load(path).summaries == full.summaries
+
+    def test_valid_json_missing_fields_also_treated_as_partial(
+        self, space, tmp_path
+    ):
+        path = tmp_path / "c.jsonl"
+        full = run_checkpointed(space, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n" + '{"distance_m": 5}\n')
+        resumed = run_checkpointed(space, path)
+        assert resumed.summaries == full.summaries
+
+    def test_mid_file_corruption_still_raises(self, space, tmp_path):
+        path = tmp_path / "c.jsonl"
+        run_checkpointed(space, path)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:25]  # corrupt a row that is NOT last
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DatasetError):
+            run_checkpointed(space, path)
+
+    def test_load_checkpoint_rows_roundtrip(self, space, tmp_path):
+        path = tmp_path / "c.jsonl"
+        dataset = run_checkpointed(space, path)
+        assert load_checkpoint_rows(path) == dataset.summaries
+
+    def test_missing_and_empty_files_raise(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_checkpoint_rows(tmp_path / "absent.jsonl")
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(DatasetError):
+            load_checkpoint_rows(empty)
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(DatasetError):
+            load_checkpoint_rows(path)

@@ -58,6 +58,49 @@ class TestSweep:
 
         assert len(CampaignDataset.load(out_file)) == 3
 
+    def test_resume_checkpoints_and_continues(self, tmp_path, capsys):
+        out_file = tmp_path / "sweep.jsonl"
+        argv = [
+            "sweep",
+            "--distance-m", "10.0",
+            "--q-max", "1",
+            "--limit", "3",
+            "--packets", "30",
+            "--resume",
+            "--output", str(out_file),
+        ]
+        assert main(argv) == 0
+        from repro.campaign import CampaignDataset
+
+        first = CampaignDataset.load(out_file).summaries
+        assert len(first) == 3
+        # Drop the last row; --resume must redo only that configuration.
+        lines = out_file.read_text().splitlines()
+        out_file.write_text("\n".join(lines[:3]) + "\n")
+        assert main(argv) == 0
+        assert CampaignDataset.load(out_file).summaries == first
+        out = capsys.readouterr().out
+        assert "holds 3 summaries" in out
+
+
+class TestServeParser:
+    def test_defaults_precompute_table1(self):
+        from repro.config import TABLE_I_SPACE
+
+        args = build_parser().parse_args(["serve"])
+        assert args.precompute == TABLE_I_SPACE.distances_m
+        assert args.port == 8080
+
+    def test_precompute_none_and_custom(self):
+        args = build_parser().parse_args(["serve", "--precompute", "none"])
+        assert args.precompute == ()
+        args = build_parser().parse_args(["serve", "--precompute", "5,12.5"])
+        assert args.precompute == (5.0, 12.5)
+
+    def test_precompute_garbage_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--precompute", "garbage"])
+
 
 class TestCaseStudy:
     def test_prints_tables(self, capsys):
