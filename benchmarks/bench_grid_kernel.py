@@ -1,0 +1,150 @@
+"""Grid-evaluation kernel — columnar speedup over the scalar reference.
+
+Not a paper figure: this measures the vectorized evaluation hot path that
+PR 4 introduced (`repro.core.optimization.kernels`). Two benches over the
+same full default `TuningGrid` (4,560 configurations):
+
+* **scalar baseline** — `evaluate_grid_scalar`, one `ModelEvaluator.
+  evaluate` call per configuration (the readable reference path);
+* **columnar kernel** — `evaluate_grid_columns`, every Table III metric
+  for every configuration in one numpy broadcast pass.
+
+The kernel must be >= 20x faster than the scalar loop and agree with it
+within 1e-9 relative tolerance on every metric column; the run fails if
+either claim stops holding. Results land in ``BENCH_grid_eval.json`` at
+the repo root so the perf trajectory is tracked from PR 4 on.
+
+Set ``BENCH_GRID_QUICK=1`` (the CI smoke mode) to run single-round.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.optimization import (
+    ModelEvaluator,
+    TuningGrid,
+    evaluate_grid_columns,
+    evaluate_grid_scalar,
+    snr_map_from_reference,
+)
+
+GRID = TuningGrid()
+REFERENCE_SNR_DB = 6.0
+SPEEDUP_FLOOR = 20.0
+EQUIVALENCE_RTOL = 1e-9
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_grid_eval.json"
+
+#: Metric columns compared between the scalar rows and the kernel output.
+METRIC_FIELDS = (
+    "snr_db",
+    "max_goodput_kbps",
+    "u_eng_uj_per_bit",
+    "delay_ms",
+    "rho",
+    "plr_radio",
+    "plr_queue",
+    "plr_total",
+)
+
+#: Cross-test scratch: the scalar per-grid mean, filled by the baseline
+#: bench and read by the kernel bench for the speedup assertion.
+_RESULTS = {}
+
+
+def _rounds() -> int:
+    return 1 if os.environ.get("BENCH_GRID_QUICK") else 3
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return ModelEvaluator(
+        snr_by_level=snr_map_from_reference(REFERENCE_SNR_DB)
+    )
+
+
+def _max_relative_error(evaluator) -> float:
+    """Worst metric disagreement between kernel columns and scalar rows."""
+    rows = evaluate_grid_scalar(evaluator, GRID)
+    grid_eval = evaluate_grid_columns(evaluator, GRID)
+    worst = 0.0
+    for name in METRIC_FIELDS:
+        kernel = getattr(grid_eval, name)
+        scalar = np.asarray([getattr(row, name) for row in rows], dtype=float)
+        if not np.array_equal(np.isfinite(kernel), np.isfinite(scalar)):
+            return float("inf")
+        finite = np.isfinite(scalar)
+        if finite.any():
+            scale = np.maximum(np.abs(scalar[finite]), 1e-300)
+            worst = max(
+                worst,
+                float(np.max(np.abs(kernel[finite] - scalar[finite]) / scale)),
+            )
+    return worst
+
+
+def test_scalar_baseline(evaluator, benchmark, report):
+    benchmark.pedantic(
+        evaluate_grid_scalar, args=(evaluator, GRID), rounds=_rounds(),
+        iterations=1,
+    )
+    per_grid_s = benchmark.stats.stats.mean
+    _RESULTS["scalar_s"] = per_grid_s
+    report.header("Grid evaluation: scalar reference loop")
+    report.emit(
+        f"grid        : {len(GRID)} configurations",
+        f"per grid    : {per_grid_s * 1e3:8.1f} ms",
+        f"per config  : {per_grid_s / len(GRID) * 1e6:8.1f} us",
+    )
+
+
+def test_columnar_kernel_speedup(evaluator, benchmark, report):
+    benchmark.pedantic(
+        evaluate_grid_columns, args=(evaluator, GRID), rounds=_rounds(),
+        iterations=1,
+    )
+    per_grid_s = benchmark.stats.stats.mean
+    max_rel = _max_relative_error(evaluator)
+    scalar_s = _RESULTS.get("scalar_s")
+    speedup = (scalar_s / per_grid_s) if scalar_s else float("nan")
+    report.header("Grid evaluation: columnar kernel (struct-of-arrays)")
+    report.emit(
+        f"grid        : {len(GRID)} configurations",
+        f"per grid    : {per_grid_s * 1e3:8.2f} ms",
+        f"per config  : {per_grid_s / len(GRID) * 1e9:8.0f} ns",
+        f"speedup     : {speedup:8.0f}x over the scalar loop",
+        f"equivalence : max relative error {max_rel:.2e} "
+        f"(tolerance {EQUIVALENCE_RTOL:g})",
+    )
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "grid_eval",
+                "grid_configurations": len(GRID),
+                "reference_snr_db": REFERENCE_SNR_DB,
+                "rounds": _rounds(),
+                "scalar_ms_per_grid": (
+                    scalar_s * 1e3 if scalar_s else None
+                ),
+                "columnar_ms_per_grid": per_grid_s * 1e3,
+                "speedup_x": speedup,
+                "speedup_floor_x": SPEEDUP_FLOOR,
+                "max_relative_error": max_rel,
+                "equivalence_rtol": EQUIVALENCE_RTOL,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    report.emit(f"recorded    : {RESULT_PATH.name}")
+    report.shape_check(
+        f"columnar kernel >= {SPEEDUP_FLOOR:.0f}x faster than the scalar "
+        f"loop ({speedup:,.0f}x measured)",
+        bool(scalar_s) and speedup >= SPEEDUP_FLOOR,
+    )
+    assert max_rel <= EQUIVALENCE_RTOL
+    assert scalar_s is not None, "scalar baseline must run first"
+    assert speedup >= SPEEDUP_FLOOR

@@ -9,7 +9,11 @@ count or scheduling order.
 
 Worker processes are handed (index, config) pairs and a pickled runner
 specification — not the runner itself, so progress callbacks and other
-unpicklables stay in the parent.
+unpicklables stay in the parent. The specification is shipped *once* per
+worker through the pool initializer (not re-pickled into every job), and
+results stream back via ``imap_unordered`` and are re-sorted by sweep
+index, so ordering is deterministic while no output buffering stalls the
+pool.
 """
 
 from __future__ import annotations
@@ -40,6 +44,17 @@ class _WorkerSpec:
     engine: str
 
 
+#: Per-process worker state: the spec installed by the pool initializer.
+#: Lives in the worker interpreter only; the parent never mutates it.
+_WORKER_SPEC: Optional[_WorkerSpec] = None
+
+
+def _init_worker(spec: _WorkerSpec) -> None:
+    """Pool initializer: receive the worker spec once per process."""
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+
+
 def _run_one(
     spec: _WorkerSpec, index: int, config: StackConfig
 ) -> Tuple[int, ConfigSummary]:
@@ -50,6 +65,23 @@ def _run_one(
         engine=spec.engine,
     )
     return index, runner.run_config(config, index)
+
+
+def _run_indexed(
+    job: Tuple[int, StackConfig], spec: Optional[_WorkerSpec] = None
+) -> Tuple[int, ConfigSummary]:
+    """Pool job body: evaluate one (index, config) against a worker spec.
+
+    ``spec`` defaults to the one the pool initializer installed in this
+    process. The seed still derives from ``(base_seed, index)`` inside the
+    runner, so results are bit-identical to the serial path regardless of
+    which worker picks the job up or in which order results stream back.
+    """
+    spec = spec if spec is not None else _WORKER_SPEC
+    if spec is None:
+        raise CampaignError("worker spec was not initialized in this process")
+    index, config = job
+    return _run_one(spec, index, config)
 
 
 def run_campaign_parallel(
@@ -88,14 +120,18 @@ def run_campaign_parallel(
         base_seed=spec.base_seed,
         engine=spec.engine,
     )
-    jobs = [(spec, index, config) for index, config in enumerate(configs)]
+    jobs = [(index, config) for index, config in enumerate(configs)]
     results: List[Tuple[int, ConfigSummary]] = []
     if n_workers == 1:
-        results = [_run_one(*job) for job in jobs]
+        results = [_run_one(spec, *job) for job in jobs]
     else:
         ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=n_workers) as pool:
-            results = pool.starmap(_run_one, jobs, chunksize=chunksize)
+        with ctx.Pool(
+            processes=n_workers, initializer=_init_worker, initargs=(spec,)
+        ) as pool:
+            results = list(
+                pool.imap_unordered(_run_indexed, jobs, chunksize=chunksize)
+            )
     results.sort(key=lambda item: item[0])
     dataset = CampaignDataset(description=description)
     dataset.extend(summary for _, summary in results)

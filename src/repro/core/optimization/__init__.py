@@ -20,13 +20,15 @@ from .epsilon_constraint import (
     sweep_epsilon,
 )
 from .evaluate import (
+    RHO_QUEUE_CLIP,
     ConfigEvaluation,
     ModelEvaluator,
     snr_map_from_environment,
     snr_map_from_reference,
 )
-from .grid import TuningGrid, best_by, evaluate_grid
-from .pareto import dominates, knee_point, pareto_front
+from .grid import TuningGrid, best_by, evaluate_grid, evaluate_grid_scalar
+from .kernels import GridEvaluation, evaluate_columns, evaluate_grid_columns
+from .pareto import dominates, knee_point, nondominated_mask, pareto_front
 from .sensitivity import (
     ParameterSensitivity,
     analyze_sensitivity,
@@ -50,14 +52,20 @@ from .tradeoff import (
 )
 
 __all__ = [
+    "RHO_QUEUE_CLIP",
     "ConfigEvaluation",
     "Constraint",
+    "GridEvaluation",
     "ModelEvaluator",
     "ParameterSensitivity",
     "TradeoffPoint",
     "TuningGrid",
     "TuningStrategy",
     "best_by",
+    "evaluate_columns",
+    "evaluate_grid_columns",
+    "evaluate_grid_scalar",
+    "nondominated_mask",
     "case_study_base_config",
     "case_study_environment",
     "case_study_snr_map",

@@ -24,7 +24,8 @@ from ...errors import OptimizationError
 from ..constants import MAX_PAYLOAD_BYTES
 from .epsilon_constraint import Constraint, solve_epsilon_constraint
 from .evaluate import ConfigEvaluation, ModelEvaluator
-from .grid import TuningGrid, evaluate_grid
+from .grid import TuningGrid
+from .kernels import evaluate_grid_columns
 
 __all__ = [
     "TuningStrategy",
@@ -107,11 +108,11 @@ def joint_tuning(
     """
     if grid is None:
         grid = TuningGrid(t_pkt_values_ms=(base_config.t_pkt_ms,))
-    evaluations = evaluate_grid(evaluator, grid, base_config.distance_m)
+    evaluations = evaluate_grid_columns(evaluator, grid, base_config.distance_m)
     constraint = Constraint(objective="energy", upper_bound=energy_budget_uj_per_bit)
     try:
         return solve_epsilon_constraint(evaluations, "goodput", (constraint,))
     except Exception:
-        best_energy = min(e.u_eng_uj_per_bit for e in evaluations)
+        best_energy = float(evaluations.u_eng_uj_per_bit.min())
         relaxed = Constraint(objective="energy", upper_bound=best_energy * 1.05)
         return solve_epsilon_constraint(evaluations, "goodput", (relaxed,))

@@ -18,6 +18,7 @@ import numpy as np
 
 from ...errors import InfeasibleError, OptimizationError
 from .evaluate import ConfigEvaluation
+from .kernels import GridEvaluation
 
 __all__ = [
     "Constraint",
@@ -39,39 +40,84 @@ class Constraint:
 
 
 def solve_epsilon_constraint(
-    evaluations: Sequence[ConfigEvaluation],
+    evaluations,
     minimize: str,
     constraints: Sequence[Constraint] = (),
 ) -> ConfigEvaluation:
     """Minimize one objective subject to bounds on the others.
 
-    Raises :class:`InfeasibleError` when no configuration satisfies every
-    constraint; the error message reports the tightest violated bound to
-    make infeasibility actionable.
+    Accepts scalar rows or a columnar
+    :class:`~repro.core.optimization.kernels.GridEvaluation` (solved as a
+    masked argmin without materializing rows); both tie-break to the first
+    minimal feasible entry. Raises :class:`InfeasibleError` when no
+    configuration satisfies every constraint; the error message reports
+    the tightest violated bound to make infeasibility actionable.
     """
+    if isinstance(evaluations, GridEvaluation):
+        return _solve_columns(evaluations, minimize, constraints)
     if not evaluations:
         raise OptimizationError("no evaluations to optimize over")
     feasible = [
         e for e in evaluations if all(c.satisfied_by(e) for c in constraints)
     ]
     if not feasible:
-        details = []
-        for c in constraints:
-            best = min(e.objective(c.objective) for e in evaluations)
-            if best > c.upper_bound:
-                details.append(
-                    f"{c.objective} <= {c.upper_bound:g} (best achievable "
-                    f"{best:g})"
-                )
-        raise InfeasibleError(
-            "no configuration satisfies the constraints"
-            + (f"; unsatisfiable: {'; '.join(details)}" if details else "")
+        raise _infeasible(
+            constraints,
+            lambda objective: min(
+                e.objective(objective) for e in evaluations
+            ),
         )
-    return min(feasible, key=lambda e: e.objective(minimize))
+    index = min(
+        range(len(feasible)),
+        key=lambda i: feasible[i].objective(minimize),
+    )
+    return feasible[index]
+
+
+def _solve_columns(
+    evaluations: GridEvaluation,
+    minimize: str,
+    constraints: Sequence[Constraint],
+) -> ConfigEvaluation:
+    """The columnar solve: boolean feasibility mask + argmin over columns."""
+    if len(evaluations) == 0:
+        raise OptimizationError("no evaluations to optimize over")
+    feasible = np.ones(len(evaluations), dtype=bool)
+    for constraint in constraints:
+        feasible &= (
+            evaluations.objective_column(constraint.objective)
+            <= constraint.upper_bound
+        )
+    if not feasible.any():
+        raise _infeasible(
+            constraints,
+            lambda objective: float(
+                evaluations.objective_column(objective).min()
+            ),
+        )
+    return evaluations.row(evaluations.best_index(minimize, feasible))
+
+
+def _infeasible(
+    constraints: Sequence[Constraint], best_of
+) -> InfeasibleError:
+    """The shared infeasibility diagnosis: report violated bounds."""
+    details = []
+    for c in constraints:
+        best = best_of(c.objective)
+        if best > c.upper_bound:
+            details.append(
+                f"{c.objective} <= {c.upper_bound:g} (best achievable "
+                f"{best:g})"
+            )
+    return InfeasibleError(
+        "no configuration satisfies the constraints"
+        + (f"; unsatisfiable: {'; '.join(details)}" if details else "")
+    )
 
 
 def sweep_epsilon(
-    evaluations: Sequence[ConfigEvaluation],
+    evaluations,
     minimize: str,
     constrain: str,
     bounds: Sequence[float],
@@ -80,7 +126,8 @@ def sweep_epsilon(
 
     For each bound value the constrained optimum is computed; infeasible
     bounds are skipped. Consecutive duplicates (same configuration) are
-    collapsed so the result reads as a front.
+    collapsed so the result reads as a front. Columnar inputs
+    (:class:`GridEvaluation`) solve each bound as a masked argmin.
     """
     front: List[ConfigEvaluation] = []
     for bound in bounds:
@@ -98,12 +145,17 @@ def sweep_epsilon(
 
 
 def default_bounds_for(
-    evaluations: Sequence[ConfigEvaluation], objective: str, n_points: int = 20
+    evaluations, objective: str, n_points: int = 20
 ) -> np.ndarray:
     """A sensible epsilon sweep: n points between the best and worst values."""
     if n_points < 2:
         raise OptimizationError(f"need at least 2 sweep points, got {n_points!r}")
-    values = np.asarray([e.objective(objective) for e in evaluations], dtype=float)
+    if isinstance(evaluations, GridEvaluation):
+        values = evaluations.objective_column(objective)
+    else:
+        values = np.asarray(
+            [e.objective(objective) for e in evaluations], dtype=float
+        )
     finite = values[np.isfinite(values)]
     if finite.size == 0:
         raise OptimizationError(f"objective {objective!r} has no finite values")

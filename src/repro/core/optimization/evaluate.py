@@ -24,11 +24,18 @@ from ..goodput_model import GoodputModel
 from ..plr_model import PlrRadioModel, plr_queue_estimate, plr_total_estimate
 
 __all__ = [
+    "RHO_QUEUE_CLIP",
     "snr_map_from_environment",
     "snr_map_from_reference",
     "ConfigEvaluation",
     "ModelEvaluator",
 ]
+
+#: Utilization ceiling fed into the M/M/1/K queue-loss estimate. Beyond
+#: this the blocking probability is saturated anyway and the power terms
+#: ``rho**k`` overflow for large queues; both the scalar path and the
+#: columnar kernels clip at the same value so they agree exactly.
+RHO_QUEUE_CLIP = 5.0
 
 
 def snr_map_from_environment(
@@ -133,7 +140,9 @@ class ModelEvaluator:
         plr_radio = float(
             self.plr_model.plr_radio(config.payload_bytes, snr, config.n_max_tries)
         )
-        plr_queue = plr_queue_estimate(min(delay.rho, 5.0), config.q_max)
+        plr_queue = plr_queue_estimate(
+            min(delay.rho, RHO_QUEUE_CLIP), config.q_max
+        )
         return ConfigEvaluation(
             config=config,
             snr_db=snr,

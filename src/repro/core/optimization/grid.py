@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ...config import StackConfig, VALID_PTX_LEVELS
 from ...errors import OptimizationError
@@ -19,6 +19,7 @@ from .evaluate import ConfigEvaluation, ModelEvaluator
 __all__ = [
     "TuningGrid",
     "evaluate_grid",
+    "evaluate_grid_scalar",
     "best_by",
 ]
 
@@ -75,18 +76,55 @@ def evaluate_grid(
     grid: Optional[TuningGrid] = None,
     distance_m: float = 10.0,
 ) -> List[ConfigEvaluation]:
-    """Evaluate every grid configuration with the empirical models."""
-    grid = grid or TuningGrid()
-    evaluations = [evaluator.evaluate(cfg) for cfg in grid.configs(distance_m)]
-    if not evaluations:
+    """Evaluate every grid configuration with the empirical models.
+
+    Compatibility shim over the columnar kernels: the metrics are computed
+    in one vectorized pass (:func:`~repro.core.optimization.kernels.
+    evaluate_grid_columns`) and materialized as scalar
+    :class:`ConfigEvaluation` rows in grid order. Callers that can work
+    column-wise should use the kernels directly and skip materialization.
+    """
+    from .kernels import evaluate_grid_columns
+
+    # `grid or TuningGrid()` would swap an *empty* grid (len 0, falsy) for
+    # the default one instead of rejecting it.
+    grid = grid if grid is not None else TuningGrid()
+    if len(grid) == 0:
         raise OptimizationError("the tuning grid is empty")
-    return evaluations
+    return evaluate_grid_columns(evaluator, grid, distance_m).rows()
 
 
-def best_by(
-    evaluations: Sequence[ConfigEvaluation], objective: str
-) -> ConfigEvaluation:
-    """The single evaluation minimizing the named objective."""
+def evaluate_grid_scalar(
+    evaluator: ModelEvaluator,
+    grid: Optional[TuningGrid] = None,
+    distance_m: float = 10.0,
+) -> List[ConfigEvaluation]:
+    """The readable reference path: one scalar model call per configuration.
+
+    Semantically identical to :func:`evaluate_grid`; kept as the ground
+    truth the kernels are pinned against (and as the benchmark baseline).
+    """
+    grid = grid if grid is not None else TuningGrid()
+    if len(grid) == 0:
+        raise OptimizationError("the tuning grid is empty")
+    return [evaluator.evaluate(cfg) for cfg in grid.configs(distance_m)]
+
+
+def best_by(evaluations, objective: str) -> ConfigEvaluation:
+    """The single evaluation minimizing the named objective.
+
+    Ties break deterministically to the lowest grid index, for scalar rows
+    and :class:`~repro.core.optimization.kernels.GridEvaluation` columns
+    alike, so the scalar and vectorized argmin always agree.
+    """
+    from .kernels import GridEvaluation
+
+    if isinstance(evaluations, GridEvaluation):
+        return evaluations.row(evaluations.best_index(objective))
     if not evaluations:
         raise OptimizationError("no evaluations to choose from")
-    return min(evaluations, key=lambda e: e.objective(objective))
+    index = min(
+        range(len(evaluations)),
+        key=lambda i: evaluations[i].objective(objective),
+    )
+    return evaluations[index]

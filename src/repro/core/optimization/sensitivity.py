@@ -18,6 +18,7 @@ import numpy as np
 from ...config import StackConfig, VALID_PTX_LEVELS
 from ...errors import OptimizationError
 from .evaluate import ModelEvaluator
+from .kernels import evaluate_columns
 
 __all__ = [
     "DEFAULT_AXES",
@@ -89,25 +90,33 @@ def analyze_sensitivity(
     for parameter, values in axes.items():
         if not values:
             raise OptimizationError(f"axis {parameter!r} is empty")
-        evaluations = []
-        for value in values:
-            cfg = base.with_updates(**{parameter: value})
-            evaluations.append((value, evaluator.evaluate(cfg)))
+        # Configs are still built one at a time so per-value validation
+        # (ConfigurationError on out-of-range settings) is unchanged; the
+        # model evaluation itself is one columnar kernel pass per axis.
+        configs = [base.with_updates(**{parameter: value}) for value in values]
+        sweep = evaluate_columns(
+            evaluator,
+            ptx_level=[cfg.ptx_level for cfg in configs],
+            payload_bytes=[cfg.payload_bytes for cfg in configs],
+            n_max_tries=[cfg.n_max_tries for cfg in configs],
+            d_retry_ms=[cfg.d_retry_ms for cfg in configs],
+            q_max=[cfg.q_max for cfg in configs],
+            t_pkt_ms=[cfg.t_pkt_ms for cfg in configs],
+            distance_m=base.distance_m,
+        )
         for metric in metrics:
-            scored = [
-                (value, ev.objective(metric)) for value, ev in evaluations
-            ]
-            best_setting, best = min(scored, key=lambda item: item[1])
-            worst_setting, worst = max(scored, key=lambda item: item[1])
+            scored = sweep.objective_column(metric)
+            best_idx = int(np.argmin(scored))
+            worst_idx = int(np.argmax(scored))
             results.append(
                 ParameterSensitivity(
                     parameter=parameter,
                     metric=metric,
                     base_value=base_eval.objective(metric),
-                    best_value=best,
-                    worst_value=worst,
-                    best_setting=best_setting,
-                    worst_setting=worst_setting,
+                    best_value=float(scored[best_idx]),
+                    worst_value=float(scored[worst_idx]),
+                    best_setting=values[best_idx],
+                    worst_setting=values[worst_idx],
                 )
             )
     return results

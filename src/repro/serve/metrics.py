@@ -17,6 +17,7 @@ from ..errors import ServeError
 
 __all__ = [
     "DEFAULT_BUCKETS_S",
+    "DEFAULT_BUCKETS_MS",
     "LatencyHistogram",
     "ServiceMetrics",
 ]
@@ -41,24 +42,60 @@ DEFAULT_BUCKETS_S: Tuple[float, ...] = (
     10.0,
 )
 
+#: Bucket bounds for millisecond-unit histograms (``unit="ms"``): single-
+#: digit-ms columnar grid evaluations through multi-second scalar fallbacks.
+DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+    0.5,
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    20.0,
+    50.0,
+    100.0,
+    200.0,
+    500.0,
+    1000.0,
+    2000.0,
+    5000.0,
+)
+
 
 class LatencyHistogram:
-    """Fixed-bucket histogram over seconds, with percentile estimation."""
+    """Fixed-bucket latency histogram with percentile estimation.
 
-    def __init__(self, buckets_s: Sequence[float] = DEFAULT_BUCKETS_S) -> None:
-        bounds = tuple(sorted(float(b) for b in buckets_s))
+    Observations, bucket bounds and every reported statistic share one
+    time unit — seconds by default, or whatever ``unit`` names (the
+    ``le_s`` / ``sum_s`` / ``p50_s`` key suffixes in :meth:`as_dict`
+    follow it, e.g. ``le_ms`` for a millisecond histogram).
+    """
+
+    def __init__(
+        self,
+        buckets: Sequence[float] = DEFAULT_BUCKETS_S,
+        unit: str = "s",
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds or any(b <= 0 for b in bounds):
             raise ServeError("histogram buckets must be positive and non-empty")
+        if unit not in ("s", "ms", "us"):
+            raise ServeError(f"unsupported histogram unit {unit!r}")
         self._bounds = bounds
+        self._unit = unit
         # one extra bucket counts observations above the last bound (+inf)
         self._counts = [0] * (len(bounds) + 1)
         self._sum = 0.0
         self._count = 0
         self._lock = threading.Lock()
 
-    def observe(self, seconds: float) -> None:
-        """Record one latency observation."""
-        value = float(seconds)
+    @property
+    def unit(self) -> str:
+        """The time unit every observation and statistic is expressed in."""
+        return self._unit
+
+    def observe(self, value_in_unit: float) -> None:
+        """Record one latency observation (in this histogram's unit)."""
+        value = float(value_in_unit)
         index = len(self._bounds)
         for i, bound in enumerate(self._bounds):
             if value <= bound:
@@ -105,23 +142,32 @@ class LatencyHistogram:
         return self._bounds[-1]
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-ready view: bucket counts, count/sum, p50/p90/p99."""
+        """JSON-ready view: bucket counts, count/sum, p50/p90/p99.
+
+        Key suffixes follow the histogram's unit (``sum_s`` / ``p50_s``
+        for seconds, ``sum_ms`` / ``p50_ms`` for milliseconds, ...).
+        """
         with self._lock:
             counts = list(self._counts)
             total = self._count
             total_sum = self._sum
+        unit = self._unit
         buckets = [
-            {"le_s": bound, "count": counts[i]}
+            {f"le_{unit}": bound, "count": counts[i]}
             for i, bound in enumerate(self._bounds)
         ]
-        buckets.append({"le_s": "inf", "count": counts[-1]})
+        buckets.append({f"le_{unit}": "inf", "count": counts[-1]})
         summary: Dict[str, object] = {
             "count": total,
-            "sum_s": total_sum,
-            "mean_s": (total_sum / total) if total else 0.0,
+            f"sum_{unit}": total_sum,
+            f"mean_{unit}": (total_sum / total) if total else 0.0,
             "buckets": buckets,
         }
-        for label, q in (("p50_s", 0.5), ("p90_s", 0.9), ("p99_s", 0.99)):
+        for label, q in (
+            (f"p50_{unit}", 0.5),
+            (f"p90_{unit}", 0.9),
+            (f"p99_{unit}", 0.99),
+        ):
             summary[label] = self.percentile(q)
         return summary
 
@@ -158,6 +204,28 @@ class ServiceMetrics:
             if histogram is None:
                 histogram = LatencyHistogram()
                 self._histograms[name] = histogram
+            return histogram
+
+    def register_histogram(
+        self, name: str, histogram: LatencyHistogram
+    ) -> LatencyHistogram:
+        """Expose an externally-owned histogram under ``name``.
+
+        Lets a component that already records its own latencies (e.g. the
+        oracle's ``grid_eval_ms``) surface them through ``/metrics``
+        without double bookkeeping. Re-registering the same object is a
+        no-op; registering a different histogram under an existing name
+        raises.
+        """
+        with self._lock:
+            existing = self._histograms.get(name)
+            if existing is histogram:
+                return histogram
+            if existing is not None:
+                raise ServeError(
+                    f"histogram {name!r} is already registered"
+                )
+            self._histograms[name] = histogram
             return histogram
 
     def observe(self, name: str, seconds: float) -> None:

@@ -1,9 +1,10 @@
 """The oracle: cached, vectorized answers to link-configuration queries.
 
-A :class:`SweepTable` is one link's entire evaluated tuning grid — every
-candidate :class:`~repro.config.StackConfig` with its four model metrics —
-stored column-wise as numpy arrays so the epsilon-constraint solve of a
-query is a masked argmin instead of a Python scan. An :class:`Oracle`
+A :class:`SweepTable` is one link's entire evaluated tuning grid — a
+columnar :class:`~repro.core.optimization.GridEvaluation` produced by the
+vectorized kernels, so both the build (one broadcast pass over all
+configurations) and the epsilon-constraint solve of a query (a masked
+argmin) are numpy operations rather than Python scans. An :class:`Oracle`
 answers ``recommend`` and ``evaluate`` requests out of a two-tier table
 cache:
 
@@ -13,17 +14,20 @@ cache:
   reference-SNR links), built on first use and bounded by
   ``lru_capacity``.
 
-A cold query costs one full grid evaluation (~1 s for the default 4560
-configurations); a warm one costs a dictionary lookup plus a vectorized
-argmin (microseconds). The service layer on top batches compatible cold
-queries so the grid evaluation is paid once per link, not once per
-request.
+A cold query costs one columnar grid evaluation (single-digit
+milliseconds for the default 4560 configurations — the ``grid_eval_ms``
+histogram in ``/metrics`` tracks the real cost); a warm one costs a
+dictionary lookup plus a vectorized argmin (microseconds). The service
+layer on top batches compatible cold queries so the grid evaluation is
+paid once per link, not once per request.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,12 +37,14 @@ from ..config import TABLE_I_SPACE
 from ..core.optimization import (
     ConfigEvaluation,
     Constraint,
+    GridEvaluation,
     ModelEvaluator,
     TuningGrid,
-    evaluate_grid,
+    evaluate_grid_columns,
+    solve_epsilon_constraint,
 )
-from ..errors import InfeasibleError, OptimizationError
 from .cache import CacheStats, LruCache
+from .metrics import DEFAULT_BUCKETS_MS, LatencyHistogram
 from .protocol import (
     OBJECTIVES,
     EvaluateRequest,
@@ -65,15 +71,17 @@ TIER_MISS = "miss"
 class SweepTable:
     """One link's fully evaluated tuning grid, stored column-wise.
 
-    ``columns`` maps each objective name to the per-configuration values in
-    minimization form (goodput negated), aligned with ``evaluations``.
+    Wraps the kernels' :class:`GridEvaluation`; scalar
+    :class:`ConfigEvaluation` rows are materialized lazily (and cached) the
+    first time :attr:`evaluations` is read, so the serving hot path never
+    pays per-row object construction.
     """
 
-    evaluations: Tuple[ConfigEvaluation, ...]
-    columns: Mapping[str, np.ndarray]
+    grid_eval: GridEvaluation
+    build_ms: float = field(default=float("nan"), compare=False)
 
     def __len__(self) -> int:
-        return len(self.evaluations)
+        return len(self.grid_eval)
 
     @classmethod
     def build(
@@ -82,54 +90,47 @@ class SweepTable:
         grid: TuningGrid,
         distance_m: float,
     ) -> "SweepTable":
-        """Evaluate the whole grid for one link and columnize the metrics."""
-        evaluations = tuple(evaluate_grid(evaluator, grid, distance_m))
-        columns = {
-            name: np.asarray(
-                [e.objective(name) for e in evaluations], dtype=float
-            )
-            for name in OBJECTIVES
+        """Evaluate the whole grid for one link in one columnar pass."""
+        started = time.monotonic()
+        grid_eval = evaluate_grid_columns(evaluator, grid, distance_m)
+        elapsed_ms = (time.monotonic() - started) * 1e3
+        return cls(grid_eval=grid_eval, build_ms=elapsed_ms)
+
+    @cached_property
+    def evaluations(self) -> Tuple[ConfigEvaluation, ...]:
+        """Scalar rows in grid order (materialized on first access)."""
+        return tuple(self.grid_eval.rows())
+
+    @property
+    def columns(self) -> Mapping[str, np.ndarray]:
+        """Objective name → minimization-form column, for every objective."""
+        return {
+            name: self.grid_eval.objective_column(name) for name in OBJECTIVES
         }
-        return cls(evaluations=evaluations, columns=columns)
 
     def column(self, objective: str) -> np.ndarray:
         """The minimization-form values of one objective across the grid."""
-        try:
-            return self.columns[objective]
-        except KeyError:
-            raise OptimizationError(
-                f"unknown objective {objective!r}; valid: {sorted(self.columns)}"
-            ) from None
+        return self.grid_eval.objective_column(objective)
 
     def solve(
         self, objective: str, constraints: Sequence[Constraint] = ()
     ) -> ConfigEvaluation:
         """Vectorized epsilon-constraint solve over the cached grid.
 
-        Equivalent to
-        :func:`~repro.core.optimization.solve_epsilon_constraint` on
-        :attr:`evaluations` (same tie-breaking: first minimal feasible row
-        in grid order), but a masked argmin over the columns.
+        Delegates to the columnar branch of
+        :func:`~repro.core.optimization.solve_epsilon_constraint`, so the
+        answer (including first-minimal-feasible tie-breaking and
+        infeasibility diagnostics) is identical to solving the materialized
+        :attr:`evaluations` row list.
         """
-        target = self.column(objective)
-        feasible = np.ones(len(self), dtype=bool)
-        for constraint in constraints:
-            feasible &= self.column(constraint.objective) <= constraint.upper_bound
-        if not feasible.any():
-            details = []
-            for constraint in constraints:
-                best = float(self.column(constraint.objective).min())
-                if best > constraint.upper_bound:
-                    details.append(
-                        f"{constraint.objective} <= {constraint.upper_bound:g} "
-                        f"(best achievable {best:g})"
-                    )
-            raise InfeasibleError(
-                "no configuration satisfies the constraints"
-                + (f"; unsatisfiable: {'; '.join(details)}" if details else "")
-            )
-        masked = np.where(feasible, target, np.inf)
-        return self.evaluations[int(np.argmin(masked))]
+        return solve_epsilon_constraint(self.grid_eval, objective, constraints)
+
+    def stats(self) -> Dict[str, object]:
+        """Size and build-cost summary, JSON-ready."""
+        return {
+            "configurations": len(self),
+            "build_ms": self.build_ms,
+        }
 
 
 @dataclass(frozen=True)
@@ -155,13 +156,19 @@ class Oracle:
         lru_capacity: int = 64,
     ) -> None:
         self.environment = environment
-        self.grid = grid or TuningGrid()
+        # Not `grid or TuningGrid()`: an empty grid is falsy and would be
+        # silently swapped for the default; let evaluation reject it instead.
+        self.grid = grid if grid is not None else TuningGrid()
         self._precomputed: Dict[Tuple[object, ...], SweepTable] = {}
         self._lru = LruCache(lru_capacity)
         self._lock = threading.Lock()
         self._precomputed_hits = 0
         self._misses = 0
         self._builds = 0
+        #: Cold grid-evaluation latency (ms), one observation per table
+        #: build. The service layer registers this into ``/metrics`` as
+        #: ``grid_eval_ms`` so cache-miss cost is visible in production.
+        self.grid_eval_ms = LatencyHistogram(DEFAULT_BUCKETS_MS, unit="ms")
 
     # ------------------------------------------------------------ caching
 
@@ -189,9 +196,11 @@ class Oracle:
         evaluator = ModelEvaluator(snr_by_level=link.snr_map(self.environment))
         with self._lock:
             self._builds += 1
-        return SweepTable.build(
+        table = SweepTable.build(
             evaluator, self.grid, link.grid_distance_m()
         )
+        self.grid_eval_ms.observe(table.build_ms)
+        return table
 
     def table_for(self, link: LinkSpec) -> Tuple[SweepTable, str]:
         """The link's sweep table and the cache tier that supplied it.
@@ -231,6 +240,7 @@ class Oracle:
             "misses": misses,
             "table_builds": builds,
             "grid_size": len(self.grid),
+            "grid_eval_ms": self.grid_eval_ms.as_dict(),
         }
 
     # ------------------------------------------------------------ queries

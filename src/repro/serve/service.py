@@ -138,6 +138,9 @@ class OracleService:
             )
         self.oracle = oracle
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        # Surface the oracle's cold-path build cost in /metrics: the
+        # oracle owns and records the histogram, the service publishes it.
+        self.metrics.register_histogram("grid_eval_ms", oracle.grid_eval_ms)
         self._queue_capacity = int(queue_capacity)
         self._max_batch = int(max_batch)
         self._default_timeout_s = float(default_timeout_s)
