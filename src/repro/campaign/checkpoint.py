@@ -22,28 +22,44 @@ from .runner import CampaignRunner
 from .summary import ConfigSummary
 
 __all__ = [
+    "append_checkpoint_row",
+    "load_checkpoint_jsonl",
     "load_checkpoint_rows",
     "run_campaign_checkpointed",
+    "write_checkpoint_header",
 ]
 
 
-def _append_row(path: Path, summary: ConfigSummary) -> None:
-    # flush + fsync per row: a crash (power loss, OOM kill) between
-    # configurations loses at most the row being written, and that partial
-    # line is truncated-and-redone on resume by load_checkpoint_rows.
-    with path.open("a", encoding="utf-8") as fh:
-        fh.write(json.dumps(summary.as_dict()) + "\n")
+def append_checkpoint_row(path, row: dict) -> None:
+    """Durably append one JSON row to a checkpoint file.
+
+    flush + fsync per row: a crash (power loss, OOM kill) between rows
+    loses at most the row being written, and that partial line is
+    truncated-and-redone on resume by :func:`load_checkpoint_jsonl`.
+    """
+    with Path(path).open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row) + "\n")
         fh.flush()
         os.fsync(fh.fileno())
 
 
-def load_checkpoint_rows(path) -> List[ConfigSummary]:
-    """Load a checkpoint file, tolerating one partial trailing row.
+def _append_row(path: Path, summary: ConfigSummary) -> None:
+    append_checkpoint_row(path, summary.as_dict())
 
-    A crash mid-append can leave the final line incomplete (cut mid-JSON,
-    or syntactically valid but missing fields). Such a row is dropped and
+
+def load_checkpoint_jsonl(
+    path, expected_format: str, parse_row: Callable[[dict], object]
+) -> List[object]:
+    """Load a JSONL checkpoint, tolerating one partial trailing row.
+
+    The format-agnostic loader shared by campaign sweeps and fleet runs:
+    the first line must be a JSON header whose ``format`` equals
+    ``expected_format``; every following non-empty line is parsed with
+    ``parse_row``. A crash mid-append can leave the final line incomplete
+    (cut mid-JSON — possibly mid multi-byte UTF-8 character — or
+    syntactically valid but missing fields). Such a row is dropped and
     the file is truncated back to the last complete row, so resuming
-    simply re-runs that configuration. A malformed row anywhere *before*
+    simply re-runs that unit of work. A malformed row anywhere *before*
     the end still raises :class:`~repro.errors.DatasetError` — that is
     corruption, not an interrupted append.
     """
@@ -53,7 +69,7 @@ def load_checkpoint_rows(path) -> List[ConfigSummary]:
     data = source.read_bytes()
     if not data.strip():
         raise DatasetError(f"checkpoint {source} is empty")
-    rows: List[ConfigSummary] = []
+    rows: List[object] = []
     truncate_at: Optional[int] = None
     offset = 0
     lineno = 0
@@ -71,15 +87,21 @@ def load_checkpoint_rows(path) -> List[ConfigSummary]:
                 raise DatasetError(
                     f"bad checkpoint header in {source}: {exc}"
                 ) from exc
-            if not isinstance(header, dict) or header.get("format") != _FORMAT:
+            if (
+                not isinstance(header, dict)
+                or header.get("format") != expected_format
+            ):
                 raise DatasetError(
                     f"unsupported checkpoint format in {source} "
-                    f"(expected {_FORMAT!r})"
+                    f"(expected {expected_format!r})"
                 )
             header_seen = True
         elif text:
             try:
-                rows.append(ConfigSummary.from_dict(json.loads(text)))
+                parsed = json.loads(text)
+                if not isinstance(parsed, dict):
+                    raise DatasetError("row is not a JSON object")
+                rows.append(parse_row(parsed))
             except (ValueError, TypeError, DatasetError) as exc:
                 if data[next_offset:].strip():
                     raise DatasetError(
@@ -96,15 +118,37 @@ def load_checkpoint_rows(path) -> List[ConfigSummary]:
     return rows
 
 
+def load_checkpoint_rows(path) -> List[ConfigSummary]:
+    """Load a campaign checkpoint, tolerating one partial trailing row.
+
+    The campaign-format instantiation of :func:`load_checkpoint_jsonl`;
+    see there for the crash-recovery contract.
+    """
+    return load_checkpoint_jsonl(  # type: ignore[return-value]
+        path, _FORMAT, ConfigSummary.from_dict
+    )
+
+
+def write_checkpoint_header(path, header: dict) -> None:
+    """Create a checkpoint file holding only its JSON header line.
+
+    ``header`` must carry the ``format`` tag the matching loader expects.
+    A row count is intentionally omitted from checkpoint headers: the row
+    count grows as the run progresses, and the loader treats a missing
+    count as "trust the rows present".
+    """
+    if "format" not in header:
+        raise DatasetError("checkpoint header needs a 'format' tag")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+
+
 def _write_header(path: Path, description: str) -> None:
-    # n_rows is intentionally omitted from checkpoint headers: the row count
-    # grows as the run progresses, and the loader treats a missing count as
-    # "trust the rows present".
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as fh:
-        fh.write(
-            json.dumps({"format": _FORMAT, "description": description}) + "\n"
-        )
+    write_checkpoint_header(
+        path, {"format": _FORMAT, "description": description}
+    )
 
 
 def run_campaign_checkpointed(

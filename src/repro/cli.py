@@ -13,6 +13,7 @@ Subcommands
 ``sensitivity``   which stack parameters matter for which metric on a link
 ``lint``          run the reprolint static-analysis rules over source paths
 ``serve``         run the link-configuration oracle as an HTTP JSON service
+``fleet``         simulate a whole deployment: drifting links, batched solves
 """
 
 from __future__ import annotations
@@ -461,6 +462,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_constraint(text: str):
+    """Parse ``--constraint``: ``objective=max`` (e.g. ``delay=40``)."""
+    from .core.optimization import Constraint
+    from .errors import ConfigurationError
+
+    objective, separator, bound = text.partition("=")
+    if not separator or not objective.strip():
+        raise ConfigurationError(
+            f"--constraint must look like objective=max "
+            f"(e.g. delay=40), got {text!r}"
+        )
+    try:
+        upper_bound = float(bound)
+    except ValueError:
+        raise ConfigurationError(
+            f"--constraint bound must be a number, got {bound!r}"
+        ) from None
+    return Constraint(objective=objective.strip(), upper_bound=upper_bound)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .core.optimization import TuningGrid
+    from .fleet import FleetDrift, FleetEngine, build_topology, run_fleet
+
+    topology = build_topology(
+        args.topology, args.links, seed=args.seed, link_mode=args.link_mode
+    )
+    engine = FleetEngine(
+        grid=TuningGrid(
+            payload_values_bytes=tuple(range(2, 115, args.payload_step))
+        ),
+        objective=args.objective,
+        constraints=tuple(args.constraint or ()),
+        hysteresis=args.hysteresis,
+        snr_quantum_db=args.snr_quantum_db,
+        strict=args.strict,
+    )
+    drift = FleetDrift(
+        topology, seed=args.seed, step_interval_s=args.step_interval_s
+    )
+    stats = topology.stats()
+    print(
+        f"fleet: {stats['n_links']} links over {stats['n_nodes']} nodes "
+        f"({topology.kind} topology, seed {topology.seed}), "
+        f"{len(engine)} configurations per solve"
+    )
+
+    def show(report) -> None:
+        line = report.stats()
+        print(
+            f"  step {line['step']:>4}: {line['n_unique_snr_bins']:>4} SNR "
+            f"bins, {line['n_reconfigured']:>5} reconfigured, "
+            f"{line['n_infeasible']:>5} infeasible, "
+            f"mean {args.objective} {line['objective_mean']:.4f}"
+        )
+
+    result = run_fleet(
+        topology,
+        engine,
+        drift,
+        args.steps,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        progress=show,
+    )
+    if result.n_steps_replayed:
+        print(f"replayed {result.n_steps_replayed} checkpointed step(s), "
+              f"executed {result.n_steps_executed}")
+    configured = int((result.state.config_index >= 0).sum())
+    print(
+        f"final: {configured}/{len(result.state)} links configured after "
+        f"{result.n_steps_total} step(s)"
+    )
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``wsnlink`` argument parser with all subcommands attached."""
     parser = argparse.ArgumentParser(
@@ -587,6 +666,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("fleet", help="simulate a deployment of drifting "
+                                     "links with batched reconfiguration")
+    p.add_argument("--links", type=int, default=100,
+                   help="number of links in the deployment")
+    p.add_argument("--steps", type=int, default=10,
+                   help="drift/solve steps to run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for topology placement and channel drift")
+    p.add_argument("--topology", choices=("grid", "random"), default="grid",
+                   help="node placement: jittered grid or random geometric")
+    p.add_argument("--link-mode", choices=("distance", "snr"),
+                   default="distance",
+                   help="bind each edge as a distance link (channel model) "
+                        "or a reference-SNR link (Table IV convention)")
+    p.add_argument("--objective", default="energy",
+                   choices=("energy", "goodput", "delay", "loss",
+                            "loss_radio", "rho"))
+    p.add_argument("--constraint", type=_parse_constraint, action="append",
+                   metavar="OBJ=MAX",
+                   help="epsilon-constraint, e.g. delay=40 (repeatable)")
+    p.add_argument("--hysteresis", type=float, default=0.05,
+                   help="relative objective improvement required before a "
+                        "link switches configuration")
+    p.add_argument("--snr-quantum-db", type=float, default=0.25,
+                   help="SNR bin width shared across links (0 = exact "
+                        "per-link solves)")
+    p.add_argument("--step-interval-s", type=float, default=1.0,
+                   help="simulated seconds between drift steps")
+    p.add_argument("--payload-step", type=int, default=2,
+                   help="payload quantization of the tuning grid (bytes)")
+    p.add_argument("--strict", action="store_true",
+                   help="fail the run when any link is infeasible instead "
+                        "of marking it unconfigured")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="append each step durably to this JSONL file")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an interrupted run from --checkpoint "
+                        "(bit-identical to an uninterrupted run)")
+    p.set_defaults(func=_cmd_fleet)
     return parser
 
 

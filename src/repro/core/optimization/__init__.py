@@ -16,6 +16,7 @@ from .baselines import (
 from .epsilon_constraint import (
     Constraint,
     default_bounds_for,
+    infeasible_error,
     solve_epsilon_constraint,
     sweep_epsilon,
 )
@@ -27,7 +28,13 @@ from .evaluate import (
     snr_map_from_reference,
 )
 from .grid import TuningGrid, best_by, evaluate_grid, evaluate_grid_scalar
-from .kernels import GridEvaluation, evaluate_columns, evaluate_grid_columns
+from .kernels import (
+    GridEvaluation,
+    evaluate_columns,
+    evaluate_grid_columns,
+    evaluate_metric_planes,
+    grid_knob_columns,
+)
 from .pareto import dominates, knee_point, nondominated_mask, pareto_front
 from .sensitivity import (
     ParameterSensitivity,
@@ -65,6 +72,9 @@ __all__ = [
     "evaluate_columns",
     "evaluate_grid_columns",
     "evaluate_grid_scalar",
+    "evaluate_metric_planes",
+    "grid_knob_columns",
+    "infeasible_error",
     "nondominated_mask",
     "case_study_base_config",
     "case_study_environment",

@@ -22,6 +22,7 @@ from .kernels import GridEvaluation
 
 __all__ = [
     "Constraint",
+    "infeasible_error",
     "solve_epsilon_constraint",
     "sweep_epsilon",
     "default_bounds_for",
@@ -61,7 +62,7 @@ def solve_epsilon_constraint(
         e for e in evaluations if all(c.satisfied_by(e) for c in constraints)
     ]
     if not feasible:
-        raise _infeasible(
+        raise infeasible_error(
             constraints,
             lambda objective: min(
                 e.objective(objective) for e in evaluations
@@ -89,7 +90,7 @@ def _solve_columns(
             <= constraint.upper_bound
         )
     if not feasible.any():
-        raise _infeasible(
+        raise infeasible_error(
             constraints,
             lambda objective: float(
                 evaluations.objective_column(objective).min()
@@ -98,10 +99,16 @@ def _solve_columns(
     return evaluations.row(evaluations.best_index(minimize, feasible))
 
 
-def _infeasible(
+def infeasible_error(
     constraints: Sequence[Constraint], best_of
 ) -> InfeasibleError:
-    """The shared infeasibility diagnosis: report violated bounds."""
+    """The shared infeasibility diagnosis: report violated bounds.
+
+    ``best_of(objective)`` must return the best (minimum) achievable value
+    of that objective over the candidate set. Public so that other solvers
+    over the same configuration space — the fleet engine's per-link strict
+    mode in particular — raise byte-identical diagnostics.
+    """
     details = []
     for c in constraints:
         best = best_of(c.objective)

@@ -51,6 +51,8 @@ __all__ = [
     "GridEvaluation",
     "evaluate_columns",
     "evaluate_grid_columns",
+    "evaluate_metric_planes",
+    "grid_knob_columns",
 ]
 
 #: Near-one tolerance of the M/M/1/K blocking formula's removable
@@ -367,43 +369,24 @@ def _validate_knobs(
         raise ConfigurationError("t_pkt_ms must be positive")
 
 
-def evaluate_columns(
+def _metric_table(
     evaluator: ModelEvaluator,
-    *,
-    ptx_level,
-    payload_bytes,
-    n_max_tries,
-    d_retry_ms,
-    q_max,
-    t_pkt_ms,
-    distance_m: float = 10.0,
-) -> GridEvaluation:
-    """Vectorized :meth:`ModelEvaluator.evaluate` over knob columns.
+    payload: np.ndarray,
+    tries: np.ndarray,
+    retry_ms: np.ndarray,
+    qmax: np.ndarray,
+    tpkt_ms: np.ndarray,
+    snr: np.ndarray,
+    e_tx: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """The shared metric math over pre-broadcast float arrays.
 
-    Inputs broadcast against each other (scalars are fine for constant
-    knobs) into aligned 1-D columns; the result holds one value per
-    broadcast element. The computation reads the evaluator's actual
-    sub-model coefficients, so re-fitted models vectorize identically to
-    their scalar counterparts.
+    Shape-agnostic core of the kernels: every input is a float array (or
+    scalar) and the outputs have the common broadcast shape, so the same
+    code serves the 1-D columnar grid evaluation and the 2-D
+    (link × configuration) fleet planes. Operation order mirrors the
+    scalar models exactly — do not "simplify" the arithmetic here.
     """
-    columns = np.broadcast_arrays(
-        np.atleast_1d(np.asarray(ptx_level, dtype=np.int64)),
-        np.atleast_1d(np.asarray(payload_bytes, dtype=np.int64)),
-        np.atleast_1d(np.asarray(n_max_tries, dtype=np.int64)),
-        np.atleast_1d(np.asarray(d_retry_ms, dtype=float)),
-        np.atleast_1d(np.asarray(q_max, dtype=np.int64)),
-        np.atleast_1d(np.asarray(t_pkt_ms, dtype=float)),
-    )
-    ptx, payload_i, tries_i, retry_ms, qmax_i, tpkt_ms = (
-        np.ascontiguousarray(column).reshape(-1) for column in columns
-    )
-    _validate_knobs(payload_i, tries_i, retry_ms, qmax_i, tpkt_ms)
-
-    payload = payload_i.astype(float)
-    tries = tries_i.astype(float)
-    qmax = qmax_i.astype(float)
-    snr, e_tx = _level_lookups(evaluator.snr_by_level, ptx)
-
     # Per-attempt timing terms (affine in payload; Sec. V-B). The ACK and
     # wait terms are reconstructed exactly as the scalar AttemptTimes
     # subtraction (t_succ − core) computes them, rounding included.
@@ -481,6 +464,61 @@ def evaluate_columns(
     plr_queue = _mm1k_blocking_column(rho_clipped, qmax + 1.0)
     plr_total = plr_queue + (1.0 - plr_queue) * plr_radio
 
+    return {
+        "snr_db": snr,
+        "per": per_delay,
+        "n_tries": expected_n_delay,
+        "t_service_ms": service_delay_s * 1e3,
+        "max_goodput_kbps": goodput_bps / 1e3,
+        "u_eng_uj_per_bit": u_eng_j * 1e6,
+        "delay_ms": (service_delay_s + wait_s) * 1e3,
+        "rho": rho,
+        "plr_radio": plr_radio,
+        "plr_queue": plr_queue,
+        "plr_total": plr_total,
+    }
+
+
+def evaluate_columns(
+    evaluator: ModelEvaluator,
+    *,
+    ptx_level,
+    payload_bytes,
+    n_max_tries,
+    d_retry_ms,
+    q_max,
+    t_pkt_ms,
+    distance_m: float = 10.0,
+) -> GridEvaluation:
+    """Vectorized :meth:`ModelEvaluator.evaluate` over knob columns.
+
+    Inputs broadcast against each other (scalars are fine for constant
+    knobs) into aligned 1-D columns; the result holds one value per
+    broadcast element. The computation reads the evaluator's actual
+    sub-model coefficients, so re-fitted models vectorize identically to
+    their scalar counterparts.
+    """
+    columns = np.broadcast_arrays(
+        np.atleast_1d(np.asarray(ptx_level, dtype=np.int64)),
+        np.atleast_1d(np.asarray(payload_bytes, dtype=np.int64)),
+        np.atleast_1d(np.asarray(n_max_tries, dtype=np.int64)),
+        np.atleast_1d(np.asarray(d_retry_ms, dtype=float)),
+        np.atleast_1d(np.asarray(q_max, dtype=np.int64)),
+        np.atleast_1d(np.asarray(t_pkt_ms, dtype=float)),
+    )
+    ptx, payload_i, tries_i, retry_ms, qmax_i, tpkt_ms = (
+        np.ascontiguousarray(column).reshape(-1) for column in columns
+    )
+    _validate_knobs(payload_i, tries_i, retry_ms, qmax_i, tpkt_ms)
+
+    payload = payload_i.astype(float)
+    tries = tries_i.astype(float)
+    qmax = qmax_i.astype(float)
+    snr, e_tx = _level_lookups(evaluator.snr_by_level, ptx)
+    metrics = _metric_table(
+        evaluator, payload, tries, retry_ms, qmax, tpkt_ms, snr, e_tx
+    )
+
     return GridEvaluation(
         distance_m=float(distance_m),
         ptx_level=ptx,
@@ -489,30 +527,90 @@ def evaluate_columns(
         d_retry_ms=retry_ms,
         q_max=qmax_i,
         t_pkt_ms=tpkt_ms,
-        snr_db=snr,
-        per=per_delay,
-        n_tries=expected_n_delay,
-        t_service_ms=service_delay_s * 1e3,
-        max_goodput_kbps=goodput_bps / 1e3,
-        u_eng_uj_per_bit=u_eng_j * 1e6,
-        delay_ms=(service_delay_s + wait_s) * 1e3,
-        rho=rho,
-        plr_radio=plr_radio,
-        plr_queue=plr_queue,
-        plr_total=plr_total,
+        **metrics,
     )
 
 
-def evaluate_grid_columns(
+def evaluate_metric_planes(
     evaluator: ModelEvaluator,
-    grid=None,
-    distance_m: float = 10.0,
-) -> GridEvaluation:
-    """Evaluate a whole :class:`TuningGrid` as one columnar kernel pass.
+    *,
+    ptx_level,
+    payload_bytes,
+    n_max_tries,
+    d_retry_ms,
+    q_max,
+    t_pkt_ms,
+    snr_db,
+) -> Dict[str, np.ndarray]:
+    """Table III metric arrays for knob columns × explicit SNR values.
 
-    Column order matches ``grid.configs(distance_m)`` exactly (row-major
-    cartesian product, power varying slowest), so index ``i`` here is the
-    ``i``-th configuration the scalar loop would have produced.
+    The multi-link entry point into the kernels: unlike
+    :func:`evaluate_columns`, the SNR is *given* per element rather than
+    looked up from the evaluator's level map, and every input may carry
+    any mutually broadcastable shape. The fleet engine passes 1-D knob
+    columns of length C and an ``(L, C)`` SNR plane to evaluate a whole
+    deployment in one broadcast pass; each output array then has shape
+    ``(L, C)``. Arithmetic is byte-for-byte the columnar grid kernel's
+    (:func:`_metric_table`), so a single row of a plane equals the
+    matching :class:`GridEvaluation` columns exactly.
+    """
+    ptx = np.asarray(ptx_level, dtype=np.int64)
+    payload_i = np.asarray(payload_bytes, dtype=np.int64)
+    tries_i = np.asarray(n_max_tries, dtype=np.int64)
+    retry_ms = np.asarray(d_retry_ms, dtype=float)
+    qmax_i = np.asarray(q_max, dtype=np.int64)
+    tpkt_ms = np.asarray(t_pkt_ms, dtype=float)
+    snr = np.asarray(snr_db, dtype=float)
+    _validate_knobs(
+        payload_i.reshape(-1),
+        tries_i.reshape(-1),
+        retry_ms.reshape(-1),
+        qmax_i.reshape(-1),
+        tpkt_ms.reshape(-1),
+    )
+    try:
+        np.broadcast_shapes(
+            ptx.shape, payload_i.shape, tries_i.shape, retry_ms.shape,
+            qmax_i.shape, tpkt_ms.shape, snr.shape,
+        )
+    except ValueError as exc:
+        raise OptimizationError(
+            f"metric-plane inputs do not broadcast: {exc}"
+        ) from exc
+    unique_levels = [int(level) for level in np.unique(ptx).tolist()]
+    unknown = [
+        level for level in unique_levels if level not in cc2420.PA_TABLE
+    ]
+    if unknown:
+        raise OptimizationError(
+            f"unknown CC2420 PA_LEVEL {unknown[0]} in ptx_level column"
+        )
+    e_tx_lut = np.zeros(max(unique_levels) + 1, dtype=float)
+    e_tx_lut[unique_levels] = [
+        cc2420.tx_energy_per_bit_j(level) for level in unique_levels
+    ]
+    return _metric_table(
+        evaluator,
+        payload_i.astype(float),
+        tries_i.astype(float),
+        retry_ms,
+        qmax_i.astype(float),
+        tpkt_ms,
+        snr,
+        e_tx_lut[ptx],
+    )
+
+
+def grid_knob_columns(grid=None):
+    """The grid's knob columns in canonical configuration order.
+
+    Returns the six 1-D knob columns ``(ptx_level, payload_bytes,
+    n_max_tries, d_retry_ms, q_max, t_pkt_ms)`` in the exact row-major
+    cartesian-product order that ``grid.configs(distance_m)`` and
+    :func:`evaluate_grid_columns` enumerate (power varying slowest), so a
+    configuration *index* is interchangeable between the grid, a
+    :class:`GridEvaluation`, a :class:`~repro.serve.oracle.SweepTable`,
+    and the fleet engine's metric planes.
     """
     if grid is None:
         # Imported lazily: grid.py wraps this module for its scalar shim.
@@ -530,7 +628,21 @@ def evaluate_grid_columns(
         np.asarray(grid.t_pkt_values_ms, dtype=float),
         indexing="ij",
     )
-    ptx, payload, tries, retry, qmax, tpkt = (m.reshape(-1) for m in mesh)
+    return tuple(m.reshape(-1) for m in mesh)
+
+
+def evaluate_grid_columns(
+    evaluator: ModelEvaluator,
+    grid=None,
+    distance_m: float = 10.0,
+) -> GridEvaluation:
+    """Evaluate a whole :class:`TuningGrid` as one columnar kernel pass.
+
+    Column order matches ``grid.configs(distance_m)`` exactly (row-major
+    cartesian product, power varying slowest), so index ``i`` here is the
+    ``i``-th configuration the scalar loop would have produced.
+    """
+    ptx, payload, tries, retry, qmax, tpkt = grid_knob_columns(grid)
     return evaluate_columns(
         evaluator,
         ptx_level=ptx,

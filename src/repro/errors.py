@@ -23,6 +23,7 @@ __all__ = [
     "OptimizationError",
     "InfeasibleError",
     "LintError",
+    "FleetError",
     "ServeError",
     "ProtocolError",
     "OverloadError",
@@ -109,6 +110,16 @@ class LintError(ReproError):
 
     Raised for unknown rule ids, unreadable inputs, or malformed baseline
     files — never for findings, which are data, not exceptions.
+    """
+
+
+class FleetError(ReproError):
+    """A multi-link fleet could not be built, evolved, or solved.
+
+    Covers :mod:`repro.fleet` — topology generation, state columns, channel
+    drift, the vectorized engine, and checkpointed runs. Per-link
+    *infeasibility* is not an error at fleet scale (the engine marks the
+    link and moves on); this exception is for structurally invalid fleets.
     """
 
 

@@ -1,0 +1,382 @@
+"""The vectorized fleet solver: every link's recommendation in one pass.
+
+The engine exploits the affine SNR structure of the configuration space:
+a link's SNR at PA level ``p`` is its reference-level SNR plus the fixed
+output-power offset ``P_out(p) − P_out(31)``, so the whole fleet shares
+one knob-column grid and differs only by a per-link scalar. One step
+
+1. quantizes the fleet's SNR column to ``snr_quantum_db`` bins (0 keeps
+   exact values) and collapses duplicates with ``np.unique`` — ten
+   thousand links typically fold into a few hundred distinct SNRs;
+2. evaluates the Table III metrics for every (unique SNR × grid config)
+   pair through :func:`~repro.core.optimization.evaluate_metric_planes`
+   — the same arithmetic as the per-link columnar kernels, blocked to
+   bound peak memory;
+3. solves the epsilon-constraint problem for all rows at once as a masked
+   ``argmin`` (first-index tie-break, identical to
+   :func:`~repro.core.optimization.solve_epsilon_constraint`);
+4. scatters the answers back to links and applies **hysteresis**: a
+   configured link switches only when the objective improves on its
+   current configuration (re-evaluated at the new SNR) by more than
+   ``hysteresis`` relative — the paper's "don't chase noise" guideline
+   at fleet scale.
+
+Links with no feasible configuration are marked ``config_index = −1``
+(objective NaN) and the step carries on; ``strict=True`` instead raises
+the exact :class:`~repro.errors.InfeasibleError` the per-link solver
+would have raised for the first such link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import StackConfig
+from ..core.optimization import (
+    Constraint,
+    ModelEvaluator,
+    TuningGrid,
+    evaluate_metric_planes,
+    grid_knob_columns,
+    infeasible_error,
+    snr_map_from_reference,
+)
+from ..errors import FleetError
+from ..radio import cc2420
+from .state import FleetState
+
+__all__ = [
+    "REFERENCE_LEVEL",
+    "FleetEngine",
+    "FleetStepReport",
+    "objective_from_metrics",
+]
+
+#: PA level the fleet's per-link SNR columns are referenced to.
+REFERENCE_LEVEL = 31
+
+#: Objective name → (metric-plane key, minimization sign).
+_OBJECTIVE_PLANES: Mapping[str, Tuple[str, float]] = {
+    "energy": ("u_eng_uj_per_bit", 1.0),
+    "goodput": ("max_goodput_kbps", -1.0),
+    "delay": ("delay_ms", 1.0),
+    "loss": ("plr_total", 1.0),
+    "loss_radio": ("plr_radio", 1.0),
+    "rho": ("rho", 1.0),
+}
+
+
+def objective_from_metrics(
+    metrics: Mapping[str, np.ndarray], name: str
+) -> np.ndarray:
+    """One objective in minimization form from a metric-plane mapping.
+
+    Accepts the same names (and applies the same goodput negation) as
+    :meth:`GridEvaluation.objective_column`, so plane solves and columnar
+    grid solves rank configurations identically.
+    """
+    try:
+        key, sign = _OBJECTIVE_PLANES[name]
+    except KeyError:
+        raise FleetError(
+            f"unknown objective {name!r}; valid: {sorted(_OBJECTIVE_PLANES)}"
+        ) from None
+    plane = metrics[key]
+    return -plane if sign < 0 else plane
+
+
+@dataclass(frozen=True)
+class FleetStepReport:
+    """What one engine step did to the fleet (columns run per link)."""
+
+    step_index: int
+    n_links: int
+    n_unique_snr_bins: int
+    n_reconfigured: int
+    n_infeasible: int
+    config_index: np.ndarray
+    objective_value: np.ndarray
+    reconfigured: np.ndarray
+    infeasible: np.ndarray
+
+    def stats(self) -> Dict[str, object]:
+        """Scalar summary of the step, JSON-ready."""
+        finite = self.objective_value[np.isfinite(self.objective_value)]
+        return {
+            "step": self.step_index,
+            "n_links": self.n_links,
+            "n_unique_snr_bins": self.n_unique_snr_bins,
+            "n_reconfigured": self.n_reconfigured,
+            "n_infeasible": self.n_infeasible,
+            "objective_mean": (
+                float(finite.mean()) if finite.size else float("nan")
+            ),
+        }
+
+
+class FleetEngine:
+    """Recommends configurations for a whole fleet in one kernel pass.
+
+    The evaluator only contributes its fitted sub-models (SNR enters
+    through the explicit planes), so the default — built from the paper's
+    reference map — serves any fleet; pass a re-fitted evaluator to tune
+    against different empirical models.
+    """
+
+    def __init__(
+        self,
+        evaluator: Optional[ModelEvaluator] = None,
+        grid: Optional[TuningGrid] = None,
+        objective: str = "energy",
+        constraints: Sequence[Constraint] = (),
+        hysteresis: float = 0.05,
+        snr_quantum_db: float = 0.25,
+        block_elements: int = 1_000_000,
+        strict: bool = False,
+    ) -> None:
+        if objective not in _OBJECTIVE_PLANES:
+            raise FleetError(
+                f"unknown objective {objective!r}; "
+                f"valid: {sorted(_OBJECTIVE_PLANES)}"
+            )
+        for constraint in constraints:
+            if constraint.objective not in _OBJECTIVE_PLANES:
+                raise FleetError(
+                    f"unknown constraint objective {constraint.objective!r}; "
+                    f"valid: {sorted(_OBJECTIVE_PLANES)}"
+                )
+        if hysteresis < 0:
+            raise FleetError(f"hysteresis must be >= 0, got {hysteresis!r}")
+        if snr_quantum_db < 0:
+            raise FleetError(
+                f"snr_quantum_db must be >= 0, got {snr_quantum_db!r}"
+            )
+        if block_elements < 1:
+            raise FleetError(
+                f"block_elements must be >= 1, got {block_elements!r}"
+            )
+        self.evaluator = (
+            evaluator
+            if evaluator is not None
+            else ModelEvaluator(snr_by_level=snr_map_from_reference(0.0))
+        )
+        # Not `grid or TuningGrid()`: an empty grid is falsy and would be
+        # silently swapped for the default; grid_knob_columns rejects it.
+        self.grid = grid if grid is not None else TuningGrid()
+        self.objective = objective
+        self.constraints = tuple(constraints)
+        self.hysteresis = float(hysteresis)
+        self.snr_quantum_db = float(snr_quantum_db)
+        self.block_elements = int(block_elements)
+        self.strict = bool(strict)
+        knobs = grid_knob_columns(self.grid)
+        self._ptx, self._payload, self._tries = knobs[0], knobs[1], knobs[2]
+        self._retry_ms, self._qmax, self._tpkt_ms = knobs[3], knobs[4], knobs[5]
+        reference_dbm = cc2420.output_power_dbm(REFERENCE_LEVEL)
+        unique_levels = [
+            int(level) for level in np.unique(self._ptx).tolist()
+        ]
+        offset_lut_db = np.zeros(max(unique_levels) + 1, dtype=float)
+        offset_lut_db[unique_levels] = [
+            cc2420.output_power_dbm(level) - reference_dbm
+            for level in unique_levels
+        ]
+        #: Per-configuration SNR offset from the reference level (dB).
+        self._offset_db = offset_lut_db[self._ptx]
+
+    def __len__(self) -> int:
+        return len(self._ptx)
+
+    # ------------------------------------------------------------ planes
+
+    def _planes(self, snr_db: np.ndarray) -> Dict[str, np.ndarray]:
+        """Metric planes for the given per-element SNR (broadcast vs knobs)."""
+        return evaluate_metric_planes(
+            self.evaluator,
+            ptx_level=self._ptx,
+            payload_bytes=self._payload,
+            n_max_tries=self._tries,
+            d_retry_ms=self._retry_ms,
+            q_max=self._qmax,
+            t_pkt_ms=self._tpkt_ms,
+            snr_db=snr_db,
+        )
+
+    def _feasible_mask(self, metrics: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Boolean feasibility of every plane element under the constraints."""
+        feasible = np.ones(metrics["rho"].shape, dtype=bool)
+        for constraint in self.constraints:
+            feasible &= (
+                objective_from_metrics(metrics, constraint.objective)
+                <= constraint.upper_bound
+            )
+        return feasible
+
+    def quantize_snr_db(self, snr_db: np.ndarray) -> np.ndarray:
+        """The SNR column snapped to ``snr_quantum_db`` bins (0 = exact)."""
+        snr = np.asarray(snr_db, dtype=float)
+        if self.snr_quantum_db == 0.0:
+            return snr
+        return np.round(snr / self.snr_quantum_db) * self.snr_quantum_db
+
+    def _raise_infeasible(self, snr_db: float) -> None:
+        """Raise the per-link solver's exact infeasibility diagnosis."""
+        metrics = self._planes(snr_db + self._offset_db[None, :])
+        raise infeasible_error(
+            self.constraints,
+            lambda objective: float(
+                objective_from_metrics(metrics, objective).min()
+            ),
+        )
+
+    # -------------------------------------------------------------- step
+
+    def _solve_unique(
+        self, unique_snr_db: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Best (index, objective, feasibility) per unique SNR row."""
+        n_unique = unique_snr_db.size
+        n_configs = len(self)
+        best_index = np.empty(n_unique, dtype=np.int64)
+        best_objective = np.empty(n_unique, dtype=float)
+        has_feasible = np.empty(n_unique, dtype=bool)
+        rows_per_block = max(1, self.block_elements // n_configs)
+        for start in range(0, n_unique, rows_per_block):
+            stop = min(start + rows_per_block, n_unique)
+            plane_snr_db = (
+                unique_snr_db[start:stop, None] + self._offset_db[None, :]
+            )
+            metrics = self._planes(plane_snr_db)
+            objective = objective_from_metrics(metrics, self.objective)
+            feasible = self._feasible_mask(metrics)
+            masked = np.where(feasible, objective, np.inf)
+            chosen = np.argmin(masked, axis=1)
+            chosen_value = np.take_along_axis(
+                masked, chosen[:, None], axis=1
+            )[:, 0]
+            row_feasible = feasible.any(axis=1)
+            # When every feasible value is +inf the full-row argmin may
+            # land on an infeasible element; the per-link solver's
+            # compacted-subset argmin picks the first *feasible* index,
+            # so replicate that tie-break exactly.
+            degenerate = np.isinf(chosen_value) & row_feasible
+            if degenerate.any():
+                chosen[degenerate] = np.argmax(feasible[degenerate], axis=1)
+            taken = np.take_along_axis(objective, chosen[:, None], axis=1)
+            best_index[start:stop] = chosen
+            best_objective[start:stop] = taken[:, 0]
+            has_feasible[start:stop] = row_feasible
+        return best_index, best_objective, has_feasible
+
+    def _current_objective(
+        self, state: FleetState, snr_db: np.ndarray, has_current: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(objective, feasibility) of each link's current configuration.
+
+        Evaluated at the same (quantized) SNR the candidates were solved
+        at, so the hysteresis comparison is apples-to-apples. Links
+        without a current configuration get placeholder values that the
+        caller masks out via ``has_current``.
+        """
+        safe_index = np.where(has_current, state.config_index, 0)
+        metrics = evaluate_metric_planes(
+            self.evaluator,
+            ptx_level=self._ptx[safe_index],
+            payload_bytes=self._payload[safe_index],
+            n_max_tries=self._tries[safe_index],
+            d_retry_ms=self._retry_ms[safe_index],
+            q_max=self._qmax[safe_index],
+            t_pkt_ms=self._tpkt_ms[safe_index],
+            snr_db=snr_db + self._offset_db[safe_index],
+        )
+        current_objective = objective_from_metrics(metrics, self.objective)
+        current_feasible = self._feasible_mask(metrics)
+        return current_objective, current_feasible
+
+    def step(self, state: FleetState, step_index: int = 0) -> FleetStepReport:
+        """Recommend configurations for every link and update the state.
+
+        One vectorized pass: unique quantized SNRs are solved once, links
+        inherit their bin's answer, and hysteresis decides whether each
+        configured link actually switches.
+        """
+        quantized_snr_db = self.quantize_snr_db(state.snr_db)
+        unique_snr_db, inverse = np.unique(
+            quantized_snr_db, return_inverse=True
+        )
+        best_index, best_objective, has_feasible = self._solve_unique(
+            unique_snr_db
+        )
+        candidate_index = best_index[inverse]
+        candidate_objective = best_objective[inverse]
+        feasible = has_feasible[inverse]
+        if self.strict and not feasible.all():
+            first = int(np.argmin(feasible))
+            self._raise_infeasible(float(quantized_snr_db[first]))
+
+        has_current = state.config_index >= 0
+        if has_current.any():
+            current_objective, current_feasible = self._current_objective(
+                state, quantized_snr_db, has_current
+            )
+            # Lanes with no feasible candidate carry inf/nan here; their
+            # comparison result is discarded by the ~feasible select below.
+            with np.errstate(invalid="ignore"):
+                improvement = current_objective - candidate_objective
+                threshold = self.hysteresis * np.abs(current_objective)
+                adopt = (
+                    ~has_current
+                    | ~current_feasible
+                    | (improvement > threshold)
+                )
+        else:
+            current_objective = np.full(len(state), np.nan)
+            adopt = np.ones(len(state), dtype=bool)
+
+        new_index = np.where(
+            ~feasible,
+            np.int64(-1),
+            np.where(adopt, candidate_index, state.config_index),
+        )
+        new_objective = np.where(
+            ~feasible,
+            np.nan,
+            np.where(adopt, candidate_objective, current_objective),
+        )
+        reconfigured = new_index != state.config_index
+        infeasible = ~feasible
+        state.config_index = new_index
+        state.objective_value = new_objective
+        return FleetStepReport(
+            step_index=int(step_index),
+            n_links=len(state),
+            n_unique_snr_bins=int(unique_snr_db.size),
+            n_reconfigured=int(np.count_nonzero(reconfigured)),
+            n_infeasible=int(np.count_nonzero(infeasible)),
+            config_index=new_index,
+            objective_value=new_objective,
+            reconfigured=reconfigured,
+            infeasible=infeasible,
+        )
+
+    # ------------------------------------------------------------ lookup
+
+    def config_at(self, index: int, distance_m: float = 10.0) -> StackConfig:
+        """Materialize one grid configuration index as a :class:`StackConfig`."""
+        if not 0 <= index < len(self):
+            raise FleetError(
+                f"configuration index {index!r} outside the "
+                f"{len(self)}-entry grid"
+            )
+        return StackConfig(
+            distance_m=distance_m,
+            ptx_level=int(self._ptx[index]),
+            payload_bytes=int(self._payload[index]),
+            n_max_tries=int(self._tries[index]),
+            d_retry_ms=float(self._retry_ms[index]),
+            q_max=int(self._qmax[index]),
+            t_pkt_ms=float(self._tpkt_ms[index]),
+        )

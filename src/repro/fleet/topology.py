@@ -1,0 +1,264 @@
+"""Seeded deployment layouts: node positions and the links between them.
+
+Two generators cover the common WSN deployment shapes: a jittered lattice
+(:func:`grid_topology`, the planned-installation case) and uniformly
+scattered nodes connected within a radio range
+(:func:`random_geometric_topology`, the ad-hoc case). Both are fully
+deterministic under their seed — the same (kind, n_links, seed) triple
+always yields the same positions, edges, and link specs — so fleet
+trajectories built on top are reproducible end to end.
+
+Every edge is bound to an :class:`~repro.channel.environment.Environment`
+and a :class:`~repro.serve.protocol.LinkSpec`: ``link_mode="distance"``
+emits distance links resolved through the environment's channel model,
+``link_mode="snr"`` pre-resolves each edge to a reference-SNR link (the
+paper's Table IV convention), which is what the serving tier's SNR-keyed
+cache tiers prefer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..channel.environment import Environment, HALLWAY_2012
+from ..errors import FleetError
+from ..radio import cc2420
+from ..serve.protocol import LinkSpec
+from ..sim.rng import RngStreams
+
+__all__ = [
+    "MIN_LINK_DISTANCE_M",
+    "TOPOLOGY_KINDS",
+    "FleetTopology",
+    "build_topology",
+    "grid_topology",
+    "random_geometric_topology",
+]
+
+#: Shortest representable link: edges are clipped to this distance so the
+#: path-loss model (log-distance, 1 m reference) stays in its domain even
+#: when jitter pushes two lattice nodes almost on top of each other.
+MIN_LINK_DISTANCE_M = 1.0
+
+#: Generator names accepted by :func:`build_topology`.
+TOPOLOGY_KINDS: Tuple[str, ...] = ("grid", "random")
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """A deployment: node positions plus environment-bound links.
+
+    ``positions_m`` is an ``(n_nodes, 2)`` read-only float array;
+    ``edges`` pairs node indices; ``links`` and ``environments`` run
+    parallel to ``edges`` (one :class:`LinkSpec` and one
+    :class:`Environment` per edge).
+    """
+
+    kind: str
+    seed: int
+    positions_m: np.ndarray
+    edges: Tuple[Tuple[int, int], ...]
+    links: Tuple[LinkSpec, ...]
+    environments: Tuple[Environment, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.edges) == len(self.links) == len(self.environments)):
+            raise FleetError(
+                "edges, links, and environments must run parallel: got "
+                f"{len(self.edges)}/{len(self.links)}/{len(self.environments)}"
+            )
+        if len(self.links) == 0:
+            raise FleetError("a fleet topology needs at least one link")
+        positions = np.asarray(self.positions_m, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise FleetError(
+                f"positions_m must have shape (n_nodes, 2), got {positions.shape}"
+            )
+        positions.setflags(write=False)
+        object.__setattr__(self, "positions_m", positions)
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the layout."""
+        return int(self.positions_m.shape[0])
+
+    def stats(self) -> Dict[str, object]:
+        """Size summary, JSON-ready."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "n_nodes": self.n_nodes,
+            "n_links": len(self),
+        }
+
+
+def _edge_links(
+    positions_m: np.ndarray,
+    edges: Tuple[Tuple[int, int], ...],
+    environment: Environment,
+    link_mode: str,
+) -> Tuple[LinkSpec, ...]:
+    """Bind each edge to a LinkSpec derived from its euclidean length."""
+    if link_mode not in ("distance", "snr"):
+        raise FleetError(
+            f"unknown link_mode {link_mode!r}; valid: ['distance', 'snr']"
+        )
+    index_pairs = np.asarray(edges, dtype=np.int64)
+    deltas = positions_m[index_pairs[:, 0]] - positions_m[index_pairs[:, 1]]
+    lengths_m = np.maximum(
+        np.hypot(deltas[:, 0], deltas[:, 1]), MIN_LINK_DISTANCE_M
+    )
+    if link_mode == "distance":
+        return tuple(
+            LinkSpec(distance_m=length) for length in lengths_m.tolist()
+        )
+    reference_dbm = cc2420.output_power_dbm(31)
+    noise_dbm = environment.noise.mean_dbm
+    return tuple(
+        LinkSpec(
+            snr_db=environment.pathloss.mean_rssi_dbm(reference_dbm, length)
+            - noise_dbm
+        )
+        for length in lengths_m.tolist()
+    )
+
+
+def grid_topology(
+    n_links: int,
+    seed: int = 0,
+    spacing_m: float = 10.0,
+    jitter_m: float = 1.0,
+    environment: Environment = HALLWAY_2012,
+    link_mode: str = "distance",
+) -> FleetTopology:
+    """A jittered square lattice with links between adjacent nodes.
+
+    The lattice side is the smallest one whose adjacency (right + down
+    neighbors, row-major) yields at least ``n_links`` edges; the first
+    ``n_links`` of them are kept. Node positions are the lattice points
+    plus seeded gaussian jitter of std ``jitter_m``.
+    """
+    _validate_common(n_links, spacing_m=spacing_m)
+    if jitter_m < 0:
+        raise FleetError(f"jitter_m must be >= 0, got {jitter_m!r}")
+    side = 2
+    while 2 * side * (side - 1) < n_links:
+        side += 1
+    rng = RngStreams(seed).stream("topology")
+    lattice = np.stack(
+        np.meshgrid(
+            np.arange(side, dtype=float),
+            np.arange(side, dtype=float),
+            indexing="ij",
+        ),
+        axis=-1,
+    ).reshape(-1, 2)
+    positions_m = lattice * spacing_m + rng.normal(
+        0.0, jitter_m, size=lattice.shape
+    )
+    edges = []
+    for row in range(side):
+        for col in range(side):
+            node = row * side + col
+            if col + 1 < side:
+                edges.append((node, node + 1))
+            if row + 1 < side:
+                edges.append((node, node + side))
+    edges = tuple(edges[:n_links])
+    links = _edge_links(positions_m, edges, environment, link_mode)
+    return FleetTopology(
+        kind="grid",
+        seed=seed,
+        positions_m=positions_m,
+        edges=edges,
+        links=links,
+        environments=(environment,) * len(edges),
+    )
+
+
+def random_geometric_topology(
+    n_links: int,
+    seed: int = 0,
+    area_side_m: float = 60.0,
+    max_distance_m: float = 35.0,
+    environment: Environment = HALLWAY_2012,
+    link_mode: str = "distance",
+) -> FleetTopology:
+    """Uniformly scattered nodes, linked when within radio range.
+
+    Nodes are drawn uniformly in an ``area_side_m`` square; every pair
+    closer than ``max_distance_m`` becomes a candidate edge (canonical
+    ``i < j`` row-major order), and the first ``n_links`` are kept. The
+    node count grows deterministically until enough pairs qualify.
+    """
+    _validate_common(n_links, spacing_m=area_side_m)
+    if max_distance_m <= 0:
+        raise FleetError(
+            f"max_distance_m must be positive, got {max_distance_m!r}"
+        )
+    rng = RngStreams(seed).stream("topology")
+    n_nodes = max(2, math.isqrt(2 * n_links) + 1)
+    # Bounds the O(n_nodes^2) candidate-pair arrays while retrying: a
+    # 2048-node scatter already yields ~2M pairs, far past any sane fleet.
+    while n_nodes <= 2048:
+        positions_m = rng.uniform(0.0, area_side_m, size=(n_nodes, 2))
+        source, target = np.triu_indices(n_nodes, k=1)
+        deltas = positions_m[source] - positions_m[target]
+        lengths_m = np.hypot(deltas[:, 0], deltas[:, 1])
+        within = lengths_m <= max_distance_m
+        if int(np.count_nonzero(within)) >= n_links:
+            pairs = np.stack([source[within], target[within]], axis=1)
+            edges = tuple(
+                (int(pair[0]), int(pair[1]))
+                for pair in pairs[:n_links].tolist()
+            )
+            links = _edge_links(positions_m, edges, environment, link_mode)
+            return FleetTopology(
+                kind="random",
+                seed=seed,
+                positions_m=positions_m,
+                edges=edges,
+                links=links,
+                environments=(environment,) * len(edges),
+            )
+        n_nodes = n_nodes + max(1, n_nodes // 2)
+    raise FleetError(
+        f"could not place {n_links} links within {max_distance_m} m in a "
+        f"{area_side_m} m square — range too small for the area?"
+    )
+
+
+def build_topology(
+    kind: str,
+    n_links: int,
+    seed: int = 0,
+    environment: Environment = HALLWAY_2012,
+    link_mode: str = "distance",
+) -> FleetTopology:
+    """Dispatch to a topology generator by name (see :data:`TOPOLOGY_KINDS`)."""
+    if kind == "grid":
+        return grid_topology(
+            n_links, seed, environment=environment, link_mode=link_mode
+        )
+    if kind == "random":
+        return random_geometric_topology(
+            n_links, seed, environment=environment, link_mode=link_mode
+        )
+    raise FleetError(
+        f"unknown topology kind {kind!r}; valid: {list(TOPOLOGY_KINDS)}"
+    )
+
+
+def _validate_common(n_links: int, spacing_m: float) -> None:
+    """Shared argument validation for the generators."""
+    if n_links < 1:
+        raise FleetError(f"n_links must be >= 1, got {n_links!r}")
+    if spacing_m <= 0:
+        raise FleetError(f"layout scale must be positive, got {spacing_m!r}")

@@ -5,8 +5,8 @@ queryable system: given a link (distance or reference SNR), an objective,
 and constraints, the oracle returns the best stack configuration — cached,
 batched, and backpressured. Layering, top to bottom::
 
-    http      stdlib JSON API (POST /v1/recommend, /v1/evaluate,
-              GET /healthz, /metrics) — repro.serve.http
+    http      stdlib JSON API (POST /v1/recommend, /v1/fleet/recommend,
+              /v1/evaluate, GET /healthz, /metrics) — repro.serve.http
     client    in-process dict-in/dict-out facade — repro.serve.client
     service   bounded queue, micro-batching, worker pool, deadlines —
               repro.serve.service
@@ -29,8 +29,14 @@ Start one with ``wsnlink serve --port 8080`` or in-process::
 from .cache import CacheStats, LruCache
 from .client import Client
 from .http import OracleHTTPServer, OracleRequestHandler, make_server
-from .metrics import DEFAULT_BUCKETS_S, LatencyHistogram, ServiceMetrics
+from .metrics import (
+    DEFAULT_BUCKETS_COUNT,
+    DEFAULT_BUCKETS_S,
+    LatencyHistogram,
+    ServiceMetrics,
+)
 from .oracle import (
+    FleetRecommendResult,
     Oracle,
     RecommendResult,
     SweepTable,
@@ -39,12 +45,15 @@ from .oracle import (
     TIER_PRECOMPUTED,
 )
 from .protocol import (
+    MAX_FLEET_LINKS,
     OBJECTIVES,
     EvaluateRequest,
+    FleetRecommendRequest,
     LinkSpec,
     RecommendRequest,
     evaluation_as_dict,
     parse_evaluate,
+    parse_fleet_recommend,
     parse_recommend,
 )
 from .service import OracleService
@@ -52,11 +61,15 @@ from .service import OracleService
 __all__ = [
     "CacheStats",
     "Client",
+    "DEFAULT_BUCKETS_COUNT",
     "DEFAULT_BUCKETS_S",
     "EvaluateRequest",
+    "FleetRecommendRequest",
+    "FleetRecommendResult",
     "LatencyHistogram",
     "LinkSpec",
     "LruCache",
+    "MAX_FLEET_LINKS",
     "OBJECTIVES",
     "Oracle",
     "OracleHTTPServer",
@@ -72,5 +85,6 @@ __all__ = [
     "evaluation_as_dict",
     "make_server",
     "parse_evaluate",
+    "parse_fleet_recommend",
     "parse_recommend",
 ]

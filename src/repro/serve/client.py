@@ -12,8 +12,13 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.optimization import ConfigEvaluation
-from .oracle import RecommendResult
-from .protocol import evaluation_as_dict, parse_evaluate, parse_recommend
+from .oracle import FleetRecommendResult, RecommendResult
+from .protocol import (
+    evaluation_as_dict,
+    parse_evaluate,
+    parse_fleet_recommend,
+    parse_recommend,
+)
 from .service import OracleService
 
 __all__ = [
@@ -42,6 +47,43 @@ class Client:
             "recommendation": evaluation_as_dict(result.evaluation),
             "objective": request.objective,
             "cache": result.cache_tier,
+        }
+
+    def recommend_fleet(
+        self, payload: Dict[str, object], timeout_s: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Answer a ``/v1/fleet/recommend``-shaped payload.
+
+        The response is positional: ``results[i]`` answers ``links[i]``,
+        carrying either a ``recommendation`` (plus the cache tier that
+        supplied it) or an in-band infeasibility ``error``. Errors other
+        than per-link infeasibility raise, exactly like :meth:`recommend`.
+        """
+        request = parse_fleet_recommend(payload)
+        result = self.service.call(request, timeout_s=timeout_s)
+        assert isinstance(result, FleetRecommendResult)
+        results = []
+        for evaluation, error, tier in zip(
+            result.evaluations, result.errors, result.cache_tiers
+        ):
+            if error is not None:
+                results.append(
+                    {"error": {"type": "InfeasibleError", "message": error}}
+                )
+            else:
+                results.append(
+                    {
+                        "recommendation": evaluation_as_dict(evaluation),
+                        "cache": tier,
+                    }
+                )
+        return {
+            "results": results,
+            "objective": request.objective,
+            "n_links": len(result),
+            "n_unique_links": result.n_unique_links,
+            "n_infeasible": result.n_infeasible,
+            "cache_tiers": result.tier_counts(),
         }
 
     def evaluate(

@@ -4,6 +4,9 @@ Endpoints (JSON in, JSON out; schemas in ``docs/SERVING.md``):
 
 * ``POST /v1/recommend`` — best configuration for a link under an
   objective and optional epsilon-constraints;
+* ``POST /v1/fleet/recommend`` — best configurations for a whole batch of
+  links sharing one objective/constraint policy (per-link infeasibility is
+  reported in-band, not as a 409);
 * ``POST /v1/evaluate`` — model metrics of one explicit configuration;
 * ``GET /healthz`` — liveness plus queue/cache occupancy;
 * ``GET /metrics`` — counters and latency histograms.
@@ -146,6 +149,8 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
         client = self.server.client
         if self.path == "/v1/recommend":
             handler = client.recommend
+        elif self.path == "/v1/fleet/recommend":
+            handler = client.recommend_fleet
         elif self.path == "/v1/evaluate":
             handler = client.evaluate
         else:

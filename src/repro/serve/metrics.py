@@ -18,6 +18,7 @@ from ..errors import ServeError
 __all__ = [
     "DEFAULT_BUCKETS_S",
     "DEFAULT_BUCKETS_MS",
+    "DEFAULT_BUCKETS_COUNT",
     "LatencyHistogram",
     "ServiceMetrics",
 ]
@@ -60,14 +61,34 @@ DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
     5000.0,
 )
 
+#: Bucket bounds for size histograms (``unit="count"``): single-link fleet
+#: batches through the 10,000-link protocol maximum.
+DEFAULT_BUCKETS_COUNT: Tuple[float, ...] = (
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    20.0,
+    50.0,
+    100.0,
+    200.0,
+    500.0,
+    1000.0,
+    2000.0,
+    5000.0,
+    10000.0,
+)
+
 
 class LatencyHistogram:
-    """Fixed-bucket latency histogram with percentile estimation.
+    """Fixed-bucket histogram with percentile estimation.
 
     Observations, bucket bounds and every reported statistic share one
-    time unit — seconds by default, or whatever ``unit`` names (the
+    unit — seconds by default, or whatever ``unit`` names (the
     ``le_s`` / ``sum_s`` / ``p50_s`` key suffixes in :meth:`as_dict`
-    follow it, e.g. ``le_ms`` for a millisecond histogram).
+    follow it, e.g. ``le_ms`` for a millisecond histogram). The
+    dimensionless ``count`` unit turns the same machinery into a *size*
+    histogram (fleet batch sizes in ``/metrics``).
     """
 
     def __init__(
@@ -78,7 +99,7 @@ class LatencyHistogram:
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds or any(b <= 0 for b in bounds):
             raise ServeError("histogram buckets must be positive and non-empty")
-        if unit not in ("s", "ms", "us"):
+        if unit not in ("s", "ms", "us", "count"):
             raise ServeError(f"unsupported histogram unit {unit!r}")
         self._bounds = bounds
         self._unit = unit

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..channel.environment import Environment, HALLWAY_2012
 from ..config import TABLE_I_SPACE
+from ..errors import InfeasibleError
 from ..core.optimization import (
     ConfigEvaluation,
     Constraint,
@@ -48,6 +49,7 @@ from .metrics import DEFAULT_BUCKETS_MS, LatencyHistogram
 from .protocol import (
     OBJECTIVES,
     EvaluateRequest,
+    FleetRecommendRequest,
     LinkSpec,
     RecommendRequest,
 )
@@ -58,6 +60,7 @@ __all__ = [
     "TIER_MISS",
     "SweepTable",
     "RecommendResult",
+    "FleetRecommendResult",
     "Oracle",
 ]
 
@@ -139,6 +142,39 @@ class RecommendResult:
 
     evaluation: ConfigEvaluation
     cache_tier: str
+
+
+@dataclass(frozen=True)
+class FleetRecommendResult:
+    """Positional answers for one fleet batch.
+
+    ``evaluations[i]`` / ``errors[i]`` / ``cache_tiers[i]`` belong to link
+    ``i`` of the request; exactly one of evaluation or error is set per
+    link (errors are per-link infeasibility messages — anything worse
+    fails the whole batch).
+    """
+
+    evaluations: Tuple[Optional[ConfigEvaluation], ...]
+    errors: Tuple[Optional[str], ...]
+    cache_tiers: Tuple[str, ...]
+    #: Distinct cache keys in the batch = sweep tables fetched (and, for
+    #: shared objectives, vectorized solves run) to answer it.
+    n_unique_links: int = 0
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def n_infeasible(self) -> int:
+        """Links that had no feasible configuration."""
+        return sum(1 for error in self.errors if error is not None)
+
+    def tier_counts(self) -> Dict[str, int]:
+        """Cache-tier name → number of links answered from that tier."""
+        counts: Dict[str, int] = {}
+        for tier in self.cache_tiers:
+            counts[tier] = counts.get(tier, 0) + 1
+        return counts
 
 
 class Oracle:
@@ -261,6 +297,48 @@ class Oracle:
         solved here without touching the cache again.
         """
         return table.solve(request.objective, request.constraints)
+
+    def recommend_fleet(
+        self, request: FleetRecommendRequest
+    ) -> FleetRecommendResult:
+        """Answer a whole fleet batch with one solve per *distinct* link.
+
+        Links are grouped by cache key, each distinct link costs one
+        two-tier table lookup (a columnar grid evaluation at worst) plus
+        one vectorized epsilon-constraint solve — the shared objective and
+        constraints make every duplicate link a pure scatter. A link with
+        no feasible configuration records its
+        :class:`~repro.errors.InfeasibleError` message in-band; any other
+        failure aborts the batch.
+        """
+        distinct: Dict[Tuple[object, ...], LinkSpec] = {}
+        for link in request.links:
+            distinct.setdefault(link.key(), link)
+        answers: Dict[Tuple[object, ...], Tuple[
+            Optional[ConfigEvaluation], Optional[str], str
+        ]] = {}
+        for key, link in distinct.items():
+            table, tier = self.table_for(link)
+            try:
+                evaluation = table.solve(request.objective, request.constraints)
+            except InfeasibleError as exc:
+                answers[key] = (None, str(exc), tier)
+            else:
+                answers[key] = (evaluation, None, tier)
+        evaluations = []
+        errors = []
+        tiers = []
+        for link in request.links:
+            evaluation, error, tier = answers[link.key()]
+            evaluations.append(evaluation)
+            errors.append(error)
+            tiers.append(tier)
+        return FleetRecommendResult(
+            evaluations=tuple(evaluations),
+            errors=tuple(errors),
+            cache_tiers=tuple(tiers),
+            n_unique_links=len(distinct),
+        )
 
     def evaluate(self, request: EvaluateRequest) -> ConfigEvaluation:
         """Model metrics of one explicit configuration on the given link.

@@ -26,14 +26,17 @@ from ..channel.environment import Environment
 from ..errors import ConfigurationError, ProtocolError
 
 __all__ = [
+    "MAX_FLEET_LINKS",
     "OBJECTIVES",
     "LinkSpec",
     "RecommendRequest",
     "EvaluateRequest",
+    "FleetRecommendRequest",
     "evaluation_as_dict",
     "parse_link",
     "parse_recommend",
     "parse_evaluate",
+    "parse_fleet_recommend",
 ]
 
 #: Objectives a request may optimize or constrain (minimization form, the
@@ -50,6 +53,11 @@ OBJECTIVES: Tuple[str, ...] = (
 #: Rounding applied to link floats when forming cache keys, so that two
 #: requests differing only by float noise (1e-9 m apart) share an entry.
 _KEY_DECIMALS = 6
+
+#: Most links one ``/v1/fleet/recommend`` batch may carry. Bounds worst-case
+#: work per request (and keeps a maximal batch body well under the HTTP
+#: layer's 1 MiB cap).
+MAX_FLEET_LINKS = 10_000
 
 
 @dataclass(frozen=True)
@@ -112,6 +120,40 @@ class RecommendRequest:
     constraints: Tuple[Constraint, ...] = ()
 
     def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise ProtocolError(
+                f"unknown objective {self.objective!r}; valid: {list(OBJECTIVES)}"
+            )
+        for constraint in self.constraints:
+            if constraint.objective not in OBJECTIVES:
+                raise ProtocolError(
+                    f"unknown constraint objective {constraint.objective!r}; "
+                    f"valid: {list(OBJECTIVES)}"
+                )
+
+
+@dataclass(frozen=True)
+class FleetRecommendRequest:
+    """Ask for the best configuration of *every* link in one batch.
+
+    All links share one objective and one constraint set (the fleet
+    operator's policy); the answer is positional — result ``i`` belongs to
+    ``links[i]``. Per-link infeasibility is reported in-band rather than
+    failing the batch.
+    """
+
+    links: Tuple[LinkSpec, ...]
+    objective: str = "energy"
+    constraints: Tuple[Constraint, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ProtocolError("a fleet request needs at least one link")
+        if len(self.links) > MAX_FLEET_LINKS:
+            raise ProtocolError(
+                f"a fleet request carries at most {MAX_FLEET_LINKS} links, "
+                f"got {len(self.links)}"
+            )
         if self.objective not in OBJECTIVES:
             raise ProtocolError(
                 f"unknown objective {self.objective!r}; valid: {list(OBJECTIVES)}"
@@ -205,6 +247,29 @@ def parse_recommend(data: object) -> RecommendRequest:
         raise ProtocolError(f"objective must be a string, got {objective!r}")
     return RecommendRequest(
         link=parse_link(mapping["link"]),
+        objective=objective,
+        constraints=_parse_constraints(mapping.get("constraints", ())),
+    )
+
+
+def parse_fleet_recommend(data: object) -> FleetRecommendRequest:
+    """Validate and build a fleet recommend request from decoded JSON."""
+    mapping = _require_mapping(data, "fleet recommend request")
+    _reject_unknown(
+        mapping, ("links", "objective", "constraints"), "fleet recommend"
+    )
+    if "links" not in mapping:
+        raise ProtocolError(
+            "fleet recommend request is missing its 'links' array"
+        )
+    links = mapping["links"]
+    if not isinstance(links, (list, tuple)):
+        raise ProtocolError("links must be a JSON array")
+    objective = mapping.get("objective", "energy")
+    if not isinstance(objective, str):
+        raise ProtocolError(f"objective must be a string, got {objective!r}")
+    return FleetRecommendRequest(
+        links=tuple(parse_link(link) for link in links),
         objective=objective,
         constraints=_parse_constraints(mapping.get("constraints", ())),
     )

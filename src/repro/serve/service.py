@@ -30,15 +30,24 @@ from ..errors import (
     ServeError,
     ServiceTimeoutError,
 )
-from .metrics import ServiceMetrics
+from .metrics import (
+    DEFAULT_BUCKETS_COUNT,
+    DEFAULT_BUCKETS_MS,
+    LatencyHistogram,
+    ServiceMetrics,
+)
 from .oracle import Oracle, RecommendResult
-from .protocol import EvaluateRequest, RecommendRequest
+from .protocol import (
+    EvaluateRequest,
+    FleetRecommendRequest,
+    RecommendRequest,
+)
 
 __all__ = [
     "OracleService",
 ]
 
-_Request = Union[RecommendRequest, EvaluateRequest]
+_Request = Union[RecommendRequest, EvaluateRequest, FleetRecommendRequest]
 
 
 class _Pending:
@@ -141,6 +150,20 @@ class OracleService:
         # Surface the oracle's cold-path build cost in /metrics: the
         # oracle owns and records the histogram, the service publishes it.
         self.metrics.register_histogram("grid_eval_ms", oracle.grid_eval_ms)
+        # Fleet batch observability: how many links per batch, how many of
+        # them were infeasible, and how long the batched solve took.
+        self.metrics.register_histogram(
+            "fleet_batch_links",
+            LatencyHistogram(DEFAULT_BUCKETS_COUNT, unit="count"),
+        )
+        self.metrics.register_histogram(
+            "fleet_infeasible_links",
+            LatencyHistogram(DEFAULT_BUCKETS_COUNT, unit="count"),
+        )
+        self.metrics.register_histogram(
+            "fleet_solve_ms",
+            LatencyHistogram(DEFAULT_BUCKETS_MS, unit="ms"),
+        )
         self._queue_capacity = int(queue_capacity)
         self._max_batch = int(max_batch)
         self._default_timeout_s = float(default_timeout_s)
@@ -327,6 +350,8 @@ class OracleService:
             head = live[0].request
             if isinstance(head, RecommendRequest):
                 self._run_recommend_batch(live)
+            elif isinstance(head, FleetRecommendRequest):
+                self._run_fleet(live[0])
             else:
                 self._run_evaluate(live[0])
 
@@ -351,6 +376,38 @@ class OracleService:
             self._finish(
                 pending, RecommendResult(evaluation=evaluation, cache_tier=tier)
             )
+
+    def _run_fleet(self, pending: _Pending) -> None:
+        """Answer one fleet batch (never coalesced: a batch is the batch).
+
+        The oracle groups the batch by distinct link internally; this layer
+        only adds accounting — how many links arrived, how many had no
+        feasible configuration, which cache tiers answered, and how long
+        the whole batched solve took.
+        """
+        request = pending.request
+        assert isinstance(request, FleetRecommendRequest)
+        started = time.monotonic()
+        try:
+            result = self.oracle.recommend_fleet(request)
+        except ReproError as exc:
+            self._fail(pending, exc)
+            return
+        self.metrics.increment("fleet_requests_total")
+        self.metrics.increment("fleet_links_total", by=len(result))
+        self.metrics.increment(
+            "fleet_infeasible_total", by=result.n_infeasible
+        )
+        for tier, count in result.tier_counts().items():
+            self.metrics.increment(f"fleet_cache_{tier}_total", by=count)
+        self.metrics.histogram("fleet_batch_links").observe(float(len(result)))
+        self.metrics.histogram("fleet_infeasible_links").observe(
+            float(result.n_infeasible)
+        )
+        self.metrics.histogram("fleet_solve_ms").observe(
+            (time.monotonic() - started) * 1e3
+        )
+        self._finish(pending, result)
 
     def _run_evaluate(self, pending: _Pending) -> None:
         request = pending.request

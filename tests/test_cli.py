@@ -207,3 +207,44 @@ class TestSensitivity:
         for metric in ("energy", "goodput", "delay", "loss"):
             assert f"{metric}:" in out
         assert "ptx_level" in out and "payload_bytes" in out
+
+
+class TestFleet:
+    FAST = ["--links", "12", "--payload-step", "40"]
+
+    def test_runs_and_prints_steps(self, capsys):
+        code = main(["fleet", *self.FAST, "--steps", "3", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "12 links" in out
+        assert "step    0" in out and "step    2" in out
+        assert "final: " in out
+
+    def test_constraint_and_objective_flags(self, capsys):
+        code = main(
+            ["fleet", *self.FAST, "--steps", "2", "--objective", "goodput",
+             "--constraint", "delay=60"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean goodput" in out
+
+    def test_bad_constraint_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises((ConfigurationError, SystemExit)):
+            main(["fleet", *self.FAST, "--constraint", "delay"])
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "fleet.jsonl"
+        straight = tmp_path / "straight.jsonl"
+        base = ["fleet", *self.FAST, "--seed", "3"]
+        assert main([*base, "--steps", "5",
+                     "--checkpoint", str(straight)]) == 0
+        assert main([*base, "--steps", "2", "--checkpoint", str(path)]) == 0
+        code = main([*base, "--steps", "5", "--checkpoint", str(path),
+                     "--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed 2 checkpointed step(s), executed 3" in out
+        assert path.read_bytes() == straight.read_bytes()

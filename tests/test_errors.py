@@ -23,6 +23,7 @@ class TestHierarchy:
             errors.ModelError,
             errors.AnalysisError,
             errors.LintError,
+            errors.FleetError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -42,6 +43,10 @@ class TestHierarchy:
     def test_lint_error_is_not_value_error(self):
         """Lint configuration problems are operational, not bad arguments."""
         assert not issubclass(errors.LintError, ValueError)
+
+    def test_fleet_error_is_not_value_error(self):
+        """Fleet problems are operational (wrong run setup), not bad values."""
+        assert not issubclass(errors.FleetError, ValueError)
 
     def test_scheduler_error_is_simulation_error(self):
         assert issubclass(errors.SchedulerError, errors.SimulationError)

@@ -1,0 +1,257 @@
+"""Checkpointed fleet run tests: crash recovery must be bit-for-bit
+(repro.fleet.runner + the generic campaign checkpoint helpers)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign.checkpoint import (
+    append_checkpoint_row,
+    load_checkpoint_jsonl,
+    write_checkpoint_header,
+)
+from repro.core.optimization import TuningGrid
+from repro.errors import DatasetError, FleetError
+from repro.fleet import (
+    FLEET_CHECKPOINT_FORMAT,
+    FleetDrift,
+    FleetEngine,
+    grid_topology,
+    parse_fleet_row,
+    run_fleet,
+)
+
+TINY_GRID = TuningGrid(
+    ptx_levels=(3, 31),
+    payload_values_bytes=(20, 110),
+    n_max_tries_values=(1, 3),
+    q_max_values=(1,),
+)
+
+
+def make_run(seed=7, n_links=12):
+    topology = grid_topology(n_links, seed=seed)
+    engine = FleetEngine(grid=TINY_GRID)
+    drift = FleetDrift(topology, seed=seed)
+    return topology, engine, drift
+
+
+class TestRunFleet:
+    def test_runs_all_steps(self, tmp_path):
+        topology, engine, drift = make_run()
+        result = run_fleet(topology, engine, drift, 5)
+        assert result.n_steps_executed == 5
+        assert result.n_steps_replayed == 0
+        assert result.n_steps_total == 5
+        assert [row["step"] for row in result.rows] == list(range(5))
+
+    def test_checkpoint_file_has_header_and_rows(self, tmp_path):
+        topology, engine, drift = make_run()
+        path = tmp_path / "fleet.jsonl"
+        run_fleet(topology, engine, drift, 3, checkpoint_path=path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == FLEET_CHECKPOINT_FORMAT
+        assert header["n_links"] == 12
+        assert len(lines) == 4
+
+    def test_bad_step_count_rejected(self):
+        topology, engine, drift = make_run()
+        with pytest.raises(FleetError):
+            run_fleet(topology, engine, drift, 0)
+
+    def test_progress_callback_sees_every_step(self):
+        topology, engine, drift = make_run()
+        seen = []
+        run_fleet(
+            topology, engine, drift, 4, progress=lambda r: seen.append(r)
+        )
+        assert [report.step_index for report in seen] == [0, 1, 2, 3]
+
+
+class TestCrashRecovery:
+    def uninterrupted(self, n_steps=6):
+        topology, engine, drift = make_run()
+        return run_fleet(topology, engine, drift, n_steps)
+
+    def resume_after_crash(self, tmp_path, mutilate, n_first=3, n_steps=6):
+        """Run n_first steps, corrupt the file with ``mutilate``, resume."""
+        path = tmp_path / "fleet.jsonl"
+        topology, engine, drift = make_run()
+        run_fleet(topology, engine, drift, n_first, checkpoint_path=path)
+        mutilate(path)
+        topology, engine, drift = make_run()
+        return path, run_fleet(
+            topology, engine, drift, n_steps,
+            checkpoint_path=path, resume=True,
+        )
+
+    def assert_matches_uninterrupted(self, result):
+        reference = self.uninterrupted()
+        assert result.rows == reference.rows
+        assert np.array_equal(
+            result.state.config_index, reference.state.config_index
+        )
+        assert np.array_equal(
+            result.state.objective_value,
+            reference.state.objective_value,
+            equal_nan=True,
+        )
+
+    def test_resume_continues_bit_for_bit(self, tmp_path):
+        path, result = self.resume_after_crash(tmp_path, lambda p: None)
+        assert result.n_steps_replayed == 3
+        assert result.n_steps_executed == 3
+        self.assert_matches_uninterrupted(result)
+
+    def test_truncated_trailing_line_is_redone(self, tmp_path):
+        def cut_mid_line(path):
+            raw = path.read_bytes()
+            path.write_bytes(raw[: len(raw) - 40])
+
+        path, result = self.resume_after_crash(tmp_path, cut_mid_line)
+        assert result.n_steps_replayed == 2
+        assert result.n_steps_executed == 4
+        self.assert_matches_uninterrupted(result)
+
+    def test_trailing_multibyte_utf8_tail_is_redone(self, tmp_path):
+        def append_cut_utf8(path):
+            # A crash mid-write can split a multi-byte character: append a
+            # line whose last UTF-8 sequence is cut after its first byte.
+            with open(path, "ab") as handle:
+                handle.write(b'{"step": 3, "note": "caf\xc3')
+
+        path, result = self.resume_after_crash(tmp_path, append_cut_utf8)
+        assert result.n_steps_replayed == 3
+        assert result.n_steps_executed == 3
+        self.assert_matches_uninterrupted(result)
+
+    def test_trailing_row_missing_fields_is_redone(self, tmp_path):
+        def append_partial_row(path):
+            with open(path, "ab") as handle:
+                handle.write(b'{"step": 3, "snr_db": [1.0]}\n')
+
+        path, result = self.resume_after_crash(tmp_path, append_partial_row)
+        assert result.n_steps_replayed == 3
+        self.assert_matches_uninterrupted(result)
+
+    def test_resumed_file_equals_uninterrupted_file(self, tmp_path):
+        straight = tmp_path / "straight.jsonl"
+        topology, engine, drift = make_run()
+        run_fleet(topology, engine, drift, 6, checkpoint_path=straight)
+
+        def cut_mid_line(path):
+            raw = path.read_bytes()
+            path.write_bytes(raw[: len(raw) - 25])
+
+        path, _ = self.resume_after_crash(tmp_path, cut_mid_line)
+        assert path.read_bytes() == straight.read_bytes()
+
+    def test_wrong_seed_rejected(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        topology, engine, drift = make_run(seed=7)
+        run_fleet(topology, engine, drift, 3, checkpoint_path=path)
+        topology = grid_topology(12, seed=7)
+        drift = FleetDrift(topology, seed=8)
+        with pytest.raises(FleetError, match="SNR trajectory"):
+            run_fleet(
+                topology, FleetEngine(grid=TINY_GRID), drift, 6,
+                checkpoint_path=path, resume=True,
+            )
+
+    def test_longer_checkpoint_than_run_rejected(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        topology, engine, drift = make_run()
+        run_fleet(topology, engine, drift, 5, checkpoint_path=path)
+        topology, engine, drift = make_run()
+        with pytest.raises(FleetError, match="wrong run parameters"):
+            run_fleet(
+                topology, engine, drift, 3,
+                checkpoint_path=path, resume=True,
+            )
+
+    def test_complete_checkpoint_executes_nothing(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        topology, engine, drift = make_run()
+        run_fleet(topology, engine, drift, 4, checkpoint_path=path)
+        topology, engine, drift = make_run()
+        result = run_fleet(
+            topology, engine, drift, 4, checkpoint_path=path, resume=True
+        )
+        assert result.n_steps_replayed == 4
+        assert result.n_steps_executed == 0
+
+    def test_without_resume_overwrites(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        topology, engine, drift = make_run()
+        run_fleet(topology, engine, drift, 3, checkpoint_path=path)
+        topology, engine, drift = make_run()
+        result = run_fleet(topology, engine, drift, 2, checkpoint_path=path)
+        assert result.n_steps_replayed == 0
+        assert len(path.read_text().splitlines()) == 3  # header + 2 rows
+
+
+class TestRowParsing:
+    def test_valid_row_passes_through(self):
+        row = {
+            "step": 0,
+            "snr_db": [1.0],
+            "config_index": [2],
+            "objective_value": [0.5],
+            "n_reconfigured": 1,
+            "n_infeasible": 0,
+        }
+        assert parse_fleet_row(dict(row)) == row
+
+    @pytest.mark.parametrize(
+        "missing",
+        ["step", "snr_db", "config_index", "objective_value",
+         "n_reconfigured", "n_infeasible"],
+    )
+    def test_missing_field_rejected(self, missing):
+        row = {
+            "step": 0,
+            "snr_db": [1.0],
+            "config_index": [2],
+            "objective_value": [0.5],
+            "n_reconfigured": 1,
+            "n_infeasible": 0,
+        }
+        del row[missing]
+        with pytest.raises(DatasetError):
+            parse_fleet_row(row)
+
+
+class TestGenericCheckpointHelpers:
+    def test_header_requires_format_tag(self, tmp_path):
+        with pytest.raises(DatasetError, match="'format' tag"):
+            write_checkpoint_header(tmp_path / "x.jsonl", {"kind": "grid"})
+
+    def test_roundtrip_with_custom_parser(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        write_checkpoint_header(path, {"format": "test-v1", "extra": 1})
+        append_checkpoint_row(path, {"value": 1})
+        append_checkpoint_row(path, {"value": 2})
+        rows = load_checkpoint_jsonl(path, "test-v1", lambda row: row)
+        assert [row["value"] for row in rows] == [1, 2]
+
+    def test_wrong_format_tag_rejected(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        write_checkpoint_header(path, {"format": "other-v1"})
+        with pytest.raises(DatasetError, match="unsupported checkpoint"):
+            load_checkpoint_jsonl(path, "test-v1", lambda row: row)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="no checkpoint"):
+            load_checkpoint_jsonl(
+                tmp_path / "absent.jsonl", "test-v1", lambda row: row
+            )
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        write_checkpoint_header(path, {"format": "test-v1"})
+        with open(path, "ab") as handle:
+            handle.write(b'{"broken\n{"value": 2}\n')
+        with pytest.raises(DatasetError):
+            load_checkpoint_jsonl(path, "test-v1", lambda row: row)
