@@ -322,6 +322,46 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain_rule(rule_id: str) -> int:
+    """Print one rule's full card: description, rationale, good/bad example.
+
+    Everything comes off the rule class itself (docstring, ``rationale``,
+    ``example_bad``/``example_good``), so this output cannot drift from
+    the implementation the way hand-maintained docs can.
+    """
+    from .lintkit import all_rules
+
+    wanted = rule_id.strip().upper()
+    by_id = {rule.rule_id: rule for rule in all_rules()}
+    rule = by_id.get(wanted)
+    if rule is None:
+        known = ", ".join(sorted(by_id))
+        print(f"error: unknown rule id {rule_id!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    print(f"{rule.rule_id} — {rule.name} ({rule.severity.value})")
+    print(f"  {rule.description}")
+    doc = (rule.__doc__ or "").strip()
+    if doc:
+        print()
+        print(f"  {doc}")
+    if rule.rationale:
+        print()
+        print("why it matters:")
+        print(f"  {rule.rationale}")
+    if rule.example_bad:
+        print()
+        print("bad:")
+        for line in rule.example_bad.rstrip("\n").splitlines():
+            print(f"    {line}")
+    if rule.example_good:
+        print()
+        print("good:")
+        for line in rule.example_good.rstrip("\n").splitlines():
+            print(f"    {line}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from collections import Counter
     from pathlib import Path
@@ -342,6 +382,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"{rule.rule_id}  {rule.name} ({rule.severity.value}): "
                   f"{rule.description}")
         return 0
+    if args.explain:
+        return _explain_rule(args.explain)
     select = None
     if args.select:
         select = {
@@ -634,6 +676,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append per-rule finding counts to the report")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--explain", metavar="RPRnnn",
+                   help="print one rule's rationale and a minimal good/bad "
+                        "example, then exit")
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("serve", help="run the link-configuration oracle "

@@ -4,7 +4,9 @@ A self-contained AST-based invariant checker (stdlib only) enforcing the
 conventions the paper reproduction depends on. The RPR0xx tier checks one
 file at a time; the RPR1xx tier is *semantic* — a phase-1 project index
 (symbol table, imports, call graph) lets its rules follow units and
-randomness across function and module boundaries:
+randomness across function and module boundaries; the RPR2xx tier checks
+*concurrency and resource safety* — per-class lock summaries inferred
+from ``with self._lock:`` bodies, composed with the call graph:
 
 ========  =====================================================
 RPR001    unit-suffix discipline (``_ms`` vs ``_s`` arithmetic)
@@ -16,13 +18,20 @@ RPR101    unit-inference dataflow across assignments/returns/call sites
 RPR102    determinism taint: stochastic functions must thread rng/seed
 RPR103    scalar Python loops over numpy arrays (vectorize or list-build)
 RPR104    loop-invariant pure calls (hoist out of hot loops)
+RPR201    lock discipline: guarded attributes accessed without the lock
+RPR202    atomicity: split check-then-act, unlocked read-modify-write
+RPR203    fork safety: no locks/files/sockets into multiprocessing workers
+RPR204    resource lifecycle: files/sockets/pools released on every path
+RPR205    blocking-call deadlines: untimed wait/get/put/recv
 ========  =====================================================
 
 Run it as ``wsnlink lint [--format json] [--select RPRxxx] paths...`` or
-programmatically via :func:`lint_paths`. Findings can be silenced inline
-with ``# reprolint: disable=RPRxxx`` or grandfathered in a committed
-baseline file (``reprolint-baseline.json``); the repo keeps that baseline
-empty. See ``docs/LINTS.md`` for the full rule catalogue.
+programmatically via :func:`lint_paths`; ``wsnlink lint --explain RPRxxx``
+prints one rule's rationale with a bad/good example pair. Findings can be
+silenced inline with ``# reprolint: disable=RPRxxx`` (on a ``with``
+header, the directive covers the whole block) or grandfathered in a
+committed baseline file (``reprolint-baseline.json``); the repo keeps
+that baseline empty. See ``docs/LINTS.md`` for the full rule catalogue.
 """
 
 from __future__ import annotations

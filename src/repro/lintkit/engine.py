@@ -133,7 +133,7 @@ class Linter:
             source=parsed.source,
             project=project,
         )
-        suppressions = parse_suppressions(parsed.source)
+        suppressions = parse_suppressions(parsed.source, tree=parsed.tree)
         findings = [
             finding
             for rule in self.rules

@@ -1,10 +1,15 @@
-"""Rule registry: importing this package registers RPR001–RPR005, RPR101–RPR104.
+"""Rule registry: importing this package registers RPR001–RPR005,
+RPR101–RPR104, and RPR201–RPR205.
 
 Each rule lives in its own module named after its id; new rules register
 themselves via the :func:`repro.lintkit.rules.base.register` decorator and
 become visible to the engine, the CLI ``--select`` filter, and the docs.
 The RPR1xx block is the *semantic* tier: those rules consult the phase-1
 project index (:mod:`repro.lintkit.semantic`) instead of a single file.
+The RPR2xx block is the *concurrency* tier: it additionally consults the
+per-class lock summaries (:mod:`repro.lintkit.semantic.concurrency`) to
+check lock discipline, atomicity, fork safety, resource lifecycles, and
+blocking-call deadlines.
 """
 
 from __future__ import annotations
@@ -20,6 +25,11 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     rpr102_rng_taint,
     rpr103_scalar_loops,
     rpr104_invariant_calls,
+    rpr201_lock_discipline,
+    rpr202_atomicity,
+    rpr203_fork_safety,
+    rpr204_resource_lifecycle,
+    rpr205_deadlines,
 )
 
 __all__ = [

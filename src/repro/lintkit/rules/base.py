@@ -79,6 +79,13 @@ class Rule(abc.ABC):
     severity: Severity = Severity.ERROR
     #: One-line description for ``docs/LINTS.md`` and ``--list-rules``.
     description: str = ""
+    #: Why the invariant matters here, shown by ``wsnlink lint --explain``.
+    rationale: str = ""
+    #: Minimal violating snippet for ``--explain`` (kept on the rule class
+    #: so the docs cannot drift from the implementation).
+    example_bad: str = ""
+    #: The corresponding clean form of :attr:`example_bad`.
+    example_good: str = ""
 
     @abc.abstractmethod
     def check(self, ctx: FileContext) -> Iterator[Finding]:

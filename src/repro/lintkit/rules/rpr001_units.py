@@ -98,6 +98,20 @@ class UnitSuffixRule(Rule):
         "conflicting unit suffixes, and public float parameters naming a "
         "physical quantity must carry a unit suffix"
     )
+    rationale = (
+        "The paper's models mix dBm, mW, ms, and bytes; adding a _ms "
+        "quantity to a _s one is silently wrong by 1000x. Suffixes make "
+        "the unit part of the name so the mismatch is visible to both "
+        "readers and this lint."
+    )
+    example_bad = (
+        "def total_delay(t_pkt_ms, backoff_s):\n"
+        "    return t_pkt_ms + backoff_s  # ms + s\n"
+    )
+    example_good = (
+        "def total_delay(t_pkt_ms, backoff_ms):\n"
+        "    return t_pkt_ms + backoff_ms\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -108,6 +108,21 @@ class DeterminismRule(Rule):
         "no stdlib random, numpy global-state RNG, or wall-clock reads "
         "outside the sanctioned sim/rng.py; use seeded RngStreams"
     )
+    rationale = (
+        "Reproduction means bit-identical reruns: one ambient "
+        "random.random() or time.time() read makes results depend on "
+        "global interpreter state and the wall clock. All randomness "
+        "flows through seeded per-stream generators instead."
+    )
+    example_bad = (
+        "import random\n"
+        "def jitter_ms():\n"
+        "    return random.uniform(0.0, 5.0)\n"
+    )
+    example_good = (
+        "def jitter_ms(rng):\n"
+        "    return rng.uniform(0.0, 5.0)  # rng: seeded stream\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.package_relpath in SANCTIONED_MODULES:

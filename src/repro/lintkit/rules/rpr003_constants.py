@@ -40,6 +40,21 @@ class PaperConstantRule(Rule):
         "reference the named constant from radio/timing.py, "
         "radio/cc2420.py, or core/constants.py"
     )
+    rationale = (
+        "Each paper constant (symbol rate, CCA backoff, power levels) "
+        "has exactly one named definition; a re-typed literal drifts "
+        "silently when the registry is corrected and hides which model "
+        "parameter the number encodes."
+    )
+    example_bad = (
+        "def payload_airtime_ms(payload_bytes):\n"
+        "    return payload_bytes * 8 / 250.0  # re-typed bitrate\n"
+    )
+    example_good = (
+        "from repro.radio.cc2420 import BITRATE_KBPS\n"
+        "def payload_airtime_ms(payload_bytes):\n"
+        "    return payload_bytes * 8 / BITRATE_KBPS\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.package_relpath in REGISTRY_MODULES:

@@ -89,6 +89,23 @@ class ExceptionDisciplineRule(Rule):
         "raise statements must use a ReproError subclass from errors.py, "
         "not bare builtins like ValueError/TypeError/RuntimeError"
     )
+    rationale = (
+        "Callers (the CLI, the serve tier) catch ReproError to separate "
+        "domain failures from bugs; a bare ValueError either escapes as "
+        "a 500 or forces except-everything handlers. The hierarchy keeps "
+        "ValueError in the MRO for stdlib compatibility."
+    )
+    example_bad = (
+        "def check_power(level):\n"
+        "    if not 3 <= level <= 31:\n"
+        "        raise ValueError(f'bad power level {level}')\n"
+    )
+    example_good = (
+        "from repro.errors import ConfigurationError\n"
+        "def check_power(level):\n"
+        "    if not 3 <= level <= 31:\n"
+        "        raise ConfigurationError(f'bad power level {level}')\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         allowed = repro_error_names(package_root()) | ALLOWED_BUILTINS

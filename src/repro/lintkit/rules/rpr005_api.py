@@ -100,6 +100,22 @@ class PublicApiRule(Rule):
         "modules must define __all__ consistent with their top-level "
         "names, and public modules/functions/classes need docstrings"
     )
+    rationale = (
+        "__all__ is the module's public contract — star imports, docs, "
+        "and the API reference are generated from it — and an undocumented "
+        "public name is an API nobody can use without reading the source."
+    )
+    example_bad = (
+        "def solve(grid):\n"
+        "    return grid.best()\n"
+    )
+    example_good = (
+        '"""Grid solving helpers."""\n'
+        "__all__ = ['solve']\n"
+        "def solve(grid):\n"
+        '    """Best configuration of the grid."""\n'
+        "    return grid.best()\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         tree = ctx.tree

@@ -40,6 +40,22 @@ class UnitFlowRule(Rule):
         "unit tags propagated through assignments, returns and call sites "
         "must not conflict (cross-function/module version of RPR001)"
     )
+    rationale = (
+        "A correctly-suffixed value loses its name when passed across a "
+        "call or rebound to a bare local; dataflow carries the unit tag "
+        "along so a _ms value flowing into a _s parameter two modules "
+        "away is still caught."
+    )
+    example_bad = (
+        "def slot_time_s(t_backoff_ms):\n"
+        "    ...\n"
+        "delay = compute_delay_ms(cfg)\n"
+        "slot_time_s(delay)  # ms value into _s parameter\n"
+    )
+    example_good = (
+        "delay_ms = compute_delay_ms(cfg)\n"
+        "slot_time_s(delay_ms / 1000.0)\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.project is None:

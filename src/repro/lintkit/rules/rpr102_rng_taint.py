@@ -45,6 +45,20 @@ class RngTaintRule(Rule):
         "functions transitively reaching random draws must thread an "
         "explicit rng/seed parameter (or a seeded carrier object)"
     )
+    rationale = (
+        "Randomness that enters through a side door (a default-seeded "
+        "global, a freshly-constructed generator) cannot be replayed; "
+        "threading rng/seed through every stochastic call chain is what "
+        "makes campaign results and fleet drift reproducible."
+    )
+    example_bad = (
+        "def sample_fading():\n"
+        "    return make_default_rng().normal()\n"
+    )
+    example_good = (
+        "def sample_fading(rng):\n"
+        "    return rng.normal()  # caller owns the seeded stream\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.project is None:

@@ -50,6 +50,20 @@ class ScalarLoopRule(Rule):
         "statement loops must not iterate or index numpy arrays "
         "element-by-element; vectorize or build a list and convert once"
     )
+    rationale = (
+        "A Python-level loop over a numpy array pays interpreter and "
+        "boxing overhead per element — the columnar kernels exist "
+        "precisely because the broadcast form of the same computation is "
+        "hundreds of times faster on the full grid."
+    )
+    example_bad = (
+        "total = 0.0\n"
+        "for value in energy_uj:  # numpy array\n"
+        "    total += value\n"
+    )
+    example_good = (
+        "total = float(energy_uj.sum())\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.project is None:

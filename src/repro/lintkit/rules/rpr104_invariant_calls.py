@@ -94,6 +94,21 @@ class InvariantCallRule(Rule):
         "calls to pure project functions whose arguments do not change "
         "inside the enclosing loop should be hoisted out of it"
     )
+    rationale = (
+        "A pure call with loop-invariant arguments returns the same "
+        "value every iteration; recomputing it inside a sweep multiplies "
+        "its cost by the grid size for no change in the answer."
+    )
+    example_bad = (
+        "for config in grid:\n"
+        "    bounds = default_bounds_for(evaluator)  # invariant\n"
+        "    score(config, bounds)\n"
+    )
+    example_good = (
+        "bounds = default_bounds_for(evaluator)\n"
+        "for config in grid:\n"
+        "    score(config, bounds)\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.project is None:

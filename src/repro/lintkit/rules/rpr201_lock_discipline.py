@@ -1,0 +1,127 @@
+"""RPR201 — lock discipline: guarded attributes accessed without the lock.
+
+A class that owns a ``threading.Lock`` declares, by its own behavior,
+which attributes that lock guards: everything a non-constructor method
+writes inside a ``with self._lock:`` block (see
+:mod:`repro.lintkit.semantic.concurrency`). Any *other* read or write of
+a guarded attribute that happens outside every lock scope is a data race:
+the serve tier's worker threads will interleave it with the locked
+writers, and a torn read of ``_queue`` or a lost ``_closed`` transition
+becomes a silent wrong answer under load.
+
+Precision guards:
+
+* attributes assigned only in ``__init__``/``__post_init__`` are never
+  guarded — immutable configuration needs no lock, so reading it
+  lock-free is clean;
+* ``threading.Condition(self._lock)`` aliases the wrapped lock, so
+  ``with self._not_empty:`` opens a scope of ``_lock``;
+* a private helper whose every resolved call site is a ``self.<helper>()``
+  call made while holding the class lock *extends* the lock scope rather
+  than escaping it (resolved through the project call graph), and is not
+  flagged;
+* unlocked ``+=``/``-=`` on guarded attributes is RPR202's
+  read-modify-write case and is left to it, so one defect yields one
+  finding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+from ..findings import Finding, Severity
+from ..semantic.concurrency import INIT_METHODS
+from ..semantic.symbols import module_name_for
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "LockDisciplineRule",
+]
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Flag unlocked access to attributes the class guards with its lock."""
+
+    rule_id = "RPR201"
+    name = "lock-discipline"
+    severity = Severity.ERROR
+    description = (
+        "attributes written under a class's lock must not be read or "
+        "written outside a lock scope by other methods"
+    )
+    rationale = (
+        "A lock only helps if every access to the state it guards goes "
+        "through it. The guarded set is inferred from the class's own "
+        "locked writes, so one unlocked read is one thread observing "
+        "half-updated state."
+    )
+    example_bad = (
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._total = 0\n"
+        "    def add(self, n):\n"
+        "        with self._lock:\n"
+        "            self._total = self._total + n\n"
+        "    def snapshot(self):\n"
+        "        return self._total  # unlocked read of guarded state\n"
+    )
+    example_good = (
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._total = 0\n"
+        "    def add(self, n):\n"
+        "        with self._lock:\n"
+        "            self._total = self._total + n\n"
+        "    def snapshot(self):\n"
+        "        with self._lock:\n"
+        "            return self._total\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        module = ctx.project.modules.get(module_name)
+        if module is None:
+            return
+        conc = ctx.project.concurrency()
+        for class_name in sorted(module.classes):
+            cls = module.classes[class_name]
+            cc = conc.classes.get(cls.qualname)
+            if cc is None or not cc.locks or not cc.guarded:
+                continue
+            extensions = self._lock_scope_extensions(ctx, cc)
+            for method_name in sorted(cc.methods):
+                summary = cc.methods[method_name]
+                if summary.name in INIT_METHODS or method_name in extensions:
+                    continue
+                for access in summary.accesses:
+                    if access.lock is not None:
+                        continue
+                    if access.attr not in cc.guarded:
+                        continue
+                    if access.kind == "augwrite":
+                        continue  # RPR202's read-modify-write case
+                    verb = "read" if access.kind == "read" else "write"
+                    lock = sorted(cc.guarded[access.attr])[0]
+                    yield ctx.finding(
+                        self,
+                        access.node,
+                        f"{verb} of {access.attr!r} outside a lock scope: "
+                        f"{cls.name} guards it with {lock!r}",
+                        suggestion=f"wrap the access in `with self.{lock}:` "
+                        f"(or document why this method is single-threaded)",
+                    )
+
+    @staticmethod
+    def _lock_scope_extensions(ctx: FileContext, cc) -> Set[str]:
+        """Method names whose every caller already holds the class lock."""
+        conc = ctx.project.concurrency()
+        return {
+            name
+            for name, summary in cc.methods.items()
+            if conc.always_called_locked(ctx.project, cc, summary.qualname)
+        }

@@ -1,0 +1,418 @@
+"""RPR203 — fork safety: no live OS state into multiprocessing workers.
+
+A ``multiprocessing`` worker gets its arguments by pickling (spawn) or by
+copying the parent's memory (fork). Either way, a ``threading.Lock``, an
+open file, a socket, or a thread ``queue.Queue`` that crosses the boundary
+is wrong: locks arrive held-or-broken, file descriptors are shared or
+silently rebound, and a thread queue in a child is an empty decoy that
+never sees the parent's items. The campaign sweep pool
+(`campaign/parallel.py`) stays safe by shipping a *frozen dataclass spec*
+through the pool initializer and rebuilding everything stateful inside
+the worker — that is the sanctioned pattern this rule proves clean.
+
+Flagged, per pool/process creation and per pool submission call:
+
+* ``initargs=``/``args=`` elements that are lock/condition/event/
+  semaphore/queue/socket/file locals, module globals, ``self.<attr>``
+  synchronization attributes, or inline ``threading.Lock()``-style
+  constructor calls;
+* ``initializer=``/``target=``/worker functions that are lambdas or
+  nested functions capturing such locals from the enclosing scope;
+* worker/initializer functions from which a ``threading`` lock
+  acquisition is reachable in the project call graph — pre-fork lock
+  state must not be assumed by post-fork code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding, Severity
+from ..semantic.concurrency import absolute_name
+from ..semantic.symbols import FunctionInfo, module_name_for, dotted_name
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "ForkSafetyRule",
+]
+
+#: Pool methods whose first positional argument runs in a worker process.
+_POOL_SUBMIT_METHODS = frozenset(
+    {
+        "apply", "apply_async", "map", "map_async", "imap",
+        "imap_unordered", "starmap", "starmap_async",
+    }
+)
+
+#: Dotted names that create a pool or process directly.
+_POOL_CONSTRUCTORS = frozenset(
+    {
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+        "multiprocessing.Process",
+        "multiprocessing.context.SpawnContext.Pool",
+    }
+)
+
+_KIND_LABELS = {
+    "lock": "a threading lock",
+    "condition": "a threading condition",
+    "event": "a threading event",
+    "semaphore": "a threading semaphore",
+    "queue": "a thread queue",
+    "socket": "a socket",
+    "file": "an open file",
+}
+
+
+@register
+class ForkSafetyRule(Rule):
+    """Flag threading/OS state captured by multiprocessing workers."""
+
+    rule_id = "RPR203"
+    name = "fork-safety"
+    severity = Severity.ERROR
+    description = (
+        "multiprocessing initializers and workers must not capture locks, "
+        "open files, sockets, or thread queues, nor reach a lock acquisition"
+    )
+    rationale = (
+        "Worker processes copy or re-pickle whatever crosses the pool "
+        "boundary: a copied lock can be permanently held, a shared file "
+        "descriptor interleaves writes, and a thread queue silently "
+        "becomes per-process. Ship a frozen spec and rebuild stateful "
+        "objects inside the worker instead."
+    )
+    example_bad = (
+        "lock = threading.Lock()\n"
+        "with multiprocessing.get_context('spawn').Pool(\n"
+        "    2, initializer=setup, initargs=(lock,),  # lock crosses fork\n"
+        ") as pool:\n"
+        "    pool.map(work, jobs)\n"
+    )
+    example_good = (
+        "spec = WorkerSpec(seed=42)  # frozen dataclass, plain data\n"
+        "with multiprocessing.get_context('spawn').Pool(\n"
+        "    2, initializer=setup, initargs=(spec,),\n"
+        ") as pool:\n"
+        "    pool.map(work, jobs)\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        module = ctx.project.modules.get(module_name)
+        if module is None:
+            return
+        conc = ctx.project.concurrency()
+        graph = ctx.project.call_graph()
+        lock_reachers = graph.callers_of(set(conc.lock_acquirers))
+        for func in sorted(
+            ctx.project.functions.values(), key=lambda f: f.qualname
+        ):
+            if func.module != module_name:
+                continue
+            yield from self._check_function(
+                ctx, module, func, conc, lock_reachers
+            )
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        ctx: FileContext,
+        module,
+        func: FunctionInfo,
+        conc,
+        lock_reachers: Set[str],
+    ) -> Iterator[Finding]:
+        from ..semantic.symbols import ProjectIndex
+
+        unsafe_locals = {
+            name: kind
+            for name, kind in conc.local_bindings(module, func.node).items()
+        }
+        globals_sync = conc.module_sync.get(module.name, {})
+        ctx_locals = self._context_locals(module, func.node)
+        nested_defs = {
+            node.name: node
+            for node in ast.iter_child_nodes(func.node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        pool_locals = self._pool_locals(module, func.node, ctx_locals)
+        cc = (
+            conc.classes.get(func.class_qualname)
+            if func.class_qualname
+            else None
+        )
+        receiver = (
+            func.params[0].name
+            if func.is_method and not func.is_static and func.params
+            else None
+        )
+
+        for node in ProjectIndex._walk_body(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            worker_exprs: List[ast.expr] = []
+            arg_tuples: List[ast.expr] = []
+            if self._is_pool_creation(module, node, ctx_locals):
+                for keyword in node.keywords:
+                    if keyword.arg in ("initializer", "target"):
+                        worker_exprs.append(keyword.value)
+                    elif keyword.arg in ("initargs", "args"):
+                        arg_tuples.append(keyword.value)
+            elif self._is_pool_submission(node, pool_locals):
+                if node.args:
+                    worker_exprs.append(node.args[0])
+                for keyword in node.keywords:
+                    if keyword.arg == "func":
+                        worker_exprs.append(keyword.value)
+            else:
+                continue
+            for expr in worker_exprs:
+                yield from self._check_worker(
+                    ctx, module, func, expr, unsafe_locals, globals_sync,
+                    nested_defs, lock_reachers, cc, receiver,
+                )
+            for expr in arg_tuples:
+                yield from self._check_args(
+                    ctx, module, expr, unsafe_locals, globals_sync,
+                    cc, receiver,
+                )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _context_locals(module, func_node: ast.AST) -> Set[str]:
+        """Locals bound from ``multiprocessing.get_context(...)``."""
+        from ..semantic.symbols import ProjectIndex
+
+        names: Set[str] = set()
+        for node in ProjectIndex._walk_body(func_node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                dotted = dotted_name(node.value.func)
+                if dotted is not None and absolute_name(
+                    module, dotted
+                ) in ("multiprocessing.get_context",):
+                    names.add(node.targets[0].id)
+        return names
+
+    def _is_pool_creation(
+        self, module, call: ast.Call, ctx_locals: Set[str]
+    ) -> bool:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ctx_locals
+            and func.attr in ("Pool", "Process")
+        ):
+            return True
+        dotted = dotted_name(func)
+        if dotted is None:
+            return False
+        return absolute_name(module, dotted) in _POOL_CONSTRUCTORS
+
+    def _pool_locals(
+        self, module, func_node: ast.AST, ctx_locals: Set[str]
+    ) -> Set[str]:
+        """Names bound to a created pool (assignment or ``with ... as``)."""
+        from ..semantic.symbols import ProjectIndex
+
+        names: Set[str] = set()
+        for node in ProjectIndex._walk_body(func_node):
+            value: Optional[ast.expr] = None
+            target: Optional[ast.expr] = None
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+            ):
+                value, target = node.value, node.targets[0]
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(
+                        item.context_expr, ast.Call
+                    ) and self._is_pool_creation(
+                        module, item.context_expr, ctx_locals
+                    ):
+                        if isinstance(item.optional_vars, ast.Name):
+                            names.add(item.optional_vars.id)
+                continue
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(target, ast.Name)
+                and self._is_pool_creation(module, value, ctx_locals)
+            ):
+                names.add(target.id)
+        return names
+
+    @staticmethod
+    def _is_pool_submission(call: ast.Call, pool_locals: Set[str]) -> bool:
+        return (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id in pool_locals
+            and call.func.attr in _POOL_SUBMIT_METHODS
+        )
+
+    # ------------------------------------------------------------------
+    def _check_worker(
+        self,
+        ctx: FileContext,
+        module,
+        func: FunctionInfo,
+        expr: ast.expr,
+        unsafe_locals: Dict[str, str],
+        globals_sync: Dict[str, str],
+        nested_defs: Dict[str, ast.AST],
+        lock_reachers: Set[str],
+        cc,
+        receiver: Optional[str],
+    ) -> Iterator[Finding]:
+        captured_body: Optional[ast.AST] = None
+        label = ""
+        if isinstance(expr, ast.Lambda):
+            captured_body, label = expr, "lambda worker"
+        elif isinstance(expr, ast.Name) and expr.id in nested_defs:
+            captured_body, label = nested_defs[expr.id], f"nested worker {expr.id!r}"
+        if captured_body is not None:
+            yield from self._check_closure(
+                ctx, expr, captured_body, label, unsafe_locals, cc, receiver
+            )
+            return
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return
+        resolved = ctx.project.resolve_name(module.name, dotted)
+        if resolved is None or resolved[0] != "function":
+            return
+        if resolved[1] in lock_reachers:
+            graph = ctx.project.call_graph()
+            conc = ctx.project.concurrency()
+            path = graph.path_to(resolved[1], set(conc.lock_acquirers))
+            via = " -> ".join(p.split(".")[-1] for p in path) if path else ""
+            detail = f" (via {via})" if via else ""
+            yield ctx.finding(
+                self,
+                expr,
+                f"worker function {dotted!r} can reach a threading lock "
+                f"acquisition{detail}; pre-fork lock state must not cross "
+                f"the process boundary",
+                suggestion="rebuild stateful objects inside the worker from "
+                "plain data instead of sharing lock-guarded ones",
+            )
+
+    def _check_closure(
+        self,
+        ctx: FileContext,
+        anchor: ast.expr,
+        body: ast.AST,
+        label: str,
+        unsafe_locals: Dict[str, str],
+        cc,
+        receiver: Optional[str],
+    ) -> Iterator[Finding]:
+        bound: Set[str] = {
+            arg.arg
+            for arg in ast.walk(body)
+            if isinstance(arg, ast.arg)
+        }
+        seen: Set[Tuple[str, str]] = set()
+        for node in ast.walk(body):
+            if (
+                isinstance(node, ast.Name)
+                and node.id in unsafe_locals
+                and node.id not in bound
+            ):
+                key = (node.id, unsafe_locals[node.id])
+                if key not in seen:
+                    seen.add(key)
+                    kind = _KIND_LABELS[unsafe_locals[node.id]]
+                    yield ctx.finding(
+                        self,
+                        anchor,
+                        f"{label} captures {kind} ({node.id!r}) across the "
+                        f"process boundary",
+                        suggestion="pass plain picklable data and rebuild "
+                        "the resource inside the worker",
+                    )
+            elif (
+                cc is not None
+                and receiver is not None
+                and isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == receiver
+                and node.attr in cc.sync_attrs
+            ):
+                yield ctx.finding(
+                    self,
+                    anchor,
+                    f"{label} captures synchronization attribute "
+                    f"self.{node.attr} across the process boundary",
+                    suggestion="pass plain picklable data and rebuild "
+                    "the resource inside the worker",
+                )
+
+    def _check_args(
+        self,
+        ctx: FileContext,
+        module,
+        tuple_expr: ast.expr,
+        unsafe_locals: Dict[str, str],
+        globals_sync: Dict[str, str],
+        cc,
+        receiver: Optional[str],
+    ) -> Iterator[Finding]:
+        elements = (
+            list(tuple_expr.elts)
+            if isinstance(tuple_expr, (ast.Tuple, ast.List))
+            else [tuple_expr]
+        )
+        from ..semantic.concurrency import sync_kind
+
+        for element in elements:
+            kind: Optional[str] = None
+            what = ""
+            if isinstance(element, ast.Name):
+                kind = unsafe_locals.get(element.id) or globals_sync.get(
+                    element.id
+                )
+                what = repr(element.id)
+            elif isinstance(element, ast.Call):
+                kind = sync_kind(module, element)
+                what = "an inline constructor call"
+            elif (
+                cc is not None
+                and receiver is not None
+                and isinstance(element, ast.Attribute)
+                and isinstance(element.value, ast.Name)
+                and element.value.id == receiver
+                and element.attr in cc.sync_attrs
+            ):
+                if element.attr in cc.queues:
+                    kind = "queue"
+                elif element.attr in cc.events:
+                    kind = "event"
+                elif element.attr in cc.sockets:
+                    kind = "socket"
+                elif element.attr in cc.conditions:
+                    kind = "condition"
+                else:
+                    kind = "lock"
+                what = f"self.{element.attr}"
+            if kind is None:
+                continue
+            yield ctx.finding(
+                self,
+                element,
+                f"initializer/worker arguments carry {_KIND_LABELS[kind]} "
+                f"({what}) across the process boundary",
+                suggestion="ship a frozen spec of plain data and construct "
+                "the resource inside the worker process",
+            )

@@ -1,0 +1,358 @@
+"""RPR204 — resource lifecycle: every acquired OS resource has an owner
+that provably releases it.
+
+Files, sockets, process pools, and executors are not garbage-collected
+resources in any sense that matters for a long-running serve tier: a
+leaked file descriptor per request is an ``EMFILE`` crash at production
+traffic, and an unclosed pool leaves zombie workers. The checkpoint
+writers in ``campaign.checkpoint`` (append + fsync per batch) are the
+motivating case — a dropped handle there loses the very durability the
+fsync was buying.
+
+A resource acquisition is clean when:
+
+* it is the context expression of a ``with`` item (``with open(p) as f:``
+  or ``with ctx.Pool(...) as pool:``);
+* it is bound to a local that is later entered via ``with name:``;
+* it is bound to a local that is released by a close-like call inside a
+  ``try/finally`` ``finally:`` block;
+* ownership escapes the function — the local is returned, yielded,
+  passed to another call, stored into a container or attribute, so the
+  caller is responsible;
+* it is returned directly (``return open(p)``) — caller owns it;
+* it is stored on ``self`` and a close-like call on that attribute is
+  reachable from one of the owner class's own release methods
+  (``close``/``__exit__``/``shutdown``/``stop``/``terminate``/
+  ``server_close``), directly or through same-class helpers.
+
+Everything else is flagged — including a bare ``close()`` on the main
+path, which leaks on every exception raised between acquisition and
+close.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..findings import Finding, Severity
+from ..semantic.concurrency import absolute_name
+from ..semantic.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ProjectIndex,
+    dotted_name,
+    module_name_for,
+)
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "ResourceLifecycleRule",
+]
+
+#: Direct calls that acquire a releasable OS resource → short label.
+_RESOURCE_CONSTRUCTORS: Dict[str, str] = {
+    "open": "file",
+    "io.open": "file",
+    "gzip.open": "file",
+    "bz2.open": "file",
+    "tempfile.TemporaryFile": "file",
+    "tempfile.NamedTemporaryFile": "file",
+    "socket.socket": "socket",
+    "socket.create_connection": "socket",
+    "subprocess.Popen": "process",
+    "multiprocessing.Pool": "pool",
+    "multiprocessing.pool.Pool": "pool",
+    "concurrent.futures.ThreadPoolExecutor": "executor",
+    "concurrent.futures.ProcessPoolExecutor": "executor",
+}
+
+#: Method calls that release a resource.
+_CLOSERS = frozenset(
+    {
+        "close", "shutdown", "terminate", "server_close", "release",
+        "kill", "stop", "disconnect", "join", "__exit__",
+    }
+)
+
+#: Class methods a resource-owning class is expected to release from.
+_OWNER_RELEASE_METHODS = frozenset(
+    {
+        "close", "__exit__", "__del__", "shutdown", "stop", "terminate",
+        "server_close",
+    }
+)
+
+
+@register
+class ResourceLifecycleRule(Rule):
+    """Flag acquired files/sockets/pools/executors without a release path."""
+
+    rule_id = "RPR204"
+    name = "resource-lifecycle"
+    severity = Severity.ERROR
+    description = (
+        "files, sockets, pools, and executors must be released via with, "
+        "try/finally, or a close() reachable from the owner's close()"
+    )
+    rationale = (
+        "A leaked descriptor or worker pool survives the request that "
+        "created it; at serving rates that is resource exhaustion, and "
+        "for fsync'd checkpoint writers it silently voids the durability "
+        "guarantee. A close() only on the happy path still leaks on every "
+        "exception in between."
+    )
+    example_bad = (
+        "def dump(path, rows):\n"
+        "    fh = open(path, 'w')\n"
+        "    for row in rows:\n"
+        "        fh.write(row)  # any exception here leaks fh\n"
+        "    fh.close()\n"
+    )
+    example_good = (
+        "def dump(path, rows):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        for row in rows:\n"
+        "            fh.write(row)\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        module = ctx.project.modules.get(module_name)
+        if module is None:
+            return
+        for func in sorted(
+            ctx.project.functions.values(), key=lambda f: f.qualname
+        ):
+            if func.module != module_name:
+                continue
+            yield from self._check_function(ctx, module, func)
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self, ctx: FileContext, module, func: FunctionInfo
+    ) -> Iterator[Finding]:
+        ctx_locals = self._context_locals(module, func.node)
+        parents = self._parent_map(func.node)
+        for node in ProjectIndex._walk_body(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._resource_label(module, node, ctx_locals)
+            if label is None:
+                continue
+            parent = parents.get(id(node))
+            if isinstance(parent, ast.withitem):
+                continue  # with open(...) as f: — the sanctioned form
+            if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+                continue  # ownership transfers to the caller
+            if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+                target = parent.targets[0]
+                if isinstance(target, ast.Name):
+                    if self._local_released(func.node, target.id):
+                        continue
+                    yield self._finding(ctx, node, label, target.id)
+                    continue
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                ):
+                    if self._owner_releases(ctx, func, target.attr):
+                        continue
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{label} stored on self.{target.attr} has no "
+                        f"release path from the owner's close()/__exit__",
+                        suggestion="close it from the owning class's "
+                        "close() (or __exit__), directly or via a helper "
+                        "it calls",
+                    )
+                    continue
+            yield self._finding(ctx, node, label, None)
+
+    def _finding(
+        self, ctx: FileContext, node: ast.AST, label: str, name: Optional[str]
+    ) -> Finding:
+        where = f" bound to {name!r}" if name else ""
+        return ctx.finding(
+            self,
+            node,
+            f"{label} acquired here{where} is not reliably released "
+            f"(no with, no finally, no ownership transfer)",
+            suggestion="use `with`, or close it in a `finally:` block",
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _context_locals(module, func_node: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ProjectIndex._walk_body(func_node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                dotted = dotted_name(node.value.func)
+                if (
+                    dotted is not None
+                    and absolute_name(module, dotted)
+                    == "multiprocessing.get_context"
+                ):
+                    names.add(node.targets[0].id)
+        return names
+
+    @staticmethod
+    def _resource_label(
+        module, call: ast.Call, ctx_locals: Set[str]
+    ) -> Optional[str]:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ctx_locals
+            and func.attr == "Pool"
+        ):
+            return "pool"
+        dotted = dotted_name(func)
+        if dotted is not None:
+            label = _RESOURCE_CONSTRUCTORS.get(absolute_name(module, dotted))
+            if label is not None:
+                return label
+        if isinstance(func, ast.Attribute) and func.attr == "open":
+            return "file"  # path.open(...), Path(p).open(...)
+        return None
+
+    @staticmethod
+    def _parent_map(func_node: ast.AST) -> Dict[int, ast.AST]:
+        parents: Dict[int, ast.AST] = {}
+        for node in ProjectIndex._walk_body(func_node):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+        for child in ast.iter_child_nodes(func_node):
+            parents.setdefault(id(child), func_node)
+        return parents
+
+    # ------------------------------------------------------------------
+    def _local_released(self, func_node: ast.AST, name: str) -> bool:
+        """Whether local ``name`` is with-entered, finally-closed, or escapes."""
+        for node in ProjectIndex._walk_body(func_node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == name:
+                        return True
+                    # ``with contextlib.closing(x):`` and friends
+                    if isinstance(expr, ast.Call) and any(
+                        isinstance(arg, ast.Name) and arg.id == name
+                        for arg in expr.args
+                    ):
+                        return True
+            elif isinstance(node, ast.Try):
+                if self._block_closes(node.finalbody, name):
+                    return True
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if self._mentions(node.value, name):
+                    return True
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                if node.value is not None and self._mentions(
+                    node.value, name
+                ):
+                    return True
+            elif isinstance(node, ast.Assign):
+                # stored into an attribute/container/other name: escapes
+                if self._mentions(node.value, name) and not (
+                    isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and isinstance(node.value.func.value, ast.Name)
+                    and node.value.func.value.id == name
+                ):
+                    return True
+            elif isinstance(node, ast.Call):
+                # passed to another function (not a method of itself):
+                # ownership is transferred or shared — out of scope here.
+                if any(
+                    self._mentions(arg, name)
+                    for arg in list(node.args)
+                    + [kw.value for kw in node.keywords]
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _block_closes(stmts: List[ast.stmt], name: str) -> bool:
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _CLOSERS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _mentions(expr: ast.expr, name: str) -> bool:
+        return any(
+            isinstance(node, ast.Name) and node.id == name
+            for node in ast.walk(expr)
+        )
+
+    # ------------------------------------------------------------------
+    def _owner_releases(
+        self, ctx: FileContext, func: FunctionInfo, attr: str
+    ) -> bool:
+        """Whether ``self.<attr>`` is closed from the class's release path."""
+        if func.class_qualname is None:
+            return False
+        cls = ctx.project.classes.get(func.class_qualname)
+        if cls is None:
+            return False
+        receiver = (
+            func.params[0].name
+            if not func.is_static and func.params
+            else "self"
+        )
+        reachable = self._release_reachable_methods(cls)
+        for method_name in reachable:
+            method = cls.methods.get(method_name)
+            if method is None:
+                continue
+            for node in ProjectIndex._walk_body(method.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _CLOSERS
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr == attr
+                    and isinstance(node.func.value.value, ast.Name)
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _release_reachable_methods(cls: ClassInfo) -> Set[str]:
+        """Class methods reachable from the release entry points via self."""
+        reachable: Set[str] = {
+            name for name in cls.methods if name in _OWNER_RELEASE_METHODS
+        }
+        frontier = list(reachable)
+        while frontier:
+            current = cls.methods.get(frontier.pop())
+            if current is None:
+                continue
+            for node in ProjectIndex._walk_body(current.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.attr in cls.methods
+                    and node.func.attr not in reachable
+                ):
+                    reachable.add(node.func.attr)
+                    frontier.append(node.func.attr)
+        return reachable

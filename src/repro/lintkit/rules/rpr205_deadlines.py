@@ -1,0 +1,285 @@
+"""RPR205 — blocking-call deadlines: waits on shared state must be bounded.
+
+The serve tier promises backpressure and per-request deadlines, but both
+guarantees evaporate the moment any thread blocks forever: a worker stuck
+in an untimed ``Condition.wait()`` never re-checks ``_closed``, a
+``queue.get()`` without a timeout starves shutdown, and a socket
+``recv()`` with no deadline holds a connection slot for as long as the
+peer cares to stay silent. Bounding every blocking call is what lets the
+surrounding loop notice deadline expiry, shutdown flags, and dead peers.
+
+Flagged, on receivers whose type the concurrency analysis knows
+(``self.<attr>`` synchronization attributes, sync-constructor locals, and
+module globals like ``_WAKEUP = threading.Event()``):
+
+* ``Condition.wait()`` / ``Condition.wait_for(pred)`` without a timeout —
+  the canonical fix is ``wait(timeout=...)`` inside the existing
+  re-checking ``while`` loop, which is spurious-wakeup-safe by
+  construction;
+* ``Event.wait()`` without a timeout;
+* ``queue.Queue.get()`` / ``put(item)`` in blocking mode with no
+  timeout (``get_nowait``/``put_nowait`` and ``block=False`` are clean,
+  as is an explicit positional timeout);
+* socket ``accept``/``recv``/``recvfrom``/``recv_into``/``sendall`` on a
+  socket that is never given a ``settimeout(...)`` by its owner (the
+  whole class is searched for ``self.<sock>.settimeout``, the whole
+  function for a local socket).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from ..findings import Finding, Severity
+from ..semantic.symbols import FunctionInfo, ProjectIndex, module_name_for
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "BlockingDeadlineRule",
+]
+
+#: Socket methods that block until the peer acts.
+_SOCKET_BLOCKERS = frozenset(
+    {"accept", "recv", "recvfrom", "recv_into", "sendall", "connect"}
+)
+
+
+@register
+class BlockingDeadlineRule(Rule):
+    """Flag unbounded waits on conditions, events, queues, and sockets."""
+
+    rule_id = "RPR205"
+    name = "blocking-deadlines"
+    severity = Severity.WARNING
+    description = (
+        "condition/event waits, queue get/put, and socket operations "
+        "must carry a timeout so shutdown and deadlines cannot be starved"
+    )
+    rationale = (
+        "Deadline and backpressure guarantees hold only while every "
+        "thread re-checks them; one untimed wait() is a thread that "
+        "sleeps through shutdown and deadline expiry alike. A bounded "
+        "wait inside the usual re-checking while loop costs one wakeup "
+        "per interval and is already spurious-wakeup-safe."
+    )
+    example_bad = (
+        "def _take(self):\n"
+        "    with self._not_empty:\n"
+        "        while not self._queue and not self._closed:\n"
+        "            self._not_empty.wait()  # sleeps through close()\n"
+    )
+    example_good = (
+        "def _take(self):\n"
+        "    with self._not_empty:\n"
+        "        while not self._queue and not self._closed:\n"
+        "            self._not_empty.wait(timeout=_WAKE_INTERVAL_S)\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        module = ctx.project.modules.get(module_name)
+        if module is None:
+            return
+        conc = ctx.project.concurrency()
+        for func in sorted(
+            ctx.project.functions.values(), key=lambda f: f.qualname
+        ):
+            if func.module != module_name:
+                continue
+            yield from self._check_function(ctx, module, func, conc)
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self, ctx: FileContext, module, func: FunctionInfo, conc
+    ) -> Iterator[Finding]:
+        locals_sync = conc.local_bindings(module, func.node)
+        globals_sync = conc.module_sync.get(module.name, {})
+        cc = (
+            conc.classes.get(func.class_qualname)
+            if func.class_qualname
+            else None
+        )
+        receiver = (
+            func.params[0].name
+            if func.is_method and not func.is_static and func.params
+            else None
+        )
+
+        def kind_of(expr: ast.expr) -> Optional[str]:
+            if isinstance(expr, ast.Name):
+                return locals_sync.get(expr.id) or globals_sync.get(expr.id)
+            if (
+                cc is not None
+                and receiver is not None
+                and isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == receiver
+            ):
+                attr = expr.attr
+                if attr in cc.conditions:
+                    return "condition"
+                if attr in cc.events:
+                    return "event"
+                if attr in cc.queues:
+                    return "queue"
+                if attr in cc.sockets:
+                    return "socket"
+            return None
+
+        for node in ProjectIndex._walk_body(func.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            kind = kind_of(node.func.value)
+            if kind is None:
+                continue
+            method = node.func.attr
+            if kind in ("condition", "event") and method in (
+                "wait",
+                "wait_for",
+            ):
+                if kind == "event" and method == "wait_for":
+                    continue
+                if not self._wait_has_timeout(node, method):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"untimed {kind} {method}() blocks forever; "
+                        f"shutdown and deadline checks never run",
+                        suggestion="pass timeout=... and re-check the "
+                        "condition in the surrounding while loop",
+                    )
+            elif kind == "queue" and method in ("get", "put"):
+                if not self._queue_op_bounded(node, method):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"blocking queue {method}() without a timeout can "
+                        f"starve shutdown and backpressure deadlines",
+                        suggestion="pass timeout=... (handling Empty/Full) "
+                        f"or use {method}_nowait()",
+                    )
+            elif kind == "socket" and method in _SOCKET_BLOCKERS:
+                if not self._socket_has_deadline(
+                    ctx, func, node.func.value, locals_sync
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"socket {method}() on a socket with no "
+                        f"settimeout(); a silent peer holds this thread "
+                        f"forever",
+                        suggestion="call settimeout(...) on the socket "
+                        "before blocking on it",
+                    )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wait_has_timeout(call: ast.Call, method: str) -> bool:
+        """Whether ``wait``/``wait_for`` carries a timeout argument.
+
+        ``wait(timeout)`` takes it as the first positional argument,
+        ``wait_for(predicate, timeout)`` as the second; an explicit
+        ``timeout=None`` keyword is still unbounded and stays flagged.
+        """
+        positional_slot = 0 if method == "wait" else 1
+        if len(call.args) > positional_slot:
+            return True
+        for keyword in call.keywords:
+            if keyword.arg == "timeout":
+                return not (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is None
+                )
+        return False
+
+    @staticmethod
+    def _queue_op_bounded(call: ast.Call, method: str) -> bool:
+        """Whether a queue ``get``/``put`` cannot block forever.
+
+        Clean when a timeout is given (keyword or positional:
+        ``get(block, timeout)`` / ``put(item, block, timeout)``) or when
+        ``block=False`` makes the call non-blocking.
+        """
+        timeout_slot = 1 if method == "get" else 2
+        if len(call.args) > timeout_slot:
+            return True
+        for keyword in call.keywords:
+            if keyword.arg == "timeout" and not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            ):
+                return True
+            if keyword.arg == "block" and (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            ):
+                return True
+        block_slot = 0 if method == "get" else 1
+        if len(call.args) > block_slot:
+            block = call.args[block_slot]
+            if isinstance(block, ast.Constant) and block.value is False:
+                return True
+        return False
+
+    def _socket_has_deadline(
+        self,
+        ctx: FileContext,
+        func: FunctionInfo,
+        receiver_expr: ast.expr,
+        locals_sync: Dict[str, str],
+    ) -> bool:
+        """Whether the blocked-on socket is ever given a ``settimeout``.
+
+        A local socket is searched for within the function; a
+        ``self.<attr>`` socket anywhere in its owning class, since the
+        deadline is usually set once at connect time.
+        """
+        if isinstance(receiver_expr, ast.Name):
+            return self._calls_settimeout(func.node, receiver_expr.id, None)
+        if isinstance(receiver_expr, ast.Attribute) and isinstance(
+            receiver_expr.value, ast.Name
+        ):
+            cls = (
+                ctx.project.classes.get(func.class_qualname)
+                if func.class_qualname
+                else None
+            )
+            if cls is None:
+                return False
+            return any(
+                self._calls_settimeout(
+                    method.node, receiver_expr.value.id, receiver_expr.attr
+                )
+                for method in cls.methods.values()
+            )
+        return False
+
+    @staticmethod
+    def _calls_settimeout(
+        func_node: ast.AST, base: str, attr: Optional[str]
+    ) -> bool:
+        for node in ProjectIndex._walk_body(func_node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "settimeout"
+            ):
+                continue
+            target = node.func.value
+            if attr is None:
+                if isinstance(target, ast.Name) and target.id == base:
+                    return True
+            elif (
+                isinstance(target, ast.Attribute)
+                and target.attr == attr
+                and isinstance(target.value, ast.Name)
+                and target.value.id == base
+            ):
+                return True
+        return False

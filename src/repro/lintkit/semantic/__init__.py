@@ -17,13 +17,17 @@ lazily and cached on the index:
   transitively draw randomness, and whether they thread an ``rng``/seed
   (RPR102);
 * :mod:`~repro.lintkit.semantic.arrays` — local inference of which names are
-  numpy arrays, for the scalar-loop performance lint (RPR103).
+  numpy arrays, for the scalar-loop performance lint (RPR103);
+* :mod:`~repro.lintkit.semantic.concurrency` — per-class lock summaries:
+  which attributes are locks, which attributes those locks guard, and the
+  lock scope of every access and call site (RPR201–RPR205).
 
 Everything here is stdlib-only (``ast``), like the rest of ``lintkit``.
 """
 
 from __future__ import annotations
 
+from .concurrency import ConcurrencyIndex
 from .symbols import FunctionInfo, ModuleInfo, ProjectIndex
 from .units import (
     ALLOWED_MIXES,
@@ -37,6 +41,7 @@ __all__ = [
     "ProjectIndex",
     "ModuleInfo",
     "FunctionInfo",
+    "ConcurrencyIndex",
     "UNIT_DIMENSIONS",
     "ALLOWED_MIXES",
     "unit_suffix",

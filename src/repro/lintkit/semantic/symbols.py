@@ -568,3 +568,11 @@ class ProjectIndex:
 
             self._cache["rng_taint"] = RngTaint(self)
         return self._cache["rng_taint"]
+
+    def concurrency(self):  # noqa: ANN201
+        """Per-class lock summaries (:class:`~.concurrency.ConcurrencyIndex`), cached."""
+        if "concurrency" not in self._cache:
+            from .concurrency import ConcurrencyIndex
+
+            self._cache["concurrency"] = ConcurrencyIndex.build(self)
+        return self._cache["concurrency"]

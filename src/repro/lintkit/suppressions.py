@@ -10,15 +10,23 @@ Two comment forms are recognized anywhere a comment may appear:
 
 Suppressions are parsed from the token stream, so they work on lines that
 hold only a comment as well as trailing comments.
+
+One scope extension exists for the concurrency tier: a ``disable``
+directive whose line opens a ``with`` statement suppresses the named rules
+across the *whole* guarded block, not just the header line. RPR201/RPR202
+findings are anchored at the access inside the block, but the reviewed
+decision ("this lock-free read is intentional") belongs on the ``with``
+line — so that is where the directive goes.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .findings import Finding
 
@@ -42,11 +50,22 @@ class Suppressions:
 
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     file_wide: Set[str] = field(default_factory=set)
+    #: ``(first_line, last_line, rules)`` spans from directives sitting on
+    #: a ``with``-statement header; findings anchored anywhere inside the
+    #: block (header included) are silenced for those rules.
+    block_ranges: List[Tuple[int, int, FrozenSet[str]]] = field(
+        default_factory=list
+    )
 
     def is_suppressed(self, finding: Finding) -> bool:
-        """Whether ``finding`` is silenced by a line or file directive."""
+        """Whether ``finding`` is silenced by a line, block, or file directive."""
         for scope in (self.file_wide, self.by_line.get(finding.line, ())):
             if ALL_RULES in scope or finding.rule_id in scope:
+                return True
+        for start, end, rules in self.block_ranges:
+            if start <= finding.line <= end and (
+                ALL_RULES in rules or finding.rule_id in rules
+            ):
                 return True
         return False
 
@@ -58,8 +77,17 @@ def _parse_rule_list(raw: "str | None") -> FrozenSet[str]:
     return rules or frozenset({ALL_RULES})
 
 
-def parse_suppressions(source: str) -> Suppressions:
-    """Extract all ``# reprolint:`` directives from ``source``."""
+def parse_suppressions(
+    source: str, tree: Optional[ast.Module] = None
+) -> Suppressions:
+    """Extract all ``# reprolint:`` directives from ``source``.
+
+    When the file's parsed ``tree`` is supplied, a ``disable`` directive on
+    a ``with``-statement header line is widened to the statement's whole
+    line span, so findings attributed anywhere inside the guarded block
+    are suppressed too (the concurrency rules anchor findings at accesses
+    deep inside lock scopes).
+    """
     suppressions = Suppressions()
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
@@ -76,4 +104,15 @@ def parse_suppressions(source: str) -> Suppressions:
             suppressions.file_wide.update(rules)
         else:
             suppressions.by_line.setdefault(token.start[0], set()).update(rules)
+    if tree is not None and suppressions.by_line:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            rules = suppressions.by_line.get(node.lineno)
+            if not rules:
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            suppressions.block_ranges.append(
+                (node.lineno, end, frozenset(rules))
+            )
     return suppressions

@@ -24,6 +24,10 @@ __all__ = [
 
 _V = TypeVar("_V")
 
+#: Internal miss sentinel, so ``get`` does one dict lookup per call and
+#: cached values of ``None`` would still be distinguishable from misses.
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -50,6 +54,7 @@ class CacheStats:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "lookups": self.lookups,
             "evictions": self.evictions,
             "size": self.size,
             "capacity": self.capacity,
@@ -82,12 +87,19 @@ class LruCache:
             return len(self._entries)
 
     def get(self, key: Hashable) -> Optional[object]:
-        """The cached value, marking it most-recently-used; None on miss."""
+        """The cached value, marking it most-recently-used; None on miss.
+
+        The lookup, the recency update, and the counter bump happen in one
+        critical section, so ``hits + misses == lookups`` holds exactly at
+        every instant a reader can observe (:meth:`stats` snapshots under
+        the same lock).
+        """
         with self._lock:
-            if key in self._entries:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                return self._entries[key]
+                return value
             self._misses += 1
             return None
 

@@ -225,6 +225,8 @@ class Oracle:
                 return 0
         table = self._build_table(link)
         with self._lock:
+            if key in self._precomputed:
+                return 0  # lost the build race; keep the installed table
             self._precomputed[key] = table
         return 1
 

@@ -49,6 +49,12 @@ __all__ = [
 
 _Request = Union[RecommendRequest, EvaluateRequest, FleetRecommendRequest]
 
+#: Upper bound on one idle wait in the worker loop. Purely a liveness
+#: backstop: ``close()`` notifies the condition, so shutdown is normally
+#: immediate — but an unbounded wait would sleep through a missed wakeup
+#: forever, and the re-checking while loop makes periodic wakeups free.
+_WORKER_WAKE_INTERVAL_S = 1.0
+
 
 class _Pending:
     """One in-flight request: deadline, completion event, single outcome."""
@@ -100,9 +106,12 @@ class _Pending:
 
     def outcome(self) -> object:
         """The resolved value, or raise the rejection error."""
-        if self._error is not None:
-            raise self._error
-        return self._value
+        with self._lock:
+            error = self._error
+            value = self._value
+        if error is not None:
+            raise error
+        return value
 
 
 class OracleService:
@@ -286,7 +295,7 @@ class OracleService:
         """
         with self._not_empty:
             while not self._queue and not self._closed:
-                self._not_empty.wait()
+                self._not_empty.wait(timeout=_WORKER_WAKE_INTERVAL_S)
             if not self._queue:
                 return None
             head = self._queue.popleft()

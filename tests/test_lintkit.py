@@ -56,6 +56,7 @@ class TestRuleRegistry:
         assert ids == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
             "RPR101", "RPR102", "RPR103", "RPR104",
+            "RPR201", "RPR202", "RPR203", "RPR204", "RPR205",
         ]
 
     def test_unknown_select_rejected(self):
@@ -528,8 +529,27 @@ class TestCli:
         for rule_id in (
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
             "RPR101", "RPR102", "RPR103", "RPR104",
+            "RPR201", "RPR202", "RPR203", "RPR204", "RPR205",
         ):
             assert rule_id in out
+
+    def test_explain_prints_rationale_and_examples(self, capsys):
+        assert cli_main(["lint", "--explain", "RPR202"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR202" in out
+        assert "why it matters:" in out
+        assert "bad:" in out
+        assert "good:" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert cli_main(["lint", "--explain", "rpr201"]) == 0
+        assert "RPR201" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert cli_main(["lint", "--explain", "RPR999"]) == 2
+        err = capsys.readouterr().err
+        assert "RPR999" in err
+        assert "RPR201" in err  # known ids are listed
 
     def test_update_baseline_reports_delta(self, tmp_path, capsys):
         path = tmp_path / "bad.py"
