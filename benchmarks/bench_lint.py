@@ -1,0 +1,114 @@
+"""Benchmark: reprolint wall time, serial vs ``--jobs N`` process pool.
+
+The lint gate runs on every CI push, so its latency is part of the
+development loop the same way the kernels' latency is part of the serve
+loop. This bench times a full lint of ``src/repro`` (all tiers, RPR0xx
+through RPR3xx) twice — serial, and fanned out over a process pool with
+the shared :class:`ProjectIndex` built once in the parent — asserts the
+two runs return *identical* findings, and records both wall times (plus
+the host's CPU count, without which the ratio is meaningless: on a
+single-core CI runner the pool is pure overhead by construction) to
+``BENCH_lint.json``.
+
+Env knobs: ``BENCH_LINT_QUICK=1`` lints only ``src/repro/lintkit`` for a
+fast smoke; ``BENCH_LINT_JOBS`` overrides the worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit import Linter
+
+__all__ = [
+    "test_lint_serial_vs_parallel",
+]
+
+QUICK = os.environ.get("BENCH_LINT_QUICK") == "1"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+LINT_TARGET = (
+    REPO_ROOT / "src" / "repro" / "lintkit"
+    if QUICK
+    else REPO_ROOT / "src" / "repro"
+)
+JOBS = int(os.environ.get("BENCH_LINT_JOBS", "0")) or min(
+    4, os.cpu_count() or 1
+)
+RESULT_PATH = REPO_ROOT / "BENCH_lint.json"
+ROUNDS = 1 if QUICK else 2
+
+
+def _time_lint(jobs: int):
+    best = float("inf")
+    findings = None
+    for _ in range(ROUNDS):
+        linter = Linter()
+        started = time.perf_counter()
+        findings = linter.lint_paths([LINT_TARGET], jobs=jobs)
+        best = min(best, time.perf_counter() - started)
+    return best, findings
+
+
+def test_lint_serial_vs_parallel(benchmark, report):
+    """Serial and pooled lint agree finding-for-finding; record both times."""
+    serial_s, serial_findings = _time_lint(jobs=1)
+    parallel_jobs = max(JOBS, 2)  # always exercise the pool machinery
+    parallel_s, parallel_findings = _time_lint(jobs=parallel_jobs)
+
+    # The pool must be a pure execution strategy: same findings, same order.
+    assert parallel_findings == serial_findings
+
+    benchmark.pedantic(
+        lambda: Linter().lint_paths([LINT_TARGET], jobs=1),
+        rounds=1,
+        iterations=1,
+    )
+
+    cpu_count = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("nan")
+    result = {
+        "target": str(LINT_TARGET.relative_to(REPO_ROOT)),
+        "quick": QUICK,
+        "cpu_count": cpu_count,
+        "findings": len(serial_findings),
+        "serial_s": serial_s,
+        "parallel_jobs": parallel_jobs,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    report.header("reprolint wall time: serial vs process pool")
+    report.emit(
+        f"target       : {result['target']}",
+        f"cpu count    : {cpu_count}",
+        f"findings     : {len(serial_findings)}",
+        f"serial       : {serial_s * 1e3:8.0f} ms",
+        f"--jobs {parallel_jobs}     : {parallel_s * 1e3:8.0f} ms",
+        f"speedup      : {speedup:8.2f}x",
+        f"results      : {RESULT_PATH.name}",
+    )
+    report.shape_check(
+        "pooled lint reproduces the serial findings exactly",
+        parallel_findings == serial_findings,
+    )
+    if cpu_count == 1:
+        report.emit(
+            "note: single-CPU host — the pool cannot beat serial here; "
+            "wall times recorded for trend tracking only"
+        )
+    else:
+        # With real cores available the pool must at least not be a
+        # regression beyond pool-management noise.
+        assert parallel_s < serial_s * 1.5
+
+
+if __name__ == "__main__":
+    pytest.main(
+        [__file__, "--benchmark-only", "-q"]
+    )

@@ -373,6 +373,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         filter_findings,
         load_baseline,
         render_json,
+        render_sarif,
         render_text,
         save_baseline,
     )
@@ -398,7 +399,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
     try:
         linter = Linter(select=select)
-        findings = linter.lint_paths([Path(p) for p in args.paths])
+        findings = linter.lint_paths(
+            [Path(p) for p in args.paths], jobs=args.jobs
+        )
         if args.write_baseline or args.update_baseline:
             baseline_path = Path(args.baseline)
             old = (
@@ -426,6 +429,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         print(render_json(findings, statistics=args.statistics))
+    elif args.format == "sarif":
+        print(render_sarif(findings, rules=[type(r) for r in linter.rules]))
     else:
         print(render_text(findings, statistics=args.statistics))
         if grandfathered:
@@ -663,9 +668,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="reprolint static analysis (RPR rules)")
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text")
     p.add_argument("--select", action="append", metavar="RPR00x[,RPR00y]",
                    help="run only these rule ids (repeatable)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan the rule phase out over N worker processes "
+                        "(default: 1, serial)")
     p.add_argument("--baseline", default="reprolint-baseline.json",
                    help="baseline file of grandfathered findings")
     p.add_argument("--write-baseline", action="store_true",

@@ -12,6 +12,7 @@ they are stepped. A drift step advances shared wall-clock time by
 ``repro.channel.link``).
 """
 
+# reprolint: hot-path — per-tick SNR evolution timed by BENCH_fleet.json
 from __future__ import annotations
 
 import numpy as np
@@ -85,9 +86,10 @@ class FleetDrift:
             )
         self._now_s += self.step_interval_s
         now_s = self._now_s
-        attenuation_db = np.array(
-            [process.attenuation_db(now_s) for process in self._processes],
+        attenuation_db = np.fromiter(
+            (process.attenuation_db(now_s) for process in self._processes),
             dtype=float,
+            count=len(self._processes),
         )
         state.snr_db = state.base_snr_db - attenuation_db
         return state.snr_db

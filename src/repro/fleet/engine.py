@@ -27,6 +27,7 @@ the exact :class:`~repro.errors.InfeasibleError` the per-link solver
 would have raised for the first such link.
 """
 
+# reprolint: hot-path — per-tick fleet solve timed by BENCH_fleet.json
 from __future__ import annotations
 
 from dataclasses import dataclass

@@ -6,7 +6,10 @@ file at a time; the RPR1xx tier is *semantic* — a phase-1 project index
 (symbol table, imports, call graph) lets its rules follow units and
 randomness across function and module boundaries; the RPR2xx tier checks
 *concurrency and resource safety* — per-class lock summaries inferred
-from ``with self._lock:`` bodies, composed with the call graph:
+from ``with self._lock:`` bodies, composed with the call graph; the
+RPR3xx tier checks *array contracts* — symbolic shape/dtype/writability
+inference over numpy code, composed with a hot-path function set seeded
+from ``# reprolint: hot-path`` markers and the benchmark call graph:
 
 ========  =====================================================
 RPR001    unit-suffix discipline (``_ms`` vs ``_s`` arithmetic)
@@ -23,6 +26,11 @@ RPR202    atomicity: split check-then-act, unlocked read-modify-write
 RPR203    fork safety: no locks/files/sockets into multiprocessing workers
 RPR204    resource lifecycle: files/sockets/pools released on every path
 RPR205    blocking-call deadlines: untimed wait/get/put/recv
+RPR301    hot-loop allocation: loop-invariant array allocs on hot paths
+RPR302    dtype drift: float32/float64 mixing, int accumulators, object
+RPR303    broadcast contract: provably incompatible symbolic shapes
+RPR304    read-only-plane mutation: writes into frozen arrays (+ escapes)
+RPR305    redundant materialization: flatten vs ravel, asarray-on-array
 ========  =====================================================
 
 Run it as ``wsnlink lint [--format json] [--select RPRxxx] paths...`` or
@@ -39,7 +47,7 @@ from __future__ import annotations
 from .baseline import filter_findings, load_baseline, save_baseline
 from .engine import PARSE_ERROR_RULE_ID, Linter, iter_python_files, lint_paths
 from .findings import Finding, Severity
-from .report import per_rule_counts, render_json, render_text
+from .report import per_rule_counts, render_json, render_sarif, render_text
 from .rules import FileContext, Rule, all_rules, register
 from .semantic import ProjectIndex
 
@@ -57,6 +65,7 @@ __all__ = [
     "iter_python_files",
     "render_text",
     "render_json",
+    "render_sarif",
     "per_rule_counts",
     "load_baseline",
     "save_baseline",

@@ -1,21 +1,31 @@
-"""Text and JSON reporters for reprolint findings."""
+"""Text, JSON, and SARIF reporters for reprolint findings."""
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Type
 
 from .findings import Finding, Severity
 
 __all__ = [
     "REPORT_VERSION",
+    "SARIF_VERSION",
     "per_rule_counts",
     "render_text",
     "render_json",
+    "render_sarif",
 ]
 
 #: Schema version of the JSON report envelope.
 REPORT_VERSION = 1
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def _summary(findings: Sequence[Finding]) -> Dict[str, int]:
@@ -81,4 +91,90 @@ def render_json(findings: Sequence[Finding], statistics: bool = False) -> str:
     }
     if statistics:
         document["statistics"] = per_rule_counts(findings)
+    return json.dumps(document, indent=2)
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _sarif_rule_metadata(rule_cls: Type) -> Dict[str, object]:
+    """One ``reportingDescriptor`` from a rule class's explain card."""
+    help_lines = [rule_cls.rationale]
+    if rule_cls.example_bad:
+        help_lines.append("Bad:\n" + rule_cls.example_bad.rstrip())
+    if rule_cls.example_good:
+        help_lines.append("Good:\n" + rule_cls.example_good.rstrip())
+    return {
+        "id": rule_cls.rule_id,
+        "name": rule_cls.name,
+        "shortDescription": {"text": rule_cls.description},
+        "fullDescription": {"text": rule_cls.rationale},
+        "help": {"text": "\n\n".join(line for line in help_lines if line)},
+        "defaultConfiguration": {
+            "level": _sarif_level(rule_cls.severity),
+        },
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rules: Optional[Sequence[Type]] = None,
+) -> str:
+    """SARIF 2.1.0 log for CI code-scanning upload.
+
+    One run from the ``reprolint`` driver; ``rules`` (rule *classes*, e.g.
+    from :func:`repro.lintkit.all_rules`) populate the driver's rule
+    metadata from the same rationale/example cards ``--explain`` prints,
+    so code-scanning annotations carry the full explanation. Rules that
+    produced findings but are missing from ``rules`` still resolve via
+    their bare id.
+    """
+    rule_classes = list(rules) if rules is not None else []
+    rule_index = {rule_cls.rule_id: i for i, rule_cls in enumerate(rule_classes)}
+    results = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": _sarif_level(finding.severity),
+            "message": {
+                "text": finding.message
+                + (f" [{finding.suggestion}]" if finding.suggestion else "")
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+    document = {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": str(REPORT_VERSION),
+                        "rules": [
+                            _sarif_rule_metadata(rule_cls)
+                            for rule_cls in rule_classes
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
     return json.dumps(document, indent=2)

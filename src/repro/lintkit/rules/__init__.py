@@ -1,5 +1,5 @@
 """Rule registry: importing this package registers RPR001–RPR005,
-RPR101–RPR104, and RPR201–RPR205.
+RPR101–RPR104, RPR201–RPR205, and RPR301–RPR305.
 
 Each rule lives in its own module named after its id; new rules register
 themselves via the :func:`repro.lintkit.rules.base.register` decorator and
@@ -9,7 +9,11 @@ project index (:mod:`repro.lintkit.semantic`) instead of a single file.
 The RPR2xx block is the *concurrency* tier: it additionally consults the
 per-class lock summaries (:mod:`repro.lintkit.semantic.concurrency`) to
 check lock discipline, atomicity, fork safety, resource lifecycles, and
-blocking-call deadlines.
+blocking-call deadlines. The RPR3xx block is the *array-contract* tier:
+it consults the symbolic shape/dtype/writability pass
+(:mod:`repro.lintkit.semantic.shapes`) to check hot-loop allocation,
+dtype drift, broadcast-shape contracts, read-only-plane mutation, and
+redundant materialization.
 """
 
 from __future__ import annotations
@@ -30,6 +34,11 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     rpr203_fork_safety,
     rpr204_resource_lifecycle,
     rpr205_deadlines,
+    rpr301_hot_alloc,
+    rpr302_dtype_drift,
+    rpr303_broadcast_contract,
+    rpr304_readonly_mutation,
+    rpr305_materialization,
 )
 
 __all__ = [

@@ -1,0 +1,159 @@
+"""RPR302 — silent dtype drift in array arithmetic.
+
+The entire pipeline is float64 by contract (``GridEvaluation`` validates
+its planes, checkpoints round-trip bit-identically). Dtype drift breaks
+that silently: mixing a float32 array into a float64 expression promotes
+and copies on every op; accumulating floats into an int array truncates
+(or, via ``+=``, raises under numpy 2 casting rules); building arrays
+from ragged sequences or ``dtype=object`` turns vectorized kernels into
+per-element Python dispatch. All three are invisible at runtime until a
+checkpoint or benchmark diverges — exactly what a static pass can pin.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..semantic.arrays import numpy_call_tail
+from ..semantic.shapes import literal_is_ragged
+from ..semantic.symbols import dotted_name, module_name_for
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "DtypeDriftRule",
+]
+
+_INT_DTYPES = frozenset({"int64", "bool"})
+
+#: numpy constructors whose ``dtype=object`` result kills vectorization.
+_CONSTRUCTOR_TAILS = frozenset(
+    {"array", "asarray", "zeros", "ones", "empty", "full"}
+)
+
+
+@register
+class DtypeDriftRule(Rule):
+    """Flag float32/float64 mixing, int-accumulator upcasts, object dtype."""
+
+    rule_id = "RPR302"
+    name = "dtype-drift"
+    severity = Severity.ERROR
+    description = (
+        "array expressions must not silently mix float32/float64, "
+        "accumulate floats into integer arrays, or create object-dtype "
+        "arrays (ragged sequences, dtype=object)"
+    )
+    rationale = (
+        "A float32 operand in a float64 expression promotes and copies on "
+        "every op; a float value accumulated into an int64 array truncates "
+        "or raises under numpy 2 casting; an object-dtype array executes "
+        "per element in the interpreter. Each breaks the float64 plane "
+        "contract the checkpoints and 1e-9 equivalence benches pin."
+    )
+    example_bad = (
+        "weights = np.zeros(n, dtype=np.float32)\n"
+        "score = weights * energy_uj  # float64 plane: promote + copy\n"
+    )
+    example_good = (
+        "weights = np.zeros(n)  # float64, matching the planes\n"
+        "score = weights * energy_uj\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        if ctx.project.modules.get(module_name) is None:
+            return
+        shapes = ctx.project.shapes()
+        seen = set()
+        for func in sorted(
+            ctx.project.functions.values(), key=lambda f: f.qualname
+        ):
+            if func.module != module_name:
+                continue
+            env = shapes.env(func)
+            local_types = ctx.project.local_class_types(func)
+            for node in ast.walk(func.node):
+                for finding in self._check_node(
+                    ctx, node, shapes, env, func, local_types
+                ):
+                    key = (finding.line, finding.col, finding.message)
+                    if key not in seen:
+                        seen.add(key)
+                        yield finding
+
+    def _check_node(
+        self, ctx: FileContext, node: ast.AST, shapes, env, func, local_types
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.BinOp):
+            left = shapes.infer(node.left, env, func, local_types)
+            right = shapes.infer(node.right, env, func, local_types)
+            if (
+                left is not None
+                and right is not None
+                and {left.dtype, right.dtype} == {"float32", "float64"}
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "binary op mixes float32 and float64 arrays "
+                    "(silent promotion copies the float32 operand)",
+                    suggestion="cast once at the boundary with "
+                    ".astype(np.float64) (or keep the whole pipeline "
+                    "float32) instead of promoting per-op",
+                )
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)
+        ):
+            target_name = dotted_name(node.target)
+            target_info = env.get(target_name) if target_name else None
+            if target_info is not None and target_info.dtype in _INT_DTYPES:
+                value = shapes.infer(node.value, env, func, local_types)
+                value_is_float = (
+                    value is not None and value.dtype in ("float64", "float32")
+                ) or (
+                    isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, float)
+                ) or isinstance(node.op, ast.Div)
+                if value_is_float:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"float value accumulated into {target_info.dtype} "
+                        f"array {target_name!r}",
+                        suggestion="allocate the accumulator as float64, or "
+                        "round/cast the value explicitly before accumulating",
+                    )
+        elif isinstance(node, ast.Call):
+            tail = numpy_call_tail(node)
+            if tail in _CONSTRUCTOR_TAILS:
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "dtype"
+                        and dotted_name(keyword.value)
+                        in ("object", "np.object_", "numpy.object_")
+                    ):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"np.{tail}(..., dtype=object) creates an "
+                            f"object-dtype array",
+                            suggestion="keep parallel numeric arrays (or a "
+                            "list) instead of an object-dtype array",
+                        )
+                if (
+                    tail in ("array", "asarray")
+                    and node.args
+                    and literal_is_ragged(node.args[0])
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"np.{tail} over a ragged nested sequence yields an "
+                        f"object-dtype array",
+                        suggestion="pad rows to a common length or keep a "
+                        "flat array plus offsets",
+                    )

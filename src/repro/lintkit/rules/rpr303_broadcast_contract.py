@@ -1,0 +1,118 @@
+"""RPR303 — symbolic broadcast-shape conflicts at binary ops.
+
+The tuning grid is a struct of 1-D columns over *different* axes:
+``(n_payload,)`` payload sizes, ``(n_power,)`` power levels, ``(n_cfg,)``
+flattened configs. Combining two columns from different axes without an
+explicit ``reshape``/``[:, None]`` either crashes at runtime (unequal
+lengths) or — worse — silently broadcasts when the lengths happen to
+match in a test fixture and then explodes on the real grid. The shapes
+pass tracks sizes symbolically (``np.zeros(n_payload)`` has shape
+``("n_payload",)``), so two arrays seeded from *different* size symbols
+(or unequal concrete literals) are flagged at the op that mixes them,
+while an operand spelled ``col[:, None]`` / ``col.reshape(-1, 1)``
+declares the alignment intentional and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..semantic.arrays import NUMPY_ELEMENTWISE_UFUNCS, numpy_call_tail
+from ..semantic.shapes import broadcast_dims, has_explicit_expansion
+from ..semantic.symbols import module_name_for
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "BroadcastContractRule",
+]
+
+
+@register
+class BroadcastContractRule(Rule):
+    """Flag binary ops whose symbolic operand shapes cannot broadcast."""
+
+    rule_id = "RPR303"
+    name = "broadcast-contract"
+    severity = Severity.ERROR
+    description = (
+        "arrays with provably different symbolic shapes must not meet at "
+        "a binary op without an explicit reshape/newaxis"
+    )
+    rationale = (
+        "Grid columns live on different axes; adding a (n_payload,) "
+        "column to a (n_power,) column either raises at runtime or "
+        "broadcasts by accident when fixture lengths coincide. The "
+        "symbolic shape pass proves the mismatch statically, where the "
+        "fix (an explicit [:, None] or reshape stating the intended "
+        "plane) is cheap."
+    )
+    example_bad = (
+        "payload_b = np.zeros(n_payload)\n"
+        "ptx_dbm = np.zeros(n_power)\n"
+        "plane = payload_b * ptx_dbm  # (n_payload,) x (n_power,)\n"
+    )
+    example_good = (
+        "plane = payload_b[:, None] * ptx_dbm[None, :]\n"
+        "# or: payload_col, ptx_col = np.broadcast_arrays(...)\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        if ctx.project.modules.get(module_name) is None:
+            return
+        shapes = ctx.project.shapes()
+        seen = set()
+        for func in sorted(
+            ctx.project.functions.values(), key=lambda f: f.qualname
+        ):
+            if func.module != module_name:
+                continue
+            env = shapes.env(func)
+            local_types = ctx.project.local_class_types(func)
+            for node in ast.walk(func.node):
+                pairs = []
+                if isinstance(node, ast.BinOp):
+                    pairs = [(node.left, node.right)]
+                elif (
+                    isinstance(node, ast.Call)
+                    and numpy_call_tail(node) in NUMPY_ELEMENTWISE_UFUNCS
+                    and len(node.args) >= 2
+                ):
+                    pairs = [(node.args[0], node.args[1])]
+                for left_expr, right_expr in pairs:
+                    conflict = self._conflict(
+                        shapes, env, func, local_types, left_expr, right_expr
+                    )
+                    if conflict is None:
+                        continue
+                    finding = ctx.finding(
+                        self,
+                        node,
+                        f"operands have incompatible symbolic shapes "
+                        f"({conflict[0]}) vs ({conflict[1]})",
+                        suggestion="align the axes explicitly with "
+                        "[:, None] / reshape, or broadcast once with "
+                        "np.broadcast_arrays",
+                    )
+                    key = (finding.line, finding.col, finding.message)
+                    if key not in seen:
+                        seen.add(key)
+                        yield finding
+
+    @staticmethod
+    def _conflict(shapes, env, func, local_types, left_expr, right_expr):
+        """The conflicting dim pair for this op, or ``None`` if clean."""
+        if has_explicit_expansion(left_expr) or has_explicit_expansion(
+            right_expr
+        ):
+            return None
+        left = shapes.infer(left_expr, env, func, local_types)
+        right = shapes.infer(right_expr, env, func, local_types)
+        if left is None or right is None:
+            return None
+        _dims, conflict = broadcast_dims(left.dims, right.dims)
+        return conflict

@@ -1,0 +1,188 @@
+"""RPR304 — writes into read-only array planes.
+
+``GridEvaluation`` freezes its columns (``flags.writeable = False``) and
+``FleetTopology`` freezes its position matrix precisely so shared planes
+can be handed to the serve workers and the fleet engine without copies.
+A store into one of those buffers raises ``ValueError`` at runtime — but
+only on the code path that actually executes the write. The shapes pass
+tracks writability (*fresh* / *view* / *readonly*), so the write is
+caught statically instead, including:
+
+* direct stores and ``+=`` through a frozen plane or a view of one
+  (slices and basic indexing keep the read-only tag);
+* numpy mutators (``np.copyto``, ``np.put``, ``np.place``,
+  ``np.add.at``-style ``.at`` calls) whose destination is frozen;
+* escapes: passing a frozen array to a project helper whose body writes
+  through that parameter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..findings import Finding, Severity
+from ..semantic.arrays import numpy_call_tail
+from ..semantic.symbols import dotted_name, module_name_for
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "ReadonlyMutationRule",
+]
+
+#: numpy callables that mutate their first argument in place.
+_MUTATOR_TAILS = frozenset({"copyto", "put", "place", "putmask", "at"})
+
+
+@register
+class ReadonlyMutationRule(Rule):
+    """Flag stores into arrays that flow from frozen producers."""
+
+    rule_id = "RPR304"
+    name = "readonly-plane-mutation"
+    severity = Severity.ERROR
+    description = (
+        "arrays flowing from frozen producers (GridEvaluation planes, "
+        "setflags(write=False) buffers) must not be written, in place or "
+        "through helper calls"
+    )
+    rationale = (
+        "Frozen planes are shared zero-copy across the oracle cache, the "
+        "serve workers, and the fleet engine; a write either raises "
+        "ValueError on the one path that executes it or — if someone "
+        "'fixes' that by unfreezing — corrupts every other reader. "
+        "Mutation must happen on a .copy() the writer owns."
+    )
+    example_bad = (
+        "plane = grid_eval.objective_column('energy')\n"
+        "plane[bad] = np.inf  # ValueError: read-only plane\n"
+    )
+    example_good = (
+        "plane = grid_eval.objective_column('energy').copy()\n"
+        "plane[bad] = np.inf\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        if ctx.project.modules.get(module_name) is None:
+            return
+        shapes = ctx.project.shapes()
+        seen = set()
+        for func in sorted(
+            ctx.project.functions.values(), key=lambda f: f.qualname
+        ):
+            if func.module != module_name:
+                continue
+            env = shapes.env(func)
+            local_types = ctx.project.local_class_types(func)
+            for node in ast.walk(func.node):
+                for finding in self._check_node(
+                    ctx, node, shapes, env, func, local_types
+                ):
+                    key = (finding.line, finding.col, finding.message)
+                    if key not in seen:
+                        seen.add(key)
+                        yield finding
+
+    def _check_node(
+        self, ctx: FileContext, node: ast.AST, shapes, env, func, local_types
+    ) -> Iterator[Finding]:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            label = self._frozen_store_target(
+                target, shapes, env, func, local_types,
+                augmented=isinstance(node, ast.AugAssign),
+            )
+            if label is not None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"write into read-only array {label}",
+                    suggestion="copy the plane first (arr = plane.copy()) "
+                    "or compute a fresh array instead of mutating the "
+                    "shared one",
+                )
+        if isinstance(node, ast.Call):
+            yield from self._check_call(
+                ctx, node, shapes, env, func, local_types
+            )
+
+    def _frozen_store_target(
+        self, target: ast.expr, shapes, env, func, local_types, augmented: bool
+    ) -> Optional[str]:
+        """Label of the frozen buffer this store writes, if any."""
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            info = shapes.infer(base, env, func, local_types)
+            if info is not None and info.is_readonly:
+                return repr(dotted_name(base) or "expression")
+            return None
+        if augmented:
+            # ``x += ...`` mutates in place when x is an ndarray.
+            name = dotted_name(target)
+            info = env.get(name) if name else None
+            if info is not None and info.is_readonly:
+                return repr(name)
+        return None
+
+    def _check_call(
+        self, ctx: FileContext, call: ast.Call, shapes, env, func, local_types
+    ) -> Iterator[Finding]:
+        tail = numpy_call_tail(call)
+        if tail in _MUTATOR_TAILS and call.args:
+            info = shapes.infer(call.args[0], env, func, local_types)
+            if info is not None and info.is_readonly:
+                destination = dotted_name(call.args[0]) or "expression"
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"np.{tail} writes into read-only array "
+                    f"{destination!r}",
+                    suggestion="copy the frozen array before mutating it",
+                )
+            return
+        resolved = ctx.project.resolve_call(func.module, call, local_types)
+        if resolved is None or resolved[0] != "function":
+            return
+        callee = ctx.project.functions.get(resolved[1])
+        mutated = shapes.mutated_params.get(resolved[1], set())
+        if callee is None or not mutated:
+            return
+        params = callee.callable_params()
+        for position, arg in enumerate(call.args):
+            if position >= len(params):
+                break
+            if params[position].name not in mutated:
+                continue
+            info = shapes.infer(arg, env, func, local_types)
+            if info is not None and info.is_readonly:
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"read-only array {dotted_name(arg) or 'expression'!r} "
+                    f"escapes to {callee.name}(), which writes parameter "
+                    f"{params[position].name!r}",
+                    suggestion="pass a copy, or make the helper return a "
+                    "new array instead of mutating its argument",
+                )
+        for keyword in call.keywords:
+            if keyword.arg not in mutated:
+                continue
+            info = shapes.infer(keyword.value, env, func, local_types)
+            if info is not None and info.is_readonly:
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"read-only array "
+                    f"{dotted_name(keyword.value) or 'expression'!r} "
+                    f"escapes to {callee.name}(), which writes parameter "
+                    f"{keyword.arg!r}",
+                    suggestion="pass a copy, or make the helper return a "
+                    "new array instead of mutating its argument",
+                )

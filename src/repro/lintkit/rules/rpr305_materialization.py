@@ -1,0 +1,246 @@
+"""RPR305 — redundant array materialization.
+
+Copies that buy nothing: ``.flatten()`` always copies where ``.ravel()``
+returns a view when it can; ``np.asarray``/``np.array`` re-wrapping a
+value already known to be an ndarray (with no dtype/order change) is a
+no-op or a gratuitous copy; ``x = x + y`` on a buffer this code freshly
+allocated leaves the old buffer for the GC when ``x += y`` (or ``out=``)
+would reuse it. None of these change results — they only add allocation
+traffic to kernels the BENCH files time — so the rule is a warning, and
+it only fires where the shapes pass *proves* the materialization is
+redundant (the flatten result is never written, the asarray argument is
+already an array, the rebound name is fresh and stays float64).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..findings import Finding, Severity
+from ..semantic.arrays import numpy_call_tail
+from ..semantic.shapes import WRITE_FRESH
+from ..semantic.symbols import dotted_name, module_name_for
+from .base import FileContext, Rule, register
+
+__all__ = [
+    "RedundantMaterializationRule",
+]
+
+_WRAPPER_TAILS = frozenset({"asarray", "array", "ascontiguousarray"})
+
+_INPLACE_OPS = {
+    ast.Add: "+=",
+    ast.Sub: "-=",
+    ast.Mult: "*=",
+    ast.Div: "/=",
+}
+
+
+@register
+class RedundantMaterializationRule(Rule):
+    """Flag copies the shapes pass proves unnecessary."""
+
+    rule_id = "RPR305"
+    name = "redundant-materialization"
+    severity = Severity.WARNING
+    description = (
+        "avoid provably redundant copies: flatten where ravel suffices, "
+        "asarray/array on known arrays, x = x op y on fresh buffers"
+    )
+    rationale = (
+        "flatten() always copies while ravel() returns a view when the "
+        "buffer is contiguous; asarray on something already an ndarray "
+        "is pure wrapper noise; rebinding x = x + y throws away a buffer "
+        "this code just allocated when x += y updates it in place. Each "
+        "is free to fix and they add up in the kernels the BENCH files "
+        "time."
+    )
+    example_bad = (
+        "flat = plane.flatten()      # copies, result only read\n"
+        "cols = np.asarray(columns)  # columns is already an ndarray\n"
+        "acc = np.zeros(n)\n"
+        "acc = acc + delta           # abandons the fresh buffer\n"
+    )
+    example_good = (
+        "flat = plane.ravel()\n"
+        "cols = columns\n"
+        "acc = np.zeros(n)\n"
+        "acc += delta\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        module_name = module_name_for(ctx.package_relpath, ctx.path)
+        if ctx.project.modules.get(module_name) is None:
+            return
+        shapes = ctx.project.shapes()
+        seen = set()
+        for func in sorted(
+            ctx.project.functions.values(), key=lambda f: f.qualname
+        ):
+            if func.module != module_name:
+                continue
+            env = shapes.env(func)
+            local_types = ctx.project.local_class_types(func)
+            written = self._written_names(func.node)
+            for node in ast.walk(func.node):
+                for finding in self._check_node(
+                    ctx, node, shapes, env, func, local_types, written
+                ):
+                    key = (finding.line, finding.col, finding.message)
+                    if key not in seen:
+                        seen.add(key)
+                        yield finding
+
+    @staticmethod
+    def _written_names(func_node: ast.AST) -> Set[str]:
+        """Names mutated through subscript stores or ``+=`` in the body."""
+        written: Set[str] = set()
+        for node in ast.walk(func_node):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    name = dotted_name(target.value)
+                    if name:
+                        written.add(name)
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    target, ast.Name
+                ):
+                    written.add(target.id)
+        return written
+
+    def _check_node(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        shapes,
+        env,
+        func,
+        local_types,
+        written: Set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._check_flatten(
+                ctx, node, shapes, env, func, local_types, written
+            )
+            yield from self._check_wrapper(
+                ctx, node, shapes, env, func, local_types
+            )
+        elif isinstance(node, ast.Assign):
+            yield from self._check_rebind(
+                ctx, node, shapes, env, func, local_types
+            )
+
+    def _check_flatten(
+        self, ctx, call, shapes, env, func, local_types, written
+    ) -> Iterator[Finding]:
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "flatten"
+            and numpy_call_tail(call) is None
+        ):
+            return
+        receiver = shapes.infer(call.func.value, env, func, local_types)
+        if receiver is None:
+            return
+        # If the flattened result is bound to a name that is later written,
+        # the copy is load-bearing — ravel could alias the source.
+        parent_target = self._assigned_name(func.node, call)
+        if parent_target is not None and parent_target in written:
+            return
+        label = dotted_name(call.func.value) or "array"
+        yield ctx.finding(
+            self,
+            call,
+            f"{label}.flatten() copies; the result is never written",
+            suggestion="use .ravel() (view when contiguous) or .reshape(-1)",
+        )
+
+    @staticmethod
+    def _assigned_name(func_node: ast.AST, call: ast.Call):
+        """The name ``call``'s value is bound to, when directly assigned."""
+        for node in ast.walk(func_node):
+            if (
+                isinstance(node, ast.Assign)
+                and node.value is call
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                return node.targets[0].id
+        return None
+
+    def _check_wrapper(
+        self, ctx, call, shapes, env, func, local_types
+    ) -> Iterator[Finding]:
+        tail = numpy_call_tail(call)
+        if (
+            tail not in _WRAPPER_TAILS
+            or call.keywords  # dtype=/order=/copy= make the call meaningful
+            or len(call.args) != 1
+        ):
+            return
+        info = shapes.infer(call.args[0], env, func, local_types)
+        if info is None:
+            return
+        label = dotted_name(call.args[0]) or "expression"
+        if tail == "array":
+            yield ctx.finding(
+                self,
+                call,
+                f"np.array({label}) copies a value already known to be an "
+                f"ndarray",
+                suggestion="drop the wrapper, or use .copy() if the copy "
+                "is intentional",
+            )
+        else:
+            yield ctx.finding(
+                self,
+                call,
+                f"np.{tail}({label}) is redundant: the argument is already "
+                f"an ndarray",
+                suggestion="drop the wrapper (keep it only at "
+                "ArrayLike-accepting API boundaries)",
+            )
+
+    def _check_rebind(
+        self, ctx, node, shapes, env, func, local_types
+    ) -> Iterator[Finding]:
+        if not (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.BinOp)
+        ):
+            return
+        op_type = type(node.value.op)
+        if op_type not in _INPLACE_OPS:
+            return
+        target = node.targets[0].id
+        left = node.value.left
+        if not (isinstance(left, ast.Name) and left.id == target):
+            return
+        info = env.get(target)
+        if (
+            info is None
+            or info.writability != WRITE_FRESH
+            or info.dtype != "float64"
+        ):
+            return
+        # In-place is only equivalent when the op result stays float64.
+        result = shapes.infer(node.value, env, func, local_types)
+        if result is None or result.dtype != "float64":
+            return
+        yield ctx.finding(
+            self,
+            node,
+            f"{target} = {target} {_INPLACE_OPS[op_type][0]} ... abandons a "
+            f"fresh float64 buffer",
+            suggestion=f"update in place: {target} "
+            f"{_INPLACE_OPS[op_type]} ... (or use np.<op>(..., out="
+            f"{target}))",
+        )

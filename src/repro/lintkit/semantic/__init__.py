@@ -20,7 +20,12 @@ lazily and cached on the index:
   numpy arrays, for the scalar-loop performance lint (RPR103);
 * :mod:`~repro.lintkit.semantic.concurrency` — per-class lock summaries:
   which attributes are locks, which attributes those locks guard, and the
-  lock scope of every access and call site (RPR201–RPR205).
+  lock scope of every access and call site (RPR201–RPR205);
+* :mod:`~repro.lintkit.semantic.shapes` — abstract interpretation inferring
+  symbolic shape, dtype, and writability (fresh / view / read-only plane)
+  for array-valued names, plus the hot-path function set seeded from
+  ``# reprolint: hot-path`` markers and the benchmark call graph
+  (RPR301–RPR305).
 
 Everything here is stdlib-only (``ast``), like the rest of ``lintkit``.
 """
@@ -28,6 +33,7 @@ Everything here is stdlib-only (``ast``), like the rest of ``lintkit``.
 from __future__ import annotations
 
 from .concurrency import ConcurrencyIndex
+from .shapes import ShapeIndex, ShapeInfo
 from .symbols import FunctionInfo, ModuleInfo, ProjectIndex
 from .units import (
     ALLOWED_MIXES,
@@ -42,6 +48,8 @@ __all__ = [
     "ModuleInfo",
     "FunctionInfo",
     "ConcurrencyIndex",
+    "ShapeIndex",
+    "ShapeInfo",
     "UNIT_DIMENSIONS",
     "ALLOWED_MIXES",
     "unit_suffix",

@@ -2,7 +2,9 @@
 
 Deliberately shallow and high-precision: a name is *known* to be an array
 only when it is bound from a numpy constructor (``np.zeros``, ``np.asarray``,
-``np.linspace``, …), an array-preserving method (``.astype``, ``.copy``),
+``np.linspace``, …), an elementwise ufunc applied to a known array
+(``np.exp``, ``np.maximum``, …), an ``axis=`` reduction (``np.sum(a,
+axis=0)``), an array-preserving method (``.astype``, ``.copy``),
 a slice or boolean mask of a known array, a parameter or dataclass field
 annotated ``np.ndarray``, or a project function whose return annotation
 says ``np.ndarray``. Plain integer indexing (``arr[i]``) yields a scalar
@@ -23,8 +25,11 @@ from .symbols import (
 
 __all__ = [
     "NUMPY_ARRAY_CONSTRUCTORS",
+    "NUMPY_ELEMENTWISE_UFUNCS",
+    "NUMPY_AXIS_REDUCTIONS",
     "known_array_names",
     "is_array_expr",
+    "numpy_call_tail",
 ]
 
 #: numpy callables (attribute tail) that return an ndarray.
@@ -38,6 +43,24 @@ NUMPY_ARRAY_CONSTRUCTORS = frozenset(
         "flatnonzero", "nonzero", "argsort", "searchsorted", "repeat",
         "tile", "meshgrid", "fromiter", "frombuffer", "histogram",
     }
+)
+
+#: Elementwise numpy ufuncs: the result is an ndarray whenever any
+#: argument is one (``ys = np.exp(xs)`` keeps ``ys`` an array).
+NUMPY_ELEMENTWISE_UFUNCS = frozenset(
+    {
+        "exp", "expm1", "log", "log2", "log10", "log1p", "sqrt", "abs",
+        "absolute", "fabs", "maximum", "minimum", "power", "round",
+        "floor", "ceil", "sign", "negative", "add", "subtract",
+        "multiply", "divide", "true_divide", "mod", "hypot", "arctan2",
+    }
+)
+
+#: numpy reductions that collapse to a scalar *unless* ``axis=`` is given,
+#: in which case they return an ndarray of the surviving axes.
+NUMPY_AXIS_REDUCTIONS = frozenset(
+    {"sum", "prod", "mean", "median", "std", "var", "min", "max",
+     "amin", "amax", "nansum", "nanmean", "nanmin", "nanmax"}
 )
 
 #: ndarray methods that return another ndarray.
@@ -56,7 +79,7 @@ def _annotation_is_array(annotation: Optional[ast.expr]) -> bool:
     )
 
 
-def _numpy_call_tail(call: ast.Call) -> Optional[str]:
+def numpy_call_tail(call: ast.Call) -> Optional[str]:
     """The numpy function name when ``call`` is ``np.<name>(...)``."""
     if isinstance(call.func, ast.Attribute):
         head = dotted_name(call.func.value)
@@ -65,6 +88,17 @@ def _numpy_call_tail(call: ast.Call) -> Optional[str]:
         ):
             return call.func.attr
     return None
+
+
+def _call_has_axis(call: ast.Call) -> bool:
+    return any(
+        keyword.arg == "axis"
+        and not (
+            isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is None
+        )
+        for keyword in call.keywords
+    )
 
 
 def is_array_expr(
@@ -79,8 +113,22 @@ def is_array_expr(
     if dotted is not None:
         return dotted in known
     if isinstance(expr, ast.Call):
-        tail = _numpy_call_tail(expr)
+        tail = numpy_call_tail(expr)
         if tail in NUMPY_ARRAY_CONSTRUCTORS:
+            return True
+        if tail in NUMPY_ELEMENTWISE_UFUNCS and any(
+            is_array_expr(arg, known, index, module_name, local_types)
+            for arg in expr.args
+        ):
+            return True
+        if (
+            tail in NUMPY_AXIS_REDUCTIONS
+            and _call_has_axis(expr)
+            and expr.args
+            and is_array_expr(
+                expr.args[0], known, index, module_name, local_types
+            )
+        ):
             return True
         if (
             isinstance(expr.func, ast.Attribute)

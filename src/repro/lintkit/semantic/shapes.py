@@ -1,0 +1,846 @@
+"""Symbolic shape / dtype / writability inference for the RPR3xx tier.
+
+Phase-1 abstract interpretation over the :class:`ProjectIndex`: every
+array-valued name in a function gets a :class:`ShapeInfo` — a symbolic
+shape (``("n_payload",)``, ``(4, "?")``, or unknown rank), a dtype drawn
+from a small lattice (``float64 | float32 | int64 | bool | object |
+unknown``), and a writability tag (``fresh`` — this code allocated it,
+``view`` — it aliases someone else's buffer, ``readonly`` — it flows from
+a producer that froze it, ``unknown``).
+
+Seeding mirrors ``arrays.py`` but keeps more structure:
+
+* ``np.zeros(n)`` → shape ``(n,)`` with ``n`` carried symbolically when
+  the size argument is a plain dotted name (``len(x)`` becomes the symbol
+  ``"len(x)"``), dtype from the ``dtype=`` keyword, writability *fresh*;
+* annotated ``np.ndarray`` parameters and dataclass fields → unknown
+  shape, writability *unknown* — or *readonly* when the owning class
+  freezes its arrays (its body contains ``<col>.flags.writeable = False``
+  or ``<col>.setflags(write=False)``), the way ``GridEvaluation`` and
+  ``FleetTopology`` publish their planes;
+* slices / ``reshape`` / ``ravel`` of a known array → *view*;
+  ``.copy()`` / ``astype`` → *fresh*.
+
+The pass also computes the *hot set* used by RPR301: functions defined in
+modules carrying a ``# reprolint: hot-path`` marker comment, functions
+defined in ``bench_*`` modules present in the lint batch, and everything
+reachable from either through the project call graph. Per-function
+environments are cached; access everything through
+``ProjectIndex.shapes()``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from .arrays import (
+    NUMPY_ARRAY_CONSTRUCTORS,
+    NUMPY_AXIS_REDUCTIONS,
+    NUMPY_ELEMENTWISE_UFUNCS,
+    numpy_call_tail,
+)
+from .symbols import (
+    FunctionInfo,
+    ProjectIndex,
+    annotation_type_names,
+    dotted_name,
+)
+
+__all__ = [
+    "DIM_UNKNOWN",
+    "DTYPE_UNKNOWN",
+    "WRITE_FRESH",
+    "WRITE_VIEW",
+    "WRITE_READONLY",
+    "WRITE_UNKNOWN",
+    "ShapeInfo",
+    "ShapeIndex",
+    "broadcast_dims",
+    "has_explicit_expansion",
+    "join",
+    "join_dims",
+    "literal_is_ragged",
+    "promote_dtype",
+]
+
+#: Placeholder for a dimension whose extent is unknown.
+DIM_UNKNOWN = "?"
+DTYPE_UNKNOWN = "unknown"
+WRITE_FRESH = "fresh"
+WRITE_VIEW = "view"
+WRITE_READONLY = "readonly"
+WRITE_UNKNOWN = "unknown"
+
+#: One symbolic dimension: a concrete extent, a named symbol, or ``"?"``.
+Dim = Union[int, str]
+
+#: Loose pre-filter over whole-file text; the authoritative check matches
+#: comment *tokens* whose text starts with the directive.
+_HOT_MARKER = re.compile(r"#\s*reprolint:\s*hot-path\b")
+_HOT_MARKER_COMMENT = re.compile(r"^#\s*reprolint:\s*hot-path\b")
+
+#: ndarray methods whose result is a *view* of the receiver.
+_VIEW_METHODS = frozenset({"reshape", "ravel", "squeeze", "transpose", "view"})
+#: ndarray methods whose result is a *fresh* allocation.
+_FRESH_METHODS = frozenset(
+    {"astype", "copy", "flatten", "round", "clip", "cumsum", "cumprod",
+     "take", "repeat", "compress", "diagonal"}
+)
+_NDARRAY_TAILS = frozenset({"ndarray", "NDArray", "ArrayLike"})
+
+_DTYPE_ALIASES = {
+    "float": "float64", "float64": "float64", "double": "float64",
+    "float32": "float32", "single": "float32", "float_": "float64",
+    "int": "int64", "int64": "int64", "int32": "int64", "intp": "int64",
+    "int_": "int64", "bool": "bool", "bool_": "bool", "object": "object",
+    "object_": "object",
+}
+
+_FLOAT_DTYPES = frozenset({"float64", "float32"})
+
+
+def _annotation_is_array(annotation: Optional[ast.expr]) -> bool:
+    return any(
+        name.split(".")[-1] in _NDARRAY_TAILS
+        for name in annotation_type_names(annotation)
+    )
+
+
+@dataclass(frozen=True)
+class ShapeInfo:
+    """Abstract value for one array-valued expression or name.
+
+    ``dims`` is ``None`` when even the rank is unknown; otherwise a tuple
+    of concrete ints, symbolic dimension names, or :data:`DIM_UNKNOWN`.
+    """
+
+    dims: Optional[Tuple[Dim, ...]] = None
+    dtype: str = DTYPE_UNKNOWN
+    writability: str = WRITE_UNKNOWN
+
+    @property
+    def rank(self) -> Optional[int]:
+        """Number of dimensions, or ``None`` when the rank is unknown."""
+        return None if self.dims is None else len(self.dims)
+
+    @property
+    def is_readonly(self) -> bool:
+        """Whether this value flows from a frozen (non-writable) buffer."""
+        return self.writability == WRITE_READONLY
+
+    @property
+    def is_fresh(self) -> bool:
+        """Whether this code owns the buffer (safe for in-place updates)."""
+        return self.writability == WRITE_FRESH
+
+
+def join_dims(
+    a: Optional[Tuple[Dim, ...]], b: Optional[Tuple[Dim, ...]]
+) -> Optional[Tuple[Dim, ...]]:
+    """Lattice join of two symbolic shapes (control-flow merge)."""
+    if a is None or b is None or len(a) != len(b):
+        return None
+    return tuple(
+        dim_a if dim_a == dim_b else DIM_UNKNOWN for dim_a, dim_b in zip(a, b)
+    )
+
+
+def promote_dtype(a: str, b: str) -> str:
+    """numpy-style result dtype of combining ``a`` and ``b``."""
+    if a == b:
+        return a
+    if DTYPE_UNKNOWN in (a, b):
+        return DTYPE_UNKNOWN
+    if "object" in (a, b):
+        return "object"
+    if {a, b} == {"float32", "float64"}:
+        return "float64"
+    if a in _FLOAT_DTYPES and b in ("int64", "bool"):
+        return a
+    if b in _FLOAT_DTYPES and a in ("int64", "bool"):
+        return b
+    if {a, b} == {"int64", "bool"}:
+        return "int64"
+    return DTYPE_UNKNOWN
+
+
+def _dims_conflict(dim_a: Dim, dim_b: Dim) -> bool:
+    """Whether two aligned dimensions can never broadcast together.
+
+    Only *definite* conflicts count: two unequal concrete extents (neither
+    1), or two distinct symbolic names. A symbol against a concrete extent
+    is treated as compatible — the symbol might denote that extent.
+    """
+    if dim_a == dim_b or DIM_UNKNOWN in (dim_a, dim_b):
+        return False
+    if 1 in (dim_a, dim_b):
+        return False
+    if isinstance(dim_a, int) and isinstance(dim_b, int):
+        return True
+    if isinstance(dim_a, str) and isinstance(dim_b, str):
+        return True
+    return False
+
+
+def broadcast_dims(
+    a: Optional[Tuple[Dim, ...]], b: Optional[Tuple[Dim, ...]]
+) -> Tuple[Optional[Tuple[Dim, ...]], Optional[Tuple[Dim, Dim]]]:
+    """Broadcast two symbolic shapes (numpy right-aligned rules).
+
+    Returns ``(result_dims, conflict)`` where ``conflict`` is the first
+    definitely-incompatible aligned pair, or ``None`` when the shapes are
+    compatible (or too unknown to judge).
+    """
+    if a is None or b is None:
+        return None, None
+    rank = max(len(a), len(b))
+    padded_a = (1,) * (rank - len(a)) + a
+    padded_b = (1,) * (rank - len(b)) + b
+    result: List[Dim] = []
+    for dim_a, dim_b in zip(padded_a, padded_b):
+        if _dims_conflict(dim_a, dim_b):
+            return None, (dim_a, dim_b)
+        if dim_a == dim_b:
+            result.append(dim_a)
+        elif dim_a == 1:
+            result.append(dim_b)
+        elif dim_b == 1:
+            result.append(dim_a)
+        else:
+            result.append(DIM_UNKNOWN)
+    return tuple(result), None
+
+
+def _join_writability(a: str, b: str) -> str:
+    if a == b:
+        return a
+    if WRITE_READONLY in (a, b):
+        return WRITE_READONLY  # pessimistic: a merge may alias the frozen one
+    return WRITE_UNKNOWN
+
+
+def join(a: ShapeInfo, b: ShapeInfo) -> ShapeInfo:
+    """Lattice join of two abstract values (control-flow merge)."""
+    dtype = a.dtype if a.dtype == b.dtype else DTYPE_UNKNOWN
+    return ShapeInfo(
+        dims=join_dims(a.dims, b.dims),
+        dtype=dtype,
+        writability=_join_writability(a.writability, b.writability),
+    )
+
+
+def _symbolic_dim(expr: ast.expr) -> Dim:
+    """One size argument as a symbolic dimension."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+        return expr.value
+    dotted = dotted_name(expr)
+    if dotted is not None:
+        return dotted
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "len"
+        and len(expr.args) == 1
+    ):
+        inner = dotted_name(expr.args[0])
+        if inner is not None:
+            return f"len({inner})"
+    return DIM_UNKNOWN
+
+
+def _shape_from_size_arg(expr: ast.expr) -> Optional[Tuple[Dim, ...]]:
+    """Shape tuple from the first argument of ``np.zeros``-style calls."""
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return tuple(_symbolic_dim(element) for element in expr.elts)
+    return (_symbolic_dim(expr),)
+
+
+def _dtype_from_expr(expr: Optional[ast.expr]) -> str:
+    """Dtype lattice element named by a ``dtype=`` argument."""
+    if expr is None:
+        return DTYPE_UNKNOWN
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return _DTYPE_ALIASES.get(expr.value, DTYPE_UNKNOWN)
+    dotted = dotted_name(expr)
+    if dotted is not None:
+        return _DTYPE_ALIASES.get(dotted.split(".")[-1], DTYPE_UNKNOWN)
+    return DTYPE_UNKNOWN
+
+
+def _dtype_keyword(call: ast.Call) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == "dtype":
+            return keyword.value
+    return None
+
+
+def _literal_dims(expr: ast.expr) -> Optional[Tuple[Dim, ...]]:
+    """Shape of a (possibly nested) list/tuple literal, if regular."""
+    if not isinstance(expr, (ast.List, ast.Tuple)):
+        return None
+    if not expr.elts:
+        return (0,)
+    inner_shapes = [_literal_dims(element) for element in expr.elts]
+    if all(shape is None for shape in inner_shapes):
+        return (len(expr.elts),)
+    if any(shape is None for shape in inner_shapes):
+        return None  # ragged: mixes scalars and sequences
+    first = inner_shapes[0]
+    if any(shape != first for shape in inner_shapes[1:]):
+        return None  # ragged: rows of different lengths
+    return (len(expr.elts),) + first  # type: ignore[operator]
+
+
+def literal_is_ragged(expr: ast.expr) -> bool:
+    """Whether a nested list literal has rows of differing lengths."""
+    if not isinstance(expr, (ast.List, ast.Tuple)) or not expr.elts:
+        return False
+    lengths: Set[Optional[int]] = set()
+    any_sequence = False
+    for element in expr.elts:
+        if isinstance(element, (ast.List, ast.Tuple)):
+            any_sequence = True
+            lengths.add(len(element.elts))
+        elif isinstance(element, (ast.Constant, ast.Name, ast.UnaryOp)):
+            lengths.add(None)
+    return any_sequence and len(lengths) > 1
+
+
+def _scalar_dtype(expr: ast.expr) -> str:
+    """Dtype contribution of a scalar constant operand."""
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, bool):
+            return "bool"
+        if isinstance(expr.value, int):
+            return "int64"
+        if isinstance(expr.value, float):
+            return "float64"
+    if isinstance(expr, ast.UnaryOp):
+        return _scalar_dtype(expr.operand)
+    return DTYPE_UNKNOWN
+
+
+def has_explicit_expansion(expr: ast.expr) -> bool:
+    """Whether ``expr`` contains an explicit reshape / newaxis insertion.
+
+    An operand spelled ``col[:, None]``, ``col[np.newaxis]``, or
+    ``col.reshape(...)`` declares the author aligned the shapes on
+    purpose, so RPR303 must not second-guess the broadcast.
+    """
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Subscript):
+            inner = node.slice
+            elements = (
+                list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+            )
+            for element in elements:
+                if (
+                    isinstance(element, ast.Constant)
+                    and element.value is None
+                ):
+                    return True
+                if dotted_name(element) in ("np.newaxis", "numpy.newaxis"):
+                    return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("reshape", "expand_dims")
+        ):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and numpy_call_tail(node) in ("reshape", "expand_dims")
+        ):
+            return True
+    return False
+
+
+class ShapeIndex:
+    """Project-wide shape/dtype/writability facts, cached per function."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self._index = index
+        #: Classes whose bodies freeze their array fields.
+        self.freezing_classes: Set[str] = self._find_freezing_classes()
+        #: ``qualname -> parameter names`` the function mutates in place.
+        self.mutated_params: Dict[str, Set[str]] = self._find_mutated_params()
+        #: Modules carrying a ``# reprolint: hot-path`` marker.
+        self.hot_modules: Set[str] = self._find_hot_modules()
+        #: Hot functions: defined in hot/bench modules, plus call-graph
+        #: closure — the RPR301 domain.
+        self.hot_functions: Set[str] = self._find_hot_functions()
+        self._envs: Dict[str, Dict[str, ShapeInfo]] = {}
+
+    @classmethod
+    def build(cls, index: ProjectIndex) -> "ShapeIndex":
+        """Compute all project-level shape facts for ``index``."""
+        return cls(index)
+
+    # ------------------------------------------------------------------
+    # project-level facts
+    # ------------------------------------------------------------------
+    def _find_freezing_classes(self) -> Set[str]:
+        """Classes that set ``writeable = False`` on their arrays."""
+        freezing: Set[str] = set()
+        for cls in self._index.classes.values():
+            for node in ast.walk(cls.node):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and node.targets[0].attr == "writeable"
+                    and isinstance(node.targets[0].value, ast.Attribute)
+                    and node.targets[0].value.attr == "flags"
+                ):
+                    freezing.add(cls.qualname)
+                    break
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "setflags"
+                    and any(
+                        keyword.arg == "write"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is False
+                        for keyword in node.keywords
+                    )
+                ):
+                    freezing.add(cls.qualname)
+                    break
+        return freezing
+
+    def _find_mutated_params(self) -> Dict[str, Set[str]]:
+        """Per function: parameter names written through in the body."""
+        mutated: Dict[str, Set[str]] = {}
+        for func in self._index.functions.values():
+            param_names = {param.name for param in func.params}
+            written: Set[str] = set()
+            for node in ProjectIndex._walk_body(func.node):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                for target in targets:
+                    base = target
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    name = dotted_name(base)
+                    if (
+                        name in param_names
+                        and not isinstance(target, ast.Name)
+                    ):
+                        written.add(name)
+                    elif (
+                        isinstance(node, ast.AugAssign)
+                        and isinstance(target, ast.Name)
+                        and target.id in param_names
+                    ):
+                        written.add(target.id)
+            if written:
+                mutated[func.qualname] = written
+        return mutated
+
+    def _find_hot_modules(self) -> Set[str]:
+        """Modules marked ``# reprolint: hot-path`` (source re-read lazily).
+
+        Only genuine comment tokens count — the marker spelled inside a
+        string literal (docs, rule examples) does not make a module hot.
+        """
+        hot: Set[str] = set()
+        for module in self._index.modules.values():
+            try:
+                text = Path(module.path).read_text(encoding="utf-8")
+            except OSError:
+                continue
+            if not _HOT_MARKER.search(text):
+                continue
+            try:
+                tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+                if any(
+                    token.type == tokenize.COMMENT
+                    and _HOT_MARKER_COMMENT.match(token.string)
+                    for token in tokens
+                ):
+                    hot.add(module.name)
+            except (tokenize.TokenError, SyntaxError):
+                continue
+        return hot
+
+    def _find_hot_functions(self) -> Set[str]:
+        """Hot seeds plus forward call-graph closure."""
+        seeds: Set[str] = set()
+        for func in self._index.functions.values():
+            module_stem = func.module.rsplit(".", 1)[-1]
+            if func.module in self.hot_modules:
+                seeds.add(func.qualname)
+            elif module_stem.startswith("bench_"):
+                seeds.add(func.qualname)
+        graph = self._index.call_graph()
+        closure = set(seeds)
+        frontier = list(seeds)
+        while frontier:
+            current = frontier.pop()
+            for callee in graph.edges.get(current, ()):
+                if callee not in closure:
+                    closure.add(callee)
+                    frontier.append(callee)
+        return closure
+
+    # ------------------------------------------------------------------
+    # per-function environments
+    # ------------------------------------------------------------------
+    def env(self, func: FunctionInfo) -> Dict[str, ShapeInfo]:
+        """Abstract values of array-valued dotted names inside ``func``."""
+        cached = self._envs.get(func.qualname)
+        if cached is not None:
+            return cached
+        env = self._infer_env(func)
+        self._envs[func.qualname] = env
+        return env
+
+    def _seed_env(self, func: FunctionInfo) -> Dict[str, ShapeInfo]:
+        env: Dict[str, ShapeInfo] = {}
+        local_types = self._index.local_class_types(func)
+        for param in func.params:
+            if _annotation_is_array(param.annotation):
+                env[param.name] = ShapeInfo()
+        for receiver, class_qualname in local_types.items():
+            cls = self._index.classes.get(class_qualname)
+            if cls is None:
+                continue
+            writability = (
+                WRITE_READONLY
+                if class_qualname in self.freezing_classes
+                else WRITE_UNKNOWN
+            )
+            for field_name, annotation in cls.fields.items():
+                if _annotation_is_array(annotation):
+                    env[f"{receiver}.{field_name}"] = ShapeInfo(
+                        writability=writability
+                    )
+        return env
+
+    def _infer_env(self, func: FunctionInfo) -> Dict[str, ShapeInfo]:
+        env = self._seed_env(func)
+        local_types = self._index.local_class_types(func)
+        for _ in range(3):
+            changed = False
+            for node in self._walk_in_source_order(func.node):
+                changed |= self._transfer(node, env, func, local_types)
+            if not changed:
+                break
+        return env
+
+    @classmethod
+    def _walk_in_source_order(cls, func_node: ast.AST) -> Iterator[ast.AST]:
+        """Pre-order body walk preserving statement order.
+
+        The transfer function is a forward dataflow pass, so a freeze like
+        ``a.setflags(write=False)`` must be seen *after* the assignment
+        that gives ``a`` its shape — otherwise the freeze seeds a rankless
+        entry that the later join can never sharpen. Nested definitions
+        get their own environments and are not descended into.
+        """
+        for child in ast.iter_child_nodes(func_node):
+            yield child
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield from cls._walk_in_source_order(child)
+
+    def _transfer(
+        self,
+        node: ast.AST,
+        env: Dict[str, ShapeInfo],
+        func: FunctionInfo,
+        local_types: Dict[str, str],
+    ) -> bool:
+        """Apply one statement's effect to ``env``; report any change."""
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            value = node.value
+            if value is None or len(targets) != 1:
+                return False
+            target = targets[0]
+            # ``<name>.flags.writeable = False`` freezes the local buffer.
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "writeable"
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "flags"
+            ):
+                owner = dotted_name(target.value.value)
+                if owner is not None:
+                    previous = env.get(owner, ShapeInfo())
+                    frozen = ShapeInfo(
+                        previous.dims, previous.dtype, WRITE_READONLY
+                    )
+                    if env.get(owner) != frozen:
+                        env[owner] = frozen
+                        return True
+                return False
+            if not isinstance(target, ast.Name):
+                return False
+            info = self.infer(value, env, func, local_types)
+            if info is None:
+                return False
+            previous = env.get(target.id)
+            merged = info if previous is None else join(previous, info)
+            if env.get(target.id) != merged:
+                env[target.id] = merged
+                return True
+            return False
+        if (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "setflags"
+            and any(
+                keyword.arg == "write"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+                for keyword in node.value.keywords
+            )
+        ):
+            owner = dotted_name(node.value.func.value)
+            if owner is not None:
+                previous = env.get(owner, ShapeInfo())
+                frozen = ShapeInfo(
+                    previous.dims, previous.dtype, WRITE_READONLY
+                )
+                if env.get(owner) != frozen:
+                    env[owner] = frozen
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # expression-level inference
+    # ------------------------------------------------------------------
+    def infer(
+        self,
+        expr: ast.expr,
+        env: Dict[str, ShapeInfo],
+        func: FunctionInfo,
+        local_types: Optional[Dict[str, str]] = None,
+    ) -> Optional[ShapeInfo]:
+        """Abstract value of ``expr``, or ``None`` if not a known array."""
+        if local_types is None:
+            local_types = self._index.local_class_types(func)
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            return env.get(dotted)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, env, func, local_types)
+        if isinstance(expr, ast.Subscript):
+            return self._infer_subscript(expr, env, func, local_types)
+        if isinstance(expr, ast.BinOp):
+            left = self.infer(expr.left, env, func, local_types)
+            right = self.infer(expr.right, env, func, local_types)
+            if left is None and right is None:
+                return None
+            if left is None or right is None:
+                array = left if left is not None else right
+                scalar = expr.right if left is not None else expr.left
+                dtype = promote_dtype(array.dtype, _scalar_dtype(scalar))
+                if isinstance(expr.op, (ast.Div, ast.Pow)):
+                    dtype = promote_dtype(dtype, "float64")
+                return ShapeInfo(array.dims, dtype, WRITE_FRESH)
+            dims, _conflict = broadcast_dims(left.dims, right.dims)
+            dtype = promote_dtype(left.dtype, right.dtype)
+            if isinstance(expr.op, (ast.Div, ast.Pow)):
+                dtype = promote_dtype(dtype, "float64")
+            return ShapeInfo(dims, dtype, WRITE_FRESH)
+        if isinstance(expr, ast.UnaryOp):
+            inner = self.infer(expr.operand, env, func, local_types)
+            if inner is None:
+                return None
+            return ShapeInfo(inner.dims, inner.dtype, WRITE_FRESH)
+        if isinstance(expr, ast.Compare):
+            inner = self.infer(expr.left, env, func, local_types)
+            if inner is None:
+                return None
+            return ShapeInfo(inner.dims, "bool", WRITE_FRESH)
+        if isinstance(expr, ast.IfExp):
+            then = self.infer(expr.body, env, func, local_types)
+            other = self.infer(expr.orelse, env, func, local_types)
+            if then is None or other is None:
+                return then or other
+            return join(then, other)
+        return None
+
+    def _infer_call(
+        self,
+        call: ast.Call,
+        env: Dict[str, ShapeInfo],
+        func: FunctionInfo,
+        local_types: Dict[str, str],
+    ) -> Optional[ShapeInfo]:
+        tail = numpy_call_tail(call)
+        if tail is not None:
+            return self._infer_numpy_call(call, tail, env, func, local_types)
+        if isinstance(call.func, ast.Attribute):
+            method = call.func.attr
+            receiver = self.infer(call.func.value, env, func, local_types)
+            if receiver is not None:
+                if method in _VIEW_METHODS:
+                    dims = (
+                        receiver.dims if method in ("ravel",) and
+                        receiver.rank == 1 else None
+                    )
+                    writability = (
+                        WRITE_READONLY
+                        if receiver.is_readonly
+                        else WRITE_VIEW
+                    )
+                    return ShapeInfo(dims, receiver.dtype, writability)
+                if method in _FRESH_METHODS:
+                    dtype = receiver.dtype
+                    if method == "astype" and call.args:
+                        dtype = _dtype_from_expr(call.args[0])
+                    dims = (
+                        receiver.dims
+                        if method in ("copy", "round", "clip", "astype")
+                        else None
+                    )
+                    return ShapeInfo(dims, dtype, WRITE_FRESH)
+        resolved = self._index.resolve_call(func.module, call, local_types)
+        if resolved is not None and resolved[0] == "function":
+            callee = self._index.functions.get(resolved[1])
+            if callee is not None and _annotation_is_array(callee.returns):
+                return ShapeInfo(None, DTYPE_UNKNOWN, WRITE_UNKNOWN)
+        return None
+
+    def _infer_numpy_call(
+        self,
+        call: ast.Call,
+        tail: str,
+        env: Dict[str, ShapeInfo],
+        func: FunctionInfo,
+        local_types: Dict[str, str],
+    ) -> Optional[ShapeInfo]:
+        dtype = _dtype_from_expr(_dtype_keyword(call))
+        if tail in ("zeros", "ones", "empty", "full"):
+            dims = (
+                _shape_from_size_arg(call.args[0]) if call.args else None
+            )
+            if tail == "full" and dtype == DTYPE_UNKNOWN and len(call.args) > 1:
+                dtype = _scalar_dtype(call.args[1])
+            elif tail in ("zeros", "ones", "empty") and dtype == DTYPE_UNKNOWN:
+                dtype = "float64"  # numpy default
+            return ShapeInfo(dims, dtype, WRITE_FRESH)
+        if tail in ("array", "asarray", "ascontiguousarray", "asfarray"):
+            dims: Optional[Tuple[Dim, ...]] = None
+            if call.args:
+                literal = _literal_dims(call.args[0])
+                if literal is not None:
+                    dims = literal
+                elif literal_is_ragged(call.args[0]):
+                    return ShapeInfo(None, "object", WRITE_FRESH)
+                else:
+                    inner = self.infer(call.args[0], env, func, local_types)
+                    if inner is not None:
+                        dims = inner.dims
+                        if dtype == DTYPE_UNKNOWN:
+                            dtype = inner.dtype
+            writability = (
+                WRITE_UNKNOWN if tail == "asarray" else WRITE_FRESH
+            )
+            return ShapeInfo(dims, dtype, writability)
+        if tail in ("arange", "linspace", "logspace", "geomspace"):
+            if tail == "linspace" and len(call.args) >= 3:
+                dims = (_symbolic_dim(call.args[2]),)
+            else:
+                dims = (DIM_UNKNOWN,)
+            if dtype == DTYPE_UNKNOWN:
+                dtype = "float64" if tail != "arange" else DTYPE_UNKNOWN
+            return ShapeInfo(dims, dtype, WRITE_FRESH)
+        if tail in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            inner = (
+                self.infer(call.args[0], env, func, local_types)
+                if call.args
+                else None
+            )
+            dims = inner.dims if inner is not None else None
+            if dtype == DTYPE_UNKNOWN and inner is not None:
+                dtype = inner.dtype
+            return ShapeInfo(dims, dtype, WRITE_FRESH)
+        if tail in NUMPY_ELEMENTWISE_UFUNCS:
+            infos = [
+                self.infer(arg, env, func, local_types) for arg in call.args
+            ]
+            known = [info for info in infos if info is not None]
+            if not known:
+                return None
+            dims = known[0].dims
+            dtype_out = known[0].dtype
+            for info in known[1:]:
+                dims, _conflict = broadcast_dims(dims, info.dims)
+                dtype_out = promote_dtype(dtype_out, info.dtype)
+            return ShapeInfo(dims, dtype_out, WRITE_FRESH)
+        if tail in NUMPY_AXIS_REDUCTIONS:
+            has_axis = any(
+                keyword.arg == "axis" for keyword in call.keywords
+            )
+            if not has_axis:
+                return None  # scalar result
+            return ShapeInfo(None, DTYPE_UNKNOWN, WRITE_FRESH)
+        if tail == "where" and len(call.args) == 3:
+            then = self.infer(call.args[1], env, func, local_types)
+            other = self.infer(call.args[2], env, func, local_types)
+            dims = None
+            dtype_out = DTYPE_UNKNOWN
+            if then is not None and other is not None:
+                dims, _conflict = broadcast_dims(then.dims, other.dims)
+                dtype_out = promote_dtype(then.dtype, other.dtype)
+            return ShapeInfo(dims, dtype_out, WRITE_FRESH)
+        if tail in NUMPY_ARRAY_CONSTRUCTORS:
+            return ShapeInfo(None, dtype, WRITE_FRESH)
+        return None
+
+    def _infer_subscript(
+        self,
+        expr: ast.Subscript,
+        env: Dict[str, ShapeInfo],
+        func: FunctionInfo,
+        local_types: Dict[str, str],
+    ) -> Optional[ShapeInfo]:
+        base = self.infer(expr.value, env, func, local_types)
+        if base is None:
+            return None
+        writability = WRITE_READONLY if base.is_readonly else WRITE_VIEW
+        inner = expr.slice
+        if isinstance(inner, ast.Slice):
+            dims = (
+                (DIM_UNKNOWN,) + base.dims[1:]
+                if base.dims is not None and base.rank
+                else None
+            )
+            return ShapeInfo(dims, base.dtype, writability)
+        if isinstance(inner, ast.Constant) and isinstance(inner.value, int):
+            if base.dims is not None and base.rank and base.rank > 1:
+                return ShapeInfo(base.dims[1:], base.dtype, writability)
+            return None  # scalar from a 1-D (or unknown-rank) array
+        if isinstance(inner, ast.Tuple) and all(
+            isinstance(element, ast.Slice)
+            or (
+                isinstance(element, ast.Constant)
+                and (element.value is None or isinstance(element.value, int))
+            )
+            or dotted_name(element) in ("np.newaxis", "numpy.newaxis")
+            for element in inner.elts
+        ):
+            # basic indexing (slices / ints / newaxis) stays a view of the
+            # base buffer, with an explicitly rearranged shape.
+            return ShapeInfo(None, base.dtype, writability)
+        # fancy / boolean-mask indexing copies into a fresh buffer.
+        return ShapeInfo(None, base.dtype, WRITE_FRESH)

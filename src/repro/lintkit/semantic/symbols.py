@@ -576,3 +576,11 @@ class ProjectIndex:
 
             self._cache["concurrency"] = ConcurrencyIndex.build(self)
         return self._cache["concurrency"]
+
+    def shapes(self):  # noqa: ANN201
+        """Symbolic shape/dtype/writability facts (:class:`~.shapes.ShapeIndex`), cached."""
+        if "shapes" not in self._cache:
+            from .shapes import ShapeIndex
+
+            self._cache["shapes"] = ShapeIndex.build(self)
+        return self._cache["shapes"]

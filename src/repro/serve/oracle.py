@@ -22,6 +22,7 @@ layer on top batches compatible cold queries so the grid evaluation is
 paid once per link, not once per request.
 """
 
+# reprolint: hot-path — recommend/evaluate loop timed by BENCH_serve.json
 from __future__ import annotations
 
 import threading

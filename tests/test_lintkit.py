@@ -57,6 +57,7 @@ class TestRuleRegistry:
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
             "RPR101", "RPR102", "RPR103", "RPR104",
             "RPR201", "RPR202", "RPR203", "RPR204", "RPR205",
+            "RPR301", "RPR302", "RPR303", "RPR304", "RPR305",
         ]
 
     def test_unknown_select_rejected(self):
