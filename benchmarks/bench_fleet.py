@@ -17,12 +17,19 @@ Claims enforced every run:
 
 Results land in ``BENCH_fleet.json`` at the repo root.
 
-Set ``BENCH_FLEET_QUICK=1`` (the CI smoke mode) for single-round timing
-with smaller fleets.
+Set ``BENCH_FLEET_QUICK=1`` (the CI smoke mode) for fewer rounds and a
+smaller naive sample.
+
+Timing discipline: every fleet size gets its own untimed warmup step
+(page-faults and numpy first-touch costs land there, not in the numbers)
+and is then timed over ``ROUNDS`` rounds; the reported figure is the
+median, and the JSON records per-size min/max so dispersion is visible
+when a run was noisy.
 """
 
 import json
 import os
+import statistics
 import time
 from pathlib import Path
 
@@ -51,7 +58,7 @@ _QUICK = bool(os.environ.get("BENCH_FLEET_QUICK"))
 #: at the largest size, where the per-bin solve cost actually amortizes.
 FLEET_SIZES = (100, 1000, 10_000)
 NAIVE_SAMPLE = 20 if _QUICK else 100
-ROUNDS = 1 if _QUICK else 3
+ROUNDS = 3 if _QUICK else 5
 
 #: Cross-test scratch shared between the naive and batched benches.
 _RESULTS = {}
@@ -108,19 +115,21 @@ def test_naive_per_link_baseline(benchmark, report):
 
 def test_batched_engine_speedup(benchmark, report):
     engine = make_engine()
-    # One untimed pass absorbs numpy's first-call allocation cost so the
-    # smallest fleet is not charged for the warmup.
-    engine.step(fleet_state(min(FLEET_SIZES), seed=1))
     per_size = {}
+    per_size_spread = {}
     for n_links in FLEET_SIZES:
         state = fleet_state(n_links, seed=0)
+        # Per-size warmup: the first step at a new size pays numpy
+        # allocation and cache-population costs that are not the solve.
+        engine.step(state.copy())
         timings = []
         for _ in range(ROUNDS):
             fresh = state.copy()
             started = time.perf_counter()
             engine.step(fresh)
             timings.append(time.perf_counter() - started)
-        per_size[n_links] = min(timings)
+        per_size[n_links] = statistics.median(timings)
+        per_size_spread[n_links] = (min(timings), max(timings))
 
     largest = max(FLEET_SIZES)
     state = fleet_state(largest, seed=0)
@@ -140,9 +149,12 @@ def test_batched_engine_speedup(benchmark, report):
                 f"SNR quantum {SNR_QUANTUM_DB:g} dB")
     for n_links in FLEET_SIZES:
         elapsed = per_size[n_links]
+        low, high = per_size_spread[n_links]
         report.emit(
             f"{n_links:>6} links : {elapsed * 1e3:9.1f} ms/step  "
-            f"({n_links / elapsed:12,.0f} links/sec)"
+            f"({n_links / elapsed:12,.0f} links/sec)  "
+            f"[min {low * 1e3:.1f} / max {high * 1e3:.1f} ms "
+            f"over {ROUNDS} rounds]"
         )
     report.emit(
         f"speedup      : {speedup:8.1f}x over the naive loop at "
@@ -169,6 +181,14 @@ def test_batched_engine_speedup(benchmark, report):
                 },
                 "step_ms": {
                     str(n): per_size[n] * 1e3 for n in FLEET_SIZES
+                },
+                "step_ms_min": {
+                    str(n): per_size_spread[n][0] * 1e3
+                    for n in FLEET_SIZES
+                },
+                "step_ms_max": {
+                    str(n): per_size_spread[n][1] * 1e3
+                    for n in FLEET_SIZES
                 },
                 "speedup_x": speedup,
                 "speedup_floor_x": SPEEDUP_FLOOR,

@@ -1,0 +1,228 @@
+"""Telemetry pipeline — vectorized batch decode vs per-uplink unpacking.
+
+Not a paper figure: this measures the uplink ingestion tier
+(`repro.telemetry`). The batch decoder turns N concatenated binary frames
+into struct-of-arrays columns with one ``np.frombuffer`` pass plus one
+vectorized cast per field; the naive alternative — ``struct.unpack`` per
+frame, exactly what a per-uplink loop over the scalar codec does — is
+timed on a sample and compared per-uplink.
+
+Claims enforced every run:
+
+* the batch decoder sustains >= 100,000 uplinks/sec;
+* the batch decoder is >= 20x faster per uplink than the scalar
+  ``struct.unpack`` loop.
+
+The end-to-end bench runs the whole measured-fleet loop — simulator →
+codec → ingest/estimator → fleet engine recommend — and reports the
+per-step latency split. Results land in ``BENCH_telemetry.json`` at the
+repo root.
+
+Set ``BENCH_TELEMETRY_QUICK=1`` (the CI smoke mode) for fewer rounds and
+smaller batches. Timing discipline matches ``bench_fleet``: per-case
+untimed warmup, median of ``ROUNDS`` rounds, min/max recorded.
+"""
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.optimization import TuningGrid
+from repro.fleet import FleetEngine, FleetState
+from repro.sim.rng import RngStreams
+from repro.telemetry import (
+    DeviceFleetSimulator,
+    SnrEstimator,
+    TelemetryIngestor,
+    UPLINK_TEMPLATE_V1,
+    UplinkCodec,
+)
+
+_QUICK = bool(os.environ.get("BENCH_TELEMETRY_QUICK"))
+
+DECODE_UPLINKS = 50_000 if _QUICK else 400_000
+SCALAR_SAMPLE = 5_000 if _QUICK else 20_000
+ROUNDS = 3 if _QUICK else 5
+E2E_LINKS = 256 if _QUICK else 1024
+E2E_TICKS = 5 if _QUICK else 10
+
+THROUGHPUT_FLOOR_PER_S = 100_000.0
+SPEEDUP_FLOOR = 20.0
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_telemetry.json"
+
+#: Cross-test scratch shared between the decode and end-to-end benches.
+_RESULTS = {}
+
+
+def synthetic_payload(n_uplinks: int, codec: UplinkCodec) -> bytes:
+    """N encoded uplinks with seeded, wire-representable measurements."""
+    rng = RngStreams(0).stream("bench-telemetry")
+    n_links = max(n_uplinks // 16, 1)
+    columns = {
+        "link_id": np.arange(n_uplinks, dtype=np.int64) % n_links,
+        "seq": np.arange(n_uplinks, dtype=np.int64) % (1 << 16),
+        "rssi_dbm": np.round(rng.uniform(-95.0, -40.0, n_uplinks), 2),
+        "noise_dbm": np.round(rng.uniform(-100.0, -90.0, n_uplinks), 2),
+        "plr": np.round(rng.uniform(0.0, 0.5, n_uplinks), 4),
+    }
+    return codec.encode_batch(columns)
+
+
+def _median_timed(run, rounds: int):
+    """(median_s, min_s, max_s) of ``run()`` over ``rounds`` rounds."""
+    timings = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - started)
+    return statistics.median(timings), min(timings), max(timings)
+
+
+def test_batch_decode_throughput(benchmark, report):
+    """Vectorized decode rate, and its speedup over scalar unpacking."""
+    codec = UplinkCodec(UPLINK_TEMPLATE_V1)
+    payload = synthetic_payload(DECODE_UPLINKS, codec)
+    frame_bytes = codec.frame_bytes
+
+    codec.decode_batch(payload)  # warmup: first-touch + cast caches
+    batch_s, batch_min_s, batch_max_s = _median_timed(
+        lambda: codec.decode_batch(payload), ROUNDS
+    )
+    benchmark.pedantic(
+        lambda: codec.decode_batch(payload), rounds=ROUNDS, iterations=1
+    )
+    uplinks_per_s = DECODE_UPLINKS / batch_s
+
+    sample = payload[: SCALAR_SAMPLE * frame_bytes]
+    frames = [
+        sample[offset : offset + frame_bytes]
+        for offset in range(0, len(sample), frame_bytes)
+    ]
+
+    def scalar_loop():
+        for frame in frames:
+            codec.decode(frame)
+
+    scalar_loop()  # warmup
+    scalar_s, _, _ = _median_timed(scalar_loop, ROUNDS)
+    scalar_per_uplink_s = scalar_s / len(frames)
+    batch_per_uplink_s = batch_s / DECODE_UPLINKS
+    speedup = scalar_per_uplink_s / batch_per_uplink_s
+
+    _RESULTS["decode"] = {
+        "n_uplinks": DECODE_UPLINKS,
+        "frame_bytes": frame_bytes,
+        "batch_ms": batch_s * 1e3,
+        "batch_ms_min": batch_min_s * 1e3,
+        "batch_ms_max": batch_max_s * 1e3,
+        "uplinks_per_second": uplinks_per_s,
+        "scalar_sample": len(frames),
+        "scalar_uplinks_per_second": 1.0 / scalar_per_uplink_s,
+        "speedup_x": speedup,
+    }
+    report.header("Telemetry decode: one-pass batch vs struct.unpack loop")
+    report.emit(
+        f"template     : '{codec.template.name}' v{codec.template.version}, "
+        f"{frame_bytes} B/frame",
+        f"batch        : {DECODE_UPLINKS} uplinks in {batch_s * 1e3:8.2f} ms "
+        f"({uplinks_per_s:12,.0f} uplinks/sec) "
+        f"[min {batch_min_s * 1e3:.2f} / max {batch_max_s * 1e3:.2f} ms "
+        f"over {ROUNDS} rounds]",
+        f"scalar       : {len(frames)} uplinks sampled "
+        f"({1.0 / scalar_per_uplink_s:12,.0f} uplinks/sec)",
+        f"speedup      : {speedup:8.1f}x per uplink",
+    )
+    report.shape_check(
+        f"batch decode >= {THROUGHPUT_FLOOR_PER_S:,.0f} uplinks/sec "
+        f"({uplinks_per_s:,.0f} measured)",
+        uplinks_per_s >= THROUGHPUT_FLOOR_PER_S,
+    )
+    report.shape_check(
+        f"batch decode >= {SPEEDUP_FLOOR:.0f}x faster than the scalar "
+        f"unpack loop ({speedup:,.1f}x measured)",
+        speedup >= SPEEDUP_FLOOR,
+    )
+    assert uplinks_per_s >= THROUGHPUT_FLOOR_PER_S
+    assert speedup >= SPEEDUP_FLOOR
+
+
+def test_ingest_to_recommend_latency(benchmark, report):
+    """End-to-end: simulator → codec → ingest → estimator → engine."""
+    simulator_state = None  # built per round for identical traffic
+
+    def build():
+        rng = RngStreams(0).stream("bench-telemetry-e2e")
+        base_snr_db = rng.uniform(0.0, 25.0, size=E2E_LINKS)
+        truth = FleetState.from_base_snr(base_snr_db)
+        serving = FleetState.from_base_snr(base_snr_db)
+        simulator = DeviceFleetSimulator(
+            truth, mode="periodic", seed=1, noise_db=0.5
+        )
+        ingestor = TelemetryIngestor(serving, SnrEstimator(alpha=0.25))
+        engine = FleetEngine(grid=TuningGrid(), snr_quantum_db=0.25)
+        return simulator, ingestor, engine
+
+    def run_steps():
+        simulator, ingestor, engine = build()
+        ingest_s = 0.0
+        solve_s = 0.0
+        for step_index in range(E2E_TICKS):
+            payload = simulator.tick()
+            started = time.perf_counter()
+            ingestor.ingest(payload)
+            ingest_s += time.perf_counter() - started
+            started = time.perf_counter()
+            engine.step(ingestor.state, step_index=step_index)
+            solve_s += time.perf_counter() - started
+        return ingest_s, solve_s
+
+    run_steps()  # warmup: grid evaluation caches, first-touch costs
+    per_round = []
+    for _ in range(ROUNDS):
+        per_round.append(run_steps())
+    ingest_ms = statistics.median(r[0] for r in per_round) / E2E_TICKS * 1e3
+    solve_ms = statistics.median(r[1] for r in per_round) / E2E_TICKS * 1e3
+    step_ms = ingest_ms + solve_ms
+    benchmark.pedantic(run_steps, rounds=1, iterations=1)
+
+    _RESULTS["end_to_end"] = {
+        "n_links": E2E_LINKS,
+        "n_ticks": E2E_TICKS,
+        "ingest_ms_per_step": ingest_ms,
+        "solve_ms_per_step": solve_ms,
+        "end_to_end_ms_per_step": step_ms,
+    }
+    report.header("Telemetry end-to-end: uplink batch to fleet recommendation")
+    report.emit(
+        f"fleet        : {E2E_LINKS} links, {E2E_TICKS} ticks/round, "
+        f"{ROUNDS} rounds",
+        f"ingest       : {ingest_ms:8.2f} ms/step "
+        f"(decode + sequence tracking + estimator)",
+        f"solve        : {solve_ms:8.2f} ms/step (batched fleet engine)",
+        f"end-to-end   : {step_ms:8.2f} ms from wire batch to fresh "
+        f"configurations",
+    )
+    decode = _RESULTS.get("decode")
+    assert decode is not None, "decode bench must run first"
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "telemetry",
+                "quick": _QUICK,
+                "rounds": ROUNDS,
+                "throughput_floor_uplinks_per_s": THROUGHPUT_FLOOR_PER_S,
+                "speedup_floor_x": SPEEDUP_FLOOR,
+                "decode": decode,
+                "end_to_end": _RESULTS["end_to_end"],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    report.emit(f"recorded     : {RESULT_PATH.name}")
+    assert decode["uplinks_per_second"] >= THROUGHPUT_FLOOR_PER_S
+    assert decode["speedup_x"] >= SPEEDUP_FLOOR

@@ -14,6 +14,7 @@ Subcommands
 ``lint``          run the reprolint static-analysis rules over source paths
 ``serve``         run the link-configuration oracle as an HTTP JSON service
 ``fleet``         simulate a whole deployment: drifting links, batched solves
+``telemetry``     device-uplink tooling: simulate, decode, ingest-bench
 """
 
 from __future__ import annotations
@@ -482,6 +483,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         oracle.precompute(args.precompute)
+    ingestor = None
+    if args.telemetry_links:
+        from .fleet import FleetState
+        from .sim.rng import RngStreams
+        from .telemetry import SnrEstimator, TelemetryIngestor
+
+        rng = RngStreams(args.telemetry_seed).stream("telemetry-serve")
+        base_snr_db = rng.uniform(5.0, 25.0, size=args.telemetry_links)
+        ingestor = TelemetryIngestor(
+            FleetState.from_base_snr(base_snr_db),
+            SnrEstimator(alpha=args.telemetry_alpha),
+        )
     service = OracleService(
         oracle,
         queue_capacity=args.queue_capacity,
@@ -489,14 +502,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         default_timeout_s=args.timeout_s,
         retry_after_s=args.retry_after_s,
+        ingestor=ingestor,
     )
     server = make_server(
         service, host=args.host, port=args.port, quiet=not args.verbose
     )
+    telemetry_note = (
+        f", telemetry={args.telemetry_links} links" if ingestor else ""
+    )
     print(
         f"wsnlink oracle listening on http://{args.host}:{server.port} "
         f"(workers={args.workers}, queue={args.queue_capacity}, "
-        f"max_batch={args.max_batch}, grid={len(grid)} configs)",
+        f"max_batch={args.max_batch}, grid={len(grid)} configs"
+        f"{telemetry_note})",
         flush=True,
     )
     try:
@@ -585,6 +603,189 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
     return 0
+
+
+def _build_simulator(args: argparse.Namespace):
+    """A (simulator, serving_state) pair from shared telemetry CLI flags."""
+    from .fleet import FleetDrift, FleetState, grid_topology
+    from .telemetry import DeviceFleetSimulator, TEMPLATE_REGISTRY
+
+    topology = grid_topology(args.links, seed=args.seed)
+    truth = FleetState.from_topology(topology)
+    serving = FleetState.from_topology(topology)
+    drift = (
+        FleetDrift(topology, seed=args.seed, step_interval_s=1.0)
+        if args.drift
+        else None
+    )
+    simulator = DeviceFleetSimulator(
+        truth,
+        template=TEMPLATE_REGISTRY[args.template],
+        mode=args.mode,
+        seed=args.seed,
+        report_prob=args.report_prob,
+        burst_prob=args.burst_prob,
+        burst_len=args.burst_len,
+        noise_db=args.noise_db,
+        drop_prob=args.drop_prob,
+        duplicate_prob=args.duplicate_prob,
+        drift=drift,
+    )
+    return simulator, serving
+
+
+def _cmd_telemetry_simulate(args: argparse.Namespace) -> int:
+    simulator, _ = _build_simulator(args)
+    frame_bytes = simulator.codec.frame_bytes
+    n_uplinks = 0
+    n_bytes = 0
+    chunks = []
+    for _ in range(args.ticks):
+        payload = simulator.tick()
+        if not payload:
+            continue
+        n_uplinks += len(payload) // frame_bytes
+        n_bytes += len(payload)
+        if args.out is not None:
+            chunks.append(payload)
+        if args.post is not None:
+            import json as json_module
+            import urllib.request
+
+            request = urllib.request.Request(
+                args.post.rstrip("/") + "/v1/telemetry",
+                data=payload,
+                headers={"Content-Type": "application/octet-stream"},
+            )
+            with urllib.request.urlopen(request) as response:
+                report = json_module.loads(response.read())["report"]
+            print(
+                f"  tick {simulator.n_ticks:>4}: "
+                f"{report['n_accepted']}/{report['n_uplinks']} accepted, "
+                f"{report['n_links_updated']} links updated"
+            )
+    if args.out is not None:
+        with open(args.out, "wb") as handle:
+            for chunk in chunks:
+                handle.write(chunk)
+    print(
+        f"simulated {args.ticks} tick(s) over {args.links} link(s) "
+        f"({args.mode}, template v{args.template}): {n_uplinks} uplinks, "
+        f"{n_bytes} bytes ({frame_bytes} B/frame)"
+    )
+    if args.out is not None:
+        print(f"frames written to {args.out}")
+    return 0
+
+
+def _cmd_telemetry_decode(args: argparse.Namespace) -> int:
+    from .telemetry import (
+        TEMPLATE_REGISTRY,
+        decode_uplink_batch,
+        default_codecs,
+    )
+
+    with open(args.path, "rb") as handle:
+        payload = handle.read()
+    version, columns = decode_uplink_batch(payload, default_codecs())
+    template = TEMPLATE_REGISTRY[version]
+    n_uplinks = len(next(iter(columns.values())))
+    print(
+        f"{args.path}: {n_uplinks} uplink(s), template "
+        f"'{template.name}' v{version} ({template.frame_bytes} B/frame)"
+    )
+    if args.json:
+        import json as json_module
+
+        names = list(columns)
+        for row in range(n_uplinks):
+            record = {
+                name: columns[name][row].item() for name in names
+            }
+            print(json_module.dumps(record))
+        return 0
+    for name, column in columns.items():
+        print(
+            f"  {name:>12}: min {column.min():>10.4g}  "
+            f"mean {column.mean():>10.4g}  max {column.max():>10.4g}"
+        )
+    return 0
+
+
+def _cmd_telemetry_ingest_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from .telemetry import SnrEstimator, TelemetryIngestor
+
+    simulator, serving = _build_simulator(args)
+    ingestor = TelemetryIngestor(
+        serving, SnrEstimator(alpha=args.alpha)
+    )
+    n_uplinks = 0
+    decode_ms = 0.0
+    apply_ms = 0.0
+    started = time.perf_counter()
+    for _ in range(args.ticks):
+        payload = simulator.tick()
+        if not payload:
+            continue
+        report = ingestor.ingest(payload)
+        n_uplinks += report.n_uplinks
+        decode_ms += report.decode_ms
+        apply_ms += report.apply_ms
+    elapsed_s = time.perf_counter() - started
+    totals = ingestor.totals()
+    rate = n_uplinks / elapsed_s if elapsed_s > 0 else float("inf")
+    print(
+        f"ingested {n_uplinks} uplink(s) in {args.ticks} tick(s) over "
+        f"{args.links} link(s): {elapsed_s * 1e3:.2f} ms total "
+        f"({rate:,.0f} uplinks/s)"
+    )
+    print(
+        f"  decode {decode_ms:.2f} ms, apply {apply_ms:.2f} ms; "
+        f"accepted {totals['accepted']}, duplicate {totals['duplicate']}, "
+        f"out-of-order {totals['out_of_order']}, "
+        f"gap uplinks {totals['gap_uplinks']}"
+    )
+    snapshot = ingestor.state_snapshot()
+    print(
+        f"  fleet: {snapshot['n_links_measured']}/{snapshot['n_links']} "
+        f"links measured, mean SNR {snapshot['snr_mean_db']:.2f} dB "
+        f"(mean |innovation| {snapshot['mean_abs_innovation_db']:.3f} dB)"
+    )
+    return 0
+
+
+def _add_telemetry_sim_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``telemetry simulate`` and ``telemetry ingest-bench``."""
+    parser.add_argument("--links", type=int, default=64,
+                        help="number of links in the simulated fleet")
+    parser.add_argument("--ticks", type=int, default=10,
+                        help="reporting intervals to replay")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for topology, traffic, and noise")
+    parser.add_argument("--mode", choices=("periodic", "jittered", "bursty"),
+                        default="periodic",
+                        help="per-tick reporting shape")
+    parser.add_argument("--template", type=int, choices=(1, 2), default=1,
+                        help="payload template version (1 = fixed-point "
+                             "RSSI/noise, 2 = exact float64 SNR)")
+    parser.add_argument("--report-prob", type=float, default=0.8,
+                        help="per-tick report probability (jittered mode)")
+    parser.add_argument("--burst-prob", type=float, default=0.1,
+                        help="per-tick burst probability (bursty mode)")
+    parser.add_argument("--burst-len", type=int, default=5,
+                        help="readings per burst (bursty mode)")
+    parser.add_argument("--noise-db", type=float, default=0.0,
+                        help="gaussian measurement noise std (dB)")
+    parser.add_argument("--drop-prob", type=float, default=0.0,
+                        help="probability an uplink is lost in transit "
+                             "(producing receiver-visible sequence gaps)")
+    parser.add_argument("--duplicate-prob", type=float, default=0.0,
+                        help="probability a frame is delivered twice")
+    parser.add_argument("--drift", action="store_true",
+                        help="evolve the truth SNRs with the fleet drift "
+                             "model between ticks")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -719,6 +920,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: the Table I distances)")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request")
+    p.add_argument("--telemetry-links", type=int, default=0,
+                   help="enable POST /v1/telemetry backed by a measured "
+                        "fleet of this many links (0 disables telemetry)")
+    p.add_argument("--telemetry-seed", type=int, default=0,
+                   help="seed for the measured fleet's base SNRs")
+    p.add_argument("--telemetry-alpha", type=float, default=0.25,
+                   help="EWMA weight of the serving SNR estimator")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("fleet", help="simulate a deployment of drifting "
@@ -760,6 +968,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="continue an interrupted run from --checkpoint "
                         "(bit-identical to an uninterrupted run)")
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("telemetry", help="device-uplink tooling: simulate "
+                                         "traffic, decode frames, benchmark "
+                                         "the ingest pipeline")
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+
+    ps = tsub.add_parser("simulate", help="replay a simulated device fleet "
+                                          "to a file or a running server")
+    _add_telemetry_sim_arguments(ps)
+    ps.add_argument("--out", default=None, metavar="PATH",
+                    help="write the emitted binary frames to this file")
+    ps.add_argument("--post", default=None, metavar="URL",
+                    help="POST each tick's batch to this wsnlink server "
+                         "(e.g. http://127.0.0.1:8080)")
+    ps.set_defaults(func=_cmd_telemetry_simulate)
+
+    ps = tsub.add_parser("decode", help="decode a binary frame file and "
+                                        "print column stats or JSON lines")
+    ps.add_argument("path", help="file of concatenated uplink frames")
+    ps.add_argument("--json", action="store_true",
+                    help="print one JSON object per uplink instead of "
+                         "column statistics")
+    ps.set_defaults(func=_cmd_telemetry_decode)
+
+    ps = tsub.add_parser("ingest-bench", help="run simulator → codec → "
+                                              "ingest → estimator in-process "
+                                              "and report throughput")
+    _add_telemetry_sim_arguments(ps)
+    ps.add_argument("--alpha", type=float, default=0.25,
+                    help="EWMA weight of the SNR estimator")
+    ps.set_defaults(func=_cmd_telemetry_ingest_bench)
     return parser
 
 

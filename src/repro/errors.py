@@ -7,6 +7,8 @@ while still letting programming errors (``TypeError`` and friends) surface.
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -24,6 +26,7 @@ __all__ = [
     "InfeasibleError",
     "LintError",
     "FleetError",
+    "TelemetryError",
     "ServeError",
     "ProtocolError",
     "OverloadError",
@@ -123,6 +126,17 @@ class FleetError(ReproError):
     """
 
 
+class TelemetryError(ReproError):
+    """A telemetry uplink could not be encoded, estimated, or applied.
+
+    Covers :mod:`repro.telemetry` — payload-template construction,
+    out-of-range field values at encode time, and estimator/ingestor state
+    mismatches. *Wire-level* defects in received frames (truncation, bad
+    header, unknown template version) raise :class:`ProtocolError`
+    instead, because a malformed frame is a malformed request.
+    """
+
+
 class ServeError(ReproError):
     """The link-configuration oracle service could not answer a request.
 
@@ -133,7 +147,16 @@ class ServeError(ReproError):
 
 
 class ProtocolError(ServeError, ValueError):
-    """A serve request payload is malformed or references unknown fields."""
+    """A serve request payload is malformed or references unknown fields.
+
+    ``field`` optionally names the offending request field so structured
+    HTTP error bodies can point at it (the ``error.field`` key documented
+    in ``docs/SERVING.md``).
+    """
+
+    def __init__(self, message: str, field: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.field = field
 
 
 class OverloadError(ServeError):

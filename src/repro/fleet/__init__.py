@@ -25,6 +25,7 @@ from .engine import (
 from .runner import (
     FLEET_CHECKPOINT_FORMAT,
     FleetRunResult,
+    SnrSource,
     parse_fleet_row,
     run_fleet,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "FleetState",
     "FleetStepReport",
     "FleetTopology",
+    "SnrSource",
     "build_topology",
     "grid_topology",
     "link_base_snr_db",

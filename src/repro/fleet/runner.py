@@ -5,17 +5,22 @@ Reuses the campaign checkpoint machinery
 :func:`~repro.campaign.checkpoint.append_checkpoint_row`): every step
 appends one durable JSON row, a partial trailing row left by a crash —
 even one cut mid multi-byte UTF-8 character — is truncated and redone,
-and ``resume=True`` fast-forwards a fresh :class:`FleetDrift` through the
+and ``resume=True`` fast-forwards a fresh :class:`SnrSource` through the
 completed steps (bit-identical RNG replay), verifies the replayed SNR
 trajectory against the stored rows, restores the last state, and
 continues. The resumed trajectory is byte-for-byte the uninterrupted one.
+
+The per-step SNR producer is any :class:`SnrSource` — the synthetic
+:class:`~repro.fleet.drift.FleetDrift` or the measured
+:class:`~repro.telemetry.simulator.TelemetrySnrSource` — so a fleet run
+driven by device telemetry is the same loop as one driven by a model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Protocol
 
 import numpy as np
 
@@ -25,7 +30,6 @@ from ..campaign.checkpoint import (
     write_checkpoint_header,
 )
 from ..errors import DatasetError, FleetError
-from .drift import FleetDrift
 from .engine import FleetEngine, FleetStepReport
 from .state import FleetState
 from .topology import FleetTopology
@@ -33,9 +37,27 @@ from .topology import FleetTopology
 __all__ = [
     "FLEET_CHECKPOINT_FORMAT",
     "FleetRunResult",
+    "SnrSource",
     "parse_fleet_row",
     "run_fleet",
 ]
+
+
+class SnrSource(Protocol):
+    """What :func:`run_fleet` needs from a per-step SNR producer.
+
+    ``step(state)`` advances one reporting interval, rewrites
+    ``state.snr_db`` in place, and returns that column;
+    ``step_interval_s`` is the wall-clock meaning of one step (recorded
+    in checkpoint headers). Implementations must be deterministic given
+    their construction arguments for checkpoint resume to replay them.
+    """
+
+    step_interval_s: float
+
+    def step(self, state: FleetState) -> np.ndarray:
+        """Advance one interval and return the updated SNR column."""
+        ...
 
 #: ``format`` tag of fleet checkpoint headers.
 FLEET_CHECKPOINT_FORMAT = "repro-fleet-checkpoint-v1"
@@ -92,13 +114,13 @@ class FleetRunResult:
 def _replay_rows(
     rows: List[Dict[str, object]],
     state: FleetState,
-    drift: FleetDrift,
+    drift: SnrSource,
     n_steps: int,
     source: Path,
 ) -> None:
-    """Fast-forward drift + state through already-checkpointed steps.
+    """Fast-forward the SNR source + state through checkpointed steps.
 
-    The drift RNG is replayed (one draw per link per step) and the
+    The source's RNG is replayed (one draw per link per step) and the
     resulting SNR column must match the stored one bit-for-bit — a
     mismatch means the checkpoint came from a different seed, topology,
     or step interval, and silently mixing trajectories would be worse
@@ -110,7 +132,9 @@ def _replay_rows(
             f"{n_steps} — wrong run parameters?"
         )
     for row in rows:
-        drift.step(state)
+        # step() mutates state.snr_db in place (the Protocol stub body
+        # just looks pure to the hoisting analysis).
+        drift.step(state)  # reprolint: disable=RPR104
         stored_snr_db = np.asarray(row["snr_db"], dtype=float)
         if stored_snr_db.shape != state.snr_db.shape or not np.array_equal(
             stored_snr_db, state.snr_db
@@ -135,22 +159,35 @@ def _replay_rows(
 def run_fleet(
     topology: FleetTopology,
     engine: FleetEngine,
-    drift: FleetDrift,
+    drift: SnrSource,
     n_steps: int,
     checkpoint_path: Optional[object] = None,
     resume: bool = False,
     progress: Optional[Callable[[FleetStepReport], None]] = None,
+    initial_state: Optional[FleetState] = None,
 ) -> FleetRunResult:
-    """Run (or resume) ``n_steps`` of drift + solve over a fleet.
+    """Run (or resume) ``n_steps`` of SNR update + solve over a fleet.
 
-    With a ``checkpoint_path``, each step is durably appended before the
-    next begins; ``resume=True`` picks an interrupted run back up from
-    its last complete row (a missing file simply starts fresh). Without
-    ``resume``, an existing file is overwritten.
+    ``drift`` is any :class:`SnrSource` — the synthetic drift model or a
+    telemetry-fed adapter. With a ``checkpoint_path``, each step is
+    durably appended before the next begins; ``resume=True`` picks an
+    interrupted run back up from its last complete row (a missing file
+    simply starts fresh). Without ``resume``, an existing file is
+    overwritten. ``initial_state`` substitutes for the topology-derived
+    starting state when the source is bound to a specific state object
+    (a telemetry ingestor's); its length must match the topology.
     """
     if n_steps < 1:
         raise FleetError(f"n_steps must be >= 1, got {n_steps!r}")
-    state = FleetState.from_topology(topology)
+    if initial_state is None:
+        state = FleetState.from_topology(topology)
+    else:
+        state = initial_state
+        if len(state) != len(topology):
+            raise FleetError(
+                f"initial_state has {len(state)} links but the topology "
+                f"has {len(topology)}"
+            )
     path = Path(checkpoint_path) if checkpoint_path is not None else None
     existing: List[Dict[str, object]] = []
     if path is not None:
@@ -175,7 +212,7 @@ def run_fleet(
     rows = list(existing)
     executed = 0
     for step_index in range(len(existing), n_steps):
-        drift.step(state)
+        drift.step(state)  # reprolint: disable=RPR104 — mutates state
         report = engine.step(state, step_index=step_index)
         row = _report_row(report, state)
         if path is not None:

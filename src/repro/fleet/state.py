@@ -115,6 +115,29 @@ class FleetState:
             objective_value=np.full(n_links, np.nan, dtype=float),
         )
 
+    @classmethod
+    def from_base_snr(
+        cls,
+        base_snr_db: np.ndarray,
+        noise_dbm: float = -90.0,
+    ) -> "FleetState":
+        """Initial state straight from per-link base SNRs (no topology).
+
+        The telemetry path often starts from measured or configured SNRs
+        rather than a geometric layout; this builds the same
+        nothing-configured-yet state :meth:`from_topology` does, with a
+        uniform noise floor.
+        """
+        base = np.asarray(base_snr_db, dtype=float)
+        n_links = len(base)
+        return cls(
+            base_snr_db=base,
+            snr_db=base.copy(),
+            noise_dbm=np.full(n_links, float(noise_dbm)),
+            config_index=np.full(n_links, -1, dtype=np.int64),
+            objective_value=np.full(n_links, np.nan, dtype=float),
+        )
+
     def copy(self) -> "FleetState":
         """An independent deep copy (columns are not shared)."""
         return FleetState(

@@ -6,7 +6,8 @@ and constraints, the oracle returns the best stack configuration — cached,
 batched, and backpressured. Layering, top to bottom::
 
     http      stdlib JSON API (POST /v1/recommend, /v1/fleet/recommend,
-              /v1/evaluate, GET /healthz, /metrics) — repro.serve.http
+              /v1/evaluate, /v1/telemetry, GET /v1/telemetry/state,
+              /healthz, /metrics) — repro.serve.http
     client    in-process dict-in/dict-out facade — repro.serve.client
     service   bounded queue, micro-batching, worker pool, deadlines —
               repro.serve.service
@@ -46,15 +47,18 @@ from .oracle import (
 )
 from .protocol import (
     MAX_FLEET_LINKS,
+    MAX_TELEMETRY_UPLINKS,
     OBJECTIVES,
     EvaluateRequest,
     FleetRecommendRequest,
     LinkSpec,
     RecommendRequest,
+    TelemetryRequest,
     evaluation_as_dict,
     parse_evaluate,
     parse_fleet_recommend,
     parse_recommend,
+    parse_telemetry,
 )
 from .service import OracleService
 
@@ -70,6 +74,7 @@ __all__ = [
     "LinkSpec",
     "LruCache",
     "MAX_FLEET_LINKS",
+    "MAX_TELEMETRY_UPLINKS",
     "OBJECTIVES",
     "Oracle",
     "OracleHTTPServer",
@@ -80,6 +85,7 @@ __all__ = [
     "ServiceMetrics",
     "SweepTable",
     "TIER_LRU",
+    "TelemetryRequest",
     "TIER_MISS",
     "TIER_PRECOMPUTED",
     "evaluation_as_dict",
@@ -87,4 +93,5 @@ __all__ = [
     "parse_evaluate",
     "parse_fleet_recommend",
     "parse_recommend",
+    "parse_telemetry",
 ]

@@ -9,15 +9,18 @@ here works verbatim against ``POST /v1/recommend``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..core.optimization import ConfigEvaluation
+from ..errors import ProtocolError
 from .oracle import FleetRecommendResult, RecommendResult
 from .protocol import (
+    TelemetryRequest,
     evaluation_as_dict,
     parse_evaluate,
     parse_fleet_recommend,
     parse_recommend,
+    parse_telemetry,
 )
 from .service import OracleService
 
@@ -94,6 +97,34 @@ class Client:
         evaluation = self.service.call(request, timeout_s=timeout_s)
         assert isinstance(evaluation, ConfigEvaluation)
         return {"evaluation": evaluation_as_dict(evaluation)}
+
+    def telemetry(
+        self,
+        payload: Union[bytes, bytearray, memoryview, Dict[str, object]],
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Answer a ``/v1/telemetry``-shaped payload.
+
+        ``bytes``-like payloads are treated as raw binary frames (the
+        ``application/octet-stream`` path); mappings are parsed as the
+        JSON body (``frames`` is not expressible there — JSON clients
+        send ``uplinks`` + ``template_version``).
+        """
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            request = TelemetryRequest(frames=bytes(payload))
+        else:
+            request = parse_telemetry(payload)
+        report = self.service.call(request, timeout_s=timeout_s)
+        return {"report": report.as_dict()}
+
+    def telemetry_state(self) -> Dict[str, object]:
+        """The measured-fleet snapshot ``GET /v1/telemetry/state`` serves."""
+        ingestor = self.service.ingestor
+        if ingestor is None:
+            raise ProtocolError(
+                "telemetry ingestion is not enabled on this service"
+            )
+        return ingestor.state_snapshot()
 
     def healthz(self) -> Dict[str, object]:
         """The health snapshot ``GET /healthz`` serves."""

@@ -8,20 +8,29 @@ Endpoints (JSON in, JSON out; schemas in ``docs/SERVING.md``):
   links sharing one objective/constraint policy (per-link infeasibility is
   reported in-band, not as a 409);
 * ``POST /v1/evaluate`` — model metrics of one explicit configuration;
+* ``POST /v1/telemetry`` — one device uplink batch, either raw binary
+  frames (``Content-Type: application/octet-stream``) or JSON uplinks;
+* ``GET /v1/telemetry/state`` — measured-fleet snapshot (404 when the
+  service runs without an ingestor);
 * ``GET /healthz`` — liveness plus queue/cache occupancy;
 * ``GET /metrics`` — counters and latency histograms.
 
 Error mapping: malformed payloads and out-of-domain parameters are 400,
 an infeasible constraint set is 409, backpressure rejections are 503 with
-a ``Retry-After`` header, and deadline expiries are 504. The server is the
-stdlib :class:`~http.server.ThreadingHTTPServer` — no third-party
-dependencies, one thread per connection, with the real concurrency bound
-enforced by the service's worker pool and bounded queue behind it.
+a ``Retry-After`` header, and deadline expiries are 504. Error bodies are
+structured (``error.type`` / ``error.code`` / ``error.message`` and,
+when the offending request field is known, ``error.field``), and every
+4xx protocol rejection increments ``requests_rejected_protocol``. The
+server is the stdlib :class:`~http.server.ThreadingHTTPServer` — no
+third-party dependencies, one thread per connection, with the real
+concurrency bound enforced by the service's worker pool and bounded
+queue behind it.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
@@ -29,6 +38,7 @@ from typing import Dict, Optional, Tuple
 from ..errors import (
     InfeasibleError,
     OverloadError,
+    ProtocolError,
     ReproError,
     ServiceTimeoutError,
 )
@@ -43,6 +53,16 @@ __all__ = [
 
 #: Largest accepted request body; anything bigger is rejected with 413.
 MAX_BODY_BYTES = 1 << 20
+
+
+def _error_code(error: BaseException) -> str:
+    """Stable snake_case wire code of an exception class.
+
+    ``ProtocolError`` → ``protocol_error``, ``InfeasibleError`` →
+    ``infeasible_error`` — derived, so a new error class cannot forget
+    to register a code.
+    """
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", type(error).__name__).lower()
 
 
 class OracleHTTPServer(ThreadingHTTPServer):
@@ -103,34 +123,50 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
         error: BaseException,
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        self._send_json(
-            status,
-            {"error": {"type": type(error).__name__, "message": str(error)}},
-            headers,
-        )
+        detail: Dict[str, object] = {
+            "type": type(error).__name__,
+            "code": _error_code(error),
+            "message": str(error),
+        }
+        field = getattr(error, "field", None)
+        if field is not None:
+            detail["field"] = field
+        if status in (400, 413):
+            self.server.client.service.metrics.increment(
+                "requests_rejected_protocol"
+            )
+        self._send_json(status, {"error": detail}, headers)
 
-    def _read_body(self) -> Optional[object]:
-        """Decoded JSON body, or None after an error response was sent."""
+    def _read_raw_body(self) -> Optional[bytes]:
+        """Raw request body bytes, or None after an error response was sent."""
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
-            self._send_json(400, {"error": {"type": "ProtocolError",
-                                            "message": "bad Content-Length"}})
+            self._send_error_json(
+                400, ProtocolError("bad Content-Length", field="Content-Length")
+            )
             return None
         if length <= 0:
-            self._send_json(400, {"error": {"type": "ProtocolError",
-                                            "message": "empty request body"}})
+            self._send_error_json(400, ProtocolError("empty request body"))
             return None
         if length > MAX_BODY_BYTES:
-            self._send_json(413, {"error": {"type": "ProtocolError",
-                                            "message": "request body too large"}})
+            self._send_error_json(
+                413, ProtocolError("request body too large")
+            )
             return None
-        raw = self.rfile.read(length)
+        return self.rfile.read(length)
+
+    def _read_body(self) -> Optional[object]:
+        """Decoded JSON body, or None after an error response was sent."""
+        raw = self._read_raw_body()
+        if raw is None:
+            return None
         try:
             return json.loads(raw)
         except json.JSONDecodeError as exc:
-            self._send_json(400, {"error": {"type": "ProtocolError",
-                                            "message": f"bad JSON: {exc}"}})
+            self._send_error_json(
+                400, ProtocolError(f"bad JSON: {exc}", field="body")
+            )
             return None
 
     # ------------------------------------------------------------- endpoints
@@ -141,9 +177,20 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, client.healthz())
         elif self.path == "/metrics":
             self._send_json(200, client.metrics())
+        elif self.path == "/v1/telemetry/state":
+            if client.service.ingestor is None:
+                self._send_error_json(
+                    404,
+                    ProtocolError(
+                        "telemetry ingestion is not enabled on this service"
+                    ),
+                )
+            else:
+                self._send_json(200, client.telemetry_state())
         else:
-            self._send_json(404, {"error": {"type": "ProtocolError",
-                                            "message": f"no route {self.path}"}})
+            self._send_error_json(
+                404, ProtocolError(f"no route {self.path}")
+            )
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
         client = self.server.client
@@ -153,11 +200,20 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
             handler = client.recommend_fleet
         elif self.path == "/v1/evaluate":
             handler = client.evaluate
+        elif self.path == "/v1/telemetry":
+            handler = client.telemetry
         else:
-            self._send_json(404, {"error": {"type": "ProtocolError",
-                                            "message": f"no route {self.path}"}})
+            self._send_error_json(
+                404, ProtocolError(f"no route {self.path}")
+            )
             return
-        payload = self._read_body()
+        content_type = self.headers.get("Content-Type", "")
+        binary = (
+            self.path == "/v1/telemetry"
+            and content_type.split(";")[0].strip().lower()
+            == "application/octet-stream"
+        )
+        payload = self._read_raw_body() if binary else self._read_body()
         if payload is None:
             return
         started = time.monotonic()

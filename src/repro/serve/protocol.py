@@ -27,16 +27,19 @@ from ..errors import ConfigurationError, ProtocolError
 
 __all__ = [
     "MAX_FLEET_LINKS",
+    "MAX_TELEMETRY_UPLINKS",
     "OBJECTIVES",
     "LinkSpec",
     "RecommendRequest",
     "EvaluateRequest",
     "FleetRecommendRequest",
+    "TelemetryRequest",
     "evaluation_as_dict",
     "parse_link",
     "parse_recommend",
     "parse_evaluate",
     "parse_fleet_recommend",
+    "parse_telemetry",
 ]
 
 #: Objectives a request may optimize or constrain (minimization form, the
@@ -58,6 +61,12 @@ _KEY_DECIMALS = 6
 #: work per request (and keeps a maximal batch body well under the HTTP
 #: layer's 1 MiB cap).
 MAX_FLEET_LINKS = 10_000
+
+#: Most uplinks one ``POST /v1/telemetry`` batch may carry, binary or
+#: JSON. Together with the service's bounded queue this is the telemetry
+#: backpressure story: a too-large batch is a protocol error (400), a
+#: full queue is an overload rejection (503 + Retry-After).
+MAX_TELEMETRY_UPLINKS = 50_000
 
 
 @dataclass(frozen=True)
@@ -167,6 +176,49 @@ class FleetRecommendRequest:
 
 
 @dataclass(frozen=True)
+class TelemetryRequest:
+    """One uplink batch for the ingest tier, binary or JSON.
+
+    Exactly one of the two carriers is populated: ``frames`` holds raw
+    concatenated wire frames (the version byte is in-band), ``uplinks``
+    holds decoded-JSON field mappings that ``template_version`` names the
+    template for. The ingestor re-encodes JSON uplinks through the wire
+    codec before applying them, so both carriers quantize identically.
+    """
+
+    frames: Optional[bytes] = None
+    uplinks: Optional[Tuple[Mapping[str, object], ...]] = None
+    template_version: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.frames is None) == (self.uplinks is None):
+            raise ProtocolError(
+                "a telemetry request needs exactly one of binary frames "
+                "or JSON uplinks"
+            )
+        if self.frames is not None and not self.frames:
+            raise ProtocolError(
+                "telemetry frames must be non-empty", field="payload"
+            )
+        if self.uplinks is not None:
+            if self.template_version is None:
+                raise ProtocolError(
+                    "JSON telemetry needs a template_version",
+                    field="template_version",
+                )
+            if not self.uplinks:
+                raise ProtocolError(
+                    "telemetry uplinks must be non-empty", field="uplinks"
+                )
+            if len(self.uplinks) > MAX_TELEMETRY_UPLINKS:
+                raise ProtocolError(
+                    f"a telemetry batch carries at most "
+                    f"{MAX_TELEMETRY_UPLINKS} uplinks, got {len(self.uplinks)}",
+                    field="uplinks",
+                )
+
+
+@dataclass(frozen=True)
 class EvaluateRequest:
     """Ask for the model metrics of one explicit configuration on a link."""
 
@@ -201,7 +253,9 @@ def _parse_number(data: Mapping[str, object], field: str) -> Optional[float]:
     if value is None:
         return None
     if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ProtocolError(f"{field} must be a number, got {value!r}")
+        raise ProtocolError(
+            f"{field} must be a number, got {value!r}", field=field
+        )
     return float(value)
 
 
@@ -288,6 +342,42 @@ def parse_evaluate(data: object) -> EvaluateRequest:
         raise ProtocolError(f"bad config: {exc}") from exc
     link = parse_link(mapping["link"]) if "link" in mapping else None
     return EvaluateRequest.for_config(config, link)
+
+
+def parse_telemetry(data: object) -> TelemetryRequest:
+    """Validate and build a JSON telemetry request from decoded JSON.
+
+    (Binary batches never pass through here — the HTTP layer wraps raw
+    ``application/octet-stream`` bodies in a :class:`TelemetryRequest`
+    directly; the version byte travels in-band.)
+    """
+    mapping = _require_mapping(data, "telemetry request")
+    _reject_unknown(mapping, ("template_version", "uplinks"), "telemetry")
+    version = mapping.get("template_version")
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise ProtocolError(
+            f"template_version must be an integer, got {version!r}",
+            field="template_version",
+        )
+    uplinks = mapping.get("uplinks")
+    if not isinstance(uplinks, (list, tuple)):
+        raise ProtocolError(
+            "uplinks must be a JSON array", field="uplinks"
+        )
+    parsed = []
+    for index, uplink in enumerate(uplinks):
+        entry = _require_mapping(uplink, f"uplink {index}")
+        for name, value in entry.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ProtocolError(
+                    f"uplink {index} field {name!r} must be a number, "
+                    f"got {value!r}",
+                    field=name,
+                )
+        parsed.append(dict(entry))
+    return TelemetryRequest(
+        uplinks=tuple(parsed), template_version=version
+    )
 
 
 def evaluation_as_dict(evaluation: ConfigEvaluation) -> Dict[str, object]:

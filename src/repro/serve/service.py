@@ -22,10 +22,11 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, List, Optional, Union
+from typing import TYPE_CHECKING, Deque, List, Optional, Union
 
 from ..errors import (
     OverloadError,
+    ProtocolError,
     ReproError,
     ServeError,
     ServiceTimeoutError,
@@ -41,13 +42,19 @@ from .protocol import (
     EvaluateRequest,
     FleetRecommendRequest,
     RecommendRequest,
+    TelemetryRequest,
 )
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, types only
+    from ..telemetry.ingest import TelemetryIngestor
 
 __all__ = [
     "OracleService",
 ]
 
-_Request = Union[RecommendRequest, EvaluateRequest, FleetRecommendRequest]
+_Request = Union[
+    RecommendRequest, EvaluateRequest, FleetRecommendRequest, TelemetryRequest
+]
 
 #: Upper bound on one idle wait in the worker loop. Purely a liveness
 #: backstop: ``close()`` notifies the condition, so shutdown is normally
@@ -130,6 +137,12 @@ class OracleService:
         Deadline given to requests that do not name their own.
     ``retry_after_s``
         Back-off hint carried by :class:`OverloadError` rejections.
+
+    ``ingestor`` (a :class:`~repro.telemetry.ingest.TelemetryIngestor`,
+    duck-typed so the serve layer never imports telemetry) enables
+    ``POST /v1/telemetry``: uplink batches flow through the same bounded
+    queue and worker pool as every other request, which is exactly what
+    gives telemetry its reject-with-``Retry-After`` backpressure.
     """
 
     def __init__(
@@ -141,6 +154,7 @@ class OracleService:
         default_timeout_s: float = 30.0,
         retry_after_s: float = 1.0,
         metrics: Optional[ServiceMetrics] = None,
+        ingestor: Optional["TelemetryIngestor"] = None,
     ) -> None:
         if queue_capacity < 1:
             raise ServeError(
@@ -173,6 +187,20 @@ class OracleService:
             "fleet_solve_ms",
             LatencyHistogram(DEFAULT_BUCKETS_MS, unit="ms"),
         )
+        self.ingestor = ingestor
+        if ingestor is not None:
+            self.metrics.register_histogram(
+                "telemetry_batch_uplinks",
+                LatencyHistogram(DEFAULT_BUCKETS_COUNT, unit="count"),
+            )
+            self.metrics.register_histogram(
+                "telemetry_decode_ms",
+                LatencyHistogram(DEFAULT_BUCKETS_MS, unit="ms"),
+            )
+            self.metrics.register_histogram(
+                "telemetry_ingest_ms",
+                LatencyHistogram(DEFAULT_BUCKETS_MS, unit="ms"),
+            )
         self._queue_capacity = int(queue_capacity)
         self._max_batch = int(max_batch)
         self._default_timeout_s = float(default_timeout_s)
@@ -361,6 +389,8 @@ class OracleService:
                 self._run_recommend_batch(live)
             elif isinstance(head, FleetRecommendRequest):
                 self._run_fleet(live[0])
+            elif isinstance(head, TelemetryRequest):
+                self._run_telemetry(live[0])
             else:
                 self._run_evaluate(live[0])
 
@@ -417,6 +447,55 @@ class OracleService:
             (time.monotonic() - started) * 1e3
         )
         self._finish(pending, result)
+
+    def _run_telemetry(self, pending: _Pending) -> None:
+        """Ingest one uplink batch and account for what it contained."""
+        request = pending.request
+        assert isinstance(request, TelemetryRequest)
+        if self.ingestor is None:
+            self._fail(
+                pending,
+                ProtocolError(
+                    "telemetry ingestion is not enabled on this service"
+                ),
+            )
+            return
+        started = time.monotonic()
+        try:
+            if request.frames is not None:
+                report = self.ingestor.ingest(request.frames, now_s=started)
+            else:
+                report = self.ingestor.ingest_uplinks(
+                    request.uplinks, request.template_version, now_s=started
+                )
+        except ReproError as exc:
+            self._fail(pending, exc)
+            return
+        self.metrics.increment("telemetry_batches_total")
+        self.metrics.increment("telemetry_uplinks_total", by=report.n_uplinks)
+        self.metrics.increment(
+            "telemetry_accepted_total", by=report.n_accepted
+        )
+        self.metrics.increment(
+            "telemetry_duplicate_total", by=report.n_duplicate
+        )
+        self.metrics.increment(
+            "telemetry_out_of_order_total", by=report.n_out_of_order
+        )
+        self.metrics.increment(
+            "telemetry_gap_total", by=report.n_gap_uplinks
+        )
+        self.metrics.increment(
+            "telemetry_unknown_link_total", by=report.n_unknown_link
+        )
+        self.metrics.histogram("telemetry_batch_uplinks").observe(
+            float(report.n_uplinks)
+        )
+        self.metrics.histogram("telemetry_decode_ms").observe(report.decode_ms)
+        self.metrics.histogram("telemetry_ingest_ms").observe(
+            (time.monotonic() - started) * 1e3
+        )
+        self._finish(pending, report)
 
     def _run_evaluate(self, pending: _Pending) -> None:
         request = pending.request

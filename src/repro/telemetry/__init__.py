@@ -1,0 +1,63 @@
+"""Streaming uplink telemetry: codecs, ingestion, estimation, simulation.
+
+The paper's configuration guidelines assume the oracle knows each link's
+SNR; this package closes the loop that produces that knowledge from what
+devices actually measure::
+
+    simulator   seeded device fleet replaying uplinks  (telemetry.simulator)
+      → codec   declarative binary payload templates, scalar struct codec
+                and one-pass vectorized batch decoder  (telemetry.template,
+                telemetry.codec)
+        → ingest  per-source sequence tracking (duplicates, reordering,
+                  gaps) feeding only fresh measurements forward
+                  (telemetry.ingest)
+          → estimator  vectorized EWMA with outlier clamping and
+                       staleness decay, writing FleetState.snr_db
+                       (telemetry.estimator)
+            → engine   the existing fleet solver consumes measured state
+                       unchanged (repro.fleet)
+
+The serve tier exposes the receiving end as ``POST /v1/telemetry``
+(binary or JSON batches) with ``telemetry_*`` counters in ``/metrics``;
+``wsnlink telemetry`` drives the simulator/codec/ingest pipeline from
+the command line. Wire format and estimator semantics are documented in
+``docs/TELEMETRY.md``; decode/ingest throughput is pinned by
+``benchmarks/bench_telemetry.py`` (``BENCH_telemetry.json``).
+
+The pinned determinism invariant: an estimator with ``alpha=1`` fed
+noiseless uplinks through the exact (float64) template reproduces the
+drift-model trajectory bit-for-bit — measured state is a strict
+generalization of synthetic state, not an approximation of it.
+"""
+
+from .codec import UplinkCodec, decode_uplink_batch, default_codecs
+from .estimator import SnrEstimator
+from .ingest import IngestReport, TelemetryIngestor
+from .simulator import DeviceFleetSimulator, TelemetrySnrSource
+from .template import (
+    FIELD_KINDS,
+    MAX_TEMPLATE_VERSION,
+    PayloadField,
+    PayloadTemplate,
+    TEMPLATE_REGISTRY,
+    UPLINK_TEMPLATE_EXACT,
+    UPLINK_TEMPLATE_V1,
+)
+
+__all__ = [
+    "DeviceFleetSimulator",
+    "FIELD_KINDS",
+    "IngestReport",
+    "MAX_TEMPLATE_VERSION",
+    "PayloadField",
+    "PayloadTemplate",
+    "SnrEstimator",
+    "TEMPLATE_REGISTRY",
+    "TelemetryIngestor",
+    "TelemetrySnrSource",
+    "UPLINK_TEMPLATE_EXACT",
+    "UPLINK_TEMPLATE_V1",
+    "UplinkCodec",
+    "decode_uplink_batch",
+    "default_codecs",
+]

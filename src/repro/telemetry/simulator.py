@@ -1,0 +1,248 @@
+"""Device-fleet uplink simulator: seeded traffic through the real codec.
+
+The delay-analysis companion study (PAPERS.md, arXiv 2207.01730) models
+periodic and bursty sensor reporting; this module replays exactly those
+arrival shapes against the ingest tier. A
+:class:`DeviceFleetSimulator` owns a *truth* :class:`~repro.fleet.state.
+FleetState` (optionally evolved by a :class:`~repro.fleet.drift.
+FleetDrift`), and each ``tick()`` emits one binary uplink batch encoded
+with the production codec — the same bytes a real device fleet would put
+on the wire, including (when enabled) measurement noise, dropped uplinks
+(sequence gaps at the receiver) and duplicated frames.
+
+Reporting modes per tick:
+
+* ``periodic`` — every link reports exactly once;
+* ``jittered`` — every link reports with probability ``report_prob``
+  (independent per tick, the Bernoulli thinning of a periodic process);
+* ``bursty`` — a link stays silent except with probability
+  ``burst_prob``, when it emits ``burst_len`` consecutive readings.
+
+All randomness is drawn from seeded :class:`~repro.sim.rng.RngStreams`
+substreams, so a simulator is bit-reproducible given (seed, mode, state).
+
+:class:`TelemetrySnrSource` adapts a simulator + ingestor pair to the
+fleet runner's SNR-source interface (``step(state)`` +
+``step_interval_s``), making *measured* state a drop-in replacement for
+the synthetic drift model in :func:`~repro.fleet.runner.run_fleet`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TelemetryError
+from ..fleet.drift import FleetDrift
+from ..fleet.state import FleetState
+from ..sim.rng import RngStreams
+from .codec import UplinkCodec
+from .ingest import IngestReport, TelemetryIngestor
+from .template import PayloadTemplate, UPLINK_TEMPLATE_V1
+
+__all__ = [
+    "DeviceFleetSimulator",
+    "TelemetrySnrSource",
+]
+
+#: Wire span of the 16-bit uplink sequence counter.
+_SEQ_SPAN = 1 << 16
+
+#: Reporting modes a simulator understands.
+_MODES = ("periodic", "jittered", "bursty")
+
+
+class DeviceFleetSimulator:
+    """Emits seeded uplink batches from a truth fleet state.
+
+    The simulator holds the per-device sequence counters (64-bit
+    internally, wrapped to 16 bits on the wire — sessions longer than
+    65,536 reports per link would need receiver-side unwrapping, which
+    the ingestor deliberately does not do). ``drop_prob`` consumes
+    sequence numbers without emitting the frame, which is what produces
+    receiver-visible gaps; ``duplicate_prob`` re-emits a frame verbatim.
+    """
+
+    def __init__(
+        self,
+        truth: FleetState,
+        template: PayloadTemplate = UPLINK_TEMPLATE_V1,
+        mode: str = "periodic",
+        seed: int = 0,
+        report_prob: float = 0.8,
+        burst_prob: float = 0.1,
+        burst_len: int = 5,
+        noise_db: float = 0.0,
+        drop_prob: float = 0.0,
+        duplicate_prob: float = 0.0,
+        drift: Optional[FleetDrift] = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise TelemetryError(
+                f"unknown reporting mode {mode!r}; valid: {list(_MODES)}"
+            )
+        for name, prob in (
+            ("report_prob", report_prob),
+            ("burst_prob", burst_prob),
+            ("drop_prob", drop_prob),
+            ("duplicate_prob", duplicate_prob),
+        ):
+            if not 0.0 <= prob <= 1.0:
+                raise TelemetryError(
+                    f"{name} must be in [0, 1], got {prob!r}"
+                )
+        if burst_len < 1:
+            raise TelemetryError(
+                f"burst_len must be >= 1, got {burst_len!r}"
+            )
+        if noise_db < 0:
+            raise TelemetryError(
+                f"noise_db must be >= 0, got {noise_db!r}"
+            )
+        self.truth = truth
+        self.mode = mode
+        self.seed = int(seed)
+        self.report_prob = float(report_prob)
+        self.burst_prob = float(burst_prob)
+        self.burst_len = int(burst_len)
+        self.noise_db = float(noise_db)
+        self.drop_prob = float(drop_prob)
+        self.duplicate_prob = float(duplicate_prob)
+        self._drift = drift
+        self._codec = UplinkCodec(template)
+        self._rng = RngStreams(self.seed).stream("telemetry-sim")
+        self._seq = np.zeros(len(truth), dtype=np.int64)
+        self._n_ticks = 0
+
+    @property
+    def codec(self) -> UplinkCodec:
+        """The compiled wire codec frames are emitted through."""
+        return self._codec
+
+    @property
+    def n_ticks(self) -> int:
+        """Ticks emitted so far."""
+        return self._n_ticks
+
+    def _emitting_uplinks(self) -> np.ndarray:
+        """Per-uplink link indices this tick (repeated for bursts)."""
+        n_links = len(self.truth)
+        if self.mode == "periodic":
+            return np.arange(n_links, dtype=np.int64)
+        if self.mode == "jittered":
+            reporting = self._rng.random(n_links) < self.report_prob
+            return np.flatnonzero(reporting).astype(np.int64)
+        bursting = np.flatnonzero(
+            self._rng.random(n_links) < self.burst_prob
+        ).astype(np.int64)
+        return np.repeat(bursting, self.burst_len)
+
+    def tick(self) -> bytes:
+        """Advance one reporting interval and emit its encoded batch.
+
+        Steps the attached drift first (when present), so the batch
+        reports the *current* channel. May legitimately return ``b""``
+        in bursty/jittered modes when no device reports this tick.
+        """
+        if self._drift is not None:
+            self._drift.step(self.truth)
+        self._n_ticks += 1
+        link = self._emitting_uplinks()
+        if len(link) == 0:
+            return b""
+        # Consecutive per-link sequence numbers, vectorized: within the
+        # (sorted) link array, an uplink's offset is its position minus
+        # the start of its link's run.
+        run_start = np.concatenate(([True], link[1:] != link[:-1]))
+        starts = np.flatnonzero(run_start)
+        counts = np.diff(np.append(starts, len(link)))
+        offsets = np.arange(len(link)) - np.repeat(starts, counts)
+        seq = self._seq[link] + offsets
+        np.add.at(self._seq, link[run_start], counts)
+        measured_snr_db = self.truth.snr_db[link]
+        if self.noise_db > 0.0:
+            measured_snr_db = measured_snr_db + self._rng.normal(
+                0.0, self.noise_db, size=len(link)
+            )
+        if self.drop_prob > 0.0:
+            kept = self._rng.random(len(link)) >= self.drop_prob
+            link = link[kept]
+            seq = seq[kept]
+            measured_snr_db = measured_snr_db[kept]
+            if len(link) == 0:
+                return b""
+        columns = self._columns(link, seq % _SEQ_SPAN, measured_snr_db)
+        payload = self._codec.encode_batch(columns)
+        if self.duplicate_prob > 0.0:
+            duplicated = self._rng.random(len(link)) < self.duplicate_prob
+            if duplicated.any():
+                repeats = duplicated.astype(np.int64) + 1
+                frames = np.frombuffer(
+                    payload, dtype=np.uint8
+                ).reshape(len(link), self._codec.frame_bytes)
+                payload = np.repeat(frames, repeats, axis=0).tobytes()
+        return payload
+
+    def _columns(
+        self,
+        link: np.ndarray,
+        seq: np.ndarray,
+        measured_snr_db: np.ndarray,
+    ) -> dict:
+        """Template field columns for one tick's measurements."""
+        names = set(self._codec.template.field_names)
+        columns = {"link_id": link, "seq": seq}
+        if "snr_db" in names:
+            columns["snr_db"] = measured_snr_db
+        if "rssi_dbm" in names:
+            noise_dbm = self.truth.noise_dbm[link]
+            columns["rssi_dbm"] = noise_dbm + measured_snr_db
+            columns["noise_dbm"] = noise_dbm
+        if "plr" in names:
+            columns["plr"] = np.zeros(len(link))
+        missing = names - set(columns)
+        if missing:
+            raise TelemetryError(
+                f"simulator cannot populate template field(s) "
+                f"{sorted(missing)}"
+            )
+        return columns
+
+
+class TelemetrySnrSource:
+    """Adapter: measured telemetry as the fleet runner's SNR source.
+
+    Each ``step(state)`` emits one simulator tick, ingests it, and
+    leaves ``state.snr_db`` holding the estimator's view — the same
+    contract as :meth:`FleetDrift.step`, so :func:`~repro.fleet.runner.
+    run_fleet` accepts either. The state passed to ``step`` must be the
+    ingestor's own state (the estimator writes *that* object in place).
+    """
+
+    def __init__(
+        self,
+        simulator: DeviceFleetSimulator,
+        ingestor: TelemetryIngestor,
+        step_interval_s: float = 1.0,
+    ) -> None:
+        if step_interval_s <= 0:
+            raise TelemetryError(
+                f"step_interval_s must be positive, got {step_interval_s!r}"
+            )
+        self.simulator = simulator
+        self.ingestor = ingestor
+        self.step_interval_s = float(step_interval_s)
+        self.last_report: Optional[IngestReport] = None
+
+    def step(self, state: FleetState) -> np.ndarray:
+        """Emit + ingest one tick and return the updated SNR column."""
+        if state is not self.ingestor.state:
+            raise TelemetryError(
+                "TelemetrySnrSource must step the state its ingestor is "
+                "bound to — measured updates land on that object"
+            )
+        payload = self.simulator.tick()
+        if payload:
+            self.last_report = self.ingestor.ingest(payload)
+        return state.snr_db

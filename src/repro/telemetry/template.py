@@ -1,0 +1,231 @@
+"""Declarative binary payload templates for device uplinks.
+
+A sensor node reports its link measurements in a handful of packed bytes,
+not JSON — the measurement study this subsystem models (PAPERS.md,
+arXiv 1411.5210) collects RSSI/noise/loss observations over exactly such
+constrained uplinks. A :class:`PayloadTemplate` describes that wire
+format declaratively: an ordered tuple of :class:`PayloadField` entries
+(name, width/signedness kind, fixed-point scale) plus a template-wide
+endianness and a version byte. The codec layer
+(:mod:`repro.telemetry.codec`) compiles a template into both a scalar
+``struct`` codec and a vectorized numpy batch decoder; this module only
+*describes* frames and owns the field-kind table both compilers share.
+
+Wire layout of one frame::
+
+    byte 0        template version (0–255)
+    bytes 1..N    the fields, in declaration order, packed with the
+                  template's endianness and no padding
+
+Integer fields carry fixed-point quantities: the decoded value is
+``raw * scale`` (e.g. an ``i16`` RSSI with ``scale=0.01`` spans
+±327.67 dBm at 0.01 dBm resolution). Float fields must keep ``scale=1``
+— they already carry their value exactly, and the *exact* uplink template
+below relies on that for the bit-for-bit estimator invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import TelemetryError
+
+__all__ = [
+    "FIELD_KINDS",
+    "MAX_TEMPLATE_VERSION",
+    "PayloadField",
+    "PayloadTemplate",
+    "TEMPLATE_REGISTRY",
+    "UPLINK_TEMPLATE_EXACT",
+    "UPLINK_TEMPLATE_V1",
+]
+
+#: Largest representable template version (one header byte).
+MAX_TEMPLATE_VERSION = 255
+
+
+@dataclass(frozen=True)
+class _FieldKind:
+    """One wire type: struct/numpy codes, width, and the raw value domain."""
+
+    struct_code: str
+    numpy_code: str
+    width_bytes: int
+    raw_min: int
+    raw_max: int
+    is_float: bool
+
+
+def _int_kind(struct_code: str, numpy_code: str, width_bytes: int,
+              signed: bool) -> _FieldKind:
+    """Build an integer field kind from its width and signedness."""
+    span = 1 << (8 * width_bytes)
+    if signed:
+        return _FieldKind(struct_code, numpy_code, width_bytes,
+                          -(span // 2), span // 2 - 1, is_float=False)
+    return _FieldKind(struct_code, numpy_code, width_bytes, 0, span - 1,
+                      is_float=False)
+
+
+#: Field kind name → wire type. Raw bounds are the representable integer
+#: range (floats use them only as a formality; range checking for floats
+#: is finiteness, not magnitude).
+FIELD_KINDS: Mapping[str, _FieldKind] = {
+    "u8": _int_kind("B", "u1", 1, signed=False),
+    "u16": _int_kind("H", "u2", 2, signed=False),
+    "u32": _int_kind("I", "u4", 4, signed=False),
+    "u64": _int_kind("Q", "u8", 8, signed=False),
+    "i8": _int_kind("b", "i1", 1, signed=True),
+    "i16": _int_kind("h", "i2", 2, signed=True),
+    "i32": _int_kind("i", "i4", 4, signed=True),
+    "i64": _int_kind("q", "i8", 8, signed=True),
+    "f32": _FieldKind("f", "f4", 4, 0, 0, is_float=True),
+    "f64": _FieldKind("d", "f8", 8, 0, 0, is_float=True),
+}
+
+
+@dataclass(frozen=True)
+class PayloadField:
+    """One field of an uplink frame: a named, scaled wire quantity.
+
+    ``scale`` is the fixed-point quantum of integer kinds — decoded value
+    = ``raw * scale``, encoded raw = ``round(value / scale)`` — and must
+    stay 1 for float kinds (they carry their value verbatim).
+    """
+
+    name: str
+    kind: str
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise TelemetryError(
+                f"field name must be an identifier, got {self.name!r}"
+            )
+        if self.name.startswith("_"):
+            raise TelemetryError(
+                f"field names starting with '_' are reserved, got {self.name!r}"
+            )
+        if self.kind not in FIELD_KINDS:
+            raise TelemetryError(
+                f"unknown field kind {self.kind!r}; valid: "
+                f"{sorted(FIELD_KINDS)}"
+            )
+        if not self.scale > 0:
+            raise TelemetryError(
+                f"field {self.name!r} scale must be positive, got {self.scale!r}"
+            )
+        if FIELD_KINDS[self.kind].is_float and self.scale != 1.0:
+            raise TelemetryError(
+                f"float field {self.name!r} must keep scale=1 "
+                f"(floats carry their value verbatim), got {self.scale!r}"
+            )
+
+    @property
+    def width_bytes(self) -> int:
+        """Packed width of this field on the wire."""
+        return FIELD_KINDS[self.kind].width_bytes
+
+
+@dataclass(frozen=True)
+class PayloadTemplate:
+    """An ordered, versioned frame layout the codecs compile.
+
+    Frames are fixed-size: one version byte plus the packed fields in
+    declaration order, no padding. Two templates with the same version
+    must never coexist in one registry — the version byte is the only
+    in-band dispatch key a receiver has.
+    """
+
+    name: str
+    version: int
+    fields: Tuple[PayloadField, ...]
+    endianness: str = "big"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.version <= MAX_TEMPLATE_VERSION:
+            raise TelemetryError(
+                f"template version must be 0..{MAX_TEMPLATE_VERSION}, "
+                f"got {self.version!r}"
+            )
+        if not self.fields:
+            raise TelemetryError(
+                f"template {self.name!r} declares no fields"
+            )
+        names = [field.name for field in self.fields]
+        if len(set(names)) != len(names):
+            raise TelemetryError(
+                f"template {self.name!r} has duplicate field names: {names}"
+            )
+        if self.endianness not in ("big", "little"):
+            raise TelemetryError(
+                f"endianness must be 'big' or 'little', got {self.endianness!r}"
+            )
+
+    @property
+    def frame_bytes(self) -> int:
+        """Size of one encoded frame (version byte + packed fields)."""
+        return 1 + sum(field.width_bytes for field in self.fields)
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        """Field names in wire order."""
+        return tuple(field.name for field in self.fields)
+
+    @property
+    def struct_format(self) -> str:
+        """The ``struct`` format string of one whole frame."""
+        prefix = ">" if self.endianness == "big" else "<"
+        return prefix + "B" + "".join(
+            FIELD_KINDS[field.kind].struct_code for field in self.fields
+        )
+
+    def numpy_dtype(self) -> np.dtype:
+        """Structured dtype of one frame (``_version`` + every field)."""
+        prefix = ">" if self.endianness == "big" else "<"
+        return np.dtype(
+            [("_version", "u1")]
+            + [
+                (field.name, prefix + FIELD_KINDS[field.kind].numpy_code)
+                for field in self.fields
+            ]
+        )
+
+
+#: The compact production uplink: fixed-point RSSI/noise at 0.01 dBm
+#: resolution and packet loss at 1e-4 resolution — 13 bytes per frame.
+UPLINK_TEMPLATE_V1 = PayloadTemplate(
+    name="uplink-v1",
+    version=1,
+    fields=(
+        PayloadField("link_id", "u32"),
+        PayloadField("seq", "u16"),
+        PayloadField("rssi_dbm", "i16", scale=0.01),
+        PayloadField("noise_dbm", "i16", scale=0.01),
+        PayloadField("plr", "u16", scale=1e-4),
+    ),
+)
+
+#: The lossless diagnostic uplink: SNR and PLR as raw float64 — 23 bytes
+#: per frame. This is what makes the pinned estimator invariant testable:
+#: a noiseless f64 SNR survives encode→decode→estimate bit-for-bit,
+#: which no fixed-point field can promise.
+UPLINK_TEMPLATE_EXACT = PayloadTemplate(
+    name="uplink-exact",
+    version=2,
+    fields=(
+        PayloadField("link_id", "u32"),
+        PayloadField("seq", "u16"),
+        PayloadField("snr_db", "f64"),
+        PayloadField("plr", "f64"),
+    ),
+)
+
+#: Version byte → template, the receiver-side dispatch table.
+TEMPLATE_REGISTRY: Dict[int, PayloadTemplate] = {
+    UPLINK_TEMPLATE_V1.version: UPLINK_TEMPLATE_V1,
+    UPLINK_TEMPLATE_EXACT.version: UPLINK_TEMPLATE_EXACT,
+}

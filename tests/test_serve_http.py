@@ -152,3 +152,69 @@ class TestOperationalEndpoints:
         with pytest.raises(urllib.error.HTTPError) as exc_info:
             get(server, "/nope")
         assert exc_info.value.code == 404
+
+
+class TestStructuredErrors:
+    """Every rejected request carries a machine-readable error body."""
+
+    def test_error_body_has_type_code_and_message(self, server):
+        status, body = post(server, "/v1/recommend", {"link": {}})
+        assert status == 400
+        error = body["error"]
+        assert error["type"] == "ProtocolError"
+        assert error["code"] == "protocol_error"
+        assert isinstance(error["message"], str) and error["message"]
+
+    def test_error_body_names_the_offending_field(self, server):
+        status, body = post(
+            server, "/v1/recommend", {"link": {"snr_db": "high"}}
+        )
+        assert status == 400
+        assert body["error"]["field"] == "snr_db"
+
+    def test_malformed_json_body_is_structured(self, server):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v1/recommend",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc_info.value.code == 400
+        body = json.loads(exc_info.value.read())
+        assert body["error"]["code"] == "protocol_error"
+        assert body["error"]["field"] == "body"
+
+    def test_protocol_rejections_are_counted(self, server):
+        _, before = get(server, "/metrics")
+        rejected_before = before["counters"].get(
+            "requests_rejected_protocol", 0
+        )
+        post(server, "/v1/recommend", {"link": {}})
+        post(server, "/v1/recommend", {"link": {"distance_m": -1.0}})
+        _, after = get(server, "/metrics")
+        assert (
+            after["counters"]["requests_rejected_protocol"]
+            == rejected_before + 2
+        )
+
+    def test_infeasible_conflict_is_not_a_protocol_rejection(self, server):
+        _, before = get(server, "/metrics")
+        rejected_before = before["counters"].get(
+            "requests_rejected_protocol", 0
+        )
+        status, body = post(
+            server,
+            "/v1/recommend",
+            {
+                "link": {"distance_m": 10.0},
+                "constraints": [{"objective": "loss", "max": -1.0}],
+            },
+        )
+        assert status == 409
+        assert body["error"]["code"] == "infeasible_error"
+        _, after = get(server, "/metrics")
+        assert (
+            after["counters"].get("requests_rejected_protocol", 0)
+            == rejected_before
+        )

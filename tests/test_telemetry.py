@@ -1,0 +1,322 @@
+"""Estimator, ingest, and simulator tests for the telemetry pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError, TelemetryError
+from repro.fleet import FleetState
+from repro.telemetry import (
+    DeviceFleetSimulator,
+    SnrEstimator,
+    TelemetryIngestor,
+    TelemetrySnrSource,
+    UPLINK_TEMPLATE_EXACT,
+    UPLINK_TEMPLATE_V1,
+    UplinkCodec,
+)
+
+
+def make_state(n_links: int, snr_db: float = 15.0) -> FleetState:
+    return FleetState.from_base_snr(np.full(n_links, snr_db))
+
+
+def encode(uplinks, template=UPLINK_TEMPLATE_V1):
+    """Binary batch from (link, seq, snr) triples through the real codec."""
+    codec = UplinkCodec(template)
+    link = np.array([u[0] for u in uplinks], dtype=np.int64)
+    seq = np.array([u[1] for u in uplinks], dtype=np.int64)
+    snr = np.array([u[2] for u in uplinks], dtype=np.float64)
+    if template is UPLINK_TEMPLATE_EXACT:
+        columns = {
+            "link_id": link, "seq": seq, "snr_db": snr,
+            "plr": np.zeros(len(link)),
+        }
+    else:
+        columns = {
+            "link_id": link, "seq": seq, "rssi_dbm": -90.0 + snr,
+            "noise_dbm": np.full(len(link), -90.0),
+            "plr": np.zeros(len(link)),
+        }
+    return codec.encode_batch(columns)
+
+
+class TestEstimator:
+    def test_matches_scalar_ewma_reference(self):
+        state = make_state(4, snr_db=10.0)
+        estimator = SnrEstimator(alpha=0.3)
+        rng = np.random.default_rng(0)
+        expected = state.snr_db.copy()
+        for step in range(5):
+            n = int(rng.integers(1, 12))
+            links = rng.integers(0, 4, size=n).astype(np.int64)
+            values = rng.normal(12.0, 3.0, size=n)
+            # Scalar reference: one EWMA fold per measurement, in order
+            # within each link (stable argsort preserves arrival order).
+            order = np.argsort(links, kind="stable")
+            for index in order:
+                link = int(links[index])
+                expected[link] = (
+                    0.7 * expected[link] + 0.3 * float(values[index])
+                )
+            estimator.apply(state, links, values, now_s=float(step))
+            np.testing.assert_allclose(
+                state.snr_db, expected, rtol=0.0, atol=1e-12
+            )
+
+    def test_alpha_one_is_exact_passthrough(self):
+        state = make_state(3)
+        estimator = SnrEstimator(alpha=1.0)
+        values = np.array([7.123456789012345, -2.5, 31.000000000000004])
+        estimator.apply(
+            state, np.array([0, 1, 2]), values.copy(), now_s=0.0
+        )
+        np.testing.assert_array_equal(state.snr_db, values)
+
+    def test_clamp_limits_innovation(self):
+        state = make_state(1, snr_db=10.0)
+        estimator = SnrEstimator(alpha=1.0, clamp_db=2.0)
+        estimator.apply(state, np.array([0]), np.array([50.0]), now_s=0.0)
+        assert state.snr_db[0] == 12.0
+        estimator.apply(state, np.array([0]), np.array([-50.0]), now_s=1.0)
+        assert state.snr_db[0] == 10.0
+
+    def test_staleness_decay_is_idempotent_and_converges(self):
+        state = make_state(2, snr_db=10.0)
+        estimator = SnrEstimator(
+            alpha=1.0, staleness_s=5.0, decay_tau_s=10.0
+        )
+        estimator.apply(state, np.array([0]), np.array([20.0]), now_s=0.0)
+        assert estimator.decay_stale(state, now_s=3.0) == 0  # not stale yet
+        n = estimator.decay_stale(state, now_s=15.0)
+        assert n == 1
+        decayed = state.snr_db[0]
+        assert 10.0 < decayed < 20.0
+        # Idempotent at the same instant; further decay approaches base.
+        estimator.decay_stale(state, now_s=15.0)
+        assert state.snr_db[0] == decayed
+        estimator.decay_stale(state, now_s=500.0)
+        assert state.snr_db[0] == pytest.approx(10.0, abs=1e-9)
+        # The unmeasured link never moves.
+        assert state.snr_db[1] == 10.0
+
+    def test_size_mismatch_raises(self):
+        estimator = SnrEstimator()
+        estimator.apply(
+            make_state(4), np.array([0]), np.array([1.0]), now_s=0.0
+        )
+        with pytest.raises(TelemetryError):
+            estimator.apply(
+                make_state(5), np.array([0]), np.array([1.0]), now_s=1.0
+            )
+
+    def test_invalid_parameters_raise(self):
+        for kwargs in (
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"clamp_db": -1.0},
+            {"staleness_s": -1.0},
+            {"decay_tau_s": 0.0},
+        ):
+            with pytest.raises(TelemetryError):
+                SnrEstimator(**kwargs)
+
+
+class TestIngestSequenceTracking:
+    def test_duplicate_out_of_order_and_gap_classification(self):
+        ingestor = TelemetryIngestor(
+            make_state(4), SnrEstimator(alpha=1.0)
+        )
+        # First contact: seq 0 and 1 for link 0, seq 5 for link 1 (no gap
+        # counted on first contact), link 3 untouched.
+        report = ingestor.ingest(encode([(0, 0, 11.0), (0, 1, 12.0),
+                                         (1, 5, 13.0)]))
+        assert report.n_accepted == 3
+        assert report.n_gap_uplinks == 0
+        assert report.n_links_updated == 2
+        # Second batch: a duplicate (0,1), an out-of-order (0,0), a gap
+        # jump (0,4 skips 2,3), and a normal follow-up (1,6).
+        report = ingestor.ingest(encode([(0, 1, 99.0), (0, 0, 99.0),
+                                         (0, 4, 14.0), (1, 6, 15.0)]))
+        assert report.n_accepted == 2
+        assert report.n_duplicate == 1
+        assert report.n_out_of_order == 1
+        assert report.n_gap_uplinks == 2
+        state = ingestor.state
+        assert state.snr_db[0] == 14.0  # rejected 99.0s never applied
+        assert state.snr_db[1] == 15.0
+
+    def test_within_batch_duplicates_and_ordering(self):
+        ingestor = TelemetryIngestor(
+            make_state(2), SnrEstimator(alpha=1.0)
+        )
+        report = ingestor.ingest(
+            encode([(0, 0, 1.0), (0, 0, 2.0), (0, 1, 3.0), (0, 1, 4.0)])
+        )
+        assert report.n_accepted == 2
+        assert report.n_duplicate == 2
+        assert ingestor.state.snr_db[0] == 3.0
+
+    def test_unknown_links_are_counted_not_applied(self):
+        ingestor = TelemetryIngestor(make_state(2), SnrEstimator(alpha=1.0))
+        report = ingestor.ingest(
+            encode([(0, 0, 9.0), (7, 0, 9.0), (200, 0, 9.0)])
+        )
+        assert report.n_unknown_link == 2
+        assert report.n_accepted == 1
+        totals = ingestor.totals()
+        assert totals["unknown_link"] == 2
+        assert totals["uplinks"] == 3
+
+    def test_totals_add_up(self):
+        ingestor = TelemetryIngestor(make_state(4), SnrEstimator(alpha=1.0))
+        ingestor.ingest(encode([(0, 0, 1.0), (1, 0, 1.0)]))
+        ingestor.ingest(encode([(0, 0, 1.0), (0, 1, 1.0), (9, 0, 1.0)]))
+        totals = ingestor.totals()
+        assert totals["uplinks"] == (
+            totals["accepted"] + totals["duplicate"]
+            + totals["out_of_order"] + totals["unknown_link"]
+        )
+        assert totals["batches"] == 2
+
+    def test_oversized_batch_raises(self):
+        ingestor = TelemetryIngestor(
+            make_state(2), SnrEstimator(), max_batch_uplinks=2
+        )
+        with pytest.raises(ProtocolError):
+            ingestor.ingest(encode([(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0)]))
+        with pytest.raises(ProtocolError):
+            ingestor.ingest_uplinks(
+                [{"link_id": 0, "seq": s, "rssi_dbm": -80.0,
+                  "noise_dbm": -90.0, "plr": 0.0} for s in range(3)],
+                template_version=1,
+            )
+
+    def test_json_and_binary_batches_update_identically(self):
+        binary_ingestor = TelemetryIngestor(
+            make_state(3), SnrEstimator(alpha=0.4)
+        )
+        json_ingestor = TelemetryIngestor(
+            make_state(3), SnrEstimator(alpha=0.4)
+        )
+        uplinks = [
+            {"link_id": 0, "seq": 0, "rssi_dbm": -72.345,
+             "noise_dbm": -90.125, "plr": 0.0123},
+            {"link_id": 1, "seq": 0, "rssi_dbm": -81.017,
+             "noise_dbm": -94.5, "plr": 0.3},
+        ]
+        codec = UplinkCodec(UPLINK_TEMPLATE_V1)
+        payload = b"".join(codec.encode(uplink) for uplink in uplinks)
+        binary_ingestor.ingest(payload)
+        json_ingestor.ingest_uplinks(uplinks, template_version=1)
+        # The JSON path re-encodes through the wire codec, so both paths
+        # quantize the fixed-point fields identically — bit-for-bit.
+        np.testing.assert_array_equal(
+            binary_ingestor.state.snr_db, json_ingestor.state.snr_db
+        )
+
+    def test_json_defects_raise_protocol_error_with_field(self):
+        ingestor = TelemetryIngestor(make_state(2))
+        with pytest.raises(ProtocolError) as exc_info:
+            ingestor.ingest_uplinks(
+                [{"link_id": 0}], template_version=1
+            )
+        assert exc_info.value.field == "seq"
+        with pytest.raises(ProtocolError) as exc_info:
+            ingestor.ingest_uplinks(
+                [{"link_id": 0, "seq": 0, "rssi_dbm": -70.0,
+                  "noise_dbm": -90.0, "plr": 0.0, "extra": 1}],
+                template_version=1,
+            )
+        assert exc_info.value.field == "extra"
+        with pytest.raises(ProtocolError) as exc_info:
+            ingestor.ingest_uplinks([{"link_id": 0}], template_version=77)
+        assert exc_info.value.field == "template_version"
+
+
+class TestSimulator:
+    def test_same_seed_same_bytes(self):
+        def run():
+            truth = make_state(8)
+            sim = DeviceFleetSimulator(
+                truth, mode="jittered", seed=42, noise_db=1.0,
+                drop_prob=0.1, duplicate_prob=0.1,
+            )
+            return b"".join(sim.tick() for _ in range(10))
+
+        assert run() == run()
+
+    def test_periodic_mode_reports_every_link_in_sequence(self):
+        truth = make_state(5)
+        sim = DeviceFleetSimulator(truth, mode="periodic", seed=0)
+        for tick in range(3):
+            payload = sim.tick()
+            columns = sim.codec.decode_batch(payload)
+            np.testing.assert_array_equal(
+                columns["link_id"], np.arange(5)
+            )
+            np.testing.assert_array_equal(
+                columns["seq"], np.full(5, tick)
+            )
+
+    def test_bursty_mode_emits_consecutive_sequences(self):
+        truth = make_state(16)
+        sim = DeviceFleetSimulator(
+            truth, mode="bursty", seed=3, burst_prob=0.5, burst_len=4
+        )
+        ingestor = TelemetryIngestor(truth.copy(), SnrEstimator(alpha=1.0))
+        for _ in range(10):
+            payload = sim.tick()
+            if payload:
+                report = ingestor.ingest(payload)
+                # Bursts are consecutive: no gaps, no reordering.
+                assert report.n_gap_uplinks == 0
+                assert report.n_out_of_order == 0
+                assert report.n_duplicate == 0
+
+    def test_drop_prob_produces_receiver_gaps(self):
+        truth = make_state(32)
+        sim = DeviceFleetSimulator(
+            truth, mode="periodic", seed=1, drop_prob=0.3
+        )
+        ingestor = TelemetryIngestor(truth.copy(), SnrEstimator(alpha=1.0))
+        total_gaps = 0
+        for _ in range(20):
+            payload = sim.tick()
+            if payload:
+                total_gaps += ingestor.ingest(payload).n_gap_uplinks
+        assert total_gaps > 0
+
+    def test_duplicate_prob_produces_duplicates(self):
+        truth = make_state(32)
+        sim = DeviceFleetSimulator(
+            truth, mode="periodic", seed=1, duplicate_prob=0.3
+        )
+        ingestor = TelemetryIngestor(truth.copy(), SnrEstimator(alpha=1.0))
+        total_duplicates = 0
+        for _ in range(5):
+            total_duplicates += ingestor.ingest(sim.tick()).n_duplicate
+        assert total_duplicates > 0
+
+    def test_invalid_parameters_raise(self):
+        truth = make_state(2)
+        with pytest.raises(TelemetryError):
+            DeviceFleetSimulator(truth, mode="warp")
+        with pytest.raises(TelemetryError):
+            DeviceFleetSimulator(truth, report_prob=1.5)
+        with pytest.raises(TelemetryError):
+            DeviceFleetSimulator(truth, burst_len=0)
+        with pytest.raises(TelemetryError):
+            DeviceFleetSimulator(truth, noise_db=-1.0)
+
+    def test_snr_source_requires_the_ingestor_state(self):
+        truth = make_state(4)
+        serving = make_state(4)
+        sim = DeviceFleetSimulator(truth, seed=0)
+        source = TelemetrySnrSource(
+            sim, TelemetryIngestor(serving, SnrEstimator())
+        )
+        with pytest.raises(TelemetryError):
+            source.step(truth)  # not the ingestor's state
+        snr = source.step(serving)
+        assert snr is serving.snr_db
+        assert source.last_report is not None
