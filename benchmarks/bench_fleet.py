@@ -8,12 +8,19 @@ The naive alternative — one full `SweepTable.build` + epsilon-constraint
 solve per link, exactly what a loop over the single-link oracle would do —
 is sampled on a subset and extrapolated.
 
+Both engine modes are timed side by side: the exact per-step masked
+argmin (``use_policy=False``) and the policy-table gather
+(``use_policy=True``), whose per-step cost is a handful of ``np.take``
+calls against a table compiled once during warmup.
+
 Claims enforced every run:
 
 * the batched engine is >= 20x faster than the naive per-link loop at
   10,000 links (links/sec, naive extrapolated from a sample);
 * on a sampled subset of links the batched answer equals the naive
-  per-link solve: identical configuration choice, objective within 1e-9.
+  per-link solve: identical configuration choice, objective within 1e-9;
+* the policy engine's answers are identical to the exact engine's on the
+  whole fleet (same config indices, same objective column bit for bit).
 
 Results land in ``BENCH_fleet.json`` at the repo root.
 
@@ -77,8 +84,31 @@ def fleet_state(n_links: int, seed: int = 0) -> FleetState:
     )
 
 
-def make_engine() -> FleetEngine:
-    return FleetEngine(grid=GRID, snr_quantum_db=SNR_QUANTUM_DB)
+def make_engine(use_policy: bool = False) -> FleetEngine:
+    return FleetEngine(
+        grid=GRID, snr_quantum_db=SNR_QUANTUM_DB, use_policy=use_policy
+    )
+
+
+def _time_steps(engine: FleetEngine):
+    """(median, (min, max)) step seconds per fleet size, after warmup."""
+    per_size = {}
+    per_size_spread = {}
+    for n_links in FLEET_SIZES:
+        state = fleet_state(n_links, seed=0)
+        # Per-size warmup: the first step at a new size pays numpy
+        # allocation and cache-population costs that are not the solve
+        # (and, for the policy engine, the one-off table compile).
+        engine.step(state.copy())
+        timings = []
+        for _ in range(ROUNDS):
+            fresh = state.copy()
+            started = time.perf_counter()
+            engine.step(fresh)
+            timings.append(time.perf_counter() - started)
+        per_size[n_links] = statistics.median(timings)
+        per_size_spread[n_links] = (min(timings), max(timings))
+    return per_size, per_size_spread
 
 
 def naive_solve(snr_db: float):
@@ -114,22 +144,10 @@ def test_naive_per_link_baseline(benchmark, report):
 
 
 def test_batched_engine_speedup(benchmark, report):
-    engine = make_engine()
-    per_size = {}
-    per_size_spread = {}
-    for n_links in FLEET_SIZES:
-        state = fleet_state(n_links, seed=0)
-        # Per-size warmup: the first step at a new size pays numpy
-        # allocation and cache-population costs that are not the solve.
-        engine.step(state.copy())
-        timings = []
-        for _ in range(ROUNDS):
-            fresh = state.copy()
-            started = time.perf_counter()
-            engine.step(fresh)
-            timings.append(time.perf_counter() - started)
-        per_size[n_links] = statistics.median(timings)
-        per_size_spread[n_links] = (min(timings), max(timings))
+    engine = make_engine(use_policy=False)
+    policy_engine = make_engine(use_policy=True)
+    per_size, per_size_spread = _time_steps(engine)
+    policy_per_size, policy_spread = _time_steps(policy_engine)
 
     largest = max(FLEET_SIZES)
     state = fleet_state(largest, seed=0)
@@ -141,6 +159,11 @@ def test_batched_engine_speedup(benchmark, report):
     batched_per_link_s = per_size[largest] / largest
     speedup = (
         naive_per_link_s / batched_per_link_s
+        if naive_per_link_s
+        else float("nan")
+    )
+    policy_speedup = (
+        naive_per_link_s / (policy_per_size[largest] / largest)
         if naive_per_link_s
         else float("nan")
     )
@@ -160,11 +183,40 @@ def test_batched_engine_speedup(benchmark, report):
         f"speedup      : {speedup:8.1f}x over the naive loop at "
         f"{largest} links"
     )
+    report.header("Fleet recommendation: policy-table engine (np.take gather)")
+    for n_links in FLEET_SIZES:
+        elapsed = policy_per_size[n_links]
+        low, high = policy_spread[n_links]
+        report.emit(
+            f"{n_links:>6} links : {elapsed * 1e3:9.2f} ms/step  "
+            f"({n_links / elapsed:12,.0f} links/sec)  "
+            f"[min {low * 1e3:.2f} / max {high * 1e3:.2f} ms "
+            f"over {ROUNDS} rounds]"
+        )
+    report.emit(
+        f"speedup      : {policy_speedup:8.1f}x over the naive loop, "
+        f"{per_size[largest] / policy_per_size[largest]:.1f}x over the "
+        f"exact engine at {largest} links"
+    )
 
     max_error = _sampled_equivalence_error(engine, largest)
+    policy_max_error = _sampled_equivalence_error(policy_engine, largest)
+    exact_state = fleet_state(largest, seed=0)
+    policy_state = exact_state.copy()
+    engine.step(exact_state)
+    policy_engine.step(policy_state)
+    engines_identical = bool(
+        np.array_equal(exact_state.config_index, policy_state.config_index)
+        and np.array_equal(
+            exact_state.objective_value,
+            policy_state.objective_value,
+            equal_nan=True,
+        )
+    )
     report.emit(
         f"equivalence  : max objective error {max_error:.2e} on sampled "
-        f"links (tolerance {EQUIVALENCE_ATOL:g})"
+        f"links (tolerance {EQUIVALENCE_ATOL:g}); policy engine "
+        f"{policy_max_error:.2e}, fleet-wide identical: {engines_identical}"
     )
     RESULT_PATH.write_text(
         json.dumps(
@@ -194,6 +246,24 @@ def test_batched_engine_speedup(benchmark, report):
                 "speedup_floor_x": SPEEDUP_FLOOR,
                 "max_objective_error": max_error,
                 "equivalence_atol": EQUIVALENCE_ATOL,
+                "policy_links_per_second": {
+                    str(n): n / policy_per_size[n] for n in FLEET_SIZES
+                },
+                "policy_step_ms": {
+                    str(n): policy_per_size[n] * 1e3 for n in FLEET_SIZES
+                },
+                "policy_step_ms_min": {
+                    str(n): policy_spread[n][0] * 1e3 for n in FLEET_SIZES
+                },
+                "policy_step_ms_max": {
+                    str(n): policy_spread[n][1] * 1e3 for n in FLEET_SIZES
+                },
+                "policy_speedup_x": policy_speedup,
+                "policy_vs_exact_x": (
+                    per_size[largest] / policy_per_size[largest]
+                ),
+                "policy_max_objective_error": policy_max_error,
+                "policy_identical_to_exact": engines_identical,
             },
             indent=2,
         )
@@ -206,6 +276,8 @@ def test_batched_engine_speedup(benchmark, report):
         bool(naive_per_link_s) and speedup >= SPEEDUP_FLOOR,
     )
     assert max_error <= EQUIVALENCE_ATOL
+    assert policy_max_error <= EQUIVALENCE_ATOL
+    assert engines_identical, "policy engine diverged from the exact engine"
     assert naive_per_link_s is not None, "naive baseline must run first"
     assert speedup >= SPEEDUP_FLOOR
 

@@ -1,0 +1,316 @@
+"""Policy tables — compile once, answer recommends as O(1) bin lookups.
+
+Not a paper figure: this measures ``repro.core.optimization.policy``, the
+compiled SNR→best-configuration tables behind the serve tier-0 path and
+the fleet engine's ``np.take`` gather. The claim under test is the whole
+point of compiling: *lookup cost must not grow with the grid*. A
+``PolicyTable`` is compiled for three grids spanning 4,560 to 108,480
+configurations, and the per-lookup latency (full serve-path
+``table.lookup`` — bin index, gather, ``ConfigEvaluation`` construction)
+is asserted flat across them while compile time grows linearly.
+
+# reprolint: hot-path — compile and lookup timings recorded in BENCH_policy.json
+
+Claims enforced every run:
+
+* per-lookup latency at the largest grid is within ``FLATNESS_CEILING_X``
+  of the smallest grid (measured ~1x: the lookup never touches the grid);
+* the policy fleet engine sustains >= 1,000,000 links/sec at 10,000
+  links, with answers identical to the exact engine (same config index
+  column, same objective column bit for bit — max objective error 0.0).
+
+Results land in ``BENCH_policy.json`` at the repo root.
+
+Set ``BENCH_POLICY_QUICK=1`` (the CI smoke mode) for fewer rounds,
+fewer lookups per round and a narrower SNR axis (101 bins instead of
+201 — compile cost scales with bins x configs, lookup cost with
+neither, so the flatness claim is unaffected).
+
+Timing discipline: compiles are timed once per grid (they are one-off
+by design; ``compile_ms`` in the JSON is that single measurement).
+Lookups get an untimed warmup pass per grid and are then timed over
+``ROUNDS`` rounds of ``LOOKUPS_PER_ROUND`` calls; the reported figure
+is the median round, and the JSON records min/max so dispersion is
+visible when a run was noisy.
+"""
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.optimization import (
+    DEFAULT_SNR_RANGE_DB,
+    PolicyTable,
+    TuningGrid,
+)
+from repro.fleet import FleetEngine, FleetState
+from repro.sim.rng import RngStreams
+
+OBJECTIVE = "energy"
+SNR_QUANTUM_DB = 0.25
+FLATNESS_CEILING_X = 5.0
+FLEET_LINKS = 10_000
+FLEET_FLOOR_LINKS_PER_S = 1_000_000.0
+FLEET_SNR_RANGE_DB = (0.0, 25.0)
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_policy.json"
+
+_QUICK = bool(os.environ.get("BENCH_POLICY_QUICK"))
+SNR_RANGE_DB = (0.0, 25.0) if _QUICK else DEFAULT_SNR_RANGE_DB
+ROUNDS = 3 if _QUICK else 5
+LOOKUPS_PER_ROUND = 500 if _QUICK else 2000
+
+#: The grid ladder: the paper's grid, then the same knobs refined/extended
+#: until the table is ~24x wider. Lookup latency must not notice.
+GRIDS = (
+    ("paper", TuningGrid()),
+    (
+        "fine",
+        TuningGrid(
+            payload_values_bytes=tuple(range(2, 115)),
+            d_retry_values_ms=(0.0, 1.0),
+            q_max_values=(1, 10, 30),
+        ),
+    ),
+    (
+        "extended",
+        TuningGrid(
+            payload_values_bytes=tuple(range(2, 115)),
+            n_max_tries_values=(1, 2, 3, 4, 5, 6, 7, 8, 10, 12),
+            d_retry_values_ms=(0.0, 1.0, 5.0),
+            q_max_values=(1, 30),
+            t_pkt_values_ms=(30.0, 60.0),
+        ),
+    ),
+)
+
+#: Cross-test scratch: per-grid rows accumulate here, the fleet test
+#: writes the combined JSON.
+_RESULTS = {}
+
+
+def _lookup_snrs(n: int, seed: int = 0) -> list:
+    """On-axis SNR samples, pre-snapped to bin centers.
+
+    Snapping keeps the timing honest: every call takes the hit path
+    (feasible or infeasible bin), none the off-axis error path.
+    """
+    rng = RngStreams(seed).stream("bench-policy")
+    low, high = SNR_RANGE_DB
+    raw = rng.uniform(low, high, size=n)
+    snapped = np.round(raw / SNR_QUANTUM_DB) * SNR_QUANTUM_DB
+    return [float(v) for v in snapped]
+
+
+def _time_lookups(table: PolicyTable, snrs: list):
+    """(median, min, max) seconds per round of ``len(snrs)`` lookups."""
+    from repro.errors import InfeasibleError
+
+    def run_round() -> None:
+        for snr_db in snrs:
+            try:
+                table.lookup(snr_db)
+            except InfeasibleError:
+                pass
+
+    run_round()  # warmup: first-touch and any lazy numpy costs
+    timings = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        run_round()
+        timings.append(time.perf_counter() - started)
+    return statistics.median(timings), min(timings), max(timings)
+
+
+def test_policy_compile_and_lookup_flatness(benchmark, report):
+    """Compile each grid once; assert lookup latency does not scale."""
+    snrs = _lookup_snrs(LOOKUPS_PER_ROUND)
+    rows = {}
+    for label, grid in GRIDS:
+        started = time.perf_counter()
+        table = PolicyTable.compile(
+            grid=grid,
+            objective=OBJECTIVE,
+            snr_quantum_db=SNR_QUANTUM_DB,
+            snr_range_db=SNR_RANGE_DB,
+        )
+        compile_s = time.perf_counter() - started
+        median_s, low_s, high_s = _time_lookups(table, snrs)
+        rows[label] = {
+            "configurations": table.n_configs,
+            "snr_bins": len(table),
+            "table_bytes": table.nbytes,
+            "compile_ms": compile_s * 1e3,
+            "lookup_us": median_s * 1e6 / len(snrs),
+            "lookup_us_min": low_s * 1e6 / len(snrs),
+            "lookup_us_max": high_s * 1e6 / len(snrs),
+        }
+    _RESULTS["grids"] = rows
+
+    # Give pytest-benchmark the smallest-grid lookup round (the serve
+    # tier-0 path) as the headline number for --benchmark-only runs.
+    smallest = GRIDS[0][1]
+    table = PolicyTable.compile(
+        grid=smallest,
+        objective=OBJECTIVE,
+        snr_quantum_db=SNR_QUANTUM_DB,
+        snr_range_db=SNR_RANGE_DB,
+    )
+    from repro.errors import InfeasibleError
+
+    def one_round() -> None:
+        for snr_db in snrs:
+            try:
+                table.lookup(snr_db)
+            except InfeasibleError:
+                pass
+
+    benchmark.pedantic(one_round, rounds=ROUNDS, iterations=1)
+
+    lookup_us = [rows[label]["lookup_us"] for label, _ in GRIDS]
+    flatness = max(lookup_us) / min(lookup_us)
+    _RESULTS["lookup_flatness_x"] = flatness
+
+    report.header("Policy tables: compile cost vs O(1) lookup")
+    report.emit(
+        f"objective    : {OBJECTIVE}, quantum {SNR_QUANTUM_DB:g} dB, "
+        f"axis {SNR_RANGE_DB[0]:g}..{SNR_RANGE_DB[1]:g} dB "
+        f"({rows[GRIDS[0][0]]['snr_bins']} bins)"
+    )
+    for label, _ in GRIDS:
+        row = rows[label]
+        report.emit(
+            f"{label:>9} : {row['configurations']:>7} configs  "
+            f"compile {row['compile_ms']:8.1f} ms  "
+            f"table {row['table_bytes'] / 1024:7.1f} KiB  "
+            f"lookup {row['lookup_us']:6.2f} us "
+            f"[min {row['lookup_us_min']:.2f} / max {row['lookup_us_max']:.2f}]"
+        )
+    report.emit(
+        f"flatness     : {flatness:.2f}x largest/smallest per-lookup "
+        f"latency across a "
+        f"{rows['extended']['configurations'] / rows['paper']['configurations']:.0f}x "
+        f"grid-size span (ceiling {FLATNESS_CEILING_X:g}x)"
+    )
+    report.shape_check(
+        "policy lookup latency is flat in grid size "
+        f"({flatness:.2f}x <= {FLATNESS_CEILING_X:g}x)",
+        flatness <= FLATNESS_CEILING_X,
+    )
+    assert rows["extended"]["configurations"] >= 100_000
+    assert flatness <= FLATNESS_CEILING_X
+
+
+def test_policy_fleet_throughput(benchmark, report):
+    """The policy fleet engine: >= 1M links/sec, answers exact."""
+    rng = RngStreams(0).stream("bench-policy-fleet")
+    snr_db = rng.uniform(*FLEET_SNR_RANGE_DB, size=FLEET_LINKS)
+
+    def fresh_state() -> FleetState:
+        return FleetState(
+            base_snr_db=snr_db.copy(),
+            snr_db=snr_db.copy(),
+            noise_dbm=np.full(FLEET_LINKS, -90.0),
+            config_index=np.full(FLEET_LINKS, -1, dtype=np.int64),
+            objective_value=np.full(FLEET_LINKS, np.nan),
+        )
+
+    grid = TuningGrid()
+    policy_engine = FleetEngine(
+        grid=grid, snr_quantum_db=SNR_QUANTUM_DB, use_policy=True
+    )
+    exact_engine = FleetEngine(
+        grid=grid, snr_quantum_db=SNR_QUANTUM_DB, use_policy=False
+    )
+
+    policy_engine.step(fresh_state())  # warmup: the one-off table compile
+    timings = []
+    for _ in range(ROUNDS):
+        state = fresh_state()
+        started = time.perf_counter()
+        policy_engine.step(state)
+        timings.append(time.perf_counter() - started)
+    step_s = statistics.median(timings)
+    links_per_s = FLEET_LINKS / step_s
+
+    benchmark.pedantic(
+        lambda: policy_engine.step(fresh_state()), rounds=ROUNDS, iterations=1
+    )
+
+    policy_state = fresh_state()
+    exact_state = fresh_state()
+    policy_engine.step(policy_state)
+    exact_engine.step(exact_state)
+    identical = bool(
+        np.array_equal(policy_state.config_index, exact_state.config_index)
+        and np.array_equal(
+            policy_state.objective_value,
+            exact_state.objective_value,
+            equal_nan=True,
+        )
+    )
+    both_finite = np.isfinite(policy_state.objective_value) & np.isfinite(
+        exact_state.objective_value
+    )
+    max_error = float(
+        np.max(
+            np.abs(
+                policy_state.objective_value[both_finite]
+                - exact_state.objective_value[both_finite]
+            ),
+            initial=0.0,
+        )
+    )
+
+    stats = policy_engine.policy_table().stats()
+    report.header("Policy tables: fleet engine step (np.take gather)")
+    report.emit(
+        f"fleet        : {FLEET_LINKS} links, grid {len(grid)} configs, "
+        f"table {stats['table_bytes'] / 1024:.1f} KiB "
+        f"({stats['n_bins']} bins)",
+        f"step         : {step_s * 1e3:8.2f} ms median over {ROUNDS} rounds "
+        f"[min {min(timings) * 1e3:.2f} / max {max(timings) * 1e3:.2f} ms]",
+        f"throughput   : {links_per_s:12,.0f} links/sec "
+        f"(floor {FLEET_FLOOR_LINKS_PER_S:,.0f})",
+        f"equivalence  : max objective error {max_error:.2e} vs the exact "
+        f"engine, fleet-wide identical: {identical}",
+    )
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "policy",
+                "objective": OBJECTIVE,
+                "snr_quantum_db": SNR_QUANTUM_DB,
+                "snr_range_db": list(SNR_RANGE_DB),
+                "rounds": ROUNDS,
+                "lookups_per_round": LOOKUPS_PER_ROUND,
+                "grids": _RESULTS.get("grids", {}),
+                "lookup_flatness_x": _RESULTS.get("lookup_flatness_x"),
+                "lookup_flatness_ceiling_x": FLATNESS_CEILING_X,
+                "fleet_links": FLEET_LINKS,
+                "fleet_step_ms": step_s * 1e3,
+                "fleet_step_ms_min": min(timings) * 1e3,
+                "fleet_step_ms_max": max(timings) * 1e3,
+                "fleet_links_per_second": links_per_s,
+                "fleet_links_per_second_floor": FLEET_FLOOR_LINKS_PER_S,
+                "fleet_max_objective_error": max_error,
+                "fleet_identical_to_exact": identical,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    report.emit(f"recorded     : {RESULT_PATH.name}")
+    report.shape_check(
+        f"policy fleet step >= {FLEET_FLOOR_LINKS_PER_S:,.0f} links/sec "
+        f"({links_per_s:,.0f} measured)",
+        links_per_s >= FLEET_FLOOR_LINKS_PER_S,
+    )
+    assert identical, "policy engine diverged from the exact engine"
+    assert max_error == 0.0
+    assert links_per_s >= FLEET_FLOOR_LINKS_PER_S

@@ -474,7 +474,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         payload_values_bytes=tuple(range(2, 115, args.payload_step))
     )
     oracle = Oracle(
-        environment=HALLWAY_2012, grid=grid, lru_capacity=args.lru_capacity
+        environment=HALLWAY_2012,
+        grid=grid,
+        lru_capacity=args.lru_capacity,
+        policy=args.policy,
+        snr_quantum_db=args.snr_quantum_db,
     )
     if args.precompute:
         print(
@@ -483,6 +487,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         oracle.precompute(args.precompute)
+    if args.policy:
+        # Only the default objective eagerly (keeps startup inside the CI
+        # health-check budget); other objectives compile on first use.
+        oracle.precompute_policies(("energy",))
     ingestor = None
     if args.telemetry_links:
         from .fleet import FleetState
@@ -510,11 +518,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     telemetry_note = (
         f", telemetry={args.telemetry_links} links" if ingestor else ""
     )
+    policy_note = (
+        f", policy@{args.snr_quantum_db:g}dB" if args.policy else ""
+    )
     print(
         f"wsnlink oracle listening on http://{args.host}:{server.port} "
         f"(workers={args.workers}, queue={args.queue_capacity}, "
         f"max_batch={args.max_batch}, grid={len(grid)} configs"
-        f"{telemetry_note})",
+        f"{policy_note}{telemetry_note})",
         flush=True,
     )
     try:
@@ -563,6 +574,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         hysteresis=args.hysteresis,
         snr_quantum_db=args.snr_quantum_db,
         strict=args.strict,
+        use_policy=args.policy,
     )
     drift = FleetDrift(
         topology, seed=args.seed, step_interval_s=args.step_interval_s
@@ -927,6 +939,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for the measured fleet's base SNRs")
     p.add_argument("--telemetry-alpha", type=float, default=0.25,
                    help="EWMA weight of the serving SNR estimator")
+    p.add_argument("--policy", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="serve default-bounds recommends from precompiled "
+                        "O(1) SNR policy tables (--no-policy restores the "
+                        "solver-per-request path)")
+    p.add_argument("--snr-quantum-db", type=float, default=0.25,
+                   help="SNR bin width of the policy tables and the "
+                        "quantized cache keys")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("fleet", help="simulate a deployment of drifting "
@@ -967,6 +987,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="continue an interrupted run from --checkpoint "
                         "(bit-identical to an uninterrupted run)")
+    p.add_argument("--policy", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="gather per-step answers from a precompiled SNR "
+                        "policy table (--no-policy solves each step's "
+                        "bins exactly; answers are identical)")
     p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("telemetry", help="device-uplink tooling: simulate "

@@ -36,6 +36,16 @@ from .kernels import (
     grid_knob_columns,
 )
 from .pareto import dominates, knee_point, nondominated_mask, pareto_front
+from .policy import (
+    DEFAULT_SNR_QUANTUM_DB,
+    DEFAULT_SNR_RANGE_DB,
+    OBJECTIVE_PLANES,
+    REFERENCE_LEVEL,
+    PolicyTable,
+    level_offset_lut_db,
+    masked_argmin_rows,
+    objective_from_planes,
+)
 from .sensitivity import (
     ParameterSensitivity,
     analyze_sensitivity,
@@ -59,11 +69,19 @@ from .tradeoff import (
 )
 
 __all__ = [
+    "DEFAULT_SNR_QUANTUM_DB",
+    "DEFAULT_SNR_RANGE_DB",
+    "OBJECTIVE_PLANES",
+    "REFERENCE_LEVEL",
     "RHO_QUEUE_CLIP",
     "ConfigEvaluation",
     "Constraint",
     "GridEvaluation",
     "ModelEvaluator",
+    "PolicyTable",
+    "level_offset_lut_db",
+    "masked_argmin_rows",
+    "objective_from_planes",
     "ParameterSensitivity",
     "TradeoffPoint",
     "TuningGrid",

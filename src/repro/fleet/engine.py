@@ -21,6 +21,15 @@ one knob-column grid and differs only by a per-link scalar. One step
    ``hysteresis`` relative — the paper's "don't chase noise" guideline
    at fleet scale.
 
+With ``use_policy=True`` (the default) steps 2–3 are replaced by an O(1)
+gather out of a lazily compiled
+:class:`~repro.core.optimization.PolicyTable`: the whole supported SNR
+axis is solved once on the first step, after which every link's answer
+is one ``np.take`` per answer column — no per-step solve at all, and
+bit-identical results because the table stores the same masked-argmin
+answers the exact path computes. Links whose SNR falls off the policy
+axis fall back to the exact solve for just those bins.
+
 Links with no feasible configuration are marked ``config_index = −1``
 (objective NaN) and the step carries on; ``strict=True`` instead raises
 the exact :class:`~repro.errors.InfeasibleError` the per-link solver
@@ -37,16 +46,20 @@ import numpy as np
 
 from ..config import StackConfig
 from ..core.optimization import (
+    DEFAULT_SNR_RANGE_DB,
+    OBJECTIVE_PLANES,
     Constraint,
     ModelEvaluator,
+    PolicyTable,
     TuningGrid,
     evaluate_metric_planes,
     grid_knob_columns,
     infeasible_error,
+    level_offset_lut_db,
+    masked_argmin_rows,
     snr_map_from_reference,
 )
 from ..errors import FleetError
-from ..radio import cc2420
 from .state import FleetState
 
 __all__ = [
@@ -59,15 +72,9 @@ __all__ = [
 #: PA level the fleet's per-link SNR columns are referenced to.
 REFERENCE_LEVEL = 31
 
-#: Objective name → (metric-plane key, minimization sign).
-_OBJECTIVE_PLANES: Mapping[str, Tuple[str, float]] = {
-    "energy": ("u_eng_uj_per_bit", 1.0),
-    "goodput": ("max_goodput_kbps", -1.0),
-    "delay": ("delay_ms", 1.0),
-    "loss": ("plr_total", 1.0),
-    "loss_radio": ("plr_radio", 1.0),
-    "rho": ("rho", 1.0),
-}
+#: Objective name → (metric-plane key, minimization sign) — the shared
+#: policy-module mapping, re-exported under the engine's historical name.
+_OBJECTIVE_PLANES: Mapping[str, Tuple[str, float]] = OBJECTIVE_PLANES
 
 
 def objective_from_metrics(
@@ -102,6 +109,8 @@ class FleetStepReport:
     objective_value: np.ndarray
     reconfigured: np.ndarray
     infeasible: np.ndarray
+    n_policy_links: int = 0
+    n_fallback_links: int = 0
 
     def stats(self) -> Dict[str, object]:
         """Scalar summary of the step, JSON-ready."""
@@ -112,6 +121,8 @@ class FleetStepReport:
             "n_unique_snr_bins": self.n_unique_snr_bins,
             "n_reconfigured": self.n_reconfigured,
             "n_infeasible": self.n_infeasible,
+            "n_policy_links": self.n_policy_links,
+            "n_fallback_links": self.n_fallback_links,
             "objective_mean": (
                 float(finite.mean()) if finite.size else float("nan")
             ),
@@ -137,6 +148,8 @@ class FleetEngine:
         snr_quantum_db: float = 0.25,
         block_elements: int = 1_000_000,
         strict: bool = False,
+        use_policy: bool = True,
+        policy_snr_range_db: Tuple[float, float] = DEFAULT_SNR_RANGE_DB,
     ) -> None:
         if objective not in _OBJECTIVE_PLANES:
             raise FleetError(
@@ -159,6 +172,11 @@ class FleetEngine:
             raise FleetError(
                 f"block_elements must be >= 1, got {block_elements!r}"
             )
+        if not policy_snr_range_db[0] <= policy_snr_range_db[1]:
+            raise FleetError(
+                f"policy_snr_range_db must be (low, high) with low <= high, "
+                f"got {policy_snr_range_db!r}"
+            )
         self.evaluator = (
             evaluator
             if evaluator is not None
@@ -173,20 +191,19 @@ class FleetEngine:
         self.snr_quantum_db = float(snr_quantum_db)
         self.block_elements = int(block_elements)
         self.strict = bool(strict)
+        #: Policy lookups need a finite bin axis; quantum 0 means "solve
+        #: exact SNRs", which cannot be tabulated.
+        self.use_policy = bool(use_policy) and self.snr_quantum_db > 0.0
+        self.policy_snr_range_db = (
+            float(policy_snr_range_db[0]),
+            float(policy_snr_range_db[1]),
+        )
+        self._policy: Optional[PolicyTable] = None
         knobs = grid_knob_columns(self.grid)
         self._ptx, self._payload, self._tries = knobs[0], knobs[1], knobs[2]
         self._retry_ms, self._qmax, self._tpkt_ms = knobs[3], knobs[4], knobs[5]
-        reference_dbm = cc2420.output_power_dbm(REFERENCE_LEVEL)
-        unique_levels = [
-            int(level) for level in np.unique(self._ptx).tolist()
-        ]
-        offset_lut_db = np.zeros(max(unique_levels) + 1, dtype=float)
-        offset_lut_db[unique_levels] = [
-            cc2420.output_power_dbm(level) - reference_dbm
-            for level in unique_levels
-        ]
         #: Per-configuration SNR offset from the reference level (dB).
-        self._offset_db = offset_lut_db[self._ptx]
+        self._offset_db = level_offset_lut_db(self._ptx)[self._ptx]
 
     def __len__(self) -> int:
         return len(self._ptx)
@@ -253,24 +270,61 @@ class FleetEngine:
             metrics = self._planes(plane_snr_db)
             objective = objective_from_metrics(metrics, self.objective)
             feasible = self._feasible_mask(metrics)
-            masked = np.where(feasible, objective, np.inf)
-            chosen = np.argmin(masked, axis=1)
-            chosen_value = np.take_along_axis(
-                masked, chosen[:, None], axis=1
-            )[:, 0]
-            row_feasible = feasible.any(axis=1)
-            # When every feasible value is +inf the full-row argmin may
-            # land on an infeasible element; the per-link solver's
-            # compacted-subset argmin picks the first *feasible* index,
-            # so replicate that tie-break exactly.
-            degenerate = np.isinf(chosen_value) & row_feasible
-            if degenerate.any():
-                chosen[degenerate] = np.argmax(feasible[degenerate], axis=1)
+            chosen, row_feasible = masked_argmin_rows(objective, feasible)
             taken = np.take_along_axis(objective, chosen[:, None], axis=1)
             best_index[start:stop] = chosen
             best_objective[start:stop] = taken[:, 0]
             has_feasible[start:stop] = row_feasible
         return best_index, best_objective, has_feasible
+
+    def policy_table(self) -> Optional[PolicyTable]:
+        """The compiled policy, or None when the exact path is in use.
+
+        Compiled lazily on first access — one blocked pass over the whole
+        SNR axis, after which every step is gather-only.
+        """
+        if not self.use_policy:
+            return None
+        if self._policy is None:
+            self._policy = PolicyTable.compile(
+                evaluator=self.evaluator,
+                grid=self.grid,
+                objective=self.objective,
+                constraints=self.constraints,
+                snr_quantum_db=self.snr_quantum_db,
+                snr_range_db=self.policy_snr_range_db,
+                block_elements=self.block_elements,
+            )
+        return self._policy
+
+    def _candidates_policy(
+        self, policy: PolicyTable, quantized_snr_db: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int, int]:
+        """Per-link candidates as an O(1) bin gather out of the policy.
+
+        Links whose quantized SNR falls off the compiled axis are solved
+        exactly (one masked argmin over just those bins) and scattered
+        back, so answers match the exact path everywhere.
+        """
+        # reprolint: hot-path — the per-step np.take gather BENCH_policy.json times
+        local = policy.local_bins(quantized_snr_db)
+        on_axis = policy.in_axis(local)
+        index, objective, feasible = policy.take(np.where(on_axis, local, 0))
+        n_fallback = int(np.count_nonzero(~on_axis))
+        if n_fallback:
+            off_axis = ~on_axis
+            unique_off_db, inverse_off = np.unique(
+                quantized_snr_db[off_axis], return_inverse=True
+            )
+            off_index, off_objective, off_feasible = self._solve_unique(
+                unique_off_db
+            )
+            index[off_axis] = off_index[inverse_off]
+            objective[off_axis] = off_objective[inverse_off]
+            feasible[off_axis] = off_feasible[inverse_off]
+        n_unique = int(np.unique(local).size)
+        n_policy = int(quantized_snr_db.size) - n_fallback
+        return index, objective, feasible, n_unique, n_policy, n_fallback
 
     def _current_objective(
         self, state: FleetState, snr_db: np.ndarray, has_current: np.ndarray
@@ -300,20 +354,35 @@ class FleetEngine:
     def step(self, state: FleetState, step_index: int = 0) -> FleetStepReport:
         """Recommend configurations for every link and update the state.
 
-        One vectorized pass: unique quantized SNRs are solved once, links
-        inherit their bin's answer, and hysteresis decides whether each
-        configured link actually switches.
+        One vectorized pass: with the policy enabled, links gather their
+        bin's precompiled answer; otherwise unique quantized SNRs are
+        solved once and links inherit their bin's answer. Either way
+        hysteresis decides whether each configured link actually switches.
         """
         quantized_snr_db = self.quantize_snr_db(state.snr_db)
-        unique_snr_db, inverse = np.unique(
-            quantized_snr_db, return_inverse=True
-        )
-        best_index, best_objective, has_feasible = self._solve_unique(
-            unique_snr_db
-        )
-        candidate_index = best_index[inverse]
-        candidate_objective = best_objective[inverse]
-        feasible = has_feasible[inverse]
+        policy = self.policy_table()
+        if policy is not None:
+            (
+                candidate_index,
+                candidate_objective,
+                feasible,
+                n_unique_bins,
+                n_policy_links,
+                n_fallback_links,
+            ) = self._candidates_policy(policy, quantized_snr_db)
+        else:
+            unique_snr_db, inverse = np.unique(
+                quantized_snr_db, return_inverse=True
+            )
+            best_index, best_objective, has_feasible = self._solve_unique(
+                unique_snr_db
+            )
+            candidate_index = best_index[inverse]
+            candidate_objective = best_objective[inverse]
+            feasible = has_feasible[inverse]
+            n_unique_bins = int(unique_snr_db.size)
+            n_policy_links = 0
+            n_fallback_links = 0
         if self.strict and not feasible.all():
             first = int(np.argmin(feasible))
             self._raise_infeasible(float(quantized_snr_db[first]))
@@ -354,13 +423,15 @@ class FleetEngine:
         return FleetStepReport(
             step_index=int(step_index),
             n_links=len(state),
-            n_unique_snr_bins=int(unique_snr_db.size),
+            n_unique_snr_bins=n_unique_bins,
             n_reconfigured=int(np.count_nonzero(reconfigured)),
             n_infeasible=int(np.count_nonzero(infeasible)),
             config_index=new_index,
             objective_value=new_objective,
             reconfigured=reconfigured,
             infeasible=infeasible,
+            n_policy_links=n_policy_links,
+            n_fallback_links=n_fallback_links,
         )
 
     # ------------------------------------------------------------ lookup

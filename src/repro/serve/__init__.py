@@ -43,6 +43,7 @@ from .oracle import (
     SweepTable,
     TIER_LRU,
     TIER_MISS,
+    TIER_POLICY,
     TIER_PRECOMPUTED,
 )
 from .protocol import (
@@ -87,6 +88,7 @@ __all__ = [
     "TIER_LRU",
     "TelemetryRequest",
     "TIER_MISS",
+    "TIER_POLICY",
     "TIER_PRECOMPUTED",
     "evaluation_as_dict",
     "make_server",

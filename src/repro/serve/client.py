@@ -137,5 +137,26 @@ class Client:
         }
 
     def metrics(self) -> Dict[str, object]:
-        """The counters/histograms snapshot ``GET /metrics`` serves."""
-        return self.service.metrics.as_dict()
+        """The counters/histograms snapshot ``GET /metrics`` serves.
+
+        The oracle's policy-tier counters are merged in as ``policy_*``
+        counters (plus the full ``policy`` block with the bin-hit rate),
+        so one scrape shows whether the hot path is actually lookup-bound.
+        """
+        data = self.service.metrics.as_dict()
+        policy = self.service.oracle.policy_info()
+        counters = dict(data.get("counters", {}))
+        counters.update(
+            {
+                "policy_lookups_total": policy["lookups"],
+                "policy_fallbacks_total": policy["fallbacks"],
+                "policy_compiles_total": policy["compiles"],
+                "policy_solver_solves_total": policy["solver_solves"],
+                "policy_table_bytes": policy["table_bytes"],
+                "policy_bin_lookups_total": policy["bin_lookups"],
+                "policy_bin_hits_total": policy["bin_hits"],
+            }
+        )
+        data["counters"] = dict(sorted(counters.items()))
+        data["policy"] = policy
+        return data

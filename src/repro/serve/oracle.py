@@ -8,6 +8,10 @@ argmin) are numpy operations rather than Python scans. An :class:`Oracle`
 answers ``recommend`` and ``evaluate`` requests out of a two-tier table
 cache:
 
+* **tier 0 (policy, opt-in)** — precompiled
+  :class:`~repro.core.optimization.PolicyTable` answers covering the
+  whole SNR axis: a default-bounds recommend becomes an O(1) bin lookup
+  that never touches the solver, independent of grid size;
 * **tier 1 (precomputed)** — tables for the discretized Table-I distances,
   built once at startup (``precompute``) and never evicted;
 * **tier 2 (LRU)** — tables for off-grid links (arbitrary distances,
@@ -17,9 +21,18 @@ cache:
 A cold query costs one columnar grid evaluation (single-digit
 milliseconds for the default 4560 configurations — the ``grid_eval_ms``
 histogram in ``/metrics`` tracks the real cost); a warm one costs a
-dictionary lookup plus a vectorized argmin (microseconds). The service
-layer on top batches compatible cold queries so the grid evaluation is
-paid once per link, not once per request.
+dictionary lookup plus a vectorized argmin (microseconds); a policy hit
+costs a handful of array reads. The service layer on top batches
+compatible cold queries so the grid evaluation is paid once per link,
+not once per request.
+
+With the policy enabled the LRU is demoted to a fallback for requests
+the tables cannot serve — non-default constraint bounds and SNRs off the
+compiled axis — and reference-SNR cache keys are quantized to the policy
+bin, so two requests 0.01 dB apart share one table instead of missing
+each other (``bin_hit_rate`` in ``/metrics``). Answers for quantized
+links are the bin-center answers: exact at bin centers, and within the
+same quantization the fleet engine applies everywhere.
 """
 
 # reprolint: hot-path — recommend/evaluate loop timed by BENCH_serve.json
@@ -37,10 +50,14 @@ from ..channel.environment import Environment, HALLWAY_2012
 from ..config import TABLE_I_SPACE
 from ..errors import InfeasibleError
 from ..core.optimization import (
+    DEFAULT_SNR_QUANTUM_DB,
+    DEFAULT_SNR_RANGE_DB,
+    REFERENCE_LEVEL,
     ConfigEvaluation,
     Constraint,
     GridEvaluation,
     ModelEvaluator,
+    PolicyTable,
     TuningGrid,
     evaluate_grid_columns,
     solve_epsilon_constraint,
@@ -56,6 +73,7 @@ from .protocol import (
 )
 
 __all__ = [
+    "TIER_POLICY",
     "TIER_PRECOMPUTED",
     "TIER_LRU",
     "TIER_MISS",
@@ -66,6 +84,7 @@ __all__ = [
 ]
 
 #: Cache tier names reported per answer (and counted in ``/metrics``).
+TIER_POLICY = "policy"
 TIER_PRECOMPUTED = "precomputed"
 TIER_LRU = "lru"
 TIER_MISS = "miss"
@@ -191,21 +210,43 @@ class Oracle:
         environment: Environment = HALLWAY_2012,
         grid: Optional[TuningGrid] = None,
         lru_capacity: int = 64,
+        policy: bool = False,
+        snr_quantum_db: float = DEFAULT_SNR_QUANTUM_DB,
+        policy_snr_range_db: Tuple[float, float] = DEFAULT_SNR_RANGE_DB,
     ) -> None:
         self.environment = environment
         # Not `grid or TuningGrid()`: an empty grid is falsy and would be
         # silently swapped for the default; let evaluation reject it instead.
         self.grid = grid if grid is not None else TuningGrid()
+        self.policy = bool(policy)
+        self.snr_quantum_db = float(snr_quantum_db)
+        self.policy_snr_range_db = (
+            float(policy_snr_range_db[0]),
+            float(policy_snr_range_db[1]),
+        )
         self._precomputed: Dict[Tuple[object, ...], SweepTable] = {}
         self._lru = LruCache(lru_capacity)
         self._lock = threading.Lock()
         self._precomputed_hits = 0
         self._misses = 0
         self._builds = 0
+        #: objective → compiled unconstrained policy (lazy, under
+        #: ``_policy_lock`` so a compile never blocks table traffic).
+        self._policies: Dict[str, PolicyTable] = {}
+        self._policy_lock = threading.Lock()
+        self._policy_lookups = 0
+        self._policy_fallbacks = 0
+        self._policy_compiles = 0
+        self._solver_solves = 0
+        self._bin_lookups = 0
+        self._bin_hits = 0
         #: Cold grid-evaluation latency (ms), one observation per table
         #: build. The service layer registers this into ``/metrics`` as
         #: ``grid_eval_ms`` so cache-miss cost is visible in production.
         self.grid_eval_ms = LatencyHistogram(DEFAULT_BUCKETS_MS, unit="ms")
+        #: Policy compile latency (ms), one observation per objective
+        #: compiled; surfaced as ``policy_compile_ms`` in ``/metrics``.
+        self.policy_compile_ms = LatencyHistogram(DEFAULT_BUCKETS_MS, unit="ms")
 
     # ------------------------------------------------------------ caching
 
@@ -241,13 +282,39 @@ class Oracle:
         self.grid_eval_ms.observe(table.build_ms)
         return table
 
+    def _bin_link(self, link: LinkSpec) -> Optional[LinkSpec]:
+        """The link snapped to its policy SNR bin, or None when not binnable.
+
+        Only reference-SNR links on a policy-enabled oracle are binned;
+        distance links keep their exact keys.
+        """
+        if not self.policy or link.snr_db is None:
+            return None
+        quantum = self.snr_quantum_db
+        return LinkSpec(
+            snr_db=float(np.round(link.snr_db / quantum) * quantum)
+        )
+
     def table_for(self, link: LinkSpec) -> Tuple[SweepTable, str]:
         """The link's sweep table and the cache tier that supplied it.
 
         A miss builds the table (outside the lock) and installs it in the
         LRU tier; the caller is told ``"miss"`` so per-request accounting
-        can distinguish cold from warm answers.
+        can distinguish cold from warm answers. On a policy-enabled
+        oracle, reference-SNR cache keys are quantized to the policy SNR
+        bin first, so near-identical SNRs share one table.
         """
+        binned = self._bin_link(link)
+        if binned is None:
+            return self._table_for(link)
+        table, tier = self._table_for(binned)
+        with self._lock:
+            self._bin_lookups += 1
+            if tier != TIER_MISS:
+                self._bin_hits += 1
+        return table, tier
+
+    def _table_for(self, link: LinkSpec) -> Tuple[SweepTable, str]:
         key = link.key()
         with self._lock:
             table = self._precomputed.get(key)
@@ -263,8 +330,129 @@ class Oracle:
         self._lru.put(key, table)
         return table, TIER_MISS
 
+    # ------------------------------------------------------------- policy
+
+    def policy_for(self, objective: str) -> PolicyTable:
+        """The compiled unconstrained policy for one objective (lazy)."""
+        with self._policy_lock:
+            table = self._policies.get(objective)
+            if table is None:
+                table = PolicyTable.compile(
+                    grid=self.grid,
+                    objective=objective,
+                    snr_quantum_db=self.snr_quantum_db,
+                    snr_range_db=self.policy_snr_range_db,
+                )
+                self.policy_compile_ms.observe(table.compile_ms)
+                self._policies[objective] = table
+                with self._lock:
+                    self._policy_compiles += 1
+        return table
+
+    def precompute_policies(
+        self, objectives: Sequence[str] = ("energy",)
+    ) -> int:
+        """Eagerly compile policies for the given objectives; returns count."""
+        if not self.policy:
+            return 0
+        for objective in objectives:
+            self.policy_for(objective)
+        return len(objectives)
+
+    def _reference_snr_db(self, link: LinkSpec) -> float:
+        """The link's SNR at the policy reference PA level (dB)."""
+        if link.snr_db is not None:
+            return float(link.snr_db)
+        return float(link.snr_map(self.environment)[REFERENCE_LEVEL])
+
+    def policy_recommend(
+        self, request: RecommendRequest
+    ) -> Optional[RecommendResult]:
+        """O(1) policy answer, or None when the request needs the solver.
+
+        None — a counted fallback — when the oracle has no policy, the
+        request carries non-default constraint bounds, or the link's
+        reference SNR falls off the compiled axis. An infeasible bin
+        raises the stored :class:`~repro.errors.InfeasibleError`, byte
+        for byte what the solver would have said.
+        """
+        if not self.policy:
+            return None
+        if request.constraints:
+            with self._lock:
+                self._policy_fallbacks += 1
+            return None
+        table = self.policy_for(request.objective)
+        snr_db = self._reference_snr_db(request.link)
+        if not table.covers(snr_db):
+            with self._lock:
+                self._policy_fallbacks += 1
+            return None
+        with self._lock:
+            self._policy_lookups += 1
+        evaluation = table.lookup(snr_db, request.link.grid_distance_m())
+        return RecommendResult(evaluation=evaluation, cache_tier=TIER_POLICY)
+
+    def _policy_answer(
+        self,
+        link: LinkSpec,
+        objective: str,
+        constraints: Tuple[Constraint, ...],
+    ) -> Optional[Tuple[Optional[ConfigEvaluation], Optional[str], str]]:
+        """One fleet link's policy answer in in-band-error form, or None."""
+        request = RecommendRequest(
+            link=link, objective=objective, constraints=constraints
+        )
+        try:
+            result = self.policy_recommend(request)
+        except InfeasibleError as exc:
+            return (None, str(exc), TIER_POLICY)
+        if result is None:
+            return None
+        return (result.evaluation, None, TIER_POLICY)
+
+    def _solve_table(
+        self,
+        table: SweepTable,
+        objective: str,
+        constraints: Sequence[Constraint],
+    ) -> ConfigEvaluation:
+        """Every solver invocation funnels through here, counted, so
+        ``/metrics`` (and the tests) can prove the warm policy path never
+        reaches ``solve_epsilon_constraint``."""
+        with self._lock:
+            self._solver_solves += 1
+        return table.solve(objective, constraints)
+
+    def policy_info(self) -> Dict[str, object]:
+        """Policy-tier counters and table stats, JSON-ready."""
+        with self._lock:
+            lookups = self._policy_lookups
+            fallbacks = self._policy_fallbacks
+            compiles = self._policy_compiles
+            solver_solves = self._solver_solves
+            bin_lookups = self._bin_lookups
+            bin_hits = self._bin_hits
+        with self._policy_lock:
+            tables = dict(self._policies)
+        return {
+            "enabled": self.policy,
+            "snr_quantum_db": self.snr_quantum_db,
+            "snr_range_db": list(self.policy_snr_range_db),
+            "n_tables": len(tables),
+            "table_bytes": sum(table.nbytes for table in tables.values()),
+            "lookups": lookups,
+            "fallbacks": fallbacks,
+            "compiles": compiles,
+            "solver_solves": solver_solves,
+            "bin_lookups": bin_lookups,
+            "bin_hits": bin_hits,
+            "bin_hit_rate": (bin_hits / bin_lookups) if bin_lookups else 0.0,
+            "compile_ms": self.policy_compile_ms.as_dict(),
+        }
+
     def cache_info(self) -> Dict[str, object]:
-        """Counters for both tiers, JSON-ready (see ``/metrics``)."""
+        """Counters for all tiers, JSON-ready (see ``/metrics``)."""
         with self._lock:
             precomputed = {
                 "tables": len(self._precomputed),
@@ -280,14 +468,25 @@ class Oracle:
             "table_builds": builds,
             "grid_size": len(self.grid),
             "grid_eval_ms": self.grid_eval_ms.as_dict(),
+            "policy": self.policy_info(),
         }
 
     # ------------------------------------------------------------ queries
 
     def recommend(self, request: RecommendRequest) -> RecommendResult:
-        """Best grid configuration for the request's link and objective."""
+        """Best grid configuration for the request's link and objective.
+
+        Policy-first: with the policy enabled, a default-bounds request
+        is answered by an O(1) bin lookup; everything else goes through
+        the two-tier table cache and the vectorized solver.
+        """
+        result = self.policy_recommend(request)
+        if result is not None:
+            return result
         table, tier = self.table_for(request.link)
-        evaluation = table.solve(request.objective, request.constraints)
+        evaluation = self._solve_table(
+            table, request.objective, request.constraints
+        )
         return RecommendResult(evaluation=evaluation, cache_tier=tier)
 
     def recommend_from_table(
@@ -299,7 +498,7 @@ class Oracle:
         compatible requests, then each request's objective/constraints are
         solved here without touching the cache again.
         """
-        return table.solve(request.objective, request.constraints)
+        return self._solve_table(table, request.objective, request.constraints)
 
     def recommend_fleet(
         self, request: FleetRecommendRequest
@@ -321,9 +520,17 @@ class Oracle:
             Optional[ConfigEvaluation], Optional[str], str
         ]] = {}
         for key, link in distinct.items():
+            answer = self._policy_answer(
+                link, request.objective, request.constraints
+            )
+            if answer is not None:
+                answers[key] = answer
+                continue
             table, tier = self.table_for(link)
             try:
-                evaluation = table.solve(request.objective, request.constraints)
+                evaluation = self._solve_table(
+                    table, request.objective, request.constraints
+                )
             except InfeasibleError as exc:
                 answers[key] = (None, str(exc), tier)
             else:
@@ -364,6 +571,8 @@ class Oracle:
         are identical, and by the throughput benchmark as the uncached
         baseline.
         """
-        return self._build_table(request.link).solve(
-            request.objective, request.constraints
+        return self._solve_table(
+            self._build_table(request.link),
+            request.objective,
+            request.constraints,
         )

@@ -171,8 +171,11 @@ class OracleService:
         self.oracle = oracle
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         # Surface the oracle's cold-path build cost in /metrics: the
-        # oracle owns and records the histogram, the service publishes it.
+        # oracle owns and records the histograms, the service publishes them.
         self.metrics.register_histogram("grid_eval_ms", oracle.grid_eval_ms)
+        self.metrics.register_histogram(
+            "policy_compile_ms", oracle.policy_compile_ms
+        )
         # Fleet batch observability: how many links per batch, how many of
         # them were infeasible, and how long the batched solve took.
         self.metrics.register_histogram(
@@ -395,16 +398,36 @@ class OracleService:
                 self._run_evaluate(live[0])
 
     def _run_recommend_batch(self, batch: List[_Pending]) -> None:
-        head = batch[0].request
+        # Policy-first: members the precompiled tables can answer never
+        # touch the sweep-table cache or the solver; only the remainder
+        # (non-default bounds, off-axis SNRs, policy disabled) pays the
+        # shared table fetch + per-request solve.
+        rest: List[_Pending] = []
+        for pending in batch:
+            request = pending.request
+            assert isinstance(request, RecommendRequest)
+            try:
+                result = self.oracle.policy_recommend(request)
+            except ReproError as exc:
+                self._fail(pending, exc)
+                continue
+            if result is None:
+                rest.append(pending)
+                continue
+            self.metrics.increment(f"cache_{result.cache_tier}_total")
+            self._finish(pending, result)
+        if not rest:
+            return
+        head = rest[0].request
         assert isinstance(head, RecommendRequest)
         try:
             table, tier = self.oracle.table_for(head.link)
         except ReproError as exc:
-            for pending in batch:
+            for pending in rest:
                 self._fail(pending, exc)
             return
         self.metrics.increment(f"cache_{tier}_total")
-        for pending in batch:
+        for pending in rest:
             request = pending.request
             assert isinstance(request, RecommendRequest)
             try:
@@ -484,6 +507,9 @@ class OracleService:
         )
         self.metrics.increment(
             "telemetry_gap_total", by=report.n_gap_uplinks
+        )
+        self.metrics.increment(
+            "telemetry_epoch_wraps_total", by=report.n_epoch_wraps
         )
         self.metrics.increment(
             "telemetry_unknown_link_total", by=report.n_unknown_link

@@ -25,10 +25,16 @@ seeded with the stored running maximum, and a single combined-key
 seen before me". Only the accepted, strictly seq-increasing subsequence
 reaches the estimator.
 
-``seq`` is a 16-bit wire counter; the ingestor does not unwrap it. A
-source that overflows 65535 must start a new session (in practice:
-restart numbering after a gap long enough to be re-seeded) — the
-limitation is documented in ``docs/TELEMETRY.md``.
+``seq`` is a 16-bit wire counter, and the ingestor **unwraps** it with a
+per-link epoch counter (RFC 1982-style serial arithmetic): each uplink's
+sequence is interpreted as the signed 16-bit distance from the link's
+stored unwrapped maximum, so a counter that overflows 65535 → 0 keeps
+classifying correctly and sessions longer than 65,536 uplinks per link
+just keep going — ``epoch_wraps`` in the totals counts the rollovers.
+The remaining limitation is the serial-arithmetic one: a link may
+advance at most 32,767 sequence numbers past its stored maximum within
+one batch; a larger jump is indistinguishable from a late arrival and
+classifies as out-of-order (see ``docs/TELEMETRY.md``).
 """
 
 # reprolint: hot-path — per-batch ingest apply timed by BENCH_telemetry.json
@@ -53,9 +59,15 @@ __all__ = [
     "TelemetryIngestor",
 ]
 
-#: Combined-key stride of the sequence tracker: ``link * stride + seq``
-#: must order (link, seq) pairs lexicographically, so the stride exceeds
-#: the largest 16-bit wire sequence number.
+#: Width of the wire sequence counter (and the derived wrap constants).
+_SEQ_BITS = 16
+_SEQ_MASK = (1 << _SEQ_BITS) - 1
+_SEQ_HALF = 1 << (_SEQ_BITS - 1)
+
+#: Combined-key stride of the sequence tracker: ``link * stride + v``
+#: must order (link, v) pairs lexicographically, so the stride exceeds
+#: the largest per-batch key ``v`` (an unwrap distance shifted by
+#: ``_SEQ_HALF``, at most ``_SEQ_MASK + _SEQ_HALF < 2**17``).
 _LINK_STRIDE = np.int64(1) << 17
 
 #: Counter names accumulated across batches (the ``telemetry_*`` metric
@@ -68,6 +80,7 @@ _TOTAL_KEYS = (
     "out_of_order",
     "gap_uplinks",
     "unknown_link",
+    "epoch_wraps",
 )
 
 
@@ -85,6 +98,7 @@ class IngestReport:
     template_version: int
     decode_ms: float
     apply_ms: float
+    n_epoch_wraps: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready view (the ``POST /v1/telemetry`` response body)."""
@@ -96,6 +110,7 @@ class IngestReport:
             "n_gap_uplinks": self.n_gap_uplinks,
             "n_unknown_link": self.n_unknown_link,
             "n_links_updated": self.n_links_updated,
+            "n_epoch_wraps": self.n_epoch_wraps,
             "template_version": self.template_version,
             "decode_ms": self.decode_ms,
             "apply_ms": self.apply_ms,
@@ -127,6 +142,8 @@ class TelemetryIngestor:
         self._estimator = estimator if estimator is not None else SnrEstimator()
         self._codecs = dict(codecs) if codecs is not None else default_codecs()
         self._max_batch_uplinks = int(max_batch_uplinks)
+        #: Per-link running maximum of the *unwrapped* sequence number
+        #: (epoch * 2**16 + wire seq); −1 marks a link never heard from.
         self._last_seq = np.full(len(state), -1, dtype=np.int64)
         self._totals: Dict[str, int] = {key: 0 for key in _TOTAL_KEYS}
         self._now_s = 0.0
@@ -279,33 +296,61 @@ class TelemetryIngestor:
                 seq = seq[known]
                 snr_db = snr_db[known]
             n_accepted = n_duplicate = n_out_of_order = 0
-            n_gap = n_updated = 0
+            n_gap = n_updated = n_epoch_wraps = 0
             if len(link):
                 order = np.argsort(link, kind="stable")
                 links = link[order]
                 seqs = seq[order]
                 values = snr_db[order]
-                combined = links * _LINK_STRIDE + seqs
+                # Unwrap each wire sequence against its link's stored
+                # unwrapped maximum (serial arithmetic): the signed
+                # 16-bit distance from the anchor, so a 65535 → 0
+                # rollover reads as +1, not −65535. Links never heard
+                # from have no anchor and use the raw sequence (epoch 0).
+                anchors = self._last_seq[links]
+                known_anchor = anchors >= 0
+                delta = (
+                    (seqs - (anchors & _SEQ_MASK) + _SEQ_HALF) & _SEQ_MASK
+                ) - _SEQ_HALF
+                unwrapped = np.where(known_anchor, anchors + delta, seqs)
+                # Per-batch combined sort keys stay bounded (< 2**17):
+                # anchored members use delta + half, first contacts the
+                # raw sequence + half — both order exactly as `unwrapped`
+                # does within a link segment.
+                relative = np.where(known_anchor, delta, seqs) + _SEQ_HALF
+                combined = links * _LINK_STRIDE + relative
                 new_segment = np.empty(len(links), dtype=bool)
                 new_segment[0] = True
                 np.not_equal(links[1:], links[:-1], out=new_segment[1:])
-                seeded = links * _LINK_STRIDE + self._last_seq[links]
+                # An anchored link's seed sits at distance 0 (duplicate
+                # of the stored maximum); an unseeded link's sits one
+                # below every possible first-contact key.
+                seeded = links * _LINK_STRIDE + np.where(
+                    known_anchor,
+                    np.int64(_SEQ_HALF),
+                    np.int64(_SEQ_HALF - 1),
+                )
                 shifted = np.empty_like(combined)
                 shifted[0] = np.iinfo(np.int64).min
                 shifted[1:] = combined[:-1]
                 # Segment isolation needs no masking: a segment's seed
-                # (>= link*stride - 1) always exceeds every combined key
-                # of smaller links, so the global running max restarts at
-                # each segment boundary by construction.
+                # (>= link*stride + half - 1) always exceeds every
+                # combined key of smaller links, so the global running
+                # max restarts at each segment boundary by construction.
                 highest_before = np.maximum.accumulate(
                     np.where(new_segment, seeded, shifted)
                 )
                 accepted = combined > highest_before
                 duplicate = combined == highest_before
-                first_contact = highest_before == links * _LINK_STRIDE - 1
+                first_contact = (
+                    highest_before == links * _LINK_STRIDE + (_SEQ_HALF - 1)
+                )
+                # Combined-key differences equal unwrapped-sequence
+                # differences within a segment (the link base and the
+                # half shift cancel), so the gap count survives wraps.
                 gaps = np.where(
                     accepted & ~first_contact,
-                    seqs - (highest_before - links * _LINK_STRIDE) - 1,
+                    combined - highest_before - 1,
                     0,
                 )
                 n_accepted = int(accepted.sum())
@@ -314,8 +359,17 @@ class TelemetryIngestor:
                 n_gap = int(gaps.sum())
                 if n_accepted:
                     accepted_links = links[accepted]
+                    wrap_links = np.unique(accepted_links)
+                    epochs_before = self._last_seq[wrap_links] >> _SEQ_BITS
                     np.maximum.at(
-                        self._last_seq, accepted_links, seqs[accepted]
+                        self._last_seq, accepted_links, unwrapped[accepted]
+                    )
+                    epochs_after = self._last_seq[wrap_links] >> _SEQ_BITS
+                    n_epoch_wraps = int(
+                        (
+                            epochs_after
+                            - np.where(epochs_before >= 0, epochs_before, 0)
+                        ).sum()
                     )
                     n_updated = self._estimator.apply(
                         self._state,
@@ -332,6 +386,7 @@ class TelemetryIngestor:
             totals["out_of_order"] += n_out_of_order
             totals["gap_uplinks"] += n_gap
             totals["unknown_link"] += n_unknown
+            totals["epoch_wraps"] += n_epoch_wraps
         apply_ms = (time.perf_counter() - started) * 1e3
         return IngestReport(
             n_uplinks=n_uplinks,
@@ -344,6 +399,7 @@ class TelemetryIngestor:
             template_version=version,
             decode_ms=decode_ms,
             apply_ms=apply_ms,
+            n_epoch_wraps=n_epoch_wraps,
         )
 
     # ----------------------------------------------------------- observers

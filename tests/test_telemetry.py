@@ -320,3 +320,73 @@ class TestSimulator:
         snr = source.step(serving)
         assert snr is serving.snr_db
         assert source.last_report is not None
+
+
+class TestIngestEpochUnwrap:
+    def ingestor(self, n_links: int = 2) -> TelemetryIngestor:
+        return TelemetryIngestor(make_state(n_links), SnrEstimator(alpha=1.0))
+
+    def test_wrap_accept_counts_gap_and_epoch(self):
+        ingestor = self.ingestor()
+        ingestor.ingest(encode([(0, 65530, 10.0)]))
+        # Wire seq wraps 65530 -> 5: a forward advance of 11 across the
+        # epoch boundary, accepted with the 10 skipped seqs as a gap.
+        report = ingestor.ingest(encode([(0, 5, 11.0)]))
+        assert report.n_accepted == 1
+        assert report.n_out_of_order == 0
+        assert report.n_gap_uplinks == 10
+        assert report.n_epoch_wraps == 1
+        assert ingestor.state.snr_db[0] == 11.0
+        assert ingestor.totals()["epoch_wraps"] == 1
+
+    def test_duplicate_and_late_uplinks_across_the_wrap(self):
+        ingestor = self.ingestor()
+        ingestor.ingest(encode([(0, 65530, 10.0)]))
+        ingestor.ingest(encode([(0, 5, 11.0)]))
+        # The same post-wrap seq again: a duplicate, not a new epoch.
+        report = ingestor.ingest(encode([(0, 5, 99.0)]))
+        assert report.n_duplicate == 1
+        assert report.n_epoch_wraps == 0
+        # A pre-wrap straggler: serially behind the unwrapped high-water
+        # mark, so it classifies out-of-order instead of starting an
+        # epoch of its own.
+        report = ingestor.ingest(encode([(0, 65530, 99.0)]))
+        assert report.n_out_of_order == 1
+        assert report.n_epoch_wraps == 0
+        assert ingestor.state.snr_db[0] == 11.0
+        assert ingestor.totals()["epoch_wraps"] == 1
+
+    def test_wrap_and_first_contact_share_a_batch(self):
+        ingestor = self.ingestor()
+        ingestor.ingest(encode([(0, 65534, 10.0)]))
+        # One batch: link 0 wraps (65534 -> 2, one seq skipped), link 1
+        # is first contact (no gap counted on first contact).
+        report = ingestor.ingest(encode([(0, 2, 12.0), (1, 7, 13.0)]))
+        assert report.n_accepted == 2
+        assert report.n_gap_uplinks == 3
+        assert report.n_epoch_wraps == 1
+        assert report.n_links_updated == 2
+        assert ingestor.state.snr_db[0] == 12.0
+        assert ingestor.state.snr_db[1] == 13.0
+
+    def test_session_longer_than_the_seq_space_classifies_correctly(self):
+        # > 65,536 uplinks on one link: wire seqs run 0..65535 and wrap
+        # back; every uplink must classify as a fresh accept (no false
+        # duplicates/out-of-order after the wrap).
+        ingestor = self.ingestor(n_links=1)
+        total = (1 << 16) + 64
+        chunk = 8192
+        for start in range(0, total, chunk):
+            stop = min(start + chunk, total)
+            uplinks = [
+                (0, seq & 0xFFFF, float(10 + (seq % 7)))
+                for seq in range(start, stop)
+            ]
+            ingestor.ingest(encode(uplinks))
+        totals = ingestor.totals()
+        assert totals["accepted"] == total
+        assert totals["duplicate"] == 0
+        assert totals["out_of_order"] == 0
+        assert totals["gap_uplinks"] == 0
+        assert totals["epoch_wraps"] == 1
+        assert ingestor.state.snr_db[0] == float(10 + ((total - 1) % 7))
