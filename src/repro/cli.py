@@ -565,17 +565,37 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     topology = build_topology(
         args.topology, args.links, seed=args.seed, link_mode=args.link_mode
     )
-    engine = FleetEngine(
-        grid=TuningGrid(
-            payload_values_bytes=tuple(range(2, 115, args.payload_step))
-        ),
-        objective=args.objective,
-        constraints=tuple(args.constraint or ()),
-        hysteresis=args.hysteresis,
-        snr_quantum_db=args.snr_quantum_db,
-        strict=args.strict,
-        use_policy=args.policy,
+    grid = TuningGrid(
+        payload_values_bytes=tuple(range(2, 115, args.payload_step))
     )
+    routed = args.routing is not None
+    if routed:
+        from .routing import RoutedFleetEngine, routes_for_topology
+
+        table = routes_for_topology(
+            topology, sink=args.sink, strategy=args.routing
+        )
+        engine = RoutedFleetEngine(
+            table,
+            grid=grid,
+            objective=args.objective,
+            constraints=tuple(args.constraint or ()),
+            path_loss_eps=args.path_loss_eps,
+            hysteresis=args.hysteresis,
+            snr_quantum_db=args.snr_quantum_db,
+            strict=args.strict,
+            use_policy=args.policy,
+        )
+    else:
+        engine = FleetEngine(
+            grid=grid,
+            objective=args.objective,
+            constraints=tuple(args.constraint or ()),
+            hysteresis=args.hysteresis,
+            snr_quantum_db=args.snr_quantum_db,
+            strict=args.strict,
+            use_policy=args.policy,
+        )
     drift = FleetDrift(
         topology, seed=args.seed, step_interval_s=args.step_interval_s
     )
@@ -585,15 +605,32 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"({topology.kind} topology, seed {topology.seed}), "
         f"{len(engine)} configurations per solve"
     )
+    if routed:
+        info = engine.routing_info()
+        print(
+            f"routing: {info['strategy']} strategy rooted at sink "
+            f"{info['sink']}, {info['n_paths']} leaf paths, max "
+            f"{info['max_hops']} hops"
+            + (
+                f", path loss budget {args.path_loss_eps}"
+                if args.path_loss_eps is not None
+                else ""
+            )
+        )
 
     def show(report) -> None:
         line = report.stats()
-        print(
+        message = (
             f"  step {line['step']:>4}: {line['n_unique_snr_bins']:>4} SNR "
             f"bins, {line['n_reconfigured']:>5} reconfigured, "
             f"{line['n_infeasible']:>5} infeasible, "
             f"mean {args.objective} {line['objective_mean']:.4f}"
         )
+        if routed:
+            message += (
+                f", {report.n_paths_feasible}/{report.n_paths} paths ok"
+            )
+        print(message)
 
     result = run_fleet(
         topology,
@@ -992,6 +1029,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="gather per-step answers from a precompiled SNR "
                         "policy table (--no-policy solves each step's "
                         "bins exactly; answers are identical)")
+    p.add_argument("--routing", choices=("tree", "mesh"), default=None,
+                   help="route the fleet to a sink and optimize end to "
+                        "end: 'tree' builds a minimum-hop collection "
+                        "tree, 'mesh' a shortest-path tree over all "
+                        "edges (euclidean cost)")
+    p.add_argument("--sink", type=int, default=None,
+                   help="sink node index for --routing (default: the "
+                        "highest-degree node)")
+    p.add_argument("--path-loss-eps", type=float, default=None,
+                   metavar="EPS",
+                   help="end-to-end loss budget: require P(loss) <= EPS "
+                        "on every leaf-to-sink path (implies a per-hop "
+                        "loss constraint on the solver)")
     p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("telemetry", help="device-uplink tooling: simulate "

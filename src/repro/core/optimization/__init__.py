@@ -34,6 +34,7 @@ from .kernels import (
     evaluate_grid_columns,
     evaluate_metric_planes,
     grid_knob_columns,
+    queue_composition_columns,
 )
 from .pareto import dominates, knee_point, nondominated_mask, pareto_front
 from .policy import (
@@ -92,6 +93,7 @@ __all__ = [
     "evaluate_grid_scalar",
     "evaluate_metric_planes",
     "grid_knob_columns",
+    "queue_composition_columns",
     "infeasible_error",
     "nondominated_mask",
     "case_study_base_config",

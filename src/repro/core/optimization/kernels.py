@@ -54,6 +54,7 @@ __all__ = [
     "evaluate_grid_columns",
     "evaluate_metric_planes",
     "grid_knob_columns",
+    "queue_composition_columns",
 ]
 
 #: Near-one tolerance of the M/M/1/K blocking formula's removable
@@ -443,27 +444,22 @@ def _metric_table(
         ack_time_s, wait_time_s, d_retry_s,
     )
     expected_n_delay = _expected_tries_column(per_delay, tries)
-    rho = service_delay_s / (tpkt_ms / 1e3)
-    full_queue_wait_s = qmax * service_delay_s
-    scv = evaluator.delay_model.service_scv
-    with np.errstate(invalid="ignore", divide="ignore"):
-        stable_wait_s = (
-            rho * (1.0 + scv) / (2.0 * (1.0 - rho)) * service_delay_s
-        )
-    wait_s = np.where(
-        rho < 1.0,
-        np.minimum(stable_wait_s, full_queue_wait_s),
-        full_queue_wait_s,
-    )
 
-    # --- Losses: PLR_radio (Eq. 8), queue blocking, series total.
+    # --- Losses: PLR_radio (Eq. 8), then the t_pkt-dependent queueing
+    # composition (rho, wait, blocking, series total) via the shared
+    # helper, so relay-congestion re-evaluations at a different packet
+    # period reproduce these columns bit for bit.
     plr_radio = (
         _exp_fit_column(evaluator.plr_model.coefficients, payload, snr)
         ** tries
     )
-    rho_clipped = np.minimum(rho, RHO_QUEUE_CLIP)
-    plr_queue = _mm1k_blocking_column(rho_clipped, qmax + 1.0)
-    plr_total = plr_queue + (1.0 - plr_queue) * plr_radio
+    queue = queue_composition_columns(
+        service_delay_s=service_delay_s,
+        service_scv=evaluator.delay_model.service_scv,
+        q_max=qmax,
+        t_pkt_ms=tpkt_ms,
+        plr_radio=plr_radio,
+    )
 
     return {
         "snr_db": snr,
@@ -472,9 +468,53 @@ def _metric_table(
         "t_service_ms": service_delay_s * 1e3,
         "max_goodput_kbps": goodput_bps / 1e3,
         "u_eng_uj_per_bit": u_eng_j * 1e6,
-        "delay_ms": (service_delay_s + wait_s) * 1e3,
-        "rho": rho,
+        "delay_ms": queue["delay_ms"],
+        "rho": queue["rho"],
         "plr_radio": plr_radio,
+        "plr_queue": queue["plr_queue"],
+        "plr_total": queue["plr_total"],
+    }
+
+
+def queue_composition_columns(
+    *,
+    service_delay_s: np.ndarray,
+    service_scv: float,
+    q_max: np.ndarray,
+    t_pkt_ms: np.ndarray,
+    plr_radio: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """The t_pkt-dependent queueing metrics from their t_pkt-free parts.
+
+    Everything downstream of the packet inter-arrival time in the Table
+    III composition: utilization ``rho = service / t_pkt``, the bounded
+    G/G/1-style waiting time, M/M/1/K blocking, and the series loss
+    total. Split out of :func:`_metric_table` (which calls it, so grid
+    and plane evaluations are unchanged bit for bit) because relay
+    congestion re-evaluates exactly these columns at an *effective*
+    packet period — the per-hop service time and radio loss do not
+    depend on the arrival rate and are reused as-is.
+    """
+    service_s = np.asarray(service_delay_s, dtype=float)
+    qmax = np.asarray(q_max, dtype=float)
+    tpkt_ms = np.asarray(t_pkt_ms, dtype=float)
+    radio = np.asarray(plr_radio, dtype=float)
+    rho = service_s / (tpkt_ms / 1e3)
+    full_queue_wait_s = qmax * service_s
+    scv = service_scv
+    with np.errstate(invalid="ignore", divide="ignore"):
+        stable_wait_s = rho * (1.0 + scv) / (2.0 * (1.0 - rho)) * service_s
+    wait_s = np.where(
+        rho < 1.0,
+        np.minimum(stable_wait_s, full_queue_wait_s),
+        full_queue_wait_s,
+    )
+    rho_clipped = np.minimum(rho, RHO_QUEUE_CLIP)
+    plr_queue = _mm1k_blocking_column(rho_clipped, qmax + 1.0)
+    plr_total = plr_queue + (1.0 - plr_queue) * radio
+    return {
+        "rho": rho,
+        "delay_ms": (service_s + wait_s) * 1e3,
         "plr_queue": plr_queue,
         "plr_total": plr_total,
     }

@@ -26,6 +26,7 @@ __all__ = [
     "InfeasibleError",
     "LintError",
     "FleetError",
+    "RoutingError",
     "TelemetryError",
     "ServeError",
     "ProtocolError",
@@ -123,6 +124,17 @@ class FleetError(ReproError):
     drift, the vectorized engine, and checkpointed runs. Per-link
     *infeasibility* is not an error at fleet scale (the engine marks the
     link and moves on); this exception is for structurally invalid fleets.
+    """
+
+
+class RoutingError(FleetError):
+    """A multi-hop route could not be built or composed.
+
+    Covers :mod:`repro.routing` — sink selection, tree construction over
+    topology edges (including sinks or nodes disconnected from the rest
+    of the deployment), path-metric composition, and the relay-load fixed
+    point. Subclasses :class:`FleetError`: a routing failure is a fleet
+    failure, so existing fleet-level handlers keep working.
     """
 
 

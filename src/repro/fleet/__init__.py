@@ -31,6 +31,7 @@ from .runner import (
 )
 from .state import FleetState, link_base_snr_db
 from .topology import (
+    ECCENTRICITY_NODE_CAP,
     FleetTopology,
     build_topology,
     grid_topology,
@@ -38,6 +39,7 @@ from .topology import (
 )
 
 __all__ = [
+    "ECCENTRICITY_NODE_CAP",
     "FLEET_CHECKPOINT_FORMAT",
     "REFERENCE_LEVEL",
     "FleetDrift",

@@ -111,11 +111,18 @@ class FleetStepReport:
     infeasible: np.ndarray
     n_policy_links: int = 0
     n_fallback_links: int = 0
+    #: Routed-engine extensions — zero/NaN placeholders on plain fleet
+    #: steps so existing consumers (and checkpoint rows) stay stable.
+    n_paths: int = 0
+    n_paths_feasible: int = 0
+    relay_iterations: int = 0
+    relay_converged: bool = True
+    network_energy_uj_per_bit: float = float("nan")
 
     def stats(self) -> Dict[str, object]:
         """Scalar summary of the step, JSON-ready."""
         finite = self.objective_value[np.isfinite(self.objective_value)]
-        return {
+        summary: Dict[str, object] = {
             "step": self.step_index,
             "n_links": self.n_links,
             "n_unique_snr_bins": self.n_unique_snr_bins,
@@ -127,6 +134,15 @@ class FleetStepReport:
                 float(finite.mean()) if finite.size else float("nan")
             ),
         }
+        if self.n_paths:
+            summary["n_paths"] = self.n_paths
+            summary["n_paths_feasible"] = self.n_paths_feasible
+            summary["relay_iterations"] = self.relay_iterations
+            summary["relay_converged"] = self.relay_converged
+            summary["network_energy_uj_per_bit"] = (
+                self.network_energy_uj_per_bit
+            )
+        return summary
 
 
 class FleetEngine:
@@ -207,6 +223,34 @@ class FleetEngine:
 
     def __len__(self) -> int:
         return len(self._ptx)
+
+    @property
+    def knob_columns(
+        self,
+    ) -> Tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+    ]:
+        """The grid's canonical knob columns, in kernel argument order.
+
+        ``(ptx_level, payload_bytes, n_max_tries, d_retry_ms, q_max,
+        t_pkt_ms)`` — the same tuple
+        :func:`~repro.core.optimization.grid_knob_columns` built, exposed
+        so layered engines (routing) can materialize per-link knobs from
+        a report's configuration indices without re-deriving the grid.
+        """
+        return (
+            self._ptx,
+            self._payload,
+            self._tries,
+            self._retry_ms,
+            self._qmax,
+            self._tpkt_ms,
+        )
+
+    @property
+    def config_offset_db(self) -> np.ndarray:
+        """Per-configuration SNR offset from the reference level (dB)."""
+        return self._offset_db
 
     # ------------------------------------------------------------ planes
 

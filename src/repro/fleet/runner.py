@@ -85,8 +85,13 @@ def parse_fleet_row(row: Dict[str, object]) -> Dict[str, object]:
 
 
 def _report_row(report: FleetStepReport, state: FleetState) -> Dict[str, object]:
-    """Serialize one executed step as its checkpoint row."""
-    return {
+    """Serialize one executed step as its checkpoint row.
+
+    Routed-engine steps additionally record their path-feasibility
+    counts; plain fleet rows stay byte-identical to the pre-routing
+    format (and :func:`parse_fleet_row` accepts both).
+    """
+    row: Dict[str, object] = {
         "step": report.step_index,
         "snr_db": state.snr_db.tolist(),
         "config_index": state.config_index.tolist(),
@@ -94,6 +99,10 @@ def _report_row(report: FleetStepReport, state: FleetState) -> Dict[str, object]
         "n_reconfigured": report.n_reconfigured,
         "n_infeasible": report.n_infeasible,
     }
+    if report.n_paths:
+        row["n_paths"] = report.n_paths
+        row["n_paths_feasible"] = report.n_paths_feasible
+    return row
 
 
 @dataclass(frozen=True)
@@ -199,16 +208,17 @@ def run_fleet(
             )
             _replay_rows(existing, state, drift, n_steps, path)
         else:
-            write_checkpoint_header(
-                path,
-                {
-                    "format": FLEET_CHECKPOINT_FORMAT,
-                    "kind": topology.kind,
-                    "seed": topology.seed,
-                    "n_links": len(topology),
-                    "step_interval_s": drift.step_interval_s,
-                },
-            )
+            header: Dict[str, object] = {
+                "format": FLEET_CHECKPOINT_FORMAT,
+                "kind": topology.kind,
+                "seed": topology.seed,
+                "n_links": len(topology),
+                "step_interval_s": drift.step_interval_s,
+            }
+            routing_info = getattr(engine, "routing_info", None)
+            if callable(routing_info):
+                header["routing"] = routing_info()
+            write_checkpoint_header(path, header)
     rows = list(existing)
     executed = 0
     for step_index in range(len(existing), n_steps):

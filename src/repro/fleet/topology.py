@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from ..serve.protocol import LinkSpec
 from ..sim.rng import RngStreams
 
 __all__ = [
+    "ECCENTRICITY_NODE_CAP",
     "MIN_LINK_DISTANCE_M",
     "TOPOLOGY_KINDS",
     "FleetTopology",
@@ -38,6 +39,10 @@ __all__ = [
     "grid_topology",
     "random_geometric_topology",
 ]
+
+#: :meth:`FleetTopology.stats` computes eccentricities by BFS from every
+#: node — O(n·m) in Python — so it skips them above this node count.
+ECCENTRICITY_NODE_CAP = 1024
 
 #: Shortest representable link: edges are clipped to this distance so the
 #: path-loss model (log-distance, 1 m reference) stays in its domain even
@@ -89,14 +94,113 @@ class FleetTopology:
         """Number of nodes in the layout."""
         return int(self.positions_m.shape[0])
 
+    def node_degrees(self) -> np.ndarray:
+        """Per-node edge count (both endpoints of every edge count)."""
+        endpoints = np.asarray(self.edges, dtype=np.int64).reshape(-1, 2)
+        return np.bincount(
+            endpoints.ravel(), minlength=self.n_nodes
+        ).astype(np.int64)
+
+    def component_labels(self) -> np.ndarray:
+        """Connected-component label per node; isolated nodes get ``-1``.
+
+        Components are counted over edge-incident nodes only — a node
+        with no edges is a truncation artifact of the generators' "first
+        ``n_links``" selection, not a routable island, and is reported
+        separately (``n_isolated_nodes`` in :meth:`stats`).
+        """
+        return _component_labels(self.n_nodes, self.edges)
+
     def stats(self) -> Dict[str, object]:
-        """Size summary, JSON-ready."""
-        return {
+        """Layout summary — sizes, degrees, connectivity — JSON-ready.
+
+        Eccentricity columns (hop radius per node; their max over the
+        graph is the diameter) are only computed for single-component
+        layouts up to :data:`ECCENTRICITY_NODE_CAP` nodes and are
+        ``None`` otherwise.
+        """
+        degrees = self.node_degrees()
+        labels = self.component_labels()
+        n_components = int(labels.max(initial=-1)) + 1
+        summary: Dict[str, object] = {
             "kind": self.kind,
             "seed": self.seed,
             "n_nodes": self.n_nodes,
             "n_links": len(self),
+            "n_components": n_components,
+            "n_isolated_nodes": int(np.count_nonzero(degrees == 0)),
+            "degree_min": int(degrees.min()),
+            "degree_max": int(degrees.max()),
+            "degree_mean": float(degrees.mean()),
         }
+        eccentricity_max: Optional[int] = None
+        eccentricity_mean: Optional[float] = None
+        if n_components == 1 and self.n_nodes <= ECCENTRICITY_NODE_CAP:
+            eccentricities = _eccentricities(self.n_nodes, self.edges)
+            if eccentricities.size:
+                eccentricity_max = int(eccentricities.max())
+                eccentricity_mean = float(eccentricities.mean())
+        summary["eccentricity_max"] = eccentricity_max
+        summary["eccentricity_mean"] = eccentricity_mean
+        return summary
+
+
+def _adjacency_lists(
+    n_nodes: int, edges: Tuple[Tuple[int, int], ...]
+) -> List[List[int]]:
+    """Per-node neighbor lists (undirected)."""
+    adjacency: List[List[int]] = [[] for _ in range(n_nodes)]
+    for source, target in edges:
+        adjacency[source].append(target)
+        adjacency[target].append(source)
+    return adjacency
+
+
+def _component_labels(
+    n_nodes: int, edges: Tuple[Tuple[int, int], ...]
+) -> np.ndarray:
+    """Connected-component label per node, ``-1`` for isolated nodes."""
+    adjacency = _adjacency_lists(n_nodes, edges)
+    labels = [-1] * n_nodes
+    current = 0
+    for start in range(n_nodes):
+        if labels[start] != -1 or not adjacency[start]:
+            continue
+        labels[start] = current
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if labels[neighbor] == -1:
+                    labels[neighbor] = current
+                    stack.append(neighbor)
+        current += 1
+    return np.asarray(labels, dtype=np.int64)
+
+
+def _eccentricities(
+    n_nodes: int, edges: Tuple[Tuple[int, int], ...]
+) -> np.ndarray:
+    """Hop eccentricity of every edge-incident node (BFS per node)."""
+    adjacency = _adjacency_lists(n_nodes, edges)
+    incident = [node for node in range(n_nodes) if adjacency[node]]
+    eccentricities = []
+    for start in incident:
+        depth = [-1] * n_nodes
+        depth[start] = 0
+        frontier = [start]
+        reach = 0
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in adjacency[node]:
+                    if depth[neighbor] == -1:
+                        depth[neighbor] = depth[node] + 1
+                        reach = max(reach, depth[neighbor])
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        eccentricities.append(reach)
+    return np.asarray(eccentricities, dtype=np.int64)
 
 
 def _edge_links(
@@ -190,6 +294,7 @@ def random_geometric_topology(
     max_distance_m: float = 35.0,
     environment: Environment = HALLWAY_2012,
     link_mode: str = "distance",
+    require_connected: bool = False,
 ) -> FleetTopology:
     """Uniformly scattered nodes, linked when within radio range.
 
@@ -197,6 +302,15 @@ def random_geometric_topology(
     closer than ``max_distance_m`` becomes a candidate edge (canonical
     ``i < j`` row-major order), and the first ``n_links`` are kept. The
     node count grows deterministically until enough pairs qualify.
+
+    Random scatters can genuinely fragment: the kept edges may split the
+    deployment into several islands that no routing tree can span. With
+    ``require_connected=True`` the generator detects this and raises a
+    :class:`~repro.errors.FleetError` reporting the component count and
+    sizes (isolated nodes — nodes no kept edge touches — are truncation
+    artifacts, not islands, and are allowed). The default ``False``
+    preserves the historical seeded outputs bit for bit;
+    :meth:`FleetTopology.stats` reports ``n_components`` either way.
     """
     _validate_common(n_links, spacing_m=area_side_m)
     if max_distance_m <= 0:
@@ -219,6 +333,20 @@ def random_geometric_topology(
                 (int(pair[0]), int(pair[1]))
                 for pair in pairs[:n_links].tolist()
             )
+            if require_connected:
+                labels = _component_labels(n_nodes, edges)
+                n_components = int(labels.max(initial=-1)) + 1
+                if n_components > 1:
+                    sizes = sorted(
+                        np.bincount(labels[labels >= 0]).tolist(),
+                        reverse=True,
+                    )
+                    raise FleetError(
+                        f"random topology (seed={seed}) fragments into "
+                        f"{n_components} components of sizes {sizes}; no "
+                        "routing tree can span it — widen max_distance_m, "
+                        "shrink area_side_m, or pick another seed"
+                    )
             links = _edge_links(positions_m, edges, environment, link_mode)
             return FleetTopology(
                 kind="random",

@@ -1,0 +1,181 @@
+"""Relay congestion: traffic aggregation through the queueing models.
+
+A relay's radio does not care that the paper's models were fitted one
+link at a time: its arrival rate is its *own* sampling rate plus every
+packet its children successfully hand it. That coupling is a fixed
+point — arrival rates determine utilization, utilization determines
+queue blocking, blocking determines how much traffic each child actually
+delivers upward, which determines the arrival rates.
+
+:func:`iterate_relay_load` solves it by damped iteration, entirely in
+per-node numpy columns. Only the t_pkt-dependent tail of the Table III
+composition is re-evaluated per sweep
+(:func:`~repro.core.optimization.queue_composition_columns` — the same
+code path the grid kernels run, so a node at its fixed-point arrival
+rate carries exactly the metrics a single-link evaluation at that
+packet period would produce); the per-hop service time and radio loss
+are computed once and reused.
+"""
+
+# reprolint: hot-path — relay-load fixed point timed by BENCH_routing.json
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..core.optimization import queue_composition_columns
+from ..errors import RoutingError
+from .table import RoutingTable
+
+__all__ = [
+    "RelayLoadResult",
+    "iterate_relay_load",
+]
+
+#: Arrival rates below this floor (packets/s) are treated as silent
+#: uplinks; avoids the 1/rate packet-period blowing up to inf.
+MIN_ARRIVAL_PPS = 1e-12
+
+
+@dataclass(frozen=True)
+class RelayLoadResult:
+    """Fixed point of the relay-load iteration, per-node columns.
+
+    ``arrival_pps[i]`` is node *i*'s uplink arrival rate (own sampling
+    plus delivered child traffic), ``delivered_pps[i]`` what survives its
+    uplink, ``t_pkt_eff_ms[i]`` the effective packet period its queueing
+    metrics were evaluated at. ``metrics`` holds the congestion-adjusted
+    per-node uplink columns (``rho``, ``delay_ms``, ``plr_queue``,
+    ``plr_total``). Sink and excluded rows are 0 / NaN placeholders.
+    """
+
+    arrival_pps: np.ndarray
+    delivered_pps: np.ndarray
+    t_pkt_eff_ms: np.ndarray
+    metrics: Dict[str, np.ndarray]
+    n_iterations: int
+    converged: bool
+    max_residual_pps: float
+
+    def stats(self) -> Dict[str, object]:
+        """Scalar iteration summary, JSON-ready."""
+        return {
+            "n_iterations": self.n_iterations,
+            "converged": self.converged,
+            "max_residual_pps": self.max_residual_pps,
+        }
+
+
+def iterate_relay_load(
+    table: RoutingTable,
+    *,
+    service_delay_s: np.ndarray,
+    service_scv: float,
+    q_max: np.ndarray,
+    t_pkt_ms: np.ndarray,
+    plr_radio: np.ndarray,
+    link_up: np.ndarray,
+    max_iterations: int = 64,
+    tol_pps: float = 1e-9,
+    damping: float = 1.0,
+) -> RelayLoadResult:
+    """Fixed-point solve of the relay arrival rates.
+
+    All inputs are per-*node* uplink columns (length ``n_nodes``; sink
+    and excluded rows ignored): the configured service time, queue bound,
+    radio loss, and sampling packet period of each node's uplink, plus a
+    ``link_up`` mask — a down uplink (no feasible configuration) carries
+    its own offered load into the iteration but delivers nothing upward.
+
+    Per sweep: effective packet period = ``1000 / arrival``, queueing
+    metrics re-composed at that period, delivered = ``arrival × (1 −
+    plr_total)``, and each parent's new arrival = own rate + Σ delivered
+    children, blended with ``damping`` (1.0 = undamped Jacobi). Converges
+    when the largest arrival-rate change drops below ``tol_pps``.
+
+    Arrival rates flow strictly rootward — a node's arrival depends only
+    on its descendants' deliveries, never on its own metrics — so the
+    update graph is acyclic and the undamped sweep (the default) cannot
+    oscillate: it is exact after at most tree-height sweeps and usually
+    converges far sooner. ``damping < 1`` remains available for modified
+    dynamics that do feed back.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise RoutingError(f"damping must be in (0, 1], got {damping!r}")
+    if max_iterations < 1:
+        raise RoutingError(
+            f"max_iterations must be >= 1, got {max_iterations!r}"
+        )
+    n_nodes = table.n_nodes
+    service_s = np.asarray(service_delay_s, dtype=float)
+    qmax = np.asarray(q_max, dtype=float)
+    tpkt_ms = np.asarray(t_pkt_ms, dtype=float)
+    radio = np.asarray(plr_radio, dtype=float)
+    up = np.asarray(link_up, dtype=bool)
+    for name, column in (
+        ("service_delay_s", service_s),
+        ("q_max", qmax),
+        ("t_pkt_ms", tpkt_ms),
+        ("plr_radio", radio),
+        ("link_up", up),
+    ):
+        if column.shape != (n_nodes,):
+            raise RoutingError(
+                f"{name} must be a per-node column of length {n_nodes}, "
+                f"got shape {column.shape}"
+            )
+
+    uplinked = table.uplink_nodes
+    active = np.zeros(n_nodes, dtype=bool)
+    active[uplinked] = True
+    parents = table.parent
+
+    # Own offered rate: the configured sampling period, zero elsewhere.
+    own_pps = np.zeros(n_nodes)
+    own_pps[active] = 1e3 / tpkt_ms[active]
+
+    arrival_pps = own_pps.copy()
+    delivered_pps = np.zeros(n_nodes)
+    queue: Dict[str, np.ndarray] = {}
+    t_eff_ms = np.full(n_nodes, np.nan)
+    residual = np.inf
+    iterations = 0
+    converged = False
+    while iterations < max_iterations:
+        iterations += 1
+        rate = np.maximum(arrival_pps, MIN_ARRIVAL_PPS)
+        t_eff_ms = np.where(active, 1e3 / rate, np.nan)
+        queue = queue_composition_columns(
+            service_delay_s=service_s,
+            service_scv=service_scv,
+            q_max=qmax,
+            t_pkt_ms=np.where(active, t_eff_ms, 1.0),
+            plr_radio=radio,
+        )
+        delivered_pps = np.where(
+            active & up, arrival_pps * (1.0 - queue["plr_total"]), 0.0
+        )
+        aggregated = own_pps.copy()
+        np.add.at(aggregated, parents[uplinked], delivered_pps[uplinked])
+        aggregated[~active] = 0.0
+        residual = float(np.abs(aggregated - arrival_pps).max(initial=0.0))
+        arrival_pps = arrival_pps + damping * (aggregated - arrival_pps)
+        if residual <= tol_pps:
+            converged = True
+            break
+
+    metrics = {
+        name: np.where(active, column, np.nan)
+        for name, column in queue.items()
+    }
+    return RelayLoadResult(
+        arrival_pps=np.where(active, arrival_pps, 0.0),
+        delivered_pps=delivered_pps,
+        t_pkt_eff_ms=t_eff_ms,
+        metrics=metrics,
+        n_iterations=iterations,
+        converged=converged,
+        max_residual_pps=residual,
+    )

@@ -38,6 +38,7 @@ from .metrics import (
 )
 from .oracle import (
     FleetRecommendResult,
+    FleetRoutingSummary,
     Oracle,
     RecommendResult,
     SweepTable,
@@ -47,6 +48,7 @@ from .oracle import (
     TIER_PRECOMPUTED,
 )
 from .protocol import (
+    FLEET_ROUTING_STRATEGIES,
     MAX_FLEET_LINKS,
     MAX_TELEMETRY_UPLINKS,
     OBJECTIVES,
@@ -54,11 +56,13 @@ from .protocol import (
     FleetRecommendRequest,
     LinkSpec,
     RecommendRequest,
+    RoutingSpec,
     TelemetryRequest,
     evaluation_as_dict,
     parse_evaluate,
     parse_fleet_recommend,
     parse_recommend,
+    parse_routing,
     parse_telemetry,
 )
 from .service import OracleService
@@ -69,8 +73,10 @@ __all__ = [
     "DEFAULT_BUCKETS_COUNT",
     "DEFAULT_BUCKETS_S",
     "EvaluateRequest",
+    "FLEET_ROUTING_STRATEGIES",
     "FleetRecommendRequest",
     "FleetRecommendResult",
+    "FleetRoutingSummary",
     "LatencyHistogram",
     "LinkSpec",
     "LruCache",
@@ -83,6 +89,7 @@ __all__ = [
     "OracleService",
     "RecommendRequest",
     "RecommendResult",
+    "RoutingSpec",
     "ServiceMetrics",
     "SweepTable",
     "TIER_LRU",
@@ -95,5 +102,6 @@ __all__ = [
     "parse_evaluate",
     "parse_fleet_recommend",
     "parse_recommend",
+    "parse_routing",
     "parse_telemetry",
 ]

@@ -80,7 +80,7 @@ class Client:
                         "cache": tier,
                     }
                 )
-        return {
+        response: Dict[str, object] = {
             "results": results,
             "objective": request.objective,
             "n_links": len(result),
@@ -88,6 +88,9 @@ class Client:
             "n_infeasible": result.n_infeasible,
             "cache_tiers": result.tier_counts(),
         }
+        if result.routing is not None:
+            response["routing"] = result.routing.as_dict()
+        return response
 
     def evaluate(
         self, payload: Dict[str, object], timeout_s: Optional[float] = None

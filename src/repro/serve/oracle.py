@@ -48,7 +48,7 @@ import numpy as np
 
 from ..channel.environment import Environment, HALLWAY_2012
 from ..config import TABLE_I_SPACE
-from ..errors import InfeasibleError
+from ..errors import InfeasibleError, ProtocolError, RoutingError
 from ..core.optimization import (
     DEFAULT_SNR_QUANTUM_DB,
     DEFAULT_SNR_RANGE_DB,
@@ -70,6 +70,7 @@ from .protocol import (
     FleetRecommendRequest,
     LinkSpec,
     RecommendRequest,
+    RoutingSpec,
 )
 
 __all__ = [
@@ -80,6 +81,7 @@ __all__ = [
     "SweepTable",
     "RecommendResult",
     "FleetRecommendResult",
+    "FleetRoutingSummary",
     "Oracle",
 ]
 
@@ -165,6 +167,43 @@ class RecommendResult:
 
 
 @dataclass(frozen=True)
+class FleetRoutingSummary:
+    """Path-level view of one routed fleet batch, JSON-ready pieces.
+
+    Composed from the per-link recommendations over the request's routing
+    block: ``n_paths_feasible`` counts leaf→sink paths meeting the
+    block's ``max_path_loss`` (a path through an infeasible link never
+    counts), ``path_stats`` is the composed
+    :meth:`~repro.routing.compose.PathMetrics.stats` summary, and
+    ``paths`` (opt-in via ``include_paths``) lists one row per leaf.
+    """
+
+    sink: int
+    strategy: str
+    max_hops: int
+    n_paths: int
+    n_paths_feasible: int
+    max_path_loss: Optional[float]
+    path_stats: Dict[str, object]
+    paths: Optional[Tuple[Dict[str, object], ...]] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view (the fleet response's ``routing`` object)."""
+        summary: Dict[str, object] = {
+            "sink": self.sink,
+            "strategy": self.strategy,
+            "max_hops": self.max_hops,
+            "n_paths": self.n_paths,
+            "n_paths_feasible": self.n_paths_feasible,
+            "max_path_loss": self.max_path_loss,
+            "path_stats": dict(self.path_stats),
+        }
+        if self.paths is not None:
+            summary["paths"] = [dict(path) for path in self.paths]
+        return summary
+
+
+@dataclass(frozen=True)
 class FleetRecommendResult:
     """Positional answers for one fleet batch.
 
@@ -180,6 +219,8 @@ class FleetRecommendResult:
     #: Distinct cache keys in the batch = sweep tables fetched (and, for
     #: shared objectives, vectorized solves run) to answer it.
     n_unique_links: int = 0
+    #: Path composition over the request's routing block, when present.
+    routing: Optional[FleetRoutingSummary] = None
 
     def __len__(self) -> int:
         return len(self.evaluations)
@@ -543,11 +584,93 @@ class Oracle:
             evaluations.append(evaluation)
             errors.append(error)
             tiers.append(tier)
+        routing = None
+        if request.routing is not None:
+            routing = self._routed_summary(request.routing, evaluations)
         return FleetRecommendResult(
             evaluations=tuple(evaluations),
             errors=tuple(errors),
             cache_tiers=tuple(tiers),
             n_unique_links=len(distinct),
+            routing=routing,
+        )
+
+    def _routed_summary(
+        self,
+        spec: RoutingSpec,
+        evaluations: Sequence[Optional[ConfigEvaluation]],
+    ) -> FleetRoutingSummary:
+        """Compose the batch's per-link answers into path-level metrics.
+
+        Builds the collection tree over the routing block's edges, then
+        runs the vectorized composition kernel over the recommended
+        per-link metrics. An infeasible link contributes a dead hop
+        (PLR 1, zero goodput), so every path through it reports as
+        infeasible rather than silently optimistic. A routing block the
+        tree builder rejects (disconnected components, self-loops, a bad
+        sink) is a client error, surfaced as
+        :class:`~repro.errors.ProtocolError`.
+        """
+        # Deferred: the routing package sits above the fleet layer, which
+        # itself imports this module's sibling (serve.protocol) — a
+        # module-level import here would close that cycle.
+        from ..routing.compose import compose_paths
+        from ..routing.table import build_routes
+
+        try:
+            table = build_routes(
+                n_nodes=spec.n_nodes,
+                edges=spec.edges,
+                sink=spec.sink,
+                strategy=spec.strategy,
+            )
+        except RoutingError as exc:
+            raise ProtocolError(f"bad routing block: {exc}") from exc
+        energy = np.array(
+            [e.u_eng_uj_per_bit if e is not None else 0.0 for e in evaluations]
+        )
+        delay = np.array(
+            [e.delay_ms if e is not None else 0.0 for e in evaluations]
+        )
+        plr = np.array(
+            [e.plr_total if e is not None else 1.0 for e in evaluations]
+        )
+        goodput = np.array(
+            [e.max_goodput_kbps if e is not None else 0.0 for e in evaluations]
+        )
+        paths = compose_paths(
+            table,
+            energy_uj_per_bit=energy,
+            delay_ms=delay,
+            plr_total=plr,
+            goodput_kbps=goodput,
+        )
+        leaves = paths.leaf_nodes
+        feasible = paths.leaf_feasible(spec.max_path_loss)
+        feasible &= paths.delivery_prob[leaves] > 0.0
+        rows = None
+        if spec.include_paths:
+            rows = tuple(
+                {
+                    "leaf": int(leaf),
+                    "hops": int(table.hop_count[leaf]),
+                    "loss_prob": float(paths.loss_prob[leaf]),
+                    "delay_ms": float(paths.delay_ms[leaf]),
+                    "energy_uj_per_bit": float(paths.energy_uj_per_bit[leaf]),
+                    "goodput_kbps": float(paths.goodput_kbps[leaf]),
+                    "feasible": bool(feasible[row]),
+                }
+                for row, leaf in enumerate(leaves.tolist())
+            )
+        return FleetRoutingSummary(
+            sink=table.sink,
+            strategy=table.strategy,
+            max_hops=table.max_hops,
+            n_paths=paths.n_paths,
+            n_paths_feasible=int(np.count_nonzero(feasible)),
+            max_path_loss=spec.max_path_loss,
+            path_stats=paths.stats(),
+            paths=rows,
         )
 
     def evaluate(self, request: EvaluateRequest) -> ConfigEvaluation:

@@ -26,6 +26,7 @@ from ..channel.environment import Environment
 from ..errors import ConfigurationError, ProtocolError
 
 __all__ = [
+    "FLEET_ROUTING_STRATEGIES",
     "MAX_FLEET_LINKS",
     "MAX_TELEMETRY_UPLINKS",
     "OBJECTIVES",
@@ -33,12 +34,14 @@ __all__ = [
     "RecommendRequest",
     "EvaluateRequest",
     "FleetRecommendRequest",
+    "RoutingSpec",
     "TelemetryRequest",
     "evaluation_as_dict",
     "parse_link",
     "parse_recommend",
     "parse_evaluate",
     "parse_fleet_recommend",
+    "parse_routing",
     "parse_telemetry",
 ]
 
@@ -61,6 +64,12 @@ _KEY_DECIMALS = 6
 #: work per request (and keeps a maximal batch body well under the HTTP
 #: layer's 1 MiB cap).
 MAX_FLEET_LINKS = 10_000
+
+#: Tree-building strategies a fleet request's routing block may name.
+#: Mirrors :data:`repro.routing.ROUTING_STRATEGIES` — spelled out here
+#: because the routing package sits *above* this module in the import
+#: graph (``fleet.topology`` imports :class:`LinkSpec` from here).
+FLEET_ROUTING_STRATEGIES: Tuple[str, ...] = ("tree", "mesh")
 
 #: Most uplinks one ``POST /v1/telemetry`` batch may carry, binary or
 #: JSON. Together with the service's bounded queue this is the telemetry
@@ -142,18 +151,78 @@ class RecommendRequest:
 
 
 @dataclass(frozen=True)
+class RoutingSpec:
+    """How a fleet batch's links connect into a multi-hop deployment.
+
+    ``edges[i]`` names the ``(node, node)`` endpoints of ``links[i]`` —
+    the routing block runs parallel to the request's link array. With it
+    the oracle builds the collection tree, composes every leaf→sink path
+    from the per-link recommendations, and reports path-level
+    feasibility against ``max_path_loss`` (``None`` just reports the
+    composed losses).
+    """
+
+    edges: Tuple[Tuple[int, int], ...]
+    sink: Optional[int] = None
+    strategy: str = "tree"
+    max_path_loss: Optional[float] = None
+    include_paths: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ProtocolError("a routing block needs at least one edge")
+        for index, edge in enumerate(self.edges):
+            if len(edge) != 2:
+                raise ProtocolError(
+                    f"routing edge {index} must be a [node, node] pair, "
+                    f"got {edge!r}"
+                )
+            for node in edge:
+                if isinstance(node, bool) or not isinstance(node, int):
+                    raise ProtocolError(
+                        f"routing edge {index} endpoints must be integers, "
+                        f"got {edge!r}"
+                    )
+                if node < 0:
+                    raise ProtocolError(
+                        f"routing edge {index} endpoint {node} is negative"
+                    )
+        if self.strategy not in FLEET_ROUTING_STRATEGIES:
+            raise ProtocolError(
+                f"unknown routing strategy {self.strategy!r}; "
+                f"valid: {list(FLEET_ROUTING_STRATEGIES)}"
+            )
+        if self.sink is not None and self.sink < 0:
+            raise ProtocolError(f"sink must be >= 0, got {self.sink!r}")
+        if self.max_path_loss is not None and not (
+            0.0 < self.max_path_loss < 1.0
+        ):
+            raise ProtocolError(
+                f"max_path_loss must be in (0, 1), got {self.max_path_loss!r}"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        """Node count implied by the edge endpoints."""
+        return max(max(edge) for edge in self.edges) + 1
+
+
+@dataclass(frozen=True)
 class FleetRecommendRequest:
     """Ask for the best configuration of *every* link in one batch.
 
     All links share one objective and one constraint set (the fleet
     operator's policy); the answer is positional — result ``i`` belongs to
     ``links[i]``. Per-link infeasibility is reported in-band rather than
-    failing the batch.
+    failing the batch. An optional ``routing`` block (edges parallel to
+    the links) additionally asks for end-to-end path composition over
+    the recommended configurations.
     """
 
     links: Tuple[LinkSpec, ...]
     objective: str = "energy"
     constraints: Tuple[Constraint, ...] = ()
+    routing: Optional[RoutingSpec] = None
 
     def __post_init__(self) -> None:
         if not self.links:
@@ -173,6 +242,13 @@ class FleetRecommendRequest:
                     f"unknown constraint objective {constraint.objective!r}; "
                     f"valid: {list(OBJECTIVES)}"
                 )
+        if self.routing is not None and len(self.routing.edges) != len(
+            self.links
+        ):
+            raise ProtocolError(
+                f"routing edges must run parallel to links: got "
+                f"{len(self.routing.edges)} edges for {len(self.links)} links"
+            )
 
 
 @dataclass(frozen=True)
@@ -306,11 +382,56 @@ def parse_recommend(data: object) -> RecommendRequest:
     )
 
 
+def parse_routing(data: object) -> RoutingSpec:
+    """Build a :class:`RoutingSpec` from a request's ``routing`` object."""
+    mapping = _require_mapping(data, "routing")
+    _reject_unknown(
+        mapping,
+        ("edges", "sink", "strategy", "max_path_loss", "include_paths"),
+        "routing",
+    )
+    if "edges" not in mapping:
+        raise ProtocolError("routing block is missing its 'edges' array")
+    edges = mapping["edges"]
+    if not isinstance(edges, (list, tuple)):
+        raise ProtocolError("routing edges must be a JSON array")
+    parsed_edges = []
+    for index, edge in enumerate(edges):
+        if not isinstance(edge, (list, tuple)):
+            raise ProtocolError(
+                f"routing edge {index} must be a [node, node] pair, "
+                f"got {edge!r}"
+            )
+        parsed_edges.append(tuple(edge))
+    sink = mapping.get("sink")
+    if sink is not None and (
+        isinstance(sink, bool) or not isinstance(sink, int)
+    ):
+        raise ProtocolError(f"sink must be an integer, got {sink!r}")
+    strategy = mapping.get("strategy", "tree")
+    if not isinstance(strategy, str):
+        raise ProtocolError(f"strategy must be a string, got {strategy!r}")
+    include_paths = mapping.get("include_paths", False)
+    if not isinstance(include_paths, bool):
+        raise ProtocolError(
+            f"include_paths must be a boolean, got {include_paths!r}"
+        )
+    return RoutingSpec(
+        edges=tuple(parsed_edges),
+        sink=sink,
+        strategy=strategy,
+        max_path_loss=_parse_number(mapping, "max_path_loss"),
+        include_paths=include_paths,
+    )
+
+
 def parse_fleet_recommend(data: object) -> FleetRecommendRequest:
     """Validate and build a fleet recommend request from decoded JSON."""
     mapping = _require_mapping(data, "fleet recommend request")
     _reject_unknown(
-        mapping, ("links", "objective", "constraints"), "fleet recommend"
+        mapping,
+        ("links", "objective", "constraints", "routing"),
+        "fleet recommend",
     )
     if "links" not in mapping:
         raise ProtocolError(
@@ -322,10 +443,12 @@ def parse_fleet_recommend(data: object) -> FleetRecommendRequest:
     objective = mapping.get("objective", "energy")
     if not isinstance(objective, str):
         raise ProtocolError(f"objective must be a string, got {objective!r}")
+    routing = mapping.get("routing")
     return FleetRecommendRequest(
         links=tuple(parse_link(link) for link in links),
         objective=objective,
         constraints=_parse_constraints(mapping.get("constraints", ())),
+        routing=parse_routing(routing) if routing is not None else None,
     )
 
 

@@ -462,6 +462,15 @@ class OracleService:
         )
         for tier, count in result.tier_counts().items():
             self.metrics.increment(f"fleet_cache_{tier}_total", by=count)
+        if result.routing is not None:
+            self.metrics.increment("fleet_routed_requests_total")
+            self.metrics.increment(
+                "fleet_paths_total", by=result.routing.n_paths
+            )
+            self.metrics.increment(
+                "fleet_paths_infeasible_total",
+                by=result.routing.n_paths - result.routing.n_paths_feasible,
+            )
         self.metrics.histogram("fleet_batch_links").observe(float(len(result)))
         self.metrics.histogram("fleet_infeasible_links").observe(
             float(result.n_infeasible)

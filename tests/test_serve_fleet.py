@@ -247,3 +247,113 @@ class TestFleetHTTP:
         assert status == 200
         assert body["n_infeasible"] == 1
         assert body["results"][0]["error"]["type"] == "InfeasibleError"
+
+
+ROUTED_PAYLOAD = {
+    "links": [{"snr_db": 20.0}, {"snr_db": 18.0}, {"snr_db": 15.0}],
+    "objective": "energy",
+    "routing": {
+        "edges": [[1, 0], [2, 1], [3, 2]],
+        "sink": 0,
+        "max_path_loss": 0.9,
+    },
+}
+
+
+class TestFleetRouting:
+    def test_parse_routing_block(self):
+        request = parse_fleet_recommend(ROUTED_PAYLOAD)
+        assert request.routing is not None
+        assert request.routing.sink == 0
+        assert request.routing.strategy == "tree"
+        assert request.routing.max_path_loss == 0.9
+        assert request.routing.n_nodes == 4
+
+    @pytest.mark.parametrize(
+        "routing, match",
+        [
+            ({"edges": []}, "at least one edge"),
+            ({"edges": [[0, 1, 2]]}, "pair"),
+            ({"edges": [[0, 1]], "strategy": "flood"}, "strategy"),
+            ({"edges": [[0, 1]], "max_path_loss": 1.5}, "max_path_loss"),
+            ({"edges": [[0, 1]], "sink": -1}, "sink"),
+            ({"edges": [[0, 1]], "unknown": True}, "unknown"),
+        ],
+    )
+    def test_bad_routing_blocks_rejected(self, routing, match):
+        payload = {"links": [{"snr_db": 10.0}], "routing": routing}
+        payload["links"] = [{"snr_db": 10.0}] * len(routing.get("edges") or [1])
+        with pytest.raises(ProtocolError, match=match):
+            parse_fleet_recommend(payload)
+
+    def test_edges_must_run_parallel_to_links(self):
+        with pytest.raises(ProtocolError, match="parallel"):
+            parse_fleet_recommend(
+                {
+                    "links": [{"snr_db": 10.0}],
+                    "routing": {"edges": [[0, 1], [1, 2]]},
+                }
+            )
+
+    def test_oracle_reports_path_feasibility(self):
+        oracle = Oracle(grid=TINY_GRID)
+        result = oracle.recommend_fleet(
+            parse_fleet_recommend(ROUTED_PAYLOAD)
+        )
+        routing = result.routing
+        assert routing is not None
+        assert routing.sink == 0
+        assert routing.max_hops == 3
+        assert routing.n_paths == 1
+        assert 0 <= routing.n_paths_feasible <= routing.n_paths
+        assert routing.path_stats["n_paths"] == 1
+
+    def test_routed_recommend_deterministic(self):
+        first = Oracle(grid=TINY_GRID).recommend_fleet(
+            parse_fleet_recommend(ROUTED_PAYLOAD)
+        )
+        second = Oracle(grid=TINY_GRID).recommend_fleet(
+            parse_fleet_recommend(ROUTED_PAYLOAD)
+        )
+        assert first.routing == second.routing
+
+    def test_include_paths_lists_leaves(self):
+        payload = json.loads(json.dumps(ROUTED_PAYLOAD))
+        payload["routing"]["include_paths"] = True
+        result = Oracle(grid=TINY_GRID).recommend_fleet(
+            parse_fleet_recommend(payload)
+        )
+        assert result.routing.paths is not None
+        (row,) = result.routing.paths
+        assert row["leaf"] == 3
+        assert row["hops"] == 3
+        assert isinstance(row["feasible"], bool)
+
+    def test_disconnected_routing_block_is_client_error(self):
+        oracle = Oracle(grid=TINY_GRID)
+        request = parse_fleet_recommend(
+            {
+                "links": [{"snr_db": 10.0}] * 2,
+                "routing": {"edges": [[0, 1], [2, 3]], "sink": 0},
+            }
+        )
+        with pytest.raises(ProtocolError, match="bad routing block"):
+            oracle.recommend_fleet(request)
+
+    def test_infeasible_link_reports_dead_paths(self):
+        payload = json.loads(json.dumps(ROUTED_PAYLOAD))
+        payload["constraints"] = INFEASIBLE
+        result = Oracle(grid=TINY_GRID).recommend_fleet(
+            parse_fleet_recommend(payload)
+        )
+        assert result.n_infeasible == len(result)
+        assert result.routing.n_paths_feasible == 0
+
+    def test_client_response_carries_routing(self, client):
+        response = client.recommend_fleet(ROUTED_PAYLOAD)
+        assert "routing" in response
+        assert response["routing"]["n_paths"] == 1
+        unrouted = client.recommend_fleet(
+            {"links": [{"snr_db": 10.0}]}
+        )
+        assert "routing" not in unrouted
